@@ -1,0 +1,59 @@
+//! Benchmarks regenerating the paper's figures: the restart trees of
+//! Figures 2–6 (construction via the transformation pipeline + ASCII render)
+//! and the Figure 1 architecture (station assembly + cold start).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mercury::config::StationConfig;
+use mercury::station::{Station, TreeVariant};
+use rr_core::render::{render_compact, render_tree};
+use rr_core::PerfectOracle;
+use std::hint::black_box;
+
+fn bench_tree_evolution(c: &mut Criterion) {
+    eprintln!("\n[figures] the restart trees of Figures 3-6:");
+    for variant in TreeVariant::ALL {
+        eprintln!("[figures] tree {variant}:\n{}", render_tree(&variant.tree()));
+    }
+
+    let mut group = c.benchmark_group("figures/tree");
+    for variant in TreeVariant::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("build", variant.to_string()),
+            &variant,
+            |b, &v| b.iter(|| black_box(v.tree())),
+        );
+    }
+    group.bench_function("render_tree_v", |b| {
+        let tree = TreeVariant::V.tree();
+        b.iter(|| black_box(render_tree(&tree)))
+    });
+    group.bench_function("render_compact_v", |b| {
+        let tree = TreeVariant::V.tree();
+        b.iter(|| black_box(render_compact(&tree)))
+    });
+    group.finish();
+}
+
+/// Figure 1: assembling and cold-starting the whole station.
+fn bench_station_cold_start(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures/station");
+    group.sample_size(10);
+    group.bench_function("cold_start_tree_v", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut s = Station::new(
+                StationConfig::paper(),
+                TreeVariant::V,
+                Box::new(PerfectOracle::new()),
+                seed,
+            );
+            s.warm_up();
+            black_box(s.now())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tree_evolution, bench_station_cold_start);
+criterion_main!(benches);

@@ -1,0 +1,126 @@
+//! Benchmarks that regenerate the paper's measured tables.
+//!
+//! Each group prints the reproduced rows (paper vs measured over a handful
+//! of trials) once, then times the unit of work — a complete recovery trial:
+//! cold start, settle, inject the failure, run to recovery, measure.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mercury::config::names;
+use mercury::station::TreeVariant;
+use rr_bench::{mean_recovery, recovery_trial, BenchOracle};
+use rr_sim::{Dist, SimRng};
+use std::hint::black_box;
+
+/// Table 1: the synthetic failure generators hit the configured MTTFs.
+fn bench_table1(c: &mut Criterion) {
+    let rows = [
+        ("mbus", 730.0 * 3600.0),
+        ("fedrcom", 600.0),
+        ("ses", 5.0 * 3600.0),
+        ("str", 5.0 * 3600.0),
+        ("rtu", 5.0 * 3600.0),
+    ];
+    eprintln!("\n[table1] component | paper MTTF (s) | empirical mean of 2000 draws");
+    let mut rng = SimRng::new(1);
+    for (comp, mttf) in rows {
+        let d = Dist::exponential(mttf);
+        let mean = (0..2000).map(|_| d.sample_secs(&mut rng)).sum::<f64>() / 2000.0;
+        eprintln!("[table1] {comp:8} | {mttf:12.0} | {mean:12.0}");
+    }
+    let d = Dist::exponential(600.0);
+    let mut rng = SimRng::new(2);
+    c.bench_function("table1/sample_failure_times_1k", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..1000 {
+                acc += d.sample_secs(&mut rng);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+/// Table 2: tree I vs tree II recovery per component.
+fn bench_table2(c: &mut Criterion) {
+    let paper = [
+        (names::MBUS, 24.75, 5.73),
+        (names::SES, 24.75, 9.50),
+        (names::STR, 24.75, 9.76),
+        (names::RTU, 24.75, 5.59),
+        (names::FEDRCOM, 24.75, 20.93),
+    ];
+    eprintln!("\n[table2] component | tree I paper/measured | tree II paper/measured (5 trials)");
+    for (comp, p1, p2) in paper {
+        let m1 = mean_recovery(TreeVariant::I, BenchOracle::Perfect, comp, false, 5, 100);
+        let m2 = mean_recovery(TreeVariant::II, BenchOracle::Perfect, comp, false, 5, 200);
+        eprintln!("[table2] {comp:8} | {p1:5.2} / {m1:5.2} | {p2:5.2} / {m2:5.2}");
+    }
+
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    for variant in [TreeVariant::I, TreeVariant::II] {
+        group.bench_with_input(
+            BenchmarkId::new("recovery_trial_rtu", variant.to_string()),
+            &variant,
+            |b, &v| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    black_box(recovery_trial(v, BenchOracle::Perfect, names::RTU, false, seed))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Table 4: representative cells of the full matrix — the §4.2/§4.3/§4.4
+/// measurements.
+fn bench_table4(c: &mut Criterion) {
+    eprintln!("\n[table4] key cells, paper vs measured (5 trials):");
+    let cells: [(&str, TreeVariant, BenchOracle, &str, bool, f64); 6] = [
+        ("III fedr", TreeVariant::III, BenchOracle::Perfect, names::FEDR, false, 5.76),
+        ("III pbcom", TreeVariant::III, BenchOracle::Perfect, names::PBCOM, false, 21.24),
+        ("III ses", TreeVariant::III, BenchOracle::Perfect, names::SES, false, 9.50),
+        ("IV ses", TreeVariant::IV, BenchOracle::Perfect, names::SES, false, 6.25),
+        ("IV faulty pbcom", TreeVariant::IV, BenchOracle::Faulty(0.3), names::PBCOM, true, 29.19),
+        ("V faulty pbcom", TreeVariant::V, BenchOracle::Faulty(0.3), names::PBCOM, true, 21.63),
+    ];
+    for (label, variant, oracle, comp, correlated, paper) in cells {
+        let m = mean_recovery(variant, oracle, comp, correlated, 5, 300);
+        eprintln!("[table4] {label:16} | paper {paper:5.2} | measured {m:5.2}");
+    }
+
+    let mut group = c.benchmark_group("table4");
+    group.sample_size(10);
+    group.bench_function("IV_consolidated_ses_trial", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(recovery_trial(
+                TreeVariant::IV,
+                BenchOracle::Perfect,
+                names::SES,
+                false,
+                seed,
+            ))
+        })
+    });
+    group.bench_function("V_promoted_pbcom_joint_trial", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(recovery_trial(
+                TreeVariant::V,
+                BenchOracle::Faulty(0.3),
+                names::PBCOM,
+                true,
+                seed,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1, bench_table2, bench_table4);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! # rr-bench — benchmark support
+//!
+//! The Criterion benches live in `benches/`:
+//!
+//! * `tables` — one group per measured table (Table 1, Table 2, Table 4):
+//!   each iteration is a full station trial; the group prints the reproduced
+//!   rows (paper vs measured) before timing.
+//! * `figures` — tree construction, the paper's transformation pipeline and
+//!   the ASCII figure renders.
+//! * `ablations` — contention sweep, oracle error sweep, optimizer search,
+//!   learning-oracle episodes.
+//! * `micro` — kernel throughput: simulator events, XML codec, RNG, tree
+//!   queries.
+//!
+//! This library crate only hosts shared helpers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use mercury::config::StationConfig;
+use mercury::measure::measure_recovery;
+use mercury::station::{Station, TreeVariant};
+use rr_core::oracle::Oracle;
+use rr_core::{FaultyOracle, PerfectOracle};
+use rr_sim::{SimDuration, SimRng};
+
+/// Which oracle to use for a bench trial.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BenchOracle {
+    /// The minimal restart policy.
+    Perfect,
+    /// §4.4 faulty oracle with the given error rate.
+    Faulty(f64),
+}
+
+impl BenchOracle {
+    fn build(self, seed: u64) -> Box<dyn Oracle> {
+        match self {
+            BenchOracle::Perfect => Box::new(PerfectOracle::new()),
+            BenchOracle::Faulty(p) => Box::new(FaultyOracle::new(p, SimRng::new(seed))),
+        }
+    }
+}
+
+/// Runs one complete recovery trial (cold start → settle → inject → measure)
+/// and returns the recovery time in seconds. This is the unit of work the
+/// table benches time.
+pub fn recovery_trial(
+    variant: TreeVariant,
+    oracle: BenchOracle,
+    component: &str,
+    correlated_pbcom: bool,
+    seed: u64,
+) -> f64 {
+    let mut station = Station::new(
+        StationConfig::paper(),
+        variant,
+        oracle.build(seed ^ 0xBEEF),
+        seed,
+    );
+    station.warm_up();
+    let mut phase = SimRng::new(seed ^ 0xA5A5);
+    station.randomize_injection_phase(&mut phase);
+    let injected = if correlated_pbcom {
+        station.inject_correlated_pbcom()
+    } else {
+        station.inject_kill(component)
+    };
+    station.run_for(SimDuration::from_secs(150));
+    measure_recovery(station.trace(), component, injected)
+        .expect("trial recovers")
+        .recovery_s()
+}
+
+/// Mean recovery over `n` trials (used to print reproduced rows in benches).
+pub fn mean_recovery(
+    variant: TreeVariant,
+    oracle: BenchOracle,
+    component: &str,
+    correlated_pbcom: bool,
+    n: usize,
+    seed: u64,
+) -> f64 {
+    (0..n)
+        .map(|i| recovery_trial(variant, oracle, component, correlated_pbcom, seed + i as u64))
+        .sum::<f64>()
+        / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mercury::config::names;
+
+    #[test]
+    fn recovery_trial_runs_end_to_end() {
+        let r = recovery_trial(TreeVariant::II, BenchOracle::Perfect, names::RTU, false, 7);
+        assert!((3.0..10.0).contains(&r), "{r}");
+    }
+}

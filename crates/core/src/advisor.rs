@@ -1,0 +1,403 @@
+//! The transformation advisor: Table 3's "useful when …" column as code.
+//!
+//! The paper summarizes when each restart-tree transformation applies:
+//!
+//! | Transformation | Useful when (Table 3) |
+//! |---|---|
+//! | keep a single group | all component MTTRs are roughly equal |
+//! | depth augmentation | `f_A + f_B > 0` or `f_{A,B} > 0` |
+//! | group consolidation | `f_A + f_B ≪ f_{A,B}` |
+//! | node promotion | the oracle can guess wrong |
+//!
+//! Given a [`RestartTree`], a [`FailureModel`] (which carries the `f` values
+//! as mode rates) and a [`CostModel`], the [`advise`] function evaluates those
+//! conditions mechanically and emits the applicable recommendations with the
+//! evidence behind each one. The §4 narrative — split fedrcom, consolidate
+//! ses/str, promote pbcom — falls out of the Mercury failure model
+//! automatically (see the tests).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::analysis::CostModel;
+use crate::model::FailureModel;
+use crate::tree::{NodeId, RestartTree};
+
+/// How asymmetric two components' solo-cure rates must be (relative to their
+/// joint-cure rate) before consolidation is recommended: the paper's
+/// `f_A + f_B ≪ f_{A,B}`, read as "at most this fraction".
+const CONSOLIDATE_RATIO: f64 = 0.25;
+/// Restart-cost ratio beyond which a pair is considered to have "highly
+/// disparate" MTTRs (the fedrcom-split and pbcom-promotion trigger).
+const DISPARATE_COST_RATIO: f64 = 2.0;
+
+/// One recommendation from the advisor.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Advice {
+    /// Components fail together far more often than separately: collapse
+    /// their cells into one (tree III → IV, §4.3).
+    Consolidate {
+        /// The components to merge into one cell.
+        components: Vec<String>,
+        /// Sum of solo-cure rates (`f_A + f_B`, per hour).
+        solo_rate: f64,
+        /// Joint-cure rate (`f_{A,B}`, per hour).
+        joint_rate: f64,
+    },
+    /// Correlated failures exist (`f_{A,B} > 0`) alongside solo failures:
+    /// give the pair a joint restart button while keeping the individual
+    /// ones (tree II′ → III, §4.2).
+    Group {
+        /// The components needing a joint button.
+        components: Vec<String>,
+        /// Joint-cure rate (per hour).
+        joint_rate: f64,
+    },
+    /// A cell holds several components with meaningful solo-cure rates:
+    /// augment it so they restart independently (tree I → II, §4.1).
+    Augment {
+        /// The cell to augment.
+        cell: NodeId,
+        /// Its attached components.
+        components: Vec<String>,
+    },
+    /// A high-MTTR component shares a joint failure mode with a low-MTTR
+    /// one and the oracle may err: promote it so the guess-too-low mistake
+    /// becomes impossible (tree IV → V, §4.4).
+    Promote {
+        /// The high-MTTR component to promote.
+        component: String,
+        /// Its cheap partner that keeps an individual button.
+        partner: String,
+        /// Cost ratio `restart(component) / restart(partner)`.
+        cost_ratio: f64,
+    },
+}
+
+impl fmt::Display for Advice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Advice::Consolidate { components, solo_rate, joint_rate } => write!(
+                f,
+                "consolidate [{}]: f_solo = {solo_rate:.3}/h << f_joint = {joint_rate:.3}/h",
+                components.join(", ")
+            ),
+            Advice::Group { components, joint_rate } => write!(
+                f,
+                "add a joint restart button over [{}]: f_joint = {joint_rate:.3}/h > 0",
+                components.join(", ")
+            ),
+            Advice::Augment { components, .. } => write!(
+                f,
+                "depth-augment the cell holding [{}]: solo failures exist",
+                components.join(", ")
+            ),
+            Advice::Promote { component, partner, cost_ratio } => write!(
+                f,
+                "promote {component} over {partner}: restart cost ratio {cost_ratio:.1}x \
+                 makes guess-too-low expensive"
+            ),
+        }
+    }
+}
+
+/// Whether the advisor should account for oracle mistakes (node promotion is
+/// only useful "when oracle is faulty", Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OracleAssumption {
+    /// `A_oracle` holds: no promotions are recommended.
+    Perfect,
+    /// The oracle can guess wrong: recommend promotions.
+    MayErr,
+}
+
+/// Evaluates Table 3's applicability conditions against the current tree and
+/// failure model, returning the transformations worth applying (with the
+/// numeric evidence).
+pub fn advise(
+    tree: &RestartTree,
+    model: &FailureModel,
+    cost: &dyn CostModel,
+    oracle: OracleAssumption,
+) -> Vec<Advice> {
+    let mut advice = Vec::new();
+
+    // Aggregate the f values: solo rate per component, joint rate per
+    // (unordered) cure pair.
+    let mut solo: BTreeMap<String, f64> = BTreeMap::new();
+    let mut joint: BTreeMap<(String, String), f64> = BTreeMap::new();
+    for mode in model.modes() {
+        let mut cure = mode.cure_set.clone();
+        cure.sort();
+        cure.dedup();
+        match cure.as_slice() {
+            [single] => *solo.entry(single.clone()).or_insert(0.0) += mode.rate_per_hour,
+            [a, b] => {
+                *joint
+                    .entry((a.clone(), b.clone()))
+                    .or_insert(0.0) += mode.rate_per_hour;
+            }
+            _ => {} // larger cure sets: no pairwise advice
+        }
+    }
+
+    // 1. Augmentation: any cell directly holding ≥2 components with nonzero
+    //    solo-cure rates (tree I's "total reboot shortcoming").
+    for cell in tree.cells() {
+        let comps = tree.components_at(cell);
+        if comps.len() >= 2 {
+            let solo_sum: f64 = comps.iter().map(|c| solo.get(c).copied().unwrap_or(0.0)).sum();
+            // Consolidated-by-design cells (ses/str) are exempt: their solo
+            // rates are ~0 relative to the joint rate.
+            let mut sorted = comps.to_vec();
+            sorted.sort();
+            let joint_rate = if let [a, b] = sorted.as_slice() {
+                joint.get(&(a.clone(), b.clone())).copied().unwrap_or(0.0)
+            } else {
+                0.0
+            };
+            if solo_sum > 0.0 && solo_sum > CONSOLIDATE_RATIO * joint_rate {
+                advice.push(Advice::Augment {
+                    cell,
+                    components: comps.to_vec(),
+                });
+            }
+        }
+    }
+
+    for ((a, b), &joint_rate) in &joint {
+        if joint_rate <= 0.0 {
+            continue;
+        }
+        let (Some(cell_a), Some(cell_b)) = (tree.cell_of_component(a), tree.cell_of_component(b))
+        else {
+            continue;
+        };
+        let solo_a = solo.get(a).copied().unwrap_or(0.0);
+        let solo_b = solo.get(b).copied().unwrap_or(0.0);
+        let solo_sum = solo_a + solo_b;
+
+        // 2. Consolidation: f_A + f_B ≪ f_{A,B} and they are in separate cells.
+        if cell_a != cell_b && solo_sum <= CONSOLIDATE_RATIO * joint_rate {
+            advice.push(Advice::Consolidate {
+                components: vec![a.clone(), b.clone()],
+                solo_rate: solo_sum,
+                joint_rate,
+            });
+            continue;
+        }
+
+        // 3. Grouping: correlated failures with meaningful solo rates too —
+        //    the pair needs a joint button *below the root* without giving up
+        //    the individual ones.
+        let cover = tree
+            .lowest_cover(&[a.clone(), b.clone()])
+            .expect("components attached");
+        if cell_a != cell_b && cover == tree.root() && tree.children(tree.root()).len() > 2 {
+            advice.push(Advice::Group {
+                components: vec![a.clone(), b.clone()],
+                joint_rate,
+            });
+        }
+
+        // 4. Promotion: only when the oracle may err, the pair's restart
+        //    costs are highly disparate, and the expensive side has its own
+        //    (too-low) button.
+        if oracle == OracleAssumption::MayErr {
+            let cost_a = cost.restart_s(std::slice::from_ref(a));
+            let cost_b = cost.restart_s(std::slice::from_ref(b));
+            let (expensive, cheap, ratio) = if cost_a >= cost_b {
+                (a, b, cost_a / cost_b.max(1e-9))
+            } else {
+                (b, a, cost_b / cost_a.max(1e-9))
+            };
+            let expensive_cell = tree.cell_of_component(expensive).expect("attached");
+            let has_own_button =
+                tree.components_under(expensive_cell) == vec![expensive.clone()];
+            if ratio >= DISPARATE_COST_RATIO && has_own_button {
+                advice.push(Advice::Promote {
+                    component: expensive.clone(),
+                    partner: cheap.clone(),
+                    cost_ratio: ratio,
+                });
+            }
+        }
+    }
+
+    advice
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::SimpleCostModel;
+    use crate::model::FailureMode;
+    use crate::tree::TreeSpec;
+
+    fn mercury_cost() -> SimpleCostModel {
+        SimpleCostModel::new(1.0, 2.0)
+            .with_boot("mbus", 4.73)
+            .with_boot("fedr", 4.76)
+            .with_boot("pbcom", 20.24)
+            .with_boot("ses", 5.15)
+            .with_boot("str", 5.01)
+            .with_boot("rtu", 4.59)
+    }
+
+    fn mercury_model() -> FailureModel {
+        FailureModel::new()
+            .with_mode(FailureMode::solo("mbus", "mbus", 1.0 / 730.0))
+            .with_mode(FailureMode::solo("fedr", "fedr", 6.0))
+            .with_mode(FailureMode::solo("pbcom", "pbcom", 0.05))
+            .with_mode(FailureMode::correlated("pbcom-joint", "pbcom", ["fedr", "pbcom"], 0.4))
+            // ses/str: solo cures essentially never work (f_solo ≈ 0).
+            .with_mode(FailureMode::correlated("ses", "ses", ["ses", "str"], 0.2))
+            .with_mode(FailureMode::correlated("str", "str", ["ses", "str"], 0.2))
+            .with_mode(FailureMode::solo("rtu", "rtu", 0.2))
+    }
+
+    fn tree_ii_split() -> crate::tree::RestartTree {
+        TreeSpec::cell("mercury")
+            .with_child(TreeSpec::cell("R_mbus").with_component("mbus"))
+            .with_child(TreeSpec::cell("R_fedr").with_component("fedr"))
+            .with_child(TreeSpec::cell("R_pbcom").with_component("pbcom"))
+            .with_child(TreeSpec::cell("R_ses").with_component("ses"))
+            .with_child(TreeSpec::cell("R_str").with_component("str"))
+            .with_child(TreeSpec::cell("R_rtu").with_component("rtu"))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn flat_tree_gets_augmentation_advice() {
+        let tree = TreeSpec::cell("mercury")
+            .with_components(["mbus", "fedr", "pbcom", "ses", "str", "rtu"])
+            .build()
+            .unwrap();
+        let advice = advise(&tree, &mercury_model(), &mercury_cost(), OracleAssumption::Perfect);
+        assert!(
+            advice.iter().any(|a| matches!(a, Advice::Augment { .. })),
+            "{advice:?}"
+        );
+    }
+
+    #[test]
+    fn ses_str_get_consolidation_advice() {
+        let advice = advise(
+            &tree_ii_split(),
+            &mercury_model(),
+            &mercury_cost(),
+            OracleAssumption::Perfect,
+        );
+        let consolidation = advice.iter().find_map(|a| match a {
+            Advice::Consolidate { components, solo_rate, joint_rate } => {
+                Some((components.clone(), *solo_rate, *joint_rate))
+            }
+            _ => None,
+        });
+        let (comps, solo, joint) = consolidation.expect("ses/str consolidation advised");
+        assert_eq!(comps, vec!["ses".to_string(), "str".to_string()]);
+        assert!(solo < 0.25 * joint);
+    }
+
+    #[test]
+    fn fedr_pbcom_get_grouping_not_consolidation() {
+        // fedr fails solo constantly (6/h): merging it with pbcom would be
+        // wrong; a joint button (grouping) is what Table 3 calls for.
+        let advice = advise(
+            &tree_ii_split(),
+            &mercury_model(),
+            &mercury_cost(),
+            OracleAssumption::Perfect,
+        );
+        assert!(
+            advice.iter().any(|a| matches!(
+                a,
+                Advice::Group { components, .. }
+                if components == &vec!["fedr".to_string(), "pbcom".to_string()]
+            )),
+            "{advice:?}"
+        );
+        assert!(
+            !advice.iter().any(|a| matches!(
+                a,
+                Advice::Consolidate { components, .. }
+                if components.contains(&"fedr".to_string())
+            )),
+            "fedr must keep its own button: {advice:?}"
+        );
+    }
+
+    #[test]
+    fn promotion_only_with_faulty_oracle() {
+        let perfect = advise(
+            &tree_ii_split(),
+            &mercury_model(),
+            &mercury_cost(),
+            OracleAssumption::Perfect,
+        );
+        assert!(
+            !perfect.iter().any(|a| matches!(a, Advice::Promote { .. })),
+            "Table 3: promotion is useful only when the oracle can err"
+        );
+        let faulty = advise(
+            &tree_ii_split(),
+            &mercury_model(),
+            &mercury_cost(),
+            OracleAssumption::MayErr,
+        );
+        let promo = faulty.iter().find_map(|a| match a {
+            Advice::Promote { component, partner, cost_ratio } => {
+                Some((component.clone(), partner.clone(), *cost_ratio))
+            }
+            _ => None,
+        });
+        let (component, partner, ratio) = promo.expect("pbcom promotion advised");
+        assert_eq!(component, "pbcom");
+        assert_eq!(partner, "fedr");
+        assert!(ratio > 3.0, "pbcom restarts ~4x slower than fedr, got {ratio:.1}");
+    }
+
+    #[test]
+    fn tree_v_needs_no_further_advice() {
+        // Once the paper's final tree is in place, the advisor is quiet
+        // (modulo the grouping advice, which the joint cell satisfies).
+        let tree_v = TreeSpec::cell("mercury")
+            .with_child(TreeSpec::cell("R_mbus").with_component("mbus"))
+            .with_child(
+                TreeSpec::cell("R_[fedr,pbcom]")
+                    .with_component("pbcom")
+                    .with_child(TreeSpec::cell("R_fedr").with_component("fedr")),
+            )
+            .with_child(TreeSpec::cell("R_[ses,str]").with_components(["ses", "str"]))
+            .with_child(TreeSpec::cell("R_rtu").with_component("rtu"))
+            .build()
+            .unwrap();
+        let advice = advise(
+            &tree_v,
+            &mercury_model(),
+            &mercury_cost(),
+            OracleAssumption::MayErr,
+        );
+        assert!(
+            advice.is_empty(),
+            "tree V satisfies every Table 3 condition, but got: {advice:?}"
+        );
+    }
+
+    #[test]
+    fn advice_displays_evidence() {
+        let advice = advise(
+            &tree_ii_split(),
+            &mercury_model(),
+            &mercury_cost(),
+            OracleAssumption::MayErr,
+        );
+        for a in &advice {
+            let s = a.to_string();
+            assert!(!s.is_empty());
+        }
+        let text: Vec<String> = advice.iter().map(|a| a.to_string()).collect();
+        assert!(text.iter().any(|s| s.contains("consolidate")), "{text:?}");
+    }
+}

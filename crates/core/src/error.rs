@@ -1,0 +1,67 @@
+//! Error types for restart-tree construction and transformation.
+
+use std::fmt;
+
+use crate::tree::NodeId;
+
+/// An error manipulating a [`RestartTree`](crate::tree::RestartTree).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TreeError {
+    /// The node id does not name a live node of this tree.
+    UnknownNode(NodeId),
+    /// The component name is not attached anywhere in the tree.
+    UnknownComponent(String),
+    /// The component name is already attached to a cell.
+    DuplicateComponent(String),
+    /// A transformation's preconditions were not met.
+    InvalidTransform {
+        /// Which transformation failed.
+        transform: &'static str,
+        /// Why its preconditions were not met.
+        reason: String,
+    },
+    /// The operation would orphan or delete the root cell.
+    CannotModifyRoot,
+}
+
+impl TreeError {
+    pub(crate) fn invalid(transform: &'static str, reason: impl Into<String>) -> TreeError {
+        TreeError::InvalidTransform {
+            transform,
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for TreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TreeError::UnknownNode(id) => write!(f, "unknown restart cell {id}"),
+            TreeError::UnknownComponent(name) => write!(f, "unknown component {name:?}"),
+            TreeError::DuplicateComponent(name) => {
+                write!(f, "component {name:?} is already attached to a cell")
+            }
+            TreeError::InvalidTransform { transform, reason } => {
+                write!(f, "invalid {transform}: {reason}")
+            }
+            TreeError::CannotModifyRoot => write!(f, "the root cell cannot be removed or re-parented"),
+        }
+    }
+}
+
+impl std::error::Error for TreeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = TreeError::UnknownComponent("warp".into());
+        assert!(e.to_string().contains("warp"));
+        let e = TreeError::invalid("consolidation", "cells are not siblings");
+        assert!(e.to_string().contains("consolidation"));
+        assert!(e.to_string().contains("siblings"));
+        assert!(TreeError::CannotModifyRoot.to_string().contains("root"));
+    }
+}

@@ -1,0 +1,295 @@
+//! Failure models: which failures occur, how often, and what cures them.
+//!
+//! The paper characterizes failures by where they manifest (a component), how
+//! often (Table 1's MTTFs) and what minimally cures them (the `f_ci`
+//! probabilities of §4.1–4.4). A [`FailureModel`] is a list of
+//! [`FailureMode`]s carrying exactly that information; it drives both the
+//! synthetic fault injection in the simulator and the analytic expected-MTTR
+//! computation in [`analysis`](crate::analysis).
+
+use serde::{Deserialize, Serialize};
+
+use crate::oracle::Failure;
+use crate::tree::RestartTree;
+
+/// One class of failure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FailureMode {
+    /// Human-readable name (e.g. `"pbcom-joint"`).
+    pub name: String,
+    /// The component the failure manifests in (whose ping goes unanswered).
+    pub trigger: String,
+    /// The minimal set of components whose joint restart cures it. Always
+    /// contains `trigger`.
+    pub cure_set: Vec<String>,
+    /// Occurrence rate, in failures per hour of operation.
+    pub rate_per_hour: f64,
+}
+
+impl FailureMode {
+    /// A mode curable by restarting only the component it manifests in.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_per_hour` is not positive and finite.
+    pub fn solo(name: impl Into<String>, trigger: impl Into<String>, rate_per_hour: f64) -> Self {
+        let trigger = trigger.into();
+        Self::correlated(name, trigger.clone(), [trigger], rate_per_hour)
+    }
+
+    /// A mode that manifests in `trigger` but needs all of `cure_set`
+    /// restarted together.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cure_set` does not contain `trigger`, or if
+    /// `rate_per_hour` is not positive and finite.
+    pub fn correlated<I, S>(
+        name: impl Into<String>,
+        trigger: impl Into<String>,
+        cure_set: I,
+        rate_per_hour: f64,
+    ) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        assert!(
+            rate_per_hour.is_finite() && rate_per_hour > 0.0,
+            "invalid rate {rate_per_hour}"
+        );
+        let trigger = trigger.into();
+        let cure_set: Vec<String> = cure_set.into_iter().map(Into::into).collect();
+        assert!(
+            cure_set.contains(&trigger),
+            "cure set must contain the trigger component"
+        );
+        FailureMode {
+            name: name.into(),
+            trigger,
+            cure_set,
+            rate_per_hour,
+        }
+    }
+
+    /// The [`Failure`] event this mode injects.
+    pub fn to_failure(&self) -> Failure {
+        Failure {
+            component: self.trigger.clone(),
+            cure_set: self.cure_set.clone(),
+        }
+    }
+
+    /// The mode's mean time to failure, in seconds.
+    pub fn mttf_s(&self) -> f64 {
+        3600.0 / self.rate_per_hour
+    }
+}
+
+/// A complete failure model: the set of failure modes a system exhibits.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FailureModel {
+    modes: Vec<FailureMode>,
+}
+
+impl FailureModel {
+    /// An empty model.
+    pub fn new() -> FailureModel {
+        FailureModel::default()
+    }
+
+    /// Adds a mode.
+    pub fn push(&mut self, mode: FailureMode) {
+        self.modes.push(mode);
+    }
+
+    /// Builder-style [`push`](Self::push).
+    #[must_use]
+    pub fn with_mode(mut self, mode: FailureMode) -> FailureModel {
+        self.push(mode);
+        self
+    }
+
+    /// The modes, in insertion order.
+    pub fn modes(&self) -> &[FailureMode] {
+        &self.modes
+    }
+
+    /// Total failure rate (per hour) across all modes.
+    pub fn total_rate_per_hour(&self) -> f64 {
+        self.modes.iter().map(|m| m.rate_per_hour).sum()
+    }
+
+    /// The probability that a manifested failure is this mode — the paper's
+    /// `f` values, e.g. `f_{fedr,pbcom}` (§4.2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model is empty.
+    pub fn mode_probability(&self, mode: &FailureMode) -> f64 {
+        let total = self.total_rate_per_hour();
+        assert!(total > 0.0, "mode_probability on an empty model");
+        mode.rate_per_hour / total
+    }
+
+    /// System MTTF in seconds under `A_entire` (any component failure takes
+    /// the whole system down): the inverse of the total failure rate. This is
+    /// the algebraic form of `MTTF_G ≤ min(MTTF_ci)` for independent
+    /// exponential components.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model is empty.
+    pub fn system_mttf_s(&self) -> f64 {
+        let total = self.total_rate_per_hour();
+        assert!(total > 0.0, "system_mttf_s on an empty model");
+        3600.0 / total
+    }
+
+    /// The aggregate failure rate attributed to one component (sum over the
+    /// modes that manifest in it), per hour.
+    pub fn component_rate_per_hour(&self, component: &str) -> f64 {
+        self.modes
+            .iter()
+            .filter(|m| m.trigger == component)
+            .map(|m| m.rate_per_hour)
+            .sum()
+    }
+
+    /// The component's MTTF in seconds, or `None` if no mode manifests in it.
+    pub fn component_mttf_s(&self, component: &str) -> Option<f64> {
+        let rate = self.component_rate_per_hour(component);
+        (rate > 0.0).then(|| 3600.0 / rate)
+    }
+
+    /// Checks that every component mentioned by any mode is attached in
+    /// `tree`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the sorted list of unattached component names.
+    pub fn validate_against(&self, tree: &RestartTree) -> Result<(), Vec<String>> {
+        let mut missing: Vec<String> = Vec::new();
+        for mode in &self.modes {
+            for comp in std::iter::once(&mode.trigger).chain(mode.cure_set.iter()) {
+                if tree.cell_of_component(comp).is_none() && !missing.contains(comp) {
+                    missing.push(comp.clone());
+                }
+            }
+        }
+        if missing.is_empty() {
+            Ok(())
+        } else {
+            missing.sort();
+            Err(missing)
+        }
+    }
+}
+
+impl FromIterator<FailureMode> for FailureModel {
+    fn from_iter<T: IntoIterator<Item = FailureMode>>(iter: T) -> Self {
+        FailureModel {
+            modes: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<FailureMode> for FailureModel {
+    fn extend<T: IntoIterator<Item = FailureMode>>(&mut self, iter: T) {
+        self.modes.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::TreeSpec;
+
+    fn sample() -> FailureModel {
+        FailureModel::new()
+            .with_mode(FailureMode::solo("fedr-crash", "fedr", 6.0)) // MTTF 10 min
+            .with_mode(FailureMode::solo("ses-crash", "ses", 0.2)) // MTTF 5 h
+            .with_mode(FailureMode::correlated(
+                "pbcom-joint",
+                "pbcom",
+                ["fedr", "pbcom"],
+                0.05,
+            ))
+    }
+
+    #[test]
+    fn rates_and_probabilities() {
+        let model = sample();
+        assert!((model.total_rate_per_hour() - 6.25).abs() < 1e-12);
+        let p = model.mode_probability(&model.modes()[0]);
+        assert!((p - 6.0 / 6.25).abs() < 1e-12);
+        let sum: f64 = model
+            .modes()
+            .iter()
+            .map(|m| model.mode_probability(m))
+            .sum();
+        assert!((sum - 1.0).abs() < 1e-12, "f_ci sum to 1 (A_cure)");
+    }
+
+    #[test]
+    fn mttf_relationships() {
+        let model = sample();
+        // System MTTF is at most the smallest component MTTF (§3.2).
+        let sys = model.system_mttf_s();
+        for comp in ["fedr", "ses", "pbcom"] {
+            let c = model.component_mttf_s(comp).unwrap();
+            assert!(sys <= c + 1e-9, "system {sys} vs {comp} {c}");
+        }
+        assert!((model.component_mttf_s("fedr").unwrap() - 600.0).abs() < 1e-9);
+        assert_eq!(model.component_mttf_s("mbus"), None);
+    }
+
+    #[test]
+    fn mode_mttf_matches_rate() {
+        let m = FailureMode::solo("x", "c", 2.0);
+        assert!((m.mttf_s() - 1800.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validate_against_finds_missing() {
+        let model = sample();
+        let tree = TreeSpec::cell("root")
+            .with_components(["fedr", "pbcom"])
+            .build()
+            .unwrap();
+        let missing = model.validate_against(&tree).unwrap_err();
+        assert_eq!(missing, vec!["ses".to_string()]);
+
+        let full = TreeSpec::cell("root")
+            .with_components(["fedr", "pbcom", "ses"])
+            .build()
+            .unwrap();
+        assert!(model.validate_against(&full).is_ok());
+    }
+
+    #[test]
+    fn to_failure_carries_cure_set() {
+        let m = FailureMode::correlated("j", "a", ["a", "b"], 1.0);
+        let f = m.to_failure();
+        assert_eq!(f.component, "a");
+        assert_eq!(f.cure_set, vec!["a", "b"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cure set must contain")]
+    fn correlated_requires_trigger_in_cure_set() {
+        FailureMode::correlated("bad", "a", ["b"], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid rate")]
+    fn rejects_zero_rate() {
+        FailureMode::solo("bad", "a", 0.0);
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let model: FailureModel = vec![FailureMode::solo("a", "a", 1.0)].into_iter().collect();
+        assert_eq!(model.modes().len(), 1);
+    }
+}

@@ -1,0 +1,252 @@
+//! Restart policies: bounding restarts so "hard" failures are not looped on.
+//!
+//! §2.2: "The policy also keeps track of past restarts to prevent infinite
+//! restarts of 'hard' failures." A [`RestartPolicy`] enforces two limits:
+//!
+//! * an **escalation limit** per failure episode — after climbing the tree
+//!   this many times without a cure, the failure is declared not
+//!   restart-curable (violating `A_cure`) and handed to a human;
+//! * a **rate limit** per component — more than `max_restarts` restarts of
+//!   the same component within `window` indicates a hard fault (e.g. failed
+//!   hardware), which restarting cannot fix (§7).
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+
+use rr_sim::{SimDuration, SimTime};
+
+/// Why the policy refused to keep restarting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GiveUpReason {
+    /// The escalation limit was reached: even a root restart did not cure.
+    EscalationExhausted,
+    /// The component was restarted too many times within the rate window —
+    /// a hard failure is suspected.
+    RestartStorm,
+}
+
+impl fmt::Display for GiveUpReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GiveUpReason::EscalationExhausted => {
+                write!(f, "escalation exhausted: failure is not restart-curable")
+            }
+            GiveUpReason::RestartStorm => {
+                write!(f, "restart storm: hard failure suspected")
+            }
+        }
+    }
+}
+
+/// Configurable restart-bounding policy.
+///
+/// ```
+/// use rr_core::policy::RestartPolicy;
+/// use rr_sim::SimDuration;
+/// let policy = RestartPolicy::new()
+///     .with_escalation_limit(4)
+///     .with_rate_limit(10, SimDuration::from_secs(3600));
+/// assert_eq!(policy.escalation_limit(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RestartPolicy {
+    escalation_limit: u32,
+    max_restarts: u32,
+    window: SimDuration,
+    history: HashMap<String, VecDeque<SimTime>>,
+}
+
+impl Default for RestartPolicy {
+    fn default() -> Self {
+        RestartPolicy::new()
+    }
+}
+
+impl RestartPolicy {
+    /// A policy with generous defaults: 8 escalations per episode, at most
+    /// 20 restarts of any one component per hour.
+    pub fn new() -> RestartPolicy {
+        RestartPolicy {
+            escalation_limit: 8,
+            max_restarts: 20,
+            window: SimDuration::from_secs(3600),
+            history: HashMap::new(),
+        }
+    }
+
+    /// Sets the per-episode escalation limit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `limit` is zero.
+    #[must_use]
+    pub fn with_escalation_limit(mut self, limit: u32) -> RestartPolicy {
+        assert!(limit > 0, "escalation limit must be positive");
+        self.escalation_limit = limit;
+        self
+    }
+
+    /// Sets the per-component rate limit: at most `max_restarts` restarts in
+    /// any sliding `window`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_restarts` is zero or the window is zero.
+    #[must_use]
+    pub fn with_rate_limit(mut self, max_restarts: u32, window: SimDuration) -> RestartPolicy {
+        assert!(max_restarts > 0, "max_restarts must be positive");
+        assert!(!window.is_zero(), "rate window must be positive");
+        self.max_restarts = max_restarts;
+        self.window = window;
+        self
+    }
+
+    /// The configured escalation limit.
+    pub fn escalation_limit(&self) -> u32 {
+        self.escalation_limit
+    }
+
+    /// The configured rate limit as `(max_restarts, window)`.
+    pub fn rate_limit(&self) -> (u32, SimDuration) {
+        (self.max_restarts, self.window)
+    }
+
+    /// Checks whether another restart attempt is allowed.
+    ///
+    /// `attempt` is the 0-based escalation attempt within the current
+    /// episode; `components` are the components that would be restarted.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`GiveUpReason`] if the attempt must not proceed.
+    pub fn check(
+        &self,
+        attempt: u32,
+        components: &[String],
+        now: SimTime,
+    ) -> Result<(), GiveUpReason> {
+        if attempt >= self.escalation_limit {
+            return Err(GiveUpReason::EscalationExhausted);
+        }
+        let cutoff = now.saturating_since(SimTime::ZERO).saturating_sub(self.window);
+        for comp in components {
+            if let Some(times) = self.history.get(comp) {
+                let recent = times
+                    .iter()
+                    .filter(|t| t.saturating_since(SimTime::ZERO) >= cutoff)
+                    .count();
+                if recent >= self.max_restarts as usize {
+                    return Err(GiveUpReason::RestartStorm);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Records that `components` were restarted at `now`.
+    pub fn record_restart(&mut self, components: &[String], now: SimTime) {
+        for comp in components {
+            let times = self.history.entry(comp.clone()).or_default();
+            times.push_back(now);
+            // Trim entries that have aged out of the window.
+            while let Some(&front) = times.front() {
+                if now.saturating_since(front) > self.window {
+                    times.pop_front();
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Total recorded restarts of a component still inside the window as of
+    /// the last [`record_restart`](Self::record_restart) call.
+    pub fn recent_restarts(&self, component: &str) -> usize {
+        self.history.get(component).map_or(0, VecDeque::len)
+    }
+
+    /// Forgets all restart history (e.g. after maintenance).
+    pub fn reset(&mut self) {
+        self.history.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    fn comps(names: &[&str]) -> Vec<String> {
+        names.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn escalation_limit_enforced() {
+        let policy = RestartPolicy::new().with_escalation_limit(3);
+        let c = comps(&["x"]);
+        assert!(policy.check(0, &c, t(0)).is_ok());
+        assert!(policy.check(2, &c, t(0)).is_ok());
+        assert_eq!(
+            policy.check(3, &c, t(0)),
+            Err(GiveUpReason::EscalationExhausted)
+        );
+    }
+
+    #[test]
+    fn rate_limit_trips_within_window() {
+        let mut policy = RestartPolicy::new().with_rate_limit(3, SimDuration::from_secs(100));
+        let c = comps(&["x"]);
+        for i in 0..3 {
+            assert!(policy.check(0, &c, t(i * 10)).is_ok());
+            policy.record_restart(&c, t(i * 10));
+        }
+        assert_eq!(policy.check(0, &c, t(30)), Err(GiveUpReason::RestartStorm));
+        assert_eq!(policy.recent_restarts("x"), 3);
+    }
+
+    #[test]
+    fn rate_limit_recovers_after_window() {
+        let mut policy = RestartPolicy::new().with_rate_limit(2, SimDuration::from_secs(100));
+        let c = comps(&["x"]);
+        policy.record_restart(&c, t(0));
+        policy.record_restart(&c, t(10));
+        assert!(policy.check(0, &c, t(50)).is_err());
+        // 150s later, both restarts have aged out.
+        assert!(policy.check(0, &c, t(160)).is_ok());
+    }
+
+    #[test]
+    fn rate_limit_is_per_component() {
+        let mut policy = RestartPolicy::new().with_rate_limit(1, SimDuration::from_secs(100));
+        policy.record_restart(&comps(&["x"]), t(0));
+        assert!(policy.check(0, &comps(&["y"]), t(1)).is_ok());
+        assert!(policy.check(0, &comps(&["x"]), t(1)).is_err());
+        // A group restart containing a throttled component is throttled.
+        assert!(policy.check(0, &comps(&["y", "x"]), t(1)).is_err());
+    }
+
+    #[test]
+    fn reset_clears_history() {
+        let mut policy = RestartPolicy::new().with_rate_limit(1, SimDuration::from_secs(100));
+        policy.record_restart(&comps(&["x"]), t(0));
+        assert!(policy.check(0, &comps(&["x"]), t(1)).is_err());
+        policy.reset();
+        assert!(policy.check(0, &comps(&["x"]), t(1)).is_ok());
+        assert_eq!(policy.recent_restarts("x"), 0);
+    }
+
+    #[test]
+    fn give_up_reasons_display() {
+        assert!(GiveUpReason::EscalationExhausted.to_string().contains("not restart-curable"));
+        assert!(GiveUpReason::RestartStorm.to_string().contains("hard failure"));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_escalation_limit_rejected() {
+        let _ = RestartPolicy::new().with_escalation_limit(0);
+    }
+}

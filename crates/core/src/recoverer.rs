@@ -1,0 +1,395 @@
+//! The recoverer: turns failure reports into restart decisions (§3.3).
+//!
+//! "The restart tree plays a central role in keeping a recursively
+//! restartable system alive, in conjunction with a recoverer, which performs
+//! the actual restarts." The [`Recoverer`] here is execution-agnostic: it
+//! owns the tree, an [`Oracle`] and a [`RestartPolicy`], tracks failure
+//! *episodes*, and returns [`RecoveryDecision`]s. The caller (Mercury's `REC`
+//! process, or the threaded runtime's supervisor) actually kills and respawns
+//! processes and reports back.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use rr_sim::SimTime;
+
+use crate::oracle::{Failure, Oracle, RestartOutcome};
+use crate::policy::{GiveUpReason, RestartPolicy};
+use crate::tree::{NodeId, RestartTree};
+
+/// What the recoverer wants done about a reported failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecoveryDecision {
+    /// Restart the given cell (i.e. all `components`, together).
+    Restart {
+        /// The cell whose button to push.
+        node: NodeId,
+        /// The components under that cell, in sorted order.
+        components: Vec<String>,
+        /// 0-based escalation attempt within the failure episode.
+        attempt: u32,
+    },
+    /// A restart of a cell covering this component is already in flight;
+    /// the new report is subsumed by it.
+    AlreadyRecovering {
+        /// The in-flight cell.
+        node: NodeId,
+    },
+    /// The policy refused further restarts; escalate to a human operator.
+    GiveUp {
+        /// The component whose episode was abandoned.
+        component: String,
+        /// Why.
+        reason: GiveUpReason,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct Episode {
+    failure: Failure,
+    attempt: u32,
+    last_node: Option<NodeId>,
+    /// `true` once the restart has been issued but not yet completed.
+    in_flight: bool,
+}
+
+/// Tracks failure episodes and produces restart decisions.
+///
+/// Protocol, per failure episode:
+///
+/// 1. [`Recoverer::on_failure`] — returns the cell to restart (or a give-up).
+/// 2. caller performs the restart, then calls
+///    [`Recoverer::on_restart_complete`].
+/// 3. if the failure re-manifests, another [`Recoverer::on_failure`]
+///    escalates; if it does not, the caller confirms with
+///    [`Recoverer::on_cured`], which also feeds the learning oracle.
+pub struct Recoverer<O> {
+    tree: RestartTree,
+    oracle: O,
+    policy: RestartPolicy,
+    episodes: HashMap<String, Episode>,
+    restarts_issued: u64,
+    give_ups: u64,
+}
+
+impl<O: fmt::Debug> fmt::Debug for Recoverer<O> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Recoverer")
+            .field("oracle", &self.oracle)
+            .field("open_episodes", &self.episodes.len())
+            .field("restarts_issued", &self.restarts_issued)
+            .field("give_ups", &self.give_ups)
+            .finish()
+    }
+}
+
+impl<O: Oracle> Recoverer<O> {
+    /// Creates a recoverer over `tree` with the given oracle and policy.
+    pub fn new(tree: RestartTree, oracle: O, policy: RestartPolicy) -> Recoverer<O> {
+        Recoverer {
+            tree,
+            oracle,
+            policy,
+            episodes: HashMap::new(),
+            restarts_issued: 0,
+            give_ups: 0,
+        }
+    }
+
+    /// The restart tree being operated.
+    pub fn tree(&self) -> &RestartTree {
+        &self.tree
+    }
+
+    /// The oracle (e.g. to inspect learned estimates).
+    pub fn oracle(&self) -> &O {
+        &self.oracle
+    }
+
+    /// Replaces the tree (e.g. after an offline transformation). Open
+    /// episodes are cleared, since their node ids referred to the old tree.
+    pub fn set_tree(&mut self, tree: RestartTree) {
+        self.tree = tree;
+        self.episodes.clear();
+    }
+
+    /// Replaces the restart policy. Existing restart history is discarded;
+    /// the new policy governs subsequent decisions.
+    pub fn set_policy(&mut self, policy: RestartPolicy) {
+        self.policy = policy;
+    }
+
+    /// Total restarts issued.
+    pub fn restarts_issued(&self) -> u64 {
+        self.restarts_issued
+    }
+
+    /// Total abandoned episodes.
+    pub fn give_ups(&self) -> u64 {
+        self.give_ups
+    }
+
+    /// Handles a failure report from the failure detector.
+    pub fn on_failure(&mut self, failure: Failure, now: SimTime) -> RecoveryDecision {
+        // If a restart already in flight covers this component, the failure
+        // report is expected (the component is down *because* it is being
+        // restarted) — do not start a second episode.
+        for ep in self.episodes.values() {
+            if ep.in_flight {
+                if let Some(node) = ep.last_node {
+                    if self
+                        .tree
+                        .components_under(node).contains(&failure.component)
+                    {
+                        return RecoveryDecision::AlreadyRecovering { node };
+                    }
+                }
+            }
+        }
+
+        let episode = self
+            .episodes
+            .entry(failure.component.clone())
+            .and_modify(|ep| {
+                // Re-detection after a completed restart: escalate.
+                ep.attempt += 1;
+                ep.failure = failure.clone();
+                ep.in_flight = false;
+            })
+            .or_insert(Episode {
+                failure: failure.clone(),
+                attempt: 0,
+                last_node: None,
+                in_flight: false,
+            });
+
+        let node = self
+            .oracle
+            .recommend(&self.tree, &failure, episode.attempt, episode.last_node);
+        let components = self.tree.components_under(node);
+
+        if let Err(reason) = self.policy.check(episode.attempt, &components, now) {
+            self.episodes.remove(&failure.component);
+            self.give_ups += 1;
+            return RecoveryDecision::GiveUp {
+                component: failure.component,
+                reason,
+            };
+        }
+
+        let episode = self
+            .episodes
+            .get_mut(&failure.component)
+            .expect("episode just inserted");
+        let attempt = episode.attempt;
+        episode.last_node = Some(node);
+        episode.in_flight = true;
+        self.policy.record_restart(&components, now);
+        self.restarts_issued += 1;
+        RecoveryDecision::Restart { node, components, attempt }
+    }
+
+    /// Reports that the restart issued for `component`'s episode has
+    /// completed (all components are booted again). The episode stays open
+    /// until [`Recoverer::on_cured`] or a re-detected failure.
+    pub fn on_restart_complete(&mut self, component: &str, _now: SimTime) {
+        if let Some(ep) = self.episodes.get_mut(component) {
+            ep.in_flight = false;
+        }
+    }
+
+    /// Confirms that `component`'s failure is cured; closes the episode and
+    /// feeds the oracle positive feedback for the last restarted cell.
+    pub fn on_cured(&mut self, component: &str, _now: SimTime) {
+        if let Some(ep) = self.episodes.remove(component) {
+            if let Some(node) = ep.last_node {
+                self.oracle
+                    .observe(&ep.failure, RestartOutcome { node, cured: true });
+            }
+        }
+    }
+
+    /// Records negative feedback for the previous attempt of an episode.
+    /// Called internally by `on_failure` escalation in spirit; exposed so
+    /// drivers that detect persistence out-of-band can teach the oracle.
+    pub fn on_not_cured(&mut self, component: &str) {
+        if let Some(ep) = self.episodes.get(component) {
+            if let Some(node) = ep.last_node {
+                self.oracle
+                    .observe(&ep.failure, RestartOutcome { node, cured: false });
+            }
+        }
+    }
+
+    /// `true` if the component currently has an open failure episode.
+    pub fn is_recovering(&self, component: &str) -> bool {
+        self.episodes.contains_key(component)
+    }
+
+    /// `true` if a restart for `component`'s episode has been issued but not
+    /// yet reported complete.
+    pub fn is_in_flight(&self, component: &str) -> bool {
+        self.episodes.get(component).is_some_and(|ep| ep.in_flight)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::{NaiveOracle, PerfectOracle};
+    use crate::tree::TreeSpec;
+    use rr_sim::SimDuration;
+
+    fn tree_iv() -> RestartTree {
+        TreeSpec::cell("mercury")
+            .with_child(TreeSpec::cell("R_mbus").with_component("mbus"))
+            .with_child(
+                TreeSpec::cell("R_[fedr,pbcom]")
+                    .with_child(TreeSpec::cell("R_fedr").with_component("fedr"))
+                    .with_child(TreeSpec::cell("R_pbcom").with_component("pbcom")),
+            )
+            .with_child(TreeSpec::cell("R_[ses,str]").with_components(["ses", "str"]))
+            .with_child(TreeSpec::cell("R_rtu").with_component("rtu"))
+            .build()
+            .unwrap()
+    }
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn solo_failure_restarts_own_cell() {
+        let mut rec = Recoverer::new(tree_iv(), PerfectOracle::new(), RestartPolicy::new());
+        let decision = rec.on_failure(Failure::solo("rtu"), t(10));
+        match decision {
+            RecoveryDecision::Restart { components, .. } => {
+                assert_eq!(components, vec!["rtu"]);
+            }
+            other => panic!("unexpected decision {other:?}"),
+        }
+        assert!(rec.is_recovering("rtu"));
+        rec.on_restart_complete("rtu", t(16));
+        rec.on_cured("rtu", t(17));
+        assert!(!rec.is_recovering("rtu"));
+        assert_eq!(rec.restarts_issued(), 1);
+    }
+
+    #[test]
+    fn consolidated_cell_restarts_both() {
+        let mut rec = Recoverer::new(tree_iv(), PerfectOracle::new(), RestartPolicy::new());
+        let decision = rec.on_failure(Failure::solo("ses"), t(0));
+        match decision {
+            RecoveryDecision::Restart { components, .. } => {
+                assert_eq!(components, vec!["ses", "str"]);
+            }
+            other => panic!("unexpected decision {other:?}"),
+        }
+    }
+
+    #[test]
+    fn in_flight_restart_subsumes_covered_failures() {
+        // While the [ses,str] cell restarts, str's "failure" (it is down
+        // because we killed it) must not open a second episode.
+        let mut rec = Recoverer::new(tree_iv(), PerfectOracle::new(), RestartPolicy::new());
+        let d1 = rec.on_failure(Failure::solo("ses"), t(0));
+        let node = match d1 {
+            RecoveryDecision::Restart { node, .. } => node,
+            other => panic!("unexpected {other:?}"),
+        };
+        let d2 = rec.on_failure(Failure::solo("str"), t(1));
+        assert_eq!(d2, RecoveryDecision::AlreadyRecovering { node });
+        assert_eq!(rec.restarts_issued(), 1);
+    }
+
+    #[test]
+    fn redetection_escalates_with_naive_oracle() {
+        let mut rec = Recoverer::new(tree_iv(), NaiveOracle::new(), RestartPolicy::new());
+        let joint = Failure::correlated("pbcom", ["fedr", "pbcom"]);
+        let d1 = rec.on_failure(joint.clone(), t(0));
+        let first = match d1 {
+            RecoveryDecision::Restart { node, components, .. } => {
+                assert_eq!(components, vec!["pbcom"]);
+                node
+            }
+            other => panic!("unexpected {other:?}"),
+        };
+        rec.on_restart_complete("pbcom", t(21));
+        rec.on_not_cured("pbcom");
+        // Failure persists → escalate to the joint cell.
+        let d2 = rec.on_failure(joint, t(23));
+        match d2 {
+            RecoveryDecision::Restart { node, components, .. } => {
+                assert_ne!(node, first);
+                assert_eq!(components, vec!["fedr", "pbcom"]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn escalation_limit_gives_up() {
+        let policy = RestartPolicy::new().with_escalation_limit(2);
+        let mut rec = Recoverer::new(tree_iv(), NaiveOracle::new(), policy);
+        let f = Failure::solo("mbus");
+        for i in 0..2 {
+            let d = rec.on_failure(f.clone(), t(i * 30));
+            assert!(matches!(d, RecoveryDecision::Restart { .. }), "attempt {i}: {d:?}");
+            rec.on_restart_complete("mbus", t(i * 30 + 10));
+        }
+        let d = rec.on_failure(f, t(100));
+        assert_eq!(
+            d,
+            RecoveryDecision::GiveUp {
+                component: "mbus".into(),
+                reason: GiveUpReason::EscalationExhausted
+            }
+        );
+        assert_eq!(rec.give_ups(), 1);
+        assert!(!rec.is_recovering("mbus"));
+    }
+
+    #[test]
+    fn restart_storm_gives_up() {
+        let policy = RestartPolicy::new().with_rate_limit(2, SimDuration::from_secs(1000));
+        let mut rec = Recoverer::new(tree_iv(), PerfectOracle::new(), policy);
+        for i in 0..2 {
+            let d = rec.on_failure(Failure::solo("rtu"), t(i * 50));
+            assert!(matches!(d, RecoveryDecision::Restart { .. }));
+            rec.on_restart_complete("rtu", t(i * 50 + 6));
+            rec.on_cured("rtu", t(i * 50 + 7));
+        }
+        let d = rec.on_failure(Failure::solo("rtu"), t(200));
+        assert_eq!(
+            d,
+            RecoveryDecision::GiveUp {
+                component: "rtu".into(),
+                reason: GiveUpReason::RestartStorm
+            }
+        );
+    }
+
+    #[test]
+    fn set_tree_clears_episodes() {
+        let mut rec = Recoverer::new(tree_iv(), PerfectOracle::new(), RestartPolicy::new());
+        rec.on_failure(Failure::solo("rtu"), t(0));
+        assert!(rec.is_recovering("rtu"));
+        rec.set_tree(tree_iv());
+        assert!(!rec.is_recovering("rtu"));
+    }
+
+    #[test]
+    fn learning_oracle_gets_feedback_through_recoverer() {
+        use crate::oracle::LearningOracle;
+        let mut rec = Recoverer::new(tree_iv(), LearningOracle::new(0.5), RestartPolicy::new());
+        let f = Failure::solo("fedr");
+        let own = rec.tree().cell_of_component("fedr").unwrap();
+        for i in 0..5 {
+            let d = rec.on_failure(f.clone(), t(i * 100));
+            assert!(matches!(d, RecoveryDecision::Restart { .. }));
+            rec.on_restart_complete("fedr", t(i * 100 + 6));
+            rec.on_cured("fedr", t(i * 100 + 7));
+        }
+        assert!(rec.oracle().estimate("fedr", own) > 0.7);
+    }
+}

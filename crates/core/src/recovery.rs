@@ -1,0 +1,277 @@
+//! Recursive recovery — the paper's §7 generalization of recursive
+//! restartability:
+//!
+//! > "For cases where some of the system's components are using hard state,
+//! > we are developing a general model of *recursively recoverable* systems.
+//! > With recursive recovery, we can accommodate a wider range of recovery
+//! > semantics, since each component is recovered using a custom procedure;
+//! > restart is just one example of a recovery procedure."
+//!
+//! A component declares a [`RecoveryLadder`]: an ordered list of
+//! [`RecoveryProcedure`]s from cheapest to most drastic (e.g. *reconnect* →
+//! *restore checkpoint* → *restart*). Each procedure has a cost and a cure
+//! probability; recovery tries them in order, exactly the way the oracle
+//! climbs the restart tree. The expected-cost algebra here composes with the
+//! restart-tree analysis: a ladder whose last rung is `Restart` degrades to
+//! plain recursive restartability.
+
+use serde::{Deserialize, Serialize};
+
+/// The kind of recovery action a procedure performs.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProcedureKind {
+    /// Re-establish connections / re-handshake without touching state.
+    Reconnect,
+    /// Roll soft state back to a recent checkpoint.
+    RestoreCheckpoint,
+    /// Full process restart (the classic RR action): state returns to the
+    /// start state; cure probability is 1 for restart-curable failures
+    /// (`A_cure`).
+    Restart,
+    /// A domain-specific procedure (e.g. "re-run database log recovery").
+    Custom(String),
+}
+
+impl std::fmt::Display for ProcedureKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProcedureKind::Reconnect => f.write_str("reconnect"),
+            ProcedureKind::RestoreCheckpoint => f.write_str("restore-checkpoint"),
+            ProcedureKind::Restart => f.write_str("restart"),
+            ProcedureKind::Custom(name) => write!(f, "custom({name})"),
+        }
+    }
+}
+
+/// One rung of a recovery ladder.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryProcedure {
+    /// What this procedure does.
+    pub kind: ProcedureKind,
+    /// Expected seconds to execute the procedure.
+    pub cost_s: f64,
+    /// Probability it cures a failure of the component, in `[0, 1]`.
+    pub cure_probability: f64,
+}
+
+impl RecoveryProcedure {
+    /// Creates a procedure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cost_s` is negative/non-finite or `cure_probability` is
+    /// outside `[0, 1]`.
+    pub fn new(kind: ProcedureKind, cost_s: f64, cure_probability: f64) -> RecoveryProcedure {
+        assert!(cost_s.is_finite() && cost_s >= 0.0, "invalid cost {cost_s}");
+        assert!(
+            (0.0..=1.0).contains(&cure_probability),
+            "invalid cure probability {cure_probability}"
+        );
+        RecoveryProcedure {
+            kind,
+            cost_s,
+            cure_probability,
+        }
+    }
+
+    /// The canonical restart rung: cures every restart-curable failure
+    /// (`A_cure`) at the given cost.
+    pub fn restart(cost_s: f64) -> RecoveryProcedure {
+        RecoveryProcedure::new(ProcedureKind::Restart, cost_s, 1.0)
+    }
+}
+
+/// An ordered recovery ladder: procedures are attempted cheapest-first, each
+/// failed attempt costing its full price plus `redetect_s` before the next
+/// rung is tried.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryLadder {
+    rungs: Vec<RecoveryProcedure>,
+}
+
+impl RecoveryLadder {
+    /// Creates a ladder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rungs` is empty or the final rung does not have cure
+    /// probability 1 (recovery must terminate; in a restart-curable system
+    /// the last rung is a restart).
+    pub fn new(rungs: Vec<RecoveryProcedure>) -> RecoveryLadder {
+        assert!(!rungs.is_empty(), "empty recovery ladder");
+        let last = rungs.last().expect("non-empty");
+        assert!(
+            (last.cure_probability - 1.0).abs() < 1e-12,
+            "the final rung must be a guaranteed cure (A_cure); got {}",
+            last.cure_probability
+        );
+        RecoveryLadder { rungs }
+    }
+
+    /// The classic RR ladder: restart only.
+    pub fn restart_only(cost_s: f64) -> RecoveryLadder {
+        RecoveryLadder::new(vec![RecoveryProcedure::restart(cost_s)])
+    }
+
+    /// The rungs, cheapest first.
+    pub fn rungs(&self) -> &[RecoveryProcedure] {
+        &self.rungs
+    }
+
+    /// Expected seconds to recover, given that failed rungs cost their full
+    /// price plus `redetect_s` to notice the failure persists:
+    ///
+    /// `E = Σ_i P(reach rung i) · cost_i + P(rung i fails) · redetect`
+    ///
+    /// # Panics
+    ///
+    /// Panics if `redetect_s` is negative or non-finite.
+    pub fn expected_cost_s(&self, redetect_s: f64) -> f64 {
+        assert!(redetect_s.is_finite() && redetect_s >= 0.0);
+        let mut reach_p = 1.0;
+        let mut total = 0.0;
+        for rung in &self.rungs {
+            total += reach_p * rung.cost_s;
+            let fail_p = reach_p * (1.0 - rung.cure_probability);
+            total += fail_p * redetect_s;
+            reach_p = fail_p;
+        }
+        total
+    }
+
+    /// Expected cost if the ladder skipped straight to its final rung —
+    /// the plain-restart baseline the cheaper rungs are trying to beat.
+    pub fn final_rung_cost_s(&self) -> f64 {
+        self.rungs.last().expect("non-empty").cost_s
+    }
+
+    /// `true` if attempting the cheap rungs first is worthwhile in
+    /// expectation, i.e. the ladder beats jumping straight to the last rung.
+    pub fn ladder_pays_off(&self, redetect_s: f64) -> bool {
+        self.expected_cost_s(redetect_s) < self.final_rung_cost_s()
+    }
+
+    /// The prefix of rungs worth keeping: drops any leading rung whose
+    /// removal lowers the expected cost. Returns a new, optimal ladder
+    /// (the final rung is always kept).
+    pub fn optimized(&self, redetect_s: f64) -> RecoveryLadder {
+        // With independence, each rung can be evaluated for inclusion
+        // separately: rung i is worth attempting iff
+        //   cost_i + (1 - p_i) * redetect < p_i * E_rest
+        // where E_rest is the expected cost of everything after it. Compute
+        // from the back.
+        let mut kept: Vec<RecoveryProcedure> = vec![self.rungs.last().expect("non-empty").clone()];
+        let mut e_rest = kept[0].cost_s;
+        for rung in self.rungs.iter().rev().skip(1) {
+            let attempt_cost = rung.cost_s + (1.0 - rung.cure_probability) * redetect_s;
+            let saved = rung.cure_probability * e_rest;
+            if attempt_cost < saved {
+                kept.push(rung.clone());
+                e_rest = attempt_cost + (1.0 - rung.cure_probability) * e_rest;
+            }
+        }
+        kept.reverse();
+        RecoveryLadder { rungs: kept }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mercury_pbcom_ladder() -> RecoveryLadder {
+        // A hypothetical recursively-recoverable pbcom: reconnecting the
+        // serial session cures 60% of failures in 2s; restoring the
+        // negotiated-parameters checkpoint cures 90% of the rest in 5s;
+        // a full restart (20.2s) is the backstop.
+        RecoveryLadder::new(vec![
+            RecoveryProcedure::new(ProcedureKind::Reconnect, 2.0, 0.6),
+            RecoveryProcedure::new(ProcedureKind::RestoreCheckpoint, 5.0, 0.9),
+            RecoveryProcedure::restart(20.2),
+        ])
+    }
+
+    #[test]
+    fn restart_only_ladder_costs_the_restart() {
+        let l = RecoveryLadder::restart_only(20.2);
+        assert_eq!(l.expected_cost_s(2.0), 20.2);
+        assert!(!l.ladder_pays_off(2.0));
+    }
+
+    #[test]
+    fn cheap_rungs_cut_expected_recovery() {
+        let l = mercury_pbcom_ladder();
+        let e = l.expected_cost_s(2.0);
+        // By hand: 2 + 0.4*2 + 0.4*5 + 0.4*0.1*2 + 0.04*20.2 = 5.688
+        assert!((e - 5.688).abs() < 1e-9, "expected cost {e}");
+        assert!(l.ladder_pays_off(2.0));
+        assert!(e < l.final_rung_cost_s() / 3.0);
+    }
+
+    #[test]
+    fn expected_cost_is_monotone_in_redetect() {
+        let l = mercury_pbcom_ladder();
+        assert!(l.expected_cost_s(0.0) < l.expected_cost_s(5.0));
+    }
+
+    #[test]
+    fn optimized_drops_useless_rungs() {
+        // A nearly-useless first rung (cures 1%, costs almost as much as a
+        // restart) should be dropped.
+        let l = RecoveryLadder::new(vec![
+            RecoveryProcedure::new(ProcedureKind::Reconnect, 18.0, 0.01),
+            RecoveryProcedure::restart(20.0),
+        ]);
+        let opt = l.optimized(2.0);
+        assert_eq!(opt.rungs().len(), 1);
+        assert_eq!(opt.rungs()[0].kind, ProcedureKind::Restart);
+        assert!(opt.expected_cost_s(2.0) < l.expected_cost_s(2.0));
+    }
+
+    #[test]
+    fn optimized_keeps_worthwhile_rungs() {
+        let l = mercury_pbcom_ladder();
+        let opt = l.optimized(2.0);
+        assert_eq!(opt.rungs().len(), 3, "all rungs pay off here");
+        assert_eq!(opt, l);
+    }
+
+    #[test]
+    fn optimized_never_worse() {
+        // Sweep a grid of two-rung ladders; the optimized ladder's cost is
+        // always ≤ the original's and ≤ the restart-only cost.
+        for cost in [0.5, 2.0, 10.0, 19.0] {
+            for p in [0.05, 0.3, 0.6, 0.95] {
+                let l = RecoveryLadder::new(vec![
+                    RecoveryProcedure::new(ProcedureKind::Reconnect, cost, p),
+                    RecoveryProcedure::restart(20.0),
+                ]);
+                let opt = l.optimized(2.0);
+                assert!(opt.expected_cost_s(2.0) <= l.expected_cost_s(2.0) + 1e-12);
+                assert!(opt.expected_cost_s(2.0) <= 20.0 + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn display_kinds() {
+        assert_eq!(ProcedureKind::Reconnect.to_string(), "reconnect");
+        assert_eq!(ProcedureKind::Custom("vacuum".into()).to_string(), "custom(vacuum)");
+    }
+
+    #[test]
+    #[should_panic(expected = "final rung")]
+    fn ladder_requires_guaranteed_final_rung() {
+        RecoveryLadder::new(vec![RecoveryProcedure::new(
+            ProcedureKind::Reconnect,
+            1.0,
+            0.5,
+        )]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn ladder_rejects_empty() {
+        RecoveryLadder::new(vec![]);
+    }
+}

@@ -1,0 +1,684 @@
+//! The restart-tree transformations of §4: depth augmentation, component
+//! splitting (subtree depth augmentation), group consolidation, and node
+//! promotion — plus `flatten`, their common inverse, used by the automatic
+//! tree optimizer.
+//!
+//! Each transformation is exactly the operation the paper applies to Mercury:
+//!
+//! | Paper step | Function |
+//! |---|---|
+//! | tree I → II (simple depth augmentation, §4.1) | [`depth_augment`] |
+//! | tree II → II′ (splitting `fedrcom`, §4.2) | [`split_component`] |
+//! | tree II′ → III (augmenting the tight subtree, §4.2) | [`depth_augment`] on the new cell |
+//! | tree III → IV (consolidating `ses`/`str`, §4.3) | [`consolidate`] |
+//! | tree IV → V (promoting `pbcom`, §4.4) | [`promote_component`] |
+
+use crate::error::TreeError;
+use crate::tree::{NodeId, RestartTree};
+
+/// Simple depth augmentation (§4.1): partitions the components attached
+/// directly to `cell` into new child cells, so subsets can be restarted
+/// without pushing the whole cell's button.
+///
+/// `partition` lists the new child groups; every component currently attached
+/// to `cell` must appear in exactly one group. Returns the new child cells in
+/// partition order. Each new cell is labelled `R_<comp>` for singleton groups
+/// and `R_[a,b,…]` otherwise.
+///
+/// # Errors
+///
+/// Returns [`TreeError::InvalidTransform`] if the partition is empty, has
+/// empty groups, mentions components not attached to `cell`, repeats a
+/// component, or fails to cover all of `cell`'s components.
+///
+/// # Examples
+///
+/// ```
+/// use rr_core::tree::RestartTree;
+/// use rr_core::transform::depth_augment;
+///
+/// // Tree I: one restart group holding the whole station.
+/// let mut tree = RestartTree::new("mercury");
+/// for c in ["mbus", "fedrcom", "ses", "str", "rtu"] {
+///     tree.attach_component(tree.root(), c)?;
+/// }
+/// // Tree II: every component independently restartable.
+/// let parts: Vec<Vec<String>> = ["mbus", "fedrcom", "ses", "str", "rtu"]
+///     .iter().map(|c| vec![c.to_string()]).collect();
+/// let root = tree.root();
+/// depth_augment(&mut tree, root, &parts)?;
+/// assert_eq!(tree.cell_count(), 6);
+/// # Ok::<(), rr_core::TreeError>(())
+/// ```
+pub fn depth_augment(
+    tree: &mut RestartTree,
+    cell: NodeId,
+    partition: &[Vec<String>],
+) -> Result<Vec<NodeId>, TreeError> {
+    if !tree.contains(cell) {
+        return Err(TreeError::UnknownNode(cell));
+    }
+    if partition.is_empty() {
+        return Err(TreeError::invalid("depth augmentation", "empty partition"));
+    }
+    let mut attached: Vec<String> = tree.components_at(cell).to_vec();
+    attached.sort();
+    let mut mentioned: Vec<String> = partition.iter().flatten().cloned().collect();
+    mentioned.sort();
+    for group in partition {
+        if group.is_empty() {
+            return Err(TreeError::invalid("depth augmentation", "empty group in partition"));
+        }
+    }
+    for w in mentioned.windows(2) {
+        if w[0] == w[1] {
+            return Err(TreeError::invalid(
+                "depth augmentation",
+                format!("component {:?} appears in two groups", w[0]),
+            ));
+        }
+    }
+    if mentioned != attached {
+        return Err(TreeError::invalid(
+            "depth augmentation",
+            format!(
+                "partition {mentioned:?} does not exactly cover the cell's components {attached:?}"
+            ),
+        ));
+    }
+    let mut new_cells = Vec::with_capacity(partition.len());
+    for group in partition {
+        let label = group_label(group);
+        let child = tree.add_cell(cell, label)?;
+        for comp in group {
+            tree.move_component(comp, child)?;
+        }
+        new_cells.push(child);
+    }
+    Ok(new_cells)
+}
+
+/// Splitting a component along its MTTR/MTTF fault lines (§4.2): replaces
+/// `old` with the components `parts`, attached to the same cell.
+///
+/// This models re-architecting `fedrcom` into `fedr` (low MTTR, low MTTF) and
+/// `pbcom` (high MTTR, high MTTF) — tree II′. Follow with [`depth_augment`] on
+/// the cell to make the parts independently restartable (tree III).
+///
+/// # Errors
+///
+/// Returns [`TreeError::UnknownComponent`] if `old` is not attached,
+/// [`TreeError::DuplicateComponent`] if any part already exists, or
+/// [`TreeError::InvalidTransform`] if `parts` is empty.
+pub fn split_component(
+    tree: &mut RestartTree,
+    old: &str,
+    parts: &[impl AsRef<str>],
+) -> Result<NodeId, TreeError> {
+    if parts.is_empty() {
+        return Err(TreeError::invalid("component split", "no replacement parts"));
+    }
+    let cell = tree
+        .cell_of_component(old)
+        .ok_or_else(|| TreeError::UnknownComponent(old.to_string()))?;
+    for p in parts {
+        if tree.cell_of_component(p.as_ref()).is_some() {
+            return Err(TreeError::DuplicateComponent(p.as_ref().to_string()));
+        }
+    }
+    tree.detach_component(old)?;
+    for p in parts {
+        tree.attach_component(cell, p.as_ref())?;
+    }
+    Ok(cell)
+}
+
+/// Group consolidation (§4.3): merges sibling cells into one, used when
+/// components "substantially always" fail together (`f_A + f_B ≪ f_{A,B}`) —
+/// the ses/str case. The merged cell inherits every component and child of
+/// the originals; the first cell survives (relabelled), the rest are removed.
+///
+/// Returns the surviving cell.
+///
+/// # Errors
+///
+/// Returns [`TreeError::InvalidTransform`] unless at least two distinct live
+/// sibling cells are given.
+pub fn consolidate(tree: &mut RestartTree, cells: &[NodeId]) -> Result<NodeId, TreeError> {
+    let mut unique: Vec<NodeId> = Vec::new();
+    for &c in cells {
+        if !tree.contains(c) {
+            return Err(TreeError::UnknownNode(c));
+        }
+        if !unique.contains(&c) {
+            unique.push(c);
+        }
+    }
+    if unique.len() < 2 {
+        return Err(TreeError::invalid(
+            "group consolidation",
+            "need at least two distinct cells",
+        ));
+    }
+    let parent = tree.parent(unique[0]);
+    for &c in &unique[1..] {
+        if tree.parent(c) != parent {
+            return Err(TreeError::invalid(
+                "group consolidation",
+                "cells are not siblings",
+            ));
+        }
+    }
+    let survivor = unique[0];
+    for &victim in &unique[1..] {
+        // Move children first, then components, then delete the husk.
+        let children: Vec<NodeId> = tree.children(victim).to_vec();
+        for child in children {
+            tree.reparent(child, survivor)?;
+        }
+        let comps: Vec<String> = tree.components_at(victim).to_vec();
+        for comp in comps {
+            tree.move_component(&comp, survivor)?;
+        }
+        tree.remove_empty_cell(victim)?;
+    }
+    let mut all = tree.components_at(survivor).to_vec();
+    all.sort();
+    tree.set_label(survivor, group_label(&all))?;
+    Ok(survivor)
+}
+
+/// Node promotion (§4.4): moves a high-MTTR component up from its own cell to
+/// the parent cell, so that every failure attributed to it forces a joint
+/// restart — removing the oracle's opportunity to guess too low.
+///
+/// If the component's old cell becomes empty it is deleted. Returns the cell
+/// the component now lives on.
+///
+/// # Errors
+///
+/// Returns [`TreeError::UnknownComponent`] if `name` is not attached, or
+/// [`TreeError::InvalidTransform`] if the component is already attached to
+/// the root (there is no parent to promote into).
+pub fn promote_component(tree: &mut RestartTree, name: &str) -> Result<NodeId, TreeError> {
+    let cell = tree
+        .cell_of_component(name)
+        .ok_or_else(|| TreeError::UnknownComponent(name.to_string()))?;
+    let Some(parent) = tree.parent(cell) else {
+        return Err(TreeError::invalid(
+            "node promotion",
+            format!("component {name:?} is already attached to the root"),
+        ));
+    };
+    tree.move_component(name, parent)?;
+    if tree.components_at(cell).is_empty() && tree.is_leaf(cell) {
+        tree.remove_empty_cell(cell)?;
+    }
+    Ok(parent)
+}
+
+/// One-sided group consolidation (§4.4): "Node promotion can be viewed as a
+/// special case of one-sided group consolidation, induced by asymmetrically
+/// correlated failure behavior." Creates a joint cell over the two siblings,
+/// then absorbs `absorb` into it (its components attach to the joint cell,
+/// its children re-parent there), while `keep` remains an independently
+/// restartable child.
+///
+/// Applied to tree III's `R_fedr`/`R_pbcom` pair with `keep = R_fedr`, this
+/// produces tree V's shape in a single step.
+///
+/// Returns the joint cell.
+///
+/// # Errors
+///
+/// Returns [`TreeError::InvalidTransform`] unless `keep` and `absorb` are
+/// distinct live sibling non-root cells.
+pub fn consolidate_one_sided(
+    tree: &mut RestartTree,
+    keep: NodeId,
+    absorb: NodeId,
+) -> Result<NodeId, TreeError> {
+    if keep == absorb {
+        return Err(TreeError::invalid(
+            "one-sided consolidation",
+            "cells must be distinct",
+        ));
+    }
+    let joint = group_cells(tree, &[keep, absorb])?;
+    // Absorb: hoist the absorbed cell's children and components into the joint.
+    let grandchildren: Vec<NodeId> = tree.children(absorb).to_vec();
+    for gc in grandchildren {
+        tree.reparent(gc, joint)?;
+    }
+    let comps: Vec<String> = tree.components_at(absorb).to_vec();
+    for comp in comps {
+        tree.move_component(&comp, joint)?;
+    }
+    tree.remove_empty_cell(absorb)?;
+    Ok(joint)
+}
+
+/// Inserts a new intermediate cell above a set of sibling cells — the
+/// structural step of subtree depth augmentation when the components are
+/// already independently restartable: it creates a joint restart button for
+/// correlated failures (`f_{A,B} > 0`, §4.2) without giving up the individual
+/// buttons.
+///
+/// Returns the new intermediate cell.
+///
+/// # Errors
+///
+/// Returns [`TreeError::InvalidTransform`] unless at least two distinct live
+/// sibling non-root cells are given.
+pub fn group_cells(tree: &mut RestartTree, cells: &[NodeId]) -> Result<NodeId, TreeError> {
+    let mut unique: Vec<NodeId> = Vec::new();
+    for &c in cells {
+        if !tree.contains(c) {
+            return Err(TreeError::UnknownNode(c));
+        }
+        if !unique.contains(&c) {
+            unique.push(c);
+        }
+    }
+    if unique.len() < 2 {
+        return Err(TreeError::invalid("grouping", "need at least two distinct cells"));
+    }
+    let Some(parent) = tree.parent(unique[0]) else {
+        return Err(TreeError::CannotModifyRoot);
+    };
+    for &c in &unique[1..] {
+        if tree.parent(c) != Some(parent) {
+            return Err(TreeError::invalid("grouping", "cells are not siblings"));
+        }
+    }
+    let mut covered: Vec<String> = unique
+        .iter()
+        .flat_map(|&c| tree.components_under(c))
+        .collect();
+    covered.sort();
+    let joint = tree.add_cell(parent, group_label(&covered))?;
+    for &c in &unique {
+        tree.reparent(c, joint)?;
+    }
+    Ok(joint)
+}
+
+/// The inverse of node promotion: moves a component off its cell into a new
+/// dedicated child cell, so it can be restarted without disturbing the rest
+/// of the cell's subtree.
+///
+/// Returns the new child cell.
+///
+/// # Errors
+///
+/// Returns [`TreeError::UnknownComponent`] if `name` is not attached.
+pub fn demote_component(tree: &mut RestartTree, name: &str) -> Result<NodeId, TreeError> {
+    let cell = tree
+        .cell_of_component(name)
+        .ok_or_else(|| TreeError::UnknownComponent(name.to_string()))?;
+    let child = tree.add_cell(cell, group_label(&[name.to_string()]))?;
+    tree.move_component(name, child)?;
+    Ok(child)
+}
+
+/// The inverse of augmentation: collapses the entire subtree under `cell`,
+/// re-attaching every descendant component directly to `cell`. Used by the
+/// automatic tree optimizer to explore the neighbourhood of a tree.
+///
+/// # Errors
+///
+/// Returns [`TreeError::UnknownNode`] if `cell` is not live.
+pub fn flatten(tree: &mut RestartTree, cell: NodeId) -> Result<(), TreeError> {
+    if !tree.contains(cell) {
+        return Err(TreeError::UnknownNode(cell));
+    }
+    // Repeatedly promote: move each direct child's contents up, delete it.
+    while let Some(&child) = tree.children(cell).first() {
+        let grandchildren: Vec<NodeId> = tree.children(child).to_vec();
+        for gc in grandchildren {
+            tree.reparent(gc, cell)?;
+        }
+        let comps: Vec<String> = tree.components_at(child).to_vec();
+        for comp in comps {
+            tree.move_component(&comp, cell)?;
+        }
+        tree.remove_empty_cell(child)?;
+    }
+    Ok(())
+}
+
+/// Canonical label for a group of components: `R_x` or `R_[a,b]`.
+pub fn group_label(components: &[String]) -> String {
+    match components {
+        [single] => format!("R_{single}"),
+        many => format!("R_[{}]", many.join(",")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::TreeSpec;
+
+    fn singletons(names: &[&str]) -> Vec<Vec<String>> {
+        names.iter().map(|n| vec![n.to_string()]).collect()
+    }
+
+    /// Mercury tree I: a single restart group.
+    fn tree_i() -> RestartTree {
+        TreeSpec::cell("mercury")
+            .with_components(["mbus", "fedrcom", "ses", "str", "rtu"])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn paper_evolution_i_through_v() {
+        // Tree I → II: simple depth augmentation.
+        let mut tree = tree_i();
+        let root = tree.root();
+        depth_augment(
+            &mut tree,
+            root,
+            &singletons(&["mbus", "fedrcom", "ses", "str", "rtu"]),
+        )
+        .unwrap();
+        tree.validate().unwrap();
+        assert_eq!(tree.cell_count(), 6);
+        assert!(tree.cells().iter().all(|&c| c == tree.root() || tree.is_leaf(c)));
+
+        // Tree II → II′: split fedrcom.
+        let cell = split_component(&mut tree, "fedrcom", &["fedr", "pbcom"]).unwrap();
+        tree.validate().unwrap();
+        assert_eq!(tree.components_at(cell), ["fedr", "pbcom"]);
+
+        // Tree II′ → III: augment the tight subtree.
+        depth_augment(&mut tree, cell, &singletons(&["fedr", "pbcom"])).unwrap();
+        tree.validate().unwrap();
+        assert_eq!(tree.cell_count(), 8);
+        assert_eq!(tree.restart_path("fedr").unwrap().len(), 3);
+
+        // Tree III → IV: consolidate ses and str.
+        let ses = tree.cell_of_component("ses").unwrap();
+        let strr = tree.cell_of_component("str").unwrap();
+        let joint = consolidate(&mut tree, &[ses, strr]).unwrap();
+        tree.validate().unwrap();
+        assert_eq!(tree.components_under(joint), vec!["ses", "str"]);
+        assert_eq!(tree.cell_count(), 7);
+
+        // Tree IV → V: promote pbcom.
+        let new_home = promote_component(&mut tree, "pbcom").unwrap();
+        tree.validate().unwrap();
+        assert_eq!(tree.cell_count(), 6);
+        // pbcom now lives on the joint cell whose child holds fedr:
+        assert_eq!(tree.components_at(new_home), ["pbcom"]);
+        assert_eq!(tree.components_under(new_home), vec!["fedr", "pbcom"]);
+        // A pbcom failure's minimal restart is now the joint cell — the
+        // guess-too-low mistake is structurally impossible.
+        assert_eq!(tree.restart_path("pbcom").unwrap().len(), 2);
+        assert_eq!(tree.restart_path("fedr").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn depth_augment_validates_partition() {
+        let mut tree = tree_i();
+        let root = tree.root();
+        // Not covering:
+        assert!(depth_augment(&mut tree, root, &singletons(&["mbus"])).is_err());
+        // Unknown component:
+        assert!(depth_augment(
+            &mut tree,
+            root,
+            &singletons(&["mbus", "fedrcom", "ses", "str", "ghost"])
+        )
+        .is_err());
+        // Duplicate:
+        let mut p = singletons(&["mbus", "fedrcom", "ses", "str", "rtu"]);
+        p.push(vec!["mbus".to_string()]);
+        assert!(depth_augment(&mut tree, root, &p).is_err());
+        // Empty group / empty partition:
+        assert!(depth_augment(&mut tree, root, &[]).is_err());
+        let mut p = singletons(&["mbus", "fedrcom", "ses", "str", "rtu"]);
+        p.push(vec![]);
+        assert!(depth_augment(&mut tree, root, &p).is_err());
+        // The failed attempts must not have corrupted the tree.
+        tree.validate().unwrap();
+        assert_eq!(tree.cell_count(), 1);
+    }
+
+    #[test]
+    fn depth_augment_supports_non_trivial_groups() {
+        let mut tree = tree_i();
+        let root = tree.root();
+        let cells = depth_augment(
+            &mut tree,
+            root,
+            &[
+                vec!["mbus".to_string()],
+                vec!["ses".to_string(), "str".to_string()],
+                vec!["fedrcom".to_string(), "rtu".to_string()],
+            ],
+        )
+        .unwrap();
+        assert_eq!(cells.len(), 3);
+        assert_eq!(tree.label(cells[1]), "R_[ses,str]");
+        assert_eq!(tree.components_under(cells[1]), vec!["ses", "str"]);
+    }
+
+    #[test]
+    fn split_component_errors() {
+        let mut tree = tree_i();
+        assert!(matches!(
+            split_component(&mut tree, "nope", &["a"]),
+            Err(TreeError::UnknownComponent(_))
+        ));
+        assert!(matches!(
+            split_component(&mut tree, "fedrcom", &["mbus"]),
+            Err(TreeError::DuplicateComponent(_))
+        ));
+        let empty: &[&str] = &[];
+        assert!(split_component(&mut tree, "fedrcom", empty).is_err());
+        tree.validate().unwrap();
+    }
+
+    #[test]
+    fn consolidate_requires_siblings() {
+        let mut tree = tree_i();
+        let root = tree.root();
+        depth_augment(
+            &mut tree,
+            root,
+            &singletons(&["mbus", "fedrcom", "ses", "str", "rtu"]),
+        )
+        .unwrap();
+        let fedrcom = tree.cell_of_component("fedrcom").unwrap();
+        split_component(&mut tree, "fedrcom", &["fedr", "pbcom"]).unwrap();
+        depth_augment(&mut tree, fedrcom, &singletons(&["fedr", "pbcom"])).unwrap();
+        let fedr = tree.cell_of_component("fedr").unwrap();
+        let mbus = tree.cell_of_component("mbus").unwrap();
+        // fedr's cell is two levels down; mbus is one level down — not siblings.
+        assert!(consolidate(&mut tree, &[fedr, mbus]).is_err());
+        // Single / duplicate cells rejected.
+        assert!(consolidate(&mut tree, &[mbus]).is_err());
+        assert!(consolidate(&mut tree, &[mbus, mbus]).is_err());
+        tree.validate().unwrap();
+    }
+
+    #[test]
+    fn consolidate_merges_children_too() {
+        // Consolidating two internal cells must keep their subtrees.
+        let mut tree = TreeSpec::cell("root")
+            .with_child(
+                TreeSpec::cell("L")
+                    .with_child(TreeSpec::cell("La").with_component("a")),
+            )
+            .with_child(
+                TreeSpec::cell("R")
+                    .with_component("r")
+                    .with_child(TreeSpec::cell("Rb").with_component("b")),
+            )
+            .build()
+            .unwrap();
+        let l = tree.lowest_cover(&["a"]).unwrap();
+        let l = tree.parent(l).unwrap();
+        let r = tree.cell_of_component("r").unwrap();
+        let joint = consolidate(&mut tree, &[l, r]).unwrap();
+        tree.validate().unwrap();
+        assert_eq!(tree.components_under(joint), vec!["a", "b", "r"]);
+        assert_eq!(tree.children(joint).len(), 2);
+    }
+
+    #[test]
+    fn promote_from_root_cell_fails() {
+        let mut tree = tree_i();
+        assert!(promote_component(&mut tree, "mbus").is_err());
+        assert!(matches!(
+            promote_component(&mut tree, "ghost"),
+            Err(TreeError::UnknownComponent(_))
+        ));
+    }
+
+    #[test]
+    fn promote_keeps_cell_with_children() {
+        // Promoting a component off a cell that still has children must keep
+        // the cell.
+        let mut tree = TreeSpec::cell("root")
+            .with_child(
+                TreeSpec::cell("mid")
+                    .with_component("x")
+                    .with_child(TreeSpec::cell("leaf").with_component("y")),
+            )
+            .build()
+            .unwrap();
+        let root = tree.root();
+        let home = promote_component(&mut tree, "x").unwrap();
+        assert_eq!(home, root);
+        tree.validate().unwrap();
+        assert_eq!(tree.cell_count(), 3);
+        assert_eq!(tree.components_under(root), vec!["x", "y"]);
+    }
+
+    #[test]
+    fn flatten_inverts_augmentation() {
+        let mut tree = tree_i();
+        let original = tree.to_spec();
+        let root = tree.root();
+        depth_augment(
+            &mut tree,
+            root,
+            &singletons(&["mbus", "fedrcom", "ses", "str", "rtu"]),
+        )
+        .unwrap();
+        assert_ne!(tree.to_spec(), original);
+        let root = tree.root();
+        flatten(&mut tree, root).unwrap();
+        tree.validate().unwrap();
+        assert_eq!(tree.cell_count(), 1);
+        let mut comps = tree.components_at(tree.root()).to_vec();
+        comps.sort();
+        assert_eq!(comps, ["fedrcom", "mbus", "rtu", "ses", "str"]);
+    }
+
+    #[test]
+    fn flatten_handles_deep_trees() {
+        let mut tree = TreeSpec::cell("root")
+            .with_child(
+                TreeSpec::cell("a").with_component("x").with_child(
+                    TreeSpec::cell("b")
+                        .with_component("y")
+                        .with_child(TreeSpec::cell("c").with_component("z")),
+                ),
+            )
+            .build()
+            .unwrap();
+        let root = tree.root();
+        flatten(&mut tree, root).unwrap();
+        assert_eq!(tree.cell_count(), 1);
+        assert_eq!(tree.components(), vec!["x", "y", "z"]);
+    }
+
+    #[test]
+    fn group_cells_inserts_intermediate() {
+        // Tree II over {fedr, pbcom, mbus} → grouping fedr+pbcom gives the
+        // tree III shape without a component split.
+        let mut tree = TreeSpec::cell("root")
+            .with_child(TreeSpec::cell("R_mbus").with_component("mbus"))
+            .with_child(TreeSpec::cell("R_fedr").with_component("fedr"))
+            .with_child(TreeSpec::cell("R_pbcom").with_component("pbcom"))
+            .build()
+            .unwrap();
+        let fedr = tree.cell_of_component("fedr").unwrap();
+        let pbcom = tree.cell_of_component("pbcom").unwrap();
+        let joint = group_cells(&mut tree, &[fedr, pbcom]).unwrap();
+        tree.validate().unwrap();
+        assert_eq!(tree.label(joint), "R_[fedr,pbcom]");
+        assert_eq!(tree.components_under(joint), vec!["fedr", "pbcom"]);
+        assert_eq!(tree.parent(fedr), Some(joint));
+        assert_eq!(tree.children(tree.root()).len(), 2);
+        // Individual buttons survive:
+        assert_eq!(tree.restart_path("fedr").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn group_cells_rejects_root_and_non_siblings() {
+        let mut tree = tree_i();
+        let root = tree.root();
+        assert!(group_cells(&mut tree, &[root, root]).is_err());
+        depth_augment(
+            &mut tree,
+            root,
+            &singletons(&["mbus", "fedrcom", "ses", "str", "rtu"]),
+        )
+        .unwrap();
+        let ses = tree.cell_of_component("ses").unwrap();
+        assert!(group_cells(&mut tree, &[ses]).is_err());
+        assert!(group_cells(&mut tree, &[ses, root]).is_err());
+        tree.validate().unwrap();
+    }
+
+    #[test]
+    fn demote_then_promote_round_trips() {
+        let mut tree = tree_i();
+        let before = tree.to_spec();
+        let cell = demote_component(&mut tree, "ses").unwrap();
+        tree.validate().unwrap();
+        assert_eq!(tree.components_at(cell), ["ses"]);
+        assert_eq!(tree.restart_path("ses").unwrap().len(), 2);
+        promote_component(&mut tree, "ses").unwrap();
+        tree.validate().unwrap();
+        // Promotion deletes the emptied cell, restoring the original shape
+        // (modulo component order on the root, which to_spec preserves).
+        assert_eq!(tree.cell_count(), 1);
+        let mut got = tree.to_spec().components;
+        let mut want = before.components;
+        got.sort();
+        want.sort();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn group_then_promote_builds_tree_v_shape() {
+        let mut tree = TreeSpec::cell("root")
+            .with_child(TreeSpec::cell("R_fedr").with_component("fedr"))
+            .with_child(TreeSpec::cell("R_pbcom").with_component("pbcom"))
+            .build()
+            .unwrap();
+        let fedr = tree.cell_of_component("fedr").unwrap();
+        let pbcom = tree.cell_of_component("pbcom").unwrap();
+        let joint = group_cells(&mut tree, &[fedr, pbcom]).unwrap();
+        promote_component(&mut tree, "pbcom").unwrap();
+        tree.validate().unwrap();
+        assert_eq!(tree.components_at(joint), ["pbcom"]);
+        assert_eq!(tree.components_under(joint), vec!["fedr", "pbcom"]);
+        assert_eq!(tree.restart_path("pbcom").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn group_label_forms() {
+        assert_eq!(group_label(&["a".to_string()]), "R_a");
+        assert_eq!(
+            group_label(&["a".to_string(), "b".to_string()]),
+            "R_[a,b]"
+        );
+    }
+}

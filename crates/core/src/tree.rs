@@ -1,0 +1,712 @@
+//! Restart trees: the hierarchy of restart cells at the heart of recursive
+//! restartability (§3.1 of the paper).
+//!
+//! A [`RestartTree`] is "a hierarchy of restartable components, in which nodes
+//! are highly fault-isolated and a restart at a node will restart the entire
+//! corresponding subtree". Each node is a *restart cell* — conceptually a
+//! button that, when pushed, restarts every software component attached at or
+//! below it. Subtrees are *restart groups* (§3.2).
+//!
+//! Components may be attached to any cell, not only leaves: node promotion
+//! (§4.4) produces trees like tree V, where `pbcom` is attached to an internal
+//! cell whose child cell holds `fedr` — pushing the `pbcom` button restarts
+//! both, while the `fedr` button restarts `fedr` alone.
+//!
+//! ```
+//! use rr_core::tree::RestartTree;
+//!
+//! // The example tree of Figure 2: R_ABC over R_A and R_BC; R_BC over R_B, R_C.
+//! let mut tree = RestartTree::new("R_ABC");
+//! let r_a = tree.add_cell(tree.root(), "R_A")?;
+//! tree.attach_component(r_a, "A")?;
+//! let r_bc = tree.add_cell(tree.root(), "R_BC")?;
+//! let r_b = tree.add_cell(r_bc, "R_B")?;
+//! tree.attach_component(r_b, "B")?;
+//! let r_c = tree.add_cell(r_bc, "R_C")?;
+//! tree.attach_component(r_c, "C")?;
+//!
+//! // Pushing the button on R_BC restarts both B and C.
+//! assert_eq!(tree.components_under(r_bc), vec!["B", "C"]);
+//! # Ok::<(), rr_core::TreeError>(())
+//! ```
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::TreeError;
+
+/// Identifies a restart cell within one [`RestartTree`].
+///
+/// Ids are stable for the lifetime of the tree: transformations that remove
+/// cells tombstone their ids rather than reusing them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) usize);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cell#{}", self.0)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct NodeData {
+    label: String,
+    parent: Option<NodeId>,
+    children: Vec<NodeId>,
+    components: Vec<String>,
+    alive: bool,
+}
+
+/// A tree of restart cells with software components attached.
+#[derive(Debug, Clone)]
+pub struct RestartTree {
+    nodes: Vec<NodeData>,
+    root: NodeId,
+}
+
+impl RestartTree {
+    /// Creates a tree consisting of a single root cell.
+    pub fn new(root_label: impl Into<String>) -> RestartTree {
+        RestartTree {
+            nodes: vec![NodeData {
+                label: root_label.into(),
+                parent: None,
+                children: Vec::new(),
+                components: Vec::new(),
+                alive: true,
+            }],
+            root: NodeId(0),
+        }
+    }
+
+    /// The root cell — restarting it reboots the whole system, which is why
+    /// "the system as a whole is always a restart group" (§3.2).
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    fn get(&self, id: NodeId) -> Result<&NodeData, TreeError> {
+        self.nodes
+            .get(id.0)
+            .filter(|n| n.alive)
+            .ok_or(TreeError::UnknownNode(id))
+    }
+
+    fn get_mut(&mut self, id: NodeId) -> Result<&mut NodeData, TreeError> {
+        self.nodes
+            .get_mut(id.0)
+            .filter(|n| n.alive)
+            .ok_or(TreeError::UnknownNode(id))
+    }
+
+    /// `true` if `id` names a live cell of this tree.
+    pub fn contains(&self, id: NodeId) -> bool {
+        self.get(id).is_ok()
+    }
+
+    /// Adds an empty child cell under `parent`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TreeError::UnknownNode`] if `parent` is not a live cell.
+    pub fn add_cell(&mut self, parent: NodeId, label: impl Into<String>) -> Result<NodeId, TreeError> {
+        self.get(parent)?;
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(NodeData {
+            label: label.into(),
+            parent: Some(parent),
+            children: Vec::new(),
+            components: Vec::new(),
+            alive: true,
+        });
+        self.nodes[parent.0].children.push(id);
+        Ok(id)
+    }
+
+    /// Attaches a software component to a cell.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TreeError::DuplicateComponent`] if the component is already
+    /// attached somewhere in the tree, or [`TreeError::UnknownNode`] if `cell`
+    /// is not live.
+    pub fn attach_component(&mut self, cell: NodeId, name: impl Into<String>) -> Result<(), TreeError> {
+        let name = name.into();
+        self.get(cell)?;
+        if self.cell_of_component(&name).is_some() {
+            return Err(TreeError::DuplicateComponent(name));
+        }
+        self.get_mut(cell)?.components.push(name);
+        Ok(())
+    }
+
+    /// The cell's display label.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a live cell.
+    pub fn label(&self, id: NodeId) -> &str {
+        &self.get(id).expect("live cell").label
+    }
+
+    /// Renames a cell.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TreeError::UnknownNode`] if `id` is not a live cell.
+    pub fn set_label(&mut self, id: NodeId, label: impl Into<String>) -> Result<(), TreeError> {
+        self.get_mut(id)?.label = label.into();
+        Ok(())
+    }
+
+    /// The parent cell, or `None` for the root.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a live cell.
+    pub fn parent(&self, id: NodeId) -> Option<NodeId> {
+        self.get(id).expect("live cell").parent
+    }
+
+    /// Child cells in insertion order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a live cell.
+    pub fn children(&self, id: NodeId) -> &[NodeId] {
+        &self.get(id).expect("live cell").children
+    }
+
+    /// Components attached directly to this cell (not to descendants).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a live cell.
+    pub fn components_at(&self, id: NodeId) -> &[String] {
+        &self.get(id).expect("live cell").components
+    }
+
+    /// `true` if the cell has no child cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a live cell.
+    pub fn is_leaf(&self, id: NodeId) -> bool {
+        self.children(id).is_empty()
+    }
+
+    /// All live cell ids in depth-first (pre-order) order from the root.
+    pub fn cells(&self) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut stack = vec![self.root];
+        while let Some(id) = stack.pop() {
+            out.push(id);
+            // Push children in reverse so pre-order visits them left-to-right.
+            for &c in self.children(id).iter().rev() {
+                stack.push(c);
+            }
+        }
+        out
+    }
+
+    /// Number of live cells.
+    pub fn cell_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.alive).count()
+    }
+
+    /// Every component in the tree, sorted.
+    pub fn components(&self) -> Vec<String> {
+        let mut out: Vec<String> = self
+            .nodes
+            .iter()
+            .filter(|n| n.alive)
+            .flat_map(|n| n.components.iter().cloned())
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// All components restarted when the button on `id` is pushed: those
+    /// attached at `id` or at any descendant, sorted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a live cell.
+    pub fn components_under(&self, id: NodeId) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut stack = vec![id];
+        while let Some(n) = stack.pop() {
+            let data = self.get(n).expect("live cell");
+            out.extend(data.components.iter().cloned());
+            stack.extend(data.children.iter().copied());
+        }
+        out.sort();
+        out
+    }
+
+    /// The cell a component is attached to, if any.
+    pub fn cell_of_component(&self, name: &str) -> Option<NodeId> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.alive)
+            .find(|(_, n)| n.components.iter().any(|c| c == name))
+            .map(|(i, _)| NodeId(i))
+    }
+
+    /// The chain of cells from the component's own cell up to the root — the
+    /// escalation path the oracle climbs when restarts fail to cure (§3.3).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TreeError::UnknownComponent`] if `name` is not attached.
+    pub fn restart_path(&self, name: &str) -> Result<Vec<NodeId>, TreeError> {
+        let start = self
+            .cell_of_component(name)
+            .ok_or_else(|| TreeError::UnknownComponent(name.to_string()))?;
+        Ok(self.ancestors_inclusive(start))
+    }
+
+    /// `id` followed by its ancestors up to the root.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a live cell.
+    pub fn ancestors_inclusive(&self, id: NodeId) -> Vec<NodeId> {
+        let mut out = vec![id];
+        let mut cur = id;
+        while let Some(p) = self.parent(cur) {
+            out.push(p);
+            cur = p;
+        }
+        out
+    }
+
+    /// The lowest cell whose subtree covers every component in `names` — the
+    /// minimal restart cell for a failure curable only by restarting that set
+    /// together.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TreeError::UnknownComponent`] for any unattached name, or
+    /// [`TreeError::InvalidTransform`] if `names` is empty.
+    pub fn lowest_cover(&self, names: &[impl AsRef<str>]) -> Result<NodeId, TreeError> {
+        let mut iter = names.iter();
+        let first = iter
+            .next()
+            .ok_or_else(|| TreeError::invalid("lowest_cover", "empty component set"))?;
+        let mut path = self.restart_path(first.as_ref())?;
+        for name in iter {
+            let other = self.restart_path(name.as_ref())?;
+            let other_set: BTreeSet<NodeId> = other.into_iter().collect();
+            path.retain(|n| other_set.contains(n));
+        }
+        Ok(*path.first().expect("paths always share the root"))
+    }
+
+    /// Every restart group in the tree, as `(cell, components restarted by
+    /// pushing its button)` pairs, in pre-order.
+    pub fn groups(&self) -> Vec<(NodeId, Vec<String>)> {
+        self.cells()
+            .into_iter()
+            .map(|id| (id, self.components_under(id)))
+            .collect()
+    }
+
+    /// Detaches a component from its cell and attaches it to `to`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TreeError::UnknownComponent`] / [`TreeError::UnknownNode`].
+    pub(crate) fn move_component(&mut self, name: &str, to: NodeId) -> Result<(), TreeError> {
+        let from = self
+            .cell_of_component(name)
+            .ok_or_else(|| TreeError::UnknownComponent(name.to_string()))?;
+        self.get(to)?;
+        let from_data = self.get_mut(from)?;
+        from_data.components.retain(|c| c != name);
+        self.get_mut(to)?.components.push(name.to_string());
+        Ok(())
+    }
+
+    /// Detaches a component from the tree entirely.
+    pub(crate) fn detach_component(&mut self, name: &str) -> Result<(), TreeError> {
+        let from = self
+            .cell_of_component(name)
+            .ok_or_else(|| TreeError::UnknownComponent(name.to_string()))?;
+        self.get_mut(from)?.components.retain(|c| c != name);
+        Ok(())
+    }
+
+    /// Removes an empty, childless, non-root cell.
+    pub(crate) fn remove_empty_cell(&mut self, id: NodeId) -> Result<(), TreeError> {
+        if id == self.root {
+            return Err(TreeError::CannotModifyRoot);
+        }
+        let data = self.get(id)?;
+        if !data.children.is_empty() || !data.components.is_empty() {
+            return Err(TreeError::invalid(
+                "remove_empty_cell",
+                format!("cell {id} still has children or components"),
+            ));
+        }
+        let parent = data.parent.expect("non-root has a parent");
+        self.nodes[parent.0].children.retain(|&c| c != id);
+        self.nodes[id.0].alive = false;
+        Ok(())
+    }
+
+    /// Re-parents `child` under `new_parent` (used by transformations).
+    pub(crate) fn reparent(&mut self, child: NodeId, new_parent: NodeId) -> Result<(), TreeError> {
+        if child == self.root {
+            return Err(TreeError::CannotModifyRoot);
+        }
+        self.get(new_parent)?;
+        // Walk up from new_parent: it must not be inside child's subtree.
+        let mut cur = Some(new_parent);
+        while let Some(n) = cur {
+            if n == child {
+                return Err(TreeError::invalid(
+                    "reparent",
+                    "new parent is inside the moved subtree",
+                ));
+            }
+            cur = self.parent(n);
+        }
+        let old_parent = self.get(child)?.parent.expect("non-root has a parent");
+        self.nodes[old_parent.0].children.retain(|&c| c != child);
+        self.nodes[child.0].parent = Some(new_parent);
+        self.nodes[new_parent.0].children.push(child);
+        Ok(())
+    }
+
+    /// Checks structural invariants; returns a description of the first
+    /// violation, if any. Used by tests and by the property suite.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.nodes[self.root.0].alive {
+            return Err("root is dead".into());
+        }
+        if self.nodes[self.root.0].parent.is_some() {
+            return Err("root has a parent".into());
+        }
+        let mut seen_components = BTreeSet::new();
+        let mut reachable = vec![false; self.nodes.len()];
+        let mut stack = vec![self.root];
+        while let Some(id) = stack.pop() {
+            if reachable[id.0] {
+                return Err(format!("{id} reachable twice (cycle or shared child)"));
+            }
+            reachable[id.0] = true;
+            let data = &self.nodes[id.0];
+            if !data.alive {
+                return Err(format!("{id} is dead but reachable"));
+            }
+            for &c in &data.children {
+                if self.nodes[c.0].parent != Some(id) {
+                    return Err(format!("{c} parent link disagrees with child list of {id}"));
+                }
+                stack.push(c);
+            }
+            for comp in &data.components {
+                if !seen_components.insert(comp.clone()) {
+                    return Err(format!("component {comp:?} attached twice"));
+                }
+            }
+        }
+        for (i, n) in self.nodes.iter().enumerate() {
+            if n.alive && !reachable[i] {
+                return Err(format!("cell#{i} is alive but unreachable from the root"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Converts to the serializable, declarative [`TreeSpec`] form.
+    pub fn to_spec(&self) -> TreeSpec {
+        self.spec_of(self.root)
+    }
+
+    fn spec_of(&self, id: NodeId) -> TreeSpec {
+        TreeSpec {
+            label: self.label(id).to_string(),
+            components: self.components_at(id).to_vec(),
+            children: self.children(id).iter().map(|&c| self.spec_of(c)).collect(),
+        }
+    }
+}
+
+impl PartialEq for RestartTree {
+    /// Structural equality: same shape, labels, and attached components,
+    /// independent of internal id numbering.
+    fn eq(&self, other: &Self) -> bool {
+        self.to_spec() == other.to_spec()
+    }
+}
+
+impl fmt::Display for RestartTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&crate::render::render_tree(self))
+    }
+}
+
+/// A declarative, serializable description of a restart tree.
+///
+/// ```
+/// use rr_core::tree::TreeSpec;
+/// let spec = TreeSpec::cell("root")
+///     .with_child(TreeSpec::cell("R_A").with_component("A"))
+///     .with_child(TreeSpec::cell("R_B").with_component("B"));
+/// let tree = spec.build()?;
+/// assert_eq!(tree.components(), vec!["A".to_string(), "B".to_string()]);
+/// assert_eq!(tree.to_spec(), spec);
+/// # Ok::<(), rr_core::TreeError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TreeSpec {
+    /// Cell label.
+    pub label: String,
+    /// Components attached directly to this cell.
+    #[serde(default)]
+    pub components: Vec<String>,
+    /// Child cells.
+    #[serde(default)]
+    pub children: Vec<TreeSpec>,
+}
+
+impl TreeSpec {
+    /// A cell with no components or children.
+    pub fn cell(label: impl Into<String>) -> TreeSpec {
+        TreeSpec {
+            label: label.into(),
+            components: Vec::new(),
+            children: Vec::new(),
+        }
+    }
+
+    /// Builder: attach a component.
+    #[must_use]
+    pub fn with_component(mut self, name: impl Into<String>) -> TreeSpec {
+        self.components.push(name.into());
+        self
+    }
+
+    /// Builder: attach several components.
+    #[must_use]
+    pub fn with_components<I, S>(mut self, names: I) -> TreeSpec
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.components.extend(names.into_iter().map(Into::into));
+        self
+    }
+
+    /// Builder: add a child cell.
+    #[must_use]
+    pub fn with_child(mut self, child: TreeSpec) -> TreeSpec {
+        self.children.push(child);
+        self
+    }
+
+    /// Materializes the spec as a [`RestartTree`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TreeError::DuplicateComponent`] if a component name appears
+    /// more than once in the spec.
+    pub fn build(&self) -> Result<RestartTree, TreeError> {
+        let mut tree = RestartTree::new(self.label.clone());
+        let root = tree.root();
+        for comp in &self.components {
+            tree.attach_component(root, comp.clone())?;
+        }
+        for child in &self.children {
+            Self::build_into(&mut tree, root, child)?;
+        }
+        Ok(tree)
+    }
+
+    fn build_into(tree: &mut RestartTree, parent: NodeId, spec: &TreeSpec) -> Result<(), TreeError> {
+        let id = tree.add_cell(parent, spec.label.clone())?;
+        for comp in &spec.components {
+            tree.attach_component(id, comp.clone())?;
+        }
+        for child in &spec.children {
+            Self::build_into(tree, id, child)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Figure 2 example: R_ABC { R_A{A}, R_BC { R_B{B}, R_C{C} } }.
+    pub(crate) fn figure2() -> RestartTree {
+        TreeSpec::cell("R_ABC")
+            .with_child(TreeSpec::cell("R_A").with_component("A"))
+            .with_child(
+                TreeSpec::cell("R_BC")
+                    .with_child(TreeSpec::cell("R_B").with_component("B"))
+                    .with_child(TreeSpec::cell("R_C").with_component("C")),
+            )
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn figure2_has_five_restart_groups() {
+        let tree = figure2();
+        // "The tree in Figure 2 contains 5 restart groups" (§3.2).
+        assert_eq!(tree.groups().len(), 5);
+        assert_eq!(tree.cell_count(), 5);
+        tree.validate().unwrap();
+    }
+
+    #[test]
+    fn components_under_covers_subtrees() {
+        let tree = figure2();
+        let r_bc = tree.cell_of_component("B").and_then(|b| tree.parent(b)).unwrap();
+        assert_eq!(tree.label(r_bc), "R_BC");
+        assert_eq!(tree.components_under(r_bc), vec!["B", "C"]);
+        assert_eq!(tree.components_under(tree.root()), vec!["A", "B", "C"]);
+    }
+
+    #[test]
+    fn restart_path_climbs_to_root() {
+        let tree = figure2();
+        let path = tree.restart_path("C").unwrap();
+        let labels: Vec<_> = path.iter().map(|&n| tree.label(n)).collect();
+        assert_eq!(labels, vec!["R_C", "R_BC", "R_ABC"]);
+        assert!(matches!(
+            tree.restart_path("Z"),
+            Err(TreeError::UnknownComponent(_))
+        ));
+    }
+
+    #[test]
+    fn lowest_cover_finds_minimal_cell() {
+        let tree = figure2();
+        let bc = tree.lowest_cover(&["B", "C"]).unwrap();
+        assert_eq!(tree.label(bc), "R_BC");
+        let ab = tree.lowest_cover(&["A", "B"]).unwrap();
+        assert_eq!(tree.label(ab), "R_ABC");
+        let b = tree.lowest_cover(&["B"]).unwrap();
+        assert_eq!(tree.label(b), "R_B");
+        let empty: &[&str] = &[];
+        assert!(tree.lowest_cover(empty).is_err());
+    }
+
+    #[test]
+    fn duplicate_components_rejected() {
+        let mut tree = RestartTree::new("r");
+        let root = tree.root();
+        tree.attach_component(root, "x").unwrap();
+        assert_eq!(
+            tree.attach_component(root, "x"),
+            Err(TreeError::DuplicateComponent("x".into()))
+        );
+    }
+
+    #[test]
+    fn components_on_internal_cells_are_allowed() {
+        // Tree V shape: pbcom attached to an internal cell with a fedr child.
+        let mut tree = RestartTree::new("root");
+        let joint = tree.add_cell(tree.root(), "R_pbcom").unwrap();
+        tree.attach_component(joint, "pbcom").unwrap();
+        let fedr = tree.add_cell(joint, "R_fedr").unwrap();
+        tree.attach_component(fedr, "fedr").unwrap();
+        tree.validate().unwrap();
+        assert_eq!(tree.components_under(joint), vec!["fedr", "pbcom"]);
+        assert_eq!(tree.components_under(fedr), vec!["fedr"]);
+        // A pbcom failure's minimal cell restarts both; fedr's restarts one.
+        assert_eq!(tree.restart_path("pbcom").unwrap().len(), 2);
+        assert_eq!(tree.restart_path("fedr").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn spec_round_trips() {
+        let tree = figure2();
+        let spec = tree.to_spec();
+        let rebuilt = spec.build().unwrap();
+        assert_eq!(rebuilt, tree);
+    }
+
+    #[test]
+    fn spec_build_rejects_duplicates() {
+        let spec = TreeSpec::cell("r")
+            .with_component("x")
+            .with_child(TreeSpec::cell("c").with_component("x"));
+        assert!(matches!(spec.build(), Err(TreeError::DuplicateComponent(_))));
+    }
+
+    #[test]
+    fn cells_are_preorder() {
+        let tree = figure2();
+        let labels: Vec<_> = tree.cells().iter().map(|&n| tree.label(n)).collect();
+        assert_eq!(labels, vec!["R_ABC", "R_A", "R_BC", "R_B", "R_C"]);
+    }
+
+    #[test]
+    fn remove_and_reparent_maintain_invariants() {
+        let mut tree = figure2();
+        let r_b = tree.cell_of_component("B").unwrap();
+        let r_bc = tree.parent(r_b).unwrap();
+        // Move R_B up to the root, then R_C's cell too; R_BC becomes empty.
+        tree.reparent(r_b, tree.root()).unwrap();
+        let r_c = tree.cell_of_component("C").unwrap();
+        tree.reparent(r_c, tree.root()).unwrap();
+        tree.remove_empty_cell(r_bc).unwrap();
+        tree.validate().unwrap();
+        assert_eq!(tree.cell_count(), 4);
+        assert!(!tree.contains(r_bc));
+    }
+
+    #[test]
+    fn remove_non_empty_cell_fails() {
+        let mut tree = figure2();
+        let r_b = tree.cell_of_component("B").unwrap();
+        let r_bc = tree.parent(r_b).unwrap();
+        assert!(tree.remove_empty_cell(r_bc).is_err());
+        assert!(tree.remove_empty_cell(tree.root()).is_err());
+    }
+
+    #[test]
+    fn reparent_rejects_cycles() {
+        let mut tree = figure2();
+        let r_b = tree.cell_of_component("B").unwrap();
+        let r_bc = tree.parent(r_b).unwrap();
+        let err = tree.reparent(r_bc, r_b).unwrap_err();
+        assert!(matches!(err, TreeError::InvalidTransform { .. }));
+        tree.validate().unwrap();
+    }
+
+    #[test]
+    fn move_component_between_cells() {
+        let mut tree = figure2();
+        let r_a = tree.cell_of_component("A").unwrap();
+        tree.move_component("B", r_a).unwrap();
+        tree.validate().unwrap();
+        assert_eq!(tree.components_under(r_a), vec!["A", "B"]);
+    }
+
+    #[test]
+    fn detach_component_removes_it() {
+        let mut tree = figure2();
+        tree.detach_component("A").unwrap();
+        assert_eq!(tree.components(), vec!["B".to_string(), "C".to_string()]);
+        assert!(tree.detach_component("A").is_err());
+    }
+
+    #[test]
+    fn structural_equality_ignores_ids() {
+        let a = figure2();
+        let mut b = figure2();
+        assert_eq!(a, b);
+        b.detach_component("A").unwrap();
+        assert_ne!(a, b);
+    }
+}

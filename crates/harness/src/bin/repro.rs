@@ -1,0 +1,112 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro [EXPERIMENT]... [--trials N] [--seed S] [--report PATH] [--dot-dir DIR]
+//! ```
+//!
+//! `EXPERIMENT` is one of `table1`, `table2`, `figures`, `table4`,
+//! `headline`, `pass`, `ablation-oracle`, `ablation-ping`,
+//! `ablation-learning`, `ablation-optimizer`, or `all` (default).
+
+use std::process::ExitCode;
+
+use rr_harness::experiments::{self, Experiment, RunConfig};
+use rr_harness::report;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro [EXPERIMENT]... [--trials N] [--seed S] [--report PATH] [--dot-dir DIR]\n\
+         experiments: table1 table2 figures table4 headline endurance pass \
+         ablation-oracle ablation-ping ablation-learning ablation-optimizer \
+         ablation-rejuvenation all"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut run = RunConfig::default();
+    let mut selected: Vec<String> = Vec::new();
+    let mut report_path: Option<String> = None;
+    let mut dot_dir: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--trials" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                run.trials = v.parse().unwrap_or_else(|_| usage());
+            }
+            "--seed" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                run.seed = v.parse().unwrap_or_else(|_| usage());
+            }
+            "--report" => {
+                report_path = Some(args.next().unwrap_or_else(|| usage()));
+            }
+            "--dot-dir" => {
+                dot_dir = Some(args.next().unwrap_or_else(|| usage()));
+            }
+            "--help" | "-h" => usage(),
+            other if other.starts_with('-') => usage(),
+            other => selected.push(other.to_string()),
+        }
+    }
+    if selected.is_empty() {
+        selected.push("all".to_string());
+    }
+
+    let mut results: Vec<Experiment> = Vec::new();
+    for name in &selected {
+        match name.as_str() {
+            "table1" => results.push(experiments::table1(run)),
+            "table2" => results.push(experiments::table2(run)),
+            "figures" | "table3" => results.push(experiments::figures(run)),
+            "table4" => results.push(experiments::table4(run)),
+            "headline" | "availability" => results.push(experiments::headline(run)),
+            "endurance" => results.push(experiments::endurance(run)),
+            "pass" => results.push(experiments::pass_data_loss(run)),
+            "ablation-oracle" => results.push(experiments::ablation_oracle_sweep(run)),
+            "ablation-ping" => results.push(experiments::ablation_ping_period(run)),
+            "ablation-learning" => results.push(experiments::ablation_learning(run)),
+            "ablation-optimizer" => results.push(experiments::ablation_optimizer(run)),
+            "ablation-rejuvenation" => results.push(experiments::ablation_rejuvenation(run)),
+            "all" => results.extend(experiments::all(run)),
+            _ => usage(),
+        }
+    }
+
+    for exp in &results {
+        println!("{}", exp.render());
+    }
+
+    if let Some(dir) = dot_dir {
+        // Graphviz renders of the Figure 3-6 trees.
+        use mercury::station::TreeVariant;
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            eprintln!("failed to create {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+        for variant in TreeVariant::ALL {
+            let dot = rr_core::render::render_dot(&variant.tree());
+            let path = format!("{dir}/tree_{variant}.dot");
+            if let Err(e) = std::fs::write(&path, dot) {
+                eprintln!("failed to write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        println!("dot files written to {dir}/tree_*.dot");
+    }
+
+    if let Some(path) = report_path {
+        let note = format!("trials per cell = {}, base seed = {}", run.trials, run.seed);
+        let md = report::render_markdown(&results, &note);
+        if let Err(e) = std::fs::write(&path, md) {
+            eprintln!("failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("report written to {path}");
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,34 @@
+//! # rr-harness — the experiment harness
+//!
+//! Regenerates every table and figure of *Reducing Recovery Time in a Small
+//! Recursively Restartable System* (DSN 2002) against the simulated Mercury
+//! ground station:
+//!
+//! | Experiment | Paper artifact |
+//! |---|---|
+//! | [`experiments::table1`] | Table 1 — per-component MTTFs |
+//! | [`experiments::table2`] | Table 2 — trees I/II recovery times |
+//! | [`experiments::figures`] | Table 3 + Figures 2–6 — the tree evolution |
+//! | [`experiments::table4`] | Table 4 — full MTTR matrix, trees I–V |
+//! | [`experiments::headline`] | the "factor of four" claim + availability |
+//! | [`experiments::pass_data_loss`] | §5.2 — science-data loss during a pass |
+//! | [`experiments::ablation_oracle_sweep`] | §4.4 error-rate sweep |
+//! | [`experiments::ablation_ping_period`] | §2.2 detection-period trade-off |
+//! | [`experiments::ablation_learning`] | §7 learning oracle |
+//! | [`experiments::ablation_optimizer`] | §7 automatic tree transformation |
+//!
+//! The `repro` binary drives the suite:
+//!
+//! ```text
+//! repro all --trials 100 --report EXPERIMENTS.md
+//! repro table4 --trials 20
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;
+pub mod tables;
+
+pub use experiments::{Experiment, OracleKind, RunConfig};

@@ -1,0 +1,78 @@
+//! EXPERIMENTS.md report generation: paper-vs-measured for every table and
+//! figure.
+
+use crate::experiments::Experiment;
+
+/// Renders the full experiment report as markdown, suitable for writing to
+/// `EXPERIMENTS.md`.
+pub fn render_markdown(experiments: &[Experiment], run_note: &str) -> String {
+    let mut out = String::new();
+    out.push_str("# EXPERIMENTS — paper vs. measured\n\n");
+    out.push_str(
+        "Reproduction of every table and figure of *Reducing Recovery Time in a \
+         Small Recursively Restartable System* (DSN 2002). Absolute numbers come \
+         from the calibrated simulation described in DESIGN.md §5; the claim being \
+         validated is the *shape*: who wins, by what factor, and where the \
+         crossovers fall.\n\n",
+    );
+    out.push_str(&format!("Run configuration: {run_note}\n\n"));
+
+    out.push_str("## Summary of paper-vs-measured observations\n\n");
+    out.push_str("| Experiment | Observation | Paper | Measured | Rel. error |\n");
+    out.push_str("|---|---|---|---|---|\n");
+    for exp in experiments {
+        for (label, paper, measured) in &exp.observations {
+            let rel = if *paper != 0.0 {
+                format!("{:+.1}%", (measured - paper) / paper * 100.0)
+            } else {
+                "—".to_string()
+            };
+            out.push_str(&format!(
+                "| {} | {} | {:.2} | {:.2} | {} |\n",
+                exp.id, label, paper, measured, rel
+            ));
+        }
+    }
+    out.push('\n');
+
+    for exp in experiments {
+        out.push_str(&format!("## {} — {}\n\n", exp.id, exp.title));
+        for block in &exp.blocks {
+            out.push_str("```text\n");
+            out.push_str(block);
+            if !block.ends_with('\n') {
+                out.push('\n');
+            }
+            out.push_str("```\n\n");
+        }
+        for table in &exp.tables {
+            out.push_str(&table.render_markdown());
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tables::Table;
+
+    #[test]
+    fn report_contains_observations_and_tables() {
+        let mut t = Table::new("Demo", vec!["a".into()]);
+        t.push_row(vec!["1".into()]);
+        let exp = Experiment {
+            id: "t1".into(),
+            title: "Demo experiment".into(),
+            tables: vec![t],
+            blocks: vec!["tree drawing".into()],
+            observations: vec![("x".into(), 10.0, 10.5)],
+        };
+        let md = render_markdown(&[exp], "trials=2");
+        assert!(md.contains("| t1 | x | 10.00 | 10.50 | +5.0% |"));
+        assert!(md.contains("### Demo"));
+        assert!(md.contains("tree drawing"));
+        assert!(md.contains("trials=2"));
+    }
+}

@@ -1,0 +1,220 @@
+//! Plain-text table rendering for experiment reports.
+
+use std::fmt;
+
+/// A simple aligned text table.
+///
+/// ```
+/// use rr_harness::tables::Table;
+/// let mut t = Table::new("Demo", vec!["Tree".into(), "MTTR".into()]);
+/// t.push_row(vec!["I".into(), "24.75".into()]);
+/// let out = t.render();
+/// assert!(out.contains("Tree"));
+/// assert!(out.contains("24.75"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    title: String,
+    columns: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table with a title and column headers.
+    pub fn new(title: impl Into<String>, columns: Vec<String>) -> Table {
+        Table {
+            title: title.into(),
+            columns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// The table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(
+            row.len(),
+            self.columns.len(),
+            "row width {} != column count {}",
+            row.len(),
+            self.columns.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// The rows added so far.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// Renders the table as aligned plain text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&self.title);
+        out.push('\n');
+        let sep: String = widths
+            .iter()
+            .map(|w| "-".repeat(w + 2))
+            .collect::<Vec<_>>()
+            .join("+");
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!(" {:<width$} ", c, width = widths[i]))
+                .collect::<Vec<_>>()
+                .join("|")
+        };
+        out.push_str(&fmt_row(&self.columns));
+        out.push('\n');
+        out.push_str(&sep);
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the table as GitHub-flavoured markdown.
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("### {}\n\n", self.title));
+        out.push_str(&format!("| {} |\n", self.columns.join(" | ")));
+        out.push_str(&format!(
+            "|{}|\n",
+            self.columns.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+        ));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Renders a horizontal ASCII bar chart: one row per `(label, value)`,
+/// scaled to `width` characters at the maximum value.
+///
+/// ```
+/// use rr_harness::tables::bar_chart;
+/// let chart = bar_chart(&[("tree I".into(), 24.75), ("tree V".into(), 5.96)], 40);
+/// assert!(chart.lines().count() == 2);
+/// assert!(chart.contains("tree I"));
+/// ```
+///
+/// # Panics
+///
+/// Panics if `rows` is empty, `width` is zero, or any value is negative.
+pub fn bar_chart(rows: &[(String, f64)], width: usize) -> String {
+    assert!(!rows.is_empty(), "empty chart");
+    assert!(width > 0, "zero width");
+    let max = rows
+        .iter()
+        .map(|&(_, v)| {
+            assert!(v >= 0.0, "negative bar value {v}");
+            v
+        })
+        .fold(0.0f64, f64::max)
+        .max(f64::MIN_POSITIVE);
+    let label_w = rows.iter().map(|(l, _)| l.chars().count()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (label, value) in rows {
+        let n = ((value / max) * width as f64).round() as usize;
+        out.push_str(&format!(
+            "{label:<label_w$} |{} {value:.2}\n",
+            "█".repeat(n.max(if *value > 0.0 { 1 } else { 0 }))
+        ));
+    }
+    out
+}
+
+/// Formats a seconds quantity the way the paper's tables do.
+pub fn secs(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Formats a paper-vs-measured pair with relative error.
+pub fn versus(paper: f64, measured: f64) -> String {
+    let rel = if paper != 0.0 {
+        (measured - paper) / paper * 100.0
+    } else {
+        0.0
+    };
+    format!("{measured:.2} (paper {paper:.2}, {rel:+.1}%)")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("T", vec!["a".into(), "long-header".into()]);
+        t.push_row(vec!["xxxxxxxx".into(), "1".into()]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines[0], "T");
+        // Header and data rows have equal width.
+        assert_eq!(lines[1].len(), lines[3].len());
+        assert!(lines[2].contains('+'));
+    }
+
+    #[test]
+    fn markdown_has_separator() {
+        let mut t = Table::new("T", vec!["a".into(), "b".into()]);
+        t.push_row(vec!["1".into(), "2".into()]);
+        let md = t.render_markdown();
+        assert!(md.contains("|---|---|"));
+        assert!(md.contains("| 1 | 2 |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        let mut t = Table::new("T", vec!["a".into()]);
+        t.push_row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn bar_chart_scales_to_max() {
+        let chart = bar_chart(&[("a".into(), 10.0), ("b".into(), 5.0), ("c".into(), 0.0)], 20);
+        let lines: Vec<&str> = chart.lines().collect();
+        assert_eq!(lines.len(), 3);
+        let bars: Vec<usize> = lines.iter().map(|l| l.matches('█').count()).collect();
+        assert_eq!(bars[0], 20);
+        assert_eq!(bars[1], 10);
+        assert_eq!(bars[2], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn bar_chart_rejects_empty() {
+        bar_chart(&[], 10);
+    }
+
+    #[test]
+    fn versus_formats_relative_error() {
+        let s = versus(10.0, 11.0);
+        assert!(s.contains("+10.0%"), "{s}");
+    }
+}

@@ -1,0 +1,96 @@
+//! Smoke tests for the experiment harness: every experiment runs with a tiny
+//! trial budget and produces coherent output (tables, observations within
+//! loose tolerances, well-formed report).
+
+use rr_harness::experiments::{self, RunConfig};
+use rr_harness::report::render_markdown;
+
+fn tiny() -> RunConfig {
+    RunConfig { trials: 3, seed: 7 }
+}
+
+#[test]
+fn table1_validates_fault_generator() {
+    let exp = experiments::table1(tiny());
+    assert_eq!(exp.observations.len(), 5);
+    assert!(
+        exp.worst_relative_error() < 0.10,
+        "worst error {:.1}%",
+        exp.worst_relative_error() * 100.0
+    );
+}
+
+#[test]
+fn table2_reproduces_shape() {
+    let exp = experiments::table2(tiny());
+    assert_eq!(exp.observations.len(), 10);
+    assert!(
+        exp.worst_relative_error() < 0.10,
+        "worst error {:.1}%",
+        exp.worst_relative_error() * 100.0
+    );
+    // Tree I rows are flat; tree II rows vary per component.
+    let tree_i: Vec<f64> = exp
+        .observations
+        .iter()
+        .filter(|(l, _, _)| l.starts_with("treeI:"))
+        .map(|&(_, _, m)| m)
+        .collect();
+    let spread = tree_i.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+        - tree_i.iter().cloned().fold(f64::INFINITY, f64::min);
+    assert!(spread < 1.5, "tree I must be flat, spread {spread}");
+}
+
+#[test]
+fn figures_render_all_trees() {
+    let exp = experiments::figures(tiny());
+    // Figure 2 + trees I-V.
+    assert_eq!(exp.blocks.len(), 6);
+    assert!(exp.blocks.iter().any(|b| b.contains("R_[ses,str]")));
+    let table = &exp.tables[0];
+    assert_eq!(table.rows().len(), 5);
+}
+
+#[test]
+fn headline_improvement_factor_in_range() {
+    let exp = experiments::headline(tiny());
+    let (_, paper, measured) = exp
+        .observations
+        .iter()
+        .find(|(l, _, _)| l == "improvement-factor")
+        .expect("factor observation");
+    assert_eq!(*paper, 4.0);
+    assert!((3.0..6.0).contains(measured), "factor {measured}");
+}
+
+#[test]
+fn oracle_sweep_has_crossover_shape() {
+    let exp = experiments::ablation_oracle_sweep(tiny());
+    let table = &exp.tables[0];
+    // At p=0 the trees tie (tree V is never better with a perfect oracle);
+    // for p>0 tree V wins every row.
+    for row in table.rows() {
+        assert_eq!(row[3], "true", "V must win or tie at p={}", row[0]);
+    }
+}
+
+#[test]
+fn report_renders_everything() {
+    let exps = vec![experiments::figures(tiny()), experiments::headline(tiny())];
+    let md = render_markdown(&exps, "smoke");
+    assert!(md.contains("# EXPERIMENTS"));
+    assert!(md.contains("## figures"));
+    assert!(md.contains("## headline"));
+    assert!(md.contains("improvement-factor"));
+    // Tree drawings are fenced.
+    assert!(md.contains("```text"));
+}
+
+#[test]
+fn optimizer_ablation_rederives_consolidation() {
+    let exp = experiments::ablation_optimizer(tiny());
+    assert_eq!(exp.observations.len(), 2);
+    for (_, want, got) in &exp.observations {
+        assert_eq!(want, got, "optimizer must find the [ses,str] group");
+    }
+}

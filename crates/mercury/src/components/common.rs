@@ -1,0 +1,285 @@
+//! Shared component machinery: boot lifecycle, ping answering, beacons,
+//! envelope plumbing.
+//!
+//! Every Mercury component is an independently-restartable process with the
+//! same skeleton (§2.1–2.2): it boots (slowly — JVM start, hardware
+//! negotiation), declares itself *functionally ready* by logging a
+//! timestamped message (the exact measurement hook of §4.1), answers the
+//! failure detector's XML liveness pings only once ready, and optionally
+//! broadcasts health-summary beacons (§7 future work).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use mercury_msg::{ComponentStatus, Envelope, Message};
+use rr_sim::{Context, SimDuration, SimTime};
+
+use crate::config::{names, StationConfig};
+use crate::host::{HostLoad, RadioHardware};
+
+/// The simulation's wire type: envelopes in their XML form, exactly as the
+/// real station exchanges them over TCP.
+pub type Wire = String;
+
+/// Timer key for boot completion.
+pub const TIMER_BOOT: u64 = 1;
+/// Timer key for the periodic health beacon.
+pub const TIMER_BEACON: u64 = 2;
+/// First timer key available to component-specific logic.
+pub const TIMER_ROLE_BASE: u64 = 10;
+
+/// Shared state handed to every component factory.
+#[derive(Clone)]
+pub struct Shared {
+    /// The station configuration (calibration constants).
+    pub config: Rc<StationConfig>,
+    /// Host-level boot contention.
+    pub load: Rc<RefCell<HostLoad>>,
+    /// The radio hardware behind pbcom's serial port.
+    pub radio: Rc<RefCell<RadioHardware>>,
+}
+
+impl std::fmt::Debug for Shared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shared").finish_non_exhaustive()
+    }
+}
+
+impl Shared {
+    /// Creates shared state over a configuration.
+    pub fn new(config: StationConfig) -> Shared {
+        Shared {
+            config: Rc::new(config),
+            load: HostLoad::new_shared(),
+            radio: RadioHardware::new_shared(),
+        }
+    }
+}
+
+/// A component's lifecycle phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Process is starting (JVM boot, hardware negotiation): fail-silent to
+    /// everything, including peers.
+    Booting,
+    /// Booted but completing initialization handshakes (ses/str sync, fedr
+    /// connect): talks to peers, does not yet answer liveness pings.
+    Initializing,
+    /// Functionally ready.
+    Ready,
+}
+
+/// Per-component lifecycle helper embedded in each actor.
+#[derive(Debug)]
+pub struct Lifecycle {
+    name: String,
+    shared: Shared,
+    phase: Phase,
+    started_at: SimTime,
+    handled: u64,
+    next_id: u64,
+}
+
+impl Lifecycle {
+    /// Creates the lifecycle for component `name`.
+    pub fn new(name: impl Into<String>, shared: Shared) -> Lifecycle {
+        Lifecycle {
+            name: name.into(),
+            shared,
+            phase: Phase::Booting,
+            started_at: SimTime::ZERO,
+            handled: 0,
+            next_id: 0,
+        }
+    }
+
+    /// The component name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The shared station state.
+    pub fn shared(&self) -> &Shared {
+        &self.shared
+    }
+
+    /// The station configuration.
+    pub fn config(&self) -> &StationConfig {
+        &self.shared.config
+    }
+
+    /// `true` once the component has declared itself functionally ready.
+    pub fn is_ready(&self) -> bool {
+        self.phase == Phase::Ready
+    }
+
+    /// The current lifecycle phase.
+    pub fn phase(&self) -> Phase {
+        self.phase
+    }
+
+    /// Enters the initialization phase (boot finished, handshakes pending).
+    pub fn set_initializing(&mut self) {
+        self.phase = Phase::Initializing;
+    }
+
+    /// Messages handled this incarnation.
+    pub fn handled(&self) -> u64 {
+        self.handled
+    }
+
+    /// Seconds since this incarnation started.
+    pub fn uptime_s(&self, now: SimTime) -> f64 {
+        now.saturating_since(self.started_at).as_secs_f64()
+    }
+
+    /// `true` if this incarnation started recently (fresh peer for sync
+    /// purposes, §4.3).
+    pub fn is_fresh(&self, now: SimTime) -> bool {
+        self.uptime_s(now) < self.config().fresh_threshold_s
+    }
+
+    /// Begins the boot phase: samples this component's boot time, scales it
+    /// by the current host contention, charges `extra_s` (e.g. serial
+    /// renegotiation back-off) and arms [`TIMER_BOOT`]. Call from
+    /// `Event::Start`.
+    pub fn begin_boot(&mut self, ctx: &mut Context<'_, Wire>, extra_s: f64) {
+        self.phase = Phase::Booting;
+        self.started_at = ctx.now();
+        self.handled = 0;
+        let base = self.config().timing_for(&self.name).boot_dist();
+        let k = self.shared.load.borrow_mut().begin_boot(&self.name);
+        let q = self.config().contention_quadratic;
+        let factor = if k <= 1 {
+            1.0
+        } else {
+            1.0 + q * ((k - 1) as f64).powi(2)
+        };
+        let boot = base.sample_secs(ctx.rng()) * factor + extra_s;
+        ctx.set_timer(SimDuration::from_secs_f64(boot.max(0.0)), TIMER_BOOT);
+    }
+
+    /// Declares the component functionally ready: logs the timestamped
+    /// `ready:` mark (the measurement endpoint of §4.1), releases the host
+    /// load slot and schedules the first beacon.
+    pub fn set_ready(&mut self, ctx: &mut Context<'_, Wire>) {
+        self.phase = Phase::Ready;
+        self.shared.load.borrow_mut().end_boot(&self.name);
+        ctx.trace_mark(format!("ready:{}", self.name));
+        let period = self.config().beacon_period_s;
+        if period > 0.0 {
+            ctx.set_timer(SimDuration::from_secs_f64(period), TIMER_BEACON);
+        }
+    }
+
+    /// Allocates an envelope id.
+    pub fn next_id(&mut self) -> u64 {
+        self.next_id += 1;
+        self.next_id
+    }
+
+    /// Sends `msg` to `dst` through the message bus.
+    pub fn send_bus(&mut self, ctx: &mut Context<'_, Wire>, dst: &str, msg: Message) {
+        let id = self.next_id();
+        let env = Envelope::new(self.name.clone(), dst, id, msg);
+        let Some(bus) = ctx.lookup(names::MBUS) else {
+            return;
+        };
+        let latency = SimDuration::from_secs_f64(self.config().bus_latency_s);
+        ctx.send_after(bus, latency, env.to_xml_string());
+    }
+
+    /// Sends `msg` to `dst` over a dedicated point-to-point connection
+    /// (FD↔REC, fedr↔pbcom).
+    pub fn send_direct(&mut self, ctx: &mut Context<'_, Wire>, dst: &str, msg: Message) {
+        let id = self.next_id();
+        let env = Envelope::new(self.name.clone(), dst, id, msg);
+        let Some(pid) = ctx.lookup(dst) else {
+            return;
+        };
+        let latency = SimDuration::from_secs_f64(self.config().direct_latency_s);
+        ctx.send_after(pid, latency, env.to_xml_string());
+    }
+
+    /// Parses an incoming wire message; logs and drops malformed traffic.
+    pub fn parse(&mut self, ctx: &mut Context<'_, Wire>, wire: &str) -> Option<Envelope> {
+        match Envelope::parse(wire) {
+            Ok(env) => {
+                self.handled += 1;
+                Some(env)
+            }
+            Err(e) => {
+                ctx.trace_mark(format!("parse-error:{}:{e}", self.name));
+                None
+            }
+        }
+    }
+
+    /// Handles the lifecycle-level messages common to all components: pings
+    /// (answered only when ready, over the same path they arrived on) and the
+    /// beacon timer. Returns `true` if the event was consumed.
+    pub fn handle_common(
+        &mut self,
+        env: &Envelope,
+        ctx: &mut Context<'_, Wire>,
+        aging: f64,
+    ) -> bool {
+        match &env.body {
+            Message::Ping { seq } => {
+                if self.phase == Phase::Ready {
+                    let pong = Message::Pong {
+                        seq: *seq,
+                        status: if aging >= 0.75 {
+                            ComponentStatus::Degraded
+                        } else {
+                            ComponentStatus::Ok
+                        },
+                    };
+                    // FD and REC ping each other over their dedicated
+                    // connection (§2.2); everything else is pinged via mbus
+                    // and must answer the same way.
+                    let src = env.src.clone();
+                    if self.name == names::FD || self.name == names::REC {
+                        self.send_direct(ctx, &src, pong);
+                    } else {
+                        self.send_bus(ctx, &src, pong);
+                    }
+                }
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Handles [`TIMER_BEACON`]: emits a health-summary beacon to REC and
+    /// re-arms. Returns `true` if the timer key was consumed.
+    pub fn handle_beacon_timer(
+        &mut self,
+        key: u64,
+        ctx: &mut Context<'_, Wire>,
+        aging: f64,
+    ) -> bool {
+        if key != TIMER_BEACON {
+            return false;
+        }
+        if self.phase == Phase::Ready {
+            let beacon = Message::Beacon {
+                component: self.name.clone(),
+                status: if aging >= 0.75 {
+                    ComponentStatus::Degraded
+                } else {
+                    ComponentStatus::Ok
+                },
+                uptime_s: self.uptime_s(ctx.now()),
+                aging,
+                handled: self.handled,
+            };
+            self.send_bus(ctx, names::REC, beacon);
+        }
+        let period = self.config().beacon_period_s;
+        if period > 0.0 {
+            ctx.set_timer(SimDuration::from_secs_f64(period), TIMER_BEACON);
+        }
+        true
+    }
+}

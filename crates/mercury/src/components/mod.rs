@@ -1,0 +1,21 @@
+//! The Mercury software components of Figure 1.
+//!
+//! Each submodule is one independently-restartable process: the message bus
+//! ([`mbus`]), the radio front end before and after the §4.2 split
+//! ([`radio`]), the satellite estimator ([`estimator`]), the tracker
+//! ([`tracker`]) and the radio tuner ([`tuner`]). [`common`] holds the shared
+//! lifecycle machinery (boot, ping answering, beacons).
+
+pub mod common;
+pub mod estimator;
+pub mod mbus;
+pub mod radio;
+pub mod tracker;
+pub mod tuner;
+
+pub use common::{Lifecycle, Phase, Shared, Wire};
+pub use estimator::Ses;
+pub use mbus::Mbus;
+pub use radio::{Fedr, Fedrcom, Pbcom};
+pub use tracker::Str;
+pub use tuner::Rtu;

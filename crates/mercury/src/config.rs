@@ -1,0 +1,588 @@
+//! Station configuration and timing calibration.
+//!
+//! Every synthetic timing constant in the simulation lives here, next to the
+//! paper measurement it was calibrated against, so the substitution
+//! documented in DESIGN.md §5 is auditable in one place.
+//!
+//! Derivation of the calibration (all times in seconds):
+//!
+//! * **Detection** ≈ `ping_period/2 + ping_timeout` = 0.5 + 0.4 = 0.9 — the
+//!   mean delay from a fail-silent crash (uniform phase within the 1 s ping
+//!   cycle, §2.2) until FD reports it to REC.
+//! * **Per-component recovery** (tree II, Table 2) =
+//!   detection + exec + boot, so boot times are back-solved from Table 2:
+//!   e.g. mbus 5.73 − 0.9 − 0.1 = 4.73.
+//! * **Whole-system contention** (tree I, Table 2): 24.75 = 1.0 +
+//!   `boot_fedrcom · (1 + q·(k−1)²)` with k = 5 ⇒ q ≈ 0.0119. The quadratic
+//!   form captures the paper's observation that full restarts contend while
+//!   two-component joint restarts barely do (tree IV/V numbers).
+//! * **ses/str resync** (§4.3): a freshly restarted ses blocks on the old
+//!   str, which services the handshake slowly (3.35 s) and subsequently
+//!   suffers an induced failure: 0.9 + 0.1 + 5.15 + 3.35 ≈ 9.50 (Table 2).
+//!   Symmetrically str + old ses: 3.75 ⇒ 9.76. Restarted *together*, both
+//!   sides are fresh and the handshake is fast — tree IV's 6.25/6.11.
+//! * **pbcom rapid-restart penalty** (§4.4): the radio hardware renegotiates
+//!   slowly when the serial link bounces twice in quick succession (+4.0 s),
+//!   reproducing the faulty-oracle cost of 29.19 s in tree IV.
+
+use std::collections::BTreeMap;
+
+use rr_core::analysis::SimpleCostModel;
+use rr_core::model::{FailureMode, FailureModel};
+use rr_sim::{Dist, SimDuration};
+use serde::{Deserialize, Serialize};
+
+use crate::orbit::{GroundSite, Satellite};
+
+/// Component names used throughout the station.
+pub mod names {
+    /// The software message bus.
+    pub const MBUS: &str = "mbus";
+    /// The unsplit radio proxy of trees I/II.
+    pub const FEDRCOM: &str = "fedrcom";
+    /// The front-end driver-radio (post-split, §4.2).
+    pub const FEDR: &str = "fedr";
+    /// The serial-port/TCP bridge (post-split, §4.2).
+    pub const PBCOM: &str = "pbcom";
+    /// The satellite estimator.
+    pub const SES: &str = "ses";
+    /// The satellite tracker.
+    pub const STR: &str = "str";
+    /// The radio tuner.
+    pub const RTU: &str = "rtu";
+    /// The failure detector.
+    pub const FD: &str = "fd";
+    /// The recovery module.
+    pub const REC: &str = "rec";
+
+    /// The five components of the original (unsplit) station.
+    pub const UNSPLIT: [&str; 5] = [MBUS, FEDRCOM, SES, STR, RTU];
+    /// The six components after the fedrcom split.
+    pub const SPLIT: [&str; 6] = [MBUS, FEDR, PBCOM, SES, STR, RTU];
+}
+
+/// Per-component timing parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComponentTiming {
+    /// Mean boot time (process start to functionally-ready, excluding sync).
+    pub boot_mean_s: f64,
+    /// Standard deviation of boot time (small, per the §3.2 small-CoV
+    /// assumption).
+    pub boot_std_s: f64,
+}
+
+impl ComponentTiming {
+    fn new(boot_mean_s: f64, boot_std_s: f64) -> Self {
+        ComponentTiming { boot_mean_s, boot_std_s }
+    }
+
+    /// The boot-time distribution.
+    pub fn boot_dist(&self) -> Dist {
+        if self.boot_std_s == 0.0 {
+            Dist::constant(self.boot_mean_s)
+        } else {
+            Dist::normal(self.boot_mean_s, self.boot_std_s)
+        }
+    }
+}
+
+/// Full station configuration: timings, coupling parameters, workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StationConfig {
+    /// FD liveness-ping period (paper: 1 s, §2.2).
+    pub ping_period_s: f64,
+    /// How long FD waits for a pong before declaring a miss.
+    pub ping_timeout_s: f64,
+    /// One-way latency of an envelope hop over mbus.
+    pub bus_latency_s: f64,
+    /// One-way latency of the dedicated FD↔REC / fedr↔pbcom connections.
+    pub direct_latency_s: f64,
+    /// Delay from REC issuing a restart to the new process's start event
+    /// (process spawn cost).
+    pub exec_delay_s: f64,
+    /// Quadratic restart-contention coefficient: k concurrently booting
+    /// components are each slowed by `1 + q·(k−1)²`.
+    pub contention_quadratic: f64,
+    /// Per-component boot timings.
+    pub timing: BTreeMap<String, ComponentTiming>,
+    /// Seconds an *old* (long-running) ses takes to service str's resync.
+    pub ses_resync_service_s: f64,
+    /// Seconds an *old* str takes to service ses's resync.
+    pub str_resync_service_s: f64,
+    /// Handshake time between two freshly restarted peers.
+    pub fresh_sync_s: f64,
+    /// Uptime below which a peer is considered "fresh" (fast sync, no
+    /// induced failure).
+    pub fresh_threshold_s: f64,
+    /// Delay from an old peer servicing a resync to its induced failure
+    /// (§4.3: a restart in one "substantially always" leads to a restart of
+    /// the other).
+    pub induced_failure_delay_s: f64,
+    /// fedr → pbcom TCP connect + accept time.
+    pub connect_ack_s: f64,
+    /// Extra pbcom negotiation time when the serial link bounced within
+    /// `rapid_restart_window_s` (hardware back-off).
+    pub pbcom_rapid_restart_penalty_s: f64,
+    /// Window for the rapid-restart penalty.
+    pub rapid_restart_window_s: f64,
+    /// Number of fedr connection losses after which pbcom's aging causes it
+    /// to fail (§4.2: "multiple fedr failures eventually lead to a pbcom
+    /// failure").
+    pub pbcom_aging_limit: u32,
+    /// Delay from a poisoned fedr connecting until pbcom crashes (the
+    /// §4.4 correlated failure that only a joint restart cures).
+    pub poison_crash_delay_s: f64,
+    /// Health-beacon period (0 disables beacons; future work §7).
+    pub beacon_period_s: f64,
+    /// Proactive rejuvenation: when a beacon reports aging at or above this
+    /// threshold, REC restarts the component's cell *before* it fails —
+    /// "a bounded form of software rejuvenation" increasing MTTF (§3).
+    /// `None` disables (the paper's measured configuration).
+    pub rejuvenation_aging_threshold: Option<f64>,
+    /// After FD restarts REC (or REC restarts FD), how long the watchdog
+    /// waits before resuming liveness checks — must exceed the peer's boot
+    /// time or the pair re-kills each other mid-boot forever.
+    pub watchdog_grace_s: f64,
+    /// Grace period after FD boots before it starts pinging, covering the
+    /// station's initial cold start so components mid-first-boot are not
+    /// reported as failures.
+    pub fd_grace_s: f64,
+    /// If a restarted component has not come back within this time, REC
+    /// stops attributing its silence to the in-flight restart and treats
+    /// further failure reports as a new failure (covers components killed
+    /// mid-reboot by an unlucky second fault).
+    pub restart_deadline_s: f64,
+    /// How long REC waits after a restart completes before declaring the
+    /// failure cured (must exceed the poison re-crash + detection lag so
+    /// escalation, not a fresh episode, handles persisting failures).
+    pub cure_confirm_s: f64,
+    /// fedr → pbcom keepalive period.
+    pub keepalive_period_s: f64,
+    /// How recent tune/point commands must be for the radio to hold carrier
+    /// lock and produce telemetry.
+    pub lock_window_s: f64,
+    /// ses/str sync-request retry period while blocked on the peer.
+    pub sync_retry_s: f64,
+    /// fedr connect retry period while pbcom is unreachable.
+    pub connect_retry_s: f64,
+    /// Offset added to simulation time to obtain the orbital epoch time used
+    /// by estimates (lets scenarios start mid-pass).
+    pub pass_epoch_offset_s: f64,
+    /// Telemetry frame period during an active, locked pass.
+    pub telemetry_period_s: f64,
+    /// Ground station site (Stanford).
+    pub site: GroundSite,
+    /// Satellite catalog.
+    pub satellites: Vec<Satellite>,
+}
+
+impl StationConfig {
+    /// The calibration reproducing the paper's measurements (see module
+    /// docs for the derivation).
+    pub fn paper() -> StationConfig {
+        let mut timing = BTreeMap::new();
+        timing.insert(names::MBUS.into(), ComponentTiming::new(4.73, 0.05));
+        timing.insert(names::FEDRCOM.into(), ComponentTiming::new(19.93, 0.10));
+        timing.insert(names::FEDR.into(), ComponentTiming::new(4.76, 0.05));
+        timing.insert(names::PBCOM.into(), ComponentTiming::new(20.24, 0.10));
+        timing.insert(names::SES.into(), ComponentTiming::new(5.15, 0.05));
+        timing.insert(names::STR.into(), ComponentTiming::new(5.01, 0.05));
+        timing.insert(names::RTU.into(), ComponentTiming::new(4.59, 0.05));
+        // FD and REC are small Java processes; they restart quickly.
+        timing.insert(names::FD.into(), ComponentTiming::new(1.5, 0.02));
+        timing.insert(names::REC.into(), ComponentTiming::new(1.5, 0.02));
+        StationConfig {
+            ping_period_s: 1.0,
+            ping_timeout_s: 0.4,
+            bus_latency_s: 0.002,
+            direct_latency_s: 0.001,
+            exec_delay_s: 0.10,
+            contention_quadratic: 0.0119,
+            timing,
+            ses_resync_service_s: 3.75,
+            str_resync_service_s: 3.35,
+            fresh_sync_s: 0.05,
+            fresh_threshold_s: 30.0,
+            induced_failure_delay_s: 0.8,
+            connect_ack_s: 0.05,
+            pbcom_rapid_restart_penalty_s: 4.0,
+            rapid_restart_window_s: 60.0,
+            pbcom_aging_limit: 8,
+            poison_crash_delay_s: 0.5,
+            beacon_period_s: 5.0,
+            rejuvenation_aging_threshold: None,
+            watchdog_grace_s: 8.0,
+            fd_grace_s: 30.0,
+            restart_deadline_s: 45.0,
+            cure_confirm_s: 2.5,
+            keepalive_period_s: 1.0,
+            lock_window_s: 5.0,
+            sync_retry_s: 0.2,
+            connect_retry_s: 0.5,
+            pass_epoch_offset_s: 0.0,
+            telemetry_period_s: 1.0,
+            site: GroundSite::stanford(),
+            satellites: vec![Satellite::opal(), Satellite::sapphire()],
+        }
+    }
+
+    /// Checks the configuration's internal consistency: every component has
+    /// a timing entry, the detection machinery is coherent, and the recovery
+    /// timeouts are ordered so escalation (not deadlock or spurious new
+    /// episodes) handles persisting failures.
+    ///
+    /// # Errors
+    ///
+    /// Returns the list of violated constraints.
+    pub fn validate(&self) -> Result<(), Vec<String>> {
+        let mut errors = Vec::new();
+        for comp in names::UNSPLIT.iter().chain(names::SPLIT.iter()).chain([&names::FD, &names::REC]) {
+            if !self.timing.contains_key(*comp) {
+                errors.push(format!("no timing entry for component {comp:?}"));
+            }
+        }
+        if self.ping_timeout_s >= self.ping_period_s {
+            errors.push(format!(
+                "ping timeout ({}) must be shorter than the ping period ({}) or rounds overlap",
+                self.ping_timeout_s, self.ping_period_s
+            ));
+        }
+        // REC must not declare a cure before a poison re-crash could be
+        // re-detected, or it closes the episode and escalation never happens.
+        let min_confirm = self.poison_crash_delay_s + self.mean_detection_s() + 0.2;
+        if self.cure_confirm_s <= min_confirm {
+            errors.push(format!(
+                "cure_confirm_s ({}) must exceed poison delay + detection ({min_confirm:.2})",
+                self.cure_confirm_s
+            ));
+        }
+        // The restart deadline must outlast the slowest possible boot
+        // (full-station contention + hardware back-off), or healthy reboots
+        // get treated as new failures.
+        let slowest_boot = self
+            .timing
+            .values()
+            .map(|t| t.boot_mean_s + 4.0 * t.boot_std_s)
+            .fold(0.0f64, f64::max);
+        let worst_k = names::SPLIT.len() + 2; // components + FD + REC cold start
+        let contention = 1.0 + self.contention_quadratic * ((worst_k - 1) as f64).powi(2);
+        let worst_boot =
+            slowest_boot * contention + self.pbcom_rapid_restart_penalty_s + self.exec_delay_s;
+        if self.restart_deadline_s <= worst_boot {
+            errors.push(format!(
+                "restart_deadline_s ({}) must exceed the worst-case boot ({worst_boot:.1})",
+                self.restart_deadline_s
+            ));
+        }
+        // A joint ses/str restart must finish while both sides still count
+        // as fresh, or consolidation loses its benefit.
+        let ses_boot = self.timing.get(names::SES).map_or(0.0, |t| t.boot_mean_s);
+        let str_boot = self.timing.get(names::STR).map_or(0.0, |t| t.boot_mean_s);
+        if self.fresh_threshold_s <= ses_boot.max(str_boot) + self.fresh_sync_s + 2.0 {
+            errors.push(format!(
+                "fresh_threshold_s ({}) too short for a joint ses/str restart",
+                self.fresh_threshold_s
+            ));
+        }
+        // The FD/REC mutual watchdogs must wait out each other's boots.
+        let fd_boot = self.timing.get(names::FD).map_or(0.0, |t| t.boot_mean_s);
+        let rec_boot = self.timing.get(names::REC).map_or(0.0, |t| t.boot_mean_s);
+        if self.watchdog_grace_s <= fd_boot.max(rec_boot) + self.exec_delay_s + self.ping_period_s
+        {
+            errors.push(format!(
+                "watchdog_grace_s ({}) must outlast FD/REC boot + one ping round",
+                self.watchdog_grace_s
+            ));
+        }
+        if let Some(t) = self.rejuvenation_aging_threshold {
+            if !(0.0..=1.0).contains(&t) {
+                errors.push(format!("rejuvenation threshold {t} outside [0, 1]"));
+            }
+        }
+        if errors.is_empty() {
+            Ok(())
+        } else {
+            Err(errors)
+        }
+    }
+
+    /// The timing entry for a component.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the component has no timing entry.
+    pub fn timing_for(&self, component: &str) -> &ComponentTiming {
+        self.timing
+            .get(component)
+            .unwrap_or_else(|| panic!("no timing configured for {component:?}"))
+    }
+
+    /// Mean failure-to-report detection latency implied by the ping
+    /// parameters.
+    pub fn mean_detection_s(&self) -> f64 {
+        self.ping_period_s / 2.0 + self.ping_timeout_s
+    }
+
+    /// The ping period as a duration.
+    pub fn ping_period(&self) -> SimDuration {
+        SimDuration::from_secs_f64(self.ping_period_s)
+    }
+
+    /// The analytic cost model matching this configuration (used by
+    /// `rr_core::analysis` and the optimizer; cross-validated against the
+    /// simulation by the test suite).
+    pub fn cost_model(&self) -> SimpleCostModel {
+        // Analytic detection includes the exec delay REC pays per restart.
+        let mut m = SimpleCostModel::new(
+            self.mean_detection_s() + self.exec_delay_s,
+            2.0, // mean re-detection of a persisting failure after a wrong cure
+        )
+        .with_contention(self.contention_quadratic)
+        .with_sync_pair(
+            names::SES,
+            names::STR,
+            self.str_resync_service_s - self.fresh_sync_s,
+        )
+        .with_sync_pair(
+            names::STR,
+            names::SES,
+            self.ses_resync_service_s - self.fresh_sync_s,
+        )
+        .with_rapid_restart_penalty(names::PBCOM, self.pbcom_rapid_restart_penalty_s)
+        .with_rapid_restart_penalty(names::FEDRCOM, self.pbcom_rapid_restart_penalty_s);
+        for (name, t) in &self.timing {
+            let extra = match name.as_str() {
+                // fedr and the unsplit fedrcom must bring up their serial
+                // connection; ses/str complete a fresh handshake.
+                n if n == names::FEDR => self.connect_ack_s,
+                n if n == names::SES || n == names::STR => self.fresh_sync_s,
+                _ => 0.0,
+            };
+            m = m.with_boot(name.clone(), t.boot_mean_s + extra);
+        }
+        m
+    }
+
+    /// The paper's failure model: Table 1 MTTFs plus the correlated modes of
+    /// §4.2/§4.3 for the split station.
+    pub fn paper_failure_model(&self) -> FailureModel {
+        FailureModel::new()
+            // Table 1: mbus ≈ 1 month, fedrcom ≈ 10 min, ses/str/rtu ≈ 5 h.
+            // Post-split, fedr inherits fedrcom's instability while pbcom is
+            // "simple and very stable" (§4.2).
+            .with_mode(FailureMode::solo("mbus-crash", names::MBUS, 1.0 / 730.0))
+            .with_mode(FailureMode::solo("fedr-crash", names::FEDR, 6.0))
+            .with_mode(FailureMode::solo("pbcom-crash", names::PBCOM, 1.0 / 168.0))
+            .with_mode(FailureMode::correlated(
+                "pbcom-joint",
+                names::PBCOM,
+                [names::FEDR, names::PBCOM],
+                0.05,
+            ))
+            .with_mode(FailureMode::correlated(
+                "ses-crash",
+                names::SES,
+                [names::SES],
+                0.2,
+            ))
+            .with_mode(FailureMode::correlated(
+                "str-crash",
+                names::STR,
+                [names::STR],
+                0.2,
+            ))
+            .with_mode(FailureMode::solo("rtu-crash", names::RTU, 0.2))
+    }
+
+    /// The failure-correlation view used by the transformation advisor
+    /// (Table 3's `f` values as the paper states them): ses/str failures are
+    /// "substantially always" cured only by a joint restart
+    /// (`f_ses ≈ f_str ≈ 0, f_{ses,str} ≈ 1`, §4.3). The analytic-MTTR model
+    /// ([`paper_failure_model`](Self::paper_failure_model)) instead encodes
+    /// the cascade as a solo cure plus the resync cost penalty, which is the
+    /// correct accounting for recovery *time*; this model is the correct
+    /// accounting for recovery *structure*.
+    pub fn advisory_failure_model(&self) -> FailureModel {
+        FailureModel::new()
+            .with_mode(FailureMode::solo("mbus-crash", names::MBUS, 1.0 / 730.0))
+            .with_mode(FailureMode::solo("fedr-crash", names::FEDR, 6.0))
+            .with_mode(FailureMode::solo("pbcom-crash", names::PBCOM, 0.05))
+            .with_mode(FailureMode::correlated(
+                "pbcom-joint",
+                names::PBCOM,
+                [names::FEDR, names::PBCOM],
+                0.4,
+            ))
+            .with_mode(FailureMode::correlated(
+                "ses-crash",
+                names::SES,
+                [names::SES, names::STR],
+                0.2,
+            ))
+            .with_mode(FailureMode::correlated(
+                "str-crash",
+                names::STR,
+                [names::SES, names::STR],
+                0.2,
+            ))
+            .with_mode(FailureMode::solo("rtu-crash", names::RTU, 0.2))
+    }
+
+    /// The Table 1 failure model for the *unsplit* station (trees I/II).
+    pub fn unsplit_failure_model(&self) -> FailureModel {
+        FailureModel::new()
+            .with_mode(FailureMode::solo("mbus-crash", names::MBUS, 1.0 / 730.0))
+            .with_mode(FailureMode::solo("fedrcom-crash", names::FEDRCOM, 6.0))
+            .with_mode(FailureMode::solo("ses-crash", names::SES, 0.2))
+            .with_mode(FailureMode::solo("str-crash", names::STR, 0.2))
+            .with_mode(FailureMode::solo("rtu-crash", names::RTU, 0.2))
+    }
+}
+
+impl Default for StationConfig {
+    fn default() -> Self {
+        StationConfig::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rr_core::analysis::CostModel as _;
+
+    #[test]
+    fn paper_calibration_predicts_table2_tree_ii() {
+        // detection + exec + boot must land on Table 2's tree-II row.
+        let cfg = StationConfig::paper();
+        let overhead = cfg.mean_detection_s() + cfg.exec_delay_s;
+        let cases = [
+            (names::MBUS, 5.73),
+            (names::SES, 9.50), // includes slow resync with the old peer
+            (names::STR, 9.76),
+            (names::RTU, 5.59),
+            (names::FEDRCOM, 20.93),
+        ];
+        for (comp, want) in cases {
+            let boot = cfg.timing_for(comp).boot_mean_s;
+            let resync = match comp {
+                c if c == names::SES => cfg.str_resync_service_s,
+                c if c == names::STR => cfg.ses_resync_service_s,
+                _ => 0.0,
+            };
+            let predicted = overhead + boot + resync;
+            assert!(
+                (predicted - want).abs() < 0.05,
+                "{comp}: predicted {predicted:.2}, Table 2 says {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn paper_calibration_predicts_tree_i_contention() {
+        let cfg = StationConfig::paper();
+        let k = names::UNSPLIT.len();
+        let slowest = cfg.timing_for(names::FEDRCOM).boot_mean_s;
+        let factor = 1.0 + cfg.contention_quadratic * ((k - 1) as f64).powi(2);
+        let predicted = cfg.mean_detection_s() + cfg.exec_delay_s + slowest * factor;
+        assert!(
+            (predicted - 24.75).abs() < 0.1,
+            "tree I prediction {predicted:.2} vs 24.75"
+        );
+    }
+
+    #[test]
+    fn cost_model_matches_table4_key_cells() {
+        let cfg = StationConfig::paper();
+        let m = cfg.cost_model();
+        // pbcom alone (tree III/IV perfect row): 21.24.
+        let pbcom = m.detection_s() + m.restart_s(&[names::PBCOM.to_string()]);
+        assert!((pbcom - 21.24).abs() < 0.1, "pbcom {pbcom:.2}");
+        // ses+str joint (tree IV): ~6.25.
+        let joint =
+            m.detection_s() + m.restart_s(&[names::SES.to_string(), names::STR.to_string()]);
+        assert!((joint - 6.25).abs() < 0.15, "ses/str joint {joint:.2}");
+    }
+
+    #[test]
+    fn failure_models_validate_against_component_sets() {
+        let cfg = StationConfig::paper();
+        let split_tree = rr_core::TreeSpec::cell("m")
+            .with_components(names::SPLIT)
+            .build()
+            .unwrap();
+        assert!(cfg.paper_failure_model().validate_against(&split_tree).is_ok());
+        let unsplit_tree = rr_core::TreeSpec::cell("m")
+            .with_components(names::UNSPLIT)
+            .build()
+            .unwrap();
+        assert!(cfg
+            .unsplit_failure_model()
+            .validate_against(&unsplit_tree)
+            .is_ok());
+    }
+
+    #[test]
+    fn table1_mttfs_are_encoded() {
+        let cfg = StationConfig::paper();
+        let m = cfg.unsplit_failure_model();
+        // fedrcom: 10 minutes.
+        let fedrcom = m.component_mttf_s(names::FEDRCOM).unwrap();
+        assert!((fedrcom - 600.0).abs() < 1.0);
+        // mbus: ~1 month.
+        let mbus = m.component_mttf_s(names::MBUS).unwrap();
+        assert!((mbus - 730.0 * 3600.0).abs() < 3600.0);
+        // ses/str/rtu: 5 hours.
+        for c in [names::SES, names::STR, names::RTU] {
+            let v = m.component_mttf_s(c).unwrap();
+            assert!((v - 5.0 * 3600.0).abs() < 1.0, "{c}: {v}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no timing configured")]
+    fn unknown_component_timing_panics() {
+        StationConfig::paper().timing_for("warp-core");
+    }
+
+    #[test]
+    fn paper_config_validates() {
+        StationConfig::paper().validate().expect("paper calibration is coherent");
+    }
+
+    #[test]
+    fn validate_catches_incoherent_timeouts() {
+        let mut cfg = StationConfig::paper();
+        cfg.ping_timeout_s = 2.0; // longer than the 1 s period
+        cfg.cure_confirm_s = 0.1; // cure declared before poison can re-crash
+        cfg.restart_deadline_s = 5.0; // shorter than a pbcom boot
+        let errors = cfg.validate().unwrap_err();
+        assert!(errors.len() >= 3, "{errors:?}");
+        assert!(errors.iter().any(|e| e.contains("ping timeout")));
+        assert!(errors.iter().any(|e| e.contains("cure_confirm_s")));
+        assert!(errors.iter().any(|e| e.contains("restart_deadline_s")));
+    }
+
+    #[test]
+    fn validate_catches_missing_timing() {
+        let mut cfg = StationConfig::paper();
+        cfg.timing.remove(names::RTU);
+        let errors = cfg.validate().unwrap_err();
+        assert!(errors.iter().any(|e| e.contains("rtu")), "{errors:?}");
+    }
+
+    #[test]
+    fn validate_catches_bad_rejuvenation_threshold() {
+        let mut cfg = StationConfig::paper();
+        cfg.rejuvenation_aging_threshold = Some(1.5);
+        let errors = cfg.validate().unwrap_err();
+        assert!(errors.iter().any(|e| e.contains("rejuvenation")), "{errors:?}");
+    }
+
+    #[test]
+    fn config_is_cloneable_and_comparable() {
+        let cfg = StationConfig::paper();
+        let clone = cfg.clone();
+        assert_eq!(cfg, clone);
+        assert_eq!(StationConfig::default(), cfg);
+    }
+}

@@ -1,0 +1,197 @@
+//! `FD` — the failure detector (§2.2).
+//!
+//! "FD continuously performs liveness pings on Mercury components, with a
+//! period of 1 second … When FD detects a failure, it tells REC which
+//! component(s) appear to have failed, and continues its failure detection."
+//!
+//! Details faithful to the paper:
+//!
+//! * pings are application-level XML messages over mbus — "a successful
+//!   response indicates the component's liveness with higher confidence than
+//!   a network-level ICMP ping";
+//! * mbus itself is monitored; while mbus is suspected down, other
+//!   components' silence is attributed to the bus and not reported;
+//! * FD and REC talk over a dedicated connection, not mbus;
+//! * FD monitors REC and initiates REC's recovery itself (the only
+//!   restart knowledge FD has, §2.2).
+
+use std::collections::{HashMap, HashSet};
+
+use mercury_msg::Message;
+use rr_sim::{Actor, Context, Event, SimDuration, SimTime};
+
+use crate::components::common::{Lifecycle, Shared, Wire, TIMER_BOOT, TIMER_ROLE_BASE};
+use crate::config::names;
+
+const TIMER_PING_TICK: u64 = TIMER_ROLE_BASE;
+/// Timeout timers carry `TIMER_TIMEOUT_BASE + round`.
+const TIMER_TIMEOUT_BASE: u64 = 1000;
+
+/// The failure-detector actor.
+#[derive(Debug)]
+pub struct Fd {
+    life: Lifecycle,
+    /// The components monitored via mbus.
+    monitored: Vec<String>,
+    round: u64,
+    /// Outstanding pings of the current round: component → seq.
+    outstanding: HashMap<String, u64>,
+    /// Components currently believed down.
+    down: HashMap<String, bool>,
+    /// Components that missed at least one ping round (whether or not their
+    /// silence was reported — it may have been suppressed while mbus was
+    /// down). Their next pong triggers an Alive notice so REC can complete
+    /// group restarts.
+    missing: HashSet<String>,
+    /// Outstanding direct ping to REC, if any.
+    rec_outstanding: Option<u64>,
+    rec_down: bool,
+    /// Do not watch REC before this time (it is rebooting on our orders).
+    rec_grace_until: SimTime,
+}
+
+impl Fd {
+    /// Creates the failure detector monitoring `monitored` components.
+    pub fn new(shared: Shared, monitored: Vec<String>) -> Fd {
+        Fd {
+            life: Lifecycle::new(names::FD, shared),
+            monitored,
+            round: 0,
+            outstanding: HashMap::new(),
+            down: HashMap::new(),
+            missing: HashSet::new(),
+            rec_outstanding: None,
+            rec_down: false,
+            rec_grace_until: SimTime::ZERO,
+        }
+    }
+
+    fn seq_for(&self, round: u64, idx: usize) -> u64 {
+        round * 1000 + idx as u64
+    }
+
+    fn ping_tick(&mut self, ctx: &mut Context<'_, Wire>) {
+        self.round += 1;
+        self.outstanding.clear();
+        for (idx, comp) in self.monitored.clone().into_iter().enumerate() {
+            let seq = self.seq_for(self.round, idx);
+            self.life.send_bus(ctx, &comp, Message::Ping { seq });
+            self.outstanding.insert(comp, seq);
+        }
+        // REC is pinged over the dedicated connection — unless we just
+        // restarted it and it is still booting.
+        if ctx.now() >= self.rec_grace_until {
+            let rec_seq = self.seq_for(self.round, 999);
+            self.life.send_direct(ctx, names::REC, Message::Ping { seq: rec_seq });
+            self.rec_outstanding = Some(rec_seq);
+        }
+
+        let timeout = SimDuration::from_secs_f64(self.life.config().ping_timeout_s);
+        ctx.set_timer(timeout, TIMER_TIMEOUT_BASE + self.round);
+        let period = self.life.config().ping_period();
+        ctx.set_timer(period, TIMER_PING_TICK);
+    }
+
+    fn handle_timeout(&mut self, round: u64, ctx: &mut Context<'_, Wire>) {
+        if round != self.round {
+            return; // stale timeout from an earlier round
+        }
+        let missing: Vec<String> = self.outstanding.keys().cloned().collect();
+        let mbus_missing = missing.iter().any(|c| c == names::MBUS);
+        for comp in &missing {
+            self.missing.insert(comp.clone());
+        }
+
+        for comp in &missing {
+            let was_down = self.down.get(comp).copied().unwrap_or(false);
+            if comp == names::MBUS {
+                if !was_down {
+                    ctx.trace_mark(format!("detect:{comp}"));
+                }
+                self.down.insert(comp.clone(), true);
+                self.life
+                    .send_direct(ctx, names::REC, Message::Failed { component: comp.clone() });
+            } else if mbus_missing || self.down.get(names::MBUS).copied().unwrap_or(false) {
+                // The bus is down: this component's silence proves nothing.
+                continue;
+            } else {
+                if !was_down {
+                    ctx.trace_mark(format!("detect:{comp}"));
+                }
+                self.down.insert(comp.clone(), true);
+                self.life
+                    .send_direct(ctx, names::REC, Message::Failed { component: comp.clone() });
+            }
+        }
+
+        // REC watchdog: FD itself knows how to restart REC (and only REC).
+        if self.rec_outstanding.take().is_some() {
+            if !self.rec_down {
+                ctx.trace_mark("detect:rec");
+            }
+            self.rec_down = true;
+            if let Some(rec) = ctx.lookup(names::REC) {
+                ctx.trace_mark("fd-restarts:rec");
+                ctx.kill_after(SimDuration::ZERO, rec);
+                let exec = SimDuration::from_secs_f64(self.life.config().exec_delay_s);
+                ctx.respawn_after(exec, rec);
+                let grace = SimDuration::from_secs_f64(self.life.config().watchdog_grace_s);
+                self.rec_grace_until = ctx.now() + grace;
+            }
+        }
+    }
+
+    fn handle_pong(&mut self, src: &str, ctx: &mut Context<'_, Wire>) {
+        if src == names::REC {
+            self.rec_outstanding = None;
+            if self.rec_down {
+                self.rec_down = false;
+                ctx.trace_mark("alive:rec");
+            }
+            return;
+        }
+        self.outstanding.remove(src);
+        let was_down = self.down.get(src).copied().unwrap_or(false);
+        if was_down || self.missing.contains(src) {
+            self.down.insert(src.to_string(), false);
+            self.missing.remove(src);
+            ctx.trace_mark(format!("alive:{src}"));
+            self.life
+                .send_direct(ctx, names::REC, Message::Alive { component: src.to_string() });
+        }
+    }
+}
+
+impl Actor<Wire> for Fd {
+    fn on_event(&mut self, ev: Event<Wire>, ctx: &mut Context<'_, Wire>) {
+        match ev {
+            Event::Start => self.life.begin_boot(ctx, 0.0),
+            Event::Timer { key: TIMER_BOOT } => {
+                self.life.set_ready(ctx);
+                // Wait out the station's cold start before the first sweep.
+                let grace = SimDuration::from_secs_f64(self.life.config().fd_grace_s);
+                ctx.set_timer(grace, TIMER_PING_TICK);
+            }
+            Event::Timer { key: TIMER_PING_TICK } => self.ping_tick(ctx),
+            Event::Timer { key } if key >= TIMER_TIMEOUT_BASE => {
+                self.handle_timeout(key - TIMER_TIMEOUT_BASE, ctx);
+            }
+            Event::Timer { key } => {
+                self.life.handle_beacon_timer(key, ctx, 0.0);
+            }
+            Event::Message { payload, .. } => {
+                let Some(env) = self.life.parse(ctx, &payload) else {
+                    return;
+                };
+                // Answer REC's direct liveness pings.
+                if self.life.handle_common(&env, ctx, 0.0) {
+                    return;
+                }
+                if let Message::Pong { .. } = env.body {
+                    let src = env.src.clone();
+                    self.handle_pong(&src, ctx);
+                }
+            }
+        }
+    }
+}

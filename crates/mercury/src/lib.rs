@@ -1,0 +1,52 @@
+//! # mercury — the recursively restartable COTS satellite ground station
+//!
+//! A faithful simulation of the Mercury ground station from *Reducing
+//! Recovery Time in a Small Recursively Restartable System* (DSN 2002):
+//! the component graph of Figure 1 (`mbus`, `fedrcom` — later split into
+//! `fedr` + `pbcom` —, `ses`, `str`, `rtu`), the failure detector `FD` (1 s
+//! application-level XML liveness pings), the recovery module `REC`
+//! (recoverer + oracle over a restart tree from `rr-core`), the failure
+//! couplings the paper measures (ses/str startup synchronization, pbcom
+//! aging, the joint-restart-only pbcom failure), and a Keplerian orbit model
+//! driving realistic satellite-pass workloads.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use mercury::config::StationConfig;
+//! use mercury::measure::measure_recovery;
+//! use mercury::station::{Station, TreeVariant};
+//! use rr_core::PerfectOracle;
+//! use rr_sim::SimDuration;
+//!
+//! let mut station = Station::new(
+//!     StationConfig::paper(),
+//!     TreeVariant::IV,
+//!     Box::new(PerfectOracle::new()),
+//!     42,
+//! );
+//! station.warm_up();
+//! let injected = station.inject_kill("rtu");
+//! station.run_for(SimDuration::from_secs(60));
+//! let m = measure_recovery(station.trace(), "rtu", injected)?;
+//! assert!(m.recovery_s() < 10.0, "partial restart beats a full reboot");
+//! # Ok::<(), mercury::measure::MeasureError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod components;
+pub mod config;
+pub mod fd;
+pub mod host;
+pub mod measure;
+pub mod orbit;
+pub mod rec;
+pub mod scenario;
+pub mod station;
+
+pub use config::{names, StationConfig};
+pub use measure::{measure_recovery, MeasureError, RecoveryMeasurement};
+pub use scenario::PassScenario;
+pub use station::{Station, TreeVariant};

@@ -1,0 +1,352 @@
+//! Recovery-time measurement, exactly as the paper defines it (§4.1):
+//!
+//! "We log the time when the signal is sent; once the component determines
+//! it is functionally ready, it logs a timestamped message. The difference
+//! between these two times is what we consider to be the recovery time."
+//!
+//! An *episode* starts at an `inject:<component>` mark and is recovered when
+//! every component restarted by the episode's final (curing) restart attempt
+//! has logged `ready:`. For tree I this is the whole station (recovery =
+//! slowest component); for a tree-V pbcom failure it is the joint
+//! [fedr, pbcom] pair.
+
+use rr_sim::{SimTime, Trace, TraceKind};
+
+/// One measured recovery episode.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryMeasurement {
+    /// The component whose failure was injected.
+    pub component: String,
+    /// Injection time.
+    pub injected_at: SimTime,
+    /// When the final restart's last component became ready.
+    pub recovered_at: SimTime,
+    /// Restart attempts observed (1 = the oracle's first guess cured it).
+    pub attempts: u32,
+    /// Components restarted by the final attempt.
+    pub final_restart_set: Vec<String>,
+}
+
+impl RecoveryMeasurement {
+    /// The recovery time in seconds — the paper's measured quantity.
+    pub fn recovery_s(&self) -> f64 {
+        self.recovered_at.saturating_since(self.injected_at).as_secs_f64()
+    }
+}
+
+/// Why a recovery could not be measured.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MeasureError {
+    /// No `inject:` mark for the component at or after the given time.
+    NoInjection(String),
+    /// The recoverer never issued a restart for the episode.
+    NoRestart(String),
+    /// The policy gave up on the episode.
+    GaveUp(String),
+    /// A restarted component never logged ready (simulation not run long
+    /// enough, or a real bug).
+    NeverReady(String),
+}
+
+impl std::fmt::Display for MeasureError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MeasureError::NoInjection(c) => write!(f, "no injection recorded for {c}"),
+            MeasureError::NoRestart(c) => write!(f, "no restart issued for {c}"),
+            MeasureError::GaveUp(c) => write!(f, "recovery of {c} was abandoned"),
+            MeasureError::NeverReady(c) => write!(f, "{c} never became ready"),
+        }
+    }
+}
+
+impl std::error::Error for MeasureError {}
+
+/// Parses a `restart:<episode>:<attempt>:<c1+c2+…>` mark.
+fn parse_restart(label: &str) -> Option<(&str, u32, Vec<String>)> {
+    let rest = label.strip_prefix("restart:")?;
+    let mut parts = rest.splitn(3, ':');
+    let episode = parts.next()?;
+    let attempt: u32 = parts.next()?.parse().ok()?;
+    let comps = parts.next()?.split('+').map(str::to_string).collect();
+    Some((episode, attempt, comps))
+}
+
+/// Measures the recovery of the failure injected into `component` at or
+/// after `after`.
+///
+/// # Errors
+///
+/// Returns a [`MeasureError`] describing what is missing from the trace.
+pub fn measure_recovery(
+    trace: &Trace,
+    component: &str,
+    after: SimTime,
+) -> Result<RecoveryMeasurement, MeasureError> {
+    let injected_at = trace
+        .first_mark_at_or_after(after, &format!("inject:{component}"))
+        .ok_or_else(|| MeasureError::NoInjection(component.to_string()))?;
+
+    // All restart attempts for this episode after the injection: the episode
+    // is keyed by the component that failed.
+    let mut attempts: Vec<(SimTime, u32, Vec<String>)> = Vec::new();
+    let mut gave_up = false;
+    for ev in trace.iter() {
+        if ev.kind != TraceKind::Mark || ev.time < injected_at {
+            continue;
+        }
+        if let Some((episode, attempt, comps)) = parse_restart(&ev.label) {
+            if episode == component {
+                attempts.push((ev.time, attempt, comps));
+            }
+        } else if ev.label == format!("giveup:{component}") || ev.label.starts_with(&format!("giveup:{component}:")) {
+            gave_up = true;
+        } else if ev.label == format!("cured:{component}") && !attempts.is_empty() {
+            // Episode closed; later restarts belong to a new episode.
+            break;
+        }
+    }
+    if gave_up {
+        return Err(MeasureError::GaveUp(component.to_string()));
+    }
+    let (final_time, _, final_set) = attempts
+        .last()
+        .cloned()
+        .ok_or_else(|| MeasureError::NoRestart(component.to_string()))?;
+
+    // Recovery completes when every component of the final restart logs
+    // ready at or after the final restart was issued.
+    let mut recovered_at = SimTime::ZERO;
+    for comp in &final_set {
+        let ready = trace
+            .first_mark_at_or_after(final_time, &format!("ready:{comp}"))
+            .ok_or_else(|| MeasureError::NeverReady(comp.clone()))?;
+        recovered_at = recovered_at.max(ready);
+    }
+
+    Ok(RecoveryMeasurement {
+        component: component.to_string(),
+        injected_at,
+        recovered_at,
+        attempts: attempts.len() as u32,
+        final_restart_set: final_set,
+    })
+}
+
+/// Computes the total system downtime in `[from, to)` under the paper's
+/// `A_entire` assumption: the system is down whenever *any* component is
+/// down (from its crash/hang/kill until its next `ready:` mark).
+///
+/// Returns `(downtime, availability)` where availability is the uptime
+/// fraction of the window.
+///
+/// # Panics
+///
+/// Panics if `to < from`.
+pub fn system_downtime(
+    trace: &Trace,
+    components: &[String],
+    from: SimTime,
+    to: SimTime,
+) -> (rr_sim::SimDuration, f64) {
+    assert!(to >= from, "empty window");
+    // Collect per-component down intervals, then union them.
+    let mut intervals: Vec<(SimTime, SimTime)> = Vec::new();
+    for comp in components {
+        let mut down_since: Option<SimTime> = None;
+        for ev in trace.iter() {
+            if ev.time >= to {
+                break;
+            }
+            let is_this = ev.label == *comp || ev.label == format!("ready:{comp}");
+            if !is_this {
+                continue;
+            }
+            match ev.kind {
+                TraceKind::Crashed | TraceKind::Hung
+                    if down_since.is_none() => {
+                        down_since = Some(ev.time.max(from));
+                    }
+                TraceKind::Mark if ev.label.starts_with("ready:") => {
+                    if let Some(start) = down_since.take() {
+                        if ev.time > from {
+                            intervals.push((start.max(from), ev.time.min(to)));
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        if let Some(start) = down_since {
+            intervals.push((start.max(from), to));
+        }
+    }
+    intervals.sort_by_key(|&(s, _)| s);
+    let mut total = rr_sim::SimDuration::ZERO;
+    let mut cursor = from;
+    for (start, end) in intervals {
+        let start = start.max(cursor);
+        if end > start {
+            total += end.since(start);
+            cursor = end;
+        }
+    }
+    let window = to.since(from).as_secs_f64();
+    let availability = if window == 0.0 {
+        1.0
+    } else {
+        1.0 - total.as_secs_f64() / window
+    };
+    (total, availability)
+}
+
+/// Counts telemetry frames recorded in `[from, to)` — the §5.2 "not all
+/// downtime is the same" metric: frames lost during a pass are science data
+/// lost.
+pub fn telemetry_frames(trace: &Trace, from: SimTime, to: SimTime) -> usize {
+    trace
+        .window(from, to)
+        .filter(|e| e.kind == TraceKind::Mark && e.label.starts_with("telemetry:"))
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs_f64(s)
+    }
+
+    fn mark(trace: &mut Trace, at: f64, label: &str) {
+        trace.record(t(at), None, TraceKind::Mark, label);
+    }
+
+    #[test]
+    fn measures_single_attempt_episode() {
+        let mut tr = Trace::new();
+        mark(&mut tr, 100.0, "inject:rtu");
+        mark(&mut tr, 100.9, "restart:rtu:0:rtu");
+        mark(&mut tr, 105.6, "ready:rtu");
+        mark(&mut tr, 107.0, "cured:rtu");
+        let m = measure_recovery(&tr, "rtu", t(99.0)).unwrap();
+        assert_eq!(m.attempts, 1);
+        assert_eq!(m.final_restart_set, vec!["rtu"]);
+        assert!((m.recovery_s() - 5.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn measures_escalated_episode_to_final_attempt() {
+        let mut tr = Trace::new();
+        mark(&mut tr, 0.0, "inject:pbcom");
+        mark(&mut tr, 1.0, "restart:pbcom:0:pbcom");
+        mark(&mut tr, 21.3, "ready:pbcom");
+        mark(&mut tr, 23.5, "restart:pbcom:1:fedr+pbcom");
+        mark(&mut tr, 28.2, "ready:fedr");
+        mark(&mut tr, 47.9, "ready:pbcom");
+        mark(&mut tr, 50.0, "cured:pbcom");
+        let m = measure_recovery(&tr, "pbcom", t(0.0)).unwrap();
+        assert_eq!(m.attempts, 2);
+        assert_eq!(m.final_restart_set, vec!["fedr", "pbcom"]);
+        assert!((m.recovery_s() - 47.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn whole_system_restart_waits_for_slowest() {
+        let mut tr = Trace::new();
+        mark(&mut tr, 10.0, "inject:rtu");
+        mark(&mut tr, 11.0, "restart:rtu:0:fedrcom+mbus+rtu+ses+str");
+        mark(&mut tr, 16.6, "ready:rtu");
+        mark(&mut tr, 16.8, "ready:mbus");
+        mark(&mut tr, 18.0, "ready:ses");
+        mark(&mut tr, 18.2, "ready:str");
+        mark(&mut tr, 34.7, "ready:fedrcom");
+        let m = measure_recovery(&tr, "rtu", t(0.0)).unwrap();
+        assert!((m.recovery_s() - 24.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn later_episodes_are_not_conflated() {
+        let mut tr = Trace::new();
+        mark(&mut tr, 0.0, "inject:ses");
+        mark(&mut tr, 1.0, "restart:ses:0:ses");
+        mark(&mut tr, 9.5, "ready:ses");
+        mark(&mut tr, 12.0, "cured:ses");
+        // A second, separate episode (the induced str failure cascade).
+        mark(&mut tr, 14.0, "restart:str:0:str");
+        mark(&mut tr, 23.8, "ready:str");
+        let m = measure_recovery(&tr, "ses", t(0.0)).unwrap();
+        assert_eq!(m.attempts, 1);
+        assert!((m.recovery_s() - 9.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn errors_are_specific() {
+        let tr = Trace::new();
+        assert_eq!(
+            measure_recovery(&tr, "rtu", t(0.0)),
+            Err(MeasureError::NoInjection("rtu".into()))
+        );
+
+        let mut tr = Trace::new();
+        mark(&mut tr, 0.0, "inject:rtu");
+        assert_eq!(
+            measure_recovery(&tr, "rtu", t(0.0)),
+            Err(MeasureError::NoRestart("rtu".into()))
+        );
+
+        mark(&mut tr, 1.0, "restart:rtu:0:rtu");
+        assert_eq!(
+            measure_recovery(&tr, "rtu", t(0.0)),
+            Err(MeasureError::NeverReady("rtu".into()))
+        );
+
+        let mut tr = Trace::new();
+        mark(&mut tr, 0.0, "inject:rtu");
+        mark(&mut tr, 1.0, "restart:rtu:0:rtu");
+        mark(&mut tr, 30.0, "giveup:rtu:restart storm: hard failure suspected");
+        assert_eq!(
+            measure_recovery(&tr, "rtu", t(0.0)),
+            Err(MeasureError::GaveUp("rtu".into()))
+        );
+    }
+
+    #[test]
+    fn downtime_unions_overlapping_outages() {
+        let mut tr = Trace::new();
+        let comps = vec!["a".to_string(), "b".to_string()];
+        // a down [10, 20); b down [15, 30): union is [10, 30) = 20s.
+        tr.record(t(10.0), None, TraceKind::Crashed, "a");
+        tr.record(t(15.0), None, TraceKind::Crashed, "b");
+        tr.record(t(20.0), None, TraceKind::Mark, "ready:a");
+        tr.record(t(30.0), None, TraceKind::Mark, "ready:b");
+        let (down, avail) = system_downtime(&tr, &comps, t(0.0), t(100.0));
+        assert!((down.as_secs_f64() - 20.0).abs() < 1e-9);
+        assert!((avail - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn downtime_clamps_to_window_and_handles_open_outages() {
+        let mut tr = Trace::new();
+        let comps = vec!["a".to_string()];
+        tr.record(t(90.0), None, TraceKind::Hung, "a");
+        // never recovers within the window
+        let (down, avail) = system_downtime(&tr, &comps, t(50.0), t(100.0));
+        assert!((down.as_secs_f64() - 10.0).abs() < 1e-9);
+        assert!((avail - 0.8).abs() < 1e-9);
+        // Fully-up window.
+        let (down, avail) = system_downtime(&tr, &comps, t(0.0), t(50.0));
+        assert_eq!(down.as_secs_f64(), 0.0);
+        assert_eq!(avail, 1.0);
+    }
+
+    #[test]
+    fn telemetry_counts_window() {
+        let mut tr = Trace::new();
+        for i in 0..10 {
+            mark(&mut tr, 100.0 + i as f64, &format!("telemetry:opal:{i}"));
+        }
+        mark(&mut tr, 105.5, "ready:rtu");
+        assert_eq!(telemetry_frames(&tr, t(100.0), t(105.0)), 5);
+        assert_eq!(telemetry_frames(&tr, t(0.0), t(1000.0)), 10);
+    }
+}

@@ -1,0 +1,378 @@
+//! `REC` — the recovery module (§2.2): the paper's collocated recoverer +
+//! oracle.
+//!
+//! "REC uses a restart tree data structure and a simple policy to choose
+//! which module(s) to restart upon being notified of a failure. The policy
+//! also keeps track of past restarts to prevent infinite restarts of 'hard'
+//! failures."
+//!
+//! REC owns an [`rr_core::Recoverer`] over the station's restart tree. On a
+//! failure report it consults the oracle, kills every component of the chosen
+//! restart cell and respawns them (the `SIGKILL` + supervised-restart cycle);
+//! on an alive report it marks the restart complete and, after a confirmation
+//! window with no re-detection, declares the failure cured (feeding learning
+//! oracles). REC also watches FD over their dedicated connection and restarts
+//! it on silence — together they "tolerate any single and most multiple
+//! software failures, with the exception of FD and REC failing together".
+
+use std::cell::RefCell;
+use std::collections::{BTreeSet, HashMap};
+use std::rc::Rc;
+
+use mercury_msg::{ComponentStatus, Message};
+use rr_core::oracle::{Failure, Oracle};
+use rr_core::recoverer::{Recoverer, RecoveryDecision};
+use rr_sim::{Actor, Context, Event, SimDuration, SimTime};
+
+use crate::components::common::{Lifecycle, Shared, Wire, TIMER_BOOT, TIMER_ROLE_BASE};
+use crate::config::names;
+
+const TIMER_FD_WATCH: u64 = TIMER_ROLE_BASE;
+const TIMER_FD_TIMEOUT: u64 = TIMER_ROLE_BASE + 1;
+/// Cure-confirmation timers carry `TIMER_CONFIRM_BASE + slot`.
+const TIMER_CONFIRM_BASE: u64 = 2000;
+
+/// The latest health beacon received from a component (future work §7).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BeaconRecord {
+    /// Self-reported status.
+    pub status: ComponentStatus,
+    /// Seconds of uptime reported.
+    pub uptime_s: f64,
+    /// Aging score in `[0, 1]`.
+    pub aging: f64,
+    /// Messages handled.
+    pub handled: u64,
+    /// When the beacon arrived.
+    pub received_at: SimTime,
+}
+
+/// Recovery state shared between the REC actor and the experiment harness.
+///
+/// Keeping it behind an `Rc` means a REC process restart does not lose the
+/// restart history (in the real station this state is tiny and REC re-reads
+/// it from its log on startup).
+pub struct RecControl {
+    /// The recoverer: tree + oracle + policy + episodes.
+    pub recoverer: Recoverer<Box<dyn Oracle>>,
+    /// Ground-truth cure hints per component, configured by the fault
+    /// injector for experiments with a knowledgeable (perfect/faulty) oracle.
+    pub cure_hints: HashMap<String, Vec<String>>,
+    /// Latest health beacons (§7).
+    pub beacons: HashMap<String, BeaconRecord>,
+    /// Recovery actions taken, for reporting.
+    pub actions: Vec<String>,
+    /// Components still rebooting per open episode (with the time the
+    /// restart was issued): a group restart is only complete when the whole
+    /// cell is back, not just the episode's owner.
+    pending: HashMap<String, (SimTime, BTreeSet<String>)>,
+}
+
+impl std::fmt::Debug for RecControl {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RecControl")
+            .field("recoverer", &"Recoverer")
+            .field("cure_hints", &self.cure_hints)
+            .field("actions", &self.actions.len())
+            .finish()
+    }
+}
+
+impl RecControl {
+    /// Creates the shared control block.
+    pub fn new(recoverer: Recoverer<Box<dyn Oracle>>) -> Rc<RefCell<RecControl>> {
+        Rc::new(RefCell::new(RecControl {
+            recoverer,
+            cure_hints: HashMap::new(),
+            beacons: HashMap::new(),
+            actions: Vec::new(),
+            pending: HashMap::new(),
+        }))
+    }
+}
+
+/// Shared handle to REC's control state.
+pub type RecHandle = Rc<RefCell<RecControl>>;
+
+/// The recovery-module actor.
+pub struct Rec {
+    life: Lifecycle,
+    control: RecHandle,
+    /// Confirmation timers: slot → component.
+    confirms: HashMap<u64, String>,
+    next_confirm_slot: u64,
+    fd_outstanding: bool,
+    /// Do not watch FD before this time (it is rebooting on our orders).
+    fd_grace_until: SimTime,
+}
+
+impl std::fmt::Debug for Rec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Rec").field("life", &self.life).finish()
+    }
+}
+
+impl Rec {
+    /// Creates the REC actor over a shared control block.
+    pub fn new(shared: Shared, control: RecHandle) -> Rec {
+        Rec {
+            life: Lifecycle::new(names::REC, shared),
+            control,
+            confirms: HashMap::new(),
+            next_confirm_slot: 0,
+            fd_outstanding: false,
+            fd_grace_until: SimTime::ZERO,
+        }
+    }
+
+    fn on_failed(&mut self, component: String, ctx: &mut Context<'_, Wire>) {
+        let now = ctx.now();
+        let mut control = self.control.borrow_mut();
+        // A component that is down because an in-flight group restart has not
+        // finished rebooting it is not a new failure — unless the reboot has
+        // blown its deadline (e.g. the component was killed again mid-boot),
+        // in which case the silence is a fresh failure.
+        let deadline = self.life.config().restart_deadline_s;
+        let mut expired: Vec<String> = Vec::new();
+        let mut suppressed = false;
+        for (episode, (issued_at, set)) in control.pending.iter() {
+            if !set.contains(&component) {
+                continue;
+            }
+            if now.saturating_since(*issued_at).as_secs_f64() > deadline {
+                expired.push(episode.clone());
+            } else {
+                suppressed = true;
+            }
+        }
+        for episode in expired {
+            if let Some((_, set)) = control.pending.get_mut(&episode) {
+                set.remove(&component);
+                if set.is_empty() {
+                    control.pending.remove(&episode);
+                }
+            }
+            // The restart is overdue: declare it complete (failed) so the
+            // recoverer can escalate instead of waiting forever.
+            control.recoverer.on_restart_complete(&episode, now);
+        }
+        if suppressed {
+            return;
+        }
+        let cure_set = control
+            .cure_hints
+            .get(&component)
+            .cloned()
+            .unwrap_or_else(|| vec![component.clone()]);
+        let failure = Failure::correlated(component.clone(), cure_set);
+
+        // Re-detection after a completed restart is negative feedback for
+        // the oracle (the last cure did not take).
+        if control.recoverer.is_recovering(&component)
+            && !control.recoverer.is_in_flight(&component)
+        {
+            control.recoverer.on_not_cured(&component);
+        }
+
+        match control.recoverer.on_failure(failure, now) {
+            RecoveryDecision::Restart { node, components, attempt } => {
+                let label = control.recoverer.tree().label(node).to_string();
+                let action = format!("restart:{component}:{attempt}:{}", components.join("+"));
+                ctx.trace_mark(action.clone());
+                control.actions.push(format!("{now} {action} ({label})"));
+                control
+                    .pending
+                    .insert(component.clone(), (now, components.iter().cloned().collect()));
+                drop(control);
+                self.execute_restart(&components, ctx);
+            }
+            RecoveryDecision::AlreadyRecovering { .. } => {}
+            RecoveryDecision::GiveUp { component, reason } => {
+                let action = format!("giveup:{component}:{reason}");
+                ctx.trace_mark(action.clone());
+                control.pending.remove(&component);
+                control.actions.push(format!("{now} {action}"));
+            }
+        }
+    }
+
+    fn execute_restart(&mut self, components: &[String], ctx: &mut Context<'_, Wire>) {
+        // Pre-announce the whole group so the first component to boot already
+        // sees the full contention.
+        self.life
+            .shared()
+            .load
+            .borrow_mut()
+            .announce(components.iter().cloned());
+        let exec = SimDuration::from_secs_f64(self.life.config().exec_delay_s);
+        for comp in components {
+            let Some(pid) = ctx.lookup(comp) else {
+                ctx.trace_mark(format!("restart-error:unknown:{comp}"));
+                continue;
+            };
+            ctx.kill_after(SimDuration::ZERO, pid);
+            ctx.respawn_after(exec, pid);
+        }
+    }
+
+    fn on_alive(&mut self, component: String, ctx: &mut Context<'_, Wire>) {
+        let now = ctx.now();
+        let mut control = self.control.borrow_mut();
+        let mut completed: Vec<String> = Vec::new();
+        for (episode, (_, set)) in control.pending.iter_mut() {
+            set.remove(&component);
+            if set.is_empty() {
+                completed.push(episode.clone());
+            }
+        }
+        for episode in &completed {
+            control.pending.remove(episode);
+            control.recoverer.on_restart_complete(episode, now);
+        }
+        drop(control);
+        // Start the cure-confirmation window for each completed episode.
+        for episode in completed {
+            self.next_confirm_slot += 1;
+            let slot = self.next_confirm_slot;
+            self.confirms.insert(slot, episode);
+            let window = SimDuration::from_secs_f64(self.life.config().cure_confirm_s);
+            ctx.set_timer(window, TIMER_CONFIRM_BASE + slot);
+        }
+    }
+
+    fn on_confirm(&mut self, slot: u64, ctx: &mut Context<'_, Wire>) {
+        let Some(component) = self.confirms.remove(&slot) else {
+            return;
+        };
+        let now = ctx.now();
+        let mut control = self.control.borrow_mut();
+        // If a new failure arrived meanwhile, an escalated restart is in
+        // flight and this confirmation is moot.
+        if control.recoverer.is_recovering(&component)
+            && !control.recoverer.is_in_flight(&component)
+        {
+            control.recoverer.on_cured(&component, now);
+            ctx.trace_mark(format!("cured:{component}"));
+        }
+    }
+
+    /// Proactive rejuvenation (§3, §7): if a component's health beacon
+    /// reports aging past the configured threshold, restart its cell now —
+    /// planned downtime at a moment of REC's choosing instead of an
+    /// unplanned failure later.
+    fn maybe_rejuvenate(&mut self, component: &str, aging: f64, ctx: &mut Context<'_, Wire>) {
+        let Some(threshold) = self.life.config().rejuvenation_aging_threshold else {
+            return;
+        };
+        if aging < threshold || !self.life.is_ready() {
+            return;
+        }
+        let components = {
+            let mut control = self.control.borrow_mut();
+            if control.pending.values().any(|(_, set)| set.contains(component))
+                || control.recoverer.is_recovering(component)
+            {
+                return; // already being handled
+            }
+            let tree = control.recoverer.tree();
+            let Some(cell) = tree.cell_of_component(component) else {
+                return;
+            };
+            let components = tree.components_under(cell);
+            ctx.trace_mark(format!("rejuvenate:{component}"));
+            let now = ctx.now();
+            control
+                .actions
+                .push(format!("{now} rejuvenate:{component} ({})", components.join("+")));
+            // Track the reboot like an episode so FD reports during the
+            // planned restart are suppressed.
+            let now = ctx.now();
+            control
+                .pending
+                .insert(component.to_string(), (now, components.iter().cloned().collect()));
+            components
+        };
+        self.execute_restart(&components, ctx);
+    }
+
+    fn watch_fd(&mut self, ctx: &mut Context<'_, Wire>) {
+        if ctx.now() >= self.fd_grace_until {
+            self.life.send_direct(ctx, names::FD, Message::Ping { seq: 0 });
+            self.fd_outstanding = true;
+            let timeout = SimDuration::from_secs_f64(self.life.config().ping_timeout_s);
+            ctx.set_timer(timeout, TIMER_FD_TIMEOUT);
+        }
+        ctx.set_timer(self.life.config().ping_period(), TIMER_FD_WATCH);
+    }
+}
+
+impl Actor<Wire> for Rec {
+    fn on_event(&mut self, ev: Event<Wire>, ctx: &mut Context<'_, Wire>) {
+        match ev {
+            Event::Start => self.life.begin_boot(ctx, 0.0),
+            Event::Timer { key: TIMER_BOOT } => {
+                self.life.set_ready(ctx);
+                // Give FD the same cold-start grace it gives the components.
+                let grace = SimDuration::from_secs_f64(self.life.config().fd_grace_s);
+                ctx.set_timer(grace, TIMER_FD_WATCH);
+            }
+            Event::Timer { key: TIMER_FD_WATCH } => self.watch_fd(ctx),
+            Event::Timer { key: TIMER_FD_TIMEOUT } => {
+                if self.fd_outstanding {
+                    // FD is silent: REC initiates FD's recovery (§2.2).
+                    if let Some(fd) = ctx.lookup(names::FD) {
+                        ctx.trace_mark("rec-restarts:fd");
+                        ctx.kill_after(SimDuration::ZERO, fd);
+                        let exec = SimDuration::from_secs_f64(self.life.config().exec_delay_s);
+                        ctx.respawn_after(exec, fd);
+                        let grace =
+                            SimDuration::from_secs_f64(self.life.config().watchdog_grace_s);
+                        self.fd_grace_until = ctx.now() + grace;
+                    }
+                    self.fd_outstanding = false;
+                }
+            }
+            Event::Timer { key } if key >= TIMER_CONFIRM_BASE => {
+                self.on_confirm(key - TIMER_CONFIRM_BASE, ctx);
+            }
+            Event::Timer { key } => {
+                self.life.handle_beacon_timer(key, ctx, 0.0);
+            }
+            Event::Message { payload, .. } => {
+                let Some(env) = self.life.parse(ctx, &payload) else {
+                    return;
+                };
+                if self.life.handle_common(&env, ctx, 0.0) {
+                    return;
+                }
+                match env.body {
+                    Message::Failed { component }
+                        if self.life.is_ready() => {
+                            self.on_failed(component, ctx);
+                        }
+                    Message::Alive { component }
+                        if self.life.is_ready() => {
+                            self.on_alive(component, ctx);
+                        }
+                    Message::Pong { .. } if env.src == names::FD => {
+                        self.fd_outstanding = false;
+                    }
+                    Message::Beacon { component, status, uptime_s, aging, handled } => {
+                        self.control.borrow_mut().beacons.insert(
+                            component.clone(),
+                            BeaconRecord {
+                                status,
+                                uptime_s,
+                                aging,
+                                handled,
+                                received_at: ctx.now(),
+                            },
+                        );
+                        self.maybe_rejuvenate(&component, aging, ctx);
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,391 @@
+//! Station assembly: components + FD + REC over a restart tree.
+//!
+//! [`Station`] wires the full Mercury ground station into an
+//! [`rr_sim::Sim`]: the five (or six, post-split) components of Figure 1, the
+//! failure detector and the recovery module, operating one of the paper's
+//! restart trees I–V (or any custom tree). It also exposes the fault-
+//! injection entry points the experiments use.
+
+use std::fmt;
+
+use rr_core::oracle::Oracle;
+use rr_core::policy::RestartPolicy;
+use rr_core::recoverer::Recoverer;
+use rr_core::transform::{
+    consolidate, depth_augment, promote_component, split_component,
+};
+use rr_core::tree::RestartTree;
+use rr_sim::{ProcessState, Sim, SimDuration, SimTime, Trace};
+
+use crate::components::common::{Shared, Wire};
+use crate::components::estimator::Ses;
+use crate::components::mbus::Mbus;
+use crate::components::radio::{Fedr, Fedrcom, Pbcom};
+use crate::components::tracker::Str;
+use crate::components::tuner::Rtu;
+use crate::config::{names, StationConfig};
+use crate::fd::Fd;
+use crate::rec::{Rec, RecControl, RecHandle};
+
+/// The paper's five restart trees (§4, Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TreeVariant {
+    /// Tree I: one restart group — any failure reboots everything.
+    I,
+    /// Tree II: simple depth augmentation — per-component restarts.
+    II,
+    /// Tree III: fedrcom split into fedr + pbcom with a joint subtree.
+    III,
+    /// Tree IV: ses and str consolidated into one cell.
+    IV,
+    /// Tree V: pbcom promoted onto the joint \[fedr,pbcom\] cell.
+    V,
+}
+
+impl TreeVariant {
+    /// All five variants in paper order.
+    pub const ALL: [TreeVariant; 5] =
+        [TreeVariant::I, TreeVariant::II, TreeVariant::III, TreeVariant::IV, TreeVariant::V];
+
+    /// `true` if this variant uses the split fedr/pbcom pair.
+    pub fn is_split(self) -> bool {
+        !matches!(self, TreeVariant::I | TreeVariant::II)
+    }
+
+    /// The component set this variant runs.
+    pub fn components(self) -> Vec<String> {
+        let set: &[&str] = if self.is_split() {
+            &names::SPLIT
+        } else {
+            &names::UNSPLIT
+        };
+        set.iter().map(|s| s.to_string()).collect()
+    }
+
+    /// Builds the variant's restart tree by applying the paper's
+    /// transformations in sequence (Figures 3–6).
+    pub fn tree(self) -> RestartTree {
+        // Tree I: one cell holding the whole station.
+        let mut tree = RestartTree::new("mercury");
+        let root = tree.root();
+        for comp in names::UNSPLIT {
+            tree.attach_component(root, comp).expect("fresh tree");
+        }
+        if self == TreeVariant::I {
+            return tree;
+        }
+
+        // Tree II: simple depth augmentation (§4.1).
+        let singletons: Vec<Vec<String>> =
+            names::UNSPLIT.iter().map(|c| vec![c.to_string()]).collect();
+        depth_augment(&mut tree, root, &singletons).expect("augment tree I");
+        if self == TreeVariant::II {
+            return tree;
+        }
+
+        // Tree II′ → III: split fedrcom, augment the tight subtree (§4.2).
+        let cell =
+            split_component(&mut tree, names::FEDRCOM, &[names::FEDR, names::PBCOM])
+                .expect("split fedrcom");
+        tree.set_label(cell, "R_[fedr,pbcom]").expect("live cell");
+        let parts: Vec<Vec<String>> =
+            vec![vec![names::FEDR.to_string()], vec![names::PBCOM.to_string()]];
+        depth_augment(&mut tree, cell, &parts).expect("augment fedr/pbcom");
+        if self == TreeVariant::III {
+            return tree;
+        }
+
+        // Tree IV: consolidate ses and str (§4.3).
+        let ses = tree.cell_of_component(names::SES).expect("ses attached");
+        let strr = tree.cell_of_component(names::STR).expect("str attached");
+        consolidate(&mut tree, &[ses, strr]).expect("consolidate ses/str");
+        if self == TreeVariant::IV {
+            return tree;
+        }
+
+        // Tree V: promote pbcom (§4.4).
+        promote_component(&mut tree, names::PBCOM).expect("promote pbcom");
+        tree
+    }
+}
+
+impl fmt::Display for TreeVariant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TreeVariant::I => "I",
+            TreeVariant::II => "II",
+            TreeVariant::III => "III",
+            TreeVariant::IV => "IV",
+            TreeVariant::V => "V",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A fully wired ground station simulation.
+pub struct Station {
+    sim: Sim<Wire>,
+    shared: Shared,
+    control: RecHandle,
+    components: Vec<String>,
+}
+
+impl fmt::Debug for Station {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Station")
+            .field("now", &self.sim.now())
+            .field("components", &self.components)
+            .finish()
+    }
+}
+
+impl Station {
+    /// Builds a station operating one of the paper's tree variants.
+    pub fn new(
+        config: StationConfig,
+        variant: TreeVariant,
+        oracle: Box<dyn Oracle>,
+        seed: u64,
+    ) -> Station {
+        Station::with_tree(config, variant.tree(), variant.components(), oracle, seed)
+    }
+
+    /// Builds a station over a custom restart tree. `components` must match
+    /// the tree's attached component names and name only known Mercury
+    /// components.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `components` disagrees with the tree or contains an unknown
+    /// component name.
+    pub fn with_tree(
+        config: StationConfig,
+        tree: RestartTree,
+        components: Vec<String>,
+        oracle: Box<dyn Oracle>,
+        seed: u64,
+    ) -> Station {
+        if let Err(errors) = config.validate() {
+            panic!("invalid station configuration:\n  {}", errors.join("\n  "));
+        }
+        let mut sorted = components.clone();
+        sorted.sort();
+        assert_eq!(
+            tree.components(),
+            sorted,
+            "restart tree and component set disagree"
+        );
+
+        let shared = Shared::new(config);
+        let mut sim: Sim<Wire> = Sim::new(seed);
+
+        for comp in &components {
+            let shared_for = shared.clone();
+            match comp.as_str() {
+                n if n == names::MBUS => {
+                    sim.spawn(names::MBUS, move || Box::new(Mbus::new(shared_for.clone())));
+                }
+                n if n == names::FEDRCOM => {
+                    sim.spawn(names::FEDRCOM, move || {
+                        Box::new(Fedrcom::new(shared_for.clone()))
+                    });
+                }
+                n if n == names::FEDR => {
+                    sim.spawn(names::FEDR, move || Box::new(Fedr::new(shared_for.clone())));
+                }
+                n if n == names::PBCOM => {
+                    sim.spawn(names::PBCOM, move || Box::new(Pbcom::new(shared_for.clone())));
+                }
+                n if n == names::SES => {
+                    sim.spawn(names::SES, move || Box::new(Ses::new(shared_for.clone())));
+                }
+                n if n == names::STR => {
+                    sim.spawn(names::STR, move || Box::new(Str::new(shared_for.clone())));
+                }
+                n if n == names::RTU => {
+                    sim.spawn(names::RTU, move || Box::new(Rtu::new(shared_for.clone())));
+                }
+                other => panic!("unknown Mercury component {other:?}"),
+            }
+        }
+
+        let recoverer = Recoverer::new(tree, oracle, RestartPolicy::new());
+        let control = RecControl::new(recoverer);
+
+        let fd_shared = shared.clone();
+        let monitored = components.clone();
+        sim.spawn(names::FD, move || {
+            Box::new(Fd::new(fd_shared.clone(), monitored.clone()))
+        });
+        let rec_shared = shared.clone();
+        let rec_control = control.clone();
+        sim.spawn(names::REC, move || {
+            Box::new(Rec::new(rec_shared.clone(), rec_control.clone()))
+        });
+
+        Station {
+            sim,
+            shared,
+            control,
+            components,
+        }
+    }
+
+    /// The station's configuration.
+    pub fn config(&self) -> &StationConfig {
+        &self.shared.config
+    }
+
+    /// The component names this station runs (excluding FD/REC).
+    pub fn components(&self) -> &[String] {
+        &self.components
+    }
+
+    /// Shared REC control block (oracle state, cure hints, beacons).
+    pub fn control(&self) -> &RecHandle {
+        &self.control
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// The structured event log.
+    pub fn trace(&self) -> &Trace {
+        self.sim.trace()
+    }
+
+    /// Mutable access to the underlying simulation (scenario drivers).
+    pub fn sim_mut(&mut self) -> &mut Sim<Wire> {
+        &mut self.sim
+    }
+
+    /// Runs the simulation forward by `d`.
+    pub fn run_for(&mut self, d: SimDuration) {
+        self.sim.run_for(d);
+    }
+
+    /// Runs the station's cold start until every component is functionally
+    /// ready and the failure detector is sweeping, then a little longer so
+    /// all incarnations count as "old". Panics if the station fails to
+    /// settle within ten minutes of virtual time.
+    pub fn warm_up(&mut self) {
+        let deadline = self.sim.now() + SimDuration::from_secs(600);
+        let settle_extra = SimDuration::from_secs_f64(
+            self.shared.config.fresh_threshold_s + self.shared.config.fd_grace_s + 10.0,
+        );
+        loop {
+            self.sim.run_for(SimDuration::from_secs(5));
+            let all_ready = self.components.iter().all(|c| {
+                self.sim
+                    .trace()
+                    .mark_times(&format!("ready:{c}"))
+                    .next()
+                    .is_some()
+            });
+            if all_ready {
+                break;
+            }
+            assert!(self.sim.now() < deadline, "station failed to cold-start");
+        }
+        self.sim.run_for(settle_extra);
+    }
+
+    /// Runs forward by a uniformly random fraction of the FD ping period, so
+    /// that repeated trials inject failures at a uniformly random phase of
+    /// the detection cycle — the assumption behind the paper's mean
+    /// detection latency.
+    pub fn randomize_injection_phase(&mut self, rng: &mut rr_sim::SimRng) {
+        let period = self.shared.config.ping_period_s;
+        let offset = rng.uniform(0.0, period);
+        self.run_for(SimDuration::from_secs_f64(offset));
+    }
+
+    /// Declares the ground truth that failures manifesting in `component`
+    /// need all of `cure_set` restarted together (what a perfect oracle
+    /// "knows", §4.4).
+    pub fn set_cure_hint<I, S>(&mut self, component: &str, cure_set: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.control.borrow_mut().cure_hints.insert(
+            component.to_string(),
+            cure_set.into_iter().map(Into::into).collect(),
+        );
+    }
+
+    /// Injects a fail-silent crash of `component` (the paper's `SIGKILL`
+    /// experiment, §4.1) and marks the injection time in the trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the component does not exist.
+    pub fn inject_kill(&mut self, component: &str) -> SimTime {
+        let pid = self
+            .sim
+            .lookup(component)
+            .unwrap_or_else(|| panic!("unknown component {component:?}"));
+        self.sim.mark(format!("inject:{component}"));
+        self.sim.kill(pid);
+        self.sim.now()
+    }
+
+    /// Injects a hang (fail-silent, state-resident) instead of a crash.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the component does not exist.
+    pub fn inject_hang(&mut self, component: &str) -> SimTime {
+        let pid = self
+            .sim
+            .lookup(component)
+            .unwrap_or_else(|| panic!("unknown component {component:?}"));
+        self.sim.mark(format!("inject:{component}"));
+        self.sim.hang_after(SimDuration::ZERO, pid);
+        self.sim.now()
+    }
+
+    /// Injects the §4.4 correlated failure: poisons fedr's session state and
+    /// crashes pbcom. The failure manifests in pbcom but is only curable by
+    /// a joint [fedr, pbcom] restart; the cure hint is set accordingly so a
+    /// perfect oracle knows it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the station is not running the split components.
+    pub fn inject_correlated_pbcom(&mut self) -> SimTime {
+        let fedr = self
+            .sim
+            .lookup(names::FEDR)
+            .expect("correlated pbcom failure requires the split station");
+        let pbcom = self.sim.lookup(names::PBCOM).expect("pbcom present");
+        self.set_cure_hint(names::PBCOM, [names::FEDR, names::PBCOM]);
+        // Deliver the poison hook directly to fedr, then kill pbcom.
+        let hook = mercury_msg::Envelope::new(
+            "injector",
+            names::FEDR,
+            0,
+            mercury_msg::Message::TestHook { action: "poison".into() },
+        );
+        self.sim
+            .send_external(fedr, fedr, SimDuration::ZERO, hook.to_xml_string());
+        self.sim.mark(format!("inject:{}", names::PBCOM));
+        self.sim.kill(pbcom);
+        self.sim.now()
+    }
+
+    /// The process state of a component (diagnostics).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the component does not exist.
+    pub fn state_of(&self, component: &str) -> ProcessState {
+        let pid = self
+            .sim
+            .lookup(component)
+            .unwrap_or_else(|| panic!("unknown component {component:?}"));
+        self.sim.state(pid)
+    }
+}

@@ -1,0 +1,136 @@
+//! Property tests of the whole station: arbitrary single-failure campaigns
+//! always recover within bounded time, under every tree variant, and the
+//! recovery never needs more components than the whole system.
+
+use mercury::config::{names, StationConfig};
+use mercury::measure::measure_recovery;
+use mercury::station::{Station, TreeVariant};
+use proptest::prelude::*;
+use rr_core::PerfectOracle;
+use rr_sim::{SimDuration, SimRng};
+
+fn arb_variant() -> impl Strategy<Value = TreeVariant> {
+    prop_oneof![
+        Just(TreeVariant::I),
+        Just(TreeVariant::II),
+        Just(TreeVariant::III),
+        Just(TreeVariant::IV),
+        Just(TreeVariant::V),
+    ]
+}
+
+proptest! {
+    // Station trials are comparatively expensive; keep the case count sane.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any single component failure, under any tree, with any seed and any
+    /// injection phase, recovers in bounded time with a restart set that is
+    /// a subset of the station.
+    #[test]
+    fn any_single_failure_recovers(
+        variant in arb_variant(),
+        comp_idx in any::<usize>(),
+        seed in any::<u64>(),
+        hang in any::<bool>(),
+    ) {
+        let comps = variant.components();
+        let component = comps[comp_idx % comps.len()].clone();
+        let mut station = Station::new(
+            StationConfig::paper(),
+            variant,
+            Box::new(PerfectOracle::new()),
+            seed,
+        );
+        station.warm_up();
+        let mut phase = SimRng::new(seed ^ 0xFEED);
+        station.randomize_injection_phase(&mut phase);
+        let injected = if hang {
+            station.inject_hang(&component)
+        } else {
+            station.inject_kill(&component)
+        };
+        station.run_for(SimDuration::from_secs(120));
+        let m = measure_recovery(station.trace(), &component, injected)
+            .expect("single failures always recover");
+        // Bounded: even the worst case (full reboot with contention) is
+        // well under a minute.
+        prop_assert!(m.recovery_s() < 45.0, "{component}: {:.2}s", m.recovery_s());
+        prop_assert!(m.recovery_s() > 1.0, "recovery cannot beat detection");
+        // The restart set is within the station and contains the victim.
+        for c in &m.final_restart_set {
+            prop_assert!(comps.contains(c));
+        }
+        prop_assert!(m.final_restart_set.contains(&component));
+        // A perfect oracle needs exactly one attempt for solo failures…
+        // except under tree III where a ses/str failure may cascade, which
+        // is a *different* episode, so attempts stays 1 here too.
+        prop_assert_eq!(m.attempts, 1);
+    }
+
+    /// Two failures injected in sequence both recover, regardless of order.
+    #[test]
+    fn sequential_failures_recover(
+        variant in arb_variant(),
+        first_idx in any::<usize>(),
+        second_idx in any::<usize>(),
+        gap_s in 30u64..90,
+        seed in any::<u64>(),
+    ) {
+        let comps = variant.components();
+        let first = comps[first_idx % comps.len()].clone();
+        let second = comps[second_idx % comps.len()].clone();
+        let mut station = Station::new(
+            StationConfig::paper(),
+            variant,
+            Box::new(PerfectOracle::new()),
+            seed,
+        );
+        station.warm_up();
+        let t1 = station.inject_kill(&first);
+        station.run_for(SimDuration::from_secs(gap_s));
+        // The first failure must be cured by now (worst case ≈ 29s + slack).
+        let m1 = measure_recovery(station.trace(), &first, t1).expect("first recovers");
+        prop_assert!(m1.recovery_s() < gap_s as f64);
+        let t2 = station.inject_kill(&second);
+        station.run_for(SimDuration::from_secs(120));
+        let m2 = measure_recovery(station.trace(), &second, t2).expect("second recovers");
+        prop_assert!(m2.recovery_s() < 45.0);
+    }
+
+    /// A transient partition between FD and the bus heals without leaving
+    /// the station wedged: after the network recovers, failures are again
+    /// detected and cured. (A partition is indistinguishable from a crash,
+    /// so REC may restart healthy components meanwhile — that is the
+    /// documented cost of fail-silent detection, not a bug.)
+    #[test]
+    fn fd_bus_partition_heals(seed in any::<u64>(), partition_s in 5u64..20) {
+        let mut station = Station::new(
+            StationConfig::paper(),
+            TreeVariant::II,
+            Box::new(PerfectOracle::new()),
+            seed,
+        );
+        station.warm_up();
+        {
+            let sim = station.sim_mut();
+            let fd = sim.lookup(names::FD).unwrap();
+            let bus = sim.lookup(names::MBUS).unwrap();
+            sim.set_link(fd, bus, false);
+        }
+        station.run_for(SimDuration::from_secs(partition_s));
+        {
+            let sim = station.sim_mut();
+            let fd = sim.lookup(names::FD).unwrap();
+            let bus = sim.lookup(names::MBUS).unwrap();
+            sim.set_link(fd, bus, true);
+        }
+        // Let any partition-triggered restarts settle.
+        station.run_for(SimDuration::from_secs(60));
+        // The station still works: a fresh failure is detected and cured.
+        let injected = station.inject_kill(names::RTU);
+        station.run_for(SimDuration::from_secs(60));
+        let m = measure_recovery(station.trace(), names::RTU, injected)
+            .expect("post-partition failures still recover");
+        prop_assert!(m.recovery_s() < 45.0);
+    }
+}

@@ -1,0 +1,196 @@
+//! Addressed message envelopes routed by the software message bus.
+//!
+//! Components never talk to each other directly: every message travels inside
+//! an envelope `<msg src=… dst=… id=…>…</msg>` over `mbus` (§2.1). The one
+//! exception in the paper — the dedicated FD↔REC connection (§2.2) — uses the
+//! same envelope format over its own channel.
+
+use std::fmt;
+
+use crate::command::Message;
+use crate::error::MsgError;
+use crate::xml::Element;
+
+/// An addressed command-language message.
+///
+/// ```
+/// use mercury_msg::{Envelope, Message};
+/// let env = Envelope::new("rtu", "fedr", 12, Message::RadioCommand {
+///     verb: "FREQ".into(),
+///     arg: "437100000".into(),
+/// });
+/// let wire = env.to_xml_string();
+/// assert_eq!(Envelope::parse(&wire)?, env);
+/// # Ok::<(), mercury_msg::MsgError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope {
+    /// Name of the sending component.
+    pub src: String,
+    /// Name of the destination component.
+    pub dst: String,
+    /// Sender-assigned envelope id (used by [`Message::Ack`]).
+    pub id: u64,
+    /// The payload.
+    pub body: Message,
+}
+
+impl Envelope {
+    /// Creates an envelope.
+    pub fn new(src: impl Into<String>, dst: impl Into<String>, id: u64, body: Message) -> Envelope {
+        Envelope {
+            src: src.into(),
+            dst: dst.into(),
+            id,
+            body,
+        }
+    }
+
+    /// Encodes as an XML element.
+    pub fn to_element(&self) -> Element {
+        Element::new("msg")
+            .with_attr("src", self.src.clone())
+            .with_attr("dst", self.dst.clone())
+            .with_attr("id", self.id.to_string())
+            .with_child(self.body.to_element())
+    }
+
+    /// Serializes to the single-line wire form.
+    pub fn to_xml_string(&self) -> String {
+        self.to_element().to_xml_string()
+    }
+
+    /// Decodes an envelope from an XML element.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MsgError`] if the element is not a well-formed envelope.
+    pub fn from_element(el: &Element) -> Result<Envelope, MsgError> {
+        if el.name() != "msg" {
+            return Err(MsgError::schema(format!(
+                "expected <msg>, found <{}>",
+                el.name()
+            )));
+        }
+        let src = el
+            .attr("src")
+            .ok_or_else(|| MsgError::schema("<msg> missing attribute \"src\""))?;
+        let dst = el
+            .attr("dst")
+            .ok_or_else(|| MsgError::schema("<msg> missing attribute \"dst\""))?;
+        let id_raw = el
+            .attr("id")
+            .ok_or_else(|| MsgError::schema("<msg> missing attribute \"id\""))?;
+        let id = id_raw
+            .parse()
+            .map_err(|_| MsgError::schema(format!("<msg> id={id_raw:?} is not a u64")))?;
+        let mut bodies = el.child_elements();
+        let body_el = bodies
+            .next()
+            .ok_or_else(|| MsgError::schema("<msg> has no body element"))?;
+        if bodies.next().is_some() {
+            return Err(MsgError::schema("<msg> has more than one body element"));
+        }
+        let body = Message::from_element(body_el)?;
+        Ok(Envelope {
+            src: src.to_string(),
+            dst: dst.to_string(),
+            id,
+            body,
+        })
+    }
+
+    /// Parses an envelope from its wire form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MsgError`] on malformed XML or schema violations.
+    pub fn parse(wire: &str) -> Result<Envelope, MsgError> {
+        let el = Element::parse(wire)?;
+        Envelope::from_element(&el)
+    }
+
+    /// A reply envelope: src/dst swapped, given id and body.
+    pub fn reply_with(&self, id: u64, body: Message) -> Envelope {
+        Envelope {
+            src: self.dst.clone(),
+            dst: self.src.clone(),
+            id,
+            body,
+        }
+    }
+}
+
+impl fmt::Display for Envelope {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_xml_string())
+    }
+}
+
+impl std::str::FromStr for Envelope {
+    type Err = MsgError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Envelope::parse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::command::ComponentStatus;
+
+    #[test]
+    fn round_trip() {
+        let env = Envelope::new("fd", "mbus", 1, Message::Ping { seq: 9 });
+        let wire = env.to_xml_string();
+        assert_eq!(
+            wire,
+            r#"<msg src="fd" dst="mbus" id="1"><ping seq="9"/></msg>"#
+        );
+        assert_eq!(Envelope::parse(&wire).unwrap(), env);
+    }
+
+    #[test]
+    fn reply_swaps_addresses() {
+        let env = Envelope::new("fd", "ses", 5, Message::Ping { seq: 2 });
+        let reply = env.reply_with(6, Message::Pong { seq: 2, status: ComponentStatus::Ok });
+        assert_eq!(reply.src, "ses");
+        assert_eq!(reply.dst, "fd");
+        assert_eq!(reply.id, 6);
+    }
+
+    #[test]
+    fn rejects_wrong_root() {
+        let err = Envelope::parse("<envelope/>").unwrap_err();
+        assert!(err.to_string().contains("expected <msg>"));
+    }
+
+    #[test]
+    fn rejects_missing_fields() {
+        assert!(Envelope::parse(r#"<msg dst="a" id="1"><ping seq="1"/></msg>"#).is_err());
+        assert!(Envelope::parse(r#"<msg src="a" id="1"><ping seq="1"/></msg>"#).is_err());
+        assert!(Envelope::parse(r#"<msg src="a" dst="b"><ping seq="1"/></msg>"#).is_err());
+        assert!(Envelope::parse(r#"<msg src="a" dst="b" id="x"><ping seq="1"/></msg>"#).is_err());
+    }
+
+    #[test]
+    fn rejects_zero_or_two_bodies() {
+        assert!(Envelope::parse(r#"<msg src="a" dst="b" id="1"/>"#).is_err());
+        assert!(
+            Envelope::parse(r#"<msg src="a" dst="b" id="1"><ping seq="1"/><ping seq="2"/></msg>"#)
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn propagates_xml_errors() {
+        let err = Envelope::parse("<msg src=").unwrap_err();
+        assert!(matches!(err, MsgError::Xml(_)));
+    }
+
+    #[test]
+    fn from_str_parses() {
+        let env: Envelope = r#"<msg src="a" dst="b" id="1"><ack of="7"/></msg>"#.parse().unwrap();
+        assert_eq!(env.body, Message::Ack { of: 7 });
+    }
+}

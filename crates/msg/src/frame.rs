@@ -1,0 +1,249 @@
+//! Telemetry frame encoding: the bits that actually cross the space link.
+//!
+//! Downlink data arrives at `pbcom` as raw serial bytes; `fedr` deframes and
+//! validates them before promoting them to high-level [`Message::Telemetry`]
+//! traffic (§2.1's "bidirectional proxy between XML command messages and
+//! low-level radio commands"). A frame is:
+//!
+//! ```text
+//! | seq: u32 BE | len: u16 BE | payload: len bytes | crc32: u32 BE |
+//! ```
+//!
+//! with the CRC-32 (IEEE 802.3) computed over seq+len+payload. On the wire
+//! (inside [`Message::SerialFrame`]) frames travel hex-encoded.
+//!
+//! [`Message::Telemetry`]: crate::Message::Telemetry
+//! [`Message::SerialFrame`]: crate::Message::SerialFrame
+
+use std::fmt;
+
+/// CRC-32 (IEEE 802.3, reflected, init/xorout `0xFFFFFFFF`) computed
+/// bit-by-bit — slow but dependency-free and obviously correct.
+///
+/// ```
+/// use mercury_msg::frame::crc32;
+/// // The classic test vector.
+/// assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+/// ```
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc: u32 = 0xFFFF_FFFF;
+    for &byte in data {
+        crc ^= u32::from(byte);
+        for _ in 0..8 {
+            let lsb = crc & 1;
+            crc >>= 1;
+            if lsb != 0 {
+                crc ^= 0xEDB8_8320;
+            }
+        }
+    }
+    !crc
+}
+
+/// A deframed telemetry frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TelemetryFrame {
+    /// Frame sequence number within the pass.
+    pub seq: u32,
+    /// Payload bytes (science data).
+    pub payload: Vec<u8>,
+}
+
+/// Why a byte string failed to deframe.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// Fewer bytes than the fixed header + trailer.
+    Truncated,
+    /// The length field disagrees with the actual byte count.
+    LengthMismatch {
+        /// Length declared in the header.
+        declared: usize,
+        /// Bytes actually present for the payload.
+        actual: usize,
+    },
+    /// The CRC check failed: the frame was corrupted in transit.
+    BadCrc {
+        /// CRC carried by the frame.
+        carried: u32,
+        /// CRC computed over the received bytes.
+        computed: u32,
+    },
+    /// The hex wire encoding was malformed.
+    BadHex,
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Truncated => write!(f, "frame truncated"),
+            FrameError::LengthMismatch { declared, actual } => {
+                write!(f, "length field says {declared}, got {actual} payload bytes")
+            }
+            FrameError::BadCrc { carried, computed } => {
+                write!(f, "crc mismatch: frame carries {carried:08x}, computed {computed:08x}")
+            }
+            FrameError::BadHex => write!(f, "malformed hex encoding"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl TelemetryFrame {
+    /// Creates a frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload exceeds `u16::MAX` bytes.
+    pub fn new(seq: u32, payload: impl Into<Vec<u8>>) -> TelemetryFrame {
+        let payload = payload.into();
+        assert!(payload.len() <= usize::from(u16::MAX), "payload too large");
+        TelemetryFrame { seq, payload }
+    }
+
+    /// Serializes to raw bytes (header + payload + CRC).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(10 + self.payload.len());
+        out.extend_from_slice(&self.seq.to_be_bytes());
+        out.extend_from_slice(&(self.payload.len() as u16).to_be_bytes());
+        out.extend_from_slice(&self.payload);
+        let crc = crc32(&out);
+        out.extend_from_slice(&crc.to_be_bytes());
+        out
+    }
+
+    /// Deserializes and validates a frame from raw bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FrameError`] describing the defect.
+    pub fn from_bytes(bytes: &[u8]) -> Result<TelemetryFrame, FrameError> {
+        if bytes.len() < 10 {
+            return Err(FrameError::Truncated);
+        }
+        let (body, trailer) = bytes.split_at(bytes.len() - 4);
+        let carried = u32::from_be_bytes(trailer.try_into().expect("4 bytes"));
+        let computed = crc32(body);
+        if carried != computed {
+            return Err(FrameError::BadCrc { carried, computed });
+        }
+        let seq = u32::from_be_bytes(body[0..4].try_into().expect("4 bytes"));
+        let declared = usize::from(u16::from_be_bytes(body[4..6].try_into().expect("2 bytes")));
+        let actual = body.len() - 6;
+        if declared != actual {
+            return Err(FrameError::LengthMismatch { declared, actual });
+        }
+        Ok(TelemetryFrame {
+            seq,
+            payload: body[6..].to_vec(),
+        })
+    }
+
+    /// Hex form for [`Message::SerialFrame`](crate::Message::SerialFrame).
+    pub fn to_hex(&self) -> String {
+        let bytes = self.to_bytes();
+        let mut out = String::with_capacity(bytes.len() * 2);
+        for b in bytes {
+            out.push_str(&format!("{b:02x}"));
+        }
+        out
+    }
+
+    /// Parses the hex wire form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameError::BadHex`] for malformed hex, otherwise any
+    /// deframing error.
+    pub fn from_hex(hex: &str) -> Result<TelemetryFrame, FrameError> {
+        if !hex.len().is_multiple_of(2) {
+            return Err(FrameError::BadHex);
+        }
+        let mut bytes = Vec::with_capacity(hex.len() / 2);
+        for i in (0..hex.len()).step_by(2) {
+            let b = u8::from_str_radix(&hex[i..i + 2], 16).map_err(|_| FrameError::BadHex)?;
+            bytes.push(b);
+        }
+        TelemetryFrame::from_bytes(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn round_trip_bytes_and_hex() {
+        let f = TelemetryFrame::new(42, b"opal science data".to_vec());
+        assert_eq!(TelemetryFrame::from_bytes(&f.to_bytes()).unwrap(), f);
+        assert_eq!(TelemetryFrame::from_hex(&f.to_hex()).unwrap(), f);
+    }
+
+    #[test]
+    fn empty_payload_round_trips() {
+        let f = TelemetryFrame::new(0, Vec::new());
+        assert_eq!(f.to_bytes().len(), 10);
+        assert_eq!(TelemetryFrame::from_bytes(&f.to_bytes()).unwrap(), f);
+    }
+
+    #[test]
+    fn single_bit_flip_is_detected() {
+        let f = TelemetryFrame::new(7, b"payload".to_vec());
+        let mut bytes = f.to_bytes();
+        for i in 0..bytes.len() {
+            bytes[i] ^= 0x01;
+            let err = TelemetryFrame::from_bytes(&bytes).unwrap_err();
+            assert!(
+                matches!(err, FrameError::BadCrc { .. }),
+                "flip at byte {i} must be caught by the CRC, got {err:?}"
+            );
+            bytes[i] ^= 0x01;
+        }
+    }
+
+    #[test]
+    fn truncation_detected() {
+        assert_eq!(TelemetryFrame::from_bytes(&[0; 9]), Err(FrameError::Truncated));
+        let f = TelemetryFrame::new(1, b"xyz".to_vec());
+        let bytes = f.to_bytes();
+        // Chop the payload but keep ≥10 bytes: CRC catches it.
+        let chopped = &bytes[..bytes.len() - 1];
+        assert!(TelemetryFrame::from_bytes(chopped).is_err());
+    }
+
+    #[test]
+    fn length_mismatch_detected() {
+        // Build a frame whose length field lies but whose CRC is recomputed
+        // to match (an in-band protocol bug rather than link noise).
+        let mut body = Vec::new();
+        body.extend_from_slice(&1u32.to_be_bytes());
+        body.extend_from_slice(&5u16.to_be_bytes()); // claims 5
+        body.extend_from_slice(b"abc"); // has 3
+        let crc = crc32(&body);
+        body.extend_from_slice(&crc.to_be_bytes());
+        assert_eq!(
+            TelemetryFrame::from_bytes(&body),
+            Err(FrameError::LengthMismatch { declared: 5, actual: 3 })
+        );
+    }
+
+    #[test]
+    fn bad_hex_detected() {
+        assert_eq!(TelemetryFrame::from_hex("abc"), Err(FrameError::BadHex));
+        assert_eq!(TelemetryFrame::from_hex("zz"), Err(FrameError::BadHex));
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = FrameError::BadCrc { carried: 1, computed: 2 };
+        assert!(e.to_string().contains("crc mismatch"));
+        assert!(FrameError::Truncated.to_string().contains("truncated"));
+    }
+}

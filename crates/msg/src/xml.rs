@@ -1,0 +1,710 @@
+//! A small XML subset: elements, attributes, text and comments.
+//!
+//! Implemented from scratch so the workspace stays dependency-light. The
+//! subset is exactly what the Mercury command language needs:
+//!
+//! * elements with attributes, child elements and text content
+//! * standard entity escaping (`&amp; &lt; &gt; &quot; &apos;`)
+//! * self-closing tags and comments (skipped)
+//! * an optional leading `<?xml …?>` declaration (skipped)
+//!
+//! It deliberately does **not** implement namespaces, DTDs, CDATA or
+//! processing instructions.
+
+use std::fmt;
+
+/// A node in an XML document tree: an element or a text run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    /// A child element.
+    Element(Element),
+    /// A text run (unescaped form).
+    Text(String),
+}
+
+/// An XML element: name, attributes and children.
+///
+/// ```
+/// use mercury_msg::Element;
+/// let el = Element::new("ping").with_attr("seq", "42");
+/// assert_eq!(el.to_string(), r#"<ping seq="42"/>"#);
+/// let parsed = Element::parse(r#"<ping seq="42"/>"#)?;
+/// assert_eq!(parsed, el);
+/// # Ok::<(), mercury_msg::ParseXmlError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Element {
+    name: String,
+    attrs: Vec<(String, String)>,
+    children: Vec<Node>,
+}
+
+impl Element {
+    /// Creates an empty element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is not a valid XML name (see [`is_valid_name`]).
+    pub fn new(name: impl Into<String>) -> Element {
+        let name = name.into();
+        assert!(is_valid_name(&name), "invalid element name {name:?}");
+        Element {
+            name,
+            attrs: Vec::new(),
+            children: Vec::new(),
+        }
+    }
+
+    /// The element name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds or replaces an attribute.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` is not a valid XML name.
+    pub fn set_attr(&mut self, key: impl Into<String>, value: impl Into<String>) {
+        let key = key.into();
+        assert!(is_valid_name(&key), "invalid attribute name {key:?}");
+        let value = value.into();
+        if let Some(slot) = self.attrs.iter_mut().find(|(k, _)| *k == key) {
+            slot.1 = value;
+        } else {
+            self.attrs.push((key, value));
+        }
+    }
+
+    /// Builder-style [`set_attr`](Self::set_attr).
+    #[must_use]
+    pub fn with_attr(mut self, key: impl Into<String>, value: impl Into<String>) -> Element {
+        self.set_attr(key, value);
+        self
+    }
+
+    /// Looks up an attribute value.
+    pub fn attr(&self, key: &str) -> Option<&str> {
+        self.attrs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// All attributes in insertion order.
+    pub fn attrs(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.attrs.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+
+    /// Appends a child element.
+    pub fn push_child(&mut self, child: Element) {
+        self.children.push(Node::Element(child));
+    }
+
+    /// Builder-style [`push_child`](Self::push_child).
+    #[must_use]
+    pub fn with_child(mut self, child: Element) -> Element {
+        self.push_child(child);
+        self
+    }
+
+    /// Appends a text run.
+    pub fn push_text(&mut self, text: impl Into<String>) {
+        self.children.push(Node::Text(text.into()));
+    }
+
+    /// Builder-style [`push_text`](Self::push_text).
+    #[must_use]
+    pub fn with_text(mut self, text: impl Into<String>) -> Element {
+        self.push_text(text);
+        self
+    }
+
+    /// All child nodes in order.
+    pub fn children(&self) -> &[Node] {
+        &self.children
+    }
+
+    /// Child elements only, in order.
+    pub fn child_elements(&self) -> impl Iterator<Item = &Element> {
+        self.children.iter().filter_map(|n| match n {
+            Node::Element(e) => Some(e),
+            Node::Text(_) => None,
+        })
+    }
+
+    /// The first child element with the given name.
+    pub fn child(&self, name: &str) -> Option<&Element> {
+        self.child_elements().find(|e| e.name == name)
+    }
+
+    /// Concatenated text content of direct text children (unescaped).
+    pub fn text(&self) -> String {
+        let mut out = String::new();
+        for n in &self.children {
+            if let Node::Text(t) = n {
+                out.push_str(t);
+            }
+        }
+        out
+    }
+
+    /// Serializes to a compact single-line XML string.
+    pub fn to_xml_string(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    /// Serializes to an indented, human-readable form (two spaces per
+    /// level) — used by diagnostic dumps, not the wire.
+    ///
+    /// ```
+    /// use mercury_msg::Element;
+    /// let el = Element::new("a").with_child(Element::new("b"));
+    /// assert_eq!(el.to_pretty_string(), "<a>\n  <b/>\n</a>\n");
+    /// ```
+    pub fn to_pretty_string(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out
+    }
+
+    fn write_pretty(&self, out: &mut String, depth: usize) {
+        let indent = "  ".repeat(depth);
+        out.push_str(&indent);
+        out.push('<');
+        out.push_str(&self.name);
+        for (k, v) in &self.attrs {
+            out.push(' ');
+            out.push_str(k);
+            out.push_str("=\"");
+            escape_into(v, out);
+            out.push('"');
+        }
+        if self.children.is_empty() {
+            out.push_str("/>\n");
+            return;
+        }
+        // Text-only elements stay on one line.
+        if self.children.iter().all(|c| matches!(c, Node::Text(_))) {
+            out.push('>');
+            for child in &self.children {
+                if let Node::Text(t) = child {
+                    escape_into(t, out);
+                }
+            }
+            out.push_str("</");
+            out.push_str(&self.name);
+            out.push_str(">\n");
+            return;
+        }
+        out.push_str(">\n");
+        for child in &self.children {
+            match child {
+                Node::Element(e) => e.write_pretty(out, depth + 1),
+                Node::Text(t) => {
+                    out.push_str(&"  ".repeat(depth + 1));
+                    escape_into(t, out);
+                    out.push('\n');
+                }
+            }
+        }
+        out.push_str(&indent);
+        out.push_str("</");
+        out.push_str(&self.name);
+        out.push_str(">\n");
+    }
+
+    fn write(&self, out: &mut String) {
+        out.push('<');
+        out.push_str(&self.name);
+        for (k, v) in &self.attrs {
+            out.push(' ');
+            out.push_str(k);
+            out.push_str("=\"");
+            escape_into(v, out);
+            out.push('"');
+        }
+        if self.children.is_empty() {
+            out.push_str("/>");
+            return;
+        }
+        out.push('>');
+        for child in &self.children {
+            match child {
+                Node::Element(e) => e.write(out),
+                Node::Text(t) => escape_into(t, out),
+            }
+        }
+        out.push_str("</");
+        out.push_str(&self.name);
+        out.push('>');
+    }
+
+    /// Parses a single XML element (optionally preceded by an `<?xml?>`
+    /// declaration, comments and whitespace).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseXmlError`] describing the first syntax error, with its
+    /// byte offset.
+    pub fn parse(input: &str) -> Result<Element, ParseXmlError> {
+        let mut p = Parser::new(input);
+        p.skip_prolog();
+        let el = p.parse_element()?;
+        p.skip_misc();
+        if !p.at_end() {
+            return Err(p.error("trailing content after document element"));
+        }
+        Ok(el)
+    }
+}
+
+impl fmt::Display for Element {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_xml_string())
+    }
+}
+
+impl std::str::FromStr for Element {
+    type Err = ParseXmlError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Element::parse(s)
+    }
+}
+
+/// `true` if `name` is a valid element/attribute name in our subset:
+/// `[A-Za-z_][A-Za-z0-9_.-]*`.
+pub fn is_valid_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '.' | '-'))
+}
+
+/// Escapes text for inclusion in XML content or attribute values.
+pub fn escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    escape_into(text, &mut out);
+    out
+}
+
+fn escape_into(text: &str, out: &mut String) {
+    for c in text.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            _ => out.push(c),
+        }
+    }
+}
+
+/// Error produced when parsing malformed XML.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseXmlError {
+    /// Byte offset of the error in the input.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseXmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "xml parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseXmlError {}
+
+struct Parser<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Parser { input, pos: 0 }
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseXmlError {
+        ParseXmlError {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.input[self.pos..]
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.input.len()
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.rest().chars().next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        Some(c)
+    }
+
+    fn eat(&mut self, prefix: &str) -> bool {
+        if self.rest().starts_with(prefix) {
+            self.pos += prefix.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, prefix: &str) -> Result<(), ParseXmlError> {
+        if self.eat(prefix) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {prefix:?}")))
+        }
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_whitespace()) {
+            self.bump();
+        }
+    }
+
+    fn skip_comment(&mut self) -> Result<bool, ParseXmlError> {
+        if !self.eat("<!--") {
+            return Ok(false);
+        }
+        match self.rest().find("-->") {
+            Some(idx) => {
+                self.pos += idx + 3;
+                Ok(true)
+            }
+            None => Err(self.error("unterminated comment")),
+        }
+    }
+
+    fn skip_misc(&mut self) {
+        loop {
+            self.skip_whitespace();
+            match self.skip_comment() {
+                Ok(true) => continue,
+                _ => break,
+            }
+        }
+    }
+
+    fn skip_prolog(&mut self) {
+        self.skip_whitespace();
+        if self.eat("<?xml") {
+            if let Some(idx) = self.rest().find("?>") {
+                self.pos += idx + 2;
+            } else {
+                // Leave the malformed declaration for parse_element to reject.
+                return;
+            }
+        }
+        self.skip_misc();
+    }
+
+    fn parse_name(&mut self) -> Result<String, ParseXmlError> {
+        let start = self.pos;
+        match self.peek() {
+            Some(c) if c.is_ascii_alphabetic() || c == '_' => {
+                self.bump();
+            }
+            _ => return Err(self.error("expected name")),
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_alphanumeric() || matches!(c, '_' | '.' | '-'))
+        {
+            self.bump();
+        }
+        Ok(self.input[start..self.pos].to_string())
+    }
+
+    fn parse_attr_value(&mut self) -> Result<String, ParseXmlError> {
+        let quote = match self.bump() {
+            Some(q @ ('"' | '\'')) => q,
+            _ => return Err(self.error("expected quoted attribute value")),
+        };
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.error("unterminated attribute value")),
+                Some(c) if c == quote => {
+                    self.bump();
+                    return Ok(out);
+                }
+                Some('<') => return Err(self.error("'<' in attribute value")),
+                Some('&') => out.push(self.parse_entity()?),
+                Some(c) => {
+                    out.push(c);
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    fn parse_entity(&mut self) -> Result<char, ParseXmlError> {
+        debug_assert_eq!(self.peek(), Some('&'));
+        for (entity, ch) in [
+            ("&amp;", '&'),
+            ("&lt;", '<'),
+            ("&gt;", '>'),
+            ("&quot;", '"'),
+            ("&apos;", '\''),
+        ] {
+            if self.eat(entity) {
+                return Ok(ch);
+            }
+        }
+        // Numeric character references: &#NN; and &#xHH;
+        if self.eat("&#") {
+            let hex = self.eat("x");
+            let start = self.pos;
+            while matches!(self.peek(), Some(c) if c.is_ascii_alphanumeric()) {
+                self.bump();
+            }
+            let digits = &self.input[start..self.pos];
+            self.expect(";")?;
+            let code = u32::from_str_radix(digits, if hex { 16 } else { 10 })
+                .map_err(|_| self.error("bad character reference"))?;
+            return char::from_u32(code).ok_or_else(|| self.error("bad character reference"));
+        }
+        Err(self.error("unknown entity"))
+    }
+
+    fn parse_element(&mut self) -> Result<Element, ParseXmlError> {
+        self.expect("<")?;
+        let name = self.parse_name()?;
+        let mut el = Element {
+            name,
+            attrs: Vec::new(),
+            children: Vec::new(),
+        };
+        loop {
+            self.skip_whitespace();
+            match self.peek() {
+                Some('/') => {
+                    self.expect("/")?;
+                    self.expect(">")?;
+                    return Ok(el);
+                }
+                Some('>') => {
+                    self.bump();
+                    break;
+                }
+                Some(c) if c.is_ascii_alphabetic() || c == '_' => {
+                    let key = self.parse_name()?;
+                    self.skip_whitespace();
+                    self.expect("=")?;
+                    self.skip_whitespace();
+                    let value = self.parse_attr_value()?;
+                    if el.attr(&key).is_some() {
+                        return Err(self.error(format!("duplicate attribute {key:?}")));
+                    }
+                    el.attrs.push((key, value));
+                }
+                _ => return Err(self.error("expected attribute, '>' or '/>'")),
+            }
+        }
+        // Children until the matching close tag.
+        loop {
+            if self.rest().starts_with("</") {
+                self.expect("</")?;
+                let close = self.parse_name()?;
+                if close != el.name {
+                    return Err(self.error(format!(
+                        "mismatched close tag: expected </{}>, found </{close}>",
+                        el.name
+                    )));
+                }
+                self.skip_whitespace();
+                self.expect(">")?;
+                return Ok(el);
+            }
+            if self.skip_comment()? {
+                continue;
+            }
+            match self.peek() {
+                None => return Err(self.error(format!("unterminated element <{}>", el.name))),
+                Some('<') => {
+                    let child = self.parse_element()?;
+                    el.children.push(Node::Element(child));
+                }
+                Some(_) => {
+                    let mut text = String::new();
+                    loop {
+                        match self.peek() {
+                            None | Some('<') => break,
+                            Some('&') => text.push(self.parse_entity()?),
+                            Some(c) => {
+                                text.push(c);
+                                self.bump();
+                            }
+                        }
+                    }
+                    // Ignore pure-whitespace runs between elements.
+                    if !text.trim().is_empty() {
+                        el.children.push(Node::Text(text));
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_serialize() {
+        let el = Element::new("track")
+            .with_attr("sat", "opal")
+            .with_child(Element::new("az").with_text("121.5"))
+            .with_child(Element::new("el").with_text("45.0"));
+        assert_eq!(
+            el.to_xml_string(),
+            r#"<track sat="opal"><az>121.5</az><el>45.0</el></track>"#
+        );
+    }
+
+    #[test]
+    fn parse_round_trip() {
+        let src = r#"<msg src="fd" dst="ses" id="7"><ping seq="42"/></msg>"#;
+        let el = Element::parse(src).unwrap();
+        assert_eq!(el.to_xml_string(), src);
+        assert_eq!(el.child("ping").unwrap().attr("seq"), Some("42"));
+    }
+
+    #[test]
+    fn escaping_round_trips() {
+        let el = Element::new("note")
+            .with_attr("title", r#"a<b&"c'd>"#)
+            .with_text("x < y && y > z");
+        let wire = el.to_xml_string();
+        let back = Element::parse(&wire).unwrap();
+        assert_eq!(back.attr("title"), Some(r#"a<b&"c'd>"#));
+        assert_eq!(back.text(), "x < y && y > z");
+    }
+
+    #[test]
+    fn numeric_character_references() {
+        let el = Element::parse("<t>&#65;&#x42;</t>").unwrap();
+        assert_eq!(el.text(), "AB");
+    }
+
+    #[test]
+    fn prolog_comments_and_whitespace_skipped() {
+        let src = "\n<?xml version=\"1.0\"?>\n<!-- hello -->\n<a b=\"1\">\n  <c/>\n</a>\n<!-- bye -->\n";
+        let el = Element::parse(src).unwrap();
+        assert_eq!(el.name(), "a");
+        assert_eq!(el.attr("b"), Some("1"));
+        assert!(el.child("c").is_some());
+    }
+
+    #[test]
+    fn inner_comments_skipped() {
+        let el = Element::parse("<a><!-- x --><b/><!-- y --></a>").unwrap();
+        assert_eq!(el.child_elements().count(), 1);
+    }
+
+    #[test]
+    fn whitespace_only_text_ignored_but_real_text_kept() {
+        let el = Element::parse("<a>  <b/>  hello  </a>").unwrap();
+        assert_eq!(el.children().len(), 2);
+        assert_eq!(el.text().trim(), "hello");
+    }
+
+    #[test]
+    fn single_quoted_attributes() {
+        let el = Element::parse("<a b='x \"y\"'/>").unwrap();
+        assert_eq!(el.attr("b"), Some("x \"y\""));
+    }
+
+    #[test]
+    fn rejects_mismatched_close() {
+        let err = Element::parse("<a></b>").unwrap_err();
+        assert!(err.message.contains("mismatched"), "{err}");
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let err = Element::parse("<a/><b/>").unwrap_err();
+        assert!(err.message.contains("trailing"), "{err}");
+    }
+
+    #[test]
+    fn rejects_duplicate_attribute() {
+        let err = Element::parse(r#"<a b="1" b="2"/>"#).unwrap_err();
+        assert!(err.message.contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn rejects_unterminated() {
+        assert!(Element::parse("<a><b></b>").is_err());
+        assert!(Element::parse("<a b=\"x").is_err());
+        assert!(Element::parse("<!-- never closed").is_err());
+        assert!(Element::parse("<a>&bogus;</a>").is_err());
+    }
+
+    #[test]
+    fn error_reports_offset() {
+        let err = Element::parse("<a><b></c></a>").unwrap_err();
+        assert!(err.offset > 0);
+        assert!(err.to_string().contains("byte"));
+    }
+
+    #[test]
+    fn set_attr_replaces() {
+        let mut el = Element::new("a");
+        el.set_attr("k", "1");
+        el.set_attr("k", "2");
+        assert_eq!(el.attr("k"), Some("2"));
+        assert_eq!(el.attrs().count(), 1);
+    }
+
+    #[test]
+    fn valid_name_rules() {
+        assert!(is_valid_name("fedr"));
+        assert!(is_valid_name("_x-1.y"));
+        assert!(!is_valid_name(""));
+        assert!(!is_valid_name("1abc"));
+        assert!(!is_valid_name("a b"));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid element name")]
+    fn new_rejects_invalid_name() {
+        Element::new("not ok");
+    }
+
+    #[test]
+    fn pretty_print_round_trips() {
+        let el = Element::parse(
+            r#"<msg src="fd" dst="ses" id="7"><ping seq="42"/><note>hi</note></msg>"#,
+        )
+        .unwrap();
+        let pretty = el.to_pretty_string();
+        assert!(pretty.contains("\n  <ping seq=\"42\"/>\n"));
+        assert!(pretty.contains("<note>hi</note>"));
+        // Pretty output reparses to the same tree.
+        assert_eq!(Element::parse(&pretty).unwrap(), el);
+    }
+
+    #[test]
+    fn from_str_works() {
+        let el: Element = "<a/>".parse().unwrap();
+        assert_eq!(el.name(), "a");
+    }
+}

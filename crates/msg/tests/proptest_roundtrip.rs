@@ -1,0 +1,125 @@
+//! Property tests: every generatable message and envelope survives a
+//! serialize → parse round trip, and the XML layer round-trips arbitrary
+//! attribute/text content (including characters that need escaping).
+
+use mercury_msg::{ComponentStatus, Element, Envelope, Message, RadioBand};
+use proptest::prelude::*;
+
+fn arb_status() -> impl Strategy<Value = ComponentStatus> {
+    prop_oneof![
+        Just(ComponentStatus::Ok),
+        Just(ComponentStatus::Starting),
+        Just(ComponentStatus::Degraded),
+    ]
+}
+
+fn arb_band() -> impl Strategy<Value = RadioBand> {
+    prop_oneof![Just(RadioBand::Vhf), Just(RadioBand::Uhf)]
+}
+
+fn arb_finite() -> impl Strategy<Value = f64> {
+    // Any finite double, including negatives, zero and subnormals.
+    prop::num::f64::NORMAL | prop::num::f64::SUBNORMAL | prop::num::f64::ZERO
+}
+
+fn arb_name() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_-]{0,12}"
+}
+
+fn arb_text() -> impl Strategy<Value = String> {
+    // Includes XML-hostile characters.
+    proptest::string::string_regex("[ -~]{0,24}").expect("regex")
+}
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    prop_oneof![
+        any::<u64>().prop_map(|seq| Message::Ping { seq }),
+        (any::<u64>(), arb_status()).prop_map(|(seq, status)| Message::Pong { seq, status }),
+        arb_name().prop_map(|satellite| Message::TrackRequest { satellite }),
+        (arb_finite(), arb_finite()).prop_map(|(azimuth_deg, elevation_deg)| {
+            Message::PointAntenna { azimuth_deg, elevation_deg }
+        }),
+        (arb_name(), arb_finite()).prop_map(|(satellite, at_epoch_s)| {
+            Message::EstimateRequest { satellite, at_epoch_s }
+        }),
+        (arb_finite(), arb_finite(), arb_finite(), arb_finite()).prop_map(
+            |(azimuth_deg, elevation_deg, range_km, doppler_hz)| Message::EstimateReply {
+                azimuth_deg,
+                elevation_deg,
+                range_km,
+                doppler_hz,
+            }
+        ),
+        (arb_finite(), arb_band())
+            .prop_map(|(frequency_hz, band)| Message::TuneRadio { frequency_hz, band }),
+        (arb_text(), arb_text()).prop_map(|(verb, arg)| Message::RadioCommand { verb, arg }),
+        "[0-9a-f]{0,32}".prop_map(|hex| Message::SerialFrame { hex }),
+        (arb_name(), any::<u64>(), "[0-9a-f]{0,32}").prop_map(|(satellite, frame, hex)| {
+            Message::Telemetry { satellite, frame, hex }
+        }),
+        any::<u64>().prop_map(|incarnation| Message::SyncRequest { incarnation }),
+        any::<u64>().prop_map(|incarnation| Message::SyncAck { incarnation }),
+        (arb_name(), arb_status(), arb_finite(), arb_finite(), any::<u64>()).prop_map(
+            |(component, status, uptime_s, aging, handled)| Message::Beacon {
+                component,
+                status,
+                uptime_s,
+                aging,
+                handled,
+            }
+        ),
+        any::<u64>().prop_map(|of| Message::Ack { of }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn message_round_trips(m in arb_message()) {
+        let wire = m.to_element().to_xml_string();
+        let el = Element::parse(&wire).expect("reparse");
+        let back = Message::from_element(&el).expect("decode");
+        prop_assert_eq!(back, m);
+    }
+
+    #[test]
+    fn envelope_round_trips(src in arb_name(), dst in arb_name(), id in any::<u64>(), m in arb_message()) {
+        let env = Envelope::new(src, dst, id, m);
+        let back = Envelope::parse(&env.to_xml_string()).expect("parse");
+        prop_assert_eq!(back, env);
+    }
+
+    #[test]
+    fn xml_attr_values_round_trip(value in arb_text()) {
+        let el = Element::new("t").with_attr("v", value.clone());
+        let back = Element::parse(&el.to_xml_string()).expect("parse");
+        prop_assert_eq!(back.attr("v"), Some(value.as_str()));
+    }
+
+    #[test]
+    fn xml_text_round_trips_modulo_whitespace(text in arb_text()) {
+        let el = Element::new("t").with_text(text.clone());
+        let back = Element::parse(&el.to_xml_string()).expect("parse");
+        // Pure-whitespace runs are dropped by the parser (they carry no
+        // message content); anything else must round-trip exactly.
+        if text.trim().is_empty() {
+            prop_assert_eq!(back.text(), "");
+        } else {
+            prop_assert_eq!(back.text(), text);
+        }
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(input in "\\PC{0,64}") {
+        let _ = Element::parse(&input);
+    }
+
+    #[test]
+    fn nested_elements_round_trip(depth in 1usize..8, name in "[a-z]{1,8}") {
+        let mut el = Element::new(name.clone());
+        for _ in 0..depth {
+            el = Element::new(name.clone()).with_child(el);
+        }
+        let back = Element::parse(&el.to_xml_string()).expect("parse");
+        prop_assert_eq!(back, el);
+    }
+}

@@ -1,0 +1,55 @@
+//! # rr-runtime — a live, threaded recursive-restartability runtime
+//!
+//! The simulator (`rr-sim` + `mercury`) reproduces the paper's experiments in
+//! virtual time; this crate runs the same supervision concepts on *real OS
+//! threads*: services with mailboxes ([`Router`]), fail-silent kills,
+//! application-level liveness pings, and a watchdog ([`Supervisor`]) that
+//! drives an `rr-core` [`Recoverer`](rr_core::Recoverer) over a restart tree
+//! — the Erlang/OTP-style supervision pattern the paper's ideas prefigure,
+//! with restart *groups* instead of one-for-one strategies.
+//!
+//! Timescales are milliseconds instead of Mercury's seconds so demos and
+//! tests run quickly; the structure is otherwise identical.
+//!
+//! ```
+//! use rr_core::tree::TreeSpec;
+//! use rr_core::PerfectOracle;
+//! use rr_runtime::{Post, Service, ServiceCtx, Supervisor, WatchdogConfig};
+//! use std::time::Duration;
+//!
+//! struct Echo;
+//! impl Service for Echo {
+//!     fn on_post(&mut self, post: Post, ctx: &mut ServiceCtx<'_>) {
+//!         ctx.send(&post.from, format!("echo:{}", post.body));
+//!     }
+//! }
+//!
+//! let tree = TreeSpec::cell("root")
+//!     .with_child(TreeSpec::cell("R_echo").with_component("echo"))
+//!     .build()?;
+//! let sup = Supervisor::new(tree, Box::new(PerfectOracle::new()), WatchdogConfig::default());
+//! sup.add_service("echo", Duration::from_millis(5), || Box::new(Echo));
+//! sup.await_ready(Duration::from_secs(5));
+//! sup.start_watchdog();
+//!
+//! // Fail-silently kill the service; the watchdog restarts it.
+//! sup.inject_kill("echo");
+//! let deadline = std::time::Instant::now() + Duration::from_secs(5);
+//! while sup.restarts() == 0 {
+//!     assert!(std::time::Instant::now() < deadline);
+//!     std::thread::sleep(Duration::from_millis(5));
+//! }
+//! sup.shutdown();
+//! # Ok::<(), rr_core::TreeError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod router;
+pub mod service;
+pub mod supervisor;
+
+pub use router::{Post, Router};
+pub use service::{Service, ServiceCtx, PING, PONG};
+pub use supervisor::{Supervisor, WatchdogConfig};

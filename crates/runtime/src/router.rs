@@ -1,0 +1,116 @@
+//! Message routing between live services.
+//!
+//! The threaded runtime's equivalent of Mercury's `mbus`: services address
+//! posts by name; the router delivers them to the target's mailbox. A killed
+//! service is unregistered, so posts to it vanish silently — the fail-silent
+//! behaviour recursive restartability assumes.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::RwLock;
+
+/// A message between services.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Post {
+    /// Sender name.
+    pub from: String,
+    /// Payload (the live runtime is transport-agnostic; Mercury's XML
+    /// envelopes fit here unchanged).
+    pub body: String,
+}
+
+/// A clonable, thread-safe name → mailbox registry.
+#[derive(Debug, Clone, Default)]
+pub struct Router {
+    inner: Arc<RwLock<HashMap<String, Sender<Post>>>>,
+}
+
+impl Router {
+    /// Creates an empty router.
+    pub fn new() -> Router {
+        Router::default()
+    }
+
+    /// Registers (or replaces) a mailbox for `name`; returns its receiver.
+    pub fn register(&self, name: &str) -> Receiver<Post> {
+        let (tx, rx) = unbounded();
+        self.inner.write().insert(name.to_string(), tx);
+        rx
+    }
+
+    /// Unregisters `name`: subsequent posts to it are dropped.
+    pub fn unregister(&self, name: &str) {
+        self.inner.write().remove(name);
+    }
+
+    /// Sends a post; returns `false` if the target is unregistered or its
+    /// mailbox is gone (both are silent losses by design).
+    pub fn send(&self, from: &str, to: &str, body: impl Into<String>) -> bool {
+        let guard = self.inner.read();
+        let Some(tx) = guard.get(to) else {
+            return false;
+        };
+        tx.send(Post {
+            from: from.to_string(),
+            body: body.into(),
+        })
+        .is_ok()
+    }
+
+    /// `true` if a mailbox is registered for `name`.
+    pub fn is_registered(&self, name: &str) -> bool {
+        self.inner.read().contains_key(name)
+    }
+
+    /// Registered names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.inner.read().keys().cloned().collect();
+        v.sort();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_send_receive() {
+        let router = Router::new();
+        let rx = router.register("echo");
+        assert!(router.send("caller", "echo", "hi"));
+        let post = rx.recv().unwrap();
+        assert_eq!(post.from, "caller");
+        assert_eq!(post.body, "hi");
+    }
+
+    #[test]
+    fn unregistered_targets_are_silent() {
+        let router = Router::new();
+        assert!(!router.send("a", "ghost", "boo"));
+        let _rx = router.register("x");
+        router.unregister("x");
+        assert!(!router.send("a", "x", "boo"));
+        assert!(!router.is_registered("x"));
+    }
+
+    #[test]
+    fn reregistration_replaces_mailbox() {
+        let router = Router::new();
+        let old_rx = router.register("svc");
+        let new_rx = router.register("svc");
+        assert!(router.send("a", "svc", "to-new"));
+        assert!(new_rx.try_recv().is_ok());
+        assert!(old_rx.try_recv().is_err(), "old mailbox no longer fed");
+    }
+
+    #[test]
+    fn names_sorted() {
+        let router = Router::new();
+        let _b = router.register("b");
+        let _a = router.register("a");
+        assert_eq!(router.names(), vec!["a".to_string(), "b".to_string()]);
+    }
+}

@@ -1,0 +1,188 @@
+//! Live services: the threaded counterpart of the simulator's actors.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel::RecvTimeoutError;
+
+use crate::router::{Post, Router};
+
+/// The liveness probe body the runtime answers automatically.
+pub const PING: &str = "__ping";
+/// The liveness reply body.
+pub const PONG: &str = "__pong";
+
+/// A live service: user logic driven by the per-process thread.
+///
+/// Restart semantics match the paper's: a restart constructs a *fresh*
+/// service value from the factory, so all state is lost — "restarts
+/// unequivocally return software to its start state" (§3).
+pub trait Service: Send {
+    /// Called once per incarnation, after the (simulated) boot delay.
+    fn on_start(&mut self, ctx: &mut ServiceCtx<'_>) {
+        let _ = ctx;
+    }
+
+    /// Handles one post.
+    fn on_post(&mut self, post: Post, ctx: &mut ServiceCtx<'_>);
+}
+
+/// Capabilities available to a service while handling an event.
+#[derive(Debug)]
+pub struct ServiceCtx<'a> {
+    name: &'a str,
+    router: &'a Router,
+}
+
+impl ServiceCtx<'_> {
+    /// The service's registered name.
+    pub fn name(&self) -> &str {
+        self.name
+    }
+
+    /// Sends a post to another service (silently dropped if it is down).
+    pub fn send(&self, to: &str, body: impl Into<String>) -> bool {
+        self.router.send(self.name, to, body)
+    }
+}
+
+/// Constructor for a service incarnation.
+pub type ServiceFactory = Box<dyn FnMut() -> Box<dyn Service> + Send>;
+
+/// Handle to a running service process. The thread handle is retained for
+/// the unit tests (which join cooperatively exiting services); the
+/// supervisor itself signals and detaches, so a wedged service cannot hang
+/// shutdown.
+#[derive(Debug)]
+pub(crate) struct ProcessHandle {
+    pub(crate) stop: Arc<AtomicBool>,
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) thread: Option<JoinHandle<()>>,
+}
+
+impl ProcessHandle {
+    /// Requests the thread to exit and detaches it (fail-silent kill: the
+    /// thread notices the flag at its next poll).
+    pub(crate) fn kill(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+    }
+
+    #[cfg(test)]
+    pub(crate) fn join(&mut self) {
+        self.kill();
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Spawns a service thread: waits out `boot`, registers with the router,
+/// runs `on_start`, then serves the mailbox until stopped. The runtime
+/// answers [`PING`] posts itself — a wedged `on_post` therefore stops pongs,
+/// exactly like a hung JVM.
+pub(crate) fn spawn_service(
+    name: String,
+    router: Router,
+    mut service: Box<dyn Service>,
+    boot: Duration,
+) -> ProcessHandle {
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_flag = stop.clone();
+    let thread = std::thread::Builder::new()
+        .name(name.clone())
+        .spawn(move || {
+            // Simulated boot (JVM start / hardware negotiation).
+            std::thread::sleep(boot);
+            if stop_flag.load(Ordering::SeqCst) {
+                return;
+            }
+            let rx = router.register(&name);
+            let mut ctx = ServiceCtx { name: &name, router: &router };
+            service.on_start(&mut ctx);
+            loop {
+                if stop_flag.load(Ordering::SeqCst) {
+                    break;
+                }
+                match rx.recv_timeout(Duration::from_millis(5)) {
+                    Ok(post) => {
+                        if stop_flag.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        if post.body == PING {
+                            router.send(&name, &post.from, PONG);
+                        } else {
+                            let mut ctx = ServiceCtx { name: &name, router: &router };
+                            service.on_post(post, &mut ctx);
+                        }
+                    }
+                    Err(RecvTimeoutError::Timeout) => {}
+                    Err(RecvTimeoutError::Disconnected) => break,
+                }
+            }
+        })
+        .expect("spawn service thread");
+    ProcessHandle {
+        stop,
+        thread: Some(thread),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Echo;
+    impl Service for Echo {
+        fn on_post(&mut self, post: Post, ctx: &mut ServiceCtx<'_>) {
+            ctx.send(&post.from, format!("echo:{}", post.body));
+        }
+    }
+
+    #[test]
+    fn service_answers_pings_and_posts() {
+        let router = Router::new();
+        let probe_rx = router.register("probe");
+        let mut handle = spawn_service(
+            "echo".into(),
+            router.clone(),
+            Box::new(Echo),
+            Duration::from_millis(1),
+        );
+        // Wait for registration.
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while !router.is_registered("echo") {
+            assert!(std::time::Instant::now() < deadline, "echo never registered");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        router.send("probe", "echo", PING);
+        let pong = probe_rx.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(pong.body, PONG);
+        router.send("probe", "echo", "hello");
+        let reply = probe_rx.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(reply.body, "echo:hello");
+        handle.join();
+    }
+
+    #[test]
+    fn killed_service_goes_silent() {
+        let router = Router::new();
+        let probe_rx = router.register("probe");
+        let mut handle = spawn_service(
+            "victim".into(),
+            router.clone(),
+            Box::new(Echo),
+            Duration::from_millis(1),
+        );
+        while !router.is_registered("victim") {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        handle.kill();
+        router.unregister("victim");
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(!router.send("probe", "victim", PING));
+        assert!(probe_rx.recv_timeout(Duration::from_millis(50)).is_err());
+        handle.join();
+    }
+}

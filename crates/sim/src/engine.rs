@@ -1,0 +1,850 @@
+//! The discrete-event simulation kernel: processes, messages, timers, faults.
+//!
+//! A [`Sim`] owns a set of processes (actors) and a time-ordered event queue.
+//! Processes model the independently-restartable JVM processes of the Mercury
+//! ground station: they communicate only by message passing, they can crash
+//! (losing all state) or hang (fail-silent while resident), and they can be
+//! respawned from a factory — the simulated equivalent of `SIGKILL` followed
+//! by a supervised restart.
+//!
+//! Determinism: events are ordered by `(time, sequence-number)`, where the
+//! sequence number is assigned at scheduling time, so ties are broken by
+//! scheduling order and a run is a pure function of the seed and the inputs.
+
+use std::collections::hash_map::Entry;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::fmt;
+
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+use crate::trace::{Trace, TraceKind};
+
+/// Identifies a simulated process. Stable across crashes and restarts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProcessId(u32);
+
+impl ProcessId {
+    /// The id as a plain index (useful for keying per-process tables).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// The lifecycle state of a simulated process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProcessState {
+    /// Running and processing events normally.
+    Running,
+    /// Crashed: state lost, all incoming events silently dropped
+    /// (fail-silent, like a dead JVM).
+    Crashed,
+    /// Hung: actor state is still resident but the process consumes no
+    /// events. Indistinguishable from `Crashed` to observers — which is the
+    /// point: application-level liveness pings detect both.
+    Hung,
+}
+
+/// An event delivered to an actor.
+#[derive(Debug)]
+pub enum Event<M> {
+    /// The process has just (re)started. Delivered once per incarnation.
+    Start,
+    /// A message from another process.
+    Message {
+        /// The sending process.
+        src: ProcessId,
+        /// The message payload.
+        payload: M,
+    },
+    /// A timer previously set via [`Context::set_timer`] has fired.
+    Timer {
+        /// The caller-chosen key identifying which timer fired.
+        key: u64,
+    },
+}
+
+/// A simulated process: reacts to [`Event`]s using the capabilities offered by
+/// [`Context`].
+///
+/// Actors own all of their state. A crash discards the actor value; a respawn
+/// constructs a fresh one from the factory passed to [`Sim::spawn`], which is
+/// exactly the "unequivocally return software to its start state" property
+/// (§3) that makes restarts an effective cure for transient failures.
+pub trait Actor<M> {
+    /// Handles one event. `ctx` provides the current time, messaging, timers,
+    /// randomness and tracing.
+    fn on_event(&mut self, ev: Event<M>, ctx: &mut Context<'_, M>);
+}
+
+/// Boxed actor constructor used to (re)create a process's state.
+pub type ActorFactory<M> = Box<dyn FnMut() -> Box<dyn Actor<M>>>;
+
+struct ProcEntry<M> {
+    name: String,
+    state: ProcessState,
+    /// Bumped on every respawn; guards stale timers from firing into a new
+    /// incarnation.
+    incarnation: u64,
+    actor: Option<Box<dyn Actor<M>>>,
+    factory: ActorFactory<M>,
+    rng: SimRng,
+}
+
+enum Action<M> {
+    Deliver {
+        dst: ProcessId,
+        ev: Event<M>,
+        /// For timers: only deliver if the destination is still in this
+        /// incarnation.
+        incarnation: Option<u64>,
+    },
+    Kill(ProcessId),
+    Hang(ProcessId),
+    Respawn(ProcessId),
+}
+
+struct Scheduled<M> {
+    time: SimTime,
+    seq: u64,
+    action: Action<M>,
+}
+
+impl<M> PartialEq for Scheduled<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<M> Eq for Scheduled<M> {}
+impl<M> PartialOrd for Scheduled<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Scheduled<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest event first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// The simulation kernel. See the [crate docs](crate) for an example.
+pub struct Sim<M> {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Scheduled<M>>,
+    procs: Vec<ProcEntry<M>>,
+    by_name: HashMap<String, ProcessId>,
+    root_rng: SimRng,
+    trace: Trace,
+    events_processed: u64,
+    /// Severed links: messages between these unordered pairs are dropped
+    /// (network-partition fault injection).
+    severed: HashSet<(ProcessId, ProcessId)>,
+}
+
+impl<M> fmt::Debug for Sim<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Sim")
+            .field("now", &self.now)
+            .field("processes", &self.procs.len())
+            .field("queued", &self.queue.len())
+            .field("events_processed", &self.events_processed)
+            .finish()
+    }
+}
+
+impl<M> Sim<M> {
+    /// Creates an empty simulation seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        Sim {
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            procs: Vec::new(),
+            by_name: HashMap::new(),
+            root_rng: SimRng::new(seed),
+            trace: Trace::new(),
+            events_processed: 0,
+            severed: HashSet::new(),
+        }
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Spawns a new process named `name`, built by `factory`, and delivers
+    /// [`Event::Start`] to it at the current time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a process with the same name already exists.
+    pub fn spawn(
+        &mut self,
+        name: impl Into<String>,
+        mut factory: impl FnMut() -> Box<dyn Actor<M>> + 'static,
+    ) -> ProcessId {
+        let name = name.into();
+        let id = ProcessId(self.procs.len() as u32);
+        match self.by_name.entry(name.clone()) {
+            Entry::Occupied(_) => panic!("process name {name:?} already in use"),
+            Entry::Vacant(v) => {
+                v.insert(id);
+            }
+        }
+        let actor = factory();
+        let rng = self.root_rng.split(0x5EED_0000 + id.0 as u64);
+        self.procs.push(ProcEntry {
+            name: name.clone(),
+            state: ProcessState::Running,
+            incarnation: 0,
+            actor: Some(actor),
+            factory: Box::new(factory),
+            rng,
+        });
+        self.trace.record(self.now, Some(id), TraceKind::Spawned, name);
+        self.schedule(
+            SimDuration::ZERO,
+            Action::Deliver {
+                dst: id,
+                ev: Event::Start,
+                incarnation: Some(0),
+            },
+        );
+        id
+    }
+
+    /// Looks up a process id by name.
+    pub fn lookup(&self, name: &str) -> Option<ProcessId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The name a process was spawned with.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not identify a spawned process.
+    pub fn name(&self, id: ProcessId) -> &str {
+        &self.procs[id.index()].name
+    }
+
+    /// The current lifecycle state of a process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not identify a spawned process.
+    pub fn state(&self, id: ProcessId) -> ProcessState {
+        self.procs[id.index()].state
+    }
+
+    /// All spawned process ids, in spawn order.
+    pub fn process_ids(&self) -> impl Iterator<Item = ProcessId> + '_ {
+        (0..self.procs.len() as u32).map(ProcessId)
+    }
+
+    /// Read access to the structured event log.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Appends a mark to the trace from outside any actor (e.g. the harness).
+    pub fn mark(&mut self, label: impl Into<String>) {
+        self.trace.record(self.now, None, TraceKind::Mark, label);
+    }
+
+    /// Crashes `id` after `delay`: its state is discarded and it silently
+    /// drops all events until respawned. This is the simulated `SIGKILL` used
+    /// by the paper's fault-injection experiments (§4.1).
+    pub fn kill_after(&mut self, delay: SimDuration, id: ProcessId) {
+        self.schedule(delay, Action::Kill(id));
+    }
+
+    /// Crashes `id` at the current time. See [`Sim::kill_after`].
+    pub fn kill(&mut self, id: ProcessId) {
+        self.kill_after(SimDuration::ZERO, id);
+    }
+
+    /// Hangs `id` after `delay`: fail-silent but state-resident (a wedged
+    /// process). Observationally identical to a crash; cured by respawn.
+    pub fn hang_after(&mut self, delay: SimDuration, id: ProcessId) {
+        self.schedule(delay, Action::Hang(id));
+    }
+
+    /// Restarts `id` after `delay`: a fresh actor is built from the factory
+    /// and receives [`Event::Start`]. The delay models the component's boot
+    /// time.
+    pub fn respawn_after(&mut self, delay: SimDuration, id: ProcessId) {
+        self.schedule(delay, Action::Respawn(id));
+    }
+
+    /// Severs or heals the network link between two processes. While a link
+    /// is severed, messages between the pair (either direction) are silently
+    /// dropped at delivery time — a network partition, observationally
+    /// identical to the far side having crashed (which is exactly why
+    /// fail-silent detectors cannot tell the difference).
+    pub fn set_link(&mut self, a: ProcessId, b: ProcessId, up: bool) {
+        let key = if a <= b { (a, b) } else { (b, a) };
+        if up {
+            self.severed.remove(&key);
+        } else {
+            self.severed.insert(key);
+        }
+    }
+
+    /// `true` if the link between `a` and `b` is currently up.
+    pub fn link_up(&self, a: ProcessId, b: ProcessId) -> bool {
+        let key = if a <= b { (a, b) } else { (b, a) };
+        !self.severed.contains(&key)
+    }
+
+    /// Severs every link touching `id` (fully isolates the process).
+    pub fn isolate(&mut self, id: ProcessId) {
+        for other in 0..self.procs.len() as u32 {
+            let other = ProcessId(other);
+            if other != id {
+                self.set_link(id, other, false);
+            }
+        }
+    }
+
+    /// Heals every link touching `id`.
+    pub fn heal(&mut self, id: ProcessId) {
+        for other in 0..self.procs.len() as u32 {
+            let other = ProcessId(other);
+            if other != id {
+                self.set_link(id, other, true);
+            }
+        }
+    }
+
+    /// Sends `payload` from `src` to `dst` after `delay`, from outside any
+    /// actor (e.g. initial stimulus from the harness).
+    pub fn send_external(&mut self, src: ProcessId, dst: ProcessId, delay: SimDuration, payload: M) {
+        self.schedule(
+            delay,
+            Action::Deliver {
+                dst,
+                ev: Event::Message { src, payload },
+                incarnation: None,
+            },
+        );
+    }
+
+    fn schedule(&mut self, delay: SimDuration, action: Action<M>) {
+        let time = self.now + delay;
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Scheduled { time, seq, action });
+    }
+
+    /// Processes the next event, if any. Returns `false` when the queue is
+    /// empty.
+    pub fn step(&mut self) -> bool {
+        let Some(item) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(item.time >= self.now, "time went backwards");
+        self.now = item.time;
+        self.events_processed += 1;
+        match item.action {
+            Action::Deliver { dst, ev, incarnation } => self.deliver(dst, ev, incarnation),
+            Action::Kill(id) => self.do_kill(id),
+            Action::Hang(id) => self.do_hang(id),
+            Action::Respawn(id) => self.do_respawn(id),
+        }
+        true
+    }
+
+    /// Runs until the event queue is empty. Returns the number of events
+    /// processed.
+    pub fn run(&mut self) -> u64 {
+        let start = self.events_processed;
+        while self.step() {}
+        self.events_processed - start
+    }
+
+    /// Runs until the queue is empty or virtual time would pass `deadline`,
+    /// then sets the clock to `deadline` if it was reached. Events scheduled
+    /// exactly at `deadline` are processed.
+    pub fn run_until(&mut self, deadline: SimTime) -> u64 {
+        let start = self.events_processed;
+        while let Some(head) = self.queue.peek() {
+            if head.time > deadline {
+                break;
+            }
+            self.step();
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+        self.events_processed - start
+    }
+
+    /// Runs for `d` of virtual time. See [`Sim::run_until`].
+    pub fn run_for(&mut self, d: SimDuration) -> u64 {
+        let deadline = self.now + d;
+        self.run_until(deadline)
+    }
+
+    fn deliver(&mut self, dst: ProcessId, ev: Event<M>, incarnation: Option<u64>) {
+        if let Event::Message { src, .. } = &ev {
+            if !self.link_up(*src, dst) {
+                self.trace.record(
+                    self.now,
+                    Some(dst),
+                    TraceKind::Dropped,
+                    format!("partition:{src}->{dst}"),
+                );
+                return;
+            }
+        }
+        let entry = &mut self.procs[dst.index()];
+        if let Some(inc) = incarnation {
+            if inc != entry.incarnation {
+                return; // stale timer / start event from a previous incarnation
+            }
+        }
+        if entry.state != ProcessState::Running {
+            self.trace
+                .record(self.now, Some(dst), TraceKind::Dropped, entry.name.clone());
+            return;
+        }
+        let Some(mut actor) = entry.actor.take() else {
+            return;
+        };
+        let taken_incarnation = entry.incarnation;
+        let mut ctx = Context { sim: self, id: dst };
+        actor.on_event(ev, &mut ctx);
+        // Restore the actor unless the process killed or respawned itself
+        // while handling the event.
+        let entry = &mut self.procs[dst.index()];
+        if entry.incarnation == taken_incarnation && entry.actor.is_none() {
+            entry.actor = Some(actor);
+        }
+    }
+
+    fn do_kill(&mut self, id: ProcessId) {
+        let entry = &mut self.procs[id.index()];
+        if entry.state == ProcessState::Crashed {
+            return;
+        }
+        entry.state = ProcessState::Crashed;
+        entry.actor = None;
+        let name = entry.name.clone();
+        self.trace.record(self.now, Some(id), TraceKind::Crashed, name);
+    }
+
+    fn do_hang(&mut self, id: ProcessId) {
+        let entry = &mut self.procs[id.index()];
+        if entry.state != ProcessState::Running {
+            return;
+        }
+        entry.state = ProcessState::Hung;
+        let name = entry.name.clone();
+        self.trace.record(self.now, Some(id), TraceKind::Hung, name);
+    }
+
+    fn do_respawn(&mut self, id: ProcessId) {
+        let entry = &mut self.procs[id.index()];
+        entry.incarnation += 1;
+        entry.state = ProcessState::Running;
+        entry.actor = Some((entry.factory)());
+        let inc = entry.incarnation;
+        let name = entry.name.clone();
+        self.trace.record(self.now, Some(id), TraceKind::Restarted, name);
+        self.schedule(
+            SimDuration::ZERO,
+            Action::Deliver {
+                dst: id,
+                ev: Event::Start,
+                incarnation: Some(inc),
+            },
+        );
+    }
+}
+
+/// Capabilities handed to an actor while it handles an event.
+pub struct Context<'a, M> {
+    sim: &'a mut Sim<M>,
+    id: ProcessId,
+}
+
+impl<M> fmt::Debug for Context<'_, M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Context").field("id", &self.id).finish()
+    }
+}
+
+impl<M> Context<'_, M> {
+    /// The id of the process handling the event.
+    pub fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now
+    }
+
+    /// Looks up a process id by name.
+    pub fn lookup(&self, name: &str) -> Option<ProcessId> {
+        self.sim.lookup(name)
+    }
+
+    /// The name of any process.
+    pub fn name_of(&self, id: ProcessId) -> &str {
+        self.sim.name(id)
+    }
+
+    /// The lifecycle state of any process (used by the recoverer; ordinary
+    /// components should rely on pings, not this omniscient view).
+    pub fn state_of(&self, id: ProcessId) -> ProcessState {
+        self.sim.state(id)
+    }
+
+    /// Sends `payload` to `dst` after `delay`.
+    pub fn send_after(&mut self, dst: ProcessId, delay: SimDuration, payload: M) {
+        let src = self.id;
+        self.sim.schedule(
+            delay,
+            Action::Deliver {
+                dst,
+                ev: Event::Message { src, payload },
+                incarnation: None,
+            },
+        );
+    }
+
+    /// Sends `payload` to `dst` with no delay (delivered after currently
+    /// queued same-time events).
+    pub fn send(&mut self, dst: ProcessId, payload: M) {
+        self.send_after(dst, SimDuration::ZERO, payload);
+    }
+
+    /// Sets a timer that fires [`Event::Timer`] with `key` after `delay`.
+    /// Timers die with the incarnation that set them: if this process is
+    /// killed or respawned first, the timer is silently discarded.
+    pub fn set_timer(&mut self, delay: SimDuration, key: u64) {
+        let inc = self.sim.procs[self.id.index()].incarnation;
+        let dst = self.id;
+        self.sim.schedule(
+            delay,
+            Action::Deliver {
+                dst,
+                ev: Event::Timer { key },
+                incarnation: Some(inc),
+            },
+        );
+    }
+
+    /// This process's private random stream.
+    pub fn rng(&mut self) -> &mut SimRng {
+        &mut self.sim.procs[self.id.index()].rng
+    }
+
+    /// Records a mark in the trace attributed to this process.
+    pub fn trace_mark(&mut self, label: impl Into<String>) {
+        let id = self.id;
+        let now = self.sim.now;
+        self.sim.trace.record(now, Some(id), TraceKind::Mark, label);
+    }
+
+    /// Crashes another process (or this one) after `delay`. Used by fault
+    /// injectors and by components whose failure provably induces a peer
+    /// failure (e.g. repeated `fedr` crashes aging `pbcom`, §4.2).
+    pub fn kill_after(&mut self, delay: SimDuration, id: ProcessId) {
+        self.sim.kill_after(delay, id);
+    }
+
+    /// Hangs another process (or this one) after `delay`.
+    pub fn hang_after(&mut self, delay: SimDuration, id: ProcessId) {
+        self.sim.hang_after(delay, id);
+    }
+
+    /// Respawns a process after `delay` — the recoverer's restart primitive.
+    pub fn respawn_after(&mut self, delay: SimDuration, id: ProcessId) {
+        self.sim.respawn_after(delay, id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Msg {
+        Ping,
+        Pong,
+    }
+
+    /// Replies Pong to every Ping.
+    struct Responder;
+    impl Actor<Msg> for Responder {
+        fn on_event(&mut self, ev: Event<Msg>, ctx: &mut Context<'_, Msg>) {
+            if let Event::Message { src, payload: Msg::Ping } = ev {
+                ctx.send_after(src, SimDuration::from_millis(10), Msg::Pong);
+            }
+        }
+    }
+
+    /// Pings the responder every second and counts replies.
+    struct Pinger {
+        target: &'static str,
+        pongs: std::rc::Rc<std::cell::Cell<u32>>,
+    }
+    impl Actor<Msg> for Pinger {
+        fn on_event(&mut self, ev: Event<Msg>, ctx: &mut Context<'_, Msg>) {
+            match ev {
+                Event::Start => ctx.set_timer(SimDuration::from_secs(1), 0),
+                Event::Timer { .. } => {
+                    let dst = ctx.lookup(self.target).unwrap();
+                    ctx.send(dst, Msg::Ping);
+                    ctx.set_timer(SimDuration::from_secs(1), 0);
+                }
+                Event::Message { payload: Msg::Pong, .. } => {
+                    self.pongs.set(self.pongs.get() + 1);
+                }
+                Event::Message { .. } => {}
+            }
+        }
+    }
+
+    fn ping_sim() -> (Sim<Msg>, ProcessId, std::rc::Rc<std::cell::Cell<u32>>) {
+        let mut sim = Sim::new(1);
+        let responder = sim.spawn("responder", || Box::new(Responder));
+        let pongs = std::rc::Rc::new(std::cell::Cell::new(0));
+        let p = pongs.clone();
+        sim.spawn("pinger", move || {
+            Box::new(Pinger { target: "responder", pongs: p.clone() })
+        });
+        (sim, responder, pongs)
+    }
+
+    #[test]
+    fn messages_flow_and_time_advances() {
+        let (mut sim, _, pongs) = ping_sim();
+        sim.run_until(SimTime::from_secs(5));
+        // Pings at t=1..=5, replies 10ms later; the t=5 reply arrives at 5.01.
+        assert_eq!(pongs.get(), 4);
+        assert_eq!(sim.now(), SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn crashed_process_drops_messages() {
+        let (mut sim, responder, pongs) = ping_sim();
+        // Run past t=2.01 so the t=2 ping's reply has landed.
+        sim.run_until(SimTime::from_secs_f64(2.5));
+        let before = pongs.get();
+        assert_eq!(before, 2);
+        sim.kill(responder);
+        sim.run_until(SimTime::from_secs(6));
+        assert_eq!(pongs.get(), before, "dead responder must not reply");
+        assert_eq!(sim.state(responder), ProcessState::Crashed);
+    }
+
+    #[test]
+    fn hung_process_is_fail_silent_but_state_resident() {
+        let (mut sim, responder, pongs) = ping_sim();
+        sim.run_until(SimTime::from_secs_f64(2.5));
+        sim.hang_after(SimDuration::ZERO, responder);
+        sim.run_until(SimTime::from_secs(5));
+        assert_eq!(pongs.get(), 2);
+        assert_eq!(sim.state(responder), ProcessState::Hung);
+    }
+
+    #[test]
+    fn respawn_restores_service() {
+        let (mut sim, responder, pongs) = ping_sim();
+        sim.run_until(SimTime::from_secs(2));
+        sim.kill(responder);
+        sim.respawn_after(SimDuration::from_secs(2), responder); // back at t=4
+        sim.run_until(SimTime::from_secs(10));
+        assert_eq!(sim.state(responder), ProcessState::Running);
+        // Pings at 1 (answered), 2..4 dropped (dead 2..4), 4..=9 answered-ish:
+        // respawn lands exactly at t=4; the t=4 ping is scheduled before the
+        // respawn in the same instant? Both occur at t=4 — order by seq: the
+        // pinger timer was scheduled at t=3 (seq earlier than respawn set at
+        // t=2)... we only assert that replies resumed.
+        assert!(pongs.get() >= 6, "pongs after recovery: {}", pongs.get());
+    }
+
+    #[test]
+    fn stale_timers_do_not_fire_into_new_incarnation() {
+        struct OneShot {
+            fired: std::rc::Rc<std::cell::Cell<u32>>,
+        }
+        impl Actor<Msg> for OneShot {
+            fn on_event(&mut self, ev: Event<Msg>, ctx: &mut Context<'_, Msg>) {
+                match ev {
+                    Event::Start => ctx.set_timer(SimDuration::from_secs(10), 7),
+                    Event::Timer { key } => {
+                        assert_eq!(key, 7);
+                        self.fired.set(self.fired.get() + 1);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let fired = std::rc::Rc::new(std::cell::Cell::new(0));
+        let f = fired.clone();
+        let mut sim: Sim<Msg> = Sim::new(3);
+        let p = sim.spawn("oneshot", move || Box::new(OneShot { fired: f.clone() }));
+        sim.run_until(SimTime::from_secs(1));
+        sim.kill(p);
+        sim.respawn_after(SimDuration::from_secs(1), p); // new incarnation at t=2
+        sim.run_until(SimTime::from_secs(30));
+        // Old timer (set at t=0, fires t=10) must be dropped; the new
+        // incarnation's timer (set at t=2, fires t=12) fires once.
+        assert_eq!(fired.get(), 1);
+    }
+
+    #[test]
+    fn respawn_loses_state() {
+        struct Counter {
+            seen: u32,
+            out: std::rc::Rc<std::cell::Cell<u32>>,
+        }
+        impl Actor<Msg> for Counter {
+            fn on_event(&mut self, ev: Event<Msg>, _ctx: &mut Context<'_, Msg>) {
+                if matches!(ev, Event::Message { .. }) {
+                    self.seen += 1;
+                    self.out.set(self.seen);
+                }
+            }
+        }
+        let out = std::rc::Rc::new(std::cell::Cell::new(0));
+        let o = out.clone();
+        let mut sim: Sim<Msg> = Sim::new(4);
+        let p = sim.spawn("counter", move || Box::new(Counter { seen: 0, out: o.clone() }));
+        let src = sim.spawn("src", || Box::new(Responder));
+        sim.send_external(src, p, SimDuration::from_secs(1), Msg::Ping);
+        sim.send_external(src, p, SimDuration::from_secs(2), Msg::Ping);
+        sim.run_until(SimTime::from_secs(3));
+        assert_eq!(out.get(), 2);
+        sim.kill(p);
+        sim.respawn_after(SimDuration::from_secs(1), p);
+        sim.send_external(src, p, SimDuration::from_secs(5), Msg::Ping);
+        sim.run();
+        assert_eq!(out.get(), 1, "restart must reset the counter to its start state");
+    }
+
+    #[test]
+    fn deterministic_event_counts() {
+        let run = |seed| {
+            let (mut sim, responder, _) = ping_sim();
+            let _ = seed;
+            sim.kill_after(SimDuration::from_secs_f64(2.5), responder);
+            sim.respawn_after(SimDuration::from_secs_f64(4.25), responder);
+            sim.run_until(SimTime::from_secs(20));
+            (sim.events_processed(), sim.trace().len())
+        };
+        assert_eq!(run(1), run(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "already in use")]
+    fn duplicate_names_rejected() {
+        let mut sim: Sim<Msg> = Sim::new(5);
+        sim.spawn("x", || Box::new(Responder));
+        sim.spawn("x", || Box::new(Responder));
+    }
+
+    #[test]
+    fn run_until_advances_clock_even_without_events() {
+        let mut sim: Sim<Msg> = Sim::new(6);
+        sim.run_until(SimTime::from_secs(42));
+        assert_eq!(sim.now(), SimTime::from_secs(42));
+    }
+
+    #[test]
+    fn lookup_and_names() {
+        let mut sim: Sim<Msg> = Sim::new(7);
+        let a = sim.spawn("alpha", || Box::new(Responder));
+        assert_eq!(sim.lookup("alpha"), Some(a));
+        assert_eq!(sim.lookup("beta"), None);
+        assert_eq!(sim.name(a), "alpha");
+    }
+
+    #[test]
+    fn kill_is_idempotent() {
+        let mut sim: Sim<Msg> = Sim::new(8);
+        let a = sim.spawn("a", || Box::new(Responder));
+        sim.kill(a);
+        sim.kill(a);
+        sim.run();
+        let crashes = sim
+            .trace()
+            .iter()
+            .filter(|e| e.kind == TraceKind::Crashed)
+            .count();
+        assert_eq!(crashes, 1);
+    }
+
+    #[test]
+    fn partition_drops_messages_both_ways_until_healed() {
+        let (mut sim, responder, pongs) = ping_sim();
+        sim.run_until(SimTime::from_secs_f64(2.5));
+        assert_eq!(pongs.get(), 2);
+        let pinger = sim.lookup("pinger").unwrap();
+        sim.set_link(pinger, responder, false);
+        assert!(!sim.link_up(pinger, responder));
+        sim.run_until(SimTime::from_secs_f64(6.5));
+        // Both processes are Running, but no pings get through: a partition
+        // is observationally identical to a crash.
+        assert_eq!(pongs.get(), 2);
+        assert_eq!(sim.state(responder), ProcessState::Running);
+        sim.set_link(pinger, responder, true);
+        sim.run_until(SimTime::from_secs_f64(10.5));
+        assert!(pongs.get() >= 5, "pings resume after healing: {}", pongs.get());
+    }
+
+    #[test]
+    fn isolate_and_heal_cover_all_links() {
+        let (mut sim, responder, pongs) = ping_sim();
+        let pinger = sim.lookup("pinger").unwrap();
+        sim.isolate(responder);
+        assert!(!sim.link_up(pinger, responder));
+        sim.run_until(SimTime::from_secs(4));
+        assert_eq!(pongs.get(), 0);
+        sim.heal(responder);
+        assert!(sim.link_up(pinger, responder));
+        sim.run_until(SimTime::from_secs(8));
+        assert!(pongs.get() > 0);
+    }
+
+    #[test]
+    fn per_process_rng_streams_are_stable() {
+        struct RngUser {
+            out: std::rc::Rc<std::cell::Cell<u64>>,
+        }
+        impl Actor<Msg> for RngUser {
+            fn on_event(&mut self, ev: Event<Msg>, ctx: &mut Context<'_, Msg>) {
+                if matches!(ev, Event::Start) {
+                    self.out.set(ctx.rng().next_u64());
+                }
+            }
+        }
+        let draw = |seed: u64| {
+            let out = std::rc::Rc::new(std::cell::Cell::new(0));
+            let o = out.clone();
+            let mut sim: Sim<Msg> = Sim::new(seed);
+            sim.spawn("r", move || Box::new(RngUser { out: o.clone() }));
+            sim.run();
+            out.get()
+        };
+        assert_eq!(draw(9), draw(9));
+        assert_ne!(draw(9), draw(10));
+    }
+}

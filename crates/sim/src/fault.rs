@@ -1,0 +1,291 @@
+//! Fault injection scripts.
+//!
+//! The paper's evaluation (§4.1) injects failures by sending `SIGKILL` to a
+//! chosen component and measuring time-to-recover. A [`FaultScript`] is the
+//! declarative equivalent: a list of (time, target, kind) records applied to a
+//! [`Sim`] before it runs. Scripts can be written by hand for
+//! targeted experiments or generated from failure-time distributions for
+//! long-horizon availability runs.
+
+use serde::{Deserialize, Serialize};
+
+use crate::dist::Dist;
+use crate::engine::Sim;
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+
+/// The kind of injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// Crash: process state is lost and the process goes silent
+    /// (the simulated `SIGKILL`).
+    Crash,
+    /// Hang: process goes silent but keeps its state (a wedged process —
+    /// deadlock, livelock, infinite loop). Detected and cured identically.
+    Hang,
+}
+
+/// One scheduled fault.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScriptedFault {
+    /// When to inject.
+    pub at: SimTime,
+    /// The name of the target process.
+    pub target: String,
+    /// What to inject.
+    pub kind: FaultKind,
+}
+
+/// A time-ordered collection of faults to inject into a simulation.
+///
+/// ```
+/// use rr_sim::{FaultKind, FaultScript, SimTime};
+/// let script = FaultScript::new()
+///     .with_fault(SimTime::from_secs(100), "rtu", FaultKind::Crash)
+///     .with_fault(SimTime::from_secs(50), "ses", FaultKind::Hang);
+/// assert_eq!(script.faults()[0].target, "ses"); // sorted by time
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultScript {
+    faults: Vec<ScriptedFault>,
+}
+
+impl FaultScript {
+    /// Creates an empty script.
+    pub fn new() -> Self {
+        FaultScript::default()
+    }
+
+    /// Adds a fault, keeping the script sorted by injection time.
+    pub fn push(&mut self, at: SimTime, target: impl Into<String>, kind: FaultKind) {
+        let fault = ScriptedFault {
+            at,
+            target: target.into(),
+            kind,
+        };
+        let idx = self.faults.partition_point(|f| f.at <= fault.at);
+        self.faults.insert(idx, fault);
+    }
+
+    /// Builder-style [`push`](Self::push).
+    #[must_use]
+    pub fn with_fault(mut self, at: SimTime, target: impl Into<String>, kind: FaultKind) -> Self {
+        self.push(at, target, kind);
+        self
+    }
+
+    /// The scheduled faults, sorted by time.
+    pub fn faults(&self) -> &[ScriptedFault] {
+        &self.faults
+    }
+
+    /// Generates a script of crash faults for `target` with inter-arrival
+    /// times drawn from `inter_arrival`, covering `[0, horizon)`.
+    ///
+    /// This is how the synthetic Table 1 failure processes are produced: an
+    /// exponential inter-arrival with the paper's per-component MTTF.
+    pub fn poisson_like(
+        target: &str,
+        inter_arrival: &Dist,
+        horizon: SimTime,
+        rng: &mut SimRng,
+    ) -> FaultScript {
+        let mut script = FaultScript::new();
+        let mut t = SimTime::ZERO;
+        loop {
+            let gap = inter_arrival.sample(rng);
+            if gap.is_zero() {
+                // Degenerate distribution; avoid an infinite loop.
+                break;
+            }
+            t += gap;
+            if t >= horizon {
+                break;
+            }
+            script.push(t, target, FaultKind::Crash);
+        }
+        script
+    }
+
+    /// Merges another script into this one, preserving time order.
+    pub fn merge(&mut self, other: FaultScript) {
+        for f in other.faults {
+            let idx = self.faults.partition_point(|g| g.at <= f.at);
+            self.faults.insert(idx, f);
+        }
+    }
+
+    /// Schedules every fault onto `sim`. Targets that do not exist are
+    /// reported as errors rather than silently skipped.
+    ///
+    /// # Errors
+    ///
+    /// Returns the names of any targets not present in the simulation.
+    pub fn apply<M>(&self, sim: &mut Sim<M>) -> Result<(), UnknownTargets> {
+        let mut unknown = Vec::new();
+        for f in &self.faults {
+            let Some(id) = sim.lookup(&f.target) else {
+                if !unknown.contains(&f.target) {
+                    unknown.push(f.target.clone());
+                }
+                continue;
+            };
+            let delay = f.at.saturating_since(sim.now());
+            match f.kind {
+                FaultKind::Crash => sim.kill_after(delay, id),
+                FaultKind::Hang => sim.hang_after(delay, id),
+            }
+        }
+        if unknown.is_empty() {
+            Ok(())
+        } else {
+            Err(UnknownTargets(unknown))
+        }
+    }
+}
+
+impl Extend<ScriptedFault> for FaultScript {
+    fn extend<T: IntoIterator<Item = ScriptedFault>>(&mut self, iter: T) {
+        for f in iter {
+            self.push(f.at, f.target, f.kind);
+        }
+    }
+}
+
+impl FromIterator<ScriptedFault> for FaultScript {
+    fn from_iter<T: IntoIterator<Item = ScriptedFault>>(iter: T) -> Self {
+        let mut s = FaultScript::new();
+        s.extend(iter);
+        s
+    }
+}
+
+/// Error: a fault script referenced processes that are not in the simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownTargets(pub Vec<String>);
+
+impl std::fmt::Display for UnknownTargets {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unknown fault targets: {}", self.0.join(", "))
+    }
+}
+
+impl std::error::Error for UnknownTargets {}
+
+/// Add two durations of jitter around scheduled injections — occasionally
+/// useful in ablations to decouple faults from timer phase. Returns a new
+/// script with each fault time shifted by a uniform offset in `±jitter`.
+pub fn jittered(script: &FaultScript, jitter: SimDuration, rng: &mut SimRng) -> FaultScript {
+    let mut out = FaultScript::new();
+    for f in script.faults() {
+        let span = 2.0 * jitter.as_secs_f64();
+        let offset = rng.next_f64() * span - jitter.as_secs_f64();
+        let base = f.at.as_secs_f64();
+        let t = SimTime::from_secs_f64((base + offset).max(0.0));
+        out.push(t, f.target.clone(), f.kind);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Actor, Context, Event, ProcessState};
+
+    struct Nop;
+    impl Actor<()> for Nop {
+        fn on_event(&mut self, _ev: Event<()>, _ctx: &mut Context<'_, ()>) {}
+    }
+
+    #[test]
+    fn push_keeps_time_order() {
+        let s = FaultScript::new()
+            .with_fault(SimTime::from_secs(5), "b", FaultKind::Crash)
+            .with_fault(SimTime::from_secs(1), "a", FaultKind::Hang)
+            .with_fault(SimTime::from_secs(3), "c", FaultKind::Crash);
+        let order: Vec<_> = s.faults().iter().map(|f| f.target.as_str()).collect();
+        assert_eq!(order, vec!["a", "c", "b"]);
+    }
+
+    #[test]
+    fn apply_schedules_kills_and_hangs() {
+        let mut sim: Sim<()> = Sim::new(1);
+        let a = sim.spawn("a", || Box::new(Nop));
+        let b = sim.spawn("b", || Box::new(Nop));
+        let script = FaultScript::new()
+            .with_fault(SimTime::from_secs(1), "a", FaultKind::Crash)
+            .with_fault(SimTime::from_secs(2), "b", FaultKind::Hang);
+        script.apply(&mut sim).unwrap();
+        sim.run();
+        assert_eq!(sim.state(a), ProcessState::Crashed);
+        assert_eq!(sim.state(b), ProcessState::Hung);
+    }
+
+    #[test]
+    fn apply_reports_unknown_targets() {
+        let mut sim: Sim<()> = Sim::new(2);
+        sim.spawn("a", || Box::new(Nop));
+        let script = FaultScript::new()
+            .with_fault(SimTime::from_secs(1), "ghost", FaultKind::Crash)
+            .with_fault(SimTime::from_secs(2), "ghost", FaultKind::Crash)
+            .with_fault(SimTime::from_secs(2), "phantom", FaultKind::Hang);
+        let err = script.apply(&mut sim).unwrap_err();
+        assert_eq!(err.0, vec!["ghost".to_string(), "phantom".to_string()]);
+        assert!(err.to_string().contains("ghost"));
+    }
+
+    #[test]
+    fn poisson_like_respects_horizon_and_mean() {
+        let mut rng = SimRng::new(3);
+        let horizon = SimTime::from_secs(100_000);
+        let script = FaultScript::poisson_like("x", &Dist::exponential(100.0), horizon, &mut rng);
+        assert!(script.faults().iter().all(|f| f.at < horizon));
+        // Expect ~1000 faults; allow generous tolerance.
+        let n = script.faults().len();
+        assert!((850..1150).contains(&n), "faults: {n}");
+    }
+
+    #[test]
+    fn poisson_like_handles_degenerate_zero_gap() {
+        let mut rng = SimRng::new(4);
+        let script = FaultScript::poisson_like(
+            "x",
+            &Dist::constant(0.0),
+            SimTime::from_secs(10),
+            &mut rng,
+        );
+        assert!(script.faults().is_empty());
+    }
+
+    #[test]
+    fn merge_interleaves() {
+        let mut a = FaultScript::new().with_fault(SimTime::from_secs(1), "a", FaultKind::Crash);
+        let b = FaultScript::new()
+            .with_fault(SimTime::from_secs(0), "b", FaultKind::Crash)
+            .with_fault(SimTime::from_secs(2), "c", FaultKind::Crash);
+        a.merge(b);
+        let order: Vec<_> = a.faults().iter().map(|f| f.target.as_str()).collect();
+        assert_eq!(order, vec!["b", "a", "c"]);
+    }
+
+    #[test]
+    fn jittered_stays_non_negative_and_same_len() {
+        let script = FaultScript::new()
+            .with_fault(SimTime::from_secs_f64(0.1), "a", FaultKind::Crash)
+            .with_fault(SimTime::from_secs(10), "a", FaultKind::Crash);
+        let mut rng = SimRng::new(5);
+        let j = jittered(&script, SimDuration::from_secs(1), &mut rng);
+        assert_eq!(j.faults().len(), 2);
+        assert!(j.faults().iter().all(|f| f.at >= SimTime::ZERO));
+    }
+
+    #[test]
+    fn from_iterator_collects_sorted() {
+        let faults = vec![
+            ScriptedFault { at: SimTime::from_secs(2), target: "b".into(), kind: FaultKind::Crash },
+            ScriptedFault { at: SimTime::from_secs(1), target: "a".into(), kind: FaultKind::Crash },
+        ];
+        let script: FaultScript = faults.into_iter().collect();
+        assert_eq!(script.faults()[0].target, "a");
+    }
+}

@@ -1,0 +1,238 @@
+//! Seeded, splittable pseudo-random number generation.
+//!
+//! The simulator needs *reproducible* randomness: the same seed must produce
+//! the same failure times, jitter and oracle mistakes on every run, on every
+//! platform. We therefore implement a small xoshiro256** generator (public
+//! domain algorithm by Blackman & Vigna) seeded through SplitMix64, rather
+//! than relying on `StdRng`, whose algorithm is allowed to change between
+//! `rand` releases.
+//!
+//! Each simulated process receives its own *stream* ([`SimRng::split`]), so
+//! adding randomness consumption in one component does not perturb the draws
+//! seen by another — experiments stay comparable across code changes.
+
+/// A deterministic, splittable PRNG (xoshiro256** seeded via SplitMix64).
+///
+/// ```
+/// use rr_sim::SimRng;
+/// let mut a = SimRng::new(7);
+/// let mut b = SimRng::new(7);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimRng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        SimRng { s }
+    }
+
+    /// Derives an independent child stream keyed by `stream`.
+    ///
+    /// Two splits of the same generator with different keys produce
+    /// statistically independent sequences; the same key always produces the
+    /// same stream. The parent generator is not advanced.
+    pub fn split(&self, stream: u64) -> SimRng {
+        // Mix the parent state with the stream key through SplitMix64 so
+        // nearby keys yield unrelated streams.
+        let mut sm = self.s[0] ^ self.s[2] ^ stream.wrapping_mul(0xD605_BBB5_8C8A_BC2D);
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        SimRng { s }
+    }
+
+    /// Returns the next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform float in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform integer in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "next_below: bound must be positive");
+        // Lemire's rejection method: unbiased without division in the common case.
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128).wrapping_mul(bound as u128);
+            let lo = m as u64;
+            if lo >= bound || lo >= bound.wrapping_neg() % bound {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// A uniform float in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or either bound is not finite.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo.is_finite() && hi.is_finite() && lo <= hi, "bad range [{lo}, {hi})");
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Picks a uniformly random element of `slice`, or `None` if it is empty.
+    pub fn choose<'a, T>(&mut self, slice: &'a [T]) -> Option<&'a T> {
+        if slice.is_empty() {
+            None
+        } else {
+            Some(&slice[self.next_below(slice.len() as u64) as usize])
+        }
+    }
+
+    /// Fisher–Yates shuffles `slice` in place.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.next_below(i as u64 + 1) as usize;
+            slice.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::new(1234);
+        let mut b = SimRng::new(1234);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn split_streams_are_independent_and_stable() {
+        let root = SimRng::new(99);
+        let mut s1 = root.split(1);
+        let mut s2 = root.split(2);
+        let mut s1_again = root.split(1);
+        assert_eq!(s1.next_u64(), s1_again.next_u64());
+        assert_ne!(s1.next_u64(), s2.next_u64());
+    }
+
+    #[test]
+    fn next_f64_in_unit_interval() {
+        let mut rng = SimRng::new(5);
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn next_f64_mean_near_half() {
+        let mut rng = SimRng::new(6);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.next_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn next_below_is_in_range_and_roughly_uniform() {
+        let mut rng = SimRng::new(7);
+        let mut counts = [0u32; 10];
+        for _ in 0..100_000 {
+            counts[rng.next_below(10) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "bucket count {c}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bound")]
+    fn next_below_zero_panics() {
+        SimRng::new(0).next_below(0);
+    }
+
+    #[test]
+    fn chance_matches_probability() {
+        let mut rng = SimRng::new(8);
+        let hits = (0..100_000).filter(|_| rng.chance(0.3)).count();
+        assert!((28_000..32_000).contains(&hits), "hits {hits}");
+        assert!(!SimRng::new(9).chance(0.0));
+        assert!(SimRng::new(9).chance(1.0));
+    }
+
+    #[test]
+    fn choose_and_shuffle() {
+        let mut rng = SimRng::new(10);
+        assert_eq!(rng.choose::<u8>(&[]), None);
+        let items = [1, 2, 3];
+        assert!(items.contains(rng.choose(&items).unwrap()));
+
+        let mut v: Vec<u32> = (0..100).collect();
+        let orig = v.clone();
+        rng.shuffle(&mut v);
+        assert_ne!(v, orig, "100-element shuffle left order unchanged");
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, orig);
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = SimRng::new(11);
+        for _ in 0..1000 {
+            let x = rng.uniform(-2.0, 3.0);
+            assert!((-2.0..3.0).contains(&x));
+        }
+        assert_eq!(rng.uniform(4.0, 4.0), 4.0);
+    }
+}

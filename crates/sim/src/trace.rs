@@ -1,0 +1,235 @@
+//! Structured event log.
+//!
+//! Every lifecycle transition (spawn, crash, hang, restart) and every
+//! domain-level mark emitted by a component is appended to the [`Trace`]. The
+//! experiment harness measures recovery intervals exactly the way the paper
+//! does (§4.1): "We log the time when the signal is sent; once the component
+//! determines it is functionally ready, it logs a timestamped message. The
+//! difference between these two times is what we consider to be the recovery
+//! time."
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::engine::ProcessId;
+use crate::time::SimTime;
+
+/// The kind of a trace record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TraceKind {
+    /// A process was created.
+    Spawned,
+    /// A process crashed (fail-silent, state lost).
+    Crashed,
+    /// A process hung (fail-silent, state resident).
+    Hung,
+    /// A process was restarted from its factory.
+    Restarted,
+    /// An event addressed to a dead process was dropped.
+    Dropped,
+    /// A domain-level mark (e.g. `ready:ses`, `detect:rtu`).
+    Mark,
+}
+
+impl fmt::Display for TraceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TraceKind::Spawned => "spawned",
+            TraceKind::Crashed => "crashed",
+            TraceKind::Hung => "hung",
+            TraceKind::Restarted => "restarted",
+            TraceKind::Dropped => "dropped",
+            TraceKind::Mark => "mark",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One record in the trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// When the event happened.
+    pub time: SimTime,
+    /// The process it is attributed to, if any.
+    #[serde(skip)]
+    pub pid: Option<ProcessId>,
+    /// What happened.
+    pub kind: TraceKind,
+    /// Free-form detail: the process name for lifecycle events, the label for
+    /// marks.
+    pub label: String,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.time, self.kind, self.label)
+    }
+}
+
+/// An append-only, queryable log of [`TraceEvent`]s.
+///
+/// ```
+/// use rr_sim::{Sim, SimDuration, TraceKind};
+/// let mut sim: Sim<()> = Sim::new(1);
+/// sim.mark("experiment-start");
+/// assert_eq!(sim.trace().iter().filter(|e| e.kind == TraceKind::Mark).count(), 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Appends a record.
+    pub fn record(
+        &mut self,
+        time: SimTime,
+        pid: Option<ProcessId>,
+        kind: TraceKind,
+        label: impl Into<String>,
+    ) {
+        self.events.push(TraceEvent {
+            time,
+            pid,
+            kind,
+            label: label.into(),
+        });
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` if no records have been appended.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Iterates over all records in order.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Times of all marks with exactly the label `label`.
+    pub fn mark_times<'a>(&'a self, label: &'a str) -> impl Iterator<Item = SimTime> + 'a {
+        self.events
+            .iter()
+            .filter(move |e| e.kind == TraceKind::Mark && e.label == label)
+            .map(|e| e.time)
+    }
+
+    /// The first mark with label `label` at or after `t`, if any.
+    pub fn first_mark_at_or_after(&self, t: SimTime, label: &str) -> Option<SimTime> {
+        self.mark_times(label).find(|&mt| mt >= t)
+    }
+
+    /// The last record matching `kind` and `label`, if any.
+    pub fn last(&self, kind: TraceKind, label: &str) -> Option<&TraceEvent> {
+        self.events
+            .iter()
+            .rev()
+            .find(|e| e.kind == kind && e.label == label)
+    }
+
+    /// Records within the half-open window `[from, to)`.
+    pub fn window<'a>(
+        &'a self,
+        from: SimTime,
+        to: SimTime,
+    ) -> impl Iterator<Item = &'a TraceEvent> + 'a {
+        self.events
+            .iter()
+            .filter(move |e| e.time >= from && e.time < to)
+    }
+
+    /// Renders the whole trace, one event per line (debugging aid).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&e.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a TraceEvent;
+    type IntoIter = std::slice::Iter<'a, TraceEvent>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.events.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: f64) -> SimTime {
+        SimTime::from_secs_f64(secs)
+    }
+
+    fn sample() -> Trace {
+        let mut tr = Trace::new();
+        tr.record(t(0.0), None, TraceKind::Spawned, "ses");
+        tr.record(t(1.0), None, TraceKind::Crashed, "ses");
+        tr.record(t(1.9), None, TraceKind::Mark, "detect:ses");
+        tr.record(t(2.0), None, TraceKind::Restarted, "ses");
+        tr.record(t(7.3), None, TraceKind::Mark, "ready:ses");
+        tr.record(t(9.0), None, TraceKind::Mark, "ready:str");
+        tr
+    }
+
+    #[test]
+    fn mark_times_filters_by_label() {
+        let tr = sample();
+        let times: Vec<_> = tr.mark_times("ready:ses").collect();
+        assert_eq!(times, vec![t(7.3)]);
+    }
+
+    #[test]
+    fn first_mark_at_or_after_respects_threshold() {
+        let tr = sample();
+        assert_eq!(tr.first_mark_at_or_after(t(0.0), "ready:ses"), Some(t(7.3)));
+        assert_eq!(tr.first_mark_at_or_after(t(7.3), "ready:ses"), Some(t(7.3)));
+        assert_eq!(tr.first_mark_at_or_after(t(7.4), "ready:ses"), None);
+    }
+
+    #[test]
+    fn window_is_half_open() {
+        let tr = sample();
+        let in_window: Vec<_> = tr.window(t(1.0), t(2.0)).map(|e| e.kind).collect();
+        assert_eq!(in_window, vec![TraceKind::Crashed, TraceKind::Mark]);
+    }
+
+    #[test]
+    fn last_finds_most_recent() {
+        let mut tr = sample();
+        tr.record(t(10.0), None, TraceKind::Crashed, "ses");
+        assert_eq!(tr.last(TraceKind::Crashed, "ses").unwrap().time, t(10.0));
+        assert!(tr.last(TraceKind::Crashed, "mbus").is_none());
+    }
+
+    #[test]
+    fn render_is_line_per_event() {
+        let tr = sample();
+        let rendered = tr.render();
+        assert_eq!(rendered.lines().count(), tr.len());
+        assert!(rendered.contains("mark ready:ses"));
+    }
+
+    #[test]
+    fn empty_and_len() {
+        let tr = Trace::new();
+        assert!(tr.is_empty());
+        assert_eq!(tr.len(), 0);
+        assert_eq!(sample().len(), 6);
+    }
+}

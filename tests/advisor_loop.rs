@@ -1,0 +1,148 @@
+//! Closed-loop advisor test: start from tree II (post-split), repeatedly
+//! apply whatever the Table 3 advisor recommends, and verify the loop
+//! converges — mechanically — to the paper's final tree V.
+//!
+//! This is the strongest form of the §4 narrative: the hand-designed tree
+//! evolution is fully recoverable from the failure-correlation data plus the
+//! Table 3 conditions, with no human in the loop.
+
+use mercury::config::StationConfig;
+use rr_core::advisor::{advise, Advice, OracleAssumption};
+use rr_core::transform::{
+    consolidate, consolidate_one_sided, depth_augment, group_cells,
+};
+use rr_core::tree::RestartTree;
+use rr_core::TreeSpec;
+
+/// Applies one piece of advice to the tree.
+fn apply(tree: &mut RestartTree, advice: &Advice) {
+    match advice {
+        Advice::Augment { cell, components } => {
+            let partition: Vec<Vec<String>> =
+                components.iter().map(|c| vec![c.clone()]).collect();
+            depth_augment(tree, *cell, &partition).expect("augment applies");
+        }
+        Advice::Consolidate { components, .. } => {
+            let cells: Vec<_> = components
+                .iter()
+                .map(|c| tree.cell_of_component(c).expect("attached"))
+                .collect();
+            consolidate(tree, &cells).expect("consolidation applies");
+        }
+        Advice::Group { components, .. } => {
+            let cells: Vec<_> = components
+                .iter()
+                .map(|c| tree.cell_of_component(c).expect("attached"))
+                .collect();
+            group_cells(tree, &cells).expect("grouping applies");
+        }
+        Advice::Promote { component, partner, .. } => {
+            // If a cell already covers exactly the pair (a prior Group step,
+            // or tree III's joint subtree), plain promotion moves the
+            // expensive side onto it. Otherwise, one-sided consolidation
+            // builds the joint cell and absorbs the expensive side in one
+            // step (§4.4: promotion is one-sided consolidation).
+            let pair_cell = tree
+                .lowest_cover(&[component.clone(), partner.clone()])
+                .expect("attached");
+            let mut covered = tree.components_under(pair_cell);
+            covered.sort();
+            let mut pair = vec![component.clone(), partner.clone()];
+            pair.sort();
+            if covered == pair {
+                rr_core::transform::promote_component(tree, component)
+                    .expect("promotion applies");
+            } else {
+                let comp_cell = tree.cell_of_component(component).expect("attached");
+                let partner_cell = tree.cell_of_component(partner).expect("attached");
+                consolidate_one_sided(tree, partner_cell, comp_cell)
+                    .expect("one-sided consolidation applies");
+            }
+        }
+    }
+}
+
+#[test]
+fn advisor_loop_converges_to_tree_v() {
+    let cfg = StationConfig::paper();
+    let cost = cfg.cost_model();
+    let model = cfg.advisory_failure_model();
+
+    // Tree II over the split components (the state after the §4.2
+    // re-architecture but before any correlation-driven reshaping).
+    let mut tree = TreeSpec::cell("mercury")
+        .with_child(TreeSpec::cell("R_mbus").with_component("mbus"))
+        .with_child(TreeSpec::cell("R_fedr").with_component("fedr"))
+        .with_child(TreeSpec::cell("R_pbcom").with_component("pbcom"))
+        .with_child(TreeSpec::cell("R_ses").with_component("ses"))
+        .with_child(TreeSpec::cell("R_str").with_component("str"))
+        .with_child(TreeSpec::cell("R_rtu").with_component("rtu"))
+        .build()
+        .unwrap();
+
+    let mut steps = Vec::new();
+    for round in 0..8 {
+        let advice = advise(&tree, &model, &cost, OracleAssumption::MayErr);
+        let Some(first) = advice.first() else {
+            break;
+        };
+        steps.push(format!("round {round}: {first}"));
+        apply(&mut tree, first);
+        tree.validate().unwrap();
+        assert!(round < 7, "advisor loop failed to converge:\n{}", steps.join("\n"));
+    }
+
+    // Converged: no further advice.
+    let remaining = advise(&tree, &model, &cost, OracleAssumption::MayErr);
+    assert!(remaining.is_empty(), "leftover advice: {remaining:?}\n{tree}");
+
+    // The result is exactly tree V's structure.
+    let tree_v = mercury::station::TreeVariant::V.tree();
+    let canon = |t: &RestartTree| {
+        let mut groups: Vec<Vec<String>> =
+            t.groups().into_iter().map(|(_, comps)| comps).collect();
+        groups.sort();
+        groups
+    };
+    assert_eq!(
+        canon(&tree),
+        canon(&tree_v),
+        "advisor-derived tree:\n{tree}\nhand-designed tree V:\n{tree_v}\nsteps:\n{}",
+        steps.join("\n")
+    );
+}
+
+#[test]
+fn advisor_loop_with_perfect_oracle_stops_at_tree_iv_shape() {
+    // Without oracle mistakes, promotion is never advised (Table 3), so the
+    // loop stops at a tree IV-like structure: ses/str consolidated, a joint
+    // [fedr,pbcom] button, but pbcom keeps its own cell.
+    let cfg = StationConfig::paper();
+    let cost = cfg.cost_model();
+    let model = cfg.advisory_failure_model();
+    let mut tree = TreeSpec::cell("mercury")
+        .with_child(TreeSpec::cell("R_mbus").with_component("mbus"))
+        .with_child(TreeSpec::cell("R_fedr").with_component("fedr"))
+        .with_child(TreeSpec::cell("R_pbcom").with_component("pbcom"))
+        .with_child(TreeSpec::cell("R_ses").with_component("ses"))
+        .with_child(TreeSpec::cell("R_str").with_component("str"))
+        .with_child(TreeSpec::cell("R_rtu").with_component("rtu"))
+        .build()
+        .unwrap();
+
+    for _ in 0..8 {
+        let advice = advise(&tree, &model, &cost, OracleAssumption::Perfect);
+        let Some(first) = advice.first() else { break };
+        apply(&mut tree, first);
+        tree.validate().unwrap();
+    }
+    assert!(advise(&tree, &model, &cost, OracleAssumption::Perfect).is_empty());
+
+    // ses/str consolidated:
+    assert!(rr_core::optimize::find_group(&tree, &["ses", "str"]).is_some(), "{tree}");
+    // Joint fedr/pbcom button exists…
+    assert!(rr_core::optimize::find_group(&tree, &["fedr", "pbcom"]).is_some(), "{tree}");
+    // …and pbcom keeps its own (tree IV, not V — "tree V can be better only
+    // when the oracle is faulty").
+    assert!(rr_core::optimize::find_group(&tree, &["pbcom"]).is_some(), "{tree}");
+}
