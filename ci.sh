@@ -1,0 +1,8 @@
+#!/usr/bin/env sh
+# CI gate: build, tests, formatting, lints. Run from the repo root.
+set -eux
+
+cargo build --release --workspace
+cargo test -q --workspace
+cargo fmt --check
+cargo clippy --workspace --all-targets -- -D warnings

@@ -2,9 +2,9 @@
 //! restart contention, oracle error rate, the automatic tree optimizer, and
 //! the learning oracle.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mercury::config::{names, StationConfig};
 use mercury::station::TreeVariant;
+use rr_bench::harness::Runner;
 use rr_core::analysis::{expected_mode_recovery_s, expected_system_mttr_s, OracleQuality};
 use rr_core::model::FailureMode;
 use rr_core::optimize::{optimize_tree, OptimizerConfig};
@@ -13,9 +13,11 @@ use std::hint::black_box;
 
 /// Contention sweep: how much of tree II's win is avoiding restart
 /// contention vs avoiding the slowest component?
-fn bench_contention(c: &mut Criterion) {
+fn bench_contention(r: &mut Runner) {
     let cfg = StationConfig::paper();
-    eprintln!("\n[ablation/contention] tree I expected recovery as the quadratic coefficient varies:");
+    eprintln!(
+        "\n[ablation/contention] tree I expected recovery as the quadratic coefficient varies:"
+    );
     for q in [0.0, 0.006, 0.0119, 0.024, 0.048] {
         let mut cost = rr_core::SimpleCostModel::new(1.0, 2.0).with_contention(q);
         for (name, t) in &cfg.timing {
@@ -23,24 +25,20 @@ fn bench_contention(c: &mut Criterion) {
         }
         let tree = TreeVariant::I.tree();
         let mode = FailureMode::solo("rtu", names::RTU, 1.0);
-        let r = expected_mode_recovery_s(&tree, &mode, &cost, OracleQuality::Perfect).unwrap();
-        eprintln!("[ablation/contention] q={q:<7} -> {r:6.2}s (paper at q=0.0119: 24.75)");
+        let rec = expected_mode_recovery_s(&tree, &mode, &cost, OracleQuality::Perfect).unwrap();
+        eprintln!("[ablation/contention] q={q:<7} -> {rec:6.2}s (paper at q=0.0119: 24.75)");
     }
     let cost = cfg.cost_model();
     let tree = TreeVariant::I.tree();
     let mode = FailureMode::solo("rtu", names::RTU, 1.0);
-    c.bench_function("ablation/contention_eval", |b| {
-        b.iter(|| {
-            black_box(
-                expected_mode_recovery_s(&tree, &mode, &cost, OracleQuality::Perfect).unwrap(),
-            )
-        })
+    r.bench("ablation/contention_eval", || {
+        black_box(expected_mode_recovery_s(&tree, &mode, &cost, OracleQuality::Perfect).unwrap())
     });
 }
 
 /// Oracle error-rate sweep (the paper fixes 30% arbitrarily): where tree V
 /// overtakes tree IV.
-fn bench_oracle_sweep(c: &mut Criterion) {
+fn bench_oracle_sweep(r: &mut Runner) {
     let cfg = StationConfig::paper();
     let cost = cfg.cost_model();
     let mode = FailureMode::correlated("joint", names::PBCOM, [names::FEDR, names::PBCOM], 1.0);
@@ -48,31 +46,39 @@ fn bench_oracle_sweep(c: &mut Criterion) {
     let tree_v = TreeVariant::V.tree();
     eprintln!("\n[ablation/oracle] error rate -> expected pbcom-joint recovery (IV vs V):");
     for p in [0.0, 0.1, 0.2, 0.3, 0.4, 0.5] {
-        let iv = expected_mode_recovery_s(&tree_iv, &mode, &cost, OracleQuality::Faulty { undershoot: p }).unwrap();
-        let v = expected_mode_recovery_s(&tree_v, &mode, &cost, OracleQuality::Faulty { undershoot: p }).unwrap();
+        let iv = expected_mode_recovery_s(
+            &tree_iv,
+            &mode,
+            &cost,
+            OracleQuality::Faulty { undershoot: p },
+        )
+        .unwrap();
+        let v = expected_mode_recovery_s(
+            &tree_v,
+            &mode,
+            &cost,
+            OracleQuality::Faulty { undershoot: p },
+        )
+        .unwrap();
         eprintln!("[ablation/oracle] p={p:.1}: IV {iv:6.2}s  V {v:6.2}s");
     }
-    let mut group = c.benchmark_group("ablation/oracle");
     for p in [0.0, 0.3] {
-        group.bench_with_input(BenchmarkId::new("faulty_eval", p.to_string()), &p, |b, &p| {
-            b.iter(|| {
-                black_box(
-                    expected_mode_recovery_s(
-                        &tree_iv,
-                        &mode,
-                        &cost,
-                        OracleQuality::Faulty { undershoot: p },
-                    )
-                    .unwrap(),
+        r.bench(&format!("ablation/oracle/faulty_eval/{p}"), || {
+            black_box(
+                expected_mode_recovery_s(
+                    &tree_iv,
+                    &mode,
+                    &cost,
+                    OracleQuality::Faulty { undershoot: p },
                 )
-            })
+                .unwrap(),
+            )
         });
     }
-    group.finish();
 }
 
 /// The automatic optimizer re-deriving the paper's trees (future work §7).
-fn bench_optimizer(c: &mut Criterion) {
+fn bench_optimizer(r: &mut Runner) {
     let cfg = StationConfig::paper();
     let cost = cfg.cost_model();
     let model = cfg.paper_failure_model();
@@ -94,31 +100,28 @@ fn bench_optimizer(c: &mut Criterion) {
         rr_core::render::render_tree(&opt.tree)
     );
 
-    let mut group = c.benchmark_group("ablation/optimizer");
-    group.sample_size(20);
-    group.bench_function("hill_climb_from_tree_i", |b| {
-        b.iter(|| {
-            black_box(
-                optimize_tree(
-                    &start,
-                    &model,
-                    &cost,
-                    OracleQuality::Faulty { undershoot: 0.3 },
-                    OptimizerConfig::default(),
-                )
-                .unwrap()
-                .expected_mttr_s,
+    r.bench("ablation/optimizer/hill_climb_from_tree_i", || {
+        black_box(
+            optimize_tree(
+                &start,
+                &model,
+                &cost,
+                OracleQuality::Faulty { undershoot: 0.3 },
+                OptimizerConfig::default(),
             )
-        })
+            .unwrap()
+            .expected_mttr_s,
+        )
     });
-    group.bench_function("expected_system_mttr", |b| {
-        let tree = TreeVariant::V.tree();
-        b.iter(|| {
-            black_box(expected_system_mttr_s(&tree, &model, &cost, OracleQuality::Perfect).unwrap())
-        })
+    let tree = TreeVariant::V.tree();
+    r.bench("ablation/optimizer/expected_system_mttr", || {
+        black_box(expected_system_mttr_s(&tree, &model, &cost, OracleQuality::Perfect).unwrap())
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_contention, bench_oracle_sweep, bench_optimizer);
-criterion_main!(benches);
+fn main() {
+    let mut r = Runner::from_env();
+    bench_contention(&mut r);
+    bench_oracle_sweep(&mut r);
+    bench_optimizer(&mut r);
+}

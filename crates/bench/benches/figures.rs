@@ -2,58 +2,54 @@
 //! Figures 2–6 (construction via the transformation pipeline + ASCII render)
 //! and the Figure 1 architecture (station assembly + cold start).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mercury::config::StationConfig;
 use mercury::station::{Station, TreeVariant};
+use rr_bench::harness::Runner;
 use rr_core::render::{render_compact, render_tree};
 use rr_core::PerfectOracle;
 use std::hint::black_box;
 
-fn bench_tree_evolution(c: &mut Criterion) {
+fn bench_tree_evolution(r: &mut Runner) {
     eprintln!("\n[figures] the restart trees of Figures 3-6:");
     for variant in TreeVariant::ALL {
-        eprintln!("[figures] tree {variant}:\n{}", render_tree(&variant.tree()));
-    }
-
-    let mut group = c.benchmark_group("figures/tree");
-    for variant in TreeVariant::ALL {
-        group.bench_with_input(
-            BenchmarkId::new("build", variant.to_string()),
-            &variant,
-            |b, &v| b.iter(|| black_box(v.tree())),
+        eprintln!(
+            "[figures] tree {variant}:\n{}",
+            render_tree(&variant.tree())
         );
     }
-    group.bench_function("render_tree_v", |b| {
-        let tree = TreeVariant::V.tree();
-        b.iter(|| black_box(render_tree(&tree)))
+
+    for variant in TreeVariant::ALL {
+        r.bench(&format!("figures/tree/build/{variant}"), || {
+            black_box(variant.tree())
+        });
+    }
+    let tree = TreeVariant::V.tree();
+    r.bench("figures/tree/render_tree_v", || {
+        black_box(render_tree(&tree))
     });
-    group.bench_function("render_compact_v", |b| {
-        let tree = TreeVariant::V.tree();
-        b.iter(|| black_box(render_compact(&tree)))
+    r.bench("figures/tree/render_compact_v", || {
+        black_box(render_compact(&tree))
     });
-    group.finish();
 }
 
 /// Figure 1: assembling and cold-starting the whole station.
-fn bench_station_cold_start(c: &mut Criterion) {
-    let mut group = c.benchmark_group("figures/station");
-    group.sample_size(10);
-    group.bench_function("cold_start_tree_v", |b| {
-        let mut seed = 0u64;
-        b.iter(|| {
-            seed += 1;
-            let mut s = Station::new(
-                StationConfig::paper(),
-                TreeVariant::V,
-                Box::new(PerfectOracle::new()),
-                seed,
-            );
-            s.warm_up();
-            black_box(s.now())
-        })
+fn bench_station_cold_start(r: &mut Runner) {
+    let mut seed = 0u64;
+    r.bench("figures/station/cold_start_tree_v", || {
+        seed += 1;
+        let mut s = Station::new(
+            StationConfig::paper(),
+            TreeVariant::V,
+            Box::new(PerfectOracle::new()),
+            seed,
+        );
+        s.warm_up();
+        black_box(s.now())
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_tree_evolution, bench_station_cold_start);
-criterion_main!(benches);
+fn main() {
+    let mut r = Runner::from_env();
+    bench_tree_evolution(&mut r);
+    bench_station_cold_start(&mut r);
+}

@@ -2,8 +2,8 @@
 //! command-language codec, the deterministic RNG, orbit propagation and
 //! restart-tree queries.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use mercury_msg::{Envelope, Message};
+use rr_bench::harness::Runner;
 use rr_sim::{Actor, Context, Event, Sim, SimDuration, SimRng, SimTime};
 use std::hint::black_box;
 
@@ -29,34 +29,27 @@ impl Actor<u64> for PingPong {
     }
 }
 
-fn bench_sim_engine(c: &mut Criterion) {
-    let mut group = c.benchmark_group("micro/sim");
-    group.throughput(Throughput::Elements(100_000));
-    group.bench_function("ping_pong_100k_events", |b| {
-        b.iter(|| {
-            let mut sim: Sim<u64> = Sim::new(1);
-            let a = sim.spawn("a", || Box::new(PingPong { peer: None }));
-            sim.spawn("b", move || Box::new(PingPong { peer: Some(a) }));
-            sim.run();
-            black_box(sim.events_processed())
-        })
+fn bench_sim_engine(r: &mut Runner) {
+    r.bench("micro/sim/ping_pong_100k_events", || {
+        let mut sim: Sim<u64> = Sim::new(1);
+        let a = sim.spawn("a", || Box::new(PingPong { peer: None }));
+        sim.spawn("b", move || Box::new(PingPong { peer: Some(a) }));
+        sim.run();
+        black_box(sim.events_processed())
     });
-    group.bench_function("spawn_kill_respawn_1k", |b| {
-        b.iter(|| {
-            let mut sim: Sim<u64> = Sim::new(2);
-            let p = sim.spawn("victim", || Box::new(PingPong { peer: None }));
-            for i in 0..1000u64 {
-                sim.kill_after(SimDuration::from_millis(i * 2), p);
-                sim.respawn_after(SimDuration::from_millis(i * 2 + 1), p);
-            }
-            sim.run_until(SimTime::from_secs(10));
-            black_box(sim.events_processed())
-        })
+    r.bench("micro/sim/spawn_kill_respawn_1k", || {
+        let mut sim: Sim<u64> = Sim::new(2);
+        let p = sim.spawn("victim", || Box::new(PingPong { peer: None }));
+        for i in 0..1000u64 {
+            sim.kill_after(SimDuration::from_millis(i * 2), p);
+            sim.respawn_after(SimDuration::from_millis(i * 2 + 1), p);
+        }
+        sim.run_until(SimTime::from_secs(10));
+        black_box(sim.events_processed())
     });
-    group.finish();
 }
 
-fn bench_msg_codec(c: &mut Criterion) {
+fn bench_msg_codec(r: &mut Runner) {
     let env = Envelope::new(
         "rtu",
         "fedr",
@@ -67,81 +60,65 @@ fn bench_msg_codec(c: &mut Criterion) {
         },
     );
     let wire = env.to_xml_string();
-    let mut group = c.benchmark_group("micro/msg");
-    group.throughput(Throughput::Bytes(wire.len() as u64));
-    group.bench_function("encode_envelope", |b| b.iter(|| black_box(env.to_xml_string())));
-    group.bench_function("parse_envelope", |b| {
-        b.iter(|| black_box(Envelope::parse(&wire).unwrap()))
+    r.bench("micro/msg/encode_envelope", || {
+        black_box(env.to_xml_string())
     });
-    group.finish();
+    r.bench("micro/msg/parse_envelope", || {
+        black_box(Envelope::parse(&wire).unwrap())
+    });
 }
 
-fn bench_rng_and_dist(c: &mut Criterion) {
-    let mut group = c.benchmark_group("micro/rng");
-    group.throughput(Throughput::Elements(1_000));
-    group.bench_function("xoshiro_1k_u64", |b| {
-        let mut rng = SimRng::new(3);
-        b.iter(|| {
-            let mut acc = 0u64;
-            for _ in 0..1000 {
-                acc ^= rng.next_u64();
-            }
-            black_box(acc)
-        })
+fn bench_rng_and_dist(r: &mut Runner) {
+    let mut rng = SimRng::new(3);
+    r.bench("micro/rng/xoshiro_1k_u64", || {
+        let mut acc = 0u64;
+        for _ in 0..1000 {
+            acc ^= rng.next_u64();
+        }
+        black_box(acc)
     });
-    group.bench_function("exponential_1k_samples", |b| {
-        let mut rng = SimRng::new(4);
-        let d = rr_sim::Dist::exponential(600.0);
-        b.iter(|| {
-            let mut acc = 0.0;
-            for _ in 0..1000 {
-                acc += d.sample_secs(&mut rng);
-            }
-            black_box(acc)
-        })
+    let mut rng = SimRng::new(4);
+    let d = rr_sim::Dist::exponential(600.0);
+    r.bench("micro/rng/exponential_1k_samples", || {
+        let mut acc = 0.0;
+        for _ in 0..1000 {
+            acc += d.sample_secs(&mut rng);
+        }
+        black_box(acc)
     });
-    group.finish();
 }
 
-fn bench_orbit(c: &mut Criterion) {
+fn bench_orbit(r: &mut Runner) {
     use mercury::orbit::{look_angle, predict_passes, GroundSite, Satellite};
     let site = GroundSite::stanford();
     let sat = Satellite::opal();
-    let mut group = c.benchmark_group("micro/orbit");
-    group.bench_function("look_angle", |b| {
-        let mut t = 0.0;
-        b.iter(|| {
-            t += 17.0;
-            black_box(look_angle(&site, &sat, t))
-        })
+    let mut t = 0.0;
+    r.bench("micro/orbit/look_angle", || {
+        t += 17.0;
+        black_box(look_angle(&site, &sat, t))
     });
-    group.sample_size(20);
-    group.bench_function("predict_passes_one_day", |b| {
-        b.iter(|| black_box(predict_passes(&site, &sat, 0.0, 86_400.0).len()))
+    r.bench("micro/orbit/predict_passes_one_day", || {
+        black_box(predict_passes(&site, &sat, 0.0, 86_400.0).len())
     });
-    group.finish();
 }
 
-fn bench_tree_queries(c: &mut Criterion) {
+fn bench_tree_queries(r: &mut Runner) {
     use mercury::station::TreeVariant;
     let tree = TreeVariant::V.tree();
-    let mut group = c.benchmark_group("micro/tree");
-    group.bench_function("lowest_cover", |b| {
-        b.iter(|| black_box(tree.lowest_cover(&["fedr", "pbcom"]).unwrap()))
+    r.bench("micro/tree/lowest_cover", || {
+        black_box(tree.lowest_cover(&["fedr", "pbcom"]).unwrap())
     });
-    group.bench_function("restart_path", |b| {
-        b.iter(|| black_box(tree.restart_path("fedr").unwrap()))
+    r.bench("micro/tree/restart_path", || {
+        black_box(tree.restart_path("fedr").unwrap())
     });
-    group.bench_function("groups", |b| b.iter(|| black_box(tree.groups().len())));
-    group.finish();
+    r.bench("micro/tree/groups", || black_box(tree.groups().len()));
 }
 
-criterion_group!(
-    benches,
-    bench_sim_engine,
-    bench_msg_codec,
-    bench_rng_and_dist,
-    bench_orbit,
-    bench_tree_queries
-);
-criterion_main!(benches);
+fn main() {
+    let mut r = Runner::from_env();
+    bench_sim_engine(&mut r);
+    bench_msg_codec(&mut r);
+    bench_rng_and_dist(&mut r);
+    bench_orbit(&mut r);
+    bench_tree_queries(&mut r);
+}

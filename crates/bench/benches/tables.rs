@@ -4,15 +4,15 @@
 //! of trials) once, then times the unit of work — a complete recovery trial:
 //! cold start, settle, inject the failure, run to recovery, measure.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mercury::config::names;
 use mercury::station::TreeVariant;
+use rr_bench::harness::Runner;
 use rr_bench::{mean_recovery, recovery_trial, BenchOracle};
 use rr_sim::{Dist, SimRng};
 use std::hint::black_box;
 
 /// Table 1: the synthetic failure generators hit the configured MTTFs.
-fn bench_table1(c: &mut Criterion) {
+fn bench_table1(r: &mut Runner) {
     let rows = [
         ("mbus", 730.0 * 3600.0),
         ("fedrcom", 600.0),
@@ -29,19 +29,17 @@ fn bench_table1(c: &mut Criterion) {
     }
     let d = Dist::exponential(600.0);
     let mut rng = SimRng::new(2);
-    c.bench_function("table1/sample_failure_times_1k", |b| {
-        b.iter(|| {
-            let mut acc = 0.0;
-            for _ in 0..1000 {
-                acc += d.sample_secs(&mut rng);
-            }
-            black_box(acc)
-        })
+    r.bench("table1/sample_failure_times_1k", || {
+        let mut acc = 0.0;
+        for _ in 0..1000 {
+            acc += d.sample_secs(&mut rng);
+        }
+        black_box(acc)
     });
 }
 
 /// Table 2: tree I vs tree II recovery per component.
-fn bench_table2(c: &mut Criterion) {
+fn bench_table2(r: &mut Runner) {
     let paper = [
         (names::MBUS, 24.75, 5.73),
         (names::SES, 24.75, 9.50),
@@ -56,71 +54,107 @@ fn bench_table2(c: &mut Criterion) {
         eprintln!("[table2] {comp:8} | {p1:5.2} / {m1:5.2} | {p2:5.2} / {m2:5.2}");
     }
 
-    let mut group = c.benchmark_group("table2");
-    group.sample_size(10);
     for variant in [TreeVariant::I, TreeVariant::II] {
-        group.bench_with_input(
-            BenchmarkId::new("recovery_trial_rtu", variant.to_string()),
-            &variant,
-            |b, &v| {
-                let mut seed = 0u64;
-                b.iter(|| {
-                    seed += 1;
-                    black_box(recovery_trial(v, BenchOracle::Perfect, names::RTU, false, seed))
-                })
-            },
-        );
+        let mut seed = 0u64;
+        r.bench(&format!("table2/recovery_trial_rtu/{variant}"), || {
+            seed += 1;
+            black_box(recovery_trial(
+                variant,
+                BenchOracle::Perfect,
+                names::RTU,
+                false,
+                seed,
+            ))
+        });
     }
-    group.finish();
 }
 
 /// Table 4: representative cells of the full matrix — the §4.2/§4.3/§4.4
 /// measurements.
-fn bench_table4(c: &mut Criterion) {
+fn bench_table4(r: &mut Runner) {
     eprintln!("\n[table4] key cells, paper vs measured (5 trials):");
     let cells: [(&str, TreeVariant, BenchOracle, &str, bool, f64); 6] = [
-        ("III fedr", TreeVariant::III, BenchOracle::Perfect, names::FEDR, false, 5.76),
-        ("III pbcom", TreeVariant::III, BenchOracle::Perfect, names::PBCOM, false, 21.24),
-        ("III ses", TreeVariant::III, BenchOracle::Perfect, names::SES, false, 9.50),
-        ("IV ses", TreeVariant::IV, BenchOracle::Perfect, names::SES, false, 6.25),
-        ("IV faulty pbcom", TreeVariant::IV, BenchOracle::Faulty(0.3), names::PBCOM, true, 29.19),
-        ("V faulty pbcom", TreeVariant::V, BenchOracle::Faulty(0.3), names::PBCOM, true, 21.63),
+        (
+            "III fedr",
+            TreeVariant::III,
+            BenchOracle::Perfect,
+            names::FEDR,
+            false,
+            5.76,
+        ),
+        (
+            "III pbcom",
+            TreeVariant::III,
+            BenchOracle::Perfect,
+            names::PBCOM,
+            false,
+            21.24,
+        ),
+        (
+            "III ses",
+            TreeVariant::III,
+            BenchOracle::Perfect,
+            names::SES,
+            false,
+            9.50,
+        ),
+        (
+            "IV ses",
+            TreeVariant::IV,
+            BenchOracle::Perfect,
+            names::SES,
+            false,
+            6.25,
+        ),
+        (
+            "IV faulty pbcom",
+            TreeVariant::IV,
+            BenchOracle::Faulty(0.3),
+            names::PBCOM,
+            true,
+            29.19,
+        ),
+        (
+            "V faulty pbcom",
+            TreeVariant::V,
+            BenchOracle::Faulty(0.3),
+            names::PBCOM,
+            true,
+            21.63,
+        ),
     ];
     for (label, variant, oracle, comp, correlated, paper) in cells {
         let m = mean_recovery(variant, oracle, comp, correlated, 5, 300);
         eprintln!("[table4] {label:16} | paper {paper:5.2} | measured {m:5.2}");
     }
 
-    let mut group = c.benchmark_group("table4");
-    group.sample_size(10);
-    group.bench_function("IV_consolidated_ses_trial", |b| {
-        let mut seed = 0u64;
-        b.iter(|| {
-            seed += 1;
-            black_box(recovery_trial(
-                TreeVariant::IV,
-                BenchOracle::Perfect,
-                names::SES,
-                false,
-                seed,
-            ))
-        })
+    let mut seed = 0u64;
+    r.bench("table4/IV_consolidated_ses_trial", || {
+        seed += 1;
+        black_box(recovery_trial(
+            TreeVariant::IV,
+            BenchOracle::Perfect,
+            names::SES,
+            false,
+            seed,
+        ))
     });
-    group.bench_function("V_promoted_pbcom_joint_trial", |b| {
-        let mut seed = 0u64;
-        b.iter(|| {
-            seed += 1;
-            black_box(recovery_trial(
-                TreeVariant::V,
-                BenchOracle::Faulty(0.3),
-                names::PBCOM,
-                true,
-                seed,
-            ))
-        })
+    let mut seed = 0u64;
+    r.bench("table4/V_promoted_pbcom_joint_trial", || {
+        seed += 1;
+        black_box(recovery_trial(
+            TreeVariant::V,
+            BenchOracle::Faulty(0.3),
+            names::PBCOM,
+            true,
+            seed,
+        ))
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_table1, bench_table2, bench_table4);
-criterion_main!(benches);
+fn main() {
+    let mut r = Runner::from_env();
+    bench_table1(&mut r);
+    bench_table2(&mut r);
+    bench_table4(&mut r);
+}

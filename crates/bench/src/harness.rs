@@ -1,0 +1,117 @@
+//! A small Criterion-free timing harness (the workspace builds offline and
+//! carries no external dependencies).
+//!
+//! Each bench target is a plain `fn main` that creates a [`Runner`] and
+//! registers closures with [`Runner::bench`]. Invocation matches what cargo
+//! passes to `harness = false` targets:
+//!
+//! * `cargo bench -p rr-bench` — full timed run;
+//! * `cargo bench -p rr-bench -- <substring>` — only matching benchmarks;
+//! * `--test` (from `cargo test --benches`) — run every closure once,
+//!   untimed, as a smoke test.
+
+use std::time::{Duration, Instant};
+
+/// Target measurement time per benchmark.
+const TARGET: Duration = Duration::from_millis(200);
+/// Hard cap on iterations, so cheap closures do not run forever.
+const MAX_ITERS: u64 = 100_000;
+
+/// Collects and runs registered benchmarks according to CLI arguments.
+#[derive(Debug)]
+pub struct Runner {
+    filter: Option<String>,
+    smoke: bool,
+}
+
+impl Runner {
+    /// Builds a runner from `std::env::args`: the first non-flag argument is
+    /// a substring filter; `--test` selects untimed smoke mode.
+    pub fn from_env() -> Runner {
+        let mut filter = None;
+        let mut smoke = false;
+        for arg in std::env::args().skip(1) {
+            if arg == "--test" {
+                smoke = true;
+            } else if !arg.starts_with('-') && filter.is_none() {
+                filter = Some(arg);
+            }
+        }
+        Runner { filter, smoke }
+    }
+
+    /// Runs one benchmark: warm-up, iteration-count calibration, then a
+    /// timed batch, reporting mean wall time per iteration.
+    pub fn bench<R>(&mut self, name: &str, mut f: impl FnMut() -> R) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        if self.smoke {
+            std::hint::black_box(f());
+            println!("{name}: ok (smoke)");
+            return;
+        }
+        // Warm up and estimate a single iteration.
+        let start = Instant::now();
+        std::hint::black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let iters = (TARGET.as_nanos() / once.as_nanos()).clamp(1, MAX_ITERS as u128) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        let total = start.elapsed();
+        let per_iter = total.as_nanos() as f64 / iters as f64;
+        println!("{name}: {} ({iters} iters)", format_ns(per_iter));
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s/iter", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms/iter", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs/iter", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns/iter")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut r = Runner {
+            filter: None,
+            smoke: true,
+        };
+        let mut n = 0u32;
+        r.bench("unit/counting", || n += 1);
+        assert_eq!(n, 1, "smoke mode runs exactly once");
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut r = Runner {
+            filter: Some("match-me".into()),
+            smoke: true,
+        };
+        let mut hits = 0u32;
+        r.bench("other/bench", || hits += 100);
+        r.bench("group/match-me", || hits += 1);
+        assert_eq!(hits, 1);
+    }
+
+    #[test]
+    fn format_scales_units() {
+        assert!(format_ns(12.0).ends_with("ns/iter"));
+        assert!(format_ns(12_000.0).ends_with("µs/iter"));
+        assert!(format_ns(12_000_000.0).ends_with("ms/iter"));
+        assert!(format_ns(2e9).ends_with("s/iter"));
+    }
+}

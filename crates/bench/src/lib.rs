@@ -1,6 +1,8 @@
 //! # rr-bench — benchmark support
 //!
-//! The Criterion benches live in `benches/`:
+//! The benches live in `benches/` (plain `fn main` binaries timed by the
+//! in-tree [`harness`] — the build must resolve offline, so Criterion is
+//! not available):
 //!
 //! * `tables` — one group per measured table (Table 1, Table 2, Table 4):
 //!   each iteration is a full station trial; the group prints the reproduced
@@ -12,10 +14,12 @@
 //! * `micro` — kernel throughput: simulator events, XML codec, RNG, tree
 //!   queries.
 //!
-//! This library crate only hosts shared helpers.
+//! This library crate hosts shared helpers and the timing harness.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod harness;
 
 use mercury::config::StationConfig;
 use mercury::measure::measure_recovery;
@@ -82,7 +86,15 @@ pub fn mean_recovery(
     seed: u64,
 ) -> f64 {
     (0..n)
-        .map(|i| recovery_trial(variant, oracle, component, correlated_pbcom, seed + i as u64))
+        .map(|i| {
+            recovery_trial(
+                variant,
+                oracle,
+                component,
+                correlated_pbcom,
+                seed + i as u64,
+            )
+        })
         .sum::<f64>()
         / n as f64
 }

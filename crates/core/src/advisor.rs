@@ -77,12 +77,19 @@ pub enum Advice {
 impl fmt::Display for Advice {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Advice::Consolidate { components, solo_rate, joint_rate } => write!(
+            Advice::Consolidate {
+                components,
+                solo_rate,
+                joint_rate,
+            } => write!(
                 f,
                 "consolidate [{}]: f_solo = {solo_rate:.3}/h << f_joint = {joint_rate:.3}/h",
                 components.join(", ")
             ),
-            Advice::Group { components, joint_rate } => write!(
+            Advice::Group {
+                components,
+                joint_rate,
+            } => write!(
                 f,
                 "add a joint restart button over [{}]: f_joint = {joint_rate:.3}/h > 0",
                 components.join(", ")
@@ -92,7 +99,11 @@ impl fmt::Display for Advice {
                 "depth-augment the cell holding [{}]: solo failures exist",
                 components.join(", ")
             ),
-            Advice::Promote { component, partner, cost_ratio } => write!(
+            Advice::Promote {
+                component,
+                partner,
+                cost_ratio,
+            } => write!(
                 f,
                 "promote {component} over {partner}: restart cost ratio {cost_ratio:.1}x \
                  makes guess-too-low expensive"
@@ -133,9 +144,7 @@ pub fn advise(
         match cure.as_slice() {
             [single] => *solo.entry(single.clone()).or_insert(0.0) += mode.rate_per_hour,
             [a, b] => {
-                *joint
-                    .entry((a.clone(), b.clone()))
-                    .or_insert(0.0) += mode.rate_per_hour;
+                *joint.entry((a.clone(), b.clone())).or_insert(0.0) += mode.rate_per_hour;
             }
             _ => {} // larger cure sets: no pairwise advice
         }
@@ -146,7 +155,10 @@ pub fn advise(
     for cell in tree.cells() {
         let comps = tree.components_at(cell);
         if comps.len() >= 2 {
-            let solo_sum: f64 = comps.iter().map(|c| solo.get(c).copied().unwrap_or(0.0)).sum();
+            let solo_sum: f64 = comps
+                .iter()
+                .map(|c| solo.get(c).copied().unwrap_or(0.0))
+                .sum();
             // Consolidated-by-design cells (ses/str) are exempt: their solo
             // rates are ~0 relative to the joint rate.
             let mut sorted = comps.to_vec();
@@ -212,8 +224,7 @@ pub fn advise(
                 (b, a, cost_b / cost_a.max(1e-9))
             };
             let expensive_cell = tree.cell_of_component(expensive).expect("attached");
-            let has_own_button =
-                tree.components_under(expensive_cell) == vec![expensive.clone()];
+            let has_own_button = tree.components_under(expensive_cell) == vec![expensive.clone()];
             if ratio >= DISPARATE_COST_RATIO && has_own_button {
                 advice.push(Advice::Promote {
                     component: expensive.clone(),
@@ -249,7 +260,12 @@ mod tests {
             .with_mode(FailureMode::solo("mbus", "mbus", 1.0 / 730.0))
             .with_mode(FailureMode::solo("fedr", "fedr", 6.0))
             .with_mode(FailureMode::solo("pbcom", "pbcom", 0.05))
-            .with_mode(FailureMode::correlated("pbcom-joint", "pbcom", ["fedr", "pbcom"], 0.4))
+            .with_mode(FailureMode::correlated(
+                "pbcom-joint",
+                "pbcom",
+                ["fedr", "pbcom"],
+                0.4,
+            ))
             // ses/str: solo cures essentially never work (f_solo ≈ 0).
             .with_mode(FailureMode::correlated("ses", "ses", ["ses", "str"], 0.2))
             .with_mode(FailureMode::correlated("str", "str", ["ses", "str"], 0.2))
@@ -274,7 +290,12 @@ mod tests {
             .with_components(["mbus", "fedr", "pbcom", "ses", "str", "rtu"])
             .build()
             .unwrap();
-        let advice = advise(&tree, &mercury_model(), &mercury_cost(), OracleAssumption::Perfect);
+        let advice = advise(
+            &tree,
+            &mercury_model(),
+            &mercury_cost(),
+            OracleAssumption::Perfect,
+        );
         assert!(
             advice.iter().any(|a| matches!(a, Advice::Augment { .. })),
             "{advice:?}"
@@ -290,9 +311,11 @@ mod tests {
             OracleAssumption::Perfect,
         );
         let consolidation = advice.iter().find_map(|a| match a {
-            Advice::Consolidate { components, solo_rate, joint_rate } => {
-                Some((components.clone(), *solo_rate, *joint_rate))
-            }
+            Advice::Consolidate {
+                components,
+                solo_rate,
+                joint_rate,
+            } => Some((components.clone(), *solo_rate, *joint_rate)),
             _ => None,
         });
         let (comps, solo, joint) = consolidation.expect("ses/str consolidation advised");
@@ -347,15 +370,20 @@ mod tests {
             OracleAssumption::MayErr,
         );
         let promo = faulty.iter().find_map(|a| match a {
-            Advice::Promote { component, partner, cost_ratio } => {
-                Some((component.clone(), partner.clone(), *cost_ratio))
-            }
+            Advice::Promote {
+                component,
+                partner,
+                cost_ratio,
+            } => Some((component.clone(), partner.clone(), *cost_ratio)),
             _ => None,
         });
         let (component, partner, ratio) = promo.expect("pbcom promotion advised");
         assert_eq!(component, "pbcom");
         assert_eq!(partner, "fedr");
-        assert!(ratio > 3.0, "pbcom restarts ~4x slower than fedr, got {ratio:.1}");
+        assert!(
+            ratio > 3.0,
+            "pbcom restarts ~4x slower than fedr, got {ratio:.1}"
+        );
     }
 
     #[test]

@@ -10,10 +10,8 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::TreeError;
-use crate::model::{FailureModel, FailureMode};
+use crate::model::{FailureMode, FailureModel};
 use crate::tree::RestartTree;
 
 /// Steady-state availability from mean time to failure and recovery:
@@ -116,7 +114,7 @@ pub trait CostModel {
 /// restart causes contention for resources that is not present when
 /// restarting just one component" while a two-component joint restart costs
 /// nearly the same as its slowest member (tree IV/V measurements).
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct SimpleCostModel {
     detection_s: f64,
     redetection_s: f64,
@@ -146,7 +144,10 @@ impl SimpleCostModel {
     /// Sets a component's boot time (seconds to functionally-ready).
     #[must_use]
     pub fn with_boot(mut self, component: impl Into<String>, boot_s: f64) -> Self {
-        assert!(boot_s.is_finite() && boot_s >= 0.0, "invalid boot time {boot_s}");
+        assert!(
+            boot_s.is_finite() && boot_s >= 0.0,
+            "invalid boot time {boot_s}"
+        );
         self.boot_s.insert(component.into(), boot_s);
         self
     }
@@ -221,13 +222,16 @@ impl CostModel for SimpleCostModel {
     }
 
     fn rapid_restart_penalty_s(&self, component: &str) -> f64 {
-        self.rapid_restart_penalty.get(component).copied().unwrap_or(0.0)
+        self.rapid_restart_penalty
+            .get(component)
+            .copied()
+            .unwrap_or(0.0)
     }
 }
 
 /// Analytic oracle quality, mirroring the oracles of
 /// [`oracle`](crate::oracle).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum OracleQuality {
     /// Always recommends the minimal cure cell (`A_oracle`).
     Perfect,
@@ -444,8 +448,7 @@ mod tests {
         ];
         for (comp, paper) in cases {
             let mode = FailureMode::solo(comp, comp, 1.0);
-            let got =
-                expected_mode_recovery_s(&tree, &mode, &c, OracleQuality::Perfect).unwrap();
+            let got = expected_mode_recovery_s(&tree, &mode, &c, OracleQuality::Perfect).unwrap();
             let rel = (got - paper).abs() / paper;
             assert!(rel < 0.05, "{comp}: predicted {got:.2}, paper {paper}");
         }
@@ -456,15 +459,10 @@ mod tests {
         let tree = tree_iv();
         let c = cost();
         let joint = FailureMode::correlated("pbcom-joint", "pbcom", ["fedr", "pbcom"], 1.0);
-        let perfect =
-            expected_mode_recovery_s(&tree, &joint, &c, OracleQuality::Perfect).unwrap();
-        let faulty = expected_mode_recovery_s(
-            &tree,
-            &joint,
-            &c,
-            OracleQuality::Faulty { undershoot: 0.3 },
-        )
-        .unwrap();
+        let perfect = expected_mode_recovery_s(&tree, &joint, &c, OracleQuality::Perfect).unwrap();
+        let faulty =
+            expected_mode_recovery_s(&tree, &joint, &c, OracleQuality::Faulty { undershoot: 0.3 })
+                .unwrap();
         assert!(faulty > perfect);
         // Paper: 29.19 s for tree IV under the 30%-faulty oracle.
         assert!((faulty - 29.19).abs() / 29.19 < 0.05, "faulty {faulty:.2}");
@@ -474,11 +472,13 @@ mod tests {
         let v_faulty =
             expected_mode_recovery_s(&tv, &joint, &c, OracleQuality::Faulty { undershoot: 0.3 })
                 .unwrap();
-        let v_perfect =
-            expected_mode_recovery_s(&tv, &joint, &c, OracleQuality::Perfect).unwrap();
+        let v_perfect = expected_mode_recovery_s(&tv, &joint, &c, OracleQuality::Perfect).unwrap();
         assert_eq!(v_faulty, v_perfect);
         // Paper: 21.63 s in tree V.
-        assert!((v_faulty - 21.63).abs() / 21.63 < 0.05, "tree V {v_faulty:.2}");
+        assert!(
+            (v_faulty - 21.63).abs() / 21.63 < 0.05,
+            "tree V {v_faulty:.2}"
+        );
     }
 
     #[test]
@@ -487,13 +487,9 @@ mod tests {
         let c = cost();
         let joint = FailureMode::correlated("pbcom-joint", "pbcom", ["fedr", "pbcom"], 1.0);
         let naive = expected_mode_recovery_s(&tree, &joint, &c, OracleQuality::Naive).unwrap();
-        let faulty1 = expected_mode_recovery_s(
-            &tree,
-            &joint,
-            &c,
-            OracleQuality::Faulty { undershoot: 1.0 },
-        )
-        .unwrap();
+        let faulty1 =
+            expected_mode_recovery_s(&tree, &joint, &c, OracleQuality::Faulty { undershoot: 1.0 })
+                .unwrap();
         assert_eq!(naive, faulty1);
     }
 
@@ -505,16 +501,10 @@ mod tests {
             .with_mode(FailureMode::solo("fedr", "fedr", 6.0))
             .with_mode(FailureMode::solo("rtu", "rtu", 0.2));
         let sys = expected_system_mttr_s(&tree, &model, &c, OracleQuality::Perfect).unwrap();
-        let fedr = expected_mode_recovery_s(
-            &tree,
-            &model.modes()[0],
-            &c,
-            OracleQuality::Perfect,
-        )
-        .unwrap();
+        let fedr =
+            expected_mode_recovery_s(&tree, &model.modes()[0], &c, OracleQuality::Perfect).unwrap();
         let rtu =
-            expected_mode_recovery_s(&tree, &model.modes()[1], &c, OracleQuality::Perfect)
-                .unwrap();
+            expected_mode_recovery_s(&tree, &model.modes()[1], &c, OracleQuality::Perfect).unwrap();
         let expected = (6.0 * fedr + 0.2 * rtu) / 6.2;
         assert!((sys - expected).abs() < 1e-9);
     }

@@ -66,9 +66,7 @@ fn enumerate_specs(
             .collect();
         if rest.is_empty() {
             // Leaf cell holding everything.
-            out.push(
-                TreeSpec::cell(group_label(&set)).with_components(attached),
-            );
+            out.push(TreeSpec::cell(group_label(&set)).with_components(attached));
             continue;
         }
         for blocks in set_partitions(&rest) {
@@ -94,8 +92,7 @@ fn enumerate_specs(
                 partials = next;
             }
             for children in partials {
-                let mut spec =
-                    TreeSpec::cell(group_label(&set)).with_components(attached.clone());
+                let mut spec = TreeSpec::cell(group_label(&set)).with_components(attached.clone());
                 for child in children {
                     spec = spec.with_child(child);
                 }
@@ -233,12 +230,13 @@ mod tests {
             OracleQuality::Perfect,
             OracleQuality::Faulty { undershoot: 0.3 },
         ] {
-            let (best_tree, best_cost) =
-                exhaustive_best(&set, &model, &cost, quality).unwrap();
-            let start = TreeSpec::cell("root").with_components(set.clone()).build().unwrap();
+            let (best_tree, best_cost) = exhaustive_best(&set, &model, &cost, quality).unwrap();
+            let start = TreeSpec::cell("root")
+                .with_components(set.clone())
+                .build()
+                .unwrap();
             let climbed =
-                optimize_tree(&start, &model, &cost, quality, OptimizerConfig::default())
-                    .unwrap();
+                optimize_tree(&start, &model, &cost, quality, OptimizerConfig::default()).unwrap();
             assert!(
                 (climbed.expected_mttr_s - best_cost).abs() < 1e-9,
                 "{quality:?}: hill climb {:.4}s vs exhaustive {:.4}s\nclimbed:\n{}\nbest:\n{}",

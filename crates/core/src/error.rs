@@ -44,7 +44,9 @@ impl fmt::Display for TreeError {
             TreeError::InvalidTransform { transform, reason } => {
                 write!(f, "invalid {transform}: {reason}")
             }
-            TreeError::CannotModifyRoot => write!(f, "the root cell cannot be removed or re-parented"),
+            TreeError::CannotModifyRoot => {
+                write!(f, "the root cell cannot be removed or re-parented")
+            }
         }
     }
 }

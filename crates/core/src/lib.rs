@@ -58,9 +58,9 @@ pub mod error;
 pub mod model;
 pub mod optimize;
 pub mod oracle;
-pub mod recovery;
 pub mod policy;
 pub mod recoverer;
+pub mod recovery;
 pub mod render;
 pub mod transform;
 pub mod tree;
@@ -70,7 +70,7 @@ pub use analysis::{availability, CostModel, OracleQuality, SimpleCostModel};
 pub use error::TreeError;
 pub use model::{FailureMode, FailureModel};
 pub use oracle::{Failure, FaultyOracle, LearningOracle, NaiveOracle, Oracle, PerfectOracle};
-pub use recovery::{ProcedureKind, RecoveryLadder, RecoveryProcedure};
 pub use policy::{GiveUpReason, RestartPolicy};
 pub use recoverer::{Recoverer, RecoveryDecision};
+pub use recovery::{ProcedureKind, RecoveryLadder, RecoveryProcedure};
 pub use tree::{NodeId, RestartTree, TreeSpec};

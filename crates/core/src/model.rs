@@ -7,13 +7,11 @@
 //! synthetic fault injection in the simulator and the analytic expected-MTTR
 //! computation in [`analysis`](crate::analysis).
 
-use serde::{Deserialize, Serialize};
-
 use crate::oracle::Failure;
 use crate::tree::RestartTree;
 
 /// One class of failure.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FailureMode {
     /// Human-readable name (e.g. `"pbcom-joint"`).
     pub name: String,
@@ -87,7 +85,7 @@ impl FailureMode {
 }
 
 /// A complete failure model: the set of failure modes a system exhibits.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct FailureModel {
     modes: Vec<FailureMode>,
 }

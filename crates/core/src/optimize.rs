@@ -283,8 +283,7 @@ mod tests {
         let c = cost();
         let m = model();
         let start = tree_i();
-        let start_cost =
-            expected_system_mttr_s(&start, &m, &c, OracleQuality::Perfect).unwrap();
+        let start_cost = expected_system_mttr_s(&start, &m, &c, OracleQuality::Perfect).unwrap();
         let opt = optimize_tree(
             &start,
             &m,
@@ -316,11 +315,7 @@ mod tests {
         // The optimized tree must contain a restart group of exactly
         // {ses, str} (tree IV's consolidated cell).
         let cell = find_group(&opt.tree, &["ses", "str"]);
-        assert!(
-            cell.is_some(),
-            "no [ses,str] group in:\n{}",
-            opt.tree
-        );
+        assert!(cell.is_some(), "no [ses,str] group in:\n{}", opt.tree);
     }
 
     #[test]
@@ -335,7 +330,11 @@ mod tests {
         .unwrap();
         // With f_{fedr,pbcom} > 0, a joint restart button must exist (§4.2)
         // while fedr keeps its own (fedr fails often and boots fast).
-        assert!(find_group(&opt.tree, &["fedr", "pbcom"]).is_some(), "{}", opt.tree);
+        assert!(
+            find_group(&opt.tree, &["fedr", "pbcom"]).is_some(),
+            "{}",
+            opt.tree
+        );
         assert!(find_group(&opt.tree, &["fedr"]).is_some(), "{}", opt.tree);
     }
 
@@ -425,8 +424,6 @@ mod tests {
     fn find_group_exact_match_only() {
         let tree = tree_i();
         assert!(find_group(&tree, &["mbus"]).is_none());
-        assert!(
-            find_group(&tree, &["fedr", "mbus", "pbcom", "rtu", "ses", "str"]).is_some()
-        );
+        assert!(find_group(&tree, &["fedr", "mbus", "pbcom", "rtu", "ses", "str"]).is_some());
     }
 }

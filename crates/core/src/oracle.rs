@@ -73,7 +73,10 @@ impl Failure {
             cure_set.contains(&component),
             "cure set must include the component the failure manifests in"
         );
-        Failure { component, cure_set }
+        Failure {
+            component,
+            cure_set,
+        }
     }
 }
 
@@ -519,18 +522,32 @@ mod tests {
         // cell always does.
         for _ in 0..20 {
             let first = oracle.recommend(&tree, &joint_failure, 0, None);
-            oracle.observe(&joint_failure, RestartOutcome { node: first, cured: first == joint });
+            oracle.observe(
+                &joint_failure,
+                RestartOutcome {
+                    node: first,
+                    cured: first == joint,
+                },
+            );
             if first != joint {
                 let second = oracle.recommend(&tree, &joint_failure, 1, Some(first));
                 oracle.observe(
                     &joint_failure,
-                    RestartOutcome { node: second, cured: second == joint },
+                    RestartOutcome {
+                        node: second,
+                        cured: second == joint,
+                    },
                 );
             }
         }
         // After enough evidence it should skip the pbcom-only cell.
         let rec = oracle.recommend(&tree, &joint_failure, 0, None);
-        assert_eq!(rec, joint, "learned estimate: {}", oracle.estimate("pbcom", own));
+        assert_eq!(
+            rec,
+            joint,
+            "learned estimate: {}",
+            oracle.estimate("pbcom", own)
+        );
         assert!(oracle.estimate("pbcom", own) < 0.5);
         assert!(oracle.estimate("pbcom", joint) > 0.5);
     }
@@ -544,7 +561,13 @@ mod tests {
         for _ in 0..10 {
             let rec = oracle.recommend(&tree, &solo, 0, None);
             assert_eq!(rec, own);
-            oracle.observe(&solo, RestartOutcome { node: rec, cured: true });
+            oracle.observe(
+                &solo,
+                RestartOutcome {
+                    node: rec,
+                    cured: true,
+                },
+            );
         }
         assert!(oracle.estimate("fedr", own) > 0.8);
     }
@@ -565,7 +588,10 @@ mod tests {
     #[test]
     fn describe_strings() {
         assert_eq!(NaiveOracle::new().describe(), "naive");
-        assert_eq!(FaultyOracle::new(0.3, SimRng::new(1)).describe(), "faulty(0.30)");
+        assert_eq!(
+            FaultyOracle::new(0.3, SimRng::new(1)).describe(),
+            "faulty(0.30)"
+        );
         assert_eq!(LearningOracle::new(0.5).describe(), "learning(0.50)");
     }
 }

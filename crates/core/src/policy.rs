@@ -9,6 +9,13 @@
 //! * a **rate limit** per component — more than `max_restarts` restarts of
 //!   the same component within `window` indicates a hard fault (e.g. failed
 //!   hardware), which restarting cannot fix (§7).
+//!
+//! It can additionally impose an **exponential backoff** between successive
+//! restarts of the same cell ([`RestartPolicy::with_backoff`]): the *n*-th
+//! restart of a component within the rate window is delayed by
+//! `base · 2^(n−1)`, capped. Backoff spaces out the restart storm a
+//! persistently failing component would otherwise cause, while leaving the
+//! first restart of a failure episode immediate.
 
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
@@ -53,6 +60,8 @@ pub struct RestartPolicy {
     escalation_limit: u32,
     max_restarts: u32,
     window: SimDuration,
+    backoff_base: SimDuration,
+    backoff_cap: SimDuration,
     history: HashMap<String, VecDeque<SimTime>>,
 }
 
@@ -64,12 +73,14 @@ impl Default for RestartPolicy {
 
 impl RestartPolicy {
     /// A policy with generous defaults: 8 escalations per episode, at most
-    /// 20 restarts of any one component per hour.
+    /// 20 restarts of any one component per hour, no backoff.
     pub fn new() -> RestartPolicy {
         RestartPolicy {
             escalation_limit: 8,
             max_restarts: 20,
             window: SimDuration::from_secs(3600),
+            backoff_base: SimDuration::ZERO,
+            backoff_cap: SimDuration::from_secs(30),
             history: HashMap::new(),
         }
     }
@@ -101,6 +112,27 @@ impl RestartPolicy {
         self
     }
 
+    /// Enables exponential backoff between successive restarts of the same
+    /// component: the *n*-th restart within the rate window is delayed by
+    /// `base · 2^(n−1)`, never exceeding `cap`. A zero base disables
+    /// backoff (the default).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap < base`.
+    #[must_use]
+    pub fn with_backoff(mut self, base: SimDuration, cap: SimDuration) -> RestartPolicy {
+        assert!(cap >= base, "backoff cap must be at least the base");
+        self.backoff_base = base;
+        self.backoff_cap = cap;
+        self
+    }
+
+    /// The configured backoff as `(base, cap)`.
+    pub fn backoff(&self) -> (SimDuration, SimDuration) {
+        (self.backoff_base, self.backoff_cap)
+    }
+
     /// The configured escalation limit.
     pub fn escalation_limit(&self) -> u32 {
         self.escalation_limit
@@ -128,7 +160,9 @@ impl RestartPolicy {
         if attempt >= self.escalation_limit {
             return Err(GiveUpReason::EscalationExhausted);
         }
-        let cutoff = now.saturating_since(SimTime::ZERO).saturating_sub(self.window);
+        let cutoff = now
+            .saturating_since(SimTime::ZERO)
+            .saturating_sub(self.window);
         for comp in components {
             if let Some(times) = self.history.get(comp) {
                 let recent = times
@@ -141,6 +175,37 @@ impl RestartPolicy {
             }
         }
         Ok(())
+    }
+
+    /// How long the next restart of `components` should be delayed, given
+    /// the restarts already recorded inside the rate window: zero for the
+    /// first restart, `base · 2^(n−1)` (capped) once *n* prior restarts of
+    /// any member component are on record. Call *before*
+    /// [`record_restart`](Self::record_restart) for the new attempt.
+    pub fn restart_delay(&self, components: &[String], now: SimTime) -> SimDuration {
+        if self.backoff_base.is_zero() {
+            return SimDuration::ZERO;
+        }
+        let cutoff = now
+            .saturating_since(SimTime::ZERO)
+            .saturating_sub(self.window);
+        let prior = components
+            .iter()
+            .map(|comp| {
+                self.history.get(comp).map_or(0, |times| {
+                    times
+                        .iter()
+                        .filter(|t| t.saturating_since(SimTime::ZERO) >= cutoff)
+                        .count()
+                })
+            })
+            .max()
+            .unwrap_or(0);
+        if prior == 0 {
+            return SimDuration::ZERO;
+        }
+        let factor = 2f64.powi((prior - 1).min(62) as i32);
+        self.backoff_base.mul_f64(factor).min(self.backoff_cap)
     }
 
     /// Records that `components` were restarted at `now`.
@@ -239,9 +304,138 @@ mod tests {
     }
 
     #[test]
+    fn backoff_disabled_by_default() {
+        let mut policy = RestartPolicy::new();
+        let c = comps(&["x"]);
+        for i in 0..5 {
+            policy.record_restart(&c, t(i * 10));
+            assert_eq!(policy.restart_delay(&c, t(i * 10 + 5)), SimDuration::ZERO);
+        }
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let base = SimDuration::from_secs(1);
+        let cap = SimDuration::from_secs(8);
+        let mut policy = RestartPolicy::new().with_backoff(base, cap);
+        let c = comps(&["x"]);
+        assert_eq!(policy.restart_delay(&c, t(0)), SimDuration::ZERO);
+        let mut want = [1u64, 2, 4, 8, 8, 8].into_iter();
+        for i in 0..6 {
+            policy.record_restart(&c, t(i * 10));
+            let delay = policy.restart_delay(&c, t(i * 10 + 5));
+            assert_eq!(
+                delay,
+                SimDuration::from_secs(want.next().unwrap()),
+                "after {} restarts",
+                i + 1
+            );
+        }
+    }
+
+    #[test]
+    fn backoff_uses_worst_member_of_a_group() {
+        let policy_base = SimDuration::from_secs(2);
+        let mut policy = RestartPolicy::new().with_backoff(policy_base, SimDuration::from_secs(60));
+        policy.record_restart(&comps(&["x"]), t(0));
+        policy.record_restart(&comps(&["x"]), t(10));
+        // y has never restarted, but a joint [x, y] restart inherits x's backoff.
+        assert_eq!(
+            policy.restart_delay(&comps(&["y"]), t(20)),
+            SimDuration::ZERO
+        );
+        assert_eq!(
+            policy.restart_delay(&comps(&["x", "y"]), t(20)),
+            SimDuration::from_secs(4)
+        );
+    }
+
+    #[test]
+    fn prop_backoff_monotone_within_window() {
+        // Within the rate window, successive restart delays of the same cell
+        // never decrease, whatever the restart spacing.
+        rr_sim::check::run("policy/backoff_monotone", 64, |rng| {
+            let base = SimDuration::from_secs_f64(rng.uniform(0.1, 2.0));
+            let cap = base.mul_f64(rng.uniform(1.0, 40.0));
+            let window = SimDuration::from_secs(10_000);
+            let mut policy = RestartPolicy::new()
+                .with_backoff(base, cap)
+                .with_rate_limit(64, window);
+            let c = comps(&["x"]);
+            let mut now = SimTime::ZERO;
+            let mut last = SimDuration::ZERO;
+            for _ in 0..rng.next_below(20) {
+                now += SimDuration::from_secs_f64(rng.uniform(0.0, 100.0));
+                let delay = policy.restart_delay(&c, now);
+                assert!(delay >= last, "backoff shrank from {last:?} to {delay:?}");
+                assert!(delay <= cap, "backoff {delay:?} above cap {cap:?}");
+                last = delay;
+                policy.record_restart(&c, now);
+            }
+        });
+    }
+
+    #[test]
+    fn prop_backoff_window_forgets_old_restarts() {
+        // Once every recorded restart has aged out of the window, the next
+        // restart is immediate again and the storm counter is back to zero.
+        rr_sim::check::run("policy/backoff_forgets", 64, |rng| {
+            let window = SimDuration::from_secs_f64(rng.uniform(10.0, 1000.0));
+            let mut policy = RestartPolicy::new()
+                .with_backoff(SimDuration::from_secs(1), SimDuration::from_secs(600))
+                .with_rate_limit(3, window);
+            let c = comps(&["x"]);
+            let n = 1 + rng.next_below(3);
+            let mut now = SimTime::ZERO;
+            for _ in 0..n {
+                now += SimDuration::from_secs_f64(rng.uniform(0.0, window.as_secs_f64() / 4.0));
+                policy.record_restart(&c, now);
+            }
+            // Step past the window: everything is forgotten.
+            let later = now + window + SimDuration::from_secs(1);
+            assert_eq!(policy.restart_delay(&c, later), SimDuration::ZERO);
+            assert!(policy.check(0, &c, later).is_ok());
+            // record_restart also trims the aged-out history.
+            policy.record_restart(&c, later);
+            assert_eq!(policy.recent_restarts("x"), 1);
+        });
+    }
+
+    #[test]
+    fn prop_reset_restores_clean_slate() {
+        rr_sim::check::run("policy/reset_clean", 32, |rng| {
+            let mut policy = RestartPolicy::new()
+                .with_backoff(SimDuration::from_secs(1), SimDuration::from_secs(30))
+                .with_rate_limit(2, SimDuration::from_secs(1000));
+            let c = comps(&["x"]);
+            let n = rng.next_below(6);
+            let mut now = SimTime::ZERO;
+            for _ in 0..n {
+                now += SimDuration::from_secs_f64(rng.uniform(0.0, 50.0));
+                policy.record_restart(&c, now);
+            }
+            policy.reset();
+            assert_eq!(policy.recent_restarts("x"), 0);
+            assert_eq!(policy.restart_delay(&c, now), SimDuration::ZERO);
+            assert!(policy.check(0, &c, now).is_ok());
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "cap must be at least")]
+    fn backoff_cap_below_base_rejected() {
+        let _ = RestartPolicy::new()
+            .with_backoff(SimDuration::from_secs(10), SimDuration::from_secs(1));
+    }
+
+    #[test]
     fn give_up_reasons_display() {
-        assert!(GiveUpReason::EscalationExhausted.to_string().contains("not restart-curable"));
-        assert!(GiveUpReason::RestartStorm.to_string().contains("hard failure"));
+        assert!(GiveUpReason::EscalationExhausted
+            .to_string()
+            .contains("not restart-curable"));
+        assert!(GiveUpReason::RestartStorm
+            .to_string()
+            .contains("hard failure"));
     }
 
     #[test]

@@ -11,7 +11,7 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use rr_sim::SimTime;
+use rr_sim::{SimDuration, SimTime};
 
 use crate::oracle::{Failure, Oracle, RestartOutcome};
 use crate::policy::{GiveUpReason, RestartPolicy};
@@ -28,6 +28,10 @@ pub enum RecoveryDecision {
         components: Vec<String>,
         /// 0-based escalation attempt within the failure episode.
         attempt: u32,
+        /// How long to wait before pushing the button (the policy's
+        /// exponential backoff; zero unless backoff is configured and the
+        /// cell was restarted recently).
+        delay: SimDuration,
     },
     /// A restart of a cell covering this component is already in flight;
     /// the new report is subsumed by it.
@@ -139,7 +143,8 @@ impl<O: Oracle> Recoverer<O> {
                 if let Some(node) = ep.last_node {
                     if self
                         .tree
-                        .components_under(node).contains(&failure.component)
+                        .components_under(node)
+                        .contains(&failure.component)
                     {
                         return RecoveryDecision::AlreadyRecovering { node };
                     }
@@ -184,9 +189,15 @@ impl<O: Oracle> Recoverer<O> {
         let attempt = episode.attempt;
         episode.last_node = Some(node);
         episode.in_flight = true;
+        let delay = self.policy.restart_delay(&components, now);
         self.policy.record_restart(&components, now);
         self.restarts_issued += 1;
-        RecoveryDecision::Restart { node, components, attempt }
+        RecoveryDecision::Restart {
+            node,
+            components,
+            attempt,
+            delay,
+        }
     }
 
     /// Reports that the restart issued for `component`'s episode has
@@ -308,7 +319,9 @@ mod tests {
         let joint = Failure::correlated("pbcom", ["fedr", "pbcom"]);
         let d1 = rec.on_failure(joint.clone(), t(0));
         let first = match d1 {
-            RecoveryDecision::Restart { node, components, .. } => {
+            RecoveryDecision::Restart {
+                node, components, ..
+            } => {
                 assert_eq!(components, vec!["pbcom"]);
                 node
             }
@@ -319,7 +332,9 @@ mod tests {
         // Failure persists → escalate to the joint cell.
         let d2 = rec.on_failure(joint, t(23));
         match d2 {
-            RecoveryDecision::Restart { node, components, .. } => {
+            RecoveryDecision::Restart {
+                node, components, ..
+            } => {
                 assert_ne!(node, first);
                 assert_eq!(components, vec!["fedr", "pbcom"]);
             }
@@ -334,7 +349,10 @@ mod tests {
         let f = Failure::solo("mbus");
         for i in 0..2 {
             let d = rec.on_failure(f.clone(), t(i * 30));
-            assert!(matches!(d, RecoveryDecision::Restart { .. }), "attempt {i}: {d:?}");
+            assert!(
+                matches!(d, RecoveryDecision::Restart { .. }),
+                "attempt {i}: {d:?}"
+            );
             rec.on_restart_complete("mbus", t(i * 30 + 10));
         }
         let d = rec.on_failure(f, t(100));

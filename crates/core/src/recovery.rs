@@ -15,10 +15,8 @@
 //! restart-tree analysis: a ladder whose last rung is `Restart` degrades to
 //! plain recursive restartability.
 
-use serde::{Deserialize, Serialize};
-
 /// The kind of recovery action a procedure performs.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ProcedureKind {
     /// Re-establish connections / re-handshake without touching state.
     Reconnect,
@@ -44,7 +42,7 @@ impl std::fmt::Display for ProcedureKind {
 }
 
 /// One rung of a recovery ladder.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RecoveryProcedure {
     /// What this procedure does.
     pub kind: ProcedureKind,
@@ -84,7 +82,7 @@ impl RecoveryProcedure {
 /// An ordered recovery ladder: procedures are attempted cheapest-first, each
 /// failed attempt costing its full price plus `redetect_s` before the next
 /// rung is tried.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RecoveryLadder {
     rungs: Vec<RecoveryProcedure>,
 }
@@ -256,7 +254,10 @@ mod tests {
     #[test]
     fn display_kinds() {
         assert_eq!(ProcedureKind::Reconnect.to_string(), "reconnect");
-        assert_eq!(ProcedureKind::Custom("vacuum".into()).to_string(), "custom(vacuum)");
+        assert_eq!(
+            ProcedureKind::Custom("vacuum".into()).to_string(),
+            "custom(vacuum)"
+        );
     }
 
     #[test]

@@ -39,7 +39,11 @@ fn render_node(tree: &RestartTree, id: NodeId, prefix: &str, child_prefix: &str,
     let children = tree.children(id);
     for (i, &child) in children.iter().enumerate() {
         let last = i + 1 == children.len();
-        let (branch, extend) = if last { ("└── ", "    ") } else { ("├── ", "│   ") };
+        let (branch, extend) = if last {
+            ("└── ", "    ")
+        } else {
+            ("├── ", "│   ")
+        };
         render_node(
             tree,
             child,
@@ -91,7 +95,8 @@ pub fn render_compact(tree: &RestartTree) -> String {
 /// # Ok::<(), rr_core::TreeError>(())
 /// ```
 pub fn render_dot(tree: &RestartTree) -> String {
-    let mut out = String::from("digraph restart_tree {\n  rankdir=TB;\n  node [fontname=\"Helvetica\"];\n");
+    let mut out =
+        String::from("digraph restart_tree {\n  rankdir=TB;\n  node [fontname=\"Helvetica\"];\n");
     let cells = tree.cells();
     let index_of = |id: NodeId| cells.iter().position(|&c| c == id).expect("cell listed");
     for &cell in &cells {
@@ -154,9 +159,17 @@ mod tests {
         assert!(lines[1].contains("R_mbus {mbus}"));
         assert!(lines[2].contains("R_[fedr,pbcom] {pbcom}"));
         assert!(lines[3].contains("└── R_fedr {fedr}"));
-        assert!(lines[3].starts_with("│   "), "fedr nests under the joint cell: {}", lines[3]);
+        assert!(
+            lines[3].starts_with("│   "),
+            "fedr nests under the joint cell: {}",
+            lines[3]
+        );
         assert!(lines[4].contains("{ses, str}"));
-        assert!(lines[5].starts_with("└── "), "last child uses corner: {}", lines[5]);
+        assert!(
+            lines[5].starts_with("└── "),
+            "last child uses corner: {}",
+            lines[5]
+        );
     }
 
     #[test]
@@ -187,7 +200,10 @@ mod tests {
 
     #[test]
     fn dot_escapes_quotes() {
-        let tree = TreeSpec::cell("we \"quote\"").with_component("x").build().unwrap();
+        let tree = TreeSpec::cell("we \"quote\"")
+            .with_component("x")
+            .build()
+            .unwrap();
         let dot = render_dot(&tree);
         assert!(dot.contains("we \\\"quote\\\""));
     }

@@ -67,7 +67,10 @@ pub fn depth_augment(
     mentioned.sort();
     for group in partition {
         if group.is_empty() {
-            return Err(TreeError::invalid("depth augmentation", "empty group in partition"));
+            return Err(TreeError::invalid(
+                "depth augmentation",
+                "empty group in partition",
+            ));
         }
     }
     for w in mentioned.windows(2) {
@@ -116,7 +119,10 @@ pub fn split_component(
     parts: &[impl AsRef<str>],
 ) -> Result<NodeId, TreeError> {
     if parts.is_empty() {
-        return Err(TreeError::invalid("component split", "no replacement parts"));
+        return Err(TreeError::invalid(
+            "component split",
+            "no replacement parts",
+        ));
     }
     let cell = tree
         .cell_of_component(old)
@@ -281,7 +287,10 @@ pub fn group_cells(tree: &mut RestartTree, cells: &[NodeId]) -> Result<NodeId, T
         }
     }
     if unique.len() < 2 {
-        return Err(TreeError::invalid("grouping", "need at least two distinct cells"));
+        return Err(TreeError::invalid(
+            "grouping",
+            "need at least two distinct cells",
+        ));
     }
     let Some(parent) = tree.parent(unique[0]) else {
         return Err(TreeError::CannotModifyRoot);
@@ -385,7 +394,10 @@ mod tests {
         .unwrap();
         tree.validate().unwrap();
         assert_eq!(tree.cell_count(), 6);
-        assert!(tree.cells().iter().all(|&c| c == tree.root() || tree.is_leaf(c)));
+        assert!(tree
+            .cells()
+            .iter()
+            .all(|&c| c == tree.root() || tree.is_leaf(c)));
 
         // Tree II → II′: split fedrcom.
         let cell = split_component(&mut tree, "fedrcom", &["fedr", "pbcom"]).unwrap();
@@ -508,10 +520,7 @@ mod tests {
     fn consolidate_merges_children_too() {
         // Consolidating two internal cells must keep their subtrees.
         let mut tree = TreeSpec::cell("root")
-            .with_child(
-                TreeSpec::cell("L")
-                    .with_child(TreeSpec::cell("La").with_component("a")),
-            )
+            .with_child(TreeSpec::cell("L").with_child(TreeSpec::cell("La").with_component("a")))
             .with_child(
                 TreeSpec::cell("R")
                     .with_component("r")
@@ -676,9 +685,6 @@ mod tests {
     #[test]
     fn group_label_forms() {
         assert_eq!(group_label(&["a".to_string()]), "R_a");
-        assert_eq!(
-            group_label(&["a".to_string(), "b".to_string()]),
-            "R_[a,b]"
-        );
+        assert_eq!(group_label(&["a".to_string(), "b".to_string()]), "R_[a,b]");
     }
 }

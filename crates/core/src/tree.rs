@@ -33,8 +33,6 @@
 use std::collections::BTreeSet;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::TreeError;
 
 /// Identifies a restart cell within one [`RestartTree`].
@@ -111,7 +109,11 @@ impl RestartTree {
     /// # Errors
     ///
     /// Returns [`TreeError::UnknownNode`] if `parent` is not a live cell.
-    pub fn add_cell(&mut self, parent: NodeId, label: impl Into<String>) -> Result<NodeId, TreeError> {
+    pub fn add_cell(
+        &mut self,
+        parent: NodeId,
+        label: impl Into<String>,
+    ) -> Result<NodeId, TreeError> {
         self.get(parent)?;
         let id = NodeId(self.nodes.len());
         self.nodes.push(NodeData {
@@ -132,7 +134,11 @@ impl RestartTree {
     /// Returns [`TreeError::DuplicateComponent`] if the component is already
     /// attached somewhere in the tree, or [`TreeError::UnknownNode`] if `cell`
     /// is not live.
-    pub fn attach_component(&mut self, cell: NodeId, name: impl Into<String>) -> Result<(), TreeError> {
+    pub fn attach_component(
+        &mut self,
+        cell: NodeId,
+        name: impl Into<String>,
+    ) -> Result<(), TreeError> {
         let name = name.into();
         self.get(cell)?;
         if self.cell_of_component(&name).is_some() {
@@ -463,15 +469,13 @@ impl fmt::Display for RestartTree {
 /// assert_eq!(tree.to_spec(), spec);
 /// # Ok::<(), rr_core::TreeError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TreeSpec {
     /// Cell label.
     pub label: String,
     /// Components attached directly to this cell.
-    #[serde(default)]
     pub components: Vec<String>,
     /// Child cells.
-    #[serde(default)]
     pub children: Vec<TreeSpec>,
 }
 
@@ -528,7 +532,11 @@ impl TreeSpec {
         Ok(tree)
     }
 
-    fn build_into(tree: &mut RestartTree, parent: NodeId, spec: &TreeSpec) -> Result<(), TreeError> {
+    fn build_into(
+        tree: &mut RestartTree,
+        parent: NodeId,
+        spec: &TreeSpec,
+    ) -> Result<(), TreeError> {
         let id = tree.add_cell(parent, spec.label.clone())?;
         for comp in &spec.components {
             tree.attach_component(id, comp.clone())?;
@@ -569,7 +577,10 @@ mod tests {
     #[test]
     fn components_under_covers_subtrees() {
         let tree = figure2();
-        let r_bc = tree.cell_of_component("B").and_then(|b| tree.parent(b)).unwrap();
+        let r_bc = tree
+            .cell_of_component("B")
+            .and_then(|b| tree.parent(b))
+            .unwrap();
         assert_eq!(tree.label(r_bc), "R_BC");
         assert_eq!(tree.components_under(r_bc), vec!["B", "C"]);
         assert_eq!(tree.components_under(tree.root()), vec!["A", "B", "C"]);
@@ -640,7 +651,10 @@ mod tests {
         let spec = TreeSpec::cell("r")
             .with_component("x")
             .with_child(TreeSpec::cell("c").with_component("x"));
-        assert!(matches!(spec.build(), Err(TreeError::DuplicateComponent(_))));
+        assert!(matches!(
+            spec.build(),
+            Err(TreeError::DuplicateComponent(_))
+        ));
     }
 
     #[test]

@@ -10,13 +10,11 @@
 //! * a faulty oracle's expected recovery is monotone in its error rate;
 //! * availability is monotone in MTTF and antitone in MTTR.
 
-use proptest::prelude::*;
-use rr_core::analysis::{
-    availability, expected_system_mttr_s, OracleQuality, SimpleCostModel,
-};
+use rr_core::analysis::{availability, expected_system_mttr_s, OracleQuality, SimpleCostModel};
 use rr_core::model::{FailureMode, FailureModel};
 use rr_core::transform::{depth_augment, flatten};
 use rr_core::tree::{RestartTree, TreeSpec};
+use rr_sim::{check, SimRng};
 
 /// A randomized station: components c0..c(n-1) with random boot costs, plus
 /// a failure model mixing solo and pairwise-correlated modes.
@@ -27,42 +25,42 @@ struct Scenario {
     model: FailureModel,
 }
 
-fn arb_scenario() -> impl Strategy<Value = Scenario> {
-    (
-        2usize..5,
-        proptest::collection::vec(0.5f64..30.0, 5),
-        proptest::collection::vec(0.01f64..10.0, 8),
-        any::<u64>(),
-    )
-        .prop_map(|(n, boots, rates, seed)| {
-            let components: Vec<String> = (0..n).map(|i| format!("c{i}")).collect();
-            let mut cost = SimpleCostModel::new(1.0, 2.0).with_contention(0.0119);
-            for (i, comp) in components.iter().enumerate() {
-                cost = cost.with_boot(comp.clone(), boots[i % boots.len()]);
-            }
-            let mut model = FailureModel::new();
-            for (i, comp) in components.iter().enumerate() {
-                model.push(FailureMode::solo(
-                    format!("solo-{comp}"),
-                    comp.clone(),
-                    rates[i % rates.len()],
-                ));
-            }
-            // One correlated pair, chosen pseudo-randomly.
-            if n >= 2 {
-                let a = (seed as usize) % n;
-                let b = (a + 1 + (seed as usize / 7) % (n - 1)) % n;
-                if a != b {
-                    model.push(FailureMode::correlated(
-                        "pair",
-                        components[a].clone(),
-                        [components[a].clone(), components[b].clone()],
-                        rates[(seed as usize) % rates.len()],
-                    ));
-                }
-            }
-            Scenario { components, cost, model }
-        })
+fn arb_scenario(rng: &mut SimRng) -> Scenario {
+    let n = 2 + rng.next_below(3) as usize;
+    let boots: Vec<f64> = (0..5).map(|_| rng.uniform(0.5, 30.0)).collect();
+    let rates: Vec<f64> = (0..8).map(|_| rng.uniform(0.01, 10.0)).collect();
+    let seed = rng.next_u64();
+    let components: Vec<String> = (0..n).map(|i| format!("c{i}")).collect();
+    let mut cost = SimpleCostModel::new(1.0, 2.0).with_contention(0.0119);
+    for (i, comp) in components.iter().enumerate() {
+        cost = cost.with_boot(comp.clone(), boots[i % boots.len()]);
+    }
+    let mut model = FailureModel::new();
+    for (i, comp) in components.iter().enumerate() {
+        model.push(FailureMode::solo(
+            format!("solo-{comp}"),
+            comp.clone(),
+            rates[i % rates.len()],
+        ));
+    }
+    // One correlated pair, chosen pseudo-randomly.
+    if n >= 2 {
+        let a = (seed as usize) % n;
+        let b = (a + 1 + (seed as usize / 7) % (n - 1)) % n;
+        if a != b {
+            model.push(FailureMode::correlated(
+                "pair",
+                components[a].clone(),
+                [components[a].clone(), components[b].clone()],
+                rates[(seed as usize) % rates.len()],
+            ));
+        }
+    }
+    Scenario {
+        components,
+        cost,
+        model,
+    }
 }
 
 fn flat_tree(components: &[String]) -> RestartTree {
@@ -72,51 +70,54 @@ fn flat_tree(components: &[String]) -> RestartTree {
         .expect("flat tree")
 }
 
-proptest! {
-    /// Depth augmentation (tree I → tree II) never increases expected MTTR
-    /// under a perfect oracle.
-    #[test]
-    fn augmentation_never_hurts_perfect_oracle(s in arb_scenario()) {
+/// Depth augmentation (tree I → tree II) never increases expected MTTR
+/// under a perfect oracle.
+#[test]
+fn augmentation_never_hurts_perfect_oracle() {
+    check::run("augmentation_never_hurts_perfect_oracle", 128, |rng| {
+        let s = arb_scenario(rng);
         let flat = flat_tree(&s.components);
         let before =
             expected_system_mttr_s(&flat, &s.model, &s.cost, OracleQuality::Perfect).unwrap();
         let mut augmented = flat.clone();
         let root = augmented.root();
-        let partition: Vec<Vec<String>> =
-            s.components.iter().map(|c| vec![c.clone()]).collect();
+        let partition: Vec<Vec<String>> = s.components.iter().map(|c| vec![c.clone()]).collect();
         depth_augment(&mut augmented, root, &partition).unwrap();
         let after =
-            expected_system_mttr_s(&augmented, &s.model, &s.cost, OracleQuality::Perfect)
-                .unwrap();
-        prop_assert!(
+            expected_system_mttr_s(&augmented, &s.model, &s.cost, OracleQuality::Perfect).unwrap();
+        assert!(
             after <= before + 1e-9,
             "augmenting raised MTTR: {before:.3} -> {after:.3}"
         );
-    }
+    });
+}
 
-    /// Dually, flattening (removing buttons) never helps a perfect oracle.
-    #[test]
-    fn flattening_never_helps_perfect_oracle(s in arb_scenario()) {
+/// Dually, flattening (removing buttons) never helps a perfect oracle.
+#[test]
+fn flattening_never_helps_perfect_oracle() {
+    check::run("flattening_never_helps_perfect_oracle", 128, |rng| {
+        let s = arb_scenario(rng);
         let mut tree = flat_tree(&s.components);
         let root = tree.root();
-        let partition: Vec<Vec<String>> =
-            s.components.iter().map(|c| vec![c.clone()]).collect();
+        let partition: Vec<Vec<String>> = s.components.iter().map(|c| vec![c.clone()]).collect();
         depth_augment(&mut tree, root, &partition).unwrap();
         let refined =
             expected_system_mttr_s(&tree, &s.model, &s.cost, OracleQuality::Perfect).unwrap();
         flatten(&mut tree, root).unwrap();
         let flattened =
             expected_system_mttr_s(&tree, &s.model, &s.cost, OracleQuality::Perfect).unwrap();
-        prop_assert!(flattened >= refined - 1e-9);
-    }
+        assert!(flattened >= refined - 1e-9);
+    });
+}
 
-    /// Expected recovery is monotone non-decreasing in the oracle error rate.
-    #[test]
-    fn faulty_oracle_cost_monotone_in_error_rate(s in arb_scenario()) {
+/// Expected recovery is monotone non-decreasing in the oracle error rate.
+#[test]
+fn faulty_oracle_cost_monotone_in_error_rate() {
+    check::run("faulty_oracle_cost_monotone_in_error_rate", 128, |rng| {
+        let s = arb_scenario(rng);
         let mut tree = flat_tree(&s.components);
         let root = tree.root();
-        let partition: Vec<Vec<String>> =
-            s.components.iter().map(|c| vec![c.clone()]).collect();
+        let partition: Vec<Vec<String>> = s.components.iter().map(|c| vec![c.clone()]).collect();
         depth_augment(&mut tree, root, &partition).unwrap();
         let mut last = 0.0;
         for p in [0.0, 0.1, 0.25, 0.5, 0.75, 1.0] {
@@ -127,14 +128,17 @@ proptest! {
                 OracleQuality::Faulty { undershoot: p },
             )
             .unwrap();
-            prop_assert!(v >= last - 1e-9, "p={p}: {v:.3} < {last:.3}");
+            assert!(v >= last - 1e-9, "p={p}: {v:.3} < {last:.3}");
             last = v;
         }
-    }
+    });
+}
 
-    /// The faulty oracle at p=0 equals the perfect oracle.
-    #[test]
-    fn zero_error_rate_is_perfect(s in arb_scenario()) {
+/// The faulty oracle at p=0 equals the perfect oracle.
+#[test]
+fn zero_error_rate_is_perfect() {
+    check::run("zero_error_rate_is_perfect", 128, |rng| {
+        let s = arb_scenario(rng);
         let tree = flat_tree(&s.components);
         let a = expected_system_mttr_s(&tree, &s.model, &s.cost, OracleQuality::Perfect).unwrap();
         let b = expected_system_mttr_s(
@@ -144,41 +148,42 @@ proptest! {
             OracleQuality::Faulty { undershoot: 0.0 },
         )
         .unwrap();
-        prop_assert!((a - b).abs() < 1e-12);
-    }
+        assert!((a - b).abs() < 1e-12);
+    });
+}
 
-    /// Availability algebra: monotone in MTTF, antitone in MTTR, bounded in
-    /// (0, 1).
-    #[test]
-    fn availability_monotonicity(
-        mttf in 1.0f64..1e9,
-        mttr in 0.001f64..1e6,
-        bump in 1.001f64..10.0,
-    ) {
+/// Availability algebra: monotone in MTTF, antitone in MTTR, bounded in
+/// (0, 1).
+#[test]
+fn availability_monotonicity() {
+    check::run("availability_monotonicity", 256, |rng| {
+        let mttf = rng.uniform(1.0, 1e9);
+        let mttr = rng.uniform(0.001, 1e6);
+        let bump = rng.uniform(1.001, 10.0);
         let a = availability(mttf, mttr);
-        prop_assert!(a > 0.0 && a < 1.0);
-        prop_assert!(availability(mttf * bump, mttr) > a);
-        prop_assert!(availability(mttf, mttr * bump) < a);
-    }
+        assert!(a > 0.0 && a < 1.0);
+        assert!(availability(mttf * bump, mttr) > a);
+        assert!(availability(mttf, mttr * bump) < a);
+    });
+}
 
-    /// The system MTTR is a convex combination of per-mode recoveries: it
-    /// lies between the cheapest and most expensive mode.
-    #[test]
-    fn system_mttr_bounded_by_modes(s in arb_scenario()) {
+/// The system MTTR is a convex combination of per-mode recoveries: it
+/// lies between the cheapest and most expensive mode.
+#[test]
+fn system_mttr_bounded_by_modes() {
+    check::run("system_mttr_bounded_by_modes", 128, |rng| {
         use rr_core::analysis::expected_mode_recovery_s;
+        let s = arb_scenario(rng);
         let tree = flat_tree(&s.components);
-        let sys =
-            expected_system_mttr_s(&tree, &s.model, &s.cost, OracleQuality::Perfect).unwrap();
+        let sys = expected_system_mttr_s(&tree, &s.model, &s.cost, OracleQuality::Perfect).unwrap();
         let per_mode: Vec<f64> = s
             .model
             .modes()
             .iter()
-            .map(|m| {
-                expected_mode_recovery_s(&tree, m, &s.cost, OracleQuality::Perfect).unwrap()
-            })
+            .map(|m| expected_mode_recovery_s(&tree, m, &s.cost, OracleQuality::Perfect).unwrap())
             .collect();
         let lo = per_mode.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = per_mode.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        prop_assert!(sys >= lo - 1e-9 && sys <= hi + 1e-9);
-    }
+        assert!(sys >= lo - 1e-9 && sys <= hi + 1e-9);
+    });
 }

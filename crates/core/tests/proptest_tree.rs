@@ -5,52 +5,45 @@
 //! single attachment, and the escalation-path/lowest-cover laws. The
 //! MTTF/MTTR group algebra must hold for arbitrary member statistics.
 
-use proptest::prelude::*;
 use rr_core::analysis::{group_mttf_bound_s, group_mttr_bound_s};
 use rr_core::transform::{
     consolidate, consolidate_one_sided, demote_component, depth_augment, flatten, group_cells,
     promote_component,
 };
 use rr_core::tree::{RestartTree, TreeSpec};
+use rr_sim::{check, SimRng};
 
-/// Builds a random two-level tree over `n` components named c0..c(n-1).
-fn arb_tree(max_components: usize) -> impl Strategy<Value = RestartTree> {
-    (2..=max_components, any::<u64>()).prop_map(|(n, seed)| {
-        // Deterministic pseudo-random grouping driven by the seed.
-        let mut spec = TreeSpec::cell("root");
-        let mut s = seed;
-        let mut next = || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            (s >> 33) as usize
-        };
-        let mut group: Vec<String> = Vec::new();
-        for i in 0..n {
-            group.push(format!("c{i}"));
-            // Close the current group with ~50% probability.
-            if next() % 2 == 0 {
-                match group.len() {
-                    1 => {
-                        let comp = group.pop().expect("non-empty");
-                        if next() % 2 == 0 {
-                            spec = spec.with_component(comp);
-                        } else {
-                            spec = spec.with_child(TreeSpec::cell(format!("R_{comp}")).with_component(comp));
-                        }
+/// Builds a random two-level tree over 2..=`max_components` components named
+/// c0..c(n-1).
+fn arb_tree(rng: &mut SimRng, max_components: usize) -> RestartTree {
+    let n = 2 + rng.next_below(max_components as u64 - 1) as usize;
+    let mut spec = TreeSpec::cell("root");
+    let mut group: Vec<String> = Vec::new();
+    for i in 0..n {
+        group.push(format!("c{i}"));
+        // Close the current group with ~50% probability.
+        if rng.chance(0.5) {
+            match group.len() {
+                1 => {
+                    let comp = group.pop().expect("non-empty");
+                    if rng.chance(0.5) {
+                        spec = spec.with_component(comp);
+                    } else {
+                        spec = spec
+                            .with_child(TreeSpec::cell(format!("R_{comp}")).with_component(comp));
                     }
-                    _ => {
-                        let label = format!("R_g{i}");
-                        spec = spec.with_child(
-                            TreeSpec::cell(label).with_components(group.drain(..)),
-                        );
-                    }
+                }
+                _ => {
+                    let label = format!("R_g{i}");
+                    spec = spec.with_child(TreeSpec::cell(label).with_components(group.drain(..)));
                 }
             }
         }
-        if !group.is_empty() {
-            spec = spec.with_child(TreeSpec::cell("R_tail").with_components(group.drain(..)));
-        }
-        spec.build().expect("generated spec is valid")
-    })
+    }
+    if !group.is_empty() {
+        spec = spec.with_child(TreeSpec::cell("R_tail").with_components(group.drain(..)));
+    }
+    spec.build().expect("generated spec is valid")
 }
 
 /// A transformation choice to apply, parameterized by raw indices that are
@@ -66,16 +59,18 @@ enum Op {
     Flatten(usize),
 }
 
-fn arb_op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        any::<usize>().prop_map(Op::Augment),
-        (any::<usize>(), any::<usize>()).prop_map(|(a, b)| Op::Group(a, b)),
-        (any::<usize>(), any::<usize>()).prop_map(|(a, b)| Op::Consolidate(a, b)),
-        (any::<usize>(), any::<usize>()).prop_map(|(a, b)| Op::OneSided(a, b)),
-        any::<usize>().prop_map(Op::Promote),
-        any::<usize>().prop_map(Op::Demote),
-        any::<usize>().prop_map(Op::Flatten),
-    ]
+fn arb_op(rng: &mut SimRng) -> Op {
+    let a = rng.next_u64() as usize;
+    let b = rng.next_u64() as usize;
+    match rng.next_below(7) {
+        0 => Op::Augment(a),
+        1 => Op::Group(a, b),
+        2 => Op::Consolidate(a, b),
+        3 => Op::OneSided(a, b),
+        4 => Op::Promote(a),
+        5 => Op::Demote(a),
+        _ => Op::Flatten(a),
+    }
 }
 
 /// Applies an op if its preconditions can be satisfied; errors are fine (the
@@ -127,102 +122,110 @@ fn apply(tree: &mut RestartTree, op: &Op) {
     }
 }
 
-proptest! {
-    /// Any sequence of transformations preserves validity and the component set.
-    #[test]
-    fn transformations_preserve_components(
-        tree in arb_tree(8),
-        ops in proptest::collection::vec(arb_op(), 0..24),
-    ) {
+/// Any sequence of transformations preserves validity and the component set.
+#[test]
+fn transformations_preserve_components() {
+    check::run("transformations_preserve_components", 128, |rng| {
+        let mut tree = arb_tree(rng, 8);
+        let ops = check::vec_of(rng, 0, 23, arb_op);
         let before = tree.components();
-        let mut tree = tree;
         for op in &ops {
             apply(&mut tree, op);
-            prop_assert!(tree.validate().is_ok(), "after {op:?}: {:?}", tree.validate());
+            assert!(
+                tree.validate().is_ok(),
+                "after {op:?}: {:?}",
+                tree.validate()
+            );
         }
-        prop_assert_eq!(tree.components(), before);
-    }
+        assert_eq!(tree.components(), before);
+    });
+}
 
-    /// Every component stays reachable: its restart path ends at the root and
-    /// its own cell covers it.
-    #[test]
-    fn restart_paths_stay_coherent(
-        tree in arb_tree(8),
-        ops in proptest::collection::vec(arb_op(), 0..24),
-    ) {
-        let mut tree = tree;
+/// Every component stays reachable: its restart path ends at the root and
+/// its own cell covers it.
+#[test]
+fn restart_paths_stay_coherent() {
+    check::run("restart_paths_stay_coherent", 128, |rng| {
+        let mut tree = arb_tree(rng, 8);
+        let ops = check::vec_of(rng, 0, 23, arb_op);
         for op in &ops {
             apply(&mut tree, op);
         }
         let root = tree.root();
         for comp in tree.components() {
             let path = tree.restart_path(&comp).expect("attached");
-            prop_assert_eq!(*path.last().unwrap(), root);
+            assert_eq!(*path.last().unwrap(), root);
             // The path is strictly ancestor-ordered.
             for pair in path.windows(2) {
-                prop_assert_eq!(tree.parent(pair[0]), Some(pair[1]));
+                assert_eq!(tree.parent(pair[0]), Some(pair[1]));
             }
             // The component's own cell covers it.
-            prop_assert!(tree.components_under(path[0]).contains(&comp));
+            assert!(tree.components_under(path[0]).contains(&comp));
             // Every cell on the path covers it too (restart at any ancestor
             // restarts the component).
             for &cell in &path {
-                prop_assert!(tree.components_under(cell).contains(&comp));
+                assert!(tree.components_under(cell).contains(&comp));
             }
         }
-    }
+    });
+}
 
-    /// lowest_cover returns a cell that covers the set, and no child of it does.
-    #[test]
-    fn lowest_cover_is_minimal(
-        tree in arb_tree(8),
-        ops in proptest::collection::vec(arb_op(), 0..16),
-        picks in proptest::collection::vec(any::<usize>(), 1..4),
-    ) {
-        let mut tree = tree;
+/// lowest_cover returns a cell that covers the set, and no child of it does.
+#[test]
+fn lowest_cover_is_minimal() {
+    check::run("lowest_cover_is_minimal", 128, |rng| {
+        let mut tree = arb_tree(rng, 8);
+        let ops = check::vec_of(rng, 0, 15, arb_op);
         for op in &ops {
             apply(&mut tree, op);
         }
+        let picks: Vec<usize> = check::vec_of(rng, 1, 3, |r| r.next_u64() as usize);
         let comps = tree.components();
-        let set: Vec<String> = picks.iter().map(|&i| comps[i % comps.len()].clone()).collect();
+        let set: Vec<String> = picks
+            .iter()
+            .map(|&i| comps[i % comps.len()].clone())
+            .collect();
         let cover = tree.lowest_cover(&set).expect("components exist");
         let under = tree.components_under(cover);
         for c in &set {
-            prop_assert!(under.contains(c));
+            assert!(under.contains(c));
         }
         for &child in tree.children(cover) {
             let child_under = tree.components_under(child);
-            prop_assert!(
+            assert!(
                 !set.iter().all(|c| child_under.contains(c)),
                 "child also covers the set — cover was not lowest"
             );
         }
-    }
+    });
+}
 
-    /// §3.2 algebra: group MTTF ≤ min member MTTF, group MTTR ≥ max member MTTR.
-    #[test]
-    fn group_bounds_hold(values in proptest::collection::vec(0.1f64..1e6, 1..32)) {
+/// §3.2 algebra: group MTTF ≤ min member MTTF, group MTTR ≥ max member MTTR.
+#[test]
+fn group_bounds_hold() {
+    check::run("group_bounds_hold", 128, |rng| {
+        let values: Vec<f64> = check::vec_of(rng, 1, 31, |r| r.uniform(0.1, 1e6));
         let mttf = group_mttf_bound_s(&values);
         let mttr = group_mttr_bound_s(&values);
         for &v in &values {
-            prop_assert!(mttf <= v);
-            prop_assert!(mttr >= v);
+            assert!(mttf <= v);
+            assert!(mttr >= v);
         }
-        prop_assert!(values.contains(&mttf));
-        prop_assert!(values.contains(&mttr));
-    }
+        assert!(values.contains(&mttf));
+        assert!(values.contains(&mttr));
+    });
+}
 
-    /// to_spec/build round-trips any transformed tree.
-    #[test]
-    fn spec_round_trip_after_transformations(
-        tree in arb_tree(8),
-        ops in proptest::collection::vec(arb_op(), 0..16),
-    ) {
-        let mut tree = tree;
+/// to_spec/build round-trips any transformed tree.
+#[test]
+fn spec_round_trip_after_transformations() {
+    check::run("spec_round_trip_after_transformations", 128, |rng| {
+        let mut tree = arb_tree(rng, 8);
+        let ops = check::vec_of(rng, 0, 15, arb_op);
         for op in &ops {
             apply(&mut tree, op);
         }
         let rebuilt = tree.to_spec().build().expect("round trip");
-        prop_assert_eq!(rebuilt, tree);
-    }
+        assert_eq!(rebuilt, tree);
+    });
 }

@@ -8,7 +8,7 @@
 //!
 //! `EXPERIMENT` is one of `table1`, `table2`, `figures`, `table4`,
 //! `headline`, `pass`, `ablation-oracle`, `ablation-ping`,
-//! `ablation-learning`, `ablation-optimizer`, or `all` (default).
+//! `ablation-learning`, `ablation-optimizer`, `chaos`, or `all` (default).
 
 use std::process::ExitCode;
 
@@ -20,7 +20,7 @@ fn usage() -> ! {
         "usage: repro [EXPERIMENT]... [--trials N] [--seed S] [--report PATH] [--dot-dir DIR]\n\
          experiments: table1 table2 figures table4 headline endurance pass \
          ablation-oracle ablation-ping ablation-learning ablation-optimizer \
-         ablation-rejuvenation all"
+         ablation-rejuvenation chaos all"
     );
     std::process::exit(2);
 }
@@ -72,6 +72,7 @@ fn main() -> ExitCode {
             "ablation-learning" => results.push(experiments::ablation_learning(run)),
             "ablation-optimizer" => results.push(experiments::ablation_optimizer(run)),
             "ablation-rejuvenation" => results.push(experiments::ablation_rejuvenation(run)),
+            "chaos" => results.push(rr_harness::chaos::experiment(run)),
             "all" => results.extend(experiments::all(run)),
             _ => usage(),
         }

@@ -12,7 +12,7 @@ use mercury::measure::{measure_recovery, telemetry_frames};
 use mercury::scenario::PassScenario;
 use mercury::station::{Station, TreeVariant};
 use rr_core::analysis::{
-    expected_mode_recovery_s, expected_system_mttr_s, availability, OracleQuality,
+    availability, expected_mode_recovery_s, expected_system_mttr_s, OracleQuality,
 };
 use rr_core::model::FailureMode;
 use rr_core::optimize::{optimize_tree, OptimizerConfig};
@@ -55,7 +55,10 @@ pub struct RunConfig {
 
 impl Default for RunConfig {
     fn default() -> Self {
-        RunConfig { trials: 100, seed: 0xD52002 }
+        RunConfig {
+            trials: 100,
+            seed: 0xD52002,
+        }
     }
 }
 
@@ -120,7 +123,13 @@ pub fn measure_cell(
     correlated_pbcom: bool,
     run: RunConfig,
 ) -> Summary {
-    Summary::of(&measure_cell_samples(variant, oracle, component, correlated_pbcom, run))
+    Summary::of(&measure_cell_samples(
+        variant,
+        oracle,
+        component,
+        correlated_pbcom,
+        run,
+    ))
 }
 
 /// Like [`measure_cell`], but returns the raw per-trial recovery times.
@@ -152,9 +161,9 @@ pub fn measure_cell_samples(
         station.run_for(SimDuration::from_secs(150));
         match measure_recovery(station.trace(), component, injected) {
             Ok(m) => samples.push(m.recovery_s()),
-            Err(e) => panic!(
-                "trial {i} ({variant}, {component}, correlated={correlated_pbcom}): {e}"
-            ),
+            Err(e) => {
+                panic!("trial {i} ({variant}, {component}, correlated={correlated_pbcom}): {e}")
+            }
         }
     }
     samples
@@ -210,7 +219,13 @@ pub fn table2(run: RunConfig) -> Experiment {
         "table2",
         "Tree II recovery: detection + recovery time per failed component",
     );
-    let components = [names::MBUS, names::SES, names::STR, names::RTU, names::FEDRCOM];
+    let components = [
+        names::MBUS,
+        names::SES,
+        names::STR,
+        names::RTU,
+        names::FEDRCOM,
+    ];
     let paper_i = [24.75, 24.75, 24.75, 24.75, 24.75];
     let paper_ii = [5.73, 9.50, 9.76, 5.59, 20.93];
 
@@ -414,10 +429,15 @@ pub fn figures(_run: RunConfig) -> Experiment {
         )
         .build()
         .expect("figure 2 tree");
-    exp.blocks
-        .push(format!("Figure 2 (example restart tree):\n{}", render_tree(&fig2)));
-    exp.observations
-        .push(("fig2:restart-groups".into(), 5.0, fig2.groups().len() as f64));
+    exp.blocks.push(format!(
+        "Figure 2 (example restart tree):\n{}",
+        render_tree(&fig2)
+    ));
+    exp.observations.push((
+        "fig2:restart-groups".into(),
+        5.0,
+        fig2.groups().len() as f64,
+    ));
 
     let mut table = Table::new(
         "Table 3: structural properties of trees I-V",
@@ -433,20 +453,27 @@ pub fn figures(_run: RunConfig) -> Experiment {
     for variant in TreeVariant::ALL {
         let tree = variant.tree();
         tree.validate().expect("paper trees are valid");
-        exp.blocks
-            .push(format!("Tree {variant} (Figure {}):\n{}", match variant {
+        exp.blocks.push(format!(
+            "Tree {variant} (Figure {}):\n{}",
+            match variant {
                 TreeVariant::I => "3 left",
                 TreeVariant::II => "3 right",
                 TreeVariant::III => "4",
                 TreeVariant::IV => "5",
                 TreeVariant::V => "6",
-            }, render_tree(&tree)));
+            },
+            render_tree(&tree)
+        ));
         let has = |set: &[&str]| rr_core::optimize::find_group(&tree, set).is_some();
         table.push_row(vec![
             variant.to_string(),
             tree.cell_count().to_string(),
             tree.groups().len().to_string(),
-            if variant.is_split() { has(&[names::PBCOM]).to_string() } else { "n/a".into() },
+            if variant.is_split() {
+                has(&[names::PBCOM]).to_string()
+            } else {
+                "n/a".into()
+            },
             if variant.is_split() {
                 has(&[names::FEDR, names::PBCOM]).to_string()
             } else {
@@ -527,8 +554,16 @@ pub fn headline(run: RunConfig) -> Experiment {
         (TreeVariant::II, OracleQuality::Perfect, "perfect"),
         (TreeVariant::III, OracleQuality::Perfect, "perfect"),
         (TreeVariant::IV, OracleQuality::Perfect, "perfect"),
-        (TreeVariant::IV, OracleQuality::Faulty { undershoot: 0.3 }, "faulty(0.3)"),
-        (TreeVariant::V, OracleQuality::Faulty { undershoot: 0.3 }, "faulty(0.3)"),
+        (
+            TreeVariant::IV,
+            OracleQuality::Faulty { undershoot: 0.3 },
+            "faulty(0.3)",
+        ),
+        (
+            TreeVariant::V,
+            OracleQuality::Faulty { undershoot: 0.3 },
+            "faulty(0.3)",
+        ),
     ] {
         let tree = variant.tree();
         let model = if variant.is_split() {
@@ -573,7 +608,8 @@ pub fn headline(run: RunConfig) -> Experiment {
         "Expected system MTTR (seconds):\n{}",
         crate::tables::bar_chart(&chart_rows, 48)
     ));
-    exp.observations.push(("improvement-factor".into(), 4.0, i / v));
+    exp.observations
+        .push(("improvement-factor".into(), 4.0, i / v));
     let _ = run;
     exp.tables.push(table);
     exp
@@ -662,7 +698,12 @@ pub fn ablation_oracle_sweep(run: RunConfig) -> Experiment {
     let mode = FailureMode::correlated("joint", names::PBCOM, [names::FEDR, names::PBCOM], 1.0);
     let mut table = Table::new(
         "Expected recovery (s) for the correlated pbcom failure",
-        vec!["Error rate".into(), "Tree IV".into(), "Tree V".into(), "V wins".into()],
+        vec![
+            "Error rate".into(),
+            "Tree IV".into(),
+            "Tree V".into(),
+            "V wins".into(),
+        ],
     );
     let tree_iv = TreeVariant::IV.tree();
     let tree_v = TreeVariant::V.tree();
@@ -670,10 +711,20 @@ pub fn ablation_oracle_sweep(run: RunConfig) -> Experiment {
     // for the simulated spot check.
     let trials = run.trials.max(5);
     for p in [0.0, 0.1, 0.2, 0.3, 0.4, 0.5] {
-        let iv = expected_mode_recovery_s(&tree_iv, &mode, &cost, OracleQuality::Faulty { undershoot: p })
-            .expect("valid");
-        let v = expected_mode_recovery_s(&tree_v, &mode, &cost, OracleQuality::Faulty { undershoot: p })
-            .expect("valid");
+        let iv = expected_mode_recovery_s(
+            &tree_iv,
+            &mode,
+            &cost,
+            OracleQuality::Faulty { undershoot: p },
+        )
+        .expect("valid");
+        let v = expected_mode_recovery_s(
+            &tree_v,
+            &mode,
+            &cost,
+            OracleQuality::Faulty { undershoot: p },
+        )
+        .expect("valid");
         // Spot-check one simulated point per rate.
         if (p - 0.3).abs() < 1e-9 {
             let sim = measure_cell(
@@ -727,8 +778,7 @@ pub fn ablation_ping_period(run: RunConfig) -> Experiment {
             cfg.ping_timeout_s = (0.4 * period).clamp(0.1, 2.0);
             // The cure-confirmation window must scale with detection latency
             // (config validation enforces this ordering).
-            cfg.cure_confirm_s =
-                cfg.poison_crash_delay_s + cfg.mean_detection_s() + 1.0;
+            cfg.cure_confirm_s = cfg.poison_crash_delay_s + cfg.mean_detection_s() + 1.0;
             let mut station =
                 Station::new(cfg, TreeVariant::II, Box::new(PerfectOracle::new()), seed);
             station.warm_up();
@@ -796,8 +846,11 @@ pub fn ablation_learning(run: RunConfig) -> Experiment {
         "First episode took {first_attempts} attempts; after learning, episodes take \
          {last_attempts} (the oracle now recommends the joint cell directly).\n"
     ));
-    exp.observations
-        .push(("learning:final-attempts".into(), 1.0, f64::from(last_attempts)));
+    exp.observations.push((
+        "learning:final-attempts".into(),
+        1.0,
+        f64::from(last_attempts),
+    ));
     exp.tables.push(table);
     exp
 }
@@ -819,7 +872,10 @@ pub fn ablation_optimizer(_run: RunConfig) -> Experiment {
 
     for (quality, label) in [
         (OracleQuality::Perfect, "perfect oracle"),
-        (OracleQuality::Faulty { undershoot: 0.3 }, "faulty oracle (p=0.3)"),
+        (
+            OracleQuality::Faulty { undershoot: 0.3 },
+            "faulty oracle (p=0.3)",
+        ),
     ] {
         let opt = optimize_tree(&start, &model, &cost, quality, OptimizerConfig::default())
             .expect("optimizable");
@@ -975,8 +1031,12 @@ pub fn ablation_rejuvenation(run: RunConfig) -> Experiment {
     for (threshold, label) in [(None, "off"), (Some(0.5), "aging >= 0.5")] {
         let mut cfg = StationConfig::paper();
         cfg.rejuvenation_aging_threshold = threshold;
-        let mut station =
-            Station::new(cfg, TreeVariant::III, Box::new(PerfectOracle::new()), run.seed + 55);
+        let mut station = Station::new(
+            cfg,
+            TreeVariant::III,
+            Box::new(PerfectOracle::new()),
+            run.seed + 55,
+        );
         station.warm_up();
         let mut rng = SimRng::new(run.seed ^ 0x0DD);
         let d = Dist::exponential(600.0); // fedr MTTF: 10 minutes
@@ -995,7 +1055,11 @@ pub fn ablation_rejuvenation(run: RunConfig) -> Experiment {
         station.run_for(SimDuration::from_secs(120));
         let aging = station.trace().mark_times("aging-crash:pbcom").count();
         let rejuv = station.trace().mark_times("rejuvenate:pbcom").count();
-        table.push_row(vec![label.to_string(), aging.to_string(), rejuv.to_string()]);
+        table.push_row(vec![
+            label.to_string(),
+            aging.to_string(),
+            rejuv.to_string(),
+        ]);
         exp.observations.push((
             format!("aging-crashes:{label}"),
             if threshold.is_none() { 1.0 } else { 0.0 },
@@ -1026,5 +1090,6 @@ pub fn all(run: RunConfig) -> Vec<Experiment> {
         ablation_learning(run),
         ablation_optimizer(run),
         ablation_rejuvenation(run),
+        crate::chaos::experiment(run),
     ]
 }

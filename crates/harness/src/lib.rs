@@ -16,6 +16,7 @@
 //! | [`experiments::ablation_ping_period`] | §2.2 detection-period trade-off |
 //! | [`experiments::ablation_learning`] | §7 learning oracle |
 //! | [`experiments::ablation_optimizer`] | §7 automatic tree transformation |
+//! | [`chaos::experiment`] | beyond the paper — chaos campaign under degraded links |
 //!
 //! The `repro` binary drives the suite:
 //!
@@ -27,8 +28,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod experiments;
 pub mod report;
 pub mod tables;
 
+pub use chaos::{ChaosConfig, ChaosReport};
 pub use experiments::{Experiment, OracleKind, RunConfig};

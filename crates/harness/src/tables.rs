@@ -97,7 +97,11 @@ impl Table {
         out.push_str(&format!("| {} |\n", self.columns.join(" | ")));
         out.push_str(&format!(
             "|{}|\n",
-            self.columns.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+            self.columns
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
         ));
         for row in &self.rows {
             out.push_str(&format!("| {} |\n", row.join(" | ")));
@@ -136,7 +140,11 @@ pub fn bar_chart(rows: &[(String, f64)], width: usize) -> String {
         })
         .fold(0.0f64, f64::max)
         .max(f64::MIN_POSITIVE);
-    let label_w = rows.iter().map(|(l, _)| l.chars().count()).max().unwrap_or(0);
+    let label_w = rows
+        .iter()
+        .map(|(l, _)| l.chars().count())
+        .max()
+        .unwrap_or(0);
     let mut out = String::new();
     for (label, value) in rows {
         let n = ((value / max) * width as f64).round() as usize;
@@ -197,7 +205,10 @@ mod tests {
 
     #[test]
     fn bar_chart_scales_to_max() {
-        let chart = bar_chart(&[("a".into(), 10.0), ("b".into(), 5.0), ("c".into(), 0.0)], 20);
+        let chart = bar_chart(
+            &[("a".into(), 10.0), ("b".into(), 5.0), ("c".into(), 0.0)],
+            20,
+        );
         let lines: Vec<&str> = chart.lines().collect();
         assert_eq!(lines.len(), 3);
         let bars: Vec<usize> = lines.iter().map(|l| l.matches('█').count()).collect();

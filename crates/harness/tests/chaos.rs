@@ -1,0 +1,187 @@
+//! Acceptance tests for the degraded-communication fault model.
+//!
+//! Three promises of the hardened configuration, checked end to end:
+//!
+//! (a) an hour of 5% message loss on every link produces **zero** failure-
+//!     detector false positives — no detections, no restarts;
+//! (b) a hard failure (the component dies again after every restart)
+//!     escalates through the parent cell and ends **quarantined**, without
+//!     ever exceeding the restart budget, while the rest of the station keeps
+//!     recovering normally;
+//! (c) chaos campaigns across trees I–V cure every crash, hang, and zombie
+//!     injection that stays below the restart budget.
+
+use mercury::config::{names, StationConfig};
+use mercury::measure::measure_recovery;
+use mercury::station::{Station, TreeVariant};
+use rr_core::PerfectOracle;
+use rr_harness::chaos::{run_campaign, ChaosConfig};
+use rr_sim::{LinkQuality, SimDuration, TraceKind};
+
+/// Recovery-action mark prefixes that must never fire without a real failure.
+const ACTIONS: [&str; 5] = ["detect:", "stale:", "restart:", "giveup:", "quarantine:"];
+
+#[test]
+fn an_hour_of_five_percent_loss_causes_no_false_positives() {
+    let mut station = Station::new(
+        StationConfig::hardened(),
+        TreeVariant::II,
+        Box::new(PerfectOracle::new()),
+        0xA11CE,
+    );
+    station.warm_up();
+    station.degrade_all_links(Some(LinkQuality::lossy(0.05)));
+    let start = station.now();
+    station.run_for(SimDuration::from_secs(3600));
+
+    let fired: Vec<String> = station
+        .trace()
+        .iter()
+        .filter(|e| e.time >= start && e.kind == TraceKind::Mark)
+        .filter(|e| {
+            ACTIONS.iter().any(|p| e.label.starts_with(p))
+                || e.label == "rec-restarts:fd"
+                || e.label == "fd-restarts:rec"
+        })
+        .map(|e| e.to_string())
+        .collect();
+    assert!(fired.is_empty(), "false positives under 5% loss: {fired:?}");
+
+    // Belt and braces: no process was ever killed or restarted either.
+    let lifecycle_churn = station
+        .trace()
+        .iter()
+        .filter(|e| e.time >= start)
+        .filter(|e| {
+            matches!(
+                e.kind,
+                TraceKind::Crashed | TraceKind::Hung | TraceKind::Restarted
+            )
+        })
+        .count();
+    assert_eq!(lifecycle_churn, 0, "processes churned under loss alone");
+}
+
+#[test]
+fn the_paper_detector_convicts_innocents_under_the_same_loss() {
+    // Contrast case: the paper's single-missed-ping detector (threshold 1)
+    // false-positives within minutes under the loss the hardened detector
+    // shrugs off — this is exactly why the suspicion knobs exist.
+    let mut station = Station::new(
+        StationConfig::paper(),
+        TreeVariant::II,
+        Box::new(PerfectOracle::new()),
+        0xA11CE,
+    );
+    station.warm_up();
+    station.degrade_all_links(Some(LinkQuality::lossy(0.05)));
+    let start = station.now();
+    station.run_for(SimDuration::from_secs(300));
+    let false_detects = station
+        .trace()
+        .iter()
+        .filter(|e| e.time >= start && e.kind == TraceKind::Mark)
+        .filter(|e| e.label.starts_with("detect:"))
+        .count();
+    assert!(
+        false_detects > 0,
+        "expected the un-hardened detector to false-positive under 5% loss"
+    );
+}
+
+#[test]
+fn a_hard_failure_escalates_and_is_quarantined_within_budget() {
+    let cfg = StationConfig::hardened();
+    let mut station = Station::new(
+        cfg.clone(),
+        TreeVariant::II,
+        Box::new(PerfectOracle::new()),
+        0xB0B,
+    );
+    station.warm_up();
+    let at = station.inject_hard_failure(names::RTU);
+    // Each failed attempt burns the 45 s restart deadline plus backoff;
+    // escalation_limit attempts fit comfortably in 20 simulated minutes.
+    station.run_for(SimDuration::from_secs(1200));
+
+    let quarantined_at = station
+        .trace()
+        .first_mark_at_or_after(at, "quarantine:rtu")
+        .expect("hard failure must end in quarantine");
+    assert!(
+        station
+            .trace()
+            .iter()
+            .any(|e| e.kind == TraceKind::Mark && e.label.starts_with("giveup:rtu")),
+        "quarantine must be preceded by an explicit give-up mark"
+    );
+
+    // The oracle escalated through the parent cell: at least one retry
+    // pushed a button above R_rtu, restarting the whole station with it.
+    let restart_marks: Vec<&str> = station
+        .trace()
+        .iter()
+        .filter(|e| e.kind == TraceKind::Mark && e.label.starts_with("restart:rtu:"))
+        .map(|e| e.label.as_str())
+        .collect();
+    assert!(
+        restart_marks.iter().any(|l| l.contains(names::MBUS)),
+        "expected escalation past rtu's own cell, got {restart_marks:?}"
+    );
+
+    // The restart budget held: no more attempts than the escalation limit,
+    // which itself sits inside the per-window restart budget.
+    let attempts = restart_marks.len() as u32;
+    assert!(
+        attempts <= cfg.escalation_limit,
+        "{attempts} attempts exceed the escalation limit {}",
+        cfg.escalation_limit
+    );
+    assert!(attempts <= cfg.max_restarts_per_window);
+
+    // Quarantine is terminal: not a single rtu restart after the give-up.
+    let post_quarantine = station
+        .trace()
+        .iter()
+        .filter(|e| e.time > quarantined_at && e.kind == TraceKind::Mark)
+        .filter(|e| e.label.starts_with("restart:rtu:"))
+        .count();
+    assert_eq!(
+        post_quarantine, 0,
+        "restart storm continued after quarantine"
+    );
+
+    // Graceful degradation: the station runs on without rtu and still cures
+    // ordinary failures elsewhere.
+    let at2 = station.inject_kill(names::SES);
+    station.run_for(SimDuration::from_secs(150));
+    let measurement = measure_recovery(station.trace(), names::SES, at2)
+        .expect("the degraded station must still cure ordinary failures");
+    assert!(measurement.recovery_s() > 0.0);
+}
+
+#[test]
+fn chaos_campaigns_cure_every_fault_across_all_trees() {
+    for &variant in TreeVariant::ALL.iter() {
+        let report = run_campaign(variant, &ChaosConfig::default());
+        assert!(
+            report.ok(),
+            "{variant:?} campaign violations: {:#?}",
+            report.violations
+        );
+        for inj in &report.injections {
+            assert!(
+                !inj.quarantined,
+                "{variant:?}: {} {} was quarantined below the restart budget",
+                inj.kind, inj.component
+            );
+            assert!(
+                inj.recovery_s.is_some(),
+                "{variant:?}: {} of {} at {} was not cured",
+                inj.kind,
+                inj.component,
+                inj.at
+            );
+        }
+    }
+}

@@ -58,7 +58,9 @@ impl SyncPeer {
         life.send_bus(
             ctx,
             self.role.peer,
-            Message::SyncRequest { incarnation: self.session },
+            Message::SyncRequest {
+                incarnation: self.session,
+            },
         );
         let retry = SimDuration::from_secs_f64(life.config().sync_retry_s);
         ctx.set_timer(retry, TIMER_SYNC_RETRY);
@@ -114,7 +116,9 @@ impl SyncPeer {
                     // Old peer: slow emergency rebuild, then induced failure.
                     ((self.role.service_s)(life.config()), true)
                 };
-                let ack = Message::SyncAck { incarnation: *incarnation };
+                let ack = Message::SyncAck {
+                    incarnation: *incarnation,
+                };
                 let peer = self.role.peer;
                 // Model the service time as a delayed reply: queue the ack
                 // after `delay`. (The component keeps answering pings — it is
@@ -185,7 +189,11 @@ impl Actor<Wire> for Ses {
                 if self.sync.handle_message(&env.body, &mut self.life, ctx) {
                     return;
                 }
-                if let Message::EstimateRequest { ref satellite, at_epoch_s } = env.body {
+                if let Message::EstimateRequest {
+                    ref satellite,
+                    at_epoch_s,
+                } = env.body
+                {
                     if !self.life.is_ready() {
                         return;
                     }

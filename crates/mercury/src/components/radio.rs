@@ -84,14 +84,15 @@ impl Actor<Wire> for Fedrcom {
                 // The monolith owns the serial port: boot includes hardware
                 // negotiation, with the rapid-bounce back-off.
                 let cfg = self.life.config();
-                let (window, penalty) =
-                    (cfg.rapid_restart_window_s, cfg.pbcom_rapid_restart_penalty_s);
-                let extra = self
-                    .life
-                    .shared()
-                    .radio
-                    .borrow_mut()
-                    .begin_negotiation(ctx.now(), window, penalty);
+                let (window, penalty) = (
+                    cfg.rapid_restart_window_s,
+                    cfg.pbcom_rapid_restart_penalty_s,
+                );
+                let extra = self.life.shared().radio.borrow_mut().begin_negotiation(
+                    ctx.now(),
+                    window,
+                    penalty,
+                );
                 self.life.begin_boot(ctx, extra);
             }
             Event::Timer { key: TIMER_BOOT } => {
@@ -99,7 +100,9 @@ impl Actor<Wire> for Fedrcom {
                 let period = SimDuration::from_secs_f64(self.life.config().telemetry_period_s);
                 ctx.set_timer(period, TIMER_TELEMETRY);
             }
-            Event::Timer { key: TIMER_TELEMETRY } => {
+            Event::Timer {
+                key: TIMER_TELEMETRY,
+            } => {
                 let cfg_period = self.life.config().telemetry_period_s;
                 let window = self.life.config().lock_window_s;
                 if self.life.is_ready() && self.lock.locked(ctx.now(), window) {
@@ -172,7 +175,8 @@ impl Fedr {
 
     fn try_connect(&mut self, ctx: &mut Context<'_, Wire>) {
         self.connected = false;
-        self.life.send_direct(ctx, names::PBCOM, Self::radio_cmd("OPEN", ""));
+        self.life
+            .send_direct(ctx, names::PBCOM, Self::radio_cmd("OPEN", ""));
         let retry = SimDuration::from_secs_f64(self.life.config().connect_retry_s);
         ctx.set_timer(retry, TIMER_CONNECT_RETRY);
     }
@@ -186,12 +190,16 @@ impl Actor<Wire> for Fedr {
                 self.life.set_initializing();
                 self.try_connect(ctx);
             }
-            Event::Timer { key: TIMER_CONNECT_RETRY } => {
+            Event::Timer {
+                key: TIMER_CONNECT_RETRY,
+            } => {
                 if !self.connected {
                     self.try_connect(ctx);
                 }
             }
-            Event::Timer { key: TIMER_KEEPALIVE } => {
+            Event::Timer {
+                key: TIMER_KEEPALIVE,
+            } => {
                 if self.connected {
                     self.missed_keepalives += 1;
                     if self.missed_keepalives > 2 {
@@ -207,7 +215,9 @@ impl Actor<Wire> for Fedr {
                     }
                 }
             }
-            Event::Timer { key: TIMER_SEND_POISON } => {
+            Event::Timer {
+                key: TIMER_SEND_POISON,
+            } => {
                 if self.connected {
                     // The corrupted session state damages pbcom (§4.4): this
                     // failure will manifest in pbcom, and restarting pbcom
@@ -258,13 +268,17 @@ impl Actor<Wire> for Fedr {
                             Self::radio_cmd("FREQ", &format!("{frequency_hz:.0}")),
                         );
                     }
-                    Message::PointAntenna { azimuth_deg, elevation_deg }
-                        if self.life.is_ready() =>
-                    {
+                    Message::PointAntenna {
+                        azimuth_deg,
+                        elevation_deg,
+                    } if self.life.is_ready() => {
                         self.life.send_direct(
                             ctx,
                             names::PBCOM,
-                            Self::radio_cmd("POINT", &format!("{azimuth_deg:.1},{elevation_deg:.1}")),
+                            Self::radio_cmd(
+                                "POINT",
+                                &format!("{azimuth_deg:.1},{elevation_deg:.1}"),
+                            ),
                         );
                     }
                     Message::TrackRequest { satellite } => self.satellite = satellite,
@@ -333,14 +347,15 @@ impl Actor<Wire> for Pbcom {
         match ev {
             Event::Start => {
                 let cfg = self.life.config();
-                let (window, penalty) =
-                    (cfg.rapid_restart_window_s, cfg.pbcom_rapid_restart_penalty_s);
-                let extra = self
-                    .life
-                    .shared()
-                    .radio
-                    .borrow_mut()
-                    .begin_negotiation(ctx.now(), window, penalty);
+                let (window, penalty) = (
+                    cfg.rapid_restart_window_s,
+                    cfg.pbcom_rapid_restart_penalty_s,
+                );
+                let extra = self.life.shared().radio.borrow_mut().begin_negotiation(
+                    ctx.now(),
+                    window,
+                    penalty,
+                );
                 self.life.begin_boot(ctx, extra);
             }
             Event::Timer { key: TIMER_BOOT } => {
@@ -348,7 +363,9 @@ impl Actor<Wire> for Pbcom {
                 let period = SimDuration::from_secs_f64(self.life.config().telemetry_period_s);
                 ctx.set_timer(period, TIMER_TELEMETRY);
             }
-            Event::Timer { key: TIMER_TELEMETRY } => {
+            Event::Timer {
+                key: TIMER_TELEMETRY,
+            } => {
                 let period = self.life.config().telemetry_period_s;
                 let window = self.life.config().lock_window_s;
                 if self.life.is_ready()
@@ -360,13 +377,16 @@ impl Actor<Wire> for Pbcom {
                     // Downlink data is CRC-framed on the serial link.
                     let payload = format!("frame-{:06}", self.frame).into_bytes();
                     let frame = mercury_msg::TelemetryFrame::new(self.frame as u32, payload);
-                    let msg = Message::SerialFrame { hex: frame.to_hex() };
+                    let msg = Message::SerialFrame {
+                        hex: frame.to_hex(),
+                    };
                     self.life.send_direct(ctx, names::FEDR, msg);
                 }
                 ctx.set_timer(SimDuration::from_secs_f64(period), TIMER_TELEMETRY);
             }
             Event::Timer { key } => {
-                self.life.handle_beacon_timer(key, ctx, self.aging_fraction());
+                self.life
+                    .handle_beacon_timer(key, ctx, self.aging_fraction());
             }
             Event::Message { payload, .. } => {
                 let Some(env) = self.life.parse(ctx, &payload) else {

@@ -57,7 +57,10 @@ impl Str {
             self.life.send_bus(
                 ctx,
                 names::SES,
-                Message::EstimateRequest { satellite: sat, at_epoch_s: at },
+                Message::EstimateRequest {
+                    satellite: sat,
+                    at_epoch_s: at,
+                },
             );
             ctx.set_timer(SimDuration::from_secs(2), TIMER_TRACK);
             self.poll_timer_armed = true;
@@ -101,7 +104,11 @@ impl Actor<Wire> for Str {
                             self.poll_estimate(ctx);
                         }
                     }
-                    Message::EstimateReply { azimuth_deg, elevation_deg, .. } => {
+                    Message::EstimateReply {
+                        azimuth_deg,
+                        elevation_deg,
+                        ..
+                    } => {
                         if elevation_deg > 0.0 {
                             if self.state != TrackingState::Tracking {
                                 self.state = TrackingState::Tracking;
@@ -111,7 +118,10 @@ impl Actor<Wire> for Str {
                             self.life.send_bus(
                                 ctx,
                                 front,
-                                Message::PointAntenna { azimuth_deg, elevation_deg },
+                                Message::PointAntenna {
+                                    azimuth_deg,
+                                    elevation_deg,
+                                },
                             );
                         } else if self.state == TrackingState::Tracking {
                             // Pass is over: park the antenna.

@@ -47,7 +47,10 @@ impl Rtu {
             self.life.send_bus(
                 ctx,
                 names::SES,
-                Message::EstimateRequest { satellite: sat, at_epoch_s: at },
+                Message::EstimateRequest {
+                    satellite: sat,
+                    at_epoch_s: at,
+                },
             );
             ctx.set_timer(SimDuration::from_secs(2), TIMER_TUNE);
             self.poll_timer_armed = true;
@@ -82,7 +85,11 @@ impl Actor<Wire> for Rtu {
                             self.poll_estimate(ctx);
                         }
                     }
-                    Message::EstimateReply { elevation_deg, doppler_hz, .. } => {
+                    Message::EstimateReply {
+                        elevation_deg,
+                        doppler_hz,
+                        ..
+                    } => {
                         let Some(sat_name) = self.target.clone() else {
                             return;
                         };

@@ -30,7 +30,6 @@ use std::collections::BTreeMap;
 use rr_core::analysis::SimpleCostModel;
 use rr_core::model::{FailureMode, FailureModel};
 use rr_sim::{Dist, SimDuration};
-use serde::{Deserialize, Serialize};
 
 use crate::orbit::{GroundSite, Satellite};
 
@@ -62,7 +61,7 @@ pub mod names {
 }
 
 /// Per-component timing parameters.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ComponentTiming {
     /// Mean boot time (process start to functionally-ready, excluding sync).
     pub boot_mean_s: f64,
@@ -73,7 +72,10 @@ pub struct ComponentTiming {
 
 impl ComponentTiming {
     fn new(boot_mean_s: f64, boot_std_s: f64) -> Self {
-        ComponentTiming { boot_mean_s, boot_std_s }
+        ComponentTiming {
+            boot_mean_s,
+            boot_std_s,
+        }
     }
 
     /// The boot-time distribution.
@@ -87,12 +89,25 @@ impl ComponentTiming {
 }
 
 /// Full station configuration: timings, coupling parameters, workload.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StationConfig {
     /// FD liveness-ping period (paper: 1 s, §2.2).
     pub ping_period_s: f64,
     /// How long FD waits for a pong before declaring a miss.
     pub ping_timeout_s: f64,
+    /// Per-component ping-timeout overrides for components whose pong path
+    /// is slower than the default (keys are component names; values replace
+    /// [`ping_timeout_s`](Self::ping_timeout_s) for that component only).
+    pub ping_timeout_overrides: BTreeMap<String, f64>,
+    /// How many missed pongs within [`suspicion_window`](Self::suspicion_window)
+    /// rounds FD requires before suspecting a component. The paper's FD
+    /// reports on the first miss (threshold 1); raising it trades detection
+    /// latency for robustness to message loss on degraded links.
+    pub suspicion_threshold: u32,
+    /// Length, in ping rounds, of the sliding window over which
+    /// [`suspicion_threshold`](Self::suspicion_threshold) misses are counted.
+    /// Equal threshold and window means *consecutive* misses are required.
+    pub suspicion_window: u32,
     /// One-way latency of an envelope hop over mbus.
     pub bus_latency_s: f64,
     /// One-way latency of the dedicated FD↔REC / fedr↔pbcom connections.
@@ -134,6 +149,11 @@ pub struct StationConfig {
     pub poison_crash_delay_s: f64,
     /// Health-beacon period (0 disables beacons; future work §7).
     pub beacon_period_s: f64,
+    /// If non-zero, REC treats a Ready component whose last beacon is older
+    /// than this as failed even while FD still receives pongs — the defense
+    /// against *zombie* components that answer liveness pings but do no
+    /// work. 0 disables (the paper's configuration: pings only).
+    pub beacon_timeout_s: f64,
     /// Proactive rejuvenation: when a beacon reports aging at or above this
     /// threshold, REC restarts the component's cell *before* it fails —
     /// "a bounded form of software rejuvenation" increasing MTTF (§3).
@@ -156,6 +176,24 @@ pub struct StationConfig {
     /// failure cured (must exceed the poison re-crash + detection lag so
     /// escalation, not a fresh episode, handles persisting failures).
     pub cure_confirm_s: f64,
+    /// Base delay of the exponential backoff between successive restarts of
+    /// the same cell: attempt *n* within the rate-limit window waits
+    /// `base · 2^(n−1)`, capped by
+    /// [`restart_backoff_cap_s`](Self::restart_backoff_cap_s). 0 disables
+    /// backoff (the paper's immediate-restart behaviour).
+    pub restart_backoff_base_s: f64,
+    /// Upper bound on the exponential restart backoff.
+    pub restart_backoff_cap_s: f64,
+    /// How many times a cure for the same failure may escalate (fail and be
+    /// retried with a wider restart group) before REC gives up and
+    /// quarantines the component.
+    pub escalation_limit: u32,
+    /// Restart-storm budget: the most restarts any single cell may receive
+    /// within [`restart_window_s`](Self::restart_window_s) before REC gives
+    /// up and quarantines it.
+    pub max_restarts_per_window: u32,
+    /// Length of the restart-storm rate-limit window.
+    pub restart_window_s: f64,
     /// fedr → pbcom keepalive period.
     pub keepalive_period_s: f64,
     /// How recent tune/point commands must be for the radio to hold carrier
@@ -194,6 +232,9 @@ impl StationConfig {
         StationConfig {
             ping_period_s: 1.0,
             ping_timeout_s: 0.4,
+            ping_timeout_overrides: BTreeMap::new(),
+            suspicion_threshold: 1,
+            suspicion_window: 1,
             bus_latency_s: 0.002,
             direct_latency_s: 0.001,
             exec_delay_s: 0.10,
@@ -210,11 +251,17 @@ impl StationConfig {
             pbcom_aging_limit: 8,
             poison_crash_delay_s: 0.5,
             beacon_period_s: 5.0,
+            beacon_timeout_s: 0.0,
             rejuvenation_aging_threshold: None,
             watchdog_grace_s: 8.0,
             fd_grace_s: 30.0,
             restart_deadline_s: 45.0,
             cure_confirm_s: 2.5,
+            restart_backoff_base_s: 0.0,
+            restart_backoff_cap_s: 30.0,
+            escalation_limit: 8,
+            max_restarts_per_window: 20,
+            restart_window_s: 3600.0,
             keepalive_period_s: 1.0,
             lock_window_s: 5.0,
             sync_retry_s: 0.2,
@@ -224,6 +271,35 @@ impl StationConfig {
             site: GroundSite::stanford(),
             satellites: vec![Satellite::opal(), Satellite::sapphire()],
         }
+    }
+
+    /// The paper calibration hardened for *degraded* communication: the FD
+    /// requires 8 missed pongs within a 10-round window before suspecting a
+    /// component (so sporadic message loss does not trigger false-positive
+    /// restarts), restarts back off exponentially, and REC watches beacon
+    /// staleness to catch zombie components that still answer pings.
+    ///
+    /// Detection latency rises accordingly (≈ 7 s extra at the paper's 1 s
+    /// ping period), so `cure_confirm_s` is re-derived to keep escalation
+    /// sound. Use [`paper`](Self::paper) to reproduce the paper's tables.
+    pub fn hardened() -> StationConfig {
+        let mut cfg = StationConfig::paper();
+        // Eight *consecutive* missed rounds: with 5% loss on every link a
+        // bus-relayed ping round misses with p ≈ 0.185, so the false-suspect
+        // probability per round is 0.185^8 ≈ 1.4e-6 — a handful of expected
+        // false positives per simulated *year*, while a crashed component
+        // still misses every round and is detected in ~8.4 s.
+        cfg.suspicion_threshold = 8;
+        cfg.suspicion_window = 8;
+        cfg.restart_backoff_base_s = 0.5;
+        cfg.restart_backoff_cap_s = 30.0;
+        // Five beacon periods: a run of five lost beacons (p ≈ 0.0975 each
+        // under 5% loss) is ~9e-6, so staleness stays a zombie detector
+        // rather than a loss amplifier.
+        cfg.beacon_timeout_s = 25.0;
+        // cure_confirm_s must exceed poison re-crash + (slower) detection.
+        cfg.cure_confirm_s = cfg.poison_crash_delay_s + cfg.mean_detection_s() + 3.0;
+        cfg
     }
 
     /// Checks the configuration's internal consistency: every component has
@@ -236,7 +312,11 @@ impl StationConfig {
     /// Returns the list of violated constraints.
     pub fn validate(&self) -> Result<(), Vec<String>> {
         let mut errors = Vec::new();
-        for comp in names::UNSPLIT.iter().chain(names::SPLIT.iter()).chain([&names::FD, &names::REC]) {
+        for comp in names::UNSPLIT
+            .iter()
+            .chain(names::SPLIT.iter())
+            .chain([&names::FD, &names::REC])
+        {
             if !self.timing.contains_key(*comp) {
                 errors.push(format!("no timing entry for component {comp:?}"));
             }
@@ -245,6 +325,52 @@ impl StationConfig {
             errors.push(format!(
                 "ping timeout ({}) must be shorter than the ping period ({}) or rounds overlap",
                 self.ping_timeout_s, self.ping_period_s
+            ));
+        }
+        for (comp, timeout) in &self.ping_timeout_overrides {
+            if *timeout <= 0.0 || *timeout >= self.ping_period_s {
+                errors.push(format!(
+                    "ping timeout override for {comp:?} ({timeout}) must lie in (0, ping period)"
+                ));
+            }
+        }
+        if self.suspicion_threshold < 1 {
+            errors.push("suspicion_threshold must be at least 1".to_string());
+        }
+        if self.suspicion_window < self.suspicion_threshold {
+            errors.push(format!(
+                "suspicion_window ({}) must be at least suspicion_threshold ({})",
+                self.suspicion_window, self.suspicion_threshold
+            ));
+        }
+        if self.restart_backoff_base_s < 0.0
+            || self.restart_backoff_cap_s < self.restart_backoff_base_s
+        {
+            errors.push(format!(
+                "restart backoff base ({}) must be non-negative and at most the cap ({})",
+                self.restart_backoff_base_s, self.restart_backoff_cap_s
+            ));
+        }
+        if self.beacon_timeout_s != 0.0 {
+            if self.beacon_period_s <= 0.0 {
+                errors.push("beacon_timeout_s requires beacons (beacon_period_s > 0)".to_string());
+            } else if self.beacon_timeout_s <= 2.0 * self.beacon_period_s {
+                errors.push(format!(
+                    "beacon_timeout_s ({}) must exceed two beacon periods ({}) or a single \
+                     delayed beacon looks like a zombie",
+                    self.beacon_timeout_s, self.beacon_period_s
+                ));
+            }
+        }
+        if self.escalation_limit == 0 || self.max_restarts_per_window == 0 {
+            errors.push(
+                "escalation_limit and max_restarts_per_window must be at least 1".to_string(),
+            );
+        }
+        if self.restart_window_s <= 0.0 {
+            errors.push(format!(
+                "restart_window_s ({}) must be positive",
+                self.restart_window_s
             ));
         }
         // REC must not declare a cure before a poison re-crash could be
@@ -287,8 +413,7 @@ impl StationConfig {
         // The FD/REC mutual watchdogs must wait out each other's boots.
         let fd_boot = self.timing.get(names::FD).map_or(0.0, |t| t.boot_mean_s);
         let rec_boot = self.timing.get(names::REC).map_or(0.0, |t| t.boot_mean_s);
-        if self.watchdog_grace_s <= fd_boot.max(rec_boot) + self.exec_delay_s + self.ping_period_s
-        {
+        if self.watchdog_grace_s <= fd_boot.max(rec_boot) + self.exec_delay_s + self.ping_period_s {
             errors.push(format!(
                 "watchdog_grace_s ({}) must outlast FD/REC boot + one ping round",
                 self.watchdog_grace_s
@@ -317,10 +442,24 @@ impl StationConfig {
             .unwrap_or_else(|| panic!("no timing configured for {component:?}"))
     }
 
+    /// The pong deadline FD applies to `component`: the per-component
+    /// override if one is configured, else the global
+    /// [`ping_timeout_s`](Self::ping_timeout_s).
+    pub fn ping_timeout_for(&self, component: &str) -> f64 {
+        self.ping_timeout_overrides
+            .get(component)
+            .copied()
+            .unwrap_or(self.ping_timeout_s)
+    }
+
     /// Mean failure-to-report detection latency implied by the ping
-    /// parameters.
+    /// parameters. With a suspicion threshold above 1, FD must accumulate
+    /// `threshold` misses (one per round) before reporting, adding
+    /// `(threshold − 1)` whole ping periods.
     pub fn mean_detection_s(&self) -> f64 {
-        self.ping_period_s / 2.0 + self.ping_timeout_s
+        self.ping_period_s / 2.0
+            + self.ping_timeout_s
+            + (self.suspicion_threshold.saturating_sub(1)) as f64 * self.ping_period_s
     }
 
     /// The ping period as a duration.
@@ -510,7 +649,10 @@ mod tests {
             .with_components(names::SPLIT)
             .build()
             .unwrap();
-        assert!(cfg.paper_failure_model().validate_against(&split_tree).is_ok());
+        assert!(cfg
+            .paper_failure_model()
+            .validate_against(&split_tree)
+            .is_ok());
         let unsplit_tree = rr_core::TreeSpec::cell("m")
             .with_components(names::UNSPLIT)
             .build()
@@ -546,7 +688,9 @@ mod tests {
 
     #[test]
     fn paper_config_validates() {
-        StationConfig::paper().validate().expect("paper calibration is coherent");
+        StationConfig::paper()
+            .validate()
+            .expect("paper calibration is coherent");
     }
 
     #[test]
@@ -575,7 +719,66 @@ mod tests {
         let mut cfg = StationConfig::paper();
         cfg.rejuvenation_aging_threshold = Some(1.5);
         let errors = cfg.validate().unwrap_err();
-        assert!(errors.iter().any(|e| e.contains("rejuvenation")), "{errors:?}");
+        assert!(
+            errors.iter().any(|e| e.contains("rejuvenation")),
+            "{errors:?}"
+        );
+    }
+
+    #[test]
+    fn hardened_config_validates_and_slows_detection() {
+        let cfg = StationConfig::hardened();
+        cfg.validate().expect("hardened calibration is coherent");
+        let paper = StationConfig::paper();
+        // Eight-round suspicion adds 7 whole ping periods of mean latency.
+        let extra = (cfg.suspicion_threshold - 1) as f64 * cfg.ping_period_s;
+        assert!((cfg.mean_detection_s() - paper.mean_detection_s() - extra).abs() < 1e-9);
+        // The paper preset is untouched: threshold 1 keeps Table 2 intact.
+        assert_eq!(paper.suspicion_threshold, 1);
+        assert!((paper.mean_detection_s() - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ping_timeout_overrides_apply_per_component() {
+        let mut cfg = StationConfig::paper();
+        assert_eq!(cfg.ping_timeout_for(names::SES), cfg.ping_timeout_s);
+        cfg.ping_timeout_overrides.insert(names::SES.into(), 0.8);
+        assert_eq!(cfg.ping_timeout_for(names::SES), 0.8);
+        assert_eq!(cfg.ping_timeout_for(names::RTU), cfg.ping_timeout_s);
+        cfg.validate().expect("0.8 < 1.0 period is coherent");
+        cfg.ping_timeout_overrides.insert(names::RTU.into(), 1.5);
+        let errors = cfg.validate().unwrap_err();
+        assert!(errors.iter().any(|e| e.contains("override")), "{errors:?}");
+    }
+
+    #[test]
+    fn validate_catches_bad_suspicion_and_backoff() {
+        let mut cfg = StationConfig::paper();
+        cfg.suspicion_threshold = 5;
+        cfg.suspicion_window = 3; // window shorter than threshold
+        cfg.restart_backoff_base_s = 10.0;
+        cfg.restart_backoff_cap_s = 1.0; // cap below base
+        cfg.beacon_timeout_s = 5.0; // not above 2 beacon periods
+        cfg.max_restarts_per_window = 0;
+        cfg.restart_window_s = -1.0;
+        let errors = cfg.validate().unwrap_err();
+        assert!(
+            errors.iter().any(|e| e.contains("suspicion_window")),
+            "{errors:?}"
+        );
+        assert!(errors.iter().any(|e| e.contains("backoff")), "{errors:?}");
+        assert!(
+            errors.iter().any(|e| e.contains("beacon_timeout_s")),
+            "{errors:?}"
+        );
+        assert!(
+            errors.iter().any(|e| e.contains("max_restarts_per_window")),
+            "{errors:?}"
+        );
+        assert!(
+            errors.iter().any(|e| e.contains("restart_window_s")),
+            "{errors:?}"
+        );
     }
 
     #[test]

@@ -30,7 +30,9 @@ pub struct RecoveryMeasurement {
 impl RecoveryMeasurement {
     /// The recovery time in seconds — the paper's measured quantity.
     pub fn recovery_s(&self) -> f64 {
-        self.recovered_at.saturating_since(self.injected_at).as_secs_f64()
+        self.recovered_at
+            .saturating_since(self.injected_at)
+            .as_secs_f64()
     }
 }
 
@@ -98,7 +100,9 @@ pub fn measure_recovery(
             if episode == component {
                 attempts.push((ev.time, attempt, comps));
             }
-        } else if ev.label == format!("giveup:{component}") || ev.label.starts_with(&format!("giveup:{component}:")) {
+        } else if ev.label == format!("giveup:{component}")
+            || ev.label.starts_with(&format!("giveup:{component}:"))
+        {
             gave_up = true;
         } else if ev.label == format!("cured:{component}") && !attempts.is_empty() {
             // Episode closed; later restarts belong to a new episode.
@@ -162,10 +166,11 @@ pub fn system_downtime(
                 continue;
             }
             match ev.kind {
-                TraceKind::Crashed | TraceKind::Hung
-                    if down_since.is_none() => {
-                        down_since = Some(ev.time.max(from));
-                    }
+                TraceKind::Crashed | TraceKind::Hung | TraceKind::Zombified
+                    if down_since.is_none() =>
+                {
+                    down_since = Some(ev.time.max(from));
+                }
                 TraceKind::Mark if ev.label.starts_with("ready:") => {
                     if let Some(start) = down_since.take() {
                         if ev.time > from {
@@ -303,7 +308,11 @@ mod tests {
         let mut tr = Trace::new();
         mark(&mut tr, 0.0, "inject:rtu");
         mark(&mut tr, 1.0, "restart:rtu:0:rtu");
-        mark(&mut tr, 30.0, "giveup:rtu:restart storm: hard failure suspected");
+        mark(
+            &mut tr,
+            30.0,
+            "giveup:rtu:restart storm: hard failure suspected",
+        );
         assert_eq!(
             measure_recovery(&tr, "rtu", t(0.0)),
             Err(MeasureError::GaveUp("rtu".into()))

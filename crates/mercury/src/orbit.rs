@@ -14,8 +14,6 @@
 //! culminate, set; Doppler sign flip at closest approach) are what matter
 //! here, not centimetre accuracy.
 
-use serde::{Deserialize, Serialize};
-
 /// Earth's gravitational parameter, km³/s².
 const MU_EARTH: f64 = 398_600.441_8;
 /// Earth's mean radius, km.
@@ -26,7 +24,7 @@ const OMEGA_EARTH: f64 = 7.292_115_9e-5;
 const C_LIGHT: f64 = 299_792.458;
 
 /// A ground station site.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GroundSite {
     /// Geodetic latitude in degrees (north positive).
     pub latitude_deg: f64,
@@ -48,7 +46,7 @@ impl GroundSite {
 }
 
 /// A satellite on a circular LEO orbit.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Satellite {
     /// Catalog name (e.g. `opal`).
     pub name: String,
@@ -132,7 +130,7 @@ impl Satellite {
 }
 
 /// A topocentric look angle from the ground site to a satellite.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LookAngle {
     /// Azimuth, degrees clockwise from north.
     pub azimuth_deg: f64,
@@ -177,11 +175,7 @@ pub fn look_angle(site: &GroundSite, sat: &Satellite, t_s: f64) -> LookAngle {
     let (slon, clon) = lon.sin_cos();
     let site_pos = [r_site * clat * clon, r_site * clat * slon, r_site * slat];
     // Site velocity due to Earth rotation.
-    let site_vel = [
-        -OMEGA_EARTH * site_pos[1],
-        OMEGA_EARTH * site_pos[0],
-        0.0,
-    ];
+    let site_vel = [-OMEGA_EARTH * site_pos[1], OMEGA_EARTH * site_pos[0], 0.0];
 
     let rel = [
         sat_pos[0] - site_pos[0],
@@ -216,7 +210,7 @@ pub fn look_angle(site: &GroundSite, sat: &Satellite, t_s: f64) -> LookAngle {
 }
 
 /// A predicted pass window.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PassWindow {
     /// Rise time, seconds after epoch.
     pub rise_s: f64,
@@ -377,7 +371,10 @@ mod tests {
         let site = GroundSite::stanford();
         let sat = Satellite::opal();
         let passes = predict_passes(&site, &sat, 0.0, 86_400.0);
-        let p = passes.iter().find(|p| p.max_elevation_deg > 20.0).unwrap_or(&passes[0]);
+        let p = passes
+            .iter()
+            .find(|p| p.max_elevation_deg > 20.0)
+            .unwrap_or(&passes[0]);
         let early = look_angle(&site, &sat, p.rise_s + 10.0);
         let late = look_angle(&site, &sat, p.set_s - 10.0);
         let f = sat.downlink_hz;

@@ -62,6 +62,10 @@ pub struct RecControl {
     pub beacons: HashMap<String, BeaconRecord>,
     /// Recovery actions taken, for reporting.
     pub actions: Vec<String>,
+    /// Components REC has given up on (escalation exhausted or restart
+    /// storm): further failure reports for them are dropped and the station
+    /// runs degraded until an operator intervenes.
+    pub quarantined: BTreeSet<String>,
     /// Components still rebooting per open episode (with the time the
     /// restart was issued): a group restart is only complete when the whole
     /// cell is back, not just the episode's owner.
@@ -86,6 +90,7 @@ impl RecControl {
             cure_hints: HashMap::new(),
             beacons: HashMap::new(),
             actions: Vec::new(),
+            quarantined: BTreeSet::new(),
             pending: HashMap::new(),
         }))
     }
@@ -102,8 +107,15 @@ pub struct Rec {
     confirms: HashMap<u64, String>,
     next_confirm_slot: u64,
     fd_outstanding: bool,
+    /// Consecutive missed FD pongs (the suspicion threshold applies to the
+    /// FD watchdog too).
+    fd_misses: u32,
     /// Do not watch FD before this time (it is rebooting on our orders).
     fd_grace_until: SimTime,
+    /// Last time the bus was observed starved (its own beacon overdue): all
+    /// relayed beacons starve with it, so staleness clocks only run from
+    /// here.
+    bus_starved_until: SimTime,
 }
 
 impl std::fmt::Debug for Rec {
@@ -121,13 +133,21 @@ impl Rec {
             confirms: HashMap::new(),
             next_confirm_slot: 0,
             fd_outstanding: false,
+            fd_misses: 0,
             fd_grace_until: SimTime::ZERO,
+            bus_starved_until: SimTime::ZERO,
         }
     }
 
     fn on_failed(&mut self, component: String, ctx: &mut Context<'_, Wire>) {
         let now = ctx.now();
         let mut control = self.control.borrow_mut();
+        // Quarantined components are a lost cause by definition: restarting
+        // them more would only re-start the storm REC just shut down. The
+        // station runs degraded without them.
+        if control.quarantined.contains(&component) {
+            return;
+        }
         // A component that is down because an in-flight group restart has not
         // finished rebooting it is not a new failure — unless the reboot has
         // blown its deadline (e.g. the component was killed again mid-boot),
@@ -175,28 +195,43 @@ impl Rec {
         }
 
         match control.recoverer.on_failure(failure, now) {
-            RecoveryDecision::Restart { node, components, attempt } => {
+            RecoveryDecision::Restart {
+                node,
+                components,
+                attempt,
+                delay,
+            } => {
                 let label = control.recoverer.tree().label(node).to_string();
                 let action = format!("restart:{component}:{attempt}:{}", components.join("+"));
                 ctx.trace_mark(action.clone());
                 control.actions.push(format!("{now} {action} ({label})"));
-                control
-                    .pending
-                    .insert(component.clone(), (now, components.iter().cloned().collect()));
+                // The restart deadline runs from when the button is actually
+                // pushed, after any backoff delay.
+                control.pending.insert(
+                    component.clone(),
+                    (now + delay, components.iter().cloned().collect()),
+                );
                 drop(control);
-                self.execute_restart(&components, ctx);
+                self.execute_restart(&components, delay, ctx);
             }
             RecoveryDecision::AlreadyRecovering { .. } => {}
             RecoveryDecision::GiveUp { component, reason } => {
                 let action = format!("giveup:{component}:{reason}");
                 ctx.trace_mark(action.clone());
+                ctx.trace_mark(format!("quarantine:{component}"));
                 control.pending.remove(&component);
+                control.quarantined.insert(component.clone());
                 control.actions.push(format!("{now} {action}"));
             }
         }
     }
 
-    fn execute_restart(&mut self, components: &[String], ctx: &mut Context<'_, Wire>) {
+    fn execute_restart(
+        &mut self,
+        components: &[String],
+        delay: SimDuration,
+        ctx: &mut Context<'_, Wire>,
+    ) {
         // Pre-announce the whole group so the first component to boot already
         // sees the full contention.
         self.life
@@ -210,14 +245,37 @@ impl Rec {
                 ctx.trace_mark(format!("restart-error:unknown:{comp}"));
                 continue;
             };
-            ctx.kill_after(SimDuration::ZERO, pid);
-            ctx.respawn_after(exec, pid);
+            ctx.kill_after(delay, pid);
+            ctx.respawn_after(delay + exec, pid);
+        }
+        // The cell members will not beacon while rebooting: restart their
+        // staleness clocks from the button push so the zombie defense does
+        // not convict a component REC itself took down.
+        let restart_at = ctx.now() + delay;
+        let mut control = self.control.borrow_mut();
+        for comp in components {
+            if let Some(record) = control.beacons.get_mut(comp) {
+                record.received_at = record.received_at.max(restart_at);
+            }
         }
     }
 
     fn on_alive(&mut self, component: String, ctx: &mut Context<'_, Wire>) {
         let now = ctx.now();
         let mut control = self.control.borrow_mut();
+        // For a component mid-reboot, FD's alive notice restarts the zombie
+        // clock too: it gets a full beacon timeout to produce its first
+        // beacon. Only pending components qualify — a long-running zombie
+        // also answers pings, and its clock must keep running.
+        if control
+            .pending
+            .values()
+            .any(|(_, set)| set.contains(&component))
+        {
+            if let Some(record) = control.beacons.get_mut(&component) {
+                record.received_at = record.received_at.max(now);
+            }
+        }
         let mut completed: Vec<String> = Vec::new();
         for (episode, (_, set)) in control.pending.iter_mut() {
             set.remove(&component);
@@ -230,7 +288,36 @@ impl Rec {
             control.recoverer.on_restart_complete(episode, now);
         }
         drop(control);
-        // Start the cure-confirmation window for each completed episode.
+        self.start_confirms(completed, ctx);
+    }
+
+    /// Beacons double as aliveness evidence: a component only beacons once it
+    /// is ready, so a beacon whose boot began after the restart button was
+    /// pushed completes the episode even if FD's one-shot `Alive` notice was
+    /// lost on a degraded link. The uptime check skips still-alive group
+    /// members that keep beaconing during a backoff delay.
+    fn on_beacon_alive(&mut self, component: &str, uptime_s: f64, ctx: &mut Context<'_, Wire>) {
+        let now = ctx.now();
+        let mut control = self.control.borrow_mut();
+        let mut completed: Vec<String> = Vec::new();
+        for (episode, (issued_at, set)) in control.pending.iter_mut() {
+            if now.saturating_since(*issued_at).as_secs_f64() <= uptime_s {
+                continue;
+            }
+            if set.remove(component) && set.is_empty() {
+                completed.push(episode.clone());
+            }
+        }
+        for episode in &completed {
+            control.pending.remove(episode);
+            control.recoverer.on_restart_complete(episode, now);
+        }
+        drop(control);
+        self.start_confirms(completed, ctx);
+    }
+
+    /// Starts the cure-confirmation window for each completed episode.
+    fn start_confirms(&mut self, completed: Vec<String>, ctx: &mut Context<'_, Wire>) {
         for episode in completed {
             self.next_confirm_slot += 1;
             let slot = self.next_confirm_slot;
@@ -269,7 +356,10 @@ impl Rec {
         }
         let components = {
             let mut control = self.control.borrow_mut();
-            if control.pending.values().any(|(_, set)| set.contains(component))
+            if control
+                .pending
+                .values()
+                .any(|(_, set)| set.contains(component))
                 || control.recoverer.is_recovering(component)
             {
                 return; // already being handled
@@ -281,27 +371,87 @@ impl Rec {
             let components = tree.components_under(cell);
             ctx.trace_mark(format!("rejuvenate:{component}"));
             let now = ctx.now();
-            control
-                .actions
-                .push(format!("{now} rejuvenate:{component} ({})", components.join("+")));
+            control.actions.push(format!(
+                "{now} rejuvenate:{component} ({})",
+                components.join("+")
+            ));
             // Track the reboot like an episode so FD reports during the
             // planned restart are suppressed.
             let now = ctx.now();
-            control
-                .pending
-                .insert(component.to_string(), (now, components.iter().cloned().collect()));
+            control.pending.insert(
+                component.to_string(),
+                (now, components.iter().cloned().collect()),
+            );
             components
         };
-        self.execute_restart(&components, ctx);
+        self.execute_restart(&components, SimDuration::ZERO, ctx);
+    }
+
+    /// Zombie defense: a component whose last health beacon is older than
+    /// `beacon_timeout_s` is doing no work, even if it still answers FD's
+    /// liveness pings. Report it failed so the normal recovery machinery
+    /// (tree, policy, quarantine) handles it.
+    fn check_beacon_staleness(&mut self, ctx: &mut Context<'_, Wire>) {
+        let timeout = self.life.config().beacon_timeout_s;
+        if timeout <= 0.0 || !self.life.is_ready() {
+            return;
+        }
+        let now = ctx.now();
+        // A bus outage starves every relayed beacon at once, so a component's
+        // silence proves nothing while (or shortly after) the bus itself was
+        // overdue: staleness clocks only run from the last starved moment.
+        let bus_overdue = {
+            let control = self.control.borrow();
+            control.beacons.get(names::MBUS).is_none_or(|record| {
+                now.saturating_since(record.received_at).as_secs_f64()
+                    > 2.0 * self.life.config().beacon_period_s
+            })
+        };
+        if bus_overdue {
+            self.bus_starved_until = now;
+        }
+        let floor = self.bus_starved_until;
+        let stale: Vec<String> = {
+            let control = self.control.borrow();
+            control
+                .beacons
+                .iter()
+                .filter(|(comp, record)| {
+                    comp.as_str() != names::FD
+                        && comp.as_str() != names::REC
+                        && now
+                            .saturating_since(record.received_at.max(floor))
+                            .as_secs_f64()
+                            > timeout
+                        && !control.quarantined.contains(*comp)
+                        && !control.recoverer.is_recovering(comp)
+                        && !control.pending.values().any(|(_, set)| set.contains(*comp))
+                        && control.recoverer.tree().cell_of_component(comp).is_some()
+                })
+                .map(|(comp, _)| comp.clone())
+                .collect()
+        };
+        for comp in stale {
+            ctx.trace_mark(format!("stale:{comp}"));
+            // Restart the staleness clock so the reboot we are about to issue
+            // has time to produce a fresh beacon before we re-suspect.
+            if let Some(record) = self.control.borrow_mut().beacons.get_mut(&comp) {
+                record.received_at = now;
+            }
+            self.on_failed(comp, ctx);
+        }
     }
 
     fn watch_fd(&mut self, ctx: &mut Context<'_, Wire>) {
         if ctx.now() >= self.fd_grace_until {
-            self.life.send_direct(ctx, names::FD, Message::Ping { seq: 0 });
+            self.life
+                .send_direct(ctx, names::FD, Message::Ping { seq: 0 });
             self.fd_outstanding = true;
-            let timeout = SimDuration::from_secs_f64(self.life.config().ping_timeout_s);
+            let timeout =
+                SimDuration::from_secs_f64(self.life.config().ping_timeout_for(names::FD));
             ctx.set_timer(timeout, TIMER_FD_TIMEOUT);
         }
+        self.check_beacon_staleness(ctx);
         ctx.set_timer(self.life.config().ping_period(), TIMER_FD_WATCH);
     }
 }
@@ -316,20 +466,28 @@ impl Actor<Wire> for Rec {
                 let grace = SimDuration::from_secs_f64(self.life.config().fd_grace_s);
                 ctx.set_timer(grace, TIMER_FD_WATCH);
             }
-            Event::Timer { key: TIMER_FD_WATCH } => self.watch_fd(ctx),
-            Event::Timer { key: TIMER_FD_TIMEOUT } => {
+            Event::Timer {
+                key: TIMER_FD_WATCH,
+            } => self.watch_fd(ctx),
+            Event::Timer {
+                key: TIMER_FD_TIMEOUT,
+            } => {
                 if self.fd_outstanding {
-                    // FD is silent: REC initiates FD's recovery (§2.2).
-                    if let Some(fd) = ctx.lookup(names::FD) {
-                        ctx.trace_mark("rec-restarts:fd");
-                        ctx.kill_after(SimDuration::ZERO, fd);
-                        let exec = SimDuration::from_secs_f64(self.life.config().exec_delay_s);
-                        ctx.respawn_after(exec, fd);
-                        let grace =
-                            SimDuration::from_secs_f64(self.life.config().watchdog_grace_s);
-                        self.fd_grace_until = ctx.now() + grace;
-                    }
                     self.fd_outstanding = false;
+                    self.fd_misses += 1;
+                    if self.fd_misses >= self.life.config().suspicion_threshold.max(1) {
+                        // FD is silent: REC initiates FD's recovery (§2.2).
+                        if let Some(fd) = ctx.lookup(names::FD) {
+                            ctx.trace_mark("rec-restarts:fd");
+                            ctx.kill_after(SimDuration::ZERO, fd);
+                            let exec = SimDuration::from_secs_f64(self.life.config().exec_delay_s);
+                            ctx.respawn_after(exec, fd);
+                            let grace =
+                                SimDuration::from_secs_f64(self.life.config().watchdog_grace_s);
+                            self.fd_grace_until = ctx.now() + grace;
+                            self.fd_misses = 0;
+                        }
+                    }
                 }
             }
             Event::Timer { key } if key >= TIMER_CONFIRM_BASE => {
@@ -346,18 +504,23 @@ impl Actor<Wire> for Rec {
                     return;
                 }
                 match env.body {
-                    Message::Failed { component }
-                        if self.life.is_ready() => {
-                            self.on_failed(component, ctx);
-                        }
-                    Message::Alive { component }
-                        if self.life.is_ready() => {
-                            self.on_alive(component, ctx);
-                        }
+                    Message::Failed { component } if self.life.is_ready() => {
+                        self.on_failed(component, ctx);
+                    }
+                    Message::Alive { component } if self.life.is_ready() => {
+                        self.on_alive(component, ctx);
+                    }
                     Message::Pong { .. } if env.src == names::FD => {
                         self.fd_outstanding = false;
+                        self.fd_misses = 0;
                     }
-                    Message::Beacon { component, status, uptime_s, aging, handled } => {
+                    Message::Beacon {
+                        component,
+                        status,
+                        uptime_s,
+                        aging,
+                        handled,
+                    } => {
                         self.control.borrow_mut().beacons.insert(
                             component.clone(),
                             BeaconRecord {
@@ -368,6 +531,9 @@ impl Actor<Wire> for Rec {
                                 received_at: ctx.now(),
                             },
                         );
+                        if self.life.is_ready() {
+                            self.on_beacon_alive(&component, uptime_s, ctx);
+                        }
                         self.maybe_rejuvenate(&component, aging, ctx);
                     }
                     _ => {}

@@ -83,7 +83,11 @@ impl PassScenario {
     pub fn start_tracking(&self, station: &mut Station) {
         const REFRESH_S: u64 = 10;
         let is_split = station.components().iter().any(|c| c == names::FEDR);
-        let front = if is_split { names::FEDR } else { names::FEDRCOM };
+        let front = if is_split {
+            names::FEDR
+        } else {
+            names::FEDRCOM
+        };
         let horizon = self
             .set_sim_time()
             .saturating_since(station.now())
@@ -93,7 +97,9 @@ impl PassScenario {
                 "operator",
                 dst,
                 0,
-                Message::TrackRequest { satellite: self.satellite.clone() },
+                Message::TrackRequest {
+                    satellite: self.satellite.clone(),
+                },
             );
             let wire = env.to_xml_string();
             let sim = station.sim_mut();

@@ -11,11 +11,9 @@ use std::fmt;
 use rr_core::oracle::Oracle;
 use rr_core::policy::RestartPolicy;
 use rr_core::recoverer::Recoverer;
-use rr_core::transform::{
-    consolidate, depth_augment, promote_component, split_component,
-};
+use rr_core::transform::{consolidate, depth_augment, promote_component, split_component};
 use rr_core::tree::RestartTree;
-use rr_sim::{ProcessState, Sim, SimDuration, SimTime, Trace};
+use rr_sim::{LinkQuality, ProcessState, Sim, SimDuration, SimTime, Trace};
 
 use crate::components::common::{Shared, Wire};
 use crate::components::estimator::Ses;
@@ -44,8 +42,13 @@ pub enum TreeVariant {
 
 impl TreeVariant {
     /// All five variants in paper order.
-    pub const ALL: [TreeVariant; 5] =
-        [TreeVariant::I, TreeVariant::II, TreeVariant::III, TreeVariant::IV, TreeVariant::V];
+    pub const ALL: [TreeVariant; 5] = [
+        TreeVariant::I,
+        TreeVariant::II,
+        TreeVariant::III,
+        TreeVariant::IV,
+        TreeVariant::V,
+    ];
 
     /// `true` if this variant uses the split fedr/pbcom pair.
     pub fn is_split(self) -> bool {
@@ -84,12 +87,13 @@ impl TreeVariant {
         }
 
         // Tree II′ → III: split fedrcom, augment the tight subtree (§4.2).
-        let cell =
-            split_component(&mut tree, names::FEDRCOM, &[names::FEDR, names::PBCOM])
-                .expect("split fedrcom");
+        let cell = split_component(&mut tree, names::FEDRCOM, &[names::FEDR, names::PBCOM])
+            .expect("split fedrcom");
         tree.set_label(cell, "R_[fedr,pbcom]").expect("live cell");
-        let parts: Vec<Vec<String>> =
-            vec![vec![names::FEDR.to_string()], vec![names::PBCOM.to_string()]];
+        let parts: Vec<Vec<String>> = vec![
+            vec![names::FEDR.to_string()],
+            vec![names::PBCOM.to_string()],
+        ];
         depth_augment(&mut tree, cell, &parts).expect("augment fedr/pbcom");
         if self == TreeVariant::III {
             return tree;
@@ -194,7 +198,9 @@ impl Station {
                     sim.spawn(names::FEDR, move || Box::new(Fedr::new(shared_for.clone())));
                 }
                 n if n == names::PBCOM => {
-                    sim.spawn(names::PBCOM, move || Box::new(Pbcom::new(shared_for.clone())));
+                    sim.spawn(names::PBCOM, move || {
+                        Box::new(Pbcom::new(shared_for.clone()))
+                    });
                 }
                 n if n == names::SES => {
                     sim.spawn(names::SES, move || Box::new(Ses::new(shared_for.clone())));
@@ -209,8 +215,29 @@ impl Station {
             }
         }
 
-        let recoverer = Recoverer::new(tree, oracle, RestartPolicy::new());
+        let policy = {
+            let cfg = &shared.config;
+            RestartPolicy::new()
+                .with_escalation_limit(cfg.escalation_limit)
+                .with_rate_limit(
+                    cfg.max_restarts_per_window,
+                    SimDuration::from_secs_f64(cfg.restart_window_s),
+                )
+                .with_backoff(
+                    SimDuration::from_secs_f64(cfg.restart_backoff_base_s),
+                    SimDuration::from_secs_f64(cfg.restart_backoff_cap_s),
+                )
+        };
+        let recoverer = Recoverer::new(tree, oracle, policy);
         let control = RecControl::new(recoverer);
+
+        // Zombie processes answer liveness probes (ping/pong) and drop
+        // everything else — the fault model behind `inject_zombie`.
+        sim.set_zombie_filter(|payload: &Wire| {
+            mercury_msg::Envelope::parse(payload)
+                .map(|env| env.body.is_liveness())
+                .unwrap_or(false)
+        });
 
         let fd_shared = shared.clone();
         let monitored = components.clone();
@@ -347,6 +374,84 @@ impl Station {
         self.sim.now()
     }
 
+    /// Injects a *zombie* failure: the component keeps answering FD's
+    /// liveness pings but silently drops all real work (and stops its own
+    /// timers, so its health beacons cease). Only REC's beacon-staleness
+    /// defense ([`StationConfig::beacon_timeout_s`]) can catch it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the component does not exist.
+    pub fn inject_zombie(&mut self, component: &str) -> SimTime {
+        let pid = self
+            .sim
+            .lookup(component)
+            .unwrap_or_else(|| panic!("unknown component {component:?}"));
+        self.sim.mark(format!("inject:{component}"));
+        self.sim.zombie(pid);
+        self.sim.now()
+    }
+
+    /// Injects a *hard* failure: the component crashes now and every
+    /// subsequent restart crashes again immediately, until
+    /// [`clear_hard_failure`](Self::clear_hard_failure). Exercises the
+    /// escalation → give-up → quarantine path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the component does not exist.
+    pub fn inject_hard_failure(&mut self, component: &str) -> SimTime {
+        let pid = self
+            .sim
+            .lookup(component)
+            .unwrap_or_else(|| panic!("unknown component {component:?}"));
+        self.sim.set_persistent_crash(pid, true);
+        self.sim.mark(format!("inject:{component}"));
+        self.sim.kill(pid);
+        self.sim.now()
+    }
+
+    /// Lifts a hard failure injected by
+    /// [`inject_hard_failure`](Self::inject_hard_failure) (the operator
+    /// replaced the broken part). The component stays down until something
+    /// restarts it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the component does not exist.
+    pub fn clear_hard_failure(&mut self, component: &str) {
+        let pid = self
+            .sim
+            .lookup(component)
+            .unwrap_or_else(|| panic!("unknown component {component:?}"));
+        self.sim.set_persistent_crash(pid, false);
+    }
+
+    /// Degrades the link between two processes (components, `fd`, or `rec`)
+    /// with message loss, delay, jitter, or duplication. The quality applies
+    /// to both directions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either process does not exist.
+    pub fn inject_flaky_link(&mut self, a: &str, b: &str, quality: LinkQuality) {
+        let pa = self
+            .sim
+            .lookup(a)
+            .unwrap_or_else(|| panic!("unknown component {a:?}"));
+        let pb = self
+            .sim
+            .lookup(b)
+            .unwrap_or_else(|| panic!("unknown component {b:?}"));
+        self.sim.set_link_quality(pa, pb, quality);
+    }
+
+    /// Applies `quality` to **every** link in the station that has no
+    /// per-pair override; `None` restores perfect communication.
+    pub fn degrade_all_links(&mut self, quality: Option<LinkQuality>) {
+        self.sim.set_default_link_quality(quality);
+    }
+
     /// Injects the §4.4 correlated failure: poisons fedr's session state and
     /// crashes pbcom. The failure manifests in pbcom but is only curable by
     /// a joint [fedr, pbcom] restart; the cure hint is set accordingly so a
@@ -367,7 +472,9 @@ impl Station {
             "injector",
             names::FEDR,
             0,
-            mercury_msg::Message::TestHook { action: "poison".into() },
+            mercury_msg::Message::TestHook {
+                action: "poison".into(),
+            },
         );
         self.sim
             .send_external(fedr, fedr, SimDuration::ZERO, hook.to_xml_string());

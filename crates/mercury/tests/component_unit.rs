@@ -107,7 +107,10 @@ fn mbus_drops_traffic_while_booting() {
         Envelope::new("alpha", "beta", 1, Message::Ack { of: 1 }),
     );
     sim.run_for(SimDuration::from_secs(10));
-    assert!(beta.borrow().is_empty(), "booting bus loses traffic (fail-silent)");
+    assert!(
+        beta.borrow().is_empty(),
+        "booting bus loses traffic (fail-silent)"
+    );
 }
 
 #[test]
@@ -130,14 +133,22 @@ fn ses_estimates_use_the_orbit_model() {
             names::RTU,
             names::SES,
             1,
-            Message::EstimateRequest { satellite: "opal".into(), at_epoch_s: 1234.0 },
+            Message::EstimateRequest {
+                satellite: "opal".into(),
+                at_epoch_s: 1234.0,
+            },
         ),
     );
     sim.run_for(SimDuration::from_secs(1));
     let seen = rtu.borrow();
     assert_eq!(seen.len(), 1);
     match seen[0].body {
-        Message::EstimateReply { azimuth_deg, elevation_deg, range_km, .. } => {
+        Message::EstimateReply {
+            azimuth_deg,
+            elevation_deg,
+            range_km,
+            ..
+        } => {
             // Must match the orbit model exactly.
             let cfg = StationConfig::paper();
             let sat = cfg.satellites.iter().find(|s| s.name == "opal").unwrap();
@@ -168,12 +179,19 @@ fn ses_ignores_unknown_satellites() {
             names::RTU,
             names::SES,
             1,
-            Message::EstimateRequest { satellite: "sputnik".into(), at_epoch_s: 0.0 },
+            Message::EstimateRequest {
+                satellite: "sputnik".into(),
+                at_epoch_s: 0.0,
+            },
         ),
     );
     sim.run_for(SimDuration::from_secs(1));
     assert!(rtu.borrow().is_empty());
-    assert!(sim.trace().mark_times("unknown-satellite:sputnik").next().is_some());
+    assert!(sim
+        .trace()
+        .mark_times("unknown-satellite:sputnik")
+        .next()
+        .is_some());
 }
 
 #[test]
@@ -189,14 +207,23 @@ fn fedr_pbcom_connect_and_frame_flow() {
     // pbcom boots ~20.3s; fedr retries OPEN until then.
     sim.run_for(SimDuration::from_secs(30));
     assert!(
-        sim.trace().mark_times(&format!("ready:{}", names::FEDR)).next().is_some(),
+        sim.trace()
+            .mark_times(&format!("ready:{}", names::FEDR))
+            .next()
+            .is_some(),
         "fedr becomes ready once connected"
     );
 
     // Establish carrier lock: tune + point through the bus.
     for msg in [
-        Message::TuneRadio { frequency_hz: 437e6, band: mercury_msg::RadioBand::Uhf },
-        Message::PointAntenna { azimuth_deg: 120.0, elevation_deg: 40.0 },
+        Message::TuneRadio {
+            frequency_hz: 437e6,
+            band: mercury_msg::RadioBand::Uhf,
+        },
+        Message::PointAntenna {
+            azimuth_deg: 120.0,
+            elevation_deg: 40.0,
+        },
     ] {
         send_env(
             &mut sim,
@@ -237,7 +264,14 @@ fn rtu_tunes_with_doppler_correction() {
     send_env(
         &mut sim,
         names::MBUS,
-        Envelope::new("operator", names::RTU, 1, Message::TrackRequest { satellite: "opal".into() }),
+        Envelope::new(
+            "operator",
+            names::RTU,
+            1,
+            Message::TrackRequest {
+                satellite: "opal".into(),
+            },
+        ),
     );
     sim.run_for(SimDuration::from_secs(10));
     let tunes: Vec<f64> = fedr
@@ -282,7 +316,10 @@ fn components_do_not_answer_pings_while_booting() {
         Envelope::new(names::FD, names::PBCOM, 1, Message::Ping { seq: 1 }),
     );
     sim.run_for(SimDuration::from_secs(2));
-    assert!(fd.borrow().is_empty(), "a booting component is not alive yet");
+    assert!(
+        fd.borrow().is_empty(),
+        "a booting component is not alive yet"
+    );
 
     sim.run_for(SimDuration::from_secs(15)); // pbcom now ready
     send_env(

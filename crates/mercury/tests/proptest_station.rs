@@ -5,36 +5,29 @@
 use mercury::config::{names, StationConfig};
 use mercury::measure::measure_recovery;
 use mercury::station::{Station, TreeVariant};
-use proptest::prelude::*;
 use rr_core::PerfectOracle;
-use rr_sim::{SimDuration, SimRng};
+use rr_sim::{check, SimDuration, SimRng};
 
-fn arb_variant() -> impl Strategy<Value = TreeVariant> {
-    prop_oneof![
-        Just(TreeVariant::I),
-        Just(TreeVariant::II),
-        Just(TreeVariant::III),
-        Just(TreeVariant::IV),
-        Just(TreeVariant::V),
-    ]
-}
+const VARIANTS: [TreeVariant; 5] = [
+    TreeVariant::I,
+    TreeVariant::II,
+    TreeVariant::III,
+    TreeVariant::IV,
+    TreeVariant::V,
+];
 
-proptest! {
+/// Any single component failure, under any tree, with any seed and any
+/// injection phase, recovers in bounded time with a restart set that is
+/// a subset of the station.
+#[test]
+fn any_single_failure_recovers() {
     // Station trials are comparatively expensive; keep the case count sane.
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Any single component failure, under any tree, with any seed and any
-    /// injection phase, recovers in bounded time with a restart set that is
-    /// a subset of the station.
-    #[test]
-    fn any_single_failure_recovers(
-        variant in arb_variant(),
-        comp_idx in any::<usize>(),
-        seed in any::<u64>(),
-        hang in any::<bool>(),
-    ) {
+    check::run("any_single_failure_recovers", 24, |rng| {
+        let variant = *rng.choose(&VARIANTS).unwrap();
         let comps = variant.components();
-        let component = comps[comp_idx % comps.len()].clone();
+        let component = comps[rng.next_below(comps.len() as u64) as usize].clone();
+        let seed = rng.next_u64();
+        let hang = rng.chance(0.5);
         let mut station = Station::new(
             StationConfig::paper(),
             variant,
@@ -54,31 +47,30 @@ proptest! {
             .expect("single failures always recover");
         // Bounded: even the worst case (full reboot with contention) is
         // well under a minute.
-        prop_assert!(m.recovery_s() < 45.0, "{component}: {:.2}s", m.recovery_s());
-        prop_assert!(m.recovery_s() > 1.0, "recovery cannot beat detection");
+        assert!(m.recovery_s() < 45.0, "{component}: {:.2}s", m.recovery_s());
+        assert!(m.recovery_s() > 1.0, "recovery cannot beat detection");
         // The restart set is within the station and contains the victim.
         for c in &m.final_restart_set {
-            prop_assert!(comps.contains(c));
+            assert!(comps.contains(c));
         }
-        prop_assert!(m.final_restart_set.contains(&component));
+        assert!(m.final_restart_set.contains(&component));
         // A perfect oracle needs exactly one attempt for solo failures…
         // except under tree III where a ses/str failure may cascade, which
         // is a *different* episode, so attempts stays 1 here too.
-        prop_assert_eq!(m.attempts, 1);
-    }
+        assert_eq!(m.attempts, 1);
+    });
+}
 
-    /// Two failures injected in sequence both recover, regardless of order.
-    #[test]
-    fn sequential_failures_recover(
-        variant in arb_variant(),
-        first_idx in any::<usize>(),
-        second_idx in any::<usize>(),
-        gap_s in 30u64..90,
-        seed in any::<u64>(),
-    ) {
+/// Two failures injected in sequence both recover, regardless of order.
+#[test]
+fn sequential_failures_recover() {
+    check::run("sequential_failures_recover", 16, |rng| {
+        let variant = *rng.choose(&VARIANTS).unwrap();
         let comps = variant.components();
-        let first = comps[first_idx % comps.len()].clone();
-        let second = comps[second_idx % comps.len()].clone();
+        let first = comps[rng.next_below(comps.len() as u64) as usize].clone();
+        let second = comps[rng.next_below(comps.len() as u64) as usize].clone();
+        let gap_s = 30 + rng.next_below(60);
+        let seed = rng.next_u64();
         let mut station = Station::new(
             StationConfig::paper(),
             variant,
@@ -90,20 +82,24 @@ proptest! {
         station.run_for(SimDuration::from_secs(gap_s));
         // The first failure must be cured by now (worst case ≈ 29s + slack).
         let m1 = measure_recovery(station.trace(), &first, t1).expect("first recovers");
-        prop_assert!(m1.recovery_s() < gap_s as f64);
+        assert!(m1.recovery_s() < gap_s as f64);
         let t2 = station.inject_kill(&second);
         station.run_for(SimDuration::from_secs(120));
         let m2 = measure_recovery(station.trace(), &second, t2).expect("second recovers");
-        prop_assert!(m2.recovery_s() < 45.0);
-    }
+        assert!(m2.recovery_s() < 45.0);
+    });
+}
 
-    /// A transient partition between FD and the bus heals without leaving
-    /// the station wedged: after the network recovers, failures are again
-    /// detected and cured. (A partition is indistinguishable from a crash,
-    /// so REC may restart healthy components meanwhile — that is the
-    /// documented cost of fail-silent detection, not a bug.)
-    #[test]
-    fn fd_bus_partition_heals(seed in any::<u64>(), partition_s in 5u64..20) {
+/// A transient partition between FD and the bus heals without leaving
+/// the station wedged: after the network recovers, failures are again
+/// detected and cured. (A partition is indistinguishable from a crash,
+/// so REC may restart healthy components meanwhile — that is the
+/// documented cost of fail-silent detection, not a bug.)
+#[test]
+fn fd_bus_partition_heals() {
+    check::run("fd_bus_partition_heals", 8, |rng| {
+        let seed = rng.next_u64();
+        let partition_s = 5 + rng.next_below(15);
         let mut station = Station::new(
             StationConfig::paper(),
             TreeVariant::II,
@@ -131,6 +127,6 @@ proptest! {
         station.run_for(SimDuration::from_secs(60));
         let m = measure_recovery(station.trace(), names::RTU, injected)
             .expect("post-partition failures still recover");
-        prop_assert!(m.recovery_s() < 45.0);
-    }
+        assert!(m.recovery_s() < 45.0);
+    });
 }

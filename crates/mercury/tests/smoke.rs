@@ -28,7 +28,10 @@ fn tree_ii_recovers_rtu_quickly() {
     let m = measure_recovery(s.trace(), names::RTU, injected).unwrap();
     assert_eq!(m.final_restart_set, vec![names::RTU.to_string()]);
     let r = m.recovery_s();
-    assert!((4.5..7.0).contains(&r), "rtu recovery {r:.2}s (paper: 5.59)");
+    assert!(
+        (4.5..7.0).contains(&r),
+        "rtu recovery {r:.2}s (paper: 5.59)"
+    );
 }
 
 #[test]
@@ -39,7 +42,10 @@ fn tree_i_restarts_everything() {
     let m = measure_recovery(s.trace(), names::RTU, injected).unwrap();
     assert_eq!(m.final_restart_set.len(), 5, "whole station restarts");
     let r = m.recovery_s();
-    assert!((22.0..28.0).contains(&r), "tree I recovery {r:.2}s (paper: 24.75)");
+    assert!(
+        (22.0..28.0).contains(&r),
+        "tree I recovery {r:.2}s (paper: 24.75)"
+    );
 }
 
 #[test]
@@ -49,7 +55,10 @@ fn tree_iii_ses_failure_includes_slow_resync_and_induces_str() {
     s.run_for(SimDuration::from_secs(120));
     let m = measure_recovery(s.trace(), names::SES, injected).unwrap();
     let r = m.recovery_s();
-    assert!((8.5..11.0).contains(&r), "ses recovery {r:.2}s (paper: 9.50)");
+    assert!(
+        (8.5..11.0).contains(&r),
+        "ses recovery {r:.2}s (paper: 9.50)"
+    );
     // The old str serviced the resync and must then have failed and been
     // restarted (f_{ses,str} ≈ 1, §4.3).
     let induced = s
@@ -75,7 +84,10 @@ fn tree_iv_restarts_the_pair_together_and_faster() {
         vec![names::SES.to_string(), names::STR.to_string()]
     );
     let r = m.recovery_s();
-    assert!((5.5..7.5).contains(&r), "consolidated recovery {r:.2}s (paper: 6.25)");
+    assert!(
+        (5.5..7.5).contains(&r),
+        "consolidated recovery {r:.2}s (paper: 6.25)"
+    );
     // No induced second episode: they were fresh together.
     let induced = s
         .trace()
@@ -98,13 +110,20 @@ fn correlated_pbcom_failure_escalates_with_faulty_oracle_in_tree_iv() {
     let injected = s.inject_correlated_pbcom();
     s.run_for(SimDuration::from_secs(180));
     let m = measure_recovery(s.trace(), names::PBCOM, injected).unwrap();
-    assert!(m.attempts >= 2, "guess-too-low must escalate (attempts: {})", m.attempts);
+    assert!(
+        m.attempts >= 2,
+        "guess-too-low must escalate (attempts: {})",
+        m.attempts
+    );
     assert_eq!(
         m.final_restart_set,
         vec![names::FEDR.to_string(), names::PBCOM.to_string()]
     );
     let r = m.recovery_s();
-    assert!((40.0..55.0).contains(&r), "wrong-guess episode {r:.2}s (analytic ≈ 47.5)");
+    assert!(
+        (40.0..55.0).contains(&r),
+        "wrong-guess episode {r:.2}s (analytic ≈ 47.5)"
+    );
 }
 
 #[test]
@@ -121,7 +140,10 @@ fn tree_v_makes_the_mistake_impossible() {
     let m = measure_recovery(s.trace(), names::PBCOM, injected).unwrap();
     assert_eq!(m.attempts, 1, "tree V has no too-low button");
     let r = m.recovery_s();
-    assert!((20.0..24.0).contains(&r), "tree V recovery {r:.2}s (paper: 21.63)");
+    assert!(
+        (20.0..24.0).contains(&r),
+        "tree V recovery {r:.2}s (paper: 21.63)"
+    );
 }
 
 #[test]

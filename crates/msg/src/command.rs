@@ -119,7 +119,9 @@ impl TrackingState {
             "idle" => Ok(TrackingState::Idle),
             "acquiring" => Ok(TrackingState::Acquiring),
             "tracking" => Ok(TrackingState::Tracking),
-            other => Err(MsgError::schema(format!("unknown tracking state {other:?}"))),
+            other => Err(MsgError::schema(format!(
+                "unknown tracking state {other:?}"
+            ))),
         }
     }
 }
@@ -269,19 +271,29 @@ fn req_attr<'a>(el: &'a Element, key: &str) -> Result<&'a str, MsgError> {
 
 fn req_u64(el: &Element, key: &str) -> Result<u64, MsgError> {
     let raw = req_attr(el, key)?;
-    raw.parse()
-        .map_err(|_| MsgError::schema(format!("<{}> attribute {key}={raw:?} is not a u64", el.name())))
+    raw.parse().map_err(|_| {
+        MsgError::schema(format!(
+            "<{}> attribute {key}={raw:?} is not a u64",
+            el.name()
+        ))
+    })
 }
 
 fn req_f64(el: &Element, key: &str) -> Result<f64, MsgError> {
     let raw = req_attr(el, key)?;
-    let v: f64 = raw
-        .parse()
-        .map_err(|_| MsgError::schema(format!("<{}> attribute {key}={raw:?} is not a number", el.name())))?;
+    let v: f64 = raw.parse().map_err(|_| {
+        MsgError::schema(format!(
+            "<{}> attribute {key}={raw:?} is not a number",
+            el.name()
+        ))
+    })?;
     if v.is_finite() {
         Ok(v)
     } else {
-        Err(MsgError::schema(format!("<{}> attribute {key} is not finite", el.name())))
+        Err(MsgError::schema(format!(
+            "<{}> attribute {key} is not finite",
+            el.name()
+        )))
     }
 }
 
@@ -303,19 +315,28 @@ impl Message {
             Message::TrackRequest { satellite } => {
                 Element::new("track").with_attr("sat", satellite.clone())
             }
-            Message::PointAntenna { azimuth_deg, elevation_deg } => Element::new("point")
+            Message::PointAntenna {
+                azimuth_deg,
+                elevation_deg,
+            } => Element::new("point")
                 .with_attr("az", fmt_f64(*azimuth_deg))
                 .with_attr("el", fmt_f64(*elevation_deg)),
-            Message::EstimateRequest { satellite, at_epoch_s } => Element::new("estimate")
+            Message::EstimateRequest {
+                satellite,
+                at_epoch_s,
+            } => Element::new("estimate")
                 .with_attr("sat", satellite.clone())
                 .with_attr("at", fmt_f64(*at_epoch_s)),
-            Message::EstimateReply { azimuth_deg, elevation_deg, range_km, doppler_hz } => {
-                Element::new("state")
-                    .with_attr("az", fmt_f64(*azimuth_deg))
-                    .with_attr("el", fmt_f64(*elevation_deg))
-                    .with_attr("range", fmt_f64(*range_km))
-                    .with_attr("doppler", fmt_f64(*doppler_hz))
-            }
+            Message::EstimateReply {
+                azimuth_deg,
+                elevation_deg,
+                range_km,
+                doppler_hz,
+            } => Element::new("state")
+                .with_attr("az", fmt_f64(*azimuth_deg))
+                .with_attr("el", fmt_f64(*elevation_deg))
+                .with_attr("range", fmt_f64(*range_km))
+                .with_attr("doppler", fmt_f64(*doppler_hz)),
             Message::TuneRadio { frequency_hz, band } => Element::new("tune")
                 .with_attr("freq", fmt_f64(*frequency_hz))
                 .with_attr("band", band.as_str()),
@@ -323,7 +344,11 @@ impl Message {
                 .with_attr("verb", verb.clone())
                 .with_attr("arg", arg.clone()),
             Message::SerialFrame { hex } => Element::new("serial").with_attr("hex", hex.clone()),
-            Message::Telemetry { satellite, frame, hex } => Element::new("telemetry")
+            Message::Telemetry {
+                satellite,
+                frame,
+                hex,
+            } => Element::new("telemetry")
                 .with_attr("sat", satellite.clone())
                 .with_attr("frame", frame.to_string())
                 .with_attr("hex", hex.clone()),
@@ -333,14 +358,18 @@ impl Message {
             Message::SyncAck { incarnation } => {
                 Element::new("sync-ack").with_attr("inc", incarnation.to_string())
             }
-            Message::Beacon { component, status, uptime_s, aging, handled } => {
-                Element::new("beacon")
-                    .with_attr("component", component.clone())
-                    .with_attr("status", status.as_str())
-                    .with_attr("uptime", fmt_f64(*uptime_s))
-                    .with_attr("aging", fmt_f64(*aging))
-                    .with_attr("handled", handled.to_string())
-            }
+            Message::Beacon {
+                component,
+                status,
+                uptime_s,
+                aging,
+                handled,
+            } => Element::new("beacon")
+                .with_attr("component", component.clone())
+                .with_attr("status", status.as_str())
+                .with_attr("uptime", fmt_f64(*uptime_s))
+                .with_attr("aging", fmt_f64(*aging))
+                .with_attr("handled", handled.to_string()),
             Message::Ack { of } => Element::new("ack").with_attr("of", of.to_string()),
             Message::Failed { component } => {
                 Element::new("failed").with_attr("component", component.clone())
@@ -362,7 +391,9 @@ impl Message {
     /// required attribute is missing or malformed.
     pub fn from_element(el: &Element) -> Result<Message, MsgError> {
         match el.name() {
-            "ping" => Ok(Message::Ping { seq: req_u64(el, "seq")? }),
+            "ping" => Ok(Message::Ping {
+                seq: req_u64(el, "seq")?,
+            }),
             "pong" => Ok(Message::Pong {
                 seq: req_u64(el, "seq")?,
                 status: ComponentStatus::parse(req_attr(el, "status")?)?,
@@ -413,7 +444,9 @@ impl Message {
                 aging: req_f64(el, "aging")?,
                 handled: req_u64(el, "handled")?,
             }),
-            "ack" => Ok(Message::Ack { of: req_u64(el, "of")? }),
+            "ack" => Ok(Message::Ack {
+                of: req_u64(el, "of")?,
+            }),
             "failed" => Ok(Message::Failed {
                 component: req_attr(el, "component")?.to_string(),
             }),
@@ -423,7 +456,9 @@ impl Message {
             "test-hook" => Ok(Message::TestHook {
                 action: req_attr(el, "action")?.to_string(),
             }),
-            other => Err(MsgError::schema(format!("unknown message element <{other}>"))),
+            other => Err(MsgError::schema(format!(
+                "unknown message element <{other}>"
+            ))),
         }
     }
 
@@ -456,20 +491,43 @@ mod tests {
     fn all_variants_round_trip() {
         let samples = vec![
             Message::Ping { seq: 0 },
-            Message::Pong { seq: u64::MAX, status: ComponentStatus::Degraded },
-            Message::TrackRequest { satellite: "opal".into() },
-            Message::PointAntenna { azimuth_deg: 359.999, elevation_deg: -0.25 },
-            Message::EstimateRequest { satellite: "sapphire".into(), at_epoch_s: 1234.5 },
+            Message::Pong {
+                seq: u64::MAX,
+                status: ComponentStatus::Degraded,
+            },
+            Message::TrackRequest {
+                satellite: "opal".into(),
+            },
+            Message::PointAntenna {
+                azimuth_deg: 359.999,
+                elevation_deg: -0.25,
+            },
+            Message::EstimateRequest {
+                satellite: "sapphire".into(),
+                at_epoch_s: 1234.5,
+            },
             Message::EstimateReply {
                 azimuth_deg: 12.0,
                 elevation_deg: 80.0,
                 range_km: 700.25,
                 doppler_hz: -9123.0,
             },
-            Message::TuneRadio { frequency_hz: 437_100_000.0, band: RadioBand::Uhf },
-            Message::RadioCommand { verb: "FREQ".into(), arg: "437100000".into() },
-            Message::SerialFrame { hex: "deadbeef".into() },
-            Message::Telemetry { satellite: "opal".into(), frame: 17, hex: "00ff".into() },
+            Message::TuneRadio {
+                frequency_hz: 437_100_000.0,
+                band: RadioBand::Uhf,
+            },
+            Message::RadioCommand {
+                verb: "FREQ".into(),
+                arg: "437100000".into(),
+            },
+            Message::SerialFrame {
+                hex: "deadbeef".into(),
+            },
+            Message::Telemetry {
+                satellite: "opal".into(),
+                frame: 17,
+                hex: "00ff".into(),
+            },
             Message::SyncRequest { incarnation: 3 },
             Message::SyncAck { incarnation: 3 },
             Message::Beacon {
@@ -480,9 +538,15 @@ mod tests {
                 handled: 42,
             },
             Message::Ack { of: 99 },
-            Message::Failed { component: "pbcom".into() },
-            Message::Alive { component: "pbcom".into() },
-            Message::TestHook { action: "poison".into() },
+            Message::Failed {
+                component: "pbcom".into(),
+            },
+            Message::Alive {
+                component: "pbcom".into(),
+            },
+            Message::TestHook {
+                action: "poison".into(),
+            },
         ];
         for m in &samples {
             round_trip(m);
@@ -503,7 +567,11 @@ mod tests {
     #[test]
     fn is_liveness_classifies() {
         assert!(Message::Ping { seq: 1 }.is_liveness());
-        assert!(Message::Pong { seq: 1, status: ComponentStatus::Ok }.is_liveness());
+        assert!(Message::Pong {
+            seq: 1,
+            status: ComponentStatus::Ok
+        }
+        .is_liveness());
         assert!(!Message::Ack { of: 1 }.is_liveness());
     }
 
@@ -525,17 +593,25 @@ mod tests {
     fn decode_rejects_malformed_numbers() {
         let el = Element::new("ping").with_attr("seq", "-1");
         assert!(Message::from_element(&el).is_err());
-        let el = Element::new("point").with_attr("az", "north").with_attr("el", "1");
+        let el = Element::new("point")
+            .with_attr("az", "north")
+            .with_attr("el", "1");
         assert!(Message::from_element(&el).is_err());
-        let el = Element::new("point").with_attr("az", "inf").with_attr("el", "1");
+        let el = Element::new("point")
+            .with_attr("az", "inf")
+            .with_attr("el", "1");
         assert!(Message::from_element(&el).is_err());
     }
 
     #[test]
     fn decode_rejects_bad_enums() {
-        let el = Element::new("pong").with_attr("seq", "1").with_attr("status", "zombie");
+        let el = Element::new("pong")
+            .with_attr("seq", "1")
+            .with_attr("status", "zombie");
         assert!(Message::from_element(&el).is_err());
-        let el = Element::new("tune").with_attr("freq", "1").with_attr("band", "x-ray");
+        let el = Element::new("tune")
+            .with_attr("freq", "1")
+            .with_attr("band", "x-ray");
         assert!(Message::from_element(&el).is_err());
     }
 

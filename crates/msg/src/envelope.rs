@@ -153,7 +153,13 @@ mod tests {
     #[test]
     fn reply_swaps_addresses() {
         let env = Envelope::new("fd", "ses", 5, Message::Ping { seq: 2 });
-        let reply = env.reply_with(6, Message::Pong { seq: 2, status: ComponentStatus::Ok });
+        let reply = env.reply_with(
+            6,
+            Message::Pong {
+                seq: 2,
+                status: ComponentStatus::Ok,
+            },
+        );
         assert_eq!(reply.src, "ses");
         assert_eq!(reply.dst, "fd");
         assert_eq!(reply.id, 6);
@@ -176,10 +182,10 @@ mod tests {
     #[test]
     fn rejects_zero_or_two_bodies() {
         assert!(Envelope::parse(r#"<msg src="a" dst="b" id="1"/>"#).is_err());
-        assert!(
-            Envelope::parse(r#"<msg src="a" dst="b" id="1"><ping seq="1"/><ping seq="2"/></msg>"#)
-                .is_err()
-        );
+        assert!(Envelope::parse(
+            r#"<msg src="a" dst="b" id="1"><ping seq="1"/><ping seq="2"/></msg>"#
+        )
+        .is_err());
     }
 
     #[test]
@@ -190,7 +196,9 @@ mod tests {
 
     #[test]
     fn from_str_parses() {
-        let env: Envelope = r#"<msg src="a" dst="b" id="1"><ack of="7"/></msg>"#.parse().unwrap();
+        let env: Envelope = r#"<msg src="a" dst="b" id="1"><ack of="7"/></msg>"#
+            .parse()
+            .unwrap();
         assert_eq!(env.body, Message::Ack { of: 7 });
     }
 }

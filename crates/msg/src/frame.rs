@@ -77,10 +77,16 @@ impl fmt::Display for FrameError {
         match self {
             FrameError::Truncated => write!(f, "frame truncated"),
             FrameError::LengthMismatch { declared, actual } => {
-                write!(f, "length field says {declared}, got {actual} payload bytes")
+                write!(
+                    f,
+                    "length field says {declared}, got {actual} payload bytes"
+                )
             }
             FrameError::BadCrc { carried, computed } => {
-                write!(f, "crc mismatch: frame carries {carried:08x}, computed {computed:08x}")
+                write!(
+                    f,
+                    "crc mismatch: frame carries {carried:08x}, computed {computed:08x}"
+                )
             }
             FrameError::BadHex => write!(f, "malformed hex encoding"),
         }
@@ -176,7 +182,10 @@ mod tests {
     fn crc32_known_vectors() {
         assert_eq!(crc32(b""), 0x0000_0000);
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
-        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
     }
 
     #[test]
@@ -210,7 +219,10 @@ mod tests {
 
     #[test]
     fn truncation_detected() {
-        assert_eq!(TelemetryFrame::from_bytes(&[0; 9]), Err(FrameError::Truncated));
+        assert_eq!(
+            TelemetryFrame::from_bytes(&[0; 9]),
+            Err(FrameError::Truncated)
+        );
         let f = TelemetryFrame::new(1, b"xyz".to_vec());
         let bytes = f.to_bytes();
         // Chop the payload but keep ≥10 bytes: CRC catches it.
@@ -230,7 +242,10 @@ mod tests {
         body.extend_from_slice(&crc.to_be_bytes());
         assert_eq!(
             TelemetryFrame::from_bytes(&body),
-            Err(FrameError::LengthMismatch { declared: 5, actual: 3 })
+            Err(FrameError::LengthMismatch {
+                declared: 5,
+                actual: 3
+            })
         );
     }
 
@@ -242,7 +257,10 @@ mod tests {
 
     #[test]
     fn errors_display() {
-        let e = FrameError::BadCrc { carried: 1, computed: 2 };
+        let e = FrameError::BadCrc {
+            carried: 1,
+            computed: 2,
+        };
         assert!(e.to_string().contains("crc mismatch"));
         assert!(FrameError::Truncated.to_string().contains("truncated"));
     }

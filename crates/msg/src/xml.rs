@@ -316,7 +316,11 @@ pub struct ParseXmlError {
 
 impl fmt::Display for ParseXmlError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "xml parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "xml parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -606,7 +610,8 @@ mod tests {
 
     #[test]
     fn prolog_comments_and_whitespace_skipped() {
-        let src = "\n<?xml version=\"1.0\"?>\n<!-- hello -->\n<a b=\"1\">\n  <c/>\n</a>\n<!-- bye -->\n";
+        let src =
+            "\n<?xml version=\"1.0\"?>\n<!-- hello -->\n<a b=\"1\">\n  <c/>\n</a>\n<!-- bye -->\n";
         let el = Element::parse(src).unwrap();
         assert_eq!(el.name(), "a");
         assert_eq!(el.attr("b"), Some("1"));

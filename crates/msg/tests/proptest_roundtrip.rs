@@ -3,123 +3,195 @@
 //! attribute/text content (including characters that need escaping).
 
 use mercury_msg::{ComponentStatus, Element, Envelope, Message, RadioBand};
-use proptest::prelude::*;
+use rr_sim::{check, SimRng};
 
-fn arb_status() -> impl Strategy<Value = ComponentStatus> {
-    prop_oneof![
-        Just(ComponentStatus::Ok),
-        Just(ComponentStatus::Starting),
-        Just(ComponentStatus::Degraded),
-    ]
+fn arb_status(rng: &mut SimRng) -> ComponentStatus {
+    *rng.choose(&[
+        ComponentStatus::Ok,
+        ComponentStatus::Starting,
+        ComponentStatus::Degraded,
+    ])
+    .unwrap()
 }
 
-fn arb_band() -> impl Strategy<Value = RadioBand> {
-    prop_oneof![Just(RadioBand::Vhf), Just(RadioBand::Uhf)]
+fn arb_band(rng: &mut SimRng) -> RadioBand {
+    *rng.choose(&[RadioBand::Vhf, RadioBand::Uhf]).unwrap()
 }
 
-fn arb_finite() -> impl Strategy<Value = f64> {
-    // Any finite double, including negatives, zero and subnormals.
-    prop::num::f64::NORMAL | prop::num::f64::SUBNORMAL | prop::num::f64::ZERO
+/// Any finite double, including negatives, zero and subnormals.
+fn arb_finite(rng: &mut SimRng) -> f64 {
+    loop {
+        let x = f64::from_bits(rng.next_u64());
+        if x.is_finite() {
+            return x;
+        }
+    }
 }
 
-fn arb_name() -> impl Strategy<Value = String> {
-    "[a-z][a-z0-9_-]{0,12}"
+fn arb_name(rng: &mut SimRng) -> String {
+    check::ident(rng, 13)
 }
 
-fn arb_text() -> impl Strategy<Value = String> {
-    // Includes XML-hostile characters.
-    proptest::string::string_regex("[ -~]{0,24}").expect("regex")
+/// Printable ASCII, including XML-hostile characters.
+fn arb_text(rng: &mut SimRng) -> String {
+    check::printable(rng, 24)
 }
 
-fn arb_message() -> impl Strategy<Value = Message> {
-    prop_oneof![
-        any::<u64>().prop_map(|seq| Message::Ping { seq }),
-        (any::<u64>(), arb_status()).prop_map(|(seq, status)| Message::Pong { seq, status }),
-        arb_name().prop_map(|satellite| Message::TrackRequest { satellite }),
-        (arb_finite(), arb_finite()).prop_map(|(azimuth_deg, elevation_deg)| {
-            Message::PointAntenna { azimuth_deg, elevation_deg }
-        }),
-        (arb_name(), arb_finite()).prop_map(|(satellite, at_epoch_s)| {
-            Message::EstimateRequest { satellite, at_epoch_s }
-        }),
-        (arb_finite(), arb_finite(), arb_finite(), arb_finite()).prop_map(
-            |(azimuth_deg, elevation_deg, range_km, doppler_hz)| Message::EstimateReply {
-                azimuth_deg,
-                elevation_deg,
-                range_km,
-                doppler_hz,
-            }
-        ),
-        (arb_finite(), arb_band())
-            .prop_map(|(frequency_hz, band)| Message::TuneRadio { frequency_hz, band }),
-        (arb_text(), arb_text()).prop_map(|(verb, arg)| Message::RadioCommand { verb, arg }),
-        "[0-9a-f]{0,32}".prop_map(|hex| Message::SerialFrame { hex }),
-        (arb_name(), any::<u64>(), "[0-9a-f]{0,32}").prop_map(|(satellite, frame, hex)| {
-            Message::Telemetry { satellite, frame, hex }
-        }),
-        any::<u64>().prop_map(|incarnation| Message::SyncRequest { incarnation }),
-        any::<u64>().prop_map(|incarnation| Message::SyncAck { incarnation }),
-        (arb_name(), arb_status(), arb_finite(), arb_finite(), any::<u64>()).prop_map(
-            |(component, status, uptime_s, aging, handled)| Message::Beacon {
-                component,
-                status,
-                uptime_s,
-                aging,
-                handled,
-            }
-        ),
-        any::<u64>().prop_map(|of| Message::Ack { of }),
-    ]
+fn arb_hex(rng: &mut SimRng, max_len: usize) -> String {
+    const HEX: &[u8] = b"0123456789abcdef";
+    let len = rng.next_below(max_len as u64 + 1) as usize;
+    (0..len)
+        .map(|_| HEX[rng.next_below(16) as usize] as char)
+        .collect()
 }
 
-proptest! {
-    #[test]
-    fn message_round_trips(m in arb_message()) {
+/// Arbitrary non-control characters (ASCII and beyond).
+fn arb_unicode(rng: &mut SimRng, max_len: usize) -> String {
+    let len = rng.next_below(max_len as u64 + 1) as usize;
+    let mut s = String::new();
+    while s.chars().count() < len {
+        let c = match char::from_u32(rng.next_below(0x11_0000) as u32) {
+            Some(c) if !c.is_control() => c,
+            _ => continue,
+        };
+        s.push(c);
+    }
+    s
+}
+
+fn arb_message(rng: &mut SimRng) -> Message {
+    match rng.next_below(14) {
+        0 => Message::Ping {
+            seq: rng.next_u64(),
+        },
+        1 => Message::Pong {
+            seq: rng.next_u64(),
+            status: arb_status(rng),
+        },
+        2 => Message::TrackRequest {
+            satellite: arb_name(rng),
+        },
+        3 => Message::PointAntenna {
+            azimuth_deg: arb_finite(rng),
+            elevation_deg: arb_finite(rng),
+        },
+        4 => Message::EstimateRequest {
+            satellite: arb_name(rng),
+            at_epoch_s: arb_finite(rng),
+        },
+        5 => Message::EstimateReply {
+            azimuth_deg: arb_finite(rng),
+            elevation_deg: arb_finite(rng),
+            range_km: arb_finite(rng),
+            doppler_hz: arb_finite(rng),
+        },
+        6 => Message::TuneRadio {
+            frequency_hz: arb_finite(rng),
+            band: arb_band(rng),
+        },
+        7 => Message::RadioCommand {
+            verb: arb_text(rng),
+            arg: arb_text(rng),
+        },
+        8 => Message::SerialFrame {
+            hex: arb_hex(rng, 32),
+        },
+        9 => Message::Telemetry {
+            satellite: arb_name(rng),
+            frame: rng.next_u64(),
+            hex: arb_hex(rng, 32),
+        },
+        10 => Message::SyncRequest {
+            incarnation: rng.next_u64(),
+        },
+        11 => Message::SyncAck {
+            incarnation: rng.next_u64(),
+        },
+        12 => Message::Beacon {
+            component: arb_name(rng),
+            status: arb_status(rng),
+            uptime_s: arb_finite(rng),
+            aging: arb_finite(rng),
+            handled: rng.next_u64(),
+        },
+        _ => Message::Ack { of: rng.next_u64() },
+    }
+}
+
+#[test]
+fn message_round_trips() {
+    check::run("message_round_trips", 512, |rng| {
+        let m = arb_message(rng);
         let wire = m.to_element().to_xml_string();
         let el = Element::parse(&wire).expect("reparse");
         let back = Message::from_element(&el).expect("decode");
-        prop_assert_eq!(back, m);
-    }
+        assert_eq!(back, m);
+    });
+}
 
-    #[test]
-    fn envelope_round_trips(src in arb_name(), dst in arb_name(), id in any::<u64>(), m in arb_message()) {
+#[test]
+fn envelope_round_trips() {
+    check::run("envelope_round_trips", 256, |rng| {
+        let src = arb_name(rng);
+        let dst = arb_name(rng);
+        let id = rng.next_u64();
+        let m = arb_message(rng);
         let env = Envelope::new(src, dst, id, m);
         let back = Envelope::parse(&env.to_xml_string()).expect("parse");
-        prop_assert_eq!(back, env);
-    }
+        assert_eq!(back, env);
+    });
+}
 
-    #[test]
-    fn xml_attr_values_round_trip(value in arb_text()) {
+#[test]
+fn xml_attr_values_round_trip() {
+    check::run("xml_attr_values_round_trip", 256, |rng| {
+        let value = arb_text(rng);
         let el = Element::new("t").with_attr("v", value.clone());
         let back = Element::parse(&el.to_xml_string()).expect("parse");
-        prop_assert_eq!(back.attr("v"), Some(value.as_str()));
-    }
+        assert_eq!(back.attr("v"), Some(value.as_str()));
+    });
+}
 
-    #[test]
-    fn xml_text_round_trips_modulo_whitespace(text in arb_text()) {
+#[test]
+fn xml_text_round_trips_modulo_whitespace() {
+    check::run("xml_text_round_trips_modulo_whitespace", 256, |rng| {
+        let text = arb_text(rng);
         let el = Element::new("t").with_text(text.clone());
         let back = Element::parse(&el.to_xml_string()).expect("parse");
         // Pure-whitespace runs are dropped by the parser (they carry no
         // message content); anything else must round-trip exactly.
         if text.trim().is_empty() {
-            prop_assert_eq!(back.text(), "");
+            assert_eq!(back.text(), "");
         } else {
-            prop_assert_eq!(back.text(), text);
+            assert_eq!(back.text(), text);
         }
-    }
+    });
+}
 
-    #[test]
-    fn parser_never_panics_on_arbitrary_input(input in "\\PC{0,64}") {
+#[test]
+fn parser_never_panics_on_arbitrary_input() {
+    check::run("parser_never_panics_on_arbitrary_input", 512, |rng| {
+        let input = arb_unicode(rng, 64);
         let _ = Element::parse(&input);
-    }
+    });
+}
 
-    #[test]
-    fn nested_elements_round_trip(depth in 1usize..8, name in "[a-z]{1,8}") {
+#[test]
+fn nested_elements_round_trip() {
+    check::run("nested_elements_round_trip", 128, |rng| {
+        let depth = 1 + rng.next_below(7) as usize;
+        let name = {
+            const ALPHA: &[u8] = b"abcdefghijklmnopqrstuvwxyz";
+            let len = 1 + rng.next_below(8) as usize;
+            (0..len)
+                .map(|_| ALPHA[rng.next_below(26) as usize] as char)
+                .collect::<String>()
+        };
         let mut el = Element::new(name.clone());
         for _ in 0..depth {
             el = Element::new(name.clone()).with_child(el);
         }
         let back = Element::parse(&el.to_xml_string()).expect("parse");
-        prop_assert_eq!(back, el);
-    }
+        assert_eq!(back, el);
+    });
 }

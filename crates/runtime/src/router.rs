@@ -8,8 +8,8 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::RwLock;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::RwLock;
 
 /// A message between services.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -35,20 +35,20 @@ impl Router {
 
     /// Registers (or replaces) a mailbox for `name`; returns its receiver.
     pub fn register(&self, name: &str) -> Receiver<Post> {
-        let (tx, rx) = unbounded();
-        self.inner.write().insert(name.to_string(), tx);
+        let (tx, rx) = channel();
+        self.inner.write().unwrap().insert(name.to_string(), tx);
         rx
     }
 
     /// Unregisters `name`: subsequent posts to it are dropped.
     pub fn unregister(&self, name: &str) {
-        self.inner.write().remove(name);
+        self.inner.write().unwrap().remove(name);
     }
 
     /// Sends a post; returns `false` if the target is unregistered or its
     /// mailbox is gone (both are silent losses by design).
     pub fn send(&self, from: &str, to: &str, body: impl Into<String>) -> bool {
-        let guard = self.inner.read();
+        let guard = self.inner.read().unwrap();
         let Some(tx) = guard.get(to) else {
             return false;
         };
@@ -61,12 +61,12 @@ impl Router {
 
     /// `true` if a mailbox is registered for `name`.
     pub fn is_registered(&self, name: &str) -> bool {
-        self.inner.read().contains_key(name)
+        self.inner.read().unwrap().contains_key(name)
     }
 
     /// Registered names, sorted.
     pub fn names(&self) -> Vec<String> {
-        let mut v: Vec<String> = self.inner.read().keys().cloned().collect();
+        let mut v: Vec<String> = self.inner.read().unwrap().keys().cloned().collect();
         v.sort();
         v
     }

@@ -5,7 +5,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use crossbeam::channel::RecvTimeoutError;
+use std::sync::mpsc::RecvTimeoutError;
 
 use crate::router::{Post, Router};
 
@@ -99,7 +99,10 @@ pub(crate) fn spawn_service(
                 return;
             }
             let rx = router.register(&name);
-            let mut ctx = ServiceCtx { name: &name, router: &router };
+            let mut ctx = ServiceCtx {
+                name: &name,
+                router: &router,
+            };
             service.on_start(&mut ctx);
             loop {
                 if stop_flag.load(Ordering::SeqCst) {
@@ -113,7 +116,10 @@ pub(crate) fn spawn_service(
                         if post.body == PING {
                             router.send(&name, &post.from, PONG);
                         } else {
-                            let mut ctx = ServiceCtx { name: &name, router: &router };
+                            let mut ctx = ServiceCtx {
+                                name: &name,
+                                router: &router,
+                            };
                             service.on_post(post, &mut ctx);
                         }
                     }
@@ -153,7 +159,10 @@ mod tests {
         // Wait for registration.
         let deadline = std::time::Instant::now() + Duration::from_secs(2);
         while !router.is_registered("echo") {
-            assert!(std::time::Instant::now() < deadline, "echo never registered");
+            assert!(
+                std::time::Instant::now() < deadline,
+                "echo never registered"
+            );
             std::thread::sleep(Duration::from_millis(1));
         }
         router.send("probe", "echo", PING);

@@ -13,12 +13,12 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use parking_lot::Mutex;
 use rr_core::oracle::{Failure, Oracle};
 use rr_core::policy::RestartPolicy;
 use rr_core::recoverer::{Recoverer, RecoveryDecision};
 use rr_core::tree::RestartTree;
 use rr_sim::SimTime;
+use std::sync::Mutex;
 
 use crate::router::Router;
 use crate::service::{spawn_service, ProcessHandle, ServiceFactory, PING, PONG};
@@ -121,20 +121,20 @@ impl Supervisor {
 
     /// Total restarts the supervisor has executed.
     pub fn restarts(&self) -> u64 {
-        self.inner.lock().restarts
+        self.inner.lock().unwrap().restarts
     }
 
     /// Services the restart policy has abandoned as hard failures
     /// ("the policy keeps track of past restarts to prevent infinite
     /// restarts of 'hard' failures", §2.2). They stay down for a human.
     pub fn abandoned(&self) -> Vec<String> {
-        self.inner.lock().abandoned.clone()
+        self.inner.lock().unwrap().abandoned.clone()
     }
 
     /// Replaces the restart policy (e.g. to tighten the storm limit in
     /// tests or demos). Prior restart history is discarded.
     pub fn set_policy(&self, policy: RestartPolicy) {
-        self.inner.lock().recoverer.set_policy(policy);
+        self.inner.lock().unwrap().recoverer.set_policy(policy);
     }
 
     /// Registers and starts a service. The name must be a component attached
@@ -149,7 +149,7 @@ impl Supervisor {
         boot: Duration,
         mut factory: impl FnMut() -> Box<dyn crate::service::Service> + Send + 'static,
     ) {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock().unwrap();
         assert!(
             inner.recoverer.tree().cell_of_component(name).is_some(),
             "service {name:?} is not attached to the restart tree"
@@ -172,14 +172,15 @@ impl Supervisor {
     ///
     /// Panics if services fail to come up within `deadline`.
     pub fn await_ready(&self, deadline: Duration) {
-        let names: Vec<String> = self.inner.lock().specs.keys().cloned().collect();
+        let names: Vec<String> = self.inner.lock().unwrap().specs.keys().cloned().collect();
         let until = Instant::now() + deadline;
         let rx = self.router.register("__await");
         loop {
             for name in &names {
                 self.router.send("__await", name, PING);
             }
-            let round_end = Instant::now() + self.config.ping_timeout.max(Duration::from_millis(20));
+            let round_end =
+                Instant::now() + self.config.ping_timeout.max(Duration::from_millis(20));
             let mut answered = 0;
             while Instant::now() < round_end && answered < names.len() {
                 if let Ok(post) = rx.recv_timeout(Duration::from_millis(5)) {
@@ -200,7 +201,7 @@ impl Supervisor {
     /// and unregisters its mailbox) without telling the supervisor — the
     /// watchdog must notice on its own.
     pub fn inject_kill(&self, name: &str) {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock().unwrap();
         if let Some(handle) = inner.procs.get_mut(name) {
             handle.kill();
         }
@@ -217,7 +218,7 @@ impl Supervisor {
             .name("rr-watchdog".into())
             .spawn(move || watchdog_loop(router, inner, stop, config))
             .expect("spawn watchdog");
-        *self.watchdog.lock() = Some(handle);
+        *self.watchdog.lock().unwrap() = Some(handle);
     }
 
     /// Stops the watchdog and every service. Service threads are signalled
@@ -226,10 +227,10 @@ impl Supervisor {
     /// stop flag within one poll interval and exit.
     pub fn shutdown(&self) {
         self.watchdog_stop.store(true, Ordering::SeqCst);
-        if let Some(t) = self.watchdog.lock().take() {
+        if let Some(t) = self.watchdog.lock().unwrap().take() {
             let _ = t.join();
         }
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock().unwrap();
         let names: Vec<String> = inner.procs.keys().cloned().collect();
         for name in names {
             self.router.unregister(&name);
@@ -256,7 +257,7 @@ fn watchdog_loop(
     let mut down: HashMap<String, bool> = HashMap::new();
     while !stop.load(Ordering::SeqCst) {
         let names: Vec<String> = {
-            let inner = inner.lock();
+            let inner = inner.lock().unwrap();
             inner.specs.keys().cloned().collect()
         };
         for name in &names {
@@ -279,7 +280,7 @@ fn watchdog_loop(
 
         let mut to_restart: Vec<Vec<String>> = Vec::new();
         {
-            let mut guard = inner.lock();
+            let mut guard = inner.lock().unwrap();
             let now = guard.now();
             // Recoveries: pending components that answered again.
             let mut completed: Vec<String> = Vec::new();
@@ -348,8 +349,7 @@ fn watchdog_loop(
                         let spec = guard.specs.get_mut(comp).expect("spec exists");
                         ((spec.factory)(), spec.boot)
                     };
-                    let handle =
-                        spawn_service(comp.clone(), router.clone(), service, boot);
+                    let handle = spawn_service(comp.clone(), router.clone(), service, boot);
                     guard.procs.insert(comp.clone(), handle);
                 }
             }

@@ -57,7 +57,10 @@ fn build() -> (Supervisor, Arc<AtomicU64>, Arc<AtomicU64>, Arc<AtomicU64>) {
     for (name, counter) in [("solo", &inc_solo), ("a", &inc_a), ("b", &inc_b)] {
         let c = counter.clone();
         sup.add_service(name, Duration::from_millis(5), move || {
-            Box::new(Counter { processed: 0, incarnations: c.clone() })
+            Box::new(Counter {
+                processed: 0,
+                incarnations: c.clone(),
+            })
         });
     }
     sup.await_ready(Duration::from_secs(10));
@@ -72,7 +75,8 @@ fn solo_failure_restarts_only_its_cell() {
     let b_before = inc_b.load(Ordering::SeqCst);
     sup.inject_kill("solo");
     assert!(
-        wait_until(Duration::from_secs(10), || inc_solo.load(Ordering::SeqCst) >= 2),
+        wait_until(Duration::from_secs(10), || inc_solo.load(Ordering::SeqCst)
+            >= 2),
         "solo must be reincarnated"
     );
     // a and b were untouched.
@@ -117,7 +121,10 @@ fn state_is_wiped_by_restart() {
     while rx.try_recv().is_ok() {}
     sup.router().send("probe", "solo", "job");
     let body = rx.recv_timeout(Duration::from_secs(2)).unwrap().body;
-    assert_eq!(body, "count:1", "restart must return the service to its start state");
+    assert_eq!(
+        body, "count:1",
+        "restart must return the service to its start state"
+    );
     sup.shutdown();
 }
 
@@ -127,7 +134,8 @@ fn repeated_failures_keep_being_cured() {
     for round in 2..5u64 {
         sup.inject_kill("solo");
         assert!(
-            wait_until(Duration::from_secs(10), || inc_solo.load(Ordering::SeqCst) >= round),
+            wait_until(Duration::from_secs(10), || inc_solo.load(Ordering::SeqCst)
+                >= round),
             "round {round} not recovered"
         );
         // Let the cure be confirmed before the next kill.
@@ -170,7 +178,10 @@ fn hard_failures_are_abandoned_not_looped_on() {
     let healthy = Arc::new(AtomicU64::new(0));
     let h = healthy.clone();
     sup.add_service("ok", Duration::from_millis(5), move || {
-        Box::new(Counter { processed: 0, incarnations: h.clone() })
+        Box::new(Counter {
+            processed: 0,
+            incarnations: h.clone(),
+        })
     });
     let wedged_inc = Arc::new(AtomicU64::new(0));
     let w = wedged_inc.clone();

@@ -1,0 +1,164 @@
+//! Minimal, dependency-free property testing driven by [`SimRng`].
+//!
+//! The repository builds fully offline, so it cannot depend on `proptest`.
+//! This module provides the small subset the test suites actually need: run
+//! a property over many pseudo-randomly generated cases, and on failure
+//! report the case index and seed so the exact input can be replayed with
+//! [`replay`].
+//!
+//! ```
+//! use rr_sim::{check, SimRng};
+//!
+//! check::run("addition commutes", 64, |rng| {
+//!     let a = rng.next_below(1000);
+//!     let b = rng.next_below(1000);
+//!     assert_eq!(a + b, b + a);
+//! });
+//! ```
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+use crate::rng::SimRng;
+
+/// Base seed mixed into every case seed. Changing it reshuffles all
+/// generated inputs (the equivalent of a new `proptest` run).
+const BASE_SEED: u64 = 0x5EED_CA5E_0000_0000;
+
+/// Derives the deterministic seed for case `case` of property `name`.
+fn case_seed(name: &str, case: u64) -> u64 {
+    // FNV-1a over the property name, mixed with the case index, so distinct
+    // properties explore distinct inputs.
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    BASE_SEED ^ h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Runs `prop` against `cases` independently seeded generators.
+///
+/// # Panics
+///
+/// Re-raises the property's panic, prefixed (on stderr) with the failing
+/// case index and seed for replay.
+pub fn run(name: &str, cases: u64, mut prop: impl FnMut(&mut SimRng)) {
+    for case in 0..cases {
+        let seed = case_seed(name, case);
+        let mut rng = SimRng::new(seed);
+        let outcome = catch_unwind(AssertUnwindSafe(|| prop(&mut rng)));
+        if let Err(payload) = outcome {
+            eprintln!(
+                "property {name:?} failed on case {case}/{cases} \
+                 (replay seed {seed:#018x})"
+            );
+            resume_unwind(payload);
+        }
+    }
+}
+
+/// Re-runs `prop` once with the seed printed by a failing [`run`].
+pub fn replay(seed: u64, mut prop: impl FnMut(&mut SimRng)) {
+    let mut rng = SimRng::new(seed);
+    prop(&mut rng);
+}
+
+/// A `Vec` of `len in [min, max]` elements drawn by `gen`.
+///
+/// # Panics
+///
+/// Panics if `min > max`.
+pub fn vec_of<T>(
+    rng: &mut SimRng,
+    min: usize,
+    max: usize,
+    mut gen: impl FnMut(&mut SimRng) -> T,
+) -> Vec<T> {
+    assert!(min <= max, "vec_of: min {min} > max {max}");
+    let len = min + rng.next_below((max - min + 1) as u64) as usize;
+    (0..len).map(|_| gen(rng)).collect()
+}
+
+/// A lowercase identifier of 1 to `max_len` characters: `[a-z][a-z0-9_-]*`.
+///
+/// # Panics
+///
+/// Panics if `max_len` is zero.
+pub fn ident(rng: &mut SimRng, max_len: usize) -> String {
+    assert!(max_len > 0, "ident: max_len must be positive");
+    const HEAD: &[u8] = b"abcdefghijklmnopqrstuvwxyz";
+    const TAIL: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789_-";
+    let len = 1 + rng.next_below(max_len as u64) as usize;
+    let mut s = String::with_capacity(len);
+    s.push(HEAD[rng.next_below(HEAD.len() as u64) as usize] as char);
+    for _ in 1..len {
+        s.push(TAIL[rng.next_below(TAIL.len() as u64) as usize] as char);
+    }
+    s
+}
+
+/// A string of 0 to `max_len` printable ASCII characters (space through `~`).
+pub fn printable(rng: &mut SimRng, max_len: usize) -> String {
+    let len = rng.next_below(max_len as u64 + 1) as usize;
+    (0..len)
+        .map(|_| (b' ' + rng.next_below(95) as u8) as char)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_executes_every_case() {
+        let mut n = 0;
+        run("counting", 17, |_| n += 1);
+        assert_eq!(n, 17);
+    }
+
+    #[test]
+    fn cases_are_deterministic_across_runs() {
+        let mut first: Vec<u64> = Vec::new();
+        run("det", 8, |rng| first.push(rng.next_u64()));
+        let mut second: Vec<u64> = Vec::new();
+        run("det", 8, |rng| second.push(rng.next_u64()));
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn distinct_properties_get_distinct_inputs() {
+        let mut a = Vec::new();
+        run("prop-a", 4, |rng| a.push(rng.next_u64()));
+        let mut b = Vec::new();
+        run("prop-b", 4, |rng| b.push(rng.next_u64()));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn failures_propagate() {
+        run("failing", 4, |_| panic!("boom"));
+    }
+
+    #[test]
+    fn replay_reproduces_case_inputs() {
+        let mut recorded = Vec::new();
+        run("replayable", 3, |rng| recorded.push(rng.next_u64()));
+        let seed = case_seed("replayable", 2);
+        replay(seed, |rng| assert_eq!(rng.next_u64(), recorded[2]));
+    }
+
+    #[test]
+    fn generators_respect_shapes() {
+        run("shapes", 64, |rng| {
+            let v = vec_of(rng, 2, 5, |r| r.next_below(10));
+            assert!((2..=5).contains(&v.len()));
+            let id = ident(rng, 12);
+            assert!(!id.is_empty() && id.len() <= 12);
+            assert!(id.as_bytes()[0].is_ascii_lowercase());
+            let p = printable(rng, 24);
+            assert!(p.len() <= 24);
+            assert!(p.bytes().all(|b| (b' '..=b'~').contains(&b)));
+        });
+    }
+}

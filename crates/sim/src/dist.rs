@@ -6,8 +6,6 @@
 //! exponential inter-arrivals for failures, truncated normals for boot-time
 //! jitter, and degenerate/uniform helpers for calibration and tests.
 
-use serde::{Deserialize, Serialize};
-
 use crate::rng::SimRng;
 use crate::time::SimDuration;
 
@@ -22,7 +20,7 @@ use crate::time::SimDuration;
 /// let x = d.sample_secs(&mut rng);
 /// assert!(x >= 0.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Dist {
     /// Always the same value. Used for calibrated constants.
     Constant {
@@ -68,7 +66,10 @@ impl Dist {
     ///
     /// Panics if `value` is negative or not finite.
     pub fn constant(value: f64) -> Dist {
-        assert!(value.is_finite() && value >= 0.0, "invalid constant {value}");
+        assert!(
+            value.is_finite() && value >= 0.0,
+            "invalid constant {value}"
+        );
         Dist::Constant { value }
     }
 
@@ -91,7 +92,10 @@ impl Dist {
     ///
     /// Panics if `mean` is not strictly positive and finite.
     pub fn exponential(mean: f64) -> Dist {
-        assert!(mean.is_finite() && mean > 0.0, "invalid exponential mean {mean}");
+        assert!(
+            mean.is_finite() && mean > 0.0,
+            "invalid exponential mean {mean}"
+        );
         Dist::Exponential { mean }
     }
 
@@ -248,7 +252,11 @@ mod tests {
     fn log_normal_mean_matches_formula() {
         let d = Dist::log_normal(1.0, 0.25);
         let m = empirical_mean(&d, 200_000, 9);
-        assert!((m - d.mean()).abs() / d.mean() < 0.02, "mean {m} vs {}", d.mean());
+        assert!(
+            (m - d.mean()).abs() / d.mean() < 0.02,
+            "mean {m} vs {}",
+            d.mean()
+        );
     }
 
     #[test]

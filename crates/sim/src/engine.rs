@@ -48,6 +48,84 @@ pub enum ProcessState {
     /// events. Indistinguishable from `Crashed` to observers — which is the
     /// point: application-level liveness pings detect both.
     Hung,
+    /// Zombie: the process still answers whatever the
+    /// [zombie filter](Sim::set_zombie_filter) admits (typically liveness
+    /// pings) but silently drops all other traffic and its own timers. It
+    /// looks alive to a ping-based detector while doing no useful work —
+    /// the failure mode application-level liveness checks exist to catch.
+    Zombie,
+}
+
+/// Wire-level quality of a network link: the degraded-communication fault
+/// model. A link can lose, delay, jitter and duplicate messages without
+/// either endpoint failing — the regime in which naive failure detectors
+/// produce false positives and restart storms.
+///
+/// Install with [`Sim::set_link_quality`] (per pair) or
+/// [`Sim::set_default_link_quality`] (every link). All randomness comes from
+/// a per-link stream derived from the simulation seed, so degraded runs stay
+/// bit-for-bit reproducible.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkQuality {
+    /// Probability in `[0, 1]` that each message is dropped.
+    pub loss: f64,
+    /// Fixed extra latency added to every message.
+    pub delay: SimDuration,
+    /// Additional uniform random latency in `[0, jitter]` per message.
+    pub jitter: SimDuration,
+    /// Probability in `[0, 1]` that a message is delivered twice (the copy
+    /// samples its own delay and jitter).
+    pub duplicate: f64,
+}
+
+impl LinkQuality {
+    /// A perfect link: no loss, no extra delay, no duplication.
+    pub const PERFECT: LinkQuality = LinkQuality {
+        loss: 0.0,
+        delay: SimDuration::ZERO,
+        jitter: SimDuration::ZERO,
+        duplicate: 0.0,
+    };
+
+    /// A link that drops each message independently with probability `loss`.
+    pub fn lossy(loss: f64) -> LinkQuality {
+        LinkQuality {
+            loss,
+            ..LinkQuality::PERFECT
+        }
+    }
+
+    /// Builder: sets the fixed extra delay.
+    #[must_use]
+    pub fn with_delay(mut self, delay: SimDuration) -> LinkQuality {
+        self.delay = delay;
+        self
+    }
+
+    /// Builder: sets the jitter bound.
+    #[must_use]
+    pub fn with_jitter(mut self, jitter: SimDuration) -> LinkQuality {
+        self.jitter = jitter;
+        self
+    }
+
+    /// Builder: sets the duplication probability.
+    #[must_use]
+    pub fn with_duplicate(mut self, duplicate: f64) -> LinkQuality {
+        self.duplicate = duplicate;
+        self
+    }
+
+    /// `true` if the link applies no wire effects at all.
+    pub fn is_perfect(&self) -> bool {
+        self.loss <= 0.0 && self.delay.is_zero() && self.jitter.is_zero() && self.duplicate <= 0.0
+    }
+}
+
+impl Default for LinkQuality {
+    fn default() -> Self {
+        LinkQuality::PERFECT
+    }
 }
 
 /// An event delivered to an actor.
@@ -103,9 +181,13 @@ enum Action<M> {
         /// For timers: only deliver if the destination is still in this
         /// incarnation.
         incarnation: Option<u64>,
+        /// Wire effects (loss, delay, duplication) were already applied; do
+        /// not roll them again on redelivery.
+        degraded: bool,
     },
     Kill(ProcessId),
     Hang(ProcessId),
+    Zombify(ProcessId),
     Respawn(ProcessId),
 }
 
@@ -146,6 +228,40 @@ pub struct Sim<M> {
     /// Severed links: messages between these unordered pairs are dropped
     /// (network-partition fault injection).
     severed: HashSet<(ProcessId, ProcessId)>,
+    /// Per-pair wire-quality overrides (unordered pairs).
+    link_qualities: HashMap<(ProcessId, ProcessId), LinkQuality>,
+    /// Quality applied to links without an explicit override.
+    default_link_quality: Option<LinkQuality>,
+    /// Lazily-created per-link random streams driving wire effects.
+    link_rngs: HashMap<(ProcessId, ProcessId), SimRng>,
+    /// Which message payloads a zombie process still answers.
+    zombie_filter: Option<ZombieFilter<M>>,
+    /// Processes that crash again immediately on every respawn.
+    persistent_crash: HashSet<ProcessId>,
+    /// Payload cloner, installed when duplication-capable link quality is
+    /// configured (requires `M: Clone`).
+    cloner: Option<PayloadCloner<M>>,
+}
+
+/// Predicate selecting the payloads a zombie process still answers.
+type ZombieFilter<M> = Box<dyn Fn(&M) -> bool>;
+
+/// Deep-copies a payload when a degraded link duplicates a message.
+type PayloadCloner<M> = Box<dyn Fn(&M) -> M>;
+
+/// Canonical unordered key for a process pair.
+fn pair_key(a: ProcessId, b: ProcessId) -> (ProcessId, ProcessId) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// Stream key for a link's private RNG: a stable function of the pair, so the
+/// stream is the same regardless of direction or when the link first degrades.
+fn link_stream(key: (ProcessId, ProcessId)) -> u64 {
+    0x11CC_0000_0000_0000 ^ ((key.0 .0 as u64) << 32) ^ key.1 .0 as u64
 }
 
 impl<M> fmt::Debug for Sim<M> {
@@ -172,6 +288,12 @@ impl<M> Sim<M> {
             trace: Trace::new(),
             events_processed: 0,
             severed: HashSet::new(),
+            link_qualities: HashMap::new(),
+            default_link_quality: None,
+            link_rngs: HashMap::new(),
+            zombie_filter: None,
+            persistent_crash: HashSet::new(),
+            cloner: None,
         }
     }
 
@@ -214,13 +336,15 @@ impl<M> Sim<M> {
             factory: Box::new(factory),
             rng,
         });
-        self.trace.record(self.now, Some(id), TraceKind::Spawned, name);
+        self.trace
+            .record(self.now, Some(id), TraceKind::Spawned, name);
         self.schedule(
             SimDuration::ZERO,
             Action::Deliver {
                 dst: id,
                 ev: Event::Start,
                 incarnation: Some(0),
+                degraded: false,
             },
         );
         id
@@ -295,7 +419,7 @@ impl<M> Sim<M> {
     /// identical to the far side having crashed (which is exactly why
     /// fail-silent detectors cannot tell the difference).
     pub fn set_link(&mut self, a: ProcessId, b: ProcessId, up: bool) {
-        let key = if a <= b { (a, b) } else { (b, a) };
+        let key = pair_key(a, b);
         if up {
             self.severed.remove(&key);
         } else {
@@ -305,8 +429,7 @@ impl<M> Sim<M> {
 
     /// `true` if the link between `a` and `b` is currently up.
     pub fn link_up(&self, a: ProcessId, b: ProcessId) -> bool {
-        let key = if a <= b { (a, b) } else { (b, a) };
-        !self.severed.contains(&key)
+        !self.severed.contains(&pair_key(a, b))
     }
 
     /// Severs every link touching `id` (fully isolates the process).
@@ -329,15 +452,75 @@ impl<M> Sim<M> {
         }
     }
 
+    /// Turns `id` into a zombie after `delay`: the process keeps answering
+    /// whatever the [zombie filter](Sim::set_zombie_filter) admits (e.g.
+    /// liveness pings) and silently drops everything else, including its own
+    /// timers. This models a process alive enough to satisfy a naive
+    /// ping-based failure detector while doing no useful work.
+    pub fn zombie_after(&mut self, delay: SimDuration, id: ProcessId) {
+        self.schedule(delay, Action::Zombify(id));
+    }
+
+    /// Turns `id` into a zombie at the current time. See
+    /// [`Sim::zombie_after`].
+    pub fn zombie(&mut self, id: ProcessId) {
+        self.zombie_after(SimDuration::ZERO, id);
+    }
+
+    /// Installs the predicate deciding which message payloads a
+    /// [zombie](Sim::zombie_after) still answers. Without a filter, a zombie
+    /// drops everything and is observationally identical to a hang.
+    pub fn set_zombie_filter(&mut self, filter: impl Fn(&M) -> bool + 'static) {
+        self.zombie_filter = Some(Box::new(filter));
+    }
+
+    /// Marks (or unmarks) `id` as persistently crashed: every respawn is
+    /// followed by an immediate crash, so restarts never cure it. This is
+    /// the "hard" failure used to exercise escalation and give-up paths.
+    pub fn set_persistent_crash(&mut self, id: ProcessId, enabled: bool) {
+        if enabled {
+            self.persistent_crash.insert(id);
+        } else {
+            self.persistent_crash.remove(&id);
+        }
+    }
+
+    /// `true` if `id` is marked persistently crashed.
+    pub fn is_persistent_crash(&self, id: ProcessId) -> bool {
+        self.persistent_crash.contains(&id)
+    }
+
+    /// Removes the per-pair quality override between `a` and `b` (a default
+    /// quality, if set, still applies).
+    pub fn clear_link_quality(&mut self, a: ProcessId, b: ProcessId) {
+        self.link_qualities.remove(&pair_key(a, b));
+    }
+
+    /// The effective wire quality of the link between `a` and `b`: the
+    /// per-pair override if present, else the default, else `None`.
+    pub fn link_quality(&self, a: ProcessId, b: ProcessId) -> Option<LinkQuality> {
+        self.link_qualities
+            .get(&pair_key(a, b))
+            .copied()
+            .or(self.default_link_quality)
+    }
+
     /// Sends `payload` from `src` to `dst` after `delay`, from outside any
     /// actor (e.g. initial stimulus from the harness).
-    pub fn send_external(&mut self, src: ProcessId, dst: ProcessId, delay: SimDuration, payload: M) {
+    pub fn send_external(
+        &mut self,
+        src: ProcessId,
+        dst: ProcessId,
+        delay: SimDuration,
+        payload: M,
+    ) {
         self.schedule(
             delay,
             Action::Deliver {
                 dst,
                 ev: Event::Message { src, payload },
                 incarnation: None,
+                degraded: false,
             },
         );
     }
@@ -359,9 +542,15 @@ impl<M> Sim<M> {
         self.now = item.time;
         self.events_processed += 1;
         match item.action {
-            Action::Deliver { dst, ev, incarnation } => self.deliver(dst, ev, incarnation),
+            Action::Deliver {
+                dst,
+                ev,
+                incarnation,
+                degraded,
+            } => self.deliver(dst, ev, incarnation, degraded),
             Action::Kill(id) => self.do_kill(id),
             Action::Hang(id) => self.do_hang(id),
+            Action::Zombify(id) => self.do_zombify(id),
             Action::Respawn(id) => self.do_respawn(id),
         }
         true
@@ -398,9 +587,10 @@ impl<M> Sim<M> {
         self.run_until(deadline)
     }
 
-    fn deliver(&mut self, dst: ProcessId, ev: Event<M>, incarnation: Option<u64>) {
+    fn deliver(&mut self, dst: ProcessId, ev: Event<M>, incarnation: Option<u64>, degraded: bool) {
         if let Event::Message { src, .. } = &ev {
-            if !self.link_up(*src, dst) {
+            let src = *src;
+            if !self.link_up(src, dst) {
                 self.trace.record(
                     self.now,
                     Some(dst),
@@ -409,6 +599,65 @@ impl<M> Sim<M> {
                 );
                 return;
             }
+            if !degraded {
+                if let Some(q) = self.link_quality(src, dst) {
+                    if !q.is_perfect() {
+                        let key = pair_key(src, dst);
+                        let mut rng = self
+                            .link_rngs
+                            .remove(&key)
+                            .unwrap_or_else(|| self.root_rng.split(link_stream(key)));
+                        // Fixed draw order (loss, jitter, duplicate, dup
+                        // jitter) keeps the per-link stream reproducible
+                        // regardless of which effects are enabled.
+                        let lost = rng.chance(q.loss);
+                        let extra = q.delay + q.jitter.mul_f64(rng.next_f64());
+                        let duplicated = rng.chance(q.duplicate);
+                        let dup_extra = q.delay + q.jitter.mul_f64(rng.next_f64());
+                        self.link_rngs.insert(key, rng);
+                        if duplicated {
+                            if let (Some(cloner), Event::Message { src, payload }) =
+                                (&self.cloner, &ev)
+                            {
+                                let copy = Event::Message {
+                                    src: *src,
+                                    payload: cloner(payload),
+                                };
+                                self.schedule(
+                                    dup_extra,
+                                    Action::Deliver {
+                                        dst,
+                                        ev: copy,
+                                        incarnation,
+                                        degraded: true,
+                                    },
+                                );
+                            }
+                        }
+                        if lost {
+                            self.trace.record(
+                                self.now,
+                                Some(dst),
+                                TraceKind::Dropped,
+                                format!("loss:{src}->{dst}"),
+                            );
+                            return;
+                        }
+                        if !extra.is_zero() {
+                            self.schedule(
+                                extra,
+                                Action::Deliver {
+                                    dst,
+                                    ev,
+                                    incarnation,
+                                    degraded: true,
+                                },
+                            );
+                            return;
+                        }
+                    }
+                }
+            }
         }
         let entry = &mut self.procs[dst.index()];
         if let Some(inc) = incarnation {
@@ -416,11 +665,27 @@ impl<M> Sim<M> {
                 return; // stale timer / start event from a previous incarnation
             }
         }
-        if entry.state != ProcessState::Running {
-            self.trace
-                .record(self.now, Some(dst), TraceKind::Dropped, entry.name.clone());
-            return;
+        match entry.state {
+            ProcessState::Running => {}
+            // A zombie answers only what its filter admits; everything else
+            // — including its own timers — vanishes.
+            ProcessState::Zombie => {
+                let answers = matches!(&ev, Event::Message { payload, .. }
+                    if self.zombie_filter.as_ref().is_some_and(|f| f(payload)));
+                if !answers {
+                    let label = format!("zombie:{}", entry.name);
+                    self.trace
+                        .record(self.now, Some(dst), TraceKind::Dropped, label);
+                    return;
+                }
+            }
+            ProcessState::Crashed | ProcessState::Hung => {
+                self.trace
+                    .record(self.now, Some(dst), TraceKind::Dropped, entry.name.clone());
+                return;
+            }
         }
+        let entry = &mut self.procs[dst.index()];
         let Some(mut actor) = entry.actor.take() else {
             return;
         };
@@ -443,7 +708,8 @@ impl<M> Sim<M> {
         entry.state = ProcessState::Crashed;
         entry.actor = None;
         let name = entry.name.clone();
-        self.trace.record(self.now, Some(id), TraceKind::Crashed, name);
+        self.trace
+            .record(self.now, Some(id), TraceKind::Crashed, name);
     }
 
     fn do_hang(&mut self, id: ProcessId) {
@@ -456,6 +722,17 @@ impl<M> Sim<M> {
         self.trace.record(self.now, Some(id), TraceKind::Hung, name);
     }
 
+    fn do_zombify(&mut self, id: ProcessId) {
+        let entry = &mut self.procs[id.index()];
+        if entry.state != ProcessState::Running {
+            return;
+        }
+        entry.state = ProcessState::Zombie;
+        let name = entry.name.clone();
+        self.trace
+            .record(self.now, Some(id), TraceKind::Zombified, name);
+    }
+
     fn do_respawn(&mut self, id: ProcessId) {
         let entry = &mut self.procs[id.index()];
         entry.incarnation += 1;
@@ -463,15 +740,48 @@ impl<M> Sim<M> {
         entry.actor = Some((entry.factory)());
         let inc = entry.incarnation;
         let name = entry.name.clone();
-        self.trace.record(self.now, Some(id), TraceKind::Restarted, name);
+        self.trace
+            .record(self.now, Some(id), TraceKind::Restarted, name);
         self.schedule(
             SimDuration::ZERO,
             Action::Deliver {
                 dst: id,
                 ev: Event::Start,
                 incarnation: Some(inc),
+                degraded: false,
             },
         );
+        if self.persistent_crash.contains(&id) {
+            // A hard failure: the component dies again the instant it comes
+            // back, so restarts alone can never cure it.
+            self.schedule(SimDuration::ZERO, Action::Kill(id));
+        }
+    }
+}
+
+impl<M: Clone + 'static> Sim<M> {
+    /// Degrades the link between `a` and `b` (both directions): every message
+    /// crossing it is subject to `quality`'s loss, delay, jitter and
+    /// duplication, driven by a per-link random stream derived from the
+    /// simulation seed.
+    pub fn set_link_quality(&mut self, a: ProcessId, b: ProcessId, quality: LinkQuality) {
+        self.ensure_cloner();
+        self.link_qualities.insert(pair_key(a, b), quality);
+    }
+
+    /// Applies `quality` to every link without a per-pair override; `None`
+    /// restores perfect default links.
+    pub fn set_default_link_quality(&mut self, quality: Option<LinkQuality>) {
+        if quality.is_some() {
+            self.ensure_cloner();
+        }
+        self.default_link_quality = quality;
+    }
+
+    fn ensure_cloner(&mut self) {
+        if self.cloner.is_none() {
+            self.cloner = Some(Box::new(M::clone));
+        }
     }
 }
 
@@ -523,6 +833,7 @@ impl<M> Context<'_, M> {
                 dst,
                 ev: Event::Message { src, payload },
                 incarnation: None,
+                degraded: false,
             },
         );
     }
@@ -545,6 +856,7 @@ impl<M> Context<'_, M> {
                 dst,
                 ev: Event::Timer { key },
                 incarnation: Some(inc),
+                degraded: false,
             },
         );
     }
@@ -593,7 +905,11 @@ mod tests {
     struct Responder;
     impl Actor<Msg> for Responder {
         fn on_event(&mut self, ev: Event<Msg>, ctx: &mut Context<'_, Msg>) {
-            if let Event::Message { src, payload: Msg::Ping } = ev {
+            if let Event::Message {
+                src,
+                payload: Msg::Ping,
+            } = ev
+            {
                 ctx.send_after(src, SimDuration::from_millis(10), Msg::Pong);
             }
         }
@@ -613,7 +929,9 @@ mod tests {
                     ctx.send(dst, Msg::Ping);
                     ctx.set_timer(SimDuration::from_secs(1), 0);
                 }
-                Event::Message { payload: Msg::Pong, .. } => {
+                Event::Message {
+                    payload: Msg::Pong, ..
+                } => {
                     self.pongs.set(self.pongs.get() + 1);
                 }
                 Event::Message { .. } => {}
@@ -627,7 +945,10 @@ mod tests {
         let pongs = std::rc::Rc::new(std::cell::Cell::new(0));
         let p = pongs.clone();
         sim.spawn("pinger", move || {
-            Box::new(Pinger { target: "responder", pongs: p.clone() })
+            Box::new(Pinger {
+                target: "responder",
+                pongs: p.clone(),
+            })
         });
         (sim, responder, pongs)
     }
@@ -727,7 +1048,12 @@ mod tests {
         let out = std::rc::Rc::new(std::cell::Cell::new(0));
         let o = out.clone();
         let mut sim: Sim<Msg> = Sim::new(4);
-        let p = sim.spawn("counter", move || Box::new(Counter { seen: 0, out: o.clone() }));
+        let p = sim.spawn("counter", move || {
+            Box::new(Counter {
+                seen: 0,
+                out: o.clone(),
+            })
+        });
         let src = sim.spawn("src", || Box::new(Responder));
         sim.send_external(src, p, SimDuration::from_secs(1), Msg::Ping);
         sim.send_external(src, p, SimDuration::from_secs(2), Msg::Ping);
@@ -737,7 +1063,11 @@ mod tests {
         sim.respawn_after(SimDuration::from_secs(1), p);
         sim.send_external(src, p, SimDuration::from_secs(5), Msg::Ping);
         sim.run();
-        assert_eq!(out.get(), 1, "restart must reset the counter to its start state");
+        assert_eq!(
+            out.get(),
+            1,
+            "restart must reset the counter to its start state"
+        );
     }
 
     #[test]
@@ -807,7 +1137,11 @@ mod tests {
         assert_eq!(sim.state(responder), ProcessState::Running);
         sim.set_link(pinger, responder, true);
         sim.run_until(SimTime::from_secs_f64(10.5));
-        assert!(pongs.get() >= 5, "pings resume after healing: {}", pongs.get());
+        assert!(
+            pongs.get() >= 5,
+            "pings resume after healing: {}",
+            pongs.get()
+        );
     }
 
     #[test]
@@ -822,6 +1156,184 @@ mod tests {
         assert!(sim.link_up(pinger, responder));
         sim.run_until(SimTime::from_secs(8));
         assert!(pongs.get() > 0);
+    }
+
+    #[test]
+    fn zombie_answers_filtered_messages_only() {
+        let (mut sim, responder, pongs) = ping_sim();
+        sim.set_zombie_filter(|m| matches!(m, Msg::Ping));
+        sim.run_until(SimTime::from_secs_f64(2.5));
+        assert_eq!(pongs.get(), 2);
+        sim.zombie(responder);
+        sim.run_until(SimTime::from_secs_f64(6.5));
+        // The zombie responder still answers pings: observationally alive.
+        assert_eq!(sim.state(responder), ProcessState::Zombie);
+        assert!(
+            pongs.get() >= 5,
+            "zombie must keep answering pings: {}",
+            pongs.get()
+        );
+    }
+
+    #[test]
+    fn zombie_without_filter_is_fail_silent() {
+        let (mut sim, responder, pongs) = ping_sim();
+        sim.run_until(SimTime::from_secs_f64(2.5));
+        sim.zombie(responder);
+        sim.run_until(SimTime::from_secs(6));
+        assert_eq!(pongs.get(), 2, "no filter: the zombie drops everything");
+        let zombie_drops = sim
+            .trace()
+            .iter()
+            .filter(|e| e.kind == TraceKind::Dropped && e.label.starts_with("zombie:"))
+            .count();
+        assert!(zombie_drops > 0);
+    }
+
+    #[test]
+    fn zombie_timers_are_dropped() {
+        let (mut sim, _responder, pongs) = ping_sim();
+        sim.set_zombie_filter(|m| matches!(m, Msg::Ping));
+        let pinger = sim.lookup("pinger").unwrap();
+        sim.run_until(SimTime::from_secs_f64(2.5));
+        sim.zombie(pinger);
+        sim.run_until(SimTime::from_secs(8));
+        // The pinger's periodic timer dies with zombification, so no more
+        // pings are sent even though the responder is healthy.
+        assert_eq!(pongs.get(), 2);
+    }
+
+    #[test]
+    fn respawn_cures_zombie() {
+        let (mut sim, responder, pongs) = ping_sim();
+        sim.run_until(SimTime::from_secs_f64(2.5));
+        sim.zombie(responder);
+        sim.run_until(SimTime::from_secs(5));
+        assert_eq!(pongs.get(), 2);
+        sim.respawn_after(SimDuration::ZERO, responder);
+        sim.run_until(SimTime::from_secs(9));
+        assert_eq!(sim.state(responder), ProcessState::Running);
+        assert!(
+            pongs.get() >= 5,
+            "service resumes after respawn: {}",
+            pongs.get()
+        );
+    }
+
+    #[test]
+    fn total_loss_drops_every_message() {
+        let (mut sim, responder, pongs) = ping_sim();
+        let pinger = sim.lookup("pinger").unwrap();
+        sim.set_link_quality(pinger, responder, LinkQuality::lossy(1.0));
+        sim.run_until(SimTime::from_secs(6));
+        assert_eq!(pongs.get(), 0);
+        assert!(sim
+            .trace()
+            .iter()
+            .any(|e| e.kind == TraceKind::Dropped && e.label.starts_with("loss:")));
+        // Both endpoints stayed healthy: pure wire loss.
+        assert_eq!(sim.state(responder), ProcessState::Running);
+    }
+
+    #[test]
+    fn link_delay_shifts_delivery() {
+        let mut sim: Sim<Msg> = Sim::new(11);
+        let responder = sim.spawn("responder", || Box::new(Responder));
+        let probe = sim.spawn("probe", || Box::new(Responder));
+        let q = LinkQuality::PERFECT.with_delay(SimDuration::from_millis(250));
+        sim.set_link_quality(probe, responder, q);
+        sim.send_external(probe, responder, SimDuration::ZERO, Msg::Ping);
+        sim.run();
+        // Ping delayed 250ms, reply sent 10ms later, delayed another 250ms.
+        assert_eq!(sim.now(), SimTime::from_secs_f64(0.510));
+    }
+
+    #[test]
+    fn duplication_delivers_copies() {
+        let (mut sim, responder, pongs) = ping_sim();
+        let pinger = sim.lookup("pinger").unwrap();
+        let q = LinkQuality::PERFECT.with_duplicate(1.0);
+        sim.set_link_quality(pinger, responder, q);
+        sim.run_until(SimTime::from_secs_f64(1.5));
+        // One ping duplicated into two, each pong duplicated into two: four.
+        assert_eq!(pongs.get(), 4);
+    }
+
+    #[test]
+    fn degraded_links_are_deterministic() {
+        let run = |seed: u64| {
+            let mut sim: Sim<Msg> = Sim::new(seed);
+            let responder = sim.spawn("responder", || Box::new(Responder));
+            let pongs = std::rc::Rc::new(std::cell::Cell::new(0));
+            let p = pongs.clone();
+            sim.spawn("pinger", move || {
+                Box::new(Pinger {
+                    target: "responder",
+                    pongs: p.clone(),
+                })
+            });
+            let pinger = sim.lookup("pinger").unwrap();
+            let q = LinkQuality::lossy(0.4)
+                .with_jitter(SimDuration::from_millis(50))
+                .with_duplicate(0.2);
+            sim.set_link_quality(pinger, responder, q);
+            sim.run_until(SimTime::from_secs(60));
+            (pongs.get(), sim.trace().len(), sim.events_processed())
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+        let (pongs, _, _) = run(42);
+        assert!(pongs > 0, "some pings must survive 40% loss");
+        assert!(pongs < 59, "some pings must be lost");
+    }
+
+    #[test]
+    fn default_link_quality_applies_everywhere_and_clears() {
+        let (mut sim, _responder, pongs) = ping_sim();
+        sim.set_default_link_quality(Some(LinkQuality::lossy(1.0)));
+        sim.run_until(SimTime::from_secs(4));
+        assert_eq!(pongs.get(), 0);
+        sim.set_default_link_quality(None);
+        sim.run_until(SimTime::from_secs(8));
+        assert!(pongs.get() > 0, "healed default link carries traffic again");
+    }
+
+    #[test]
+    fn per_pair_quality_overrides_default() {
+        let (mut sim, responder, pongs) = ping_sim();
+        let pinger = sim.lookup("pinger").unwrap();
+        sim.set_default_link_quality(Some(LinkQuality::lossy(1.0)));
+        sim.set_link_quality(pinger, responder, LinkQuality::PERFECT);
+        sim.run_until(SimTime::from_secs(4));
+        assert_eq!(pongs.get(), 3, "perfect override wins over lossy default");
+        sim.clear_link_quality(pinger, responder);
+        let before = pongs.get();
+        sim.run_until(SimTime::from_secs(8));
+        assert_eq!(
+            pongs.get(),
+            before,
+            "cleared override falls back to lossy default"
+        );
+    }
+
+    #[test]
+    fn persistent_crash_defeats_respawn_until_cleared() {
+        let mut sim: Sim<Msg> = Sim::new(12);
+        let p = sim.spawn("victim", || Box::new(Responder));
+        sim.set_persistent_crash(p, true);
+        assert!(sim.is_persistent_crash(p));
+        sim.kill(p);
+        sim.respawn_after(SimDuration::from_secs(1), p);
+        sim.run();
+        assert_eq!(sim.state(p), ProcessState::Crashed, "re-killed on respawn");
+        sim.set_persistent_crash(p, false);
+        sim.respawn_after(SimDuration::from_secs(1), p);
+        sim.run();
+        assert_eq!(
+            sim.state(p),
+            ProcessState::Running,
+            "cleared mark lets restart stick"
+        );
     }
 
     #[test]

@@ -7,15 +7,13 @@
 //! targeted experiments or generated from failure-time distributions for
 //! long-horizon availability runs.
 
-use serde::{Deserialize, Serialize};
-
 use crate::dist::Dist;
 use crate::engine::Sim;
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
 
 /// The kind of injected fault.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FaultKind {
     /// Crash: process state is lost and the process goes silent
     /// (the simulated `SIGKILL`).
@@ -23,10 +21,58 @@ pub enum FaultKind {
     /// Hang: process goes silent but keeps its state (a wedged process —
     /// deadlock, livelock, infinite loop). Detected and cured identically.
     Hang,
+    /// Zombie: the process keeps answering liveness pings (whatever the
+    /// simulation's [zombie filter](Sim::set_zombie_filter) admits) but
+    /// drops all real work and its own timers. Invisible to naive
+    /// ping-based detection.
+    Zombie,
+    /// Hard crash: like [`Crash`](FaultKind::Crash), but the process dies
+    /// again on every respawn — restarts never cure it, forcing the
+    /// recovery machinery through escalation and give-up.
+    HardCrash,
+}
+
+impl FaultKind {
+    /// Every fault kind, in a stable order.
+    pub const ALL: [FaultKind; 4] = [
+        FaultKind::Crash,
+        FaultKind::Hang,
+        FaultKind::Zombie,
+        FaultKind::HardCrash,
+    ];
+
+    /// The canonical text name used by the script format.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FaultKind::Crash => "crash",
+            FaultKind::Hang => "hang",
+            FaultKind::Zombie => "zombie",
+            FaultKind::HardCrash => "hard-crash",
+        }
+    }
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for FaultKind {
+    type Err = ScriptParseError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        FaultKind::ALL
+            .into_iter()
+            .find(|k| k.as_str() == s)
+            .ok_or_else(|| ScriptParseError {
+                line: 0,
+                message: format!("unknown fault kind {s:?}"),
+            })
+    }
 }
 
 /// One scheduled fault.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScriptedFault {
     /// When to inject.
     pub at: SimTime,
@@ -45,7 +91,7 @@ pub struct ScriptedFault {
 ///     .with_fault(SimTime::from_secs(50), "ses", FaultKind::Hang);
 /// assert_eq!(script.faults()[0].target, "ses"); // sorted by time
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct FaultScript {
     faults: Vec<ScriptedFault>,
 }
@@ -77,6 +123,66 @@ impl FaultScript {
     /// The scheduled faults, sorted by time.
     pub fn faults(&self) -> &[ScriptedFault] {
         &self.faults
+    }
+
+    /// Serializes the script to its text format: one fault per line,
+    /// `<nanos> <kind> <target>`, in time order. Times are integer
+    /// nanoseconds so the round-trip through [`FaultScript::parse`] is
+    /// exact.
+    ///
+    /// ```
+    /// use rr_sim::{FaultKind, FaultScript, SimTime};
+    /// let script = FaultScript::new()
+    ///     .with_fault(SimTime::from_secs(2), "rtu", FaultKind::Zombie);
+    /// let text = script.to_text();
+    /// assert_eq!(text, "2000000000 zombie rtu\n");
+    /// assert_eq!(FaultScript::parse(&text).unwrap(), script);
+    /// ```
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.faults {
+            out.push_str(&format!("{} {} {}\n", f.at.as_nanos(), f.kind, f.target));
+        }
+        out
+    }
+
+    /// Parses the text format produced by [`FaultScript::to_text`]. Blank
+    /// lines and lines starting with `#` are ignored; targets may contain
+    /// spaces.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ScriptParseError`] naming the first malformed line.
+    pub fn parse(text: &str) -> Result<FaultScript, ScriptParseError> {
+        let mut script = FaultScript::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let err = |message: String| ScriptParseError {
+                line: idx + 1,
+                message,
+            };
+            let mut parts = line.splitn(3, ' ');
+            let at = parts
+                .next()
+                .expect("splitn yields at least one part")
+                .parse::<u64>()
+                .map_err(|e| err(format!("bad time: {e}")))?;
+            let kind = parts
+                .next()
+                .ok_or_else(|| err("missing fault kind".into()))?
+                .parse::<FaultKind>()
+                .map_err(|e| err(e.message))?;
+            let target = parts
+                .next()
+                .map(str::trim)
+                .filter(|t| !t.is_empty())
+                .ok_or_else(|| err("missing target".into()))?;
+            script.push(SimTime::from_nanos(at), target, kind);
+        }
+        Ok(script)
     }
 
     /// Generates a script of crash faults for `target` with inter-arrival
@@ -134,6 +240,13 @@ impl FaultScript {
             match f.kind {
                 FaultKind::Crash => sim.kill_after(delay, id),
                 FaultKind::Hang => sim.hang_after(delay, id),
+                FaultKind::Zombie => sim.zombie_after(delay, id),
+                FaultKind::HardCrash => {
+                    // The persistence mark is set now but only matters once
+                    // the scheduled crash lands.
+                    sim.set_persistent_crash(id, true);
+                    sim.kill_after(delay, id);
+                }
             }
         }
         if unknown.is_empty() {
@@ -159,6 +272,24 @@ impl FromIterator<ScriptedFault> for FaultScript {
         s
     }
 }
+
+/// Error: a fault-script text document was malformed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScriptParseError {
+    /// 1-based line number of the malformed line (0 when no line applies,
+    /// e.g. a bare [`FaultKind`] parse).
+    pub line: usize,
+    /// What was wrong with it.
+    pub message: String,
+}
+
+impl std::fmt::Display for ScriptParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "fault script line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ScriptParseError {}
 
 /// Error: a fault script referenced processes that are not in the simulation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -248,12 +379,8 @@ mod tests {
     #[test]
     fn poisson_like_handles_degenerate_zero_gap() {
         let mut rng = SimRng::new(4);
-        let script = FaultScript::poisson_like(
-            "x",
-            &Dist::constant(0.0),
-            SimTime::from_secs(10),
-            &mut rng,
-        );
+        let script =
+            FaultScript::poisson_like("x", &Dist::constant(0.0), SimTime::from_secs(10), &mut rng);
         assert!(script.faults().is_empty());
     }
 
@@ -280,10 +407,111 @@ mod tests {
     }
 
     #[test]
+    fn apply_schedules_zombies_and_hard_crashes() {
+        let mut sim: Sim<()> = Sim::new(6);
+        let z = sim.spawn("z", || Box::new(Nop));
+        let h = sim.spawn("h", || Box::new(Nop));
+        let script = FaultScript::new()
+            .with_fault(SimTime::from_secs(1), "z", FaultKind::Zombie)
+            .with_fault(SimTime::from_secs(2), "h", FaultKind::HardCrash);
+        script.apply(&mut sim).unwrap();
+        sim.run();
+        assert_eq!(sim.state(z), ProcessState::Zombie);
+        assert_eq!(sim.state(h), ProcessState::Crashed);
+        assert!(sim.is_persistent_crash(h));
+        // A restart does not stick: the hard crash re-kills immediately.
+        sim.respawn_after(SimDuration::from_secs(1), h);
+        sim.run();
+        assert_eq!(sim.state(h), ProcessState::Crashed);
+    }
+
+    #[test]
+    fn text_round_trip_covers_every_kind() {
+        let mut script = FaultScript::new();
+        for (i, kind) in FaultKind::ALL.into_iter().enumerate() {
+            script.push(SimTime::from_secs(i as u64 + 1), format!("comp-{i}"), kind);
+        }
+        let text = script.to_text();
+        for kind in FaultKind::ALL {
+            assert!(text.contains(kind.as_str()), "missing {kind} in {text:?}");
+        }
+        assert_eq!(FaultScript::parse(&text).unwrap(), script);
+    }
+
+    #[test]
+    fn text_round_trip_preserves_same_time_order() {
+        // Two faults at the identical instant: serialization and re-parsing
+        // must keep their relative order (the engine breaks ties by
+        // scheduling order, so this is behaviourally observable).
+        let t = SimTime::from_secs_f64(1.25);
+        let script = FaultScript::new()
+            .with_fault(t, "first", FaultKind::Crash)
+            .with_fault(t, "second", FaultKind::Hang);
+        let reparsed = FaultScript::parse(&script.to_text()).unwrap();
+        assert_eq!(reparsed, script);
+        let order: Vec<_> = reparsed
+            .faults()
+            .iter()
+            .map(|f| f.target.as_str())
+            .collect();
+        assert_eq!(order, vec!["first", "second"]);
+    }
+
+    #[test]
+    fn parse_skips_comments_and_blanks_and_allows_spacey_targets() {
+        let text = "# a fault schedule\n\n1000000000 crash a b c\n  \n# done\n";
+        let script = FaultScript::parse(text).unwrap();
+        assert_eq!(script.faults().len(), 1);
+        assert_eq!(script.faults()[0].target, "a b c");
+        assert_eq!(script.faults()[0].at, SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn parse_reports_malformed_lines() {
+        let bad_time = FaultScript::parse("soon crash a").unwrap_err();
+        assert_eq!(bad_time.line, 1);
+        assert!(bad_time.to_string().contains("bad time"));
+
+        let bad_kind = FaultScript::parse("# header\n5 explode a").unwrap_err();
+        assert_eq!(bad_kind.line, 2);
+        assert!(bad_kind.message.contains("explode"));
+
+        let no_target = FaultScript::parse("5 crash").unwrap_err();
+        assert!(no_target.message.contains("missing target"));
+
+        let blank_target = FaultScript::parse("5 crash  ").unwrap_err();
+        assert!(blank_target.message.contains("missing target"));
+    }
+
+    #[test]
+    fn random_scripts_round_trip() {
+        crate::check::run("fault::random_scripts_round_trip", 64, |rng| {
+            let mut script = FaultScript::new();
+            let n = rng.next_below(20) as usize;
+            for _ in 0..n {
+                let at = SimTime::from_nanos(rng.next_below(1 << 40));
+                let target = crate::check::ident(rng, 8);
+                let kind = *rng.choose(&FaultKind::ALL).unwrap();
+                script.push(at, target, kind);
+            }
+            let reparsed = FaultScript::parse(&script.to_text()).unwrap();
+            assert_eq!(reparsed, script);
+        });
+    }
+
+    #[test]
     fn from_iterator_collects_sorted() {
         let faults = vec![
-            ScriptedFault { at: SimTime::from_secs(2), target: "b".into(), kind: FaultKind::Crash },
-            ScriptedFault { at: SimTime::from_secs(1), target: "a".into(), kind: FaultKind::Crash },
+            ScriptedFault {
+                at: SimTime::from_secs(2),
+                target: "b".into(),
+                kind: FaultKind::Crash,
+            },
+            ScriptedFault {
+                at: SimTime::from_secs(1),
+                target: "a".into(),
+                kind: FaultKind::Crash,
+            },
         ];
         let script: FaultScript = faults.into_iter().collect();
         assert_eq!(script.faults()[0].target, "a");

@@ -60,6 +60,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod check;
 pub mod dist;
 pub mod engine;
 pub mod fault;
@@ -69,8 +70,8 @@ pub mod time;
 pub mod trace;
 
 pub use dist::Dist;
-pub use engine::{Actor, Context, Event, ProcessId, ProcessState, Sim};
-pub use fault::{FaultKind, FaultScript, ScriptedFault};
+pub use engine::{Actor, Context, Event, LinkQuality, ProcessId, ProcessState, Sim};
+pub use fault::{FaultKind, FaultScript, ScriptParseError, ScriptedFault};
 pub use rng::SimRng;
 pub use stats::{Histogram, OnlineStats, Summary};
 pub use time::{SimDuration, SimTime};

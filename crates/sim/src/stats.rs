@@ -7,8 +7,6 @@
 //! deviation, coefficient of variation, percentiles and a normal-approximation
 //! 95% confidence interval.
 
-use serde::{Deserialize, Serialize};
-
 /// Streaming mean/variance accumulator (Welford's algorithm).
 ///
 /// ```
@@ -20,7 +18,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(s.mean(), 5.0);
 /// assert!((s.population_std_dev() - 2.0).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct OnlineStats {
     n: u64,
     mean: f64,
@@ -179,7 +177,7 @@ impl FromIterator<f64> for OnlineStats {
 
 /// A full summary of a sample, including percentiles (requires retaining the
 /// observations, unlike [`OnlineStats`]).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Summary {
     /// Number of observations.
     pub count: usize,
@@ -253,7 +251,7 @@ impl std::fmt::Display for Summary {
 /// assert_eq!(h.count(), 5);
 /// assert_eq!(h.overflow(), 1);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Histogram {
     lo: f64,
     hi: f64,
@@ -269,7 +267,10 @@ impl Histogram {
     ///
     /// Panics if the range is empty/non-finite or `buckets` is zero.
     pub fn new(lo: f64, hi: f64, buckets: usize) -> Histogram {
-        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "bad range [{lo}, {hi})");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo < hi,
+            "bad range [{lo}, {hi})"
+        );
         assert!(buckets > 0, "need at least one bucket");
         Histogram {
             lo,

@@ -8,8 +8,6 @@ use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 
-use serde::{Deserialize, Serialize};
-
 const NANOS_PER_SEC: u64 = 1_000_000_000;
 const NANOS_PER_MILLI: u64 = 1_000_000;
 
@@ -20,7 +18,7 @@ const NANOS_PER_MILLI: u64 = 1_000_000;
 /// let t = SimTime::ZERO + SimDuration::from_secs(3);
 /// assert_eq!(t.as_secs_f64(), 3.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(u64);
 
 /// A span of virtual time, measured in nanoseconds.
@@ -30,7 +28,7 @@ pub struct SimTime(u64);
 /// let d = SimDuration::from_millis(1500);
 /// assert_eq!(d.as_secs_f64(), 1.5);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimDuration(u64);
 
 impl SimTime {
@@ -145,7 +143,10 @@ impl SimDuration {
     ///
     /// Panics if `factor` is negative or not finite.
     pub fn mul_f64(self, factor: f64) -> SimDuration {
-        assert!(factor.is_finite() && factor >= 0.0, "invalid factor: {factor}");
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "invalid factor: {factor}"
+        );
         SimDuration((self.0 as f64 * factor).round() as u64)
     }
 
@@ -211,7 +212,11 @@ impl SubAssign for SimDuration {
 impl Mul<u32> for SimDuration {
     type Output = SimDuration;
     fn mul(self, rhs: u32) -> SimDuration {
-        SimDuration(self.0.checked_mul(rhs as u64).expect("SimDuration overflow"))
+        SimDuration(
+            self.0
+                .checked_mul(rhs as u64)
+                .expect("SimDuration overflow"),
+        )
     }
 }
 

@@ -10,13 +10,11 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::engine::ProcessId;
 use crate::time::SimTime;
 
 /// The kind of a trace record.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TraceKind {
     /// A process was created.
     Spawned,
@@ -24,6 +22,8 @@ pub enum TraceKind {
     Crashed,
     /// A process hung (fail-silent, state resident).
     Hung,
+    /// A process became a zombie (answers pings, does no work).
+    Zombified,
     /// A process was restarted from its factory.
     Restarted,
     /// An event addressed to a dead process was dropped.
@@ -38,6 +38,7 @@ impl fmt::Display for TraceKind {
             TraceKind::Spawned => "spawned",
             TraceKind::Crashed => "crashed",
             TraceKind::Hung => "hung",
+            TraceKind::Zombified => "zombified",
             TraceKind::Restarted => "restarted",
             TraceKind::Dropped => "dropped",
             TraceKind::Mark => "mark",
@@ -47,12 +48,11 @@ impl fmt::Display for TraceKind {
 }
 
 /// One record in the trace.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TraceEvent {
     /// When the event happened.
     pub time: SimTime,
     /// The process it is attributed to, if any.
-    #[serde(skip)]
     pub pid: Option<ProcessId>,
     /// What happened.
     pub kind: TraceKind,
@@ -75,7 +75,7 @@ impl fmt::Display for TraceEvent {
 /// sim.mark("experiment-start");
 /// assert_eq!(sim.trace().iter().filter(|e| e.kind == TraceKind::Mark).count(), 1);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Trace {
     events: Vec<TraceEvent>,
 }

@@ -2,9 +2,8 @@
 //! determinism (same seed ⇒ identical run), fault-script independence from
 //! insertion order, and statistics invariants.
 
-use proptest::prelude::*;
 use rr_sim::{
-    Actor, Context, Event, FaultKind, FaultScript, Sim, SimDuration, SimTime, Summary,
+    check, Actor, Context, Event, FaultKind, FaultScript, Sim, SimDuration, SimTime, Summary,
 };
 
 /// A small network of chattering actors driven by RNG and timers — enough
@@ -58,7 +57,12 @@ fn run_network(seed: u64, kills: &[(u64, usize)], horizon_ms: u64) -> (u64, Stri
             .map(|n| n.to_string())
             .collect();
         let p = peers.clone();
-        sim.spawn(name, move || Box::new(Chatter { peers: p.clone(), sent: 0 }));
+        sim.spawn(name, move || {
+            Box::new(Chatter {
+                peers: p.clone(),
+                sent: 0,
+            })
+        });
     }
     for &(at_ms, idx) in kills {
         let pid = sim.lookup(names[idx % names.len()]).unwrap();
@@ -69,36 +73,40 @@ fn run_network(seed: u64, kills: &[(u64, usize)], horizon_ms: u64) -> (u64, Stri
     (sim.events_processed(), sim.trace().render())
 }
 
-proptest! {
-    /// Bit-for-bit determinism: identical seeds and inputs give identical
-    /// event counts and traces.
-    #[test]
-    fn same_seed_same_trace(
-        seed in any::<u64>(),
-        kills in proptest::collection::vec((0u64..5_000, any::<usize>()), 0..6),
-    ) {
+/// Bit-for-bit determinism: identical seeds and inputs give identical
+/// event counts and traces.
+#[test]
+fn same_seed_same_trace() {
+    check::run("same_seed_same_trace", 24, |rng| {
+        let seed = rng.next_u64();
+        let kills: Vec<(u64, usize)> =
+            check::vec_of(rng, 0, 5, |r| (r.next_below(5_000), r.next_u64() as usize));
         let a = run_network(seed, &kills, 10_000);
         let b = run_network(seed, &kills, 10_000);
-        prop_assert_eq!(a.0, b.0);
-        prop_assert_eq!(a.1, b.1);
-    }
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1, b.1);
+    });
+}
 
-    /// Different seeds almost surely diverge (sanity check that the RNG is
-    /// actually threading through).
-    #[test]
-    fn different_seeds_diverge(seed in any::<u64>()) {
+/// Different seeds almost surely diverge (sanity check that the RNG is
+/// actually threading through).
+#[test]
+fn different_seeds_diverge() {
+    check::run("different_seeds_diverge", 16, |rng| {
+        let seed = rng.next_u64();
         let a = run_network(seed, &[], 10_000);
         let b = run_network(seed.wrapping_add(1), &[], 10_000);
         // Event counts can coincide, but full traces should not.
-        prop_assert_ne!(a.1, b.1);
-    }
+        assert_ne!(a.1, b.1);
+    });
+}
 
-    /// Fault scripts sort by time regardless of insertion order, and apply
-    /// identically.
-    #[test]
-    fn fault_script_order_independent(
-        mut times in proptest::collection::vec(0u64..10_000, 1..10),
-    ) {
+/// Fault scripts sort by time regardless of insertion order, and apply
+/// identically.
+#[test]
+fn fault_script_order_independent() {
+    check::run("fault_script_order_independent", 64, |rng| {
+        let mut times: Vec<u64> = check::vec_of(rng, 1, 9, |r| r.next_below(10_000));
         let mut fwd = FaultScript::new();
         for &t in &times {
             fwd.push(SimTime::from_nanos(t), "a", FaultKind::Crash);
@@ -110,27 +118,34 @@ proptest! {
         }
         let f: Vec<_> = fwd.faults().iter().map(|f| f.at).collect();
         let r: Vec<_> = rev.faults().iter().map(|f| f.at).collect();
-        prop_assert_eq!(f, r);
-    }
+        assert_eq!(f, r);
+    });
+}
 
-    /// Summary invariants: min ≤ p50 ≤ p90 ≤ p99 ≤ max, and the mean lies
-    /// within [min, max].
-    #[test]
-    fn summary_orderings(values in proptest::collection::vec(0.0f64..1e6, 1..200)) {
+/// Summary invariants: min ≤ p50 ≤ p90 ≤ p99 ≤ max, and the mean lies
+/// within [min, max].
+#[test]
+fn summary_orderings() {
+    check::run("summary_orderings", 128, |rng| {
+        let values: Vec<f64> = check::vec_of(rng, 1, 199, |r| r.uniform(0.0, 1e6));
         let s = Summary::of(&values);
-        prop_assert!(s.min <= s.p50 + 1e-9);
-        prop_assert!(s.p50 <= s.p90 + 1e-9);
-        prop_assert!(s.p90 <= s.p99 + 1e-9);
-        prop_assert!(s.p99 <= s.max + 1e-9);
-        prop_assert!(s.mean >= s.min - 1e-9 && s.mean <= s.max + 1e-9);
-        prop_assert!(s.std_dev >= 0.0);
-    }
+        assert!(s.min <= s.p50 + 1e-9);
+        assert!(s.p50 <= s.p90 + 1e-9);
+        assert!(s.p90 <= s.p99 + 1e-9);
+        assert!(s.p99 <= s.max + 1e-9);
+        assert!(s.mean >= s.min - 1e-9 && s.mean <= s.max + 1e-9);
+        assert!(s.std_dev >= 0.0);
+    });
+}
 
-    /// Exponential sampling is scale-covariant: samples with mean m scale
-    /// like samples with mean 1.
-    #[test]
-    fn exponential_scaling(mean in 0.1f64..1e4, seed in any::<u64>()) {
-        use rr_sim::{Dist, SimRng};
+/// Exponential sampling is scale-covariant: samples with mean m scale
+/// like samples with mean 1.
+#[test]
+fn exponential_scaling() {
+    use rr_sim::{Dist, SimRng};
+    check::run("exponential_scaling", 64, |rng| {
+        let mean = rng.uniform(0.1, 1e4);
+        let seed = rng.next_u64();
         let mut r1 = SimRng::new(seed);
         let mut r2 = SimRng::new(seed);
         let unit = Dist::exponential(1.0);
@@ -138,7 +153,7 @@ proptest! {
         for _ in 0..32 {
             let a = unit.sample_secs(&mut r1) * mean;
             let b = scaled.sample_secs(&mut r2);
-            prop_assert!((a - b).abs() < 1e-6 * mean.max(1.0), "{a} vs {b}");
+            assert!((a - b).abs() < 1e-6 * mean.max(1.0), "{a} vs {b}");
         }
-    }
+    });
 }

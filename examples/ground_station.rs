@@ -43,7 +43,10 @@ fn run_pass(variant: TreeVariant, inject: bool) -> (usize, f64) {
     let end = plan.set_sim_time() + SimDuration::from_secs(10);
     let dur = end.saturating_since(station.now());
     station.run_for(dur);
-    (telemetry_frames(station.trace(), start, station.now()), recovery)
+    (
+        telemetry_frames(station.trace(), start, station.now()),
+        recovery,
+    )
 }
 
 fn main() {
@@ -60,7 +63,10 @@ fn main() {
         plan.max_frames(&cfg)
     );
 
-    println!("{:<10} {:>16} {:>18} {:>14}", "tree", "frames (clean)", "frames (failure)", "recovery (s)");
+    println!(
+        "{:<10} {:>16} {:>18} {:>14}",
+        "tree", "frames (clean)", "frames (failure)", "recovery (s)"
+    );
     for variant in [TreeVariant::I, TreeVariant::V] {
         let (clean, _) = run_pass(variant, false);
         let (faulty, recovery) = run_pass(variant, true);

@@ -26,7 +26,10 @@ fn main() {
     station.warm_up();
 
     println!("Learning oracle over tree IV; repeated correlated pbcom failures:\n");
-    println!("{:<9} {:>9} {:>14} {:>22}", "episode", "attempts", "recovery (s)", "oracle went straight to");
+    println!(
+        "{:<9} {:>9} {:>14} {:>22}",
+        "episode", "attempts", "recovery (s)", "oracle went straight to"
+    );
     for episode in 1..=8 {
         let injected = station.inject_correlated_pbcom();
         station.run_for(SimDuration::from_secs(150));
@@ -36,7 +39,11 @@ fn main() {
             episode,
             m.attempts,
             m.recovery_s(),
-            if m.attempts == 1 { "the joint cell" } else { "pbcom alone (wrong)" }
+            if m.attempts == 1 {
+                "the joint cell"
+            } else {
+                "pbcom alone (wrong)"
+            }
         );
         // Age the incarnations between episodes.
         station.run_for(SimDuration::from_secs(60));

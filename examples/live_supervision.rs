@@ -29,7 +29,10 @@ impl Service for Worker {
         if post.body.starts_with("job:") {
             self.processed += 1;
             self.lifetime_total.fetch_add(1, Ordering::Relaxed);
-            ctx.send(&post.from, format!("done:{}:{}", ctx.name(), self.processed));
+            ctx.send(
+                &post.from,
+                format!("done:{}:{}", ctx.name(), self.processed),
+            );
         }
     }
 }
@@ -44,12 +47,19 @@ fn main() {
         .expect("valid tree");
     println!("Supervision tree:\n{}", rr_core::render::render_tree(&tree));
 
-    let sup = Supervisor::new(tree, Box::new(PerfectOracle::new()), WatchdogConfig::default());
+    let sup = Supervisor::new(
+        tree,
+        Box::new(PerfectOracle::new()),
+        WatchdogConfig::default(),
+    );
     let total = Arc::new(AtomicU64::new(0));
     for name in ["gateway", "worker-a", "worker-b"] {
         let t = total.clone();
         sup.add_service(name, Duration::from_millis(10), move || {
-            Box::new(Worker { processed: 0, lifetime_total: t.clone() })
+            Box::new(Worker {
+                processed: 0,
+                lifetime_total: t.clone(),
+            })
         });
     }
     sup.await_ready(Duration::from_secs(5));

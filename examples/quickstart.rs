@@ -45,7 +45,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("t=10s: the failure detector reports that B stopped answering pings.");
     match rec.on_failure(Failure::solo("B"), t0) {
-        RecoveryDecision::Restart { node, components, attempt } => {
+        RecoveryDecision::Restart {
+            node,
+            components,
+            attempt,
+            ..
+        } => {
             println!(
                 "REC decision: restart cell {} (attempt {attempt}) -> components {:?}",
                 rec.tree().label(node),
@@ -67,7 +72,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A correlated failure: manifests in B but needs B and C together.
     println!("\nt=60s: a failure manifests in B that only a joint [B,C] restart cures.");
     match rec.on_failure(Failure::correlated("B", ["B", "C"]), SimTime::from_secs(60)) {
-        RecoveryDecision::Restart { node, components, .. } => {
+        RecoveryDecision::Restart {
+            node, components, ..
+        } => {
             println!(
                 "A perfect oracle goes straight to {} -> {:?} (no guess-too-low).",
                 rec.tree().label(node),

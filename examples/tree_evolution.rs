@@ -65,7 +65,9 @@ fn main() {
     let r3 = measure(TreeVariant::III, names::SES, trials);
     let r4 = measure(TreeVariant::IV, names::SES, trials);
     println!("ses recovery: {r3:.2}s under tree III (slow resync with the old str)");
-    println!("           -> {r4:.2}s under tree IV (both restarted together; paper: 9.50 -> 6.25)\n");
+    println!(
+        "           -> {r4:.2}s under tree IV (both restarted together; paper: 9.50 -> 6.25)\n"
+    );
 
     // Tree V: promoting pbcom (§4.4).
     println!("--- Tree V: pbcom promoted onto the joint cell ---");

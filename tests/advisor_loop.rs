@@ -8,9 +8,7 @@
 
 use mercury::config::StationConfig;
 use rr_core::advisor::{advise, Advice, OracleAssumption};
-use rr_core::transform::{
-    consolidate, consolidate_one_sided, depth_augment, group_cells,
-};
+use rr_core::transform::{consolidate, consolidate_one_sided, depth_augment, group_cells};
 use rr_core::tree::RestartTree;
 use rr_core::TreeSpec;
 
@@ -18,8 +16,7 @@ use rr_core::TreeSpec;
 fn apply(tree: &mut RestartTree, advice: &Advice) {
     match advice {
         Advice::Augment { cell, components } => {
-            let partition: Vec<Vec<String>> =
-                components.iter().map(|c| vec![c.clone()]).collect();
+            let partition: Vec<Vec<String>> = components.iter().map(|c| vec![c.clone()]).collect();
             depth_augment(tree, *cell, &partition).expect("augment applies");
         }
         Advice::Consolidate { components, .. } => {
@@ -36,7 +33,9 @@ fn apply(tree: &mut RestartTree, advice: &Advice) {
                 .collect();
             group_cells(tree, &cells).expect("grouping applies");
         }
-        Advice::Promote { component, partner, .. } => {
+        Advice::Promote {
+            component, partner, ..
+        } => {
             // If a cell already covers exactly the pair (a prior Group step,
             // or tree III's joint subtree), plain promotion moves the
             // expensive side onto it. Otherwise, one-sided consolidation
@@ -50,8 +49,7 @@ fn apply(tree: &mut RestartTree, advice: &Advice) {
             let mut pair = vec![component.clone(), partner.clone()];
             pair.sort();
             if covered == pair {
-                rr_core::transform::promote_component(tree, component)
-                    .expect("promotion applies");
+                rr_core::transform::promote_component(tree, component).expect("promotion applies");
             } else {
                 let comp_cell = tree.cell_of_component(component).expect("attached");
                 let partner_cell = tree.cell_of_component(partner).expect("attached");
@@ -89,18 +87,24 @@ fn advisor_loop_converges_to_tree_v() {
         steps.push(format!("round {round}: {first}"));
         apply(&mut tree, first);
         tree.validate().unwrap();
-        assert!(round < 7, "advisor loop failed to converge:\n{}", steps.join("\n"));
+        assert!(
+            round < 7,
+            "advisor loop failed to converge:\n{}",
+            steps.join("\n")
+        );
     }
 
     // Converged: no further advice.
     let remaining = advise(&tree, &model, &cost, OracleAssumption::MayErr);
-    assert!(remaining.is_empty(), "leftover advice: {remaining:?}\n{tree}");
+    assert!(
+        remaining.is_empty(),
+        "leftover advice: {remaining:?}\n{tree}"
+    );
 
     // The result is exactly tree V's structure.
     let tree_v = mercury::station::TreeVariant::V.tree();
     let canon = |t: &RestartTree| {
-        let mut groups: Vec<Vec<String>> =
-            t.groups().into_iter().map(|(_, comps)| comps).collect();
+        let mut groups: Vec<Vec<String>> = t.groups().into_iter().map(|(_, comps)| comps).collect();
         groups.sort();
         groups
     };
@@ -139,10 +143,19 @@ fn advisor_loop_with_perfect_oracle_stops_at_tree_iv_shape() {
     assert!(advise(&tree, &model, &cost, OracleAssumption::Perfect).is_empty());
 
     // ses/str consolidated:
-    assert!(rr_core::optimize::find_group(&tree, &["ses", "str"]).is_some(), "{tree}");
+    assert!(
+        rr_core::optimize::find_group(&tree, &["ses", "str"]).is_some(),
+        "{tree}"
+    );
     // Joint fedr/pbcom button exists…
-    assert!(rr_core::optimize::find_group(&tree, &["fedr", "pbcom"]).is_some(), "{tree}");
+    assert!(
+        rr_core::optimize::find_group(&tree, &["fedr", "pbcom"]).is_some(),
+        "{tree}"
+    );
     // …and pbcom keeps its own (tree IV, not V — "tree V can be better only
     // when the oracle is faulty").
-    assert!(rr_core::optimize::find_group(&tree, &["pbcom"]).is_some(), "{tree}");
+    assert!(
+        rr_core::optimize::find_group(&tree, &["pbcom"]).is_some(),
+        "{tree}"
+    );
 }

@@ -5,21 +5,30 @@
 //! 100-trial reproduction lives in the `repro` binary and EXPERIMENTS.md.
 
 use mercury::config::{names, StationConfig};
-use rr_harness::experiments::{measure_cell, OracleKind, RunConfig};
 use mercury::station::TreeVariant;
 use rr_core::analysis::{expected_mode_recovery_s, expected_system_mttr_s, OracleQuality};
 use rr_core::model::FailureMode;
 use rr_core::optimize::{find_group, optimize_tree, OptimizerConfig};
 use rr_core::TreeSpec;
+use rr_harness::experiments::{measure_cell, OracleKind, RunConfig};
 
 fn run() -> RunConfig {
-    RunConfig { trials: 5, seed: 99 }
+    RunConfig {
+        trials: 5,
+        seed: 99,
+    }
 }
 
 #[test]
 fn tree_ii_beats_tree_i_for_every_component() {
     // §4.1: depth augmentation lowers MTTR for every failed component.
-    for comp in [names::MBUS, names::SES, names::STR, names::RTU, names::FEDRCOM] {
+    for comp in [
+        names::MBUS,
+        names::SES,
+        names::STR,
+        names::RTU,
+        names::FEDRCOM,
+    ] {
         let i = measure_cell(TreeVariant::I, OracleKind::Perfect, comp, false, run());
         let ii = measure_cell(TreeVariant::II, OracleKind::Perfect, comp, false, run());
         assert!(
@@ -35,9 +44,27 @@ fn tree_ii_beats_tree_i_for_every_component() {
 fn splitting_fedrcom_pays_off_for_frequent_failures() {
     // §4.2: fedr (frequent) recovers ~4x faster than fedrcom did; pbcom
     // (rare) is no worse than fedrcom.
-    let fedrcom = measure_cell(TreeVariant::II, OracleKind::Perfect, names::FEDRCOM, false, run());
-    let fedr = measure_cell(TreeVariant::III, OracleKind::Perfect, names::FEDR, false, run());
-    let pbcom = measure_cell(TreeVariant::III, OracleKind::Perfect, names::PBCOM, false, run());
+    let fedrcom = measure_cell(
+        TreeVariant::II,
+        OracleKind::Perfect,
+        names::FEDRCOM,
+        false,
+        run(),
+    );
+    let fedr = measure_cell(
+        TreeVariant::III,
+        OracleKind::Perfect,
+        names::FEDR,
+        false,
+        run(),
+    );
+    let pbcom = measure_cell(
+        TreeVariant::III,
+        OracleKind::Perfect,
+        names::PBCOM,
+        false,
+        run(),
+    );
     assert!(
         fedr.mean < fedrcom.mean / 3.0,
         "fedr {:.2}s vs fedrcom {:.2}s",
@@ -66,9 +93,24 @@ fn consolidation_beats_sequential_resync() {
 fn promotion_insures_against_the_faulty_oracle() {
     // §4.4: with a 30% faulty oracle, tree V beats tree IV on the
     // correlated pbcom failure; with a perfect oracle tree IV is fine.
-    let big = RunConfig { trials: 15, seed: 7 };
-    let iv_faulty = measure_cell(TreeVariant::IV, OracleKind::Faulty(0.3), names::PBCOM, true, big);
-    let v_faulty = measure_cell(TreeVariant::V, OracleKind::Faulty(0.3), names::PBCOM, true, big);
+    let big = RunConfig {
+        trials: 15,
+        seed: 7,
+    };
+    let iv_faulty = measure_cell(
+        TreeVariant::IV,
+        OracleKind::Faulty(0.3),
+        names::PBCOM,
+        true,
+        big,
+    );
+    let v_faulty = measure_cell(
+        TreeVariant::V,
+        OracleKind::Faulty(0.3),
+        names::PBCOM,
+        true,
+        big,
+    );
     assert!(
         v_faulty.mean < iv_faulty.mean,
         "tree V {:.2}s must beat tree IV {:.2}s under the faulty oracle",
@@ -92,9 +134,13 @@ fn factor_of_four_improvement_holds() {
         .unwrap();
     let model = cfg.paper_failure_model();
     let mttr_i = expected_system_mttr_s(&tree_i, &model, &cost, OracleQuality::Perfect).unwrap();
-    let mttr_v =
-        expected_system_mttr_s(&TreeVariant::V.tree(), &model, &cost, OracleQuality::Perfect)
-            .unwrap();
+    let mttr_v = expected_system_mttr_s(
+        &TreeVariant::V.tree(),
+        &model,
+        &cost,
+        OracleQuality::Perfect,
+    )
+    .unwrap();
     let factor = mttr_i / mttr_v;
     assert!(
         (3.0..6.0).contains(&factor),
@@ -109,9 +155,27 @@ fn analytic_model_matches_simulation() {
     let cfg = StationConfig::paper();
     let cost = cfg.cost_model();
     let cases = [
-        (TreeVariant::II, names::RTU, false, OracleKind::Perfect, OracleQuality::Perfect),
-        (TreeVariant::III, names::SES, false, OracleKind::Perfect, OracleQuality::Perfect),
-        (TreeVariant::IV, names::SES, false, OracleKind::Perfect, OracleQuality::Perfect),
+        (
+            TreeVariant::II,
+            names::RTU,
+            false,
+            OracleKind::Perfect,
+            OracleQuality::Perfect,
+        ),
+        (
+            TreeVariant::III,
+            names::SES,
+            false,
+            OracleKind::Perfect,
+            OracleQuality::Perfect,
+        ),
+        (
+            TreeVariant::IV,
+            names::SES,
+            false,
+            OracleKind::Perfect,
+            OracleQuality::Perfect,
+        ),
         (
             TreeVariant::V,
             names::PBCOM,
@@ -127,8 +191,7 @@ fn analytic_model_matches_simulation() {
         } else {
             FailureMode::solo("solo", comp, 1.0)
         };
-        let analytic =
-            expected_mode_recovery_s(&variant.tree(), &mode, &cost, quality).unwrap();
+        let analytic = expected_mode_recovery_s(&variant.tree(), &mode, &cost, quality).unwrap();
         let rel = (sim.mean - analytic).abs() / analytic;
         assert!(
             rel < 0.10,
@@ -152,8 +215,14 @@ fn optimizer_rederives_the_paper_trees() {
         .build()
         .unwrap();
 
-    let perfect = optimize_tree(&start, &model, &cost, OracleQuality::Perfect, OptimizerConfig::default())
-        .unwrap();
+    let perfect = optimize_tree(
+        &start,
+        &model,
+        &cost,
+        OracleQuality::Perfect,
+        OptimizerConfig::default(),
+    )
+    .unwrap();
     assert!(find_group(&perfect.tree, &[names::SES, names::STR]).is_some());
     assert!(find_group(&perfect.tree, &[names::FEDR]).is_some());
 
@@ -173,9 +242,13 @@ fn optimizer_rederives_the_paper_trees() {
         faulty.tree
     );
     // The optimum is never worse than the hand-designed tree V.
-    let hand_v =
-        expected_system_mttr_s(&TreeVariant::V.tree(), &model, &cost, OracleQuality::Faulty { undershoot: 0.3 })
-            .unwrap();
+    let hand_v = expected_system_mttr_s(
+        &TreeVariant::V.tree(),
+        &model,
+        &cost,
+        OracleQuality::Faulty { undershoot: 0.3 },
+    )
+    .unwrap();
     assert!(faulty.expected_mttr_s <= hand_v + 1e-9);
 }
 

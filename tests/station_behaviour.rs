@@ -43,7 +43,14 @@ fn health_beacons_reach_rec() {
     // Future work §7: component health summaries flow to REC.
     let s = station(TreeVariant::III, 2);
     let control = s.control().borrow();
-    for comp in [names::MBUS, names::FEDR, names::PBCOM, names::SES, names::STR, names::RTU] {
+    for comp in [
+        names::MBUS,
+        names::FEDR,
+        names::PBCOM,
+        names::SES,
+        names::STR,
+        names::RTU,
+    ] {
         let beacon = control
             .beacons
             .get(comp)
