@@ -3,6 +3,25 @@
 set -eux
 
 cargo build --release --workspace
+
+# Golden-trace regression suite first, as its own step, so a drift is
+# visible as a distinct failure with the trace diff in the log. On mismatch
+# the differ writes the normalized actual trace next to each golden as
+# tests/golden/<name>.actual.txt; print the diffs so CI uploads survive
+# without artifact plumbing.
+if ! cargo test -q -p rr-harness --test golden; then
+    set +x
+    echo "==== golden-trace drift ===="
+    for actual in tests/golden/*.actual.txt; do
+        [ -e "$actual" ] || continue
+        golden="${actual%.actual.txt}.txt"
+        echo "---- diff $golden ----"
+        diff -u "$golden" "$actual" || true
+    done
+    echo "==== end golden-trace drift (re-record with GOLDEN_RECORD=1) ===="
+    exit 1
+fi
+
 cargo test -q --workspace
 cargo fmt --check
 cargo clippy --workspace --all-targets -- -D warnings

@@ -1,0 +1,75 @@
+//! Sequential vs parallel recovery of correlated faults.
+//!
+//! Prints the group-recovery table (sequential scheduler vs the
+//! dependency-aware parallel scheduler) for the tree IV/V correlated-fault
+//! scenarios, asserts the parallel plan is strictly faster on each, then
+//! times one full correlated trial per scheduler.
+
+use mercury::config::names;
+use mercury::station::TreeVariant;
+use rr_bench::correlated_group_recovery;
+use rr_bench::harness::Runner;
+use rr_harness::experiments::{measure_correlated, CorrelatedKind, RunConfig};
+use std::hint::black_box;
+
+fn bench_parallel(r: &mut Runner) {
+    let run = RunConfig {
+        trials: 5,
+        seed: 0xD52002,
+    };
+    let scenarios: [(&str, TreeVariant, CorrelatedKind); 4] = [
+        (
+            "IV rtu+fedr",
+            TreeVariant::IV,
+            CorrelatedKind::Pair(names::RTU, names::FEDR),
+        ),
+        (
+            "IV merge",
+            TreeVariant::IV,
+            CorrelatedKind::FedrThenJointPbcom,
+        ),
+        (
+            "V rtu+ses",
+            TreeVariant::V,
+            CorrelatedKind::Pair(names::RTU, names::SES),
+        ),
+        (
+            "V merge",
+            TreeVariant::V,
+            CorrelatedKind::FedrThenJointPbcom,
+        ),
+    ];
+    eprintln!("\n[parallel] scenario     | sequential | parallel | speedup (5 trials)");
+    for (label, variant, kind) in scenarios {
+        let seq = measure_correlated(variant, kind, true, run).mean;
+        let par = measure_correlated(variant, kind, false, run).mean;
+        eprintln!(
+            "[parallel] {label:12} | {seq:10.2} | {par:8.2} | {:.2}x",
+            seq / par
+        );
+        assert!(
+            par < seq,
+            "{label}: parallel {par:.2} s is not strictly faster than sequential {seq:.2} s"
+        );
+    }
+
+    for serial in [true, false] {
+        let name = if serial { "sequential" } else { "parallel" };
+        let mut seed = 0u64;
+        r.bench(&format!("parallel/IV_rtu_fedr_trial/{name}"), || {
+            seed += 1;
+            black_box(correlated_group_recovery(
+                TreeVariant::IV,
+                names::RTU,
+                names::FEDR,
+                serial,
+                seed,
+            ))
+        });
+    }
+}
+
+fn main() {
+    let mut r = Runner::from_env();
+    bench_parallel(&mut r);
+}

@@ -13,6 +13,8 @@
 //!   learning-oracle episodes.
 //! * `micro` — kernel throughput: simulator events, XML codec, RNG, tree
 //!   queries.
+//! * `parallel` — sequential vs parallel recovery of correlated faults
+//!   (the dependency-aware scheduler's headline table).
 //!
 //! This library crate hosts shared helpers and the timing harness.
 
@@ -74,6 +76,44 @@ pub fn recovery_trial(
     measure_recovery(station.trace(), component, injected)
         .expect("trial recovers")
         .recovery_s()
+}
+
+/// Runs one correlated-fault trial: kills `a` and `b` at the same instant
+/// and returns the group recovery time in seconds — the time until every
+/// injected component is functionally ready for good. `serial` selects the
+/// sequential baseline scheduler instead of the parallel one.
+pub fn correlated_group_recovery(
+    variant: TreeVariant,
+    a: &str,
+    b: &str,
+    serial: bool,
+    seed: u64,
+) -> f64 {
+    let mut cfg = StationConfig::paper();
+    cfg.serial_recovery = serial;
+    let mut station = Station::new(
+        cfg,
+        variant,
+        BenchOracle::Perfect.build(seed ^ 0xBEEF),
+        seed,
+    );
+    station.warm_up();
+    let mut phase = SimRng::new(seed ^ 0xA5A5);
+    station.randomize_injection_phase(&mut phase);
+    let injected = station.inject_kill(a);
+    station.inject_kill(b);
+    station.run_for(SimDuration::from_secs(200));
+    let mut group = 0.0f64;
+    for comp in [a, b] {
+        let ready = station
+            .trace()
+            .mark_times(&format!("ready:{comp}"))
+            .filter(|&t| t >= injected)
+            .last()
+            .expect("injected component became ready again");
+        group = group.max(ready.saturating_since(injected).as_secs_f64());
+    }
+    group
 }
 
 /// Mean recovery over `n` trials (used to print reproduced rows in benches).

@@ -8,10 +8,11 @@
 //! The analytic predictions cross-validate the simulation: the test suite and
 //! benches check that simulated Table 4 entries agree with the closed form.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use crate::error::TreeError;
 use crate::model::{FailureMode, FailureModel};
+use crate::schedule::{plan_episodes, Suspicion};
 use crate::tree::RestartTree;
 
 /// Steady-state availability from mean time to failure and recovery:
@@ -301,7 +302,70 @@ pub fn expected_mode_recovery_s(
     Ok((1.0 - undershoot) * perfect_cost + undershoot * wrong_cost)
 }
 
-/// Expected system MTTR: the `f_m`-weighted average of per-mode recovery
+/// Expected recovery seconds for `modes` failing together when REC handles
+/// them *serially*: one episode at a time, each restarting its own minimal
+/// cure cell, later suspicions waiting for earlier ones to drain. Detection
+/// is paid once (the failures are simultaneous and FD's sweep finds them in
+/// the same round); restart costs accumulate.
+///
+/// # Errors
+///
+/// Returns [`TreeError`] if a mode references components not in the tree.
+///
+/// # Panics
+///
+/// Panics if `modes` is empty.
+pub fn expected_serial_group_recovery_s(
+    tree: &RestartTree,
+    modes: &[FailureMode],
+    cost: &dyn CostModel,
+) -> Result<f64, TreeError> {
+    assert!(!modes.is_empty(), "empty correlated group");
+    let mut total = cost.detection_s();
+    for mode in modes {
+        let cell = tree.lowest_cover(&mode.cure_set)?;
+        total += cost.restart_s(&tree.components_under(cell));
+    }
+    Ok(total)
+}
+
+/// Expected recovery seconds for `modes` failing together when REC plans one
+/// *antichain* of episodes and drives them concurrently: overlapping cure
+/// cells merge by promotion to their least common ancestor, independent ones
+/// restart in parallel. The group completes when the slowest component of the
+/// union is back, and contention is charged over everything rebooting at
+/// once — so `restart_s(union)` is exactly the parallel completion cost.
+///
+/// With a sub-additive cost model (contention below the cost of booting
+/// twice), this is never above [`expected_serial_group_recovery_s`] — the
+/// analytic face of the scheduler's "parallel no worse than serial" property.
+///
+/// # Errors
+///
+/// Returns [`TreeError`] if a mode references components not in the tree.
+///
+/// # Panics
+///
+/// Panics if `modes` is empty.
+pub fn expected_parallel_group_recovery_s(
+    tree: &RestartTree,
+    modes: &[FailureMode],
+    cost: &dyn CostModel,
+) -> Result<f64, TreeError> {
+    assert!(!modes.is_empty(), "empty correlated group");
+    let suspicions = modes
+        .iter()
+        .map(|mode| Suspicion::covering(tree, &mode.trigger, &mode.cure_set))
+        .collect::<Result<Vec<_>, _>>()?;
+    let plan = plan_episodes(tree, &suspicions)?;
+    let union: BTreeSet<String> = plan
+        .episodes
+        .iter()
+        .flat_map(|ep| ep.components.iter().cloned())
+        .collect();
+    let union: Vec<String> = union.into_iter().collect();
+    Ok(cost.detection_s() + cost.restart_s(&union))
+}
 /// times — the generalization of the §4.1 formula to arbitrary trees and
 /// oracles.
 ///
@@ -524,6 +588,59 @@ mod tests {
         let a1 = expected_availability(&tree_i, &model, &c, OracleQuality::Perfect).unwrap();
         let a4 = expected_availability(&tree_iv(), &model, &c, OracleQuality::Perfect).unwrap();
         assert!(a4 > a1, "tree IV {a4} should beat tree I {a1}");
+    }
+
+    #[test]
+    fn parallel_group_beats_serial_for_independent_faults() {
+        // rtu and fedr fail together in tree IV: their cells are disjoint,
+        // so the parallel plan restarts both at once and finishes with the
+        // slowest, while the serial baseline pays both boots back to back.
+        let tree = tree_iv();
+        let c = cost();
+        let modes = [
+            FailureMode::solo("rtu", "rtu", 1.0),
+            FailureMode::solo("fedr", "fedr", 1.0),
+        ];
+        let serial = expected_serial_group_recovery_s(&tree, &modes, &c).unwrap();
+        let parallel = expected_parallel_group_recovery_s(&tree, &modes, &c).unwrap();
+        // Serial: 0.9 + 4.69 + 4.86. Parallel: 0.9 + max(4.69, 4.86)·(1+q).
+        assert!((serial - (0.9 + 4.69 + 4.86)).abs() < 1e-9);
+        assert!((parallel - (0.9 + 4.86 * (1.0 + 0.0119))).abs() < 1e-9);
+        assert!(parallel < serial);
+    }
+
+    #[test]
+    fn parallel_group_merges_overlapping_faults_to_lca() {
+        // fedr and the joint pbcom failure overlap: the plan promotes to
+        // R_[fedr,pbcom], one episode, cost of the joint pair restart.
+        let tree = tree_iv();
+        let c = cost();
+        let modes = [
+            FailureMode::solo("fedr", "fedr", 1.0),
+            FailureMode::correlated("pbcom-joint", "pbcom", ["fedr", "pbcom"], 1.0),
+        ];
+        let parallel = expected_parallel_group_recovery_s(&tree, &modes, &c).unwrap();
+        let pair: Vec<String> = vec!["fedr".into(), "pbcom".into()];
+        assert!((parallel - (0.9 + c.restart_s(&pair))).abs() < 1e-9);
+        // The serial baseline restarts R_fedr, then the joint cell: strictly
+        // more work than the merged single episode.
+        let serial = expected_serial_group_recovery_s(&tree, &modes, &c).unwrap();
+        assert!(parallel < serial);
+    }
+
+    #[test]
+    fn group_recovery_of_single_mode_matches_perfect_mode_recovery() {
+        // A group of one is just the perfect-oracle mode recovery: the
+        // parallel algebra degenerates cleanly.
+        let tree = tree_iv();
+        let c = cost();
+        let mode = FailureMode::solo("rtu", "rtu", 1.0);
+        let solo = expected_mode_recovery_s(&tree, &mode, &c, OracleQuality::Perfect).unwrap();
+        let group =
+            expected_parallel_group_recovery_s(&tree, std::slice::from_ref(&mode), &c).unwrap();
+        assert!((solo - group).abs() < 1e-9);
+        let serial = expected_serial_group_recovery_s(&tree, &[mode], &c).unwrap();
+        assert!((solo - serial).abs() < 1e-9);
     }
 
     #[test]

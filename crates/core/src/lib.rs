@@ -62,6 +62,7 @@ pub mod policy;
 pub mod recoverer;
 pub mod recovery;
 pub mod render;
+pub mod schedule;
 pub mod transform;
 pub mod tree;
 
@@ -73,4 +74,5 @@ pub use oracle::{Failure, FaultyOracle, LearningOracle, NaiveOracle, Oracle, Per
 pub use policy::{GiveUpReason, RestartPolicy};
 pub use recoverer::{Recoverer, RecoveryDecision};
 pub use recovery::{ProcedureKind, RecoveryLadder, RecoveryProcedure};
+pub use schedule::{is_antichain, plan_episodes, EpisodePlan, PlannedEpisode, Suspicion};
 pub use tree::{NodeId, RestartTree, TreeSpec};

@@ -8,13 +8,14 @@
 //! process, or the threaded runtime's supervisor) actually kills and respawns
 //! processes and reports back.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 use rr_sim::{SimDuration, SimTime};
 
 use crate::oracle::{Failure, Oracle, RestartOutcome};
 use crate::policy::{GiveUpReason, RestartPolicy};
+use crate::schedule::{plan_episodes, Suspicion};
 use crate::tree::{NodeId, RestartTree};
 
 /// What the recoverer wants done about a reported failure.
@@ -32,6 +33,13 @@ pub enum RecoveryDecision {
         /// exponential backoff; zero unless backoff is configured and the
         /// cell was restarted recently).
         delay: SimDuration,
+        /// The originating suspicions this episode answers. The first entry
+        /// is the episode owner (its key for
+        /// [`Recoverer::on_restart_complete`] / [`Recoverer::on_cured`]);
+        /// any further entries are suspicions whose episodes were merged
+        /// into this one by promotion to the least common ancestor, and
+        /// whose previously-issued restarts are superseded.
+        origins: Vec<String>,
     },
     /// A restart of a cell covering this component is already in flight;
     /// the new report is subsumed by it.
@@ -55,6 +63,9 @@ struct Episode {
     last_node: Option<NodeId>,
     /// `true` once the restart has been issued but not yet completed.
     in_flight: bool,
+    /// The suspicions this episode answers: just the owner, until an LCA
+    /// merge folds other episodes' origins in.
+    origins: BTreeSet<String>,
 }
 
 /// Tracks failure episodes and produces restart decisions.
@@ -71,7 +82,9 @@ pub struct Recoverer<O> {
     tree: RestartTree,
     oracle: O,
     policy: RestartPolicy,
-    episodes: HashMap<String, Episode>,
+    /// Open episodes keyed by owner component. Ordered so that iteration
+    /// (and therefore merge resolution and decision order) is deterministic.
+    episodes: BTreeMap<String, Episode>,
     restarts_issued: u64,
     give_ups: u64,
 }
@@ -94,7 +107,7 @@ impl<O: Oracle> Recoverer<O> {
             tree,
             oracle,
             policy,
-            episodes: HashMap::new(),
+            episodes: BTreeMap::new(),
             restarts_issued: 0,
             give_ups: 0,
         }
@@ -133,25 +146,21 @@ impl<O: Oracle> Recoverer<O> {
         self.give_ups
     }
 
-    /// Handles a failure report from the failure detector.
-    pub fn on_failure(&mut self, failure: Failure, now: SimTime) -> RecoveryDecision {
-        // If a restart already in flight covers this component, the failure
-        // report is expected (the component is down *because* it is being
-        // restarted) — do not start a second episode.
-        for ep in self.episodes.values() {
-            if ep.in_flight {
-                if let Some(node) = ep.last_node {
-                    if self
-                        .tree
-                        .components_under(node)
-                        .contains(&failure.component)
-                    {
-                        return RecoveryDecision::AlreadyRecovering { node };
-                    }
-                }
-            }
-        }
+    /// The cell of an in-flight restart already covering `component`, if any.
+    fn covering_in_flight(&self, component: &str) -> Option<NodeId> {
+        self.episodes.values().find_map(|ep| {
+            let node = ep.last_node.filter(|_| ep.in_flight)?;
+            self.tree
+                .components_under(node)
+                .iter()
+                .any(|c| c == component)
+                .then_some(node)
+        })
+    }
 
+    /// Opens (or escalates) `failure`'s episode and asks the oracle for the
+    /// target cell. Returns `(attempt, cell)`.
+    fn prepare(&mut self, failure: &Failure) -> (u32, NodeId) {
         let episode = self
             .episodes
             .entry(failure.component.clone())
@@ -161,43 +170,141 @@ impl<O: Oracle> Recoverer<O> {
                 ep.failure = failure.clone();
                 ep.in_flight = false;
             })
-            .or_insert(Episode {
+            .or_insert_with(|| Episode {
                 failure: failure.clone(),
                 attempt: 0,
                 last_node: None,
                 in_flight: false,
+                origins: BTreeSet::from([failure.component.clone()]),
             });
-
         let node = self
             .oracle
-            .recommend(&self.tree, &failure, episode.attempt, episode.last_node);
+            .recommend(&self.tree, failure, episode.attempt, episode.last_node);
+        (episode.attempt, node)
+    }
+
+    /// Issues the restart for `owner`'s episode targeting `node`, first
+    /// merging away any **overlapping** in-flight episode: a cell may never
+    /// restart concurrently with an episode touching its ancestor or
+    /// descendant, so the target is promoted to the least common ancestor
+    /// (repeatedly, since promotion can create new overlaps) and the
+    /// absorbed episodes fold their origins and escalation depth into this
+    /// one. Afterwards the in-flight cells again form an antichain.
+    fn issue(
+        &mut self,
+        owner: String,
+        mut node: NodeId,
+        mut attempt: u32,
+        mut origins: BTreeSet<String>,
+        now: SimTime,
+    ) -> RecoveryDecision {
+        origins.insert(owner.clone());
+        loop {
+            let absorbed = self.episodes.iter().find_map(|(key, ep)| {
+                let n = ep.last_node.filter(|_| ep.in_flight && *key != owner)?;
+                self.tree.overlaps(n, node).then(|| key.clone())
+            });
+            let Some(key) = absorbed else { break };
+            let ep = self.episodes.remove(&key).expect("episode key just seen");
+            if let Some(n) = ep.last_node {
+                if n != node {
+                    node = self.tree.lca(node, n);
+                }
+            }
+            attempt = attempt.max(ep.attempt);
+            origins.extend(ep.origins);
+        }
         let components = self.tree.components_under(node);
 
-        if let Err(reason) = self.policy.check(episode.attempt, &components, now) {
-            self.episodes.remove(&failure.component);
+        if let Err(reason) = self.policy.check(attempt, &components, now) {
+            for origin in &origins {
+                self.episodes.remove(origin);
+            }
             self.give_ups += 1;
             return RecoveryDecision::GiveUp {
-                component: failure.component,
+                component: owner,
                 reason,
             };
         }
 
-        let episode = self
-            .episodes
-            .get_mut(&failure.component)
-            .expect("episode just inserted");
-        let attempt = episode.attempt;
+        // Consolidate: the owner's entry carries the merged episode; other
+        // origins' entries (absorbed, or same-batch co-planned) disappear.
+        for origin in &origins {
+            if origin != &owner {
+                self.episodes.remove(origin);
+            }
+        }
+        let episode = self.episodes.get_mut(&owner).expect("owner episode open");
+        episode.attempt = attempt;
         episode.last_node = Some(node);
         episode.in_flight = true;
+        episode.origins = origins.clone();
         let delay = self.policy.restart_delay(&components, now);
         self.policy.record_restart(&components, now);
         self.restarts_issued += 1;
+        let mut origin_list = vec![owner.clone()];
+        origin_list.extend(origins.into_iter().filter(|o| *o != owner));
         RecoveryDecision::Restart {
             node,
             components,
             attempt,
             delay,
+            origins: origin_list,
         }
+    }
+
+    /// Handles a failure report from the failure detector.
+    pub fn on_failure(&mut self, failure: Failure, now: SimTime) -> RecoveryDecision {
+        // If a restart already in flight covers this component, the failure
+        // report is expected (the component is down *because* it is being
+        // restarted) — do not start a second episode.
+        if let Some(node) = self.covering_in_flight(&failure.component) {
+            return RecoveryDecision::AlreadyRecovering { node };
+        }
+        let owner = failure.component.clone();
+        let (attempt, node) = self.prepare(&failure);
+        self.issue(owner, node, attempt, BTreeSet::new(), now)
+    }
+
+    /// Handles a **batch** of concurrently-reported failures: plans the
+    /// maximal antichain of target cells ([`plan_episodes`]) so suspicions
+    /// whose cells overlap are recovered by one merged episode instead of
+    /// racing restarts, then issues each planned episode. Independent
+    /// episodes come back as separate [`RecoveryDecision::Restart`]s, safe
+    /// to drive concurrently.
+    pub fn on_failures(&mut self, failures: Vec<Failure>, now: SimTime) -> Vec<RecoveryDecision> {
+        let mut decisions = Vec::new();
+        let mut suspicions: Vec<Suspicion> = Vec::new();
+        let mut attempts: BTreeMap<String, u32> = BTreeMap::new();
+        for failure in failures {
+            if let Some(node) = self.covering_in_flight(&failure.component) {
+                decisions.push(RecoveryDecision::AlreadyRecovering { node });
+                continue;
+            }
+            if attempts.contains_key(&failure.component) {
+                continue; // duplicate report within the batch
+            }
+            let component = failure.component.clone();
+            let (attempt, cell) = self.prepare(&failure);
+            attempts.insert(component.clone(), attempt);
+            suspicions.push(Suspicion { component, cell });
+        }
+        let plan = plan_episodes(&self.tree, &suspicions).expect("oracle cells are live");
+        for planned in plan.episodes {
+            // Deepest escalation among the merged origins carries over; the
+            // owner is the first origin (deterministic: sorted order).
+            let attempt = planned
+                .origins
+                .iter()
+                .filter_map(|o| attempts.get(o))
+                .copied()
+                .max()
+                .unwrap_or(0);
+            let owner = planned.origins[0].clone();
+            let origins: BTreeSet<String> = planned.origins.into_iter().collect();
+            decisions.push(self.issue(owner, planned.cell, attempt, origins, now));
+        }
+        decisions
     }
 
     /// Reports that the restart issued for `component`'s episode has
@@ -241,6 +348,26 @@ impl<O: Oracle> Recoverer<O> {
     /// yet reported complete.
     pub fn is_in_flight(&self, component: &str) -> bool {
         self.episodes.get(component).is_some_and(|ep| ep.in_flight)
+    }
+
+    /// The originating suspicions of `component`'s open episode (sorted),
+    /// or `None` if it has no open episode. A singleton unless other
+    /// episodes were merged into this one; a cure of the episode cures
+    /// every origin listed.
+    pub fn episode_origins(&self, component: &str) -> Option<Vec<String>> {
+        self.episodes
+            .get(component)
+            .map(|ep| ep.origins.iter().cloned().collect())
+    }
+
+    /// The cells of all in-flight episodes — by construction an antichain
+    /// (see [`crate::schedule`]).
+    pub fn in_flight_cells(&self) -> Vec<NodeId> {
+        self.episodes
+            .values()
+            .filter(|ep| ep.in_flight)
+            .filter_map(|ep| ep.last_node)
+            .collect()
     }
 }
 
@@ -385,6 +512,146 @@ mod tests {
                 reason: GiveUpReason::RestartStorm
             }
         );
+    }
+
+    #[test]
+    fn overlapping_episode_merges_to_lca() {
+        // fedr's restart is in flight at R_fedr when a correlated pbcom
+        // failure demands R_[fedr,pbcom] — an ancestor of the in-flight
+        // cell. The episodes must merge (promotion to the LCA), not race.
+        let mut rec = Recoverer::new(tree_iv(), PerfectOracle::new(), RestartPolicy::new());
+        let d1 = rec.on_failure(Failure::solo("fedr"), t(0));
+        assert!(matches!(d1, RecoveryDecision::Restart { .. }));
+        let joint = Failure::correlated("pbcom", ["fedr", "pbcom"]);
+        let d2 = rec.on_failure(joint, t(1));
+        match d2 {
+            RecoveryDecision::Restart {
+                node,
+                components,
+                origins,
+                ..
+            } => {
+                assert_eq!(rec.tree().label(node), "R_[fedr,pbcom]");
+                assert_eq!(components, vec!["fedr", "pbcom"]);
+                assert_eq!(origins, vec!["pbcom", "fedr"]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // The absorbed episode is folded into the owner's.
+        assert!(!rec.is_recovering("fedr"));
+        assert!(rec.is_recovering("pbcom"));
+        assert_eq!(rec.episode_origins("pbcom").unwrap(), vec!["fedr", "pbcom"]);
+        assert!(super::super::schedule::is_antichain(
+            rec.tree(),
+            &rec.in_flight_cells()
+        ));
+        rec.on_restart_complete("pbcom", t(25));
+        rec.on_cured("pbcom", t(28));
+        assert!(!rec.is_recovering("pbcom"));
+    }
+
+    #[test]
+    fn batch_of_independent_failures_yields_parallel_episodes() {
+        let mut rec = Recoverer::new(tree_iv(), PerfectOracle::new(), RestartPolicy::new());
+        let decisions = rec.on_failures(vec![Failure::solo("rtu"), Failure::solo("fedr")], t(0));
+        assert_eq!(decisions.len(), 2);
+        let mut restarted: Vec<Vec<String>> = Vec::new();
+        for d in decisions {
+            match d {
+                RecoveryDecision::Restart { components, .. } => restarted.push(components),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(restarted, vec![vec!["fedr"], vec!["rtu"]]);
+        assert!(super::super::schedule::is_antichain(
+            rec.tree(),
+            &rec.in_flight_cells()
+        ));
+        assert_eq!(rec.restarts_issued(), 2);
+    }
+
+    #[test]
+    fn batch_of_overlapping_failures_yields_one_merged_episode() {
+        let mut rec = Recoverer::new(tree_iv(), PerfectOracle::new(), RestartPolicy::new());
+        let decisions = rec.on_failures(
+            vec![
+                Failure::solo("fedr"),
+                Failure::correlated("pbcom", ["fedr", "pbcom"]),
+            ],
+            t(0),
+        );
+        assert_eq!(decisions.len(), 1, "{decisions:?}");
+        match &decisions[0] {
+            RecoveryDecision::Restart {
+                node,
+                components,
+                origins,
+                ..
+            } => {
+                assert_eq!(rec.tree().label(*node), "R_[fedr,pbcom]");
+                assert_eq!(*components, vec!["fedr", "pbcom"]);
+                assert_eq!(*origins, vec!["fedr", "pbcom"]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(rec.restarts_issued(), 1, "one restart, not a race");
+    }
+
+    #[test]
+    fn batch_subsumes_covered_failures() {
+        let mut rec = Recoverer::new(tree_iv(), PerfectOracle::new(), RestartPolicy::new());
+        let d1 = rec.on_failure(Failure::solo("ses"), t(0));
+        let node = match d1 {
+            RecoveryDecision::Restart { node, .. } => node,
+            other => panic!("unexpected {other:?}"),
+        };
+        // str is down because the [ses,str] cell is mid-restart; rtu is a
+        // genuinely new, independent failure.
+        let decisions = rec.on_failures(vec![Failure::solo("str"), Failure::solo("rtu")], t(1));
+        assert_eq!(decisions.len(), 2);
+        assert_eq!(decisions[0], RecoveryDecision::AlreadyRecovering { node });
+        assert!(matches!(
+            &decisions[1],
+            RecoveryDecision::Restart { components, .. } if *components == vec!["rtu"]
+        ));
+    }
+
+    #[test]
+    fn merge_inherits_deepest_escalation() {
+        let mut rec = Recoverer::new(tree_iv(), PerfectOracle::new(), RestartPolicy::new());
+        let f = Failure::solo("fedr");
+        // Drive fedr's episode to attempt 1 with the restart in flight.
+        assert!(matches!(
+            rec.on_failure(f.clone(), t(0)),
+            RecoveryDecision::Restart { attempt: 0, .. }
+        ));
+        rec.on_restart_complete("fedr", t(6));
+        assert!(matches!(
+            rec.on_failure(f, t(8)),
+            RecoveryDecision::Restart { attempt: 1, .. }
+        ));
+        // fedr's attempt-1 cell is R_[fedr,pbcom] (the perfect oracle climbs
+        // on escalation). A failure needing [mbus, fedr] targets the root,
+        // which overlaps it: the merge absorbs fedr's episode — and inherits
+        // its escalation depth.
+        let wide = Failure::correlated("mbus", ["mbus", "fedr"]);
+        match rec.on_failure(wide, t(9)) {
+            RecoveryDecision::Restart {
+                node,
+                attempt,
+                origins,
+                ..
+            } => {
+                assert_eq!(node, rec.tree().root());
+                assert_eq!(attempt, 1);
+                assert_eq!(origins, vec!["mbus", "fedr"]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(super::super::schedule::is_antichain(
+            rec.tree(),
+            &rec.in_flight_cells()
+        ));
     }
 
     #[test]

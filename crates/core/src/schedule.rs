@@ -1,0 +1,275 @@
+//! Dependency-aware parallel recovery scheduling.
+//!
+//! The paper shrinks MTTR by restarting the *smallest sufficient* subtree for
+//! a single failure. When several components are suspected concurrently
+//! (correlated faults, §4.4, or plain bad luck), the same idea generalizes:
+//! recover each suspicion in its own minimal cell, **in parallel**, as long
+//! as no two episodes touch the same part of the tree. The safety rule is an
+//! *antichain* invariant — no planned episode's cell may be an ancestor or a
+//! descendant of another's, because restarting a cell restarts everything
+//! under it. Suspicions whose cells overlap are merged by promotion to the
+//! least common ancestor (LCA), which by construction covers both cure sets.
+//!
+//! [`plan_episodes`] computes that plan: each suspicion maps to its target
+//! cell (the caller picks it via the oracle, or [`Suspicion::cell`] defaults
+//! to the tree's lowest cover of the cure set), and overlapping targets are
+//! folded together until the surviving cells form a maximal antichain with
+//! every suspected component covered by exactly one episode.
+
+use std::collections::BTreeSet;
+
+use crate::error::TreeError;
+use crate::tree::{NodeId, RestartTree};
+
+/// One concurrently-suspected component, with the cell recovery should
+/// target for it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suspicion {
+    /// The suspected component.
+    pub component: String,
+    /// The restart cell recommended for it (oracle output, or the lowest
+    /// cover of the failure's cure set).
+    pub cell: NodeId,
+}
+
+impl Suspicion {
+    /// A suspicion targeting the lowest cell covering `cure_set` (for a solo
+    /// failure, the component's own cell).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TreeError::UnknownComponent`] for unattached names, or
+    /// [`TreeError::InvalidTransform`] for an empty cure set.
+    pub fn covering(
+        tree: &RestartTree,
+        component: impl Into<String>,
+        cure_set: &[impl AsRef<str>],
+    ) -> Result<Suspicion, TreeError> {
+        Ok(Suspicion {
+            component: component.into(),
+            cell: tree.lowest_cover(cure_set)?,
+        })
+    }
+}
+
+/// One planned restart episode: a cell to restart and the suspicions it
+/// recovers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlannedEpisode {
+    /// The cell whose restart button to push.
+    pub cell: NodeId,
+    /// Every component restarted by pushing it, sorted.
+    pub components: Vec<String>,
+    /// The originating suspicions this episode answers, sorted. A singleton
+    /// for an unmerged suspicion; several after an LCA merge.
+    pub origins: Vec<String>,
+}
+
+/// A set of restart episodes safe to drive concurrently.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct EpisodePlan {
+    /// The planned episodes, ordered by the tree's pre-order cell sequence
+    /// (deterministic for a given tree and suspicion set).
+    pub episodes: Vec<PlannedEpisode>,
+}
+
+impl EpisodePlan {
+    /// The planned cells.
+    pub fn cells(&self) -> Vec<NodeId> {
+        self.episodes.iter().map(|e| e.cell).collect()
+    }
+}
+
+/// Computes the episode plan for a set of concurrent suspicions: merges
+/// suspicions whose target cells overlap (promoting to the LCA, repeatedly,
+/// until a fixpoint) and returns the surviving episodes — a maximal
+/// antichain of restart cells in which every suspected component is covered
+/// by exactly one episode.
+///
+/// Duplicate suspicions of the same component fold into one origin. The
+/// result is deterministic: episodes are ordered by the tree's pre-order and
+/// origins are sorted.
+///
+/// # Errors
+///
+/// Returns [`TreeError::UnknownNode`] if a suspicion's cell is not a live
+/// cell of `tree`.
+pub fn plan_episodes(
+    tree: &RestartTree,
+    suspicions: &[Suspicion],
+) -> Result<EpisodePlan, TreeError> {
+    for s in suspicions {
+        if !tree.contains(s.cell) {
+            return Err(TreeError::UnknownNode(s.cell));
+        }
+    }
+    // Working set of (cell, origins). Start with one group per suspicion;
+    // duplicates of a component fold immediately.
+    let mut groups: Vec<(NodeId, BTreeSet<String>)> = Vec::new();
+    for s in suspicions {
+        if let Some(g) = groups.iter_mut().find(|(_, o)| o.contains(&s.component)) {
+            g.0 = if g.0 == s.cell {
+                g.0
+            } else {
+                tree.lca(g.0, s.cell)
+            };
+            continue;
+        }
+        let mut origins = BTreeSet::new();
+        origins.insert(s.component.clone());
+        groups.push((s.cell, origins));
+    }
+    // Fixpoint: merge any overlapping pair by promotion to the LCA. A merge
+    // can only move cells *up*, so this terminates (the root overlaps
+    // everything and absorbs all).
+    loop {
+        let mut merged = false;
+        'scan: for i in 0..groups.len() {
+            for j in (i + 1)..groups.len() {
+                if tree.overlaps(groups[i].0, groups[j].0) {
+                    let (cell_j, origins_j) = groups.remove(j);
+                    let g = &mut groups[i];
+                    g.0 = if g.0 == cell_j {
+                        g.0
+                    } else {
+                        tree.lca(g.0, cell_j)
+                    };
+                    g.1.extend(origins_j);
+                    merged = true;
+                    break 'scan;
+                }
+            }
+        }
+        if !merged {
+            break;
+        }
+    }
+    // Deterministic order: the tree's pre-order cell sequence.
+    let order = tree.cells();
+    groups.sort_by_key(|(cell, _)| order.iter().position(|c| c == cell));
+    let episodes = groups
+        .into_iter()
+        .map(|(cell, origins)| PlannedEpisode {
+            cell,
+            components: tree.components_under(cell),
+            origins: origins.into_iter().collect(),
+        })
+        .collect();
+    Ok(EpisodePlan { episodes })
+}
+
+/// `true` if `cells` form an antichain of `tree`: no cell is an ancestor or
+/// descendant of another (nor a duplicate). The safety condition for driving
+/// the cells' restart episodes concurrently.
+///
+/// # Panics
+///
+/// Panics if any id is not a live cell.
+pub fn is_antichain(tree: &RestartTree, cells: &[NodeId]) -> bool {
+    for (i, &a) in cells.iter().enumerate() {
+        for &b in &cells[i + 1..] {
+            if tree.overlaps(a, b) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::TreeSpec;
+
+    fn tree_iv() -> RestartTree {
+        TreeSpec::cell("mercury")
+            .with_child(TreeSpec::cell("R_mbus").with_component("mbus"))
+            .with_child(
+                TreeSpec::cell("R_[fedr,pbcom]")
+                    .with_child(TreeSpec::cell("R_fedr").with_component("fedr"))
+                    .with_child(TreeSpec::cell("R_pbcom").with_component("pbcom")),
+            )
+            .with_child(TreeSpec::cell("R_[ses,str]").with_components(["ses", "str"]))
+            .with_child(TreeSpec::cell("R_rtu").with_component("rtu"))
+            .build()
+            .unwrap()
+    }
+
+    fn solo(tree: &RestartTree, comp: &str) -> Suspicion {
+        Suspicion::covering(tree, comp, &[comp]).unwrap()
+    }
+
+    #[test]
+    fn independent_suspicions_stay_independent() {
+        let tree = tree_iv();
+        let plan = plan_episodes(&tree, &[solo(&tree, "rtu"), solo(&tree, "fedr")]).unwrap();
+        assert_eq!(plan.episodes.len(), 2);
+        assert!(is_antichain(&tree, &plan.cells()));
+        let origins: Vec<_> = plan
+            .episodes
+            .iter()
+            .flat_map(|e| e.origins.clone())
+            .collect();
+        assert_eq!(origins, vec!["fedr", "rtu"]); // pre-order: fedr's cell first
+    }
+
+    #[test]
+    fn overlapping_suspicions_merge_to_lca() {
+        let tree = tree_iv();
+        let joint = Suspicion::covering(&tree, "pbcom", &["fedr", "pbcom"]).unwrap();
+        let plan = plan_episodes(&tree, &[solo(&tree, "fedr"), joint]).unwrap();
+        assert_eq!(plan.episodes.len(), 1, "{plan:?}");
+        let ep = &plan.episodes[0];
+        assert_eq!(tree.label(ep.cell), "R_[fedr,pbcom]");
+        assert_eq!(ep.components, vec!["fedr", "pbcom"]);
+        assert_eq!(ep.origins, vec!["fedr", "pbcom"]);
+    }
+
+    #[test]
+    fn merge_cascades_through_promotion() {
+        // fedr + pbcom merge to R_[fedr,pbcom]; a root-level suspicion of
+        // mbus covering the whole station then absorbs that too.
+        let tree = tree_iv();
+        let wide = Suspicion {
+            component: "mbus".into(),
+            cell: tree.root(),
+        };
+        let joint = Suspicion::covering(&tree, "pbcom", &["fedr", "pbcom"]).unwrap();
+        let plan = plan_episodes(&tree, &[solo(&tree, "fedr"), joint, wide]).unwrap();
+        assert_eq!(plan.episodes.len(), 1);
+        assert_eq!(plan.episodes[0].cell, tree.root());
+        assert_eq!(plan.episodes[0].origins, vec!["fedr", "mbus", "pbcom"]);
+    }
+
+    #[test]
+    fn duplicate_suspicions_fold() {
+        let tree = tree_iv();
+        let plan = plan_episodes(&tree, &[solo(&tree, "rtu"), solo(&tree, "rtu")]).unwrap();
+        assert_eq!(plan.episodes.len(), 1);
+        assert_eq!(plan.episodes[0].origins, vec!["rtu"]);
+    }
+
+    #[test]
+    fn empty_plan_is_empty() {
+        let tree = tree_iv();
+        let plan = plan_episodes(&tree, &[]).unwrap();
+        assert!(plan.episodes.is_empty());
+        assert!(is_antichain(&tree, &[]));
+    }
+
+    #[test]
+    fn unknown_cell_rejected() {
+        let tree = tree_iv();
+        // An id only a *bigger* tree has is not a live cell of `tree`.
+        let mut bigger = tree_iv();
+        let extra = bigger.add_cell(bigger.root(), "extra").unwrap();
+        let s = Suspicion {
+            component: "rtu".into(),
+            cell: extra,
+        };
+        assert!(matches!(
+            plan_episodes(&tree, &[s]),
+            Err(TreeError::UnknownNode(_))
+        ));
+    }
+}

@@ -290,6 +290,43 @@ impl RestartTree {
         out
     }
 
+    /// `true` if `anc` is `node` itself or one of its ancestors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not a live cell.
+    pub fn is_ancestor_or_self(&self, anc: NodeId, node: NodeId) -> bool {
+        self.ancestors_inclusive(node).contains(&anc)
+    }
+
+    /// `true` if restarting `a` and `b` concurrently would be unsafe: one
+    /// cell's subtree contains the other (restarting a cell restarts every
+    /// component under it, so an ancestor's episode already touches the
+    /// descendant's components). Two distinct cells on separate branches —
+    /// an *antichain* — never overlap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is not a live cell.
+    pub fn overlaps(&self, a: NodeId, b: NodeId) -> bool {
+        self.is_ancestor_or_self(a, b) || self.is_ancestor_or_self(b, a)
+    }
+
+    /// The least common ancestor of two cells — the cell an overlapping pair
+    /// of restart episodes is promoted to when they merge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is not a live cell.
+    pub fn lca(&self, a: NodeId, b: NodeId) -> NodeId {
+        let up_a = self.ancestors_inclusive(a);
+        let up_b: BTreeSet<NodeId> = self.ancestors_inclusive(b).into_iter().collect();
+        *up_a
+            .iter()
+            .find(|n| up_b.contains(n))
+            .expect("cells of one tree always share the root")
+    }
+
     /// The lowest cell whose subtree covers every component in `names` — the
     /// minimal restart cell for a failure curable only by restarting that set
     /// together.
@@ -609,6 +646,33 @@ mod tests {
         assert_eq!(tree.label(b), "R_B");
         let empty: &[&str] = &[];
         assert!(tree.lowest_cover(empty).is_err());
+    }
+
+    #[test]
+    fn ancestry_lca_and_overlap() {
+        let tree = figure2();
+        let root = tree.root();
+        let b = tree.cell_of_component("B").unwrap();
+        let c = tree.cell_of_component("C").unwrap();
+        let a = tree.cell_of_component("A").unwrap();
+        let bc = tree.lowest_cover(&["B", "C"]).unwrap();
+
+        assert!(tree.is_ancestor_or_self(b, b));
+        assert!(tree.is_ancestor_or_self(bc, c));
+        assert!(tree.is_ancestor_or_self(root, a));
+        assert!(!tree.is_ancestor_or_self(b, c));
+        assert!(!tree.is_ancestor_or_self(c, bc));
+
+        assert_eq!(tree.lca(b, c), bc);
+        assert_eq!(tree.lca(a, c), root);
+        assert_eq!(tree.lca(b, b), b);
+        assert_eq!(tree.lca(bc, c), bc);
+
+        assert!(tree.overlaps(bc, c), "ancestor/descendant overlap");
+        assert!(tree.overlaps(c, bc), "overlap is symmetric");
+        assert!(tree.overlaps(b, b), "a cell overlaps itself");
+        assert!(!tree.overlaps(b, c), "siblings form an antichain");
+        assert!(!tree.overlaps(a, bc), "separate branches are independent");
     }
 
     #[test]

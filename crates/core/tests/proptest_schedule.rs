@@ -1,0 +1,133 @@
+//! Property tests for the parallel recovery scheduler (DESIGN.md §7).
+//!
+//! For random trees and random concurrent suspicion sets, the episode plan
+//! must be a maximal antichain of restart cells: no planned cell is an
+//! ancestor or descendant of another, and every suspected component is
+//! covered by exactly one episode.
+
+use std::collections::BTreeSet;
+
+use rr_core::schedule::{plan_episodes, Suspicion};
+use rr_core::tree::RestartTree;
+use rr_sim::{check, SimRng};
+
+/// Builds a random tree of up to `max_cells` nested cells (arbitrary depth)
+/// with 1..=`max_components` components scattered across them.
+fn arb_deep_tree(rng: &mut SimRng, max_cells: usize, max_components: usize) -> RestartTree {
+    let mut tree = RestartTree::new("root");
+    let mut cells = vec![tree.root()];
+    let extra = rng.next_below(max_cells as u64) as usize;
+    for i in 0..extra {
+        let parent = cells[rng.next_below(cells.len() as u64) as usize];
+        let id = tree.add_cell(parent, format!("R{i}")).expect("live parent");
+        cells.push(id);
+    }
+    let n = 1 + rng.next_below(max_components as u64) as usize;
+    for i in 0..n {
+        let cell = cells[rng.next_below(cells.len() as u64) as usize];
+        tree.attach_component(cell, format!("c{i}"))
+            .expect("fresh component name");
+    }
+    tree
+}
+
+/// Draws a random concurrent suspicion set: distinct suspected components,
+/// each with a random cure set containing itself and up to two other
+/// components (a correlated fault forces a wider target cell).
+fn arb_suspicions(rng: &mut SimRng, tree: &RestartTree) -> Vec<Suspicion> {
+    let comps = tree.components();
+    let picks = check::vec_of(rng, 1, comps.len().min(5), |r| r.next_u64() as usize);
+    let mut suspected = BTreeSet::new();
+    for i in picks {
+        suspected.insert(comps[i % comps.len()].clone());
+    }
+    suspected
+        .into_iter()
+        .map(|comp| {
+            let mut cure = vec![comp.clone()];
+            for _ in 0..rng.next_below(3) {
+                cure.push(comps[rng.next_below(comps.len() as u64) as usize].clone());
+            }
+            Suspicion::covering(tree, comp, &cure).expect("components exist")
+        })
+        .collect()
+}
+
+/// The plan's cells form an antichain: no cell is an ancestor, descendant,
+/// or duplicate of another planned cell.
+#[test]
+fn plan_is_an_antichain() {
+    check::run("plan_is_an_antichain", 256, |rng| {
+        let tree = arb_deep_tree(rng, 9, 8);
+        let suspicions = arb_suspicions(rng, &tree);
+        let plan = plan_episodes(&tree, &suspicions).expect("cells are live");
+        let cells = plan.cells();
+        for (i, &a) in cells.iter().enumerate() {
+            for &b in &cells[i + 1..] {
+                assert!(
+                    !tree.overlaps(a, b),
+                    "episodes {a:?} and {b:?} overlap: {suspicions:?}"
+                );
+            }
+        }
+    });
+}
+
+/// Every suspected component is an origin of exactly one episode, and each
+/// episode's cell actually restarts all of its origins.
+#[test]
+fn every_suspicion_is_covered_exactly_once() {
+    check::run("every_suspicion_is_covered_exactly_once", 256, |rng| {
+        let tree = arb_deep_tree(rng, 9, 8);
+        let suspicions = arb_suspicions(rng, &tree);
+        let plan = plan_episodes(&tree, &suspicions).expect("cells are live");
+        let suspected: BTreeSet<&str> = suspicions.iter().map(|s| s.component.as_str()).collect();
+        let mut seen = BTreeSet::new();
+        for ep in &plan.episodes {
+            for origin in &ep.origins {
+                assert!(
+                    seen.insert(origin.as_str()),
+                    "{origin} appears in two episodes"
+                );
+                assert!(
+                    ep.components.contains(origin),
+                    "episode at {:?} does not restart its origin {origin}",
+                    ep.cell
+                );
+            }
+            let mut under = tree.components_under(ep.cell);
+            under.sort();
+            assert_eq!(ep.components, under, "components field mismatches cell");
+        }
+        assert_eq!(
+            seen,
+            suspected.iter().copied().collect::<BTreeSet<&str>>(),
+            "origins do not partition the suspected set"
+        );
+    });
+}
+
+/// Merging never happens gratuitously: an episode with a single origin keeps
+/// exactly the cell its suspicion asked for, and the plan is deterministic.
+#[test]
+fn unmerged_episodes_keep_their_cell() {
+    check::run("unmerged_episodes_keep_their_cell", 256, |rng| {
+        let tree = arb_deep_tree(rng, 9, 8);
+        let suspicions = arb_suspicions(rng, &tree);
+        let plan = plan_episodes(&tree, &suspicions).expect("cells are live");
+        for ep in &plan.episodes {
+            if let [origin] = ep.origins.as_slice() {
+                let asked = suspicions
+                    .iter()
+                    .find(|s| &s.component == origin)
+                    .expect("origin came from the suspicion set");
+                assert_eq!(
+                    ep.cell, asked.cell,
+                    "singleton episode for {origin} was promoted without an overlap"
+                );
+            }
+        }
+        let again = plan_episodes(&tree, &suspicions).expect("cells are live");
+        assert_eq!(plan, again, "plan is not deterministic");
+    });
+}

@@ -1,4 +1,4 @@
-//! Property tests for restart-tree invariants (DESIGN.md §6).
+//! Property tests for restart-tree invariants (DESIGN.md §8).
 //!
 //! Random sequences of the paper's transformations, applied to random valid
 //! trees, must always preserve: the component set, structural validity,

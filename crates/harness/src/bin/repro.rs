@@ -18,7 +18,7 @@ use rr_harness::report;
 fn usage() -> ! {
     eprintln!(
         "usage: repro [EXPERIMENT]... [--trials N] [--seed S] [--report PATH] [--dot-dir DIR]\n\
-         experiments: table1 table2 figures table4 headline endurance pass \
+         experiments: table1 table2 figures table4 correlated headline endurance pass \
          ablation-oracle ablation-ping ablation-learning ablation-optimizer \
          ablation-rejuvenation chaos all"
     );
@@ -64,6 +64,7 @@ fn main() -> ExitCode {
             "table2" => results.push(experiments::table2(run)),
             "figures" | "table3" => results.push(experiments::figures(run)),
             "table4" => results.push(experiments::table4(run)),
+            "correlated" => results.push(experiments::correlated_faults(run)),
             "headline" | "availability" => results.push(experiments::headline(run)),
             "endurance" => results.push(experiments::endurance(run)),
             "pass" => results.push(experiments::pass_data_loss(run)),

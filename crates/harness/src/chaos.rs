@@ -13,7 +13,9 @@
 //!    `restart:`, `giveup:`, and `quarantine:` mark must belong to a
 //!    component that was injected or that genuinely crashed on its own
 //!    (`induced-crash:`, `aging-crash:`, `poison-crash:` marks) — anything
-//!    else is a false positive of the failure detector.
+//!    else is a false positive of the failure detector. Episodes the
+//!    parallel scheduler merged into an overlapping one (`merge:` marks)
+//!    are attributed to their originating suspicions, not dropped.
 //!
 //! The paper's §2.2 failure detector trusts a single missed ping; under
 //! degraded links that convicts innocent components. The campaign is the
@@ -27,7 +29,7 @@ use mercury::config::{names, StationConfig};
 use mercury::measure::measure_recovery;
 use mercury::station::{Station, TreeVariant};
 use rr_core::PerfectOracle;
-use rr_sim::{LinkQuality, SimDuration, SimRng, SimTime, TraceKind};
+use rr_sim::{LinkQuality, SimDuration, SimRng, SimTime, Trace, TraceKind};
 
 use crate::tables::Table;
 
@@ -226,6 +228,73 @@ pub fn run_campaign(variant: TreeVariant, cfg: &ChaosConfig) -> ChaosReport {
     audit(variant, cfg, &station, campaign_start, injections)
 }
 
+/// Computes the set of components whose recovery actions are attributable to
+/// a certified failure: the injected components, any that crashed on their
+/// own (`induced-crash:`, `aging-crash:`, `poison-crash:` marks), and the
+/// closure of that set under two episode relations, iterated to a fixpoint:
+///
+/// * **Group membership** — a genuine episode's restart deliberately kills
+///   every cell member (`restart:<owner>:<attempt>:<a+b+c>` carries the full
+///   list), so those members' detections are recovery side effects, not
+///   false positives.
+/// * **Episode merges** — when the parallel scheduler absorbs a suspicion
+///   into an overlapping episode it emits `merge:<from>-><into>`, and every
+///   later action of the promoted episode is keyed by the surviving owner.
+///   If the absorbed origin's failure was genuine, the merged episode
+///   answers that suspicion and its owner-keyed restarts are attributed to
+///   it rather than counted as unattributed.
+///
+/// The fixpoint is needed because a member's or owner's own marks may
+/// precede (in scan order) the episode that legitimizes them.
+pub fn attributable_components(trace: &Trace, injected: &BTreeSet<String>) -> BTreeSet<String> {
+    let mut genuine: BTreeSet<String> = injected.clone();
+    for e in trace.iter() {
+        if e.kind != TraceKind::Mark {
+            continue;
+        }
+        for prefix in GENUINE_FAILURE_PREFIXES {
+            if let Some(rest) = e.label.strip_prefix(prefix) {
+                if let Some(comp) = rest.split(':').next() {
+                    genuine.insert(comp.to_string());
+                }
+            }
+        }
+    }
+    loop {
+        let mut grew = false;
+        for e in trace.iter() {
+            if e.kind != TraceKind::Mark {
+                continue;
+            }
+            if let Some(rest) = e.label.strip_prefix("merge:") {
+                if let Some((from, into)) = rest.split_once("->") {
+                    if genuine.contains(from) && !genuine.contains(into) {
+                        genuine.insert(into.to_string());
+                        grew = true;
+                    }
+                }
+                continue;
+            }
+            let Some(rest) = e.label.strip_prefix("restart:") else {
+                continue;
+            };
+            let mut parts = rest.split(':');
+            let owner = parts.next().unwrap_or("");
+            let members = parts.nth(1).unwrap_or("");
+            if !genuine.contains(owner) {
+                continue;
+            }
+            for member in members.split('+') {
+                grew |= genuine.insert(member.to_string());
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+    genuine
+}
+
 /// Audits the finished trace against the module-level invariants.
 fn audit(
     variant: TreeVariant,
@@ -246,49 +315,8 @@ fn audit(
         }
     }
 
-    // Components with certified genuine failures: the injected ones plus any
-    // that crashed on their own (induced resync crashes, aging, poison).
-    let mut genuine: BTreeSet<String> = injections.iter().map(|i| i.component.clone()).collect();
-    for e in station.trace().iter() {
-        if e.kind != TraceKind::Mark {
-            continue;
-        }
-        for prefix in GENUINE_FAILURE_PREFIXES {
-            if let Some(rest) = e.label.strip_prefix(prefix) {
-                if let Some(comp) = rest.split(':').next() {
-                    genuine.insert(comp.to_string());
-                }
-            }
-        }
-    }
-    // A genuine episode's group restart deliberately kills every cell member,
-    // so FD detections of those members are recovery side effects, not false
-    // positives. Restart marks carry the full member list
-    // (`restart:<owner>:<attempt>:<a+b+c>`); propagate to a fixpoint since a
-    // member's own marks may precede the episode that legitimizes it.
-    loop {
-        let mut grew = false;
-        for e in station.trace().iter() {
-            if e.kind != TraceKind::Mark {
-                continue;
-            }
-            let Some(rest) = e.label.strip_prefix("restart:") else {
-                continue;
-            };
-            let mut parts = rest.split(':');
-            let owner = parts.next().unwrap_or("");
-            let members = parts.nth(1).unwrap_or("");
-            if !genuine.contains(owner) {
-                continue;
-            }
-            for member in members.split('+') {
-                grew |= genuine.insert(member.to_string());
-            }
-        }
-        if !grew {
-            break;
-        }
-    }
+    let injected: BTreeSet<String> = injections.iter().map(|i| i.component.clone()).collect();
+    let genuine = attributable_components(station.trace(), &injected);
 
     let mut restarts: BTreeMap<String, usize> = BTreeMap::new();
     for e in station.trace().iter() {
@@ -440,6 +468,58 @@ pub fn experiment(run: crate::RunConfig) -> crate::Experiment {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// A trace where fedr's genuine episode is absorbed into pbcom's: the
+    /// promoted restart is keyed by pbcom, which never failed on its own.
+    fn merged_trace() -> Trace {
+        let mut tr = Trace::new();
+        let t = SimTime::ZERO;
+        tr.record(t, None, TraceKind::Mark, "inject:fedr");
+        tr.record(t, None, TraceKind::Mark, "detect:fedr");
+        tr.record(t, None, TraceKind::Mark, "detect:pbcom");
+        tr.record(t, None, TraceKind::Mark, "merge:fedr->pbcom");
+        tr.record(t, None, TraceKind::Mark, "restart:pbcom:0:fedr+pbcom");
+        tr
+    }
+
+    #[test]
+    fn merged_episode_is_attributed_to_its_originating_suspicion() {
+        let tr = merged_trace();
+        let injected: BTreeSet<String> = [String::from("fedr")].into();
+        let genuine = attributable_components(&tr, &injected);
+        assert!(
+            genuine.contains("pbcom"),
+            "merge:fedr->pbcom must attribute the promoted episode's owner"
+        );
+        assert!(genuine.contains("fedr"));
+    }
+
+    #[test]
+    fn merge_from_an_innocent_origin_does_not_attribute() {
+        let mut tr = Trace::new();
+        tr.record(SimTime::ZERO, None, TraceKind::Mark, "merge:ses->str");
+        let genuine = attributable_components(&tr, &BTreeSet::new());
+        assert!(
+            genuine.is_empty(),
+            "a merge between unconvicted components certifies nothing: {genuine:?}"
+        );
+    }
+
+    #[test]
+    fn attribution_closes_over_merge_then_membership() {
+        // fedr genuine → merge legitimizes owner pbcom → pbcom's promoted
+        // restart legitimizes every cell member it reboots.
+        let mut tr = merged_trace();
+        tr.record(
+            SimTime::ZERO,
+            None,
+            TraceKind::Mark,
+            "restart:pbcom:1:fedr+fedrcom+pbcom",
+        );
+        let injected: BTreeSet<String> = [String::from("fedr")].into();
+        let genuine = attributable_components(&tr, &injected);
+        assert!(genuine.contains("fedrcom"), "{genuine:?}");
+    }
 
     #[test]
     fn a_small_campaign_on_tree_i_is_clean() {

@@ -1,0 +1,153 @@
+//! Golden-trace normalization and diffing.
+//!
+//! The golden-trace regression suite (`tests/golden.rs`, data under the
+//! repository-level `tests/golden/`) records canonical recovery traces for
+//! representative single- and multi-fault scenarios on every tree variant and
+//! fails the build if recovery ordering, episode boundaries, or cure
+//! attribution drift. The simulator is deterministic (seeded RNG, virtual
+//! time), so a normalized trace is a *byte-exact* function of the scenario.
+//!
+//! Normalization keeps exactly the events that define recovery behaviour —
+//! component lifecycle transitions and the recovery-protocol marks — and
+//! rebases times to the scenario start so incidental warm-up drift (e.g. a
+//! longer settle window in a future config) cannot invalidate every golden.
+
+use rr_sim::{SimTime, Trace, TraceKind};
+
+/// Mark prefixes that are part of the recovery protocol and therefore part of
+/// the golden contract. Everything else (telemetry chatter, pass bookkeeping)
+/// is incidental and excluded.
+pub const GOLDEN_MARK_PREFIXES: &[&str] = &[
+    "inject:",
+    "detect:",
+    "stale:",
+    "alive:",
+    "restart:",
+    "giveup:",
+    "quarantine:",
+    "cured:",
+    "ready:",
+    "rejuvenate:",
+    "merge:",
+    "defer:",
+    "induced-crash:",
+    "aging-crash:",
+    "poison-crash:",
+];
+
+/// Lifecycle kinds included in a normalized trace. `Spawned` is excluded
+/// (cold-start noise) and `Dropped` is excluded (incidental routing detail);
+/// `Mark` is handled separately through [`GOLDEN_MARK_PREFIXES`].
+const GOLDEN_KINDS: &[TraceKind] = &[
+    TraceKind::Crashed,
+    TraceKind::Hung,
+    TraceKind::Zombified,
+    TraceKind::Restarted,
+];
+
+/// `true` if the event belongs in a normalized golden trace.
+fn is_golden(kind: TraceKind, label: &str) -> bool {
+    match kind {
+        TraceKind::Mark => GOLDEN_MARK_PREFIXES.iter().any(|p| label.starts_with(p)),
+        k => GOLDEN_KINDS.contains(&k),
+    }
+}
+
+/// Renders the recovery-relevant slice of `trace` from `from` onward as a
+/// canonical text form: one `"<nanos-since-from> <kind> <label>"` line per
+/// event, in simulation order. Identical scenarios (same seed, same code)
+/// produce byte-identical output.
+pub fn normalize(trace: &Trace, from: SimTime) -> String {
+    let mut out = String::new();
+    for e in trace.iter() {
+        if e.time < from || !is_golden(e.kind, &e.label) {
+            continue;
+        }
+        let rebased = e.time.saturating_since(from).as_nanos();
+        out.push_str(&format!("{rebased} {} {}\n", e.kind, e.label));
+    }
+    out
+}
+
+/// Compares an actual normalized trace against the expected golden. Returns
+/// `None` on a byte-exact match, otherwise a human-readable line diff
+/// suitable for a CI artifact: every divergent line is shown as
+/// `-expected` / `+actual` with its line number.
+pub fn diff(expected: &str, actual: &str) -> Option<String> {
+    if expected == actual {
+        return None;
+    }
+    let exp: Vec<&str> = expected.lines().collect();
+    let act: Vec<&str> = actual.lines().collect();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "normalized traces differ: {} expected lines, {} actual lines\n",
+        exp.len(),
+        act.len()
+    ));
+    let mut shown = 0usize;
+    for i in 0..exp.len().max(act.len()) {
+        let e = exp.get(i).copied();
+        let a = act.get(i).copied();
+        if e == a {
+            continue;
+        }
+        if let Some(e) = e {
+            out.push_str(&format!("{:>6} -{e}\n", i + 1));
+        }
+        if let Some(a) = a {
+            out.push_str(&format!("{:>6} +{a}\n", i + 1));
+        }
+        shown += 1;
+        if shown >= 40 {
+            out.push_str("  ... (further differences elided)\n");
+            break;
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: f64) -> SimTime {
+        SimTime::from_secs_f64(secs)
+    }
+
+    #[test]
+    fn normalize_keeps_recovery_events_only() {
+        let mut tr = Trace::new();
+        tr.record(t(0.0), None, TraceKind::Spawned, "ses");
+        tr.record(t(5.0), None, TraceKind::Mark, "telemetry:opal:1");
+        tr.record(t(10.0), None, TraceKind::Crashed, "ses");
+        tr.record(t(10.9), None, TraceKind::Mark, "detect:ses");
+        tr.record(t(11.0), None, TraceKind::Restarted, "ses");
+        tr.record(t(16.3), None, TraceKind::Mark, "ready:ses");
+        let norm = normalize(&tr, t(10.0));
+        assert_eq!(
+            norm,
+            "0 crashed ses\n\
+             900000000 mark detect:ses\n\
+             1000000000 restarted ses\n\
+             6300000000 mark ready:ses\n"
+        );
+    }
+
+    #[test]
+    fn normalize_rebases_and_filters_before_from() {
+        let mut tr = Trace::new();
+        tr.record(t(1.0), None, TraceKind::Crashed, "early");
+        tr.record(t(2.0), None, TraceKind::Crashed, "late");
+        let norm = normalize(&tr, t(2.0));
+        assert_eq!(norm, "0 crashed late\n");
+    }
+
+    #[test]
+    fn diff_reports_divergent_lines() {
+        assert!(diff("a\nb\n", "a\nb\n").is_none());
+        let d = diff("a\nb\n", "a\nc\n").unwrap();
+        assert!(d.contains("-b"), "{d}");
+        assert!(d.contains("+c"), "{d}");
+    }
+}

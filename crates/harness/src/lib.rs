@@ -10,6 +10,7 @@
 //! | [`experiments::table2`] | Table 2 — trees I/II recovery times |
 //! | [`experiments::figures`] | Table 3 + Figures 2–6 — the tree evolution |
 //! | [`experiments::table4`] | Table 4 — full MTTR matrix, trees I–V |
+//! | [`experiments::correlated_faults`] | beyond the paper — sequential vs parallel recovery of concurrent faults |
 //! | [`experiments::headline`] | the "factor of four" claim + availability |
 //! | [`experiments::pass_data_loss`] | §5.2 — science-data loss during a pass |
 //! | [`experiments::ablation_oracle_sweep`] | §4.4 error-rate sweep |
@@ -30,6 +31,7 @@
 
 pub mod chaos;
 pub mod experiments;
+pub mod golden;
 pub mod report;
 pub mod tables;
 

@@ -188,6 +188,15 @@ pub struct StationConfig {
     /// retried with a wider restart group) before REC gives up and
     /// quarantines the component.
     pub escalation_limit: u32,
+    /// If `true`, REC refuses to open a new restart episode while any other
+    /// episode is still in flight: a freshly suspected component is left for
+    /// FD's next ping round to re-report once the station is quiet. This is
+    /// the strictly serial recoverer the paper's single-fault experiments
+    /// never distinguish from the parallel one; it exists as the baseline
+    /// for the sequential-vs-parallel comparison. `false` (the default)
+    /// drives independent episodes concurrently, merging overlapping ones
+    /// by LCA promotion.
+    pub serial_recovery: bool,
     /// Restart-storm budget: the most restarts any single cell may receive
     /// within [`restart_window_s`](Self::restart_window_s) before REC gives
     /// up and quarantines it.
@@ -260,6 +269,7 @@ impl StationConfig {
             restart_backoff_base_s: 0.0,
             restart_backoff_cap_s: 30.0,
             escalation_limit: 8,
+            serial_recovery: false,
             max_restarts_per_window: 20,
             restart_window_s: 3600.0,
             keepalive_period_s: 1.0,

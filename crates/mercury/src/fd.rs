@@ -34,6 +34,10 @@ use crate::components::common::{Lifecycle, Shared, Wire, TIMER_BOOT, TIMER_ROLE_
 use crate::config::names;
 
 const TIMER_PING_TICK: u64 = TIMER_ROLE_BASE;
+/// Zero-delay timer that flushes the suspects buffered within one instant.
+/// Same-instant pong timeouts are queued ahead of this timer (the engine is
+/// FIFO within an instant), so the flush sees the whole batch.
+const TIMER_FLUSH_SUSPECTS: u64 = TIMER_ROLE_BASE + 1;
 /// Timeout timers carry `TIMER_TIMEOUT_BASE + round · TIMEOUT_STRIDE + slot`,
 /// one per pinged component per round, so per-component timeouts can differ.
 const TIMER_TIMEOUT_BASE: u64 = 1000;
@@ -61,6 +65,10 @@ pub struct Fd {
     /// Sliding per-component hit/miss record (`true` = missed), newest last,
     /// at most `suspicion_window` entries.
     history: HashMap<String, VecDeque<bool>>,
+    /// Components convicted this instant, awaiting the zero-delay flush that
+    /// reports them to REC in one batch (so REC can plan one antichain of
+    /// recovery episodes instead of reacting to each suspect alone).
+    suspect_buffer: Vec<String>,
     /// Outstanding direct ping to REC, if any.
     rec_outstanding: Option<u64>,
     /// Consecutive missed REC pongs.
@@ -91,6 +99,7 @@ impl Fd {
             down: HashMap::new(),
             missing: HashSet::new(),
             history: HashMap::new(),
+            suspect_buffer: Vec::new(),
             rec_outstanding: None,
             rec_misses: 0,
             rec_down: false,
@@ -181,8 +190,34 @@ impl Fd {
             ctx.trace_mark(format!("detect:{comp}"));
         }
         self.down.insert(comp.clone(), true);
-        self.life
-            .send_direct(ctx, names::REC, Message::Failed { component: comp });
+        if self.suspect_buffer.is_empty() {
+            ctx.set_timer(SimDuration::ZERO, TIMER_FLUSH_SUSPECTS);
+        }
+        self.suspect_buffer.push(comp);
+    }
+
+    /// Reports everything convicted this instant. A lone suspect goes out as
+    /// the classic `Failed`; simultaneous convictions travel together so REC
+    /// sees the correlation.
+    fn flush_suspects(&mut self, ctx: &mut Context<'_, Wire>) {
+        let suspects = std::mem::take(&mut self.suspect_buffer);
+        match suspects.len() {
+            0 => {}
+            1 => {
+                let component = suspects.into_iter().next().expect("len checked");
+                self.life
+                    .send_direct(ctx, names::REC, Message::Failed { component });
+            }
+            _ => {
+                self.life.send_direct(
+                    ctx,
+                    names::REC,
+                    Message::FailedBatch {
+                        components: suspects,
+                    },
+                );
+            }
+        }
     }
 
     /// REC watchdog: FD itself knows how to restart REC (and only REC). The
@@ -252,6 +287,9 @@ impl Actor<Wire> for Fd {
             Event::Timer {
                 key: TIMER_PING_TICK,
             } => self.ping_tick(ctx),
+            Event::Timer {
+                key: TIMER_FLUSH_SUSPECTS,
+            } => self.flush_suspects(ctx),
             Event::Timer { key } if key >= TIMER_TIMEOUT_BASE => {
                 let offset = key - TIMER_TIMEOUT_BASE;
                 self.handle_timeout(offset / TIMEOUT_STRIDE, offset % TIMEOUT_STRIDE, ctx);

@@ -73,6 +73,11 @@ fn parse_restart(label: &str) -> Option<(&str, u32, Vec<String>)> {
     Some((episode, attempt, comps))
 }
 
+/// Parses a `merge:<from>-><into>` mark.
+fn parse_merge(label: &str) -> Option<(&str, &str)> {
+    label.strip_prefix("merge:")?.split_once("->")
+}
+
 /// Measures the recovery of the failure injected into `component` at or
 /// after `after`.
 ///
@@ -88,24 +93,34 @@ pub fn measure_recovery(
         .first_mark_at_or_after(after, &format!("inject:{component}"))
         .ok_or_else(|| MeasureError::NoInjection(component.to_string()))?;
 
-    // All restart attempts for this episode after the injection: the episode
-    // is keyed by the component that failed.
+    // All restart attempts for this episode after the injection. The episode
+    // starts keyed by the component that failed; a `merge:<from>-><into>`
+    // mark means the episode was absorbed into `<into>`'s, so that key's
+    // restarts belong to this recovery too.
+    let mut keys: std::collections::BTreeSet<String> =
+        std::iter::once(component.to_string()).collect();
     let mut attempts: Vec<(SimTime, u32, Vec<String>)> = Vec::new();
     let mut gave_up = false;
     for ev in trace.iter() {
         if ev.kind != TraceKind::Mark || ev.time < injected_at {
             continue;
         }
-        if let Some((episode, attempt, comps)) = parse_restart(&ev.label) {
-            if episode == component {
+        if let Some((from, into)) = parse_merge(&ev.label) {
+            if keys.contains(from) {
+                keys.insert(into.to_string());
+            }
+        } else if let Some((episode, attempt, comps)) = parse_restart(&ev.label) {
+            if keys.contains(episode) {
                 attempts.push((ev.time, attempt, comps));
             }
-        } else if ev.label == format!("giveup:{component}")
-            || ev.label.starts_with(&format!("giveup:{component}:"))
-        {
-            gave_up = true;
+        } else if let Some(rest) = ev.label.strip_prefix("giveup:") {
+            let who = rest.split(':').next().unwrap_or(rest);
+            if keys.contains(who) {
+                gave_up = true;
+            }
         } else if ev.label == format!("cured:{component}") && !attempts.is_empty() {
-            // Episode closed; later restarts belong to a new episode.
+            // Episode closed (merged episodes mark every origin cured);
+            // later restarts belong to a new episode.
             break;
         }
     }
@@ -282,6 +297,43 @@ mod tests {
         let m = measure_recovery(&tr, "ses", t(0.0)).unwrap();
         assert_eq!(m.attempts, 1);
         assert!((m.recovery_s() - 9.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merged_episode_attributes_promoted_restart_to_each_origin() {
+        // fedr's solo episode is absorbed into pbcom's promoted one: both
+        // components' recoveries are measured against the joint restart.
+        let mut tr = Trace::new();
+        mark(&mut tr, 0.0, "inject:fedr");
+        mark(&mut tr, 0.0, "inject:pbcom");
+        mark(&mut tr, 1.0, "restart:fedr:0:fedr");
+        mark(&mut tr, 2.0, "merge:fedr->pbcom");
+        mark(&mut tr, 2.0, "restart:pbcom:0:fedr+pbcom");
+        mark(&mut tr, 8.0, "ready:fedr");
+        mark(&mut tr, 9.5, "ready:pbcom");
+        mark(&mut tr, 12.0, "cured:fedr");
+        mark(&mut tr, 12.0, "cured:pbcom");
+        let fedr = measure_recovery(&tr, "fedr", t(0.0)).unwrap();
+        assert_eq!(fedr.attempts, 2);
+        assert_eq!(fedr.final_restart_set, vec!["fedr", "pbcom"]);
+        assert!((fedr.recovery_s() - 9.5).abs() < 1e-9);
+        let pbcom = measure_recovery(&tr, "pbcom", t(0.0)).unwrap();
+        assert_eq!(pbcom.attempts, 1);
+        assert!((pbcom.recovery_s() - 9.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merged_episode_giveup_is_reported_for_absorbed_origin() {
+        let mut tr = Trace::new();
+        mark(&mut tr, 0.0, "inject:fedr");
+        mark(&mut tr, 1.0, "restart:fedr:0:fedr");
+        mark(&mut tr, 2.0, "merge:fedr->pbcom");
+        mark(&mut tr, 2.0, "restart:pbcom:0:fedr+pbcom");
+        mark(&mut tr, 30.0, "giveup:pbcom:escalation exhausted");
+        assert_eq!(
+            measure_recovery(&tr, "fedr", t(0.0)),
+            Err(MeasureError::GaveUp("fedr".into()))
+        );
     }
 
     #[test]

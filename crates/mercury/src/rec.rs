@@ -16,13 +16,13 @@
 //! software failures, with the exception of FD and REC failing together".
 
 use std::cell::RefCell;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::rc::Rc;
 
 use mercury_msg::{ComponentStatus, Message};
 use rr_core::oracle::{Failure, Oracle};
 use rr_core::recoverer::{Recoverer, RecoveryDecision};
-use rr_sim::{Actor, Context, Event, SimDuration, SimTime};
+use rr_sim::{Actor, Context, Event, SimDuration, SimTime, TraceKind};
 
 use crate::components::common::{Lifecycle, Shared, Wire, TIMER_BOOT, TIMER_ROLE_BASE};
 use crate::config::names;
@@ -57,9 +57,11 @@ pub struct RecControl {
     pub recoverer: Recoverer<Box<dyn Oracle>>,
     /// Ground-truth cure hints per component, configured by the fault
     /// injector for experiments with a knowledgeable (perfect/faulty) oracle.
-    pub cure_hints: HashMap<String, Vec<String>>,
-    /// Latest health beacons (§7).
-    pub beacons: HashMap<String, BeaconRecord>,
+    pub cure_hints: BTreeMap<String, Vec<String>>,
+    /// Latest health beacons (§7). Ordered map: staleness sweeps and episode
+    /// bookkeeping iterate it, and with concurrent episodes the iteration
+    /// order is trace-visible — it must not vary run to run.
+    pub beacons: BTreeMap<String, BeaconRecord>,
     /// Recovery actions taken, for reporting.
     pub actions: Vec<String>,
     /// Components REC has given up on (escalation exhausted or restart
@@ -67,9 +69,10 @@ pub struct RecControl {
     /// runs degraded until an operator intervenes.
     pub quarantined: BTreeSet<String>,
     /// Components still rebooting per open episode (with the time the
-    /// restart was issued): a group restart is only complete when the whole
-    /// cell is back, not just the episode's owner.
-    pending: HashMap<String, (SimTime, BTreeSet<String>)>,
+    /// restart was issued), keyed by the episode's owner: a group restart is
+    /// only complete when the whole cell is back, not just the owner. Ordered
+    /// so same-instant completions confirm in a fixed order.
+    pending: BTreeMap<String, (SimTime, BTreeSet<String>)>,
 }
 
 impl std::fmt::Debug for RecControl {
@@ -87,11 +90,11 @@ impl RecControl {
     pub fn new(recoverer: Recoverer<Box<dyn Oracle>>) -> Rc<RefCell<RecControl>> {
         Rc::new(RefCell::new(RecControl {
             recoverer,
-            cure_hints: HashMap::new(),
-            beacons: HashMap::new(),
+            cure_hints: BTreeMap::new(),
+            beacons: BTreeMap::new(),
             actions: Vec::new(),
             quarantined: BTreeSet::new(),
-            pending: HashMap::new(),
+            pending: BTreeMap::new(),
         }))
     }
 }
@@ -139,14 +142,19 @@ impl Rec {
         }
     }
 
-    fn on_failed(&mut self, component: String, ctx: &mut Context<'_, Wire>) {
-        let now = ctx.now();
-        let mut control = self.control.borrow_mut();
+    /// Screens a failure report against quarantine and in-flight restarts.
+    ///
+    /// Returns `false` when the report must be dropped: the component is
+    /// quarantined, or an in-flight group restart that has not blown its
+    /// deadline is still rebooting it. Overdue restarts are declared complete
+    /// (failed) on the way so the recoverer can escalate instead of waiting
+    /// forever.
+    fn screen_report(&self, control: &mut RecControl, component: &str, now: SimTime) -> bool {
         // Quarantined components are a lost cause by definition: restarting
         // them more would only re-start the storm REC just shut down. The
         // station runs degraded without them.
-        if control.quarantined.contains(&component) {
-            return;
+        if control.quarantined.contains(component) {
+            return false;
         }
         // A component that is down because an in-flight group restart has not
         // finished rebooting it is not a new failure — unless the reboot has
@@ -156,7 +164,7 @@ impl Rec {
         let mut expired: Vec<String> = Vec::new();
         let mut suppressed = false;
         for (episode, (issued_at, set)) in control.pending.iter() {
-            if !set.contains(&component) {
+            if !set.contains(component) {
                 continue;
             }
             if now.saturating_since(*issued_at).as_secs_f64() > deadline {
@@ -167,50 +175,73 @@ impl Rec {
         }
         for episode in expired {
             if let Some((_, set)) = control.pending.get_mut(&episode) {
-                set.remove(&component);
+                set.remove(component);
                 if set.is_empty() {
                     control.pending.remove(&episode);
                 }
             }
-            // The restart is overdue: declare it complete (failed) so the
-            // recoverer can escalate instead of waiting forever.
             control.recoverer.on_restart_complete(&episode, now);
         }
-        if suppressed {
-            return;
-        }
+        !suppressed
+    }
+
+    /// Builds the correlated failure for a screened report, feeding the
+    /// oracle its negative feedback first if this is a re-detection after a
+    /// completed restart (the last cure did not take).
+    fn failure_for(&self, control: &mut RecControl, component: &str) -> Failure {
         let cure_set = control
             .cure_hints
-            .get(&component)
+            .get(component)
             .cloned()
-            .unwrap_or_else(|| vec![component.clone()]);
-        let failure = Failure::correlated(component.clone(), cure_set);
-
-        // Re-detection after a completed restart is negative feedback for
-        // the oracle (the last cure did not take).
-        if control.recoverer.is_recovering(&component)
-            && !control.recoverer.is_in_flight(&component)
+            .unwrap_or_else(|| vec![component.to_string()]);
+        if control.recoverer.is_recovering(component) && !control.recoverer.is_in_flight(component)
         {
-            control.recoverer.on_not_cured(&component);
+            control.recoverer.on_not_cured(component);
         }
+        Failure::correlated(component.to_string(), cure_set)
+    }
 
-        match control.recoverer.on_failure(failure, now) {
+    /// Applies one recovery decision: marks the trace, keeps the pending
+    /// book, and pushes the restart button.
+    fn apply_decision(
+        &mut self,
+        decision: RecoveryDecision,
+        now: SimTime,
+        ctx: &mut Context<'_, Wire>,
+    ) {
+        let mut control = self.control.borrow_mut();
+        match decision {
             RecoveryDecision::Restart {
                 node,
                 components,
                 attempt,
                 delay,
+                origins,
             } => {
+                let owner = origins
+                    .first()
+                    .cloned()
+                    .unwrap_or_else(|| "unknown".to_string());
                 let label = control.recoverer.tree().label(node).to_string();
-                let action = format!("restart:{component}:{attempt}:{}", components.join("+"));
+                // Absorbed episodes are superseded by this one: credit their
+                // origins to the merged episode and retire their pending
+                // entries — the promoted restart covers those components.
+                for origin in origins.iter().skip(1) {
+                    ctx.trace_mark(format!("merge:{origin}->{owner}"));
+                    ctx.trace_event(TraceKind::EpisodeMerge, format!("{origin}->{owner}"));
+                }
+                for origin in &origins {
+                    control.pending.remove(origin);
+                }
+                let action = format!("restart:{owner}:{attempt}:{}", components.join("+"));
                 ctx.trace_mark(action.clone());
+                ctx.trace_event(TraceKind::EpisodeBegin, format!("{owner}:{label}"));
                 control.actions.push(format!("{now} {action} ({label})"));
                 // The restart deadline runs from when the button is actually
                 // pushed, after any backoff delay.
-                control.pending.insert(
-                    component.clone(),
-                    (now + delay, components.iter().cloned().collect()),
-                );
+                control
+                    .pending
+                    .insert(owner, (now + delay, components.iter().cloned().collect()));
                 drop(control);
                 self.execute_restart(&components, delay, ctx);
             }
@@ -219,10 +250,62 @@ impl Rec {
                 let action = format!("giveup:{component}:{reason}");
                 ctx.trace_mark(action.clone());
                 ctx.trace_mark(format!("quarantine:{component}"));
+                ctx.trace_event(TraceKind::EpisodeEnd, format!("{component}:gaveup"));
                 control.pending.remove(&component);
                 control.quarantined.insert(component.clone());
                 control.actions.push(format!("{now} {action}"));
             }
+        }
+    }
+
+    fn on_failed(&mut self, component: String, ctx: &mut Context<'_, Wire>) {
+        let now = ctx.now();
+        let mut control = self.control.borrow_mut();
+        if !self.screen_report(&mut control, &component, now) {
+            return;
+        }
+        // Serial baseline: one episode at a time. While any restart is in
+        // flight a fresh suspicion is deferred, not queued — FD keeps
+        // re-reporting it every ping round, so it is retried as soon as the
+        // in-flight episode drains.
+        if self.life.config().serial_recovery && !control.pending.is_empty() {
+            ctx.trace_mark(format!("defer:{component}"));
+            return;
+        }
+        let failure = self.failure_for(&mut control, &component);
+        let decision = control.recoverer.on_failure(failure, now);
+        drop(control);
+        self.apply_decision(decision, now, ctx);
+    }
+
+    /// Handles a batched report: same-instant suspicions are planned together
+    /// as one antichain of episodes, so independent subtrees restart in
+    /// parallel while overlapping ones merge by promotion instead of racing.
+    fn on_failed_batch(&mut self, components: Vec<String>, ctx: &mut Context<'_, Wire>) {
+        if self.life.config().serial_recovery {
+            // The serial baseline processes the batch as if the reports had
+            // arrived one by one: the first survivor opens an episode, the
+            // rest are deferred for FD to re-report.
+            for component in components {
+                self.on_failed(component, ctx);
+            }
+            return;
+        }
+        let now = ctx.now();
+        let mut control = self.control.borrow_mut();
+        let mut failures: Vec<Failure> = Vec::new();
+        for component in components {
+            if self.screen_report(&mut control, &component, now) {
+                failures.push(self.failure_for(&mut control, &component));
+            }
+        }
+        if failures.is_empty() {
+            return;
+        }
+        let decisions = control.recoverer.on_failures(failures, now);
+        drop(control);
+        for decision in decisions {
+            self.apply_decision(decision, now, ctx);
         }
     }
 
@@ -338,8 +421,17 @@ impl Rec {
         if control.recoverer.is_recovering(&component)
             && !control.recoverer.is_in_flight(&component)
         {
+            // A merged episode cures every suspicion it absorbed: mark each
+            // origin so per-component recovery accounting stays attributable.
+            let origins = control
+                .recoverer
+                .episode_origins(&component)
+                .unwrap_or_else(|| vec![component.clone()]);
             control.recoverer.on_cured(&component, now);
-            ctx.trace_mark(format!("cured:{component}"));
+            for origin in origins {
+                ctx.trace_mark(format!("cured:{origin}"));
+            }
+            ctx.trace_event(TraceKind::EpisodeEnd, format!("{component}:cured"));
         }
     }
 
@@ -506,6 +598,9 @@ impl Actor<Wire> for Rec {
                 match env.body {
                     Message::Failed { component } if self.life.is_ready() => {
                         self.on_failed(component, ctx);
+                    }
+                    Message::FailedBatch { components } if self.life.is_ready() => {
+                        self.on_failed_batch(components, ctx);
                     }
                     Message::Alive { component } if self.life.is_ready() => {
                         self.on_alive(component, ctx);

@@ -248,6 +248,14 @@ pub enum Message {
         /// The component whose liveness pings went unanswered.
         component: String,
     },
+    /// FD → REC batched failure report: every component whose ping timed
+    /// out at the same instant of the same ping round. Reporting concurrent
+    /// suspicions together lets REC plan one antichain of restart episodes
+    /// instead of discovering overlaps restart-by-restart.
+    FailedBatch {
+        /// The suspected components, in FD's detection order. Never empty.
+        components: Vec<String>,
+    },
     /// FD → REC recovery notice: a previously failed component answers pings
     /// again.
     Alive {
@@ -374,6 +382,9 @@ impl Message {
             Message::Failed { component } => {
                 Element::new("failed").with_attr("component", component.clone())
             }
+            Message::FailedBatch { components } => {
+                Element::new("failed-batch").with_attr("components", components.join("+"))
+            }
             Message::Alive { component } => {
                 Element::new("alive").with_attr("component", component.clone())
             }
@@ -450,6 +461,17 @@ impl Message {
             "failed" => Ok(Message::Failed {
                 component: req_attr(el, "component")?.to_string(),
             }),
+            "failed-batch" => {
+                let raw = req_attr(el, "components")?;
+                if raw.is_empty() || raw.split('+').any(str::is_empty) {
+                    return Err(MsgError::schema(
+                        "<failed-batch> components must be a non-empty +-joined list",
+                    ));
+                }
+                Ok(Message::FailedBatch {
+                    components: raw.split('+').map(str::to_string).collect(),
+                })
+            }
             "alive" => Ok(Message::Alive {
                 component: req_attr(el, "component")?.to_string(),
             }),
@@ -540,6 +562,9 @@ mod tests {
             Message::Ack { of: 99 },
             Message::Failed {
                 component: "pbcom".into(),
+            },
+            Message::FailedBatch {
+                components: vec!["fedr".into(), "pbcom".into()],
             },
             Message::Alive {
                 component: "pbcom".into(),

@@ -36,6 +36,15 @@ pub struct Envelope {
 }
 
 impl Envelope {
+    /// Hard ceiling on the wire form accepted by [`Envelope::parse`].
+    ///
+    /// The largest legitimate envelope is a `SerialFrame` carrying a
+    /// hex-encoded maximum-size telemetry frame (~128 KiB of hex); anything
+    /// past double that is a runaway or hostile sender, and refusing it up
+    /// front keeps a single envelope from wedging the bus with unbounded
+    /// parse work.
+    pub const MAX_WIRE_BYTES: usize = 256 * 1024;
+
     /// Creates an envelope.
     pub fn new(src: impl Into<String>, dst: impl Into<String>, id: u64, body: Message) -> Envelope {
         Envelope {
@@ -104,8 +113,15 @@ impl Envelope {
     ///
     /// # Errors
     ///
-    /// Returns [`MsgError`] on malformed XML or schema violations.
+    /// Returns [`MsgError`] on malformed XML, schema violations, or a wire
+    /// form exceeding [`Envelope::MAX_WIRE_BYTES`].
     pub fn parse(wire: &str) -> Result<Envelope, MsgError> {
+        if wire.len() > Envelope::MAX_WIRE_BYTES {
+            return Err(MsgError::Oversized {
+                bytes: wire.len(),
+                limit: Envelope::MAX_WIRE_BYTES,
+            });
+        }
         let el = Element::parse(wire)?;
         Envelope::from_element(&el)
     }

@@ -14,6 +14,16 @@ pub enum MsgError {
         /// What was wrong (e.g. a missing attribute or unknown element).
         message: String,
     },
+    /// The wire form exceeded the envelope size ceiling and was refused
+    /// before parsing.
+    Oversized {
+        /// Bytes received.
+        bytes: usize,
+        /// The configured ceiling ([`Envelope::MAX_WIRE_BYTES`]).
+        ///
+        /// [`Envelope::MAX_WIRE_BYTES`]: crate::Envelope::MAX_WIRE_BYTES
+        limit: usize,
+    },
 }
 
 impl MsgError {
@@ -30,6 +40,12 @@ impl fmt::Display for MsgError {
         match self {
             MsgError::Xml(e) => write!(f, "malformed message xml: {e}"),
             MsgError::Schema { message } => write!(f, "message schema violation: {message}"),
+            MsgError::Oversized { bytes, limit } => {
+                write!(
+                    f,
+                    "envelope of {bytes} bytes exceeds the {limit}-byte limit"
+                )
+            }
         }
     }
 }
@@ -38,7 +54,7 @@ impl std::error::Error for MsgError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             MsgError::Xml(e) => Some(e),
-            MsgError::Schema { .. } => None,
+            MsgError::Schema { .. } | MsgError::Oversized { .. } => None,
         }
     }
 }

@@ -162,7 +162,9 @@ impl TelemetryFrame {
     /// Returns [`FrameError::BadHex`] for malformed hex, otherwise any
     /// deframing error.
     pub fn from_hex(hex: &str) -> Result<TelemetryFrame, FrameError> {
-        if !hex.len().is_multiple_of(2) {
+        // Work on bytes: slicing the &str two chars at a time would panic on
+        // a multi-byte code point straddling a pair boundary.
+        if !hex.len().is_multiple_of(2) || !hex.is_ascii() {
             return Err(FrameError::BadHex);
         }
         let mut bytes = Vec::with_capacity(hex.len() / 2);

@@ -873,6 +873,15 @@ impl<M> Context<'_, M> {
         self.sim.trace.record(now, Some(id), TraceKind::Mark, label);
     }
 
+    /// Records a structured trace event attributed to this process — used
+    /// by the recovery module for episode begin/end/merge events, which are
+    /// first-class trace records rather than free-form marks.
+    pub fn trace_event(&mut self, kind: TraceKind, label: impl Into<String>) {
+        let id = self.id;
+        let now = self.sim.now;
+        self.sim.trace.record(now, Some(id), kind, label);
+    }
+
     /// Crashes another process (or this one) after `delay`. Used by fault
     /// injectors and by components whose failure provably induces a peer
     /// failure (e.g. repeated `fedr` crashes aging `pbcom`, §4.2).

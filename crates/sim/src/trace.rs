@@ -30,6 +30,13 @@ pub enum TraceKind {
     Dropped,
     /// A domain-level mark (e.g. `ready:ses`, `detect:rtu`).
     Mark,
+    /// A recovery episode was opened (label: `owner:cell`).
+    EpisodeBegin,
+    /// A recovery episode closed (label: `owner:cured` or `owner:gaveup`).
+    EpisodeEnd,
+    /// An episode was absorbed into another by promotion to the least
+    /// common ancestor (label: `from->into`).
+    EpisodeMerge,
 }
 
 impl fmt::Display for TraceKind {
@@ -42,6 +49,9 @@ impl fmt::Display for TraceKind {
             TraceKind::Restarted => "restarted",
             TraceKind::Dropped => "dropped",
             TraceKind::Mark => "mark",
+            TraceKind::EpisodeBegin => "episode-begin",
+            TraceKind::EpisodeEnd => "episode-end",
+            TraceKind::EpisodeMerge => "episode-merge",
         };
         f.write_str(s)
     }
