@@ -4,14 +4,17 @@ set -eux
 
 cargo build --release --workspace
 
-# Golden-trace regression suite first, as its own step, so a drift is
-# visible as a distinct failure with the trace diff in the log. On mismatch
-# the differ writes the normalized actual trace next to each golden as
+# Golden regression suite first, as its own step, so a drift is visible as
+# a distinct failure with the diff in the log. This covers both the
+# normalized recovery traces (tests/golden/<name>.txt) and the telemetry
+# snapshot (tests/golden/tree3-kill-pbcom.telemetry.txt). On mismatch the
+# differ writes the actual output next to each golden as
 # tests/golden/<name>.actual.txt; print the diffs so CI uploads survive
-# without artifact plumbing.
+# without artifact plumbing. Re-record after an intentional change with
+# GOLDEN_RECORD=1.
 if ! cargo test -q -p rr-harness --test golden; then
     set +x
-    echo "==== golden-trace drift ===="
+    echo "==== golden drift (traces + telemetry snapshot) ===="
     for actual in tests/golden/*.actual.txt; do
         [ -e "$actual" ] || continue
         golden="${actual%.actual.txt}.txt"

@@ -23,13 +23,13 @@ fn bench_contention(r: &mut Runner) {
         for (name, t) in &cfg.timing {
             cost = cost.with_boot(name.clone(), t.boot_mean_s);
         }
-        let tree = TreeVariant::I.tree();
+        let tree = TreeVariant::I.tree().expect("paper tree builds");
         let mode = FailureMode::solo("rtu", names::RTU, 1.0);
         let rec = expected_mode_recovery_s(&tree, &mode, &cost, OracleQuality::Perfect).unwrap();
         eprintln!("[ablation/contention] q={q:<7} -> {rec:6.2}s (paper at q=0.0119: 24.75)");
     }
     let cost = cfg.cost_model();
-    let tree = TreeVariant::I.tree();
+    let tree = TreeVariant::I.tree().expect("paper tree builds");
     let mode = FailureMode::solo("rtu", names::RTU, 1.0);
     r.bench("ablation/contention_eval", || {
         black_box(expected_mode_recovery_s(&tree, &mode, &cost, OracleQuality::Perfect).unwrap())
@@ -42,8 +42,8 @@ fn bench_oracle_sweep(r: &mut Runner) {
     let cfg = StationConfig::paper();
     let cost = cfg.cost_model();
     let mode = FailureMode::correlated("joint", names::PBCOM, [names::FEDR, names::PBCOM], 1.0);
-    let tree_iv = TreeVariant::IV.tree();
-    let tree_v = TreeVariant::V.tree();
+    let tree_iv = TreeVariant::IV.tree().expect("paper tree builds");
+    let tree_v = TreeVariant::V.tree().expect("paper tree builds");
     eprintln!("\n[ablation/oracle] error rate -> expected pbcom-joint recovery (IV vs V):");
     for p in [0.0, 0.1, 0.2, 0.3, 0.4, 0.5] {
         let iv = expected_mode_recovery_s(
@@ -113,7 +113,7 @@ fn bench_optimizer(r: &mut Runner) {
             .expected_mttr_s,
         )
     });
-    let tree = TreeVariant::V.tree();
+    let tree = TreeVariant::V.tree().expect("paper tree builds");
     r.bench("ablation/optimizer/expected_system_mttr", || {
         black_box(expected_system_mttr_s(&tree, &model, &cost, OracleQuality::Perfect).unwrap())
     });

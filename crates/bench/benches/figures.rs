@@ -14,16 +14,16 @@ fn bench_tree_evolution(r: &mut Runner) {
     for variant in TreeVariant::ALL {
         eprintln!(
             "[figures] tree {variant}:\n{}",
-            render_tree(&variant.tree())
+            render_tree(&variant.tree().expect("paper tree builds"))
         );
     }
 
     for variant in TreeVariant::ALL {
         r.bench(&format!("figures/tree/build/{variant}"), || {
-            black_box(variant.tree())
+            black_box(variant.tree().expect("paper tree builds"))
         });
     }
-    let tree = TreeVariant::V.tree();
+    let tree = TreeVariant::V.tree().expect("paper tree builds");
     r.bench("figures/tree/render_tree_v", || {
         black_box(render_tree(&tree))
     });
@@ -42,7 +42,8 @@ fn bench_station_cold_start(r: &mut Runner) {
             TreeVariant::V,
             Box::new(PerfectOracle::new()),
             seed,
-        );
+        )
+        .expect("valid station");
         s.warm_up();
         black_box(s.now())
     });

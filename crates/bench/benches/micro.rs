@@ -104,7 +104,7 @@ fn bench_orbit(r: &mut Runner) {
 
 fn bench_tree_queries(r: &mut Runner) {
     use mercury::station::TreeVariant;
-    let tree = TreeVariant::V.tree();
+    let tree = TreeVariant::V.tree().expect("paper tree builds");
     r.bench("micro/tree/lowest_cover", || {
         black_box(tree.lowest_cover(&["fedr", "pbcom"]).unwrap())
     });

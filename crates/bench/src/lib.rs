@@ -63,14 +63,15 @@ pub fn recovery_trial(
         variant,
         oracle.build(seed ^ 0xBEEF),
         seed,
-    );
+    )
+    .expect("valid station");
     station.warm_up();
     let mut phase = SimRng::new(seed ^ 0xA5A5);
     station.randomize_injection_phase(&mut phase);
     let injected = if correlated_pbcom {
-        station.inject_correlated_pbcom()
+        station.inject_correlated_pbcom().expect("known component")
     } else {
-        station.inject_kill(component)
+        station.inject_kill(component).expect("known component")
     };
     station.run_for(SimDuration::from_secs(150));
     measure_recovery(station.trace(), component, injected)
@@ -96,12 +97,13 @@ pub fn correlated_group_recovery(
         variant,
         BenchOracle::Perfect.build(seed ^ 0xBEEF),
         seed,
-    );
+    )
+    .expect("valid station");
     station.warm_up();
     let mut phase = SimRng::new(seed ^ 0xA5A5);
     station.randomize_injection_phase(&mut phase);
-    let injected = station.inject_kill(a);
-    station.inject_kill(b);
+    let injected = station.inject_kill(a).expect("known component");
+    station.inject_kill(b).expect("known component");
     station.run_for(SimDuration::from_secs(200));
     let mut group = 0.0f64;
     for comp in [a, b] {

@@ -72,7 +72,9 @@ pub use error::TreeError;
 pub use model::{FailureMode, FailureModel};
 pub use oracle::{Failure, FaultyOracle, LearningOracle, NaiveOracle, Oracle, PerfectOracle};
 pub use policy::{GiveUpReason, RestartPolicy};
-pub use recoverer::{Recoverer, RecoveryDecision};
+pub use recoverer::{DecisionTally, Recoverer, RecoveryDecision};
 pub use recovery::{ProcedureKind, RecoveryLadder, RecoveryProcedure};
-pub use schedule::{is_antichain, plan_episodes, EpisodePlan, PlannedEpisode, Suspicion};
+pub use schedule::{
+    is_antichain, plan_episodes, EpisodePlan, PlanStats, PlannedEpisode, Suspicion,
+};
 pub use tree::{NodeId, RestartTree, TreeSpec};

@@ -68,6 +68,22 @@ struct Episode {
     origins: BTreeSet<String>,
 }
 
+/// Aggregate counts of every decision the recoverer has made, in a shape
+/// convenient for export into a telemetry registry (each field maps onto one
+/// oracle-decision counter).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DecisionTally {
+    /// Restarts issued (one per [`RecoveryDecision::Restart`]).
+    pub restarts: u64,
+    /// Episodes abandoned to quarantine.
+    pub give_ups: u64,
+    /// In-flight episodes absorbed into a promoted (LCA-merged) restart.
+    pub merges: u64,
+    /// Failure reports swallowed because a covering restart was already in
+    /// flight.
+    pub already_recovering: u64,
+}
+
 /// Tracks failure episodes and produces restart decisions.
 ///
 /// Protocol, per failure episode:
@@ -87,6 +103,8 @@ pub struct Recoverer<O> {
     episodes: BTreeMap<String, Episode>,
     restarts_issued: u64,
     give_ups: u64,
+    merges: u64,
+    already_recovering: u64,
 }
 
 impl<O: fmt::Debug> fmt::Debug for Recoverer<O> {
@@ -96,6 +114,8 @@ impl<O: fmt::Debug> fmt::Debug for Recoverer<O> {
             .field("open_episodes", &self.episodes.len())
             .field("restarts_issued", &self.restarts_issued)
             .field("give_ups", &self.give_ups)
+            .field("merges", &self.merges)
+            .field("already_recovering", &self.already_recovering)
             .finish()
     }
 }
@@ -110,6 +130,8 @@ impl<O: Oracle> Recoverer<O> {
             episodes: BTreeMap::new(),
             restarts_issued: 0,
             give_ups: 0,
+            merges: 0,
+            already_recovering: 0,
         }
     }
 
@@ -144,6 +166,16 @@ impl<O: Oracle> Recoverer<O> {
     /// Total abandoned episodes.
     pub fn give_ups(&self) -> u64 {
         self.give_ups
+    }
+
+    /// A snapshot of every decision counter, for export into telemetry.
+    pub fn decision_tally(&self) -> DecisionTally {
+        DecisionTally {
+            restarts: self.restarts_issued,
+            give_ups: self.give_ups,
+            merges: self.merges,
+            already_recovering: self.already_recovering,
+        }
     }
 
     /// The cell of an in-flight restart already covering `component`, if any.
@@ -205,6 +237,7 @@ impl<O: Oracle> Recoverer<O> {
                 self.tree.overlaps(n, node).then(|| key.clone())
             });
             let Some(key) = absorbed else { break };
+            self.merges += 1;
             let ep = self.episodes.remove(&key).expect("episode key just seen");
             if let Some(n) = ep.last_node {
                 if n != node {
@@ -259,6 +292,7 @@ impl<O: Oracle> Recoverer<O> {
         // report is expected (the component is down *because* it is being
         // restarted) — do not start a second episode.
         if let Some(node) = self.covering_in_flight(&failure.component) {
+            self.already_recovering += 1;
             return RecoveryDecision::AlreadyRecovering { node };
         }
         let owner = failure.component.clone();

@@ -78,6 +78,46 @@ impl EpisodePlan {
     pub fn cells(&self) -> Vec<NodeId> {
         self.episodes.iter().map(|e| e.cell).collect()
     }
+
+    /// Summary statistics for this plan, in a shape convenient for telemetry
+    /// gauges: how many episodes survive the merge fixpoint, how many origin
+    /// suspicions were folded together, and the blast radius.
+    pub fn stats(&self) -> PlanStats {
+        PlanStats {
+            episodes: self.episodes.len(),
+            origins: self.episodes.iter().map(|e| e.origins.len()).sum(),
+            merged_origins: self
+                .episodes
+                .iter()
+                .map(|e| e.origins.len().saturating_sub(1))
+                .sum(),
+            components_restarted: self.episodes.iter().map(|e| e.components.len()).sum(),
+            widest_episode: self
+                .episodes
+                .iter()
+                .map(|e| e.components.len())
+                .max()
+                .unwrap_or(0),
+        }
+    }
+}
+
+/// Aggregate statistics over an [`EpisodePlan`], produced by
+/// [`EpisodePlan::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PlanStats {
+    /// Episodes that survive the merge fixpoint (the antichain's width).
+    pub episodes: usize,
+    /// Total origin suspicions across all episodes.
+    pub origins: usize,
+    /// Origins beyond the first in each episode — i.e. how many suspicions
+    /// were absorbed by an LCA merge rather than planned on their own.
+    pub merged_origins: usize,
+    /// Total components restarted across all episodes (no double counting:
+    /// the plan covers each suspected component exactly once).
+    pub components_restarted: usize,
+    /// The largest single episode's component count (the worst blast radius).
+    pub widest_episode: usize,
 }
 
 /// Computes the episode plan for a set of concurrent suspicions: merges

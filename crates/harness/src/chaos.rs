@@ -29,7 +29,7 @@ use mercury::config::{names, StationConfig};
 use mercury::measure::measure_recovery;
 use mercury::station::{Station, TreeVariant};
 use rr_core::PerfectOracle;
-use rr_sim::{LinkQuality, SimDuration, SimRng, SimTime, Trace, TraceKind};
+use rr_sim::{LinkQuality, Registry, SimDuration, SimRng, SimTime, Trace, TraceKind};
 
 use crate::tables::Table;
 
@@ -127,6 +127,11 @@ pub struct ChaosReport {
     pub restarts: BTreeMap<String, usize>,
     /// Invariant violations; empty on a clean campaign.
     pub violations: Vec<String>,
+    /// The station's recovery-episode telemetry: per-component MTTR
+    /// histograms, restart and oracle-decision counters, FD ping-latency
+    /// stats, and the structured episode stream. Empty when the campaign's
+    /// [`StationConfig`] disables telemetry.
+    pub telemetry: Registry,
 }
 
 impl ChaosReport {
@@ -153,7 +158,8 @@ pub fn run_campaign(variant: TreeVariant, cfg: &ChaosConfig) -> ChaosReport {
         variant,
         Box::new(PerfectOracle::new()),
         station_seed,
-    );
+    )
+    .expect("valid station");
     station.warm_up();
     if cfg.link_loss > 0.0 {
         station.degrade_all_links(Some(LinkQuality::lossy(cfg.link_loss)));
@@ -178,9 +184,9 @@ pub fn run_campaign(variant: TreeVariant, cfg: &ChaosConfig) -> ChaosReport {
             }
         };
         let at = match kind {
-            ChaosFault::Crash => station.inject_kill(&component),
-            ChaosFault::Hang => station.inject_hang(&component),
-            ChaosFault::Zombie => station.inject_zombie(&component),
+            ChaosFault::Crash => station.inject_kill(&component).expect("known component"),
+            ChaosFault::Hang => station.inject_hang(&component).expect("known component"),
+            ChaosFault::Zombie => station.inject_zombie(&component).expect("known component"),
         };
         let deadline = at + SimDuration::from_secs_f64(cfg.cure_deadline_s);
         let cured_label = format!("cured:{component}");
@@ -225,7 +231,15 @@ pub fn run_campaign(variant: TreeVariant, cfg: &ChaosConfig) -> ChaosReport {
     // Let in-flight cascades (induced peer crashes, confirmation windows)
     // finish before the audit.
     station.run_for(SimDuration::from_secs_f64(cfg.settle_s));
-    audit(variant, cfg, &station, campaign_start, injections)
+    let telemetry = station.telemetry();
+    audit(
+        variant,
+        cfg,
+        &station,
+        campaign_start,
+        injections,
+        telemetry,
+    )
 }
 
 /// Computes the set of components whose recovery actions are attributable to
@@ -302,6 +316,7 @@ fn audit(
     station: &Station,
     campaign_start: SimTime,
     injections: Vec<ChaosInjection>,
+    telemetry: Registry,
 ) -> ChaosReport {
     let mut violations: Vec<String> = Vec::new();
 
@@ -356,6 +371,7 @@ fn audit(
         injections,
         restarts,
         violations,
+        telemetry,
     }
 }
 
@@ -425,7 +441,8 @@ pub fn experiment(run: crate::RunConfig) -> crate::Experiment {
         TreeVariant::II,
         Box::new(PerfectOracle::new()),
         run.seed,
-    );
+    )
+    .expect("valid station");
     station.warm_up();
     station.degrade_all_links(Some(LinkQuality::lossy(0.05)));
     let start = station.now();

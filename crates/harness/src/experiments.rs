@@ -149,13 +149,14 @@ pub fn measure_cell_samples(
             variant,
             oracle.build(seed ^ 0xBEEF),
             seed,
-        );
+        )
+        .expect("valid station");
         station.warm_up();
         station.randomize_injection_phase(&mut phase_rng);
         let injected = if correlated_pbcom {
-            station.inject_correlated_pbcom()
+            station.inject_correlated_pbcom().expect("known component")
         } else {
-            station.inject_kill(component)
+            station.inject_kill(component).expect("known component")
         };
         // Long enough for the worst escalated episode (≈48 s) plus slack.
         station.run_for(SimDuration::from_secs(150));
@@ -218,20 +219,21 @@ pub fn measure_correlated(
         let seed = run.seed.wrapping_add(i as u64).wrapping_mul(2654435761);
         let mut cfg = StationConfig::paper();
         cfg.serial_recovery = serial;
-        let mut station = Station::new(cfg, variant, Box::new(PerfectOracle::new()), seed);
+        let mut station = Station::new(cfg, variant, Box::new(PerfectOracle::new()), seed)
+            .expect("valid station");
         station.warm_up();
         station.randomize_injection_phase(&mut phase_rng);
         let injected = match kind {
             CorrelatedKind::Pair(a, b) => {
-                let at = station.inject_kill(a);
-                station.inject_kill(b);
+                let at = station.inject_kill(a).expect("known component");
+                station.inject_kill(b).expect("known component");
                 at
             }
             CorrelatedKind::FedrThenJointPbcom => {
-                let at = station.inject_kill(names::FEDR);
+                let at = station.inject_kill(names::FEDR).expect("known component");
                 station.run_for(SimDuration::from_secs(1));
                 station.set_cure_hint(names::PBCOM, [names::FEDR, names::PBCOM]);
-                station.inject_kill(names::PBCOM);
+                station.inject_kill(names::PBCOM).expect("known component");
                 at
             }
         };
@@ -319,7 +321,7 @@ pub fn correlated_faults(run: RunConfig) -> Experiment {
     for (label, variant, kind) in scenarios {
         let serial = measure_correlated(variant, kind, true, run);
         let parallel = measure_correlated(variant, kind, false, run);
-        let tree = variant.tree();
+        let tree = variant.tree().expect("paper tree builds");
         let modes = kind.modes();
         let a_seq = expected_serial_group_recovery_s(&tree, &modes, &cost).expect("valid modes");
         let a_par = expected_parallel_group_recovery_s(&tree, &modes, &cost).expect("valid modes");
@@ -567,7 +569,7 @@ pub fn table4(run: RunConfig) -> Experiment {
     let cfg = StationConfig::paper();
     let cost = cfg.cost_model();
     for row in table4_rows() {
-        let tree = row.variant.tree();
+        let tree = row.variant.tree().expect("paper tree builds");
         for (comp, paper, correlated) in &row.cells {
             let s = measure_cell(row.variant, row.oracle, comp, *correlated, run);
             // Analytic cross-check.
@@ -637,7 +639,7 @@ pub fn figures(_run: RunConfig) -> Experiment {
         ],
     );
     for variant in TreeVariant::ALL {
-        let tree = variant.tree();
+        let tree = variant.tree().expect("paper tree builds");
         tree.validate().expect("paper trees are valid");
         exp.blocks.push(format!(
             "Tree {variant} (Figure {}):\n{}",
@@ -686,7 +688,7 @@ pub fn figures(_run: RunConfig) -> Experiment {
     );
     for variant in [TreeVariant::III, TreeVariant::IV, TreeVariant::V] {
         let advice = rr_core::advisor::advise(
-            &variant.tree(),
+            &variant.tree().expect("paper tree builds"),
             &model,
             &cost,
             rr_core::advisor::OracleAssumption::MayErr,
@@ -751,7 +753,7 @@ pub fn headline(run: RunConfig) -> Experiment {
             "faulty(0.3)",
         ),
     ] {
-        let tree = variant.tree();
+        let tree = variant.tree().expect("paper tree builds");
         let model = if variant.is_split() {
             cfg.paper_failure_model()
         } else {
@@ -828,7 +830,8 @@ pub fn pass_data_loss(run: RunConfig) -> Experiment {
                 let plan = PassScenario::plan(&cfg, "opal", 120.0, 30.0, 20.0);
                 cfg.pass_epoch_offset_s = plan.epoch_offset_s;
                 let mut station =
-                    Station::new(cfg.clone(), variant, Box::new(PerfectOracle::new()), seed);
+                    Station::new(cfg.clone(), variant, Box::new(PerfectOracle::new()), seed)
+                        .expect("valid station");
                 station.warm_up();
                 let start = station.now();
                 plan.start_tracking(&mut station);
@@ -838,7 +841,7 @@ pub fn pass_data_loss(run: RunConfig) -> Experiment {
                     let until = rise + SimDuration::from_secs(120);
                     let dur = until.saturating_since(station.now());
                     station.run_for(dur);
-                    station.inject_kill(names::RTU);
+                    station.inject_kill(names::RTU).expect("known component");
                 }
                 let end = plan.set_sim_time() + SimDuration::from_secs(10);
                 let dur = end.saturating_since(station.now());
@@ -891,8 +894,8 @@ pub fn ablation_oracle_sweep(run: RunConfig) -> Experiment {
             "V wins".into(),
         ],
     );
-    let tree_iv = TreeVariant::IV.tree();
-    let tree_v = TreeVariant::V.tree();
+    let tree_iv = TreeVariant::IV.tree().expect("paper tree builds");
+    let tree_v = TreeVariant::V.tree().expect("paper tree builds");
     // The 30%-mixture has high per-trial variance; use the full trial budget
     // for the simulated spot check.
     let trials = run.trials.max(5);
@@ -966,11 +969,12 @@ pub fn ablation_ping_period(run: RunConfig) -> Experiment {
             // (config validation enforces this ordering).
             cfg.cure_confirm_s = cfg.poison_crash_delay_s + cfg.mean_detection_s() + 1.0;
             let mut station =
-                Station::new(cfg, TreeVariant::II, Box::new(PerfectOracle::new()), seed);
+                Station::new(cfg, TreeVariant::II, Box::new(PerfectOracle::new()), seed)
+                    .expect("valid station");
             station.warm_up();
             let mut phase_rng = SimRng::new(seed ^ 0xA5A5);
             station.randomize_injection_phase(&mut phase_rng);
-            let injected = station.inject_kill(names::RTU);
+            let injected = station.inject_kill(names::RTU).expect("known component");
             station.run_for(SimDuration::from_secs(90));
             let m = measure_recovery(station.trace(), names::RTU, injected).expect("recovered");
             samples.push(m.recovery_s());
@@ -1007,13 +1011,14 @@ pub fn ablation_learning(run: RunConfig) -> Experiment {
         TreeVariant::IV,
         Box::new(LearningOracle::new(0.5)),
         run.seed + 31,
-    );
+    )
+    .expect("valid station");
     station.warm_up();
     let episodes = 6;
     let mut first_attempts = 0;
     let mut last_attempts = 0;
     for ep in 0..episodes {
-        let injected = station.inject_correlated_pbcom();
+        let injected = station.inject_correlated_pbcom().expect("known component");
         station.run_for(SimDuration::from_secs(150));
         let m = measure_recovery(station.trace(), names::PBCOM, injected).expect("recovered");
         table.push_row(vec![
@@ -1123,7 +1128,8 @@ pub fn endurance(run: RunConfig) -> Experiment {
         for t in 0..trials {
             let seed = run.seed + 100 + t as u64;
             let mut station =
-                Station::new(cfg.clone(), variant, Box::new(PerfectOracle::new()), seed);
+                Station::new(cfg.clone(), variant, Box::new(PerfectOracle::new()), seed)
+                    .expect("valid station");
             station.warm_up();
             let start = station.now();
             let horizon = start + SimDuration::from_secs_f64(horizon_s);
@@ -1156,8 +1162,10 @@ pub fn endurance(run: RunConfig) -> Experiment {
                 let wait = at.saturating_since(station.now());
                 station.run_for(wait);
                 // Skip if the component is already down (overlapping faults).
-                if station.state_of(&target) == rr_sim::ProcessState::Running {
-                    station.inject_kill(&target);
+                if station.state_of(&target).expect("known component")
+                    == rr_sim::ProcessState::Running
+                {
+                    station.inject_kill(&target).expect("known component");
                 }
             }
             let rest = horizon.saturating_since(station.now());
@@ -1196,7 +1204,13 @@ fn expected_availability_for(
     variant: TreeVariant,
 ) -> Option<f64> {
     use rr_core::analysis::expected_availability;
-    expected_availability(&variant.tree(), model, cost, OracleQuality::Perfect).ok()
+    expected_availability(
+        &variant.tree().expect("paper tree builds"),
+        model,
+        cost,
+        OracleQuality::Perfect,
+    )
+    .ok()
 }
 
 /// **Ablation** — proactive rejuvenation (§3/§7): beacon-driven preventive
@@ -1222,7 +1236,8 @@ pub fn ablation_rejuvenation(run: RunConfig) -> Experiment {
             TreeVariant::III,
             Box::new(PerfectOracle::new()),
             run.seed + 55,
-        );
+        )
+        .expect("valid station");
         station.warm_up();
         let mut rng = SimRng::new(run.seed ^ 0x0DD);
         let d = Dist::exponential(600.0); // fedr MTTF: 10 minutes
@@ -1234,8 +1249,10 @@ pub fn ablation_rejuvenation(run: RunConfig) -> Experiment {
                 break;
             }
             station.run_for(gap);
-            if station.state_of(names::FEDR) == rr_sim::ProcessState::Running {
-                station.inject_kill(names::FEDR);
+            if station.state_of(names::FEDR).expect("known component")
+                == rr_sim::ProcessState::Running
+            {
+                station.inject_kill(names::FEDR).expect("known component");
             }
         }
         station.run_for(SimDuration::from_secs(120));

@@ -2,6 +2,7 @@
 //! figure.
 
 use crate::experiments::Experiment;
+use rr_sim::telemetry::Registry;
 
 /// Renders the full experiment report as markdown, suitable for writing to
 /// `EXPERIMENTS.md`.
@@ -48,6 +49,97 @@ pub fn render_markdown(experiments: &[Experiment], run_note: &str) -> String {
         for table in &exp.tables {
             out.push_str(&table.render_markdown());
             out.push('\n');
+        }
+    }
+    out
+}
+
+/// Renders a recovery-episode telemetry registry as a human-readable
+/// timeline: one line per episode event in virtual-time order, followed by
+/// the per-component recovery-time histograms and the counter totals.
+///
+/// The companion machine-readable exporters live on [`Registry`] itself
+/// ([`Registry::to_json`] and [`Registry::to_prometheus`]); this renderer is
+/// the one meant for eyeballs, e.g. a chaos campaign post-mortem.
+pub fn render_timeline(registry: &Registry) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "episode timeline
+",
+    );
+    out.push_str(
+        "----------------
+",
+    );
+    if registry.events().is_empty() {
+        out.push_str(
+            "(no episodes recorded)
+",
+        );
+    }
+    for ev in registry.events() {
+        let detail = if ev.detail.is_empty() {
+            String::new()
+        } else {
+            format!("  [{}]", ev.detail)
+        };
+        out.push_str(&format!(
+            "{:>12.3}s  {:<12} {:<12}{}
+",
+            ev.at.as_secs_f64(),
+            ev.component,
+            ev.stage.name(),
+            detail
+        ));
+    }
+    let mut wrote_header = false;
+    for (name, label, hist) in registry.durations() {
+        if !wrote_header {
+            out.push_str(
+                "
+duration histograms (seconds)
+",
+            );
+            out.push_str(
+                "-----------------------------
+",
+            );
+            wrote_header = true;
+        }
+        let st = hist.stats();
+        out.push_str(&format!(
+            "{name}{{{label}}}: n={} mean={:.3} min={:.3} max={:.3}
+",
+            st.count(),
+            st.mean(),
+            st.min(),
+            st.max()
+        ));
+    }
+    let mut wrote_header = false;
+    for ((name, label), v) in registry.counters() {
+        if !wrote_header {
+            out.push_str(
+                "
+counters
+",
+            );
+            out.push_str(
+                "--------
+",
+            );
+            wrote_header = true;
+        }
+        if label.is_empty() {
+            out.push_str(&format!(
+                "{name}: {v}
+"
+            ));
+        } else {
+            out.push_str(&format!(
+                "{name}{{{label}}}: {v}
+"
+            ));
         }
     }
     out

@@ -28,7 +28,8 @@ fn an_hour_of_five_percent_loss_causes_no_false_positives() {
         TreeVariant::II,
         Box::new(PerfectOracle::new()),
         0xA11CE,
-    );
+    )
+    .expect("valid station");
     station.warm_up();
     station.degrade_all_links(Some(LinkQuality::lossy(0.05)));
     let start = station.now();
@@ -72,7 +73,8 @@ fn the_paper_detector_convicts_innocents_under_the_same_loss() {
         TreeVariant::II,
         Box::new(PerfectOracle::new()),
         0xA11CE,
-    );
+    )
+    .expect("valid station");
     station.warm_up();
     station.degrade_all_links(Some(LinkQuality::lossy(0.05)));
     let start = station.now();
@@ -97,9 +99,12 @@ fn a_hard_failure_escalates_and_is_quarantined_within_budget() {
         TreeVariant::II,
         Box::new(PerfectOracle::new()),
         0xB0B,
-    );
+    )
+    .expect("valid station");
     station.warm_up();
-    let at = station.inject_hard_failure(names::RTU);
+    let at = station
+        .inject_hard_failure(names::RTU)
+        .expect("known component");
     // Each failed attempt burns the 45 s restart deadline plus backoff;
     // escalation_limit attempts fit comfortably in 20 simulated minutes.
     station.run_for(SimDuration::from_secs(1200));
@@ -153,7 +158,7 @@ fn a_hard_failure_escalates_and_is_quarantined_within_budget() {
 
     // Graceful degradation: the station runs on without rtu and still cures
     // ordinary failures elsewhere.
-    let at2 = station.inject_kill(names::SES);
+    let at2 = station.inject_kill(names::SES).expect("known component");
     station.run_for(SimDuration::from_secs(150));
     let measurement = measure_recovery(station.trace(), names::SES, at2)
         .expect("the degraded station must still cure ordinary failures");

@@ -22,6 +22,7 @@ use mercury::config::StationConfig;
 use mercury::station::{Station, TreeVariant};
 use rr_core::PerfectOracle;
 use rr_harness::golden::{diff, normalize};
+use rr_harness::report::render_timeline;
 use rr_sim::SimDuration;
 
 /// How a scenario injects its fault(s).
@@ -175,19 +176,20 @@ fn run_scenario(sc: &Scenario) -> String {
         sc.variant,
         Box::new(PerfectOracle::new()),
         sc.seed,
-    );
+    )
+    .expect("valid station");
     station.warm_up();
     let start = station.now();
     match &sc.kind {
         Kind::Single(comp) => {
-            station.inject_kill(comp);
+            station.inject_kill(comp).expect("known component");
         }
         Kind::CorrelatedPbcom => {
-            station.inject_correlated_pbcom();
+            station.inject_correlated_pbcom().expect("known component");
         }
         Kind::IndependentPair(a, b) => {
-            station.inject_kill(a);
-            station.inject_kill(b);
+            station.inject_kill(a).expect("known component");
+            station.inject_kill(b).expect("known component");
         }
         Kind::OverlapPair {
             first,
@@ -195,12 +197,12 @@ fn run_scenario(sc: &Scenario) -> String {
             joint_hint,
             stagger_s,
         } => {
-            station.inject_kill(first);
+            station.inject_kill(first).expect("known component");
             station.run_for(SimDuration::from_secs_f64(*stagger_s));
             if *joint_hint {
                 station.set_cure_hint(second, [names::FEDR, names::PBCOM]);
             }
-            station.inject_kill(second);
+            station.inject_kill(second).expect("known component");
         }
     }
     station.run_for(SimDuration::from_secs(80));
@@ -252,6 +254,65 @@ fn golden_traces_match() {
         failures.len(),
         failures.join("\n")
     );
+}
+
+/// Runs the tree-III pbcom kill with telemetry enabled and renders the
+/// full snapshot: timeline, JSON export, and Prometheus export. Everything
+/// in it is deterministic (virtual time, sorted metric keys), so the
+/// snapshot is golden-recordable like the traces.
+fn run_telemetry_scenario() -> String {
+    let mut cfg = StationConfig::paper();
+    cfg.telemetry_enabled = true;
+    let mut station = Station::new(
+        cfg,
+        TreeVariant::III,
+        Box::new(PerfectOracle::new()),
+        0xD5_2072,
+    )
+    .expect("valid station");
+    station.warm_up();
+    station.inject_kill(names::PBCOM).expect("known component");
+    station.run_for(SimDuration::from_secs(80));
+    let telemetry = station.telemetry();
+    format!(
+        "{}
+=== json ===
+{}
+
+=== prometheus ===
+{}",
+        render_timeline(&telemetry),
+        telemetry.to_json(),
+        telemetry.to_prometheus()
+    )
+}
+
+/// Golden telemetry snapshot: the episode accounting for a canonical
+/// scenario must not drift. Uses the same record/compare flow as the trace
+/// goldens (`GOLDEN_RECORD=1` re-records; drift writes an `.actual.txt`).
+#[test]
+fn golden_telemetry_snapshot_matches() {
+    let dir = golden_dir();
+    let record = std::env::var_os("GOLDEN_RECORD").is_some();
+    let actual = run_telemetry_scenario();
+    let path = dir.join("tree3-kill-pbcom.telemetry.txt");
+    if record {
+        fs::create_dir_all(&dir).expect("create golden dir");
+        fs::write(&path, &actual).expect("record telemetry golden");
+        return;
+    }
+    let expected = fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("telemetry golden missing ({e}); run GOLDEN_RECORD=1"));
+    let actual_path = dir.join("tree3-kill-pbcom.telemetry.actual.txt");
+    if let Some(d) = diff(&expected, &actual) {
+        fs::write(&actual_path, &actual).expect("write actual telemetry");
+        panic!(
+            "telemetry snapshot drifted (actual written to {}):
+{d}",
+            actual_path.display()
+        );
+    }
+    let _ = fs::remove_file(&actual_path);
 }
 
 #[test]

@@ -43,12 +43,13 @@ fn per_component_recovery(
 ) -> [f64; 2] {
     let mut cfg = StationConfig::paper();
     cfg.serial_recovery = serial;
-    let mut station = Station::new(cfg, variant, Box::new(PerfectOracle::new()), seed);
+    let mut station =
+        Station::new(cfg, variant, Box::new(PerfectOracle::new()), seed).expect("valid station");
     station.warm_up();
     let mut phase = SimRng::new(seed ^ 0xA5A5);
     station.randomize_injection_phase(&mut phase);
-    let injected = station.inject_kill(a);
-    station.inject_kill(b);
+    let injected = station.inject_kill(a).expect("known component");
+    station.inject_kill(b).expect("known component");
     station.run_for(SimDuration::from_secs(200));
     [a, b].map(|comp| recovery_of(&station, comp, injected, serial))
 }
@@ -67,7 +68,7 @@ fn recovery_of(station: &Station, comp: &str, injected: SimTime, serial: bool) -
 /// Worst-case boot-contention factor when both components' cells reboot at
 /// once: k is the total component count under the two (disjoint) cells.
 fn contention_allowance(variant: TreeVariant, a: &str, b: &str) -> f64 {
-    let tree = variant.tree();
+    let tree = variant.tree().expect("paper tree builds");
     let k: usize = [a, b]
         .iter()
         .map(|c| {

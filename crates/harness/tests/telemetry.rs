@@ -1,0 +1,180 @@
+//! Telemetry acceptance tests: the registry's online §4.1 bookkeeping must
+//! agree with the offline trace scan in `mercury::measure`, and the
+//! exporters must carry the whole story.
+
+use rr_harness::chaos::{run_campaign, ChaosConfig};
+use rr_harness::report::render_timeline;
+
+use mercury::config::StationConfig;
+use mercury::measure::measure_recovery;
+use mercury::station::{Station, TreeVariant};
+use rr_core::PerfectOracle;
+use rr_sim::{Registry, SimDuration};
+
+/// A chaos campaign on tree III yields per-component recovery-time
+/// histograms whose means agree with the offline `measure_recovery` values
+/// for the same injections — the two implementations of the §4.1 recovery
+/// definition (online registry vs. post-hoc trace scan) must not drift.
+#[test]
+fn chaos_campaign_telemetry_means_agree_with_measure() {
+    let report = run_campaign(TreeVariant::III, &ChaosConfig::default());
+    assert!(report.ok(), "violations: {:?}", report.violations);
+
+    let telemetry = &report.telemetry;
+    assert!(
+        telemetry.is_enabled(),
+        "the hardened campaign config must record telemetry"
+    );
+
+    // Group the campaign's own cured measurements by component.
+    let mut measured: std::collections::BTreeMap<String, Vec<f64>> = Default::default();
+    for inj in &report.injections {
+        if let Some(r) = inj.recovery_s {
+            measured.entry(inj.component.clone()).or_default().push(r);
+        }
+    }
+    assert!(
+        !measured.is_empty(),
+        "the campaign must cure at least one injection"
+    );
+    for (comp, rs) in &measured {
+        let hist = telemetry
+            .duration("recovery_time", comp)
+            .unwrap_or_else(|| panic!("no recovery_time histogram for {comp}"));
+        assert_eq!(
+            hist.count() as usize,
+            rs.len(),
+            "{comp}: one observation per cured injection"
+        );
+        let offline_mean = rs.iter().sum::<f64>() / rs.len() as f64;
+        let online_mean = hist.mean_s();
+        assert!(
+            (online_mean - offline_mean).abs() < 0.01,
+            "{comp}: telemetry mean {online_mean:.4}s vs measure.rs mean {offline_mean:.4}s"
+        );
+    }
+
+    // Campaign-level counters line up with the report.
+    let total_restarts: usize = report.restarts.values().sum();
+    assert_eq!(
+        telemetry.counter("restarts_issued", "") as usize,
+        total_restarts,
+        "restarts_issued must match the trace-derived restart count"
+    );
+    assert!(telemetry.counter("fd_pings_sent", "") > 0);
+}
+
+/// The single-fault case, checked to sub-millisecond agreement: the online
+/// registry and the offline scan read the *same* ready instant.
+#[test]
+fn single_fault_telemetry_matches_measure_exactly() {
+    let mut cfg = StationConfig::paper();
+    cfg.telemetry_enabled = true;
+    for component in ["pbcom", "rtu", "mbus"] {
+        let mut station = Station::new(
+            cfg.clone(),
+            TreeVariant::III,
+            Box::new(PerfectOracle::new()),
+            0x7E1E_0001,
+        )
+        .expect("valid station");
+        station.warm_up();
+        let injected = station.inject_kill(component).expect("known component");
+        station.run_for(SimDuration::from_secs(90));
+        let offline = measure_recovery(station.trace(), component, injected)
+            .expect("single failures recover")
+            .recovery_s();
+        let telemetry = station.telemetry();
+        let hist = telemetry
+            .duration("recovery_time", component)
+            .expect("telemetry observed the recovery");
+        assert_eq!(hist.count(), 1);
+        let online = hist.mean_s();
+        assert!(
+            (online - offline).abs() < 1e-6,
+            "{component}: online {online:.6}s vs offline {offline:.6}s"
+        );
+    }
+}
+
+/// The timeline renderer and both exporters carry the episode.
+#[test]
+fn exporters_and_timeline_cover_the_episode() {
+    let mut cfg = StationConfig::paper();
+    cfg.telemetry_enabled = true;
+    let mut station = Station::new(
+        cfg,
+        TreeVariant::III,
+        Box::new(PerfectOracle::new()),
+        0x7E1E_0002,
+    )
+    .expect("valid station");
+    station.warm_up();
+    station.inject_kill("ses").expect("known component");
+    station.run_for(SimDuration::from_secs(90));
+    let telemetry = station.telemetry();
+
+    let timeline = render_timeline(&telemetry);
+    for needle in [
+        "episode timeline",
+        "injected",
+        "restarting",
+        "cured",
+        "recovery_time",
+    ] {
+        assert!(
+            timeline.contains(needle),
+            "timeline missing {needle:?}:\n{timeline}"
+        );
+    }
+
+    let json = telemetry.to_json();
+    for needle in [
+        "\"counters\"",
+        "\"restarts_issued\"",
+        "\"durations\"",
+        "\"recovery_time{ses}\"",
+        "\"events\"",
+    ] {
+        assert!(json.contains(needle), "JSON missing {needle}");
+    }
+    // Hand-rolled JSON must at least be balanced.
+    assert_eq!(
+        json.matches('{').count(),
+        json.matches('}').count(),
+        "unbalanced JSON"
+    );
+
+    let prom = telemetry.to_prometheus();
+    for needle in [
+        "# TYPE rr_restarts_issued counter",
+        "# TYPE rr_recovery_time_seconds histogram",
+        "rr_recovery_time_seconds_count",
+        "rr_recovery_time_seconds_sum",
+        "le=\"+Inf\"",
+    ] {
+        assert!(prom.contains(needle), "Prometheus text missing {needle}");
+    }
+}
+
+/// Telemetry left disabled (the paper configuration) stays empty even
+/// through a full recovery episode — the zero-overhead-when-off contract.
+#[test]
+fn disabled_telemetry_records_nothing() {
+    let mut station = Station::new(
+        StationConfig::paper(),
+        TreeVariant::III,
+        Box::new(PerfectOracle::new()),
+        0x7E1E_0003,
+    )
+    .expect("valid station");
+    station.warm_up();
+    station.inject_kill("rtu").expect("known component");
+    station.run_for(SimDuration::from_secs(90));
+    let telemetry = station.telemetry();
+    assert!(!telemetry.is_enabled());
+    assert!(telemetry.events().is_empty());
+    assert_eq!(telemetry.counter("restarts_issued", ""), 0);
+    assert!(telemetry.durations().next().is_none());
+    assert_eq!(telemetry.to_json(), Registry::disabled().to_json());
+}

@@ -12,6 +12,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use mercury_msg::{ComponentStatus, Envelope, Message};
+use rr_sim::telemetry::Registry;
 use rr_sim::{Context, SimDuration, SimTime};
 
 use crate::config::{names, StationConfig};
@@ -37,6 +38,10 @@ pub struct Shared {
     pub load: Rc<RefCell<HostLoad>>,
     /// The radio hardware behind pbcom's serial port.
     pub radio: Rc<RefCell<RadioHardware>>,
+    /// The recovery-episode telemetry sink. A no-op registry (one branch per
+    /// instrumentation point) unless
+    /// [`telemetry_enabled`](StationConfig::telemetry_enabled) is set.
+    pub telemetry: Rc<RefCell<Registry>>,
 }
 
 impl std::fmt::Debug for Shared {
@@ -48,10 +53,16 @@ impl std::fmt::Debug for Shared {
 impl Shared {
     /// Creates shared state over a configuration.
     pub fn new(config: StationConfig) -> Shared {
+        let telemetry = if config.telemetry_enabled {
+            Registry::new()
+        } else {
+            Registry::disabled()
+        };
         Shared {
             config: Rc::new(config),
             load: HostLoad::new_shared(),
             radio: RadioHardware::new_shared(),
+            telemetry: Rc::new(RefCell::new(telemetry)),
         }
     }
 }
@@ -166,6 +177,10 @@ impl Lifecycle {
         self.phase = Phase::Ready;
         self.shared.load.borrow_mut().end_boot(&self.name);
         ctx.trace_mark(format!("ready:{}", self.name));
+        self.shared
+            .telemetry
+            .borrow_mut()
+            .record_component_ready(ctx.now(), &self.name);
         let period = self.config().beacon_period_s;
         if period > 0.0 {
             ctx.set_timer(SimDuration::from_secs_f64(period), TIMER_BEACON);
@@ -210,6 +225,10 @@ impl Lifecycle {
             }
             Err(e) => {
                 ctx.trace_mark(format!("parse-error:{}:{e}", self.name));
+                self.shared
+                    .telemetry
+                    .borrow_mut()
+                    .incr_labeled("parse_errors", &self.name);
                 None
             }
         }

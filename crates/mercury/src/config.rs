@@ -217,6 +217,14 @@ pub struct StationConfig {
     pub pass_epoch_offset_s: f64,
     /// Telemetry frame period during an active, locked pass.
     pub telemetry_period_s: f64,
+    /// If `true`, the station records recovery-episode telemetry (counters,
+    /// MTTR histograms, FD ping-latency stats and the episode-event stream)
+    /// into its [`rr_sim::telemetry::Registry`]. When `false` the registry
+    /// is a no-op sink: every instrumentation point returns after one branch
+    /// without allocating, so disabled telemetry costs nothing on the hot
+    /// path. Observation-only either way — it never changes scheduling or
+    /// the trace.
+    pub telemetry_enabled: bool,
     /// Ground station site (Stanford).
     pub site: GroundSite,
     /// Satellite catalog.
@@ -278,6 +286,7 @@ impl StationConfig {
             connect_retry_s: 0.5,
             pass_epoch_offset_s: 0.0,
             telemetry_period_s: 1.0,
+            telemetry_enabled: false,
             site: GroundSite::stanford(),
             satellites: vec![Satellite::opal(), Satellite::sapphire()],
         }
@@ -309,6 +318,9 @@ impl StationConfig {
         cfg.beacon_timeout_s = 25.0;
         // cure_confirm_s must exceed poison re-crash + (slower) detection.
         cfg.cure_confirm_s = cfg.poison_crash_delay_s + cfg.mean_detection_s() + 3.0;
+        // Degraded links are where recovery behaviour gets interesting, so
+        // the hardened profile keeps the episode telemetry on.
+        cfg.telemetry_enabled = true;
         cfg
     }
 

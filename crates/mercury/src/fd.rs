@@ -28,6 +28,7 @@
 use std::collections::{HashMap, HashSet, VecDeque};
 
 use mercury_msg::Message;
+use rr_sim::telemetry::LATENCY_BUCKETS;
 use rr_sim::{Actor, Context, Event, SimDuration, SimTime};
 
 use crate::components::common::{Lifecycle, Shared, Wire, TIMER_BOOT, TIMER_ROLE_BASE};
@@ -53,8 +54,9 @@ pub struct Fd {
     /// The components monitored via mbus.
     monitored: Vec<String>,
     round: u64,
-    /// Outstanding pings of the current round: component → seq.
-    outstanding: HashMap<String, u64>,
+    /// Outstanding pings of the current round: component → (seq, sent-at),
+    /// the send timestamp feeding the ping-latency telemetry.
+    outstanding: HashMap<String, (u64, SimTime)>,
     /// Components currently believed down.
     down: HashMap<String, bool>,
     /// Components that missed at least one ping round (whether or not their
@@ -117,12 +119,17 @@ impl Fd {
         for (idx, comp) in self.monitored.clone().into_iter().enumerate() {
             let seq = self.seq_for(self.round, idx);
             self.life.send_bus(ctx, &comp, Message::Ping { seq });
+            self.life
+                .shared()
+                .telemetry
+                .borrow_mut()
+                .incr("fd_pings_sent");
             let timeout = SimDuration::from_secs_f64(self.life.config().ping_timeout_for(&comp));
             ctx.set_timer(
                 timeout,
                 TIMER_TIMEOUT_BASE + self.round * TIMEOUT_STRIDE + idx as u64,
             );
-            self.outstanding.insert(comp, seq);
+            self.outstanding.insert(comp, (seq, ctx.now()));
         }
         // REC is pinged over the dedicated connection — unless we just
         // restarted it and it is still booting.
@@ -180,6 +187,13 @@ impl Fd {
             self.missing.insert(comp);
             return;
         }
+        if missed {
+            self.life
+                .shared()
+                .telemetry
+                .borrow_mut()
+                .incr_labeled("fd_ping_timeouts", &comp);
+        }
         let suspect = self.note_round(&comp, missed);
         if !missed || !suspect {
             return;
@@ -188,6 +202,11 @@ impl Fd {
         let was_down = self.down.get(&comp).copied().unwrap_or(false);
         if !was_down {
             ctx.trace_mark(format!("detect:{comp}"));
+            self.life
+                .shared()
+                .telemetry
+                .borrow_mut()
+                .record_suspected(ctx.now(), &comp);
         }
         self.down.insert(comp.clone(), true);
         if self.suspect_buffer.is_empty() {
@@ -200,23 +219,20 @@ impl Fd {
     /// the classic `Failed`; simultaneous convictions travel together so REC
     /// sees the correlation.
     fn flush_suspects(&mut self, ctx: &mut Context<'_, Wire>) {
-        let suspects = std::mem::take(&mut self.suspect_buffer);
-        match suspects.len() {
-            0 => {}
-            1 => {
-                let component = suspects.into_iter().next().expect("len checked");
+        let mut suspects = std::mem::take(&mut self.suspect_buffer);
+        if suspects.len() == 1 {
+            if let Some(component) = suspects.pop() {
                 self.life
                     .send_direct(ctx, names::REC, Message::Failed { component });
             }
-            _ => {
-                self.life.send_direct(
-                    ctx,
-                    names::REC,
-                    Message::FailedBatch {
-                        components: suspects,
-                    },
-                );
-            }
+        } else if !suspects.is_empty() {
+            self.life.send_direct(
+                ctx,
+                names::REC,
+                Message::FailedBatch {
+                    components: suspects,
+                },
+            );
         }
     }
 
@@ -236,6 +252,11 @@ impl Fd {
         self.rec_down = true;
         if let Some(rec) = ctx.lookup(names::REC) {
             ctx.trace_mark("fd-restarts:rec");
+            self.life
+                .shared()
+                .telemetry
+                .borrow_mut()
+                .incr("fd_restarts_rec");
             ctx.kill_after(SimDuration::ZERO, rec);
             let exec = SimDuration::from_secs_f64(self.life.config().exec_delay_s);
             ctx.respawn_after(exec, rec);
@@ -255,7 +276,15 @@ impl Fd {
             }
             return;
         }
-        self.outstanding.remove(src);
+        if let Some((_seq, sent_at)) = self.outstanding.remove(src) {
+            let rtt = ctx.now().saturating_since(sent_at);
+            self.life.shared().telemetry.borrow_mut().observe(
+                "fd_ping_latency",
+                src,
+                rtt,
+                LATENCY_BUCKETS,
+            );
+        }
         let was_down = self.down.get(src).copied().unwrap_or(false);
         if was_down || self.missing.contains(src) {
             self.down.insert(src.to_string(), false);

@@ -24,9 +24,10 @@
 //!     TreeVariant::IV,
 //!     Box::new(PerfectOracle::new()),
 //!     42,
-//! );
+//! )
+//! .expect("valid station");
 //! station.warm_up();
-//! let injected = station.inject_kill("rtu");
+//! let injected = station.inject_kill("rtu").expect("known component");
 //! station.run_for(SimDuration::from_secs(60));
 //! let m = measure_recovery(station.trace(), "rtu", injected)?;
 //! assert!(m.recovery_s() < 10.0, "partial restart beats a full reboot");

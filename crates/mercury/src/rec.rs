@@ -210,6 +210,21 @@ impl Rec {
         ctx: &mut Context<'_, Wire>,
     ) {
         let mut control = self.control.borrow_mut();
+        // Mirror the recoverer's aggregate decision tally into gauges, so an
+        // exported snapshot always carries the oracle's lifetime counts.
+        {
+            let tally = control.recoverer.decision_tally();
+            let telemetry = self.life.shared().telemetry.clone();
+            let mut telemetry = telemetry.borrow_mut();
+            telemetry.set_gauge("oracle_restarts_issued", "", tally.restarts as f64);
+            telemetry.set_gauge("oracle_give_ups", "", tally.give_ups as f64);
+            telemetry.set_gauge("oracle_merges", "", tally.merges as f64);
+            telemetry.set_gauge(
+                "oracle_already_recovering",
+                "",
+                tally.already_recovering as f64,
+            );
+        }
         match decision {
             RecoveryDecision::Restart {
                 node,
@@ -226,6 +241,16 @@ impl Rec {
                 // Absorbed episodes are superseded by this one: credit their
                 // origins to the merged episode and retire their pending
                 // entries — the promoted restart covers those components.
+                {
+                    let telemetry = self.life.shared().telemetry.clone();
+                    let mut telemetry = telemetry.borrow_mut();
+                    telemetry.incr("decision_restart");
+                    for origin in origins.iter().skip(1) {
+                        telemetry.record_merged(now, origin, &owner);
+                    }
+                    telemetry.record_planned(now, &owner, &origins);
+                    telemetry.record_restarting(now, &owner, &components, &origins, attempt);
+                }
                 for origin in origins.iter().skip(1) {
                     ctx.trace_mark(format!("merge:{origin}->{owner}"));
                     ctx.trace_event(TraceKind::EpisodeMerge, format!("{origin}->{owner}"));
@@ -245,7 +270,13 @@ impl Rec {
                 drop(control);
                 self.execute_restart(&components, delay, ctx);
             }
-            RecoveryDecision::AlreadyRecovering { .. } => {}
+            RecoveryDecision::AlreadyRecovering { .. } => {
+                self.life
+                    .shared()
+                    .telemetry
+                    .borrow_mut()
+                    .incr("decision_already_recovering");
+            }
             RecoveryDecision::GiveUp { component, reason } => {
                 let action = format!("giveup:{component}:{reason}");
                 ctx.trace_mark(action.clone());
@@ -254,6 +285,10 @@ impl Rec {
                 control.pending.remove(&component);
                 control.quarantined.insert(component.clone());
                 control.actions.push(format!("{now} {action}"));
+                let telemetry = self.life.shared().telemetry.clone();
+                let mut telemetry = telemetry.borrow_mut();
+                telemetry.incr("decision_giveup");
+                telemetry.record_quarantined(now, &component, &reason.to_string());
             }
         }
     }
@@ -270,6 +305,11 @@ impl Rec {
         // in-flight episode drains.
         if self.life.config().serial_recovery && !control.pending.is_empty() {
             ctx.trace_mark(format!("defer:{component}"));
+            self.life
+                .shared()
+                .telemetry
+                .borrow_mut()
+                .incr_labeled("reports_deferred", &component);
             return;
         }
         let failure = self.failure_for(&mut control, &component);
@@ -432,6 +472,11 @@ impl Rec {
                 ctx.trace_mark(format!("cured:{origin}"));
             }
             ctx.trace_event(TraceKind::EpisodeEnd, format!("{component}:cured"));
+            self.life
+                .shared()
+                .telemetry
+                .borrow_mut()
+                .record_cured(now, &component);
         }
     }
 
@@ -462,6 +507,11 @@ impl Rec {
             };
             let components = tree.components_under(cell);
             ctx.trace_mark(format!("rejuvenate:{component}"));
+            self.life
+                .shared()
+                .telemetry
+                .borrow_mut()
+                .incr_labeled("rejuvenations", component);
             let now = ctx.now();
             control.actions.push(format!(
                 "{now} rejuvenate:{component} ({})",
@@ -525,6 +575,11 @@ impl Rec {
         };
         for comp in stale {
             ctx.trace_mark(format!("stale:{comp}"));
+            self.life
+                .shared()
+                .telemetry
+                .borrow_mut()
+                .incr_labeled("beacon_stale", &comp);
             // Restart the staleness clock so the reboot we are about to issue
             // has time to produce a fresh beacon before we re-suspect.
             if let Some(record) = self.control.borrow_mut().beacons.get_mut(&comp) {
@@ -571,6 +626,11 @@ impl Actor<Wire> for Rec {
                         // FD is silent: REC initiates FD's recovery (§2.2).
                         if let Some(fd) = ctx.lookup(names::FD) {
                             ctx.trace_mark("rec-restarts:fd");
+                            self.life
+                                .shared()
+                                .telemetry
+                                .borrow_mut()
+                                .incr("rec_restarts_fd");
                             ctx.kill_after(SimDuration::ZERO, fd);
                             let exec = SimDuration::from_secs_f64(self.life.config().exec_delay_s);
                             ctx.respawn_after(exec, fd);

@@ -5,6 +5,11 @@
 //! failure detector and the recovery module, operating one of the paper's
 //! restart trees I–V (or any custom tree). It also exposes the fault-
 //! injection entry points the experiments use.
+//!
+//! A ground station must not abort on bad input, so every fallible entry
+//! point — construction over an inconsistent configuration or tree, and
+//! fault injection against an unknown component — returns a
+//! [`StationError`] instead of panicking.
 
 use std::fmt;
 
@@ -13,7 +18,9 @@ use rr_core::policy::RestartPolicy;
 use rr_core::recoverer::Recoverer;
 use rr_core::transform::{consolidate, depth_augment, promote_component, split_component};
 use rr_core::tree::RestartTree;
-use rr_sim::{LinkQuality, ProcessState, Sim, SimDuration, SimTime, Trace};
+use rr_core::TreeError;
+use rr_sim::telemetry::Registry;
+use rr_sim::{LinkQuality, ProcessId, ProcessState, Sim, SimDuration, SimTime, Trace};
 
 use crate::components::common::{Shared, Wire};
 use crate::components::estimator::Ses;
@@ -24,6 +31,57 @@ use crate::components::tuner::Rtu;
 use crate::config::{names, StationConfig};
 use crate::fd::Fd;
 use crate::rec::{Rec, RecControl, RecHandle};
+
+/// Why a station could not be built or an injection could not be applied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StationError {
+    /// The configuration failed [`StationConfig::validate`]; the list holds
+    /// every violated constraint.
+    InvalidConfig(Vec<String>),
+    /// The restart tree's attached components disagree with the component
+    /// set the station was asked to run.
+    TreeMismatch {
+        /// Components attached to the tree, sorted.
+        tree: Vec<String>,
+        /// Components requested, sorted.
+        requested: Vec<String>,
+    },
+    /// A component name that is not part of this station.
+    UnknownComponent(String),
+    /// The operation requires the split fedr/pbcom station.
+    RequiresSplit,
+    /// Building the restart tree failed.
+    Tree(TreeError),
+}
+
+impl fmt::Display for StationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StationError::InvalidConfig(errors) => {
+                write!(f, "invalid station configuration: {}", errors.join("; "))
+            }
+            StationError::TreeMismatch { tree, requested } => write!(
+                f,
+                "restart tree components {tree:?} disagree with requested {requested:?}"
+            ),
+            StationError::UnknownComponent(name) => {
+                write!(f, "unknown Mercury component {name:?}")
+            }
+            StationError::RequiresSplit => {
+                write!(f, "operation requires the split fedr/pbcom station")
+            }
+            StationError::Tree(e) => write!(f, "restart tree construction failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StationError {}
+
+impl From<TreeError> for StationError {
+    fn from(e: TreeError) -> StationError {
+        StationError::Tree(e)
+    }
+}
 
 /// The paper's five restart trees (§4, Table 3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -67,49 +125,59 @@ impl TreeVariant {
 
     /// Builds the variant's restart tree by applying the paper's
     /// transformations in sequence (Figures 3–6).
-    pub fn tree(self) -> RestartTree {
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`TreeError`] from the transformation sequence. The
+    /// five paper variants are static, so in practice this only fails if a
+    /// transformation's preconditions change underneath them (covered by
+    /// the `all_variants_build` test).
+    pub fn tree(self) -> Result<RestartTree, TreeError> {
         // Tree I: one cell holding the whole station.
         let mut tree = RestartTree::new("mercury");
         let root = tree.root();
         for comp in names::UNSPLIT {
-            tree.attach_component(root, comp).expect("fresh tree");
+            tree.attach_component(root, comp)?;
         }
         if self == TreeVariant::I {
-            return tree;
+            return Ok(tree);
         }
 
         // Tree II: simple depth augmentation (§4.1).
         let singletons: Vec<Vec<String>> =
             names::UNSPLIT.iter().map(|c| vec![c.to_string()]).collect();
-        depth_augment(&mut tree, root, &singletons).expect("augment tree I");
+        depth_augment(&mut tree, root, &singletons)?;
         if self == TreeVariant::II {
-            return tree;
+            return Ok(tree);
         }
 
         // Tree II′ → III: split fedrcom, augment the tight subtree (§4.2).
-        let cell = split_component(&mut tree, names::FEDRCOM, &[names::FEDR, names::PBCOM])
-            .expect("split fedrcom");
-        tree.set_label(cell, "R_[fedr,pbcom]").expect("live cell");
+        let cell = split_component(&mut tree, names::FEDRCOM, &[names::FEDR, names::PBCOM])?;
+        tree.set_label(cell, "R_[fedr,pbcom]")?;
         let parts: Vec<Vec<String>> = vec![
             vec![names::FEDR.to_string()],
             vec![names::PBCOM.to_string()],
         ];
-        depth_augment(&mut tree, cell, &parts).expect("augment fedr/pbcom");
+        depth_augment(&mut tree, cell, &parts)?;
         if self == TreeVariant::III {
-            return tree;
+            return Ok(tree);
         }
 
         // Tree IV: consolidate ses and str (§4.3).
-        let ses = tree.cell_of_component(names::SES).expect("ses attached");
-        let strr = tree.cell_of_component(names::STR).expect("str attached");
-        consolidate(&mut tree, &[ses, strr]).expect("consolidate ses/str");
+        let ses = tree
+            .cell_of_component(names::SES)
+            .ok_or_else(|| TreeError::UnknownComponent(names::SES.into()))?;
+        let strr = tree
+            .cell_of_component(names::STR)
+            .ok_or_else(|| TreeError::UnknownComponent(names::STR.into()))?;
+        consolidate(&mut tree, &[ses, strr])?;
         if self == TreeVariant::IV {
-            return tree;
+            return Ok(tree);
         }
 
         // Tree V: promote pbcom (§4.4).
-        promote_component(&mut tree, names::PBCOM).expect("promote pbcom");
-        tree
+        promote_component(&mut tree, names::PBCOM)?;
+        Ok(tree)
     }
 }
 
@@ -145,40 +213,48 @@ impl fmt::Debug for Station {
 
 impl Station {
     /// Builds a station operating one of the paper's tree variants.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StationError::InvalidConfig`] if the configuration is
+    /// internally inconsistent (see [`StationConfig::validate`]).
     pub fn new(
         config: StationConfig,
         variant: TreeVariant,
         oracle: Box<dyn Oracle>,
         seed: u64,
-    ) -> Station {
-        Station::with_tree(config, variant.tree(), variant.components(), oracle, seed)
+    ) -> Result<Station, StationError> {
+        Station::with_tree(config, variant.tree()?, variant.components(), oracle, seed)
     }
 
     /// Builds a station over a custom restart tree. `components` must match
     /// the tree's attached component names and name only known Mercury
     /// components.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `components` disagrees with the tree or contains an unknown
-    /// component name.
+    /// Returns [`StationError::InvalidConfig`] for an inconsistent
+    /// configuration, [`StationError::TreeMismatch`] if `components`
+    /// disagrees with the tree, or [`StationError::UnknownComponent`] for a
+    /// name no Mercury factory exists for.
     pub fn with_tree(
         config: StationConfig,
         tree: RestartTree,
         components: Vec<String>,
         oracle: Box<dyn Oracle>,
         seed: u64,
-    ) -> Station {
+    ) -> Result<Station, StationError> {
         if let Err(errors) = config.validate() {
-            panic!("invalid station configuration:\n  {}", errors.join("\n  "));
+            return Err(StationError::InvalidConfig(errors));
         }
         let mut sorted = components.clone();
         sorted.sort();
-        assert_eq!(
-            tree.components(),
-            sorted,
-            "restart tree and component set disagree"
-        );
+        if tree.components() != sorted {
+            return Err(StationError::TreeMismatch {
+                tree: tree.components(),
+                requested: sorted,
+            });
+        }
 
         let shared = Shared::new(config);
         let mut sim: Sim<Wire> = Sim::new(seed);
@@ -211,7 +287,7 @@ impl Station {
                 n if n == names::RTU => {
                     sim.spawn(names::RTU, move || Box::new(Rtu::new(shared_for.clone())));
                 }
-                other => panic!("unknown Mercury component {other:?}"),
+                other => return Err(StationError::UnknownComponent(other.to_string())),
             }
         }
 
@@ -250,12 +326,12 @@ impl Station {
             Box::new(Rec::new(rec_shared.clone(), rec_control.clone()))
         });
 
-        Station {
+        Ok(Station {
             sim,
             shared,
             control,
             components,
-        }
+        })
     }
 
     /// The station's configuration.
@@ -271,6 +347,13 @@ impl Station {
     /// Shared REC control block (oracle state, cure hints, beacons).
     pub fn control(&self) -> &RecHandle {
         &self.control
+    }
+
+    /// A point-in-time snapshot of the recovery-episode telemetry. Empty
+    /// unless the configuration sets
+    /// [`telemetry_enabled`](StationConfig::telemetry_enabled).
+    pub fn telemetry(&self) -> Registry {
+        self.shared.telemetry.borrow().clone()
     }
 
     /// Current virtual time.
@@ -343,35 +426,48 @@ impl Station {
         );
     }
 
+    /// Resolves a component name, or reports it unknown.
+    fn pid_of(&self, component: &str) -> Result<ProcessId, StationError> {
+        self.sim
+            .lookup(component)
+            .ok_or_else(|| StationError::UnknownComponent(component.to_string()))
+    }
+
+    /// Marks an injection in both the trace and the telemetry stream.
+    fn note_injection(&mut self, component: &str, kind: &str) {
+        self.sim.mark(format!("inject:{component}"));
+        let now = self.sim.now();
+        self.shared
+            .telemetry
+            .borrow_mut()
+            .record_injected(now, component, kind);
+    }
+
     /// Injects a fail-silent crash of `component` (the paper's `SIGKILL`
     /// experiment, §4.1) and marks the injection time in the trace.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the component does not exist.
-    pub fn inject_kill(&mut self, component: &str) -> SimTime {
-        let pid = self
-            .sim
-            .lookup(component)
-            .unwrap_or_else(|| panic!("unknown component {component:?}"));
-        self.sim.mark(format!("inject:{component}"));
+    /// Returns [`StationError::UnknownComponent`] if the component does not
+    /// exist.
+    pub fn inject_kill(&mut self, component: &str) -> Result<SimTime, StationError> {
+        let pid = self.pid_of(component)?;
+        self.note_injection(component, "kill");
         self.sim.kill(pid);
-        self.sim.now()
+        Ok(self.sim.now())
     }
 
     /// Injects a hang (fail-silent, state-resident) instead of a crash.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the component does not exist.
-    pub fn inject_hang(&mut self, component: &str) -> SimTime {
-        let pid = self
-            .sim
-            .lookup(component)
-            .unwrap_or_else(|| panic!("unknown component {component:?}"));
-        self.sim.mark(format!("inject:{component}"));
+    /// Returns [`StationError::UnknownComponent`] if the component does not
+    /// exist.
+    pub fn inject_hang(&mut self, component: &str) -> Result<SimTime, StationError> {
+        let pid = self.pid_of(component)?;
+        self.note_injection(component, "hang");
         self.sim.hang_after(SimDuration::ZERO, pid);
-        self.sim.now()
+        Ok(self.sim.now())
     }
 
     /// Injects a *zombie* failure: the component keeps answering FD's
@@ -379,17 +475,15 @@ impl Station {
     /// timers, so its health beacons cease). Only REC's beacon-staleness
     /// defense ([`StationConfig::beacon_timeout_s`]) can catch it.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the component does not exist.
-    pub fn inject_zombie(&mut self, component: &str) -> SimTime {
-        let pid = self
-            .sim
-            .lookup(component)
-            .unwrap_or_else(|| panic!("unknown component {component:?}"));
-        self.sim.mark(format!("inject:{component}"));
+    /// Returns [`StationError::UnknownComponent`] if the component does not
+    /// exist.
+    pub fn inject_zombie(&mut self, component: &str) -> Result<SimTime, StationError> {
+        let pid = self.pid_of(component)?;
+        self.note_injection(component, "zombie");
         self.sim.zombie(pid);
-        self.sim.now()
+        Ok(self.sim.now())
     }
 
     /// Injects a *hard* failure: the component crashes now and every
@@ -397,18 +491,16 @@ impl Station {
     /// [`clear_hard_failure`](Self::clear_hard_failure). Exercises the
     /// escalation → give-up → quarantine path.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the component does not exist.
-    pub fn inject_hard_failure(&mut self, component: &str) -> SimTime {
-        let pid = self
-            .sim
-            .lookup(component)
-            .unwrap_or_else(|| panic!("unknown component {component:?}"));
+    /// Returns [`StationError::UnknownComponent`] if the component does not
+    /// exist.
+    pub fn inject_hard_failure(&mut self, component: &str) -> Result<SimTime, StationError> {
+        let pid = self.pid_of(component)?;
         self.sim.set_persistent_crash(pid, true);
-        self.sim.mark(format!("inject:{component}"));
+        self.note_injection(component, "hard");
         self.sim.kill(pid);
-        self.sim.now()
+        Ok(self.sim.now())
     }
 
     /// Lifts a hard failure injected by
@@ -416,34 +508,34 @@ impl Station {
     /// replaced the broken part). The component stays down until something
     /// restarts it.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the component does not exist.
-    pub fn clear_hard_failure(&mut self, component: &str) {
-        let pid = self
-            .sim
-            .lookup(component)
-            .unwrap_or_else(|| panic!("unknown component {component:?}"));
+    /// Returns [`StationError::UnknownComponent`] if the component does not
+    /// exist.
+    pub fn clear_hard_failure(&mut self, component: &str) -> Result<(), StationError> {
+        let pid = self.pid_of(component)?;
         self.sim.set_persistent_crash(pid, false);
+        Ok(())
     }
 
     /// Degrades the link between two processes (components, `fd`, or `rec`)
     /// with message loss, delay, jitter, or duplication. The quality applies
     /// to both directions.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if either process does not exist.
-    pub fn inject_flaky_link(&mut self, a: &str, b: &str, quality: LinkQuality) {
-        let pa = self
-            .sim
-            .lookup(a)
-            .unwrap_or_else(|| panic!("unknown component {a:?}"));
-        let pb = self
-            .sim
-            .lookup(b)
-            .unwrap_or_else(|| panic!("unknown component {b:?}"));
+    /// Returns [`StationError::UnknownComponent`] if either process does not
+    /// exist.
+    pub fn inject_flaky_link(
+        &mut self,
+        a: &str,
+        b: &str,
+        quality: LinkQuality,
+    ) -> Result<(), StationError> {
+        let pa = self.pid_of(a)?;
+        let pb = self.pid_of(b)?;
         self.sim.set_link_quality(pa, pb, quality);
+        Ok(())
     }
 
     /// Applies `quality` to **every** link in the station that has no
@@ -457,15 +549,19 @@ impl Station {
     /// a joint [fedr, pbcom] restart; the cure hint is set accordingly so a
     /// perfect oracle knows it.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the station is not running the split components.
-    pub fn inject_correlated_pbcom(&mut self) -> SimTime {
+    /// Returns [`StationError::RequiresSplit`] if the station is not running
+    /// the split fedr/pbcom components.
+    pub fn inject_correlated_pbcom(&mut self) -> Result<SimTime, StationError> {
         let fedr = self
             .sim
             .lookup(names::FEDR)
-            .expect("correlated pbcom failure requires the split station");
-        let pbcom = self.sim.lookup(names::PBCOM).expect("pbcom present");
+            .ok_or(StationError::RequiresSplit)?;
+        let pbcom = self
+            .sim
+            .lookup(names::PBCOM)
+            .ok_or(StationError::RequiresSplit)?;
         self.set_cure_hint(names::PBCOM, [names::FEDR, names::PBCOM]);
         // Deliver the poison hook directly to fedr, then kill pbcom.
         let hook = mercury_msg::Envelope::new(
@@ -478,21 +574,37 @@ impl Station {
         );
         self.sim
             .send_external(fedr, fedr, SimDuration::ZERO, hook.to_xml_string());
-        self.sim.mark(format!("inject:{}", names::PBCOM));
+        self.note_injection(names::PBCOM, "correlated");
         self.sim.kill(pbcom);
-        self.sim.now()
+        Ok(self.sim.now())
+    }
+
+    /// Delivers raw bytes to a component as if they arrived on its wire —
+    /// the hostile-input path: malformed traffic must be logged and dropped,
+    /// never crash the station.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StationError::UnknownComponent`] if the component does not
+    /// exist.
+    pub fn inject_wire_garbage(
+        &mut self,
+        component: &str,
+        payload: impl Into<String>,
+    ) -> Result<(), StationError> {
+        let pid = self.pid_of(component)?;
+        self.sim
+            .send_external(pid, pid, SimDuration::ZERO, payload.into());
+        Ok(())
     }
 
     /// The process state of a component (diagnostics).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the component does not exist.
-    pub fn state_of(&self, component: &str) -> ProcessState {
-        let pid = self
-            .sim
-            .lookup(component)
-            .unwrap_or_else(|| panic!("unknown component {component:?}"));
-        self.sim.state(pid)
+    /// Returns [`StationError::UnknownComponent`] if the component does not
+    /// exist.
+    pub fn state_of(&self, component: &str) -> Result<ProcessState, StationError> {
+        Ok(self.sim.state(self.pid_of(component)?))
     }
 }

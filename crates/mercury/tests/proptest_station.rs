@@ -33,14 +33,15 @@ fn any_single_failure_recovers() {
             variant,
             Box::new(PerfectOracle::new()),
             seed,
-        );
+        )
+        .expect("valid station");
         station.warm_up();
         let mut phase = SimRng::new(seed ^ 0xFEED);
         station.randomize_injection_phase(&mut phase);
         let injected = if hang {
-            station.inject_hang(&component)
+            station.inject_hang(&component).expect("known component")
         } else {
-            station.inject_kill(&component)
+            station.inject_kill(&component).expect("known component")
         };
         station.run_for(SimDuration::from_secs(120));
         let m = measure_recovery(station.trace(), &component, injected)
@@ -76,14 +77,15 @@ fn sequential_failures_recover() {
             variant,
             Box::new(PerfectOracle::new()),
             seed,
-        );
+        )
+        .expect("valid station");
         station.warm_up();
-        let t1 = station.inject_kill(&first);
+        let t1 = station.inject_kill(&first).expect("known component");
         station.run_for(SimDuration::from_secs(gap_s));
         // The first failure must be cured by now (worst case ≈ 29s + slack).
         let m1 = measure_recovery(station.trace(), &first, t1).expect("first recovers");
         assert!(m1.recovery_s() < gap_s as f64);
-        let t2 = station.inject_kill(&second);
+        let t2 = station.inject_kill(&second).expect("known component");
         station.run_for(SimDuration::from_secs(120));
         let m2 = measure_recovery(station.trace(), &second, t2).expect("second recovers");
         assert!(m2.recovery_s() < 45.0);
@@ -105,7 +107,8 @@ fn fd_bus_partition_heals() {
             TreeVariant::II,
             Box::new(PerfectOracle::new()),
             seed,
-        );
+        )
+        .expect("valid station");
         station.warm_up();
         {
             let sim = station.sim_mut();
@@ -123,7 +126,7 @@ fn fd_bus_partition_heals() {
         // Let any partition-triggered restarts settle.
         station.run_for(SimDuration::from_secs(60));
         // The station still works: a fresh failure is detected and cured.
-        let injected = station.inject_kill(names::RTU);
+        let injected = station.inject_kill(names::RTU).expect("known component");
         station.run_for(SimDuration::from_secs(60));
         let m = measure_recovery(station.trace(), names::RTU, injected)
             .expect("post-partition failures still recover");

@@ -15,7 +15,8 @@ fn station(variant: TreeVariant, seed: u64) -> Station {
         variant,
         Box::new(PerfectOracle::new()),
         seed,
-    );
+    )
+    .expect("valid station");
     s.warm_up();
     s
 }
@@ -23,7 +24,7 @@ fn station(variant: TreeVariant, seed: u64) -> Station {
 #[test]
 fn tree_ii_recovers_rtu_quickly() {
     let mut s = station(TreeVariant::II, 1);
-    let injected = s.inject_kill(names::RTU);
+    let injected = s.inject_kill(names::RTU).expect("known component");
     s.run_for(SimDuration::from_secs(60));
     let m = measure_recovery(s.trace(), names::RTU, injected).unwrap();
     assert_eq!(m.final_restart_set, vec![names::RTU.to_string()]);
@@ -37,7 +38,7 @@ fn tree_ii_recovers_rtu_quickly() {
 #[test]
 fn tree_i_restarts_everything() {
     let mut s = station(TreeVariant::I, 2);
-    let injected = s.inject_kill(names::RTU);
+    let injected = s.inject_kill(names::RTU).expect("known component");
     s.run_for(SimDuration::from_secs(90));
     let m = measure_recovery(s.trace(), names::RTU, injected).unwrap();
     assert_eq!(m.final_restart_set.len(), 5, "whole station restarts");
@@ -51,7 +52,7 @@ fn tree_i_restarts_everything() {
 #[test]
 fn tree_iii_ses_failure_includes_slow_resync_and_induces_str() {
     let mut s = station(TreeVariant::III, 3);
-    let injected = s.inject_kill(names::SES);
+    let injected = s.inject_kill(names::SES).expect("known component");
     s.run_for(SimDuration::from_secs(120));
     let m = measure_recovery(s.trace(), names::SES, injected).unwrap();
     let r = m.recovery_s();
@@ -76,7 +77,7 @@ fn tree_iii_ses_failure_includes_slow_resync_and_induces_str() {
 #[test]
 fn tree_iv_restarts_the_pair_together_and_faster() {
     let mut s = station(TreeVariant::IV, 4);
-    let injected = s.inject_kill(names::SES);
+    let injected = s.inject_kill(names::SES).expect("known component");
     s.run_for(SimDuration::from_secs(60));
     let m = measure_recovery(s.trace(), names::SES, injected).unwrap();
     assert_eq!(
@@ -105,9 +106,10 @@ fn correlated_pbcom_failure_escalates_with_faulty_oracle_in_tree_iv() {
         TreeVariant::IV,
         Box::new(FaultyOracle::new(1.0, SimRng::new(7))),
         5,
-    );
+    )
+    .expect("valid station");
     s.warm_up();
-    let injected = s.inject_correlated_pbcom();
+    let injected = s.inject_correlated_pbcom().expect("known component");
     s.run_for(SimDuration::from_secs(180));
     let m = measure_recovery(s.trace(), names::PBCOM, injected).unwrap();
     assert!(
@@ -133,9 +135,10 @@ fn tree_v_makes_the_mistake_impossible() {
         TreeVariant::V,
         Box::new(FaultyOracle::new(1.0, SimRng::new(8))),
         6,
-    );
+    )
+    .expect("valid station");
     s.warm_up();
-    let injected = s.inject_correlated_pbcom();
+    let injected = s.inject_correlated_pbcom().expect("known component");
     s.run_for(SimDuration::from_secs(120));
     let m = measure_recovery(s.trace(), names::PBCOM, injected).unwrap();
     assert_eq!(m.attempts, 1, "tree V has no too-low button");
@@ -179,7 +182,7 @@ fn rec_failure_is_recovered_by_fd() {
     let restarted = s.trace().mark_times("fd-restarts:rec").any(|t| t >= before);
     assert!(restarted, "FD must restart a dead REC");
     // And the station still recovers component failures afterwards.
-    let injected = s.inject_kill(names::RTU);
+    let injected = s.inject_kill(names::RTU).expect("known component");
     s.run_for(SimDuration::from_secs(60));
     let m = measure_recovery(s.trace(), names::RTU, injected).unwrap();
     assert!(m.recovery_s() < 10.0);
@@ -188,7 +191,7 @@ fn rec_failure_is_recovered_by_fd() {
 #[test]
 fn hang_is_detected_and_cured_like_a_crash() {
     let mut s = station(TreeVariant::II, 11);
-    let injected = s.inject_hang(names::SES);
+    let injected = s.inject_hang(names::SES).expect("known component");
     s.run_for(SimDuration::from_secs(60));
     let m = measure_recovery(s.trace(), names::SES, injected).unwrap();
     assert!((8.5..11.5).contains(&m.recovery_s()), "{}", m.recovery_s());
@@ -198,7 +201,7 @@ fn hang_is_detected_and_cured_like_a_crash() {
 fn deterministic_given_seed() {
     let run = |seed| {
         let mut s = station(TreeVariant::III, seed);
-        let injected = s.inject_kill(names::FEDR);
+        let injected = s.inject_kill(names::FEDR).expect("known component");
         s.run_for(SimDuration::from_secs(60));
         measure_recovery(s.trace(), names::FEDR, injected)
             .unwrap()

@@ -252,7 +252,7 @@ impl Element {
     pub fn parse(input: &str) -> Result<Element, ParseXmlError> {
         let mut p = Parser::new(input);
         p.skip_prolog();
-        let el = p.parse_element()?;
+        let el = p.parse_element(0)?;
         p.skip_misc();
         if !p.at_end() {
             return Err(p.error("trailing content after document element"));
@@ -325,6 +325,14 @@ impl fmt::Display for ParseXmlError {
 }
 
 impl std::error::Error for ParseXmlError {}
+
+/// Maximum element nesting depth [`Element::parse`] accepts.
+///
+/// Mercury envelopes are at most a handful of levels deep; the cap exists so
+/// hostile input cannot drive the recursive-descent parser into unbounded
+/// recursion and abort the process with a stack overflow — deep nesting must
+/// be an ordinary [`ParseXmlError`] like every other malformation.
+pub const MAX_NESTING_DEPTH: usize = 64;
 
 struct Parser<'a> {
     input: &'a str,
@@ -487,7 +495,12 @@ impl<'a> Parser<'a> {
         Err(self.error("unknown entity"))
     }
 
-    fn parse_element(&mut self) -> Result<Element, ParseXmlError> {
+    fn parse_element(&mut self, depth: usize) -> Result<Element, ParseXmlError> {
+        if depth >= MAX_NESTING_DEPTH {
+            return Err(self.error(format!(
+                "element nesting deeper than {MAX_NESTING_DEPTH} levels"
+            )));
+        }
         self.expect("<")?;
         let name = self.parse_name()?;
         let mut el = Element {
@@ -542,7 +555,7 @@ impl<'a> Parser<'a> {
             match self.peek() {
                 None => return Err(self.error(format!("unterminated element <{}>", el.name))),
                 Some('<') => {
-                    let child = self.parse_element()?;
+                    let child = self.parse_element(depth + 1)?;
                     el.children.push(Node::Element(child));
                 }
                 Some(_) => {

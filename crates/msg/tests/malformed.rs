@@ -141,6 +141,63 @@ fn xml_garbage_is_rejected() {
     }
 }
 
+/// Nesting deeper than the parser's recursion cap is refused with an
+/// ordinary parse error — a ~100k-deep document must not abort the process
+/// with a stack overflow.
+#[test]
+fn deeply_nested_xml_is_an_error_not_a_stack_overflow() {
+    use mercury_msg::xml::MAX_NESTING_DEPTH;
+    for depth in [MAX_NESTING_DEPTH + 1, 10_000, 100_000] {
+        let mut doc = String::with_capacity(depth * 7);
+        for _ in 0..depth {
+            doc.push_str("<a>");
+        }
+        for _ in 0..depth {
+            doc.push_str("</a>");
+        }
+        let err = Element::parse(&doc).expect_err("deep nesting must be refused");
+        assert!(
+            err.message.contains("nesting"),
+            "depth {depth}: unexpected error {err}"
+        );
+    }
+    // And the cap itself is not off by one: exactly MAX_NESTING_DEPTH
+    // levels still parse.
+    let ok_depth = MAX_NESTING_DEPTH;
+    let mut doc = String::new();
+    for _ in 0..ok_depth {
+        doc.push_str("<a>");
+    }
+    for _ in 0..ok_depth {
+        doc.push_str("</a>");
+    }
+    assert!(Element::parse(&doc).is_ok(), "cap is off by one");
+}
+
+/// Unterminated constructs at every syntactic position: each must produce a
+/// parse error describing the open construct, never hang or panic.
+#[test]
+fn unterminated_xml_is_rejected_with_an_error() {
+    for (bad, needle) in [
+        ("<a><b>", "unterminated element"),
+        ("<a><b></b>", "unterminated element"),
+        ("<a>text with no close", "unterminated element"),
+        ("<a k=\"v", "unterminated attribute value"),
+        ("<a k='v", "unterminated attribute value"),
+        ("<!-- no close", "expected"),
+        ("<a><!-- no close", "comment"),
+        ("<a>&amp", "entity"),
+        ("<a></a", "expected"),
+        ("<a><b/>", "unterminated element"),
+    ] {
+        let err = Element::parse(bad).expect_err(bad);
+        assert!(
+            !err.message.is_empty() && err.message.contains(needle),
+            "{bad:?}: expected error mentioning {needle:?}, got {err}"
+        );
+    }
+}
+
 /// Truncating a well-formed envelope at every char boundary never parses —
 /// there is no prefix of a `<msg>` document that is itself one.
 #[test]

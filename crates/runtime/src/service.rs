@@ -1,5 +1,6 @@
 //! Live services: the threaded counterpart of the simulator's actors.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -82,6 +83,16 @@ impl ProcessHandle {
 /// runs `on_start`, then serves the mailbox until stopped. The runtime
 /// answers [`PING`] posts itself — a wedged `on_post` therefore stops pongs,
 /// exactly like a hung JVM.
+///
+/// A service that **panics** in `on_start` or `on_post` is treated as a
+/// crash fault, not a runtime bug: the panic is caught, the mailbox is
+/// unregistered, and the thread exits cleanly. The service stops answering
+/// pings, so the watchdog detects the crash on the next round and recovers
+/// it through the ordinary restart path.
+///
+/// If the OS refuses to spawn the thread at all, the returned handle is
+/// already dead (stop flag set, no thread) — the same missed-ping detection
+/// turns the failed spawn into a retried restart instead of an abort.
 pub(crate) fn spawn_service(
     name: String,
     router: Router,
@@ -90,7 +101,7 @@ pub(crate) fn spawn_service(
 ) -> ProcessHandle {
     let stop = Arc::new(AtomicBool::new(false));
     let stop_flag = stop.clone();
-    let thread = std::thread::Builder::new()
+    let spawned = std::thread::Builder::new()
         .name(name.clone())
         .spawn(move || {
             // Simulated boot (JVM start / hardware negotiation).
@@ -99,11 +110,18 @@ pub(crate) fn spawn_service(
                 return;
             }
             let rx = router.register(&name);
-            let mut ctx = ServiceCtx {
-                name: &name,
-                router: &router,
-            };
-            service.on_start(&mut ctx);
+            let started = catch_unwind(AssertUnwindSafe(|| {
+                let mut ctx = ServiceCtx {
+                    name: &name,
+                    router: &router,
+                };
+                service.on_start(&mut ctx);
+            }));
+            if started.is_err() {
+                // Crashed during boot: go silent and let the watchdog see it.
+                router.unregister(&name);
+                return;
+            }
             loop {
                 if stop_flag.load(Ordering::SeqCst) {
                     break;
@@ -116,22 +134,39 @@ pub(crate) fn spawn_service(
                         if post.body == PING {
                             router.send(&name, &post.from, PONG);
                         } else {
-                            let mut ctx = ServiceCtx {
-                                name: &name,
-                                router: &router,
-                            };
-                            service.on_post(post, &mut ctx);
+                            let handled = catch_unwind(AssertUnwindSafe(|| {
+                                let mut ctx = ServiceCtx {
+                                    name: &name,
+                                    router: &router,
+                                };
+                                service.on_post(post, &mut ctx);
+                            }));
+                            if handled.is_err() {
+                                // The service crashed on this post. Exit
+                                // fail-silent: deregister so nothing else is
+                                // delivered, stop answering pings, and let
+                                // the watchdog's crash-fault path restart us.
+                                router.unregister(&name);
+                                return;
+                            }
                         }
                     }
                     Err(RecvTimeoutError::Timeout) => {}
                     Err(RecvTimeoutError::Disconnected) => break,
                 }
             }
-        })
-        .expect("spawn service thread");
-    ProcessHandle {
-        stop,
-        thread: Some(thread),
+        });
+    match spawned {
+        Ok(thread) => ProcessHandle {
+            stop,
+            thread: Some(thread),
+        },
+        Err(_) => {
+            // Could not start the thread (resource exhaustion). Hand back a
+            // dead process; missed pings will drive a retry via restart.
+            stop.store(true, Ordering::SeqCst);
+            ProcessHandle { stop, thread: None }
+        }
     }
 }
 

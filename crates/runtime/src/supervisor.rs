@@ -17,8 +17,10 @@ use rr_core::oracle::{Failure, Oracle};
 use rr_core::policy::RestartPolicy;
 use rr_core::recoverer::{Recoverer, RecoveryDecision};
 use rr_core::tree::RestartTree;
+use rr_sim::telemetry::Registry;
 use rr_sim::SimTime;
 use std::sync::Mutex;
+use std::sync::MutexGuard;
 
 use crate::router::Router;
 use crate::service::{spawn_service, ProcessHandle, ServiceFactory, PING, PONG};
@@ -63,12 +65,25 @@ struct Inner {
     abandoned: Vec<String>,
     epoch: Instant,
     restarts: u64,
+    /// Recovery-episode telemetry, wall-clock timestamps mapped onto
+    /// [`SimTime`] relative to the supervisor's epoch.
+    telemetry: Registry,
 }
 
 impl Inner {
     fn now(&self) -> SimTime {
         SimTime::from_secs_f64(self.epoch.elapsed().as_secs_f64())
     }
+}
+
+/// Locks a mutex, recovering the data if a previous holder panicked. The
+/// supervisor's invariants hold between statements, not across the guard's
+/// lifetime, so a poisoned lock means "a thread died mid-round", not "the
+/// state is garbage" — the watchdog re-derives liveness every round anyway.
+fn lock_recovering<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
 /// A live supervision tree over OS threads.
@@ -107,6 +122,7 @@ impl Supervisor {
                 abandoned: Vec::new(),
                 epoch: Instant::now(),
                 restarts: 0,
+                telemetry: Registry::new(),
             })),
             config,
             watchdog_stop: Arc::new(AtomicBool::new(false)),
@@ -121,20 +137,26 @@ impl Supervisor {
 
     /// Total restarts the supervisor has executed.
     pub fn restarts(&self) -> u64 {
-        self.inner.lock().unwrap().restarts
+        lock_recovering(&self.inner).restarts
     }
 
     /// Services the restart policy has abandoned as hard failures
     /// ("the policy keeps track of past restarts to prevent infinite
     /// restarts of 'hard' failures", §2.2). They stay down for a human.
     pub fn abandoned(&self) -> Vec<String> {
-        self.inner.lock().unwrap().abandoned.clone()
+        lock_recovering(&self.inner).abandoned.clone()
+    }
+
+    /// A snapshot of the recovery-episode telemetry recorded so far
+    /// (restart counts, per-component MTTR histograms, the episode stream).
+    pub fn telemetry(&self) -> Registry {
+        lock_recovering(&self.inner).telemetry.clone()
     }
 
     /// Replaces the restart policy (e.g. to tighten the storm limit in
     /// tests or demos). Prior restart history is discarded.
     pub fn set_policy(&self, policy: RestartPolicy) {
-        self.inner.lock().unwrap().recoverer.set_policy(policy);
+        lock_recovering(&self.inner).recoverer.set_policy(policy);
     }
 
     /// Registers and starts a service. The name must be a component attached
@@ -149,7 +171,7 @@ impl Supervisor {
         boot: Duration,
         mut factory: impl FnMut() -> Box<dyn crate::service::Service> + Send + 'static,
     ) {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = lock_recovering(&self.inner);
         assert!(
             inner.recoverer.tree().cell_of_component(name).is_some(),
             "service {name:?} is not attached to the restart tree"
@@ -172,7 +194,7 @@ impl Supervisor {
     ///
     /// Panics if services fail to come up within `deadline`.
     pub fn await_ready(&self, deadline: Duration) {
-        let names: Vec<String> = self.inner.lock().unwrap().specs.keys().cloned().collect();
+        let names: Vec<String> = lock_recovering(&self.inner).specs.keys().cloned().collect();
         let until = Instant::now() + deadline;
         let rx = self.router.register("__await");
         loop {
@@ -201,10 +223,12 @@ impl Supervisor {
     /// and unregisters its mailbox) without telling the supervisor — the
     /// watchdog must notice on its own.
     pub fn inject_kill(&self, name: &str) {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = lock_recovering(&self.inner);
         if let Some(handle) = inner.procs.get_mut(name) {
             handle.kill();
         }
+        let now = inner.now();
+        inner.telemetry.record_injected(now, name, "kill");
         self.router.unregister(name);
     }
 
@@ -214,11 +238,20 @@ impl Supervisor {
         let inner = self.inner.clone();
         let stop = self.watchdog_stop.clone();
         let config = self.config;
-        let handle = std::thread::Builder::new()
+        match std::thread::Builder::new()
             .name("rr-watchdog".into())
             .spawn(move || watchdog_loop(router, inner, stop, config))
-            .expect("spawn watchdog");
-        *self.watchdog.lock().unwrap() = Some(handle);
+        {
+            Ok(handle) => *lock_recovering(&self.watchdog) = Some(handle),
+            Err(_) => {
+                // No watchdog thread could be started: record the degraded
+                // state instead of aborting. Services keep running unwatched;
+                // a later start_watchdog call may succeed.
+                lock_recovering(&self.inner)
+                    .telemetry
+                    .incr("watchdog_spawn_failures");
+            }
+        }
     }
 
     /// Stops the watchdog and every service. Service threads are signalled
@@ -227,10 +260,10 @@ impl Supervisor {
     /// stop flag within one poll interval and exit.
     pub fn shutdown(&self) {
         self.watchdog_stop.store(true, Ordering::SeqCst);
-        if let Some(t) = self.watchdog.lock().unwrap().take() {
+        if let Some(t) = lock_recovering(&self.watchdog).take() {
             let _ = t.join();
         }
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = lock_recovering(&self.inner);
         let names: Vec<String> = inner.procs.keys().cloned().collect();
         for name in names {
             self.router.unregister(&name);
@@ -257,7 +290,7 @@ fn watchdog_loop(
     let mut down: HashMap<String, bool> = HashMap::new();
     while !stop.load(Ordering::SeqCst) {
         let names: Vec<String> = {
-            let inner = inner.lock().unwrap();
+            let inner = lock_recovering(&inner);
             inner.specs.keys().cloned().collect()
         };
         for name in &names {
@@ -280,18 +313,28 @@ fn watchdog_loop(
 
         let mut to_restart: Vec<Vec<String>> = Vec::new();
         {
-            let mut guard = inner.lock().unwrap();
+            let mut guard = lock_recovering(&inner);
             let now = guard.now();
             // Recoveries: pending components that answered again.
             let mut completed: Vec<String> = Vec::new();
             let mut overdue: Vec<String> = Vec::new();
+            let mut came_back: Vec<String> = Vec::new();
             for (episode, (issued, pend)) in guard.pending.iter_mut() {
-                pend.retain(|c| !alive.contains(c));
+                pend.retain(|c| {
+                    let back = alive.contains(c);
+                    if back {
+                        came_back.push(c.clone());
+                    }
+                    !back
+                });
                 if pend.is_empty() {
                     completed.push(episode.clone());
                 } else if issued.elapsed() > config.restart_deadline {
                     overdue.push(episode.clone());
                 }
+            }
+            for comp in came_back {
+                guard.telemetry.record_component_ready(now, &comp);
             }
             for episode in overdue {
                 // The reboot blew its deadline (e.g. the service wedges
@@ -299,11 +342,15 @@ fn watchdog_loop(
                 // the next missed ping escalates instead of waiting forever.
                 guard.pending.remove(&episode);
                 guard.recoverer.on_restart_complete(&episode, now);
+                guard
+                    .telemetry
+                    .incr_labeled("restart_deadline_misses", &episode);
             }
             for episode in completed {
                 guard.pending.remove(&episode);
                 guard.recoverer.on_restart_complete(&episode, now);
                 guard.recoverer.on_cured(&episode, now);
+                guard.telemetry.record_cured(now, &episode);
                 down.insert(episode, false);
             }
             // Failures.
@@ -321,18 +368,36 @@ fn watchdog_loop(
                 if guard.recoverer.is_in_flight(name) {
                     continue;
                 }
+                if !down.get(name).copied().unwrap_or(false) {
+                    guard.telemetry.record_suspected(now, name);
+                }
                 down.insert(name.clone(), true);
                 let decision = guard.recoverer.on_failure(Failure::solo(name.clone()), now);
                 match decision {
-                    RecoveryDecision::Restart { components, .. } => {
+                    RecoveryDecision::Restart {
+                        components,
+                        attempt,
+                        origins,
+                        ..
+                    } => {
                         guard
                             .pending
                             .insert(name.clone(), (Instant::now(), components.clone()));
                         guard.restarts += 1;
+                        guard.telemetry.record_restarting(
+                            now,
+                            name,
+                            &components,
+                            &origins,
+                            attempt,
+                        );
                         to_restart.push(components);
                     }
                     RecoveryDecision::AlreadyRecovering { .. } => {}
-                    RecoveryDecision::GiveUp { .. } => {
+                    RecoveryDecision::GiveUp { reason, .. } => {
+                        guard
+                            .telemetry
+                            .record_quarantined(now, name, &reason.to_string());
                         guard.abandoned.push(name.clone());
                     }
                 }
@@ -345,10 +410,13 @@ fn watchdog_loop(
                     if let Some(handle) = guard.procs.get_mut(comp) {
                         handle.kill();
                     }
-                    let (service, boot) = {
-                        let spec = guard.specs.get_mut(comp).expect("spec exists");
-                        ((spec.factory)(), spec.boot)
+                    // A component can appear in a cell without a registered
+                    // spec (registered late, or torn down concurrently):
+                    // skip it rather than aborting the watchdog thread.
+                    let Some(spec) = guard.specs.get_mut(comp) else {
+                        continue;
                     };
+                    let (service, boot) = ((spec.factory)(), spec.boot);
                     let handle = spawn_service(comp.clone(), router.clone(), service, boot);
                     guard.procs.insert(comp.clone(), handle);
                 }

@@ -242,3 +242,148 @@ fn watchdog_answers_are_real_pongs() {
     assert_eq!(reply.from, "a");
     sup.shutdown();
 }
+
+/// A service that panics while handling a specific post — the crash-fault
+/// regression for the supervisor's panic hardening: the panic must be
+/// contained to the service's own thread, detected as a missed ping, and
+/// cured by an ordinary restart. Before the hardening this panicked straight
+/// through the service loop and the component simply went dark forever (and
+/// a panic while the supervisor's lock was held would poison every later
+/// `lock()` in the watchdog).
+struct PanicsOnPoison {
+    incarnations: Arc<AtomicU64>,
+}
+
+impl Service for PanicsOnPoison {
+    fn on_start(&mut self, _ctx: &mut ServiceCtx<'_>) {
+        self.incarnations.fetch_add(1, Ordering::SeqCst);
+    }
+
+    fn on_post(&mut self, post: Post, ctx: &mut ServiceCtx<'_>) {
+        if post.body == "poison" {
+            panic!("injected service panic");
+        }
+        ctx.send(&post.from, PONG);
+    }
+}
+
+#[test]
+fn panicking_child_is_recovered_as_a_crash_fault() {
+    let tree = TreeSpec::cell("root")
+        .with_child(TreeSpec::cell("R_frag").with_component("fragile"))
+        .build()
+        .unwrap();
+    let sup = Supervisor::new(
+        tree,
+        Box::new(PerfectOracle::new()),
+        WatchdogConfig::default(),
+    );
+    let inc = Arc::new(AtomicU64::new(0));
+    let i = inc.clone();
+    sup.add_service("fragile", Duration::from_millis(5), move || {
+        Box::new(PanicsOnPoison {
+            incarnations: i.clone(),
+        })
+    });
+    sup.await_ready(Duration::from_secs(10));
+    sup.start_watchdog();
+    assert!(wait_until(Duration::from_secs(5), || {
+        inc.load(Ordering::SeqCst) >= 1
+    }));
+
+    // Poison it: the service thread panics on this post.
+    sup.router().send("probe", "fragile", "poison");
+
+    // The watchdog must notice the silent death and reincarnate it.
+    assert!(
+        wait_until(Duration::from_secs(10), || inc.load(Ordering::SeqCst) >= 2),
+        "panicked service must be restarted, not left dark"
+    );
+    assert!(sup.restarts() >= 1, "the restart must go through REC");
+
+    // The fresh incarnation serves traffic again.
+    let rx = sup.router().register("probe");
+    assert!(wait_until(Duration::from_secs(5), || {
+        sup.router().send("probe", "fragile", "job");
+        rx.recv_timeout(Duration::from_millis(100))
+            .map(|p| p.body == PONG)
+            .unwrap_or(false)
+    }));
+
+    // Telemetry saw the whole episode: a suspicion, a restart, and (once
+    // the watchdog confirms the reincarnation answers pings) a cure.
+    assert!(
+        wait_until(Duration::from_secs(10), || {
+            sup.telemetry().counter("episodes_cured", "") >= 1
+        }),
+        "the cure must be confirmed and recorded"
+    );
+    let telemetry = sup.telemetry();
+    assert!(telemetry.counter("fd_suspicions", "fragile") >= 1);
+    assert!(telemetry.counter("restarts_issued", "") >= 1);
+    assert!(telemetry.counter("component_restarts", "fragile") >= 1);
+    sup.shutdown();
+}
+
+/// Repeated panics escalate through the policy like any other crash fault
+/// and are eventually abandoned as hard failures — the supervisor thread
+/// itself must survive every one of them.
+#[test]
+fn always_panicking_child_is_abandoned_without_killing_the_supervisor() {
+    struct AlwaysPanics;
+    impl Service for AlwaysPanics {
+        fn on_start(&mut self, _ctx: &mut ServiceCtx<'_>) {
+            panic!("panic during boot");
+        }
+        fn on_post(&mut self, _post: Post, _ctx: &mut ServiceCtx<'_>) {}
+    }
+    let tree = TreeSpec::cell("root")
+        .with_child(TreeSpec::cell("R_ok").with_component("ok"))
+        .with_child(TreeSpec::cell("R_bad").with_component("bad"))
+        .build()
+        .unwrap();
+    let sup = Supervisor::new(
+        tree,
+        Box::new(PerfectOracle::new()),
+        WatchdogConfig::default(),
+    );
+    sup.set_policy(
+        rr_core::RestartPolicy::new()
+            .with_escalation_limit(2)
+            .with_rate_limit(2, Duration::from_secs(3600).into()),
+    );
+    let healthy = Arc::new(AtomicU64::new(0));
+    let h = healthy.clone();
+    sup.add_service("ok", Duration::from_millis(5), move || {
+        Box::new(Counter {
+            processed: 0,
+            incarnations: h.clone(),
+        })
+    });
+    sup.add_service("bad", Duration::from_millis(5), move || {
+        Box::new(AlwaysPanics)
+    });
+    // Only the healthy service will ever answer.
+    let rx = sup.router().register("probe");
+    assert!(wait_until(Duration::from_secs(10), || {
+        sup.router().send("probe", "ok", PING);
+        rx.recv_timeout(Duration::from_millis(50))
+            .map(|p| p.body == PONG)
+            .unwrap_or(false)
+    }));
+    sup.start_watchdog();
+    assert!(
+        wait_until(Duration::from_secs(15), || {
+            sup.abandoned().contains(&"bad".to_string())
+        }),
+        "a child that panics every boot must be quarantined"
+    );
+    // The healthy sibling and the supervisor both still work.
+    sup.router().send("probe", "ok", "job");
+    assert!(rx
+        .recv_timeout(Duration::from_secs(2))
+        .map(|p| p.body.starts_with("count:"))
+        .unwrap_or(false));
+    assert!(sup.telemetry().counter("episodes_gaveup", "") >= 1);
+    sup.shutdown();
+}

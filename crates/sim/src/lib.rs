@@ -66,6 +66,7 @@ pub mod engine;
 pub mod fault;
 pub mod rng;
 pub mod stats;
+pub mod telemetry;
 pub mod time;
 pub mod trace;
 
@@ -74,5 +75,6 @@ pub use engine::{Actor, Context, Event, LinkQuality, ProcessId, ProcessState, Si
 pub use fault::{FaultKind, FaultScript, ScriptParseError, ScriptedFault};
 pub use rng::SimRng;
 pub use stats::{Histogram, OnlineStats, Summary};
+pub use telemetry::{DurationHistogram, EpisodeEvent, EpisodeStage, Registry};
 pub use time::{SimDuration, SimTime};
 pub use trace::{Trace, TraceEvent, TraceKind};

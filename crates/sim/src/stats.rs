@@ -319,6 +319,16 @@ impl Histogram {
         &self.buckets
     }
 
+    /// The range's inclusive lower bound.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// The range's exclusive upper bound.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
     /// Renders the histogram as ASCII, one bucket per line, bars scaled to
     /// `width` characters at the fullest bucket.
     pub fn render(&self, width: usize) -> String {

@@ -1,0 +1,801 @@
+//! Recovery-episode telemetry: a metrics registry and a structured event
+//! stream.
+//!
+//! The paper's argument is built on *measured* recovery time (§4.1, Tables
+//! 1–4), so the pipeline that produces those numbers deserves first-class,
+//! always-on instrumentation. This module provides the sink the rest of the
+//! workspace records into:
+//!
+//! - **counters** (monotonic `u64`, optionally labelled per component),
+//! - **gauges** (last-write-wins `f64`),
+//! - **fixed-bucket duration histograms** over [`SimDuration`] with exact
+//!   running moments ([`DurationHistogram`]),
+//! - an **episode-event stream** ([`EpisodeEvent`]) recording each recovery
+//!   episode's lifecycle: injected → suspected → planned → merged →
+//!   restarting → ready → cured / quarantined, with cause attribution
+//!   carried through LCA merge promotion.
+//!
+//! The registry also performs the §4.1 bookkeeping online: an injection
+//! opens a per-component timer, restarts track the (possibly merged)
+//! restart set, and the episode's recovery time is the span from injection
+//! to the instant the *last* member of the *final* restart set reported
+//! ready — exactly the definition `mercury::measure::measure_recovery`
+//! recovers from the trace after the fact, so the two agree.
+//!
+//! A disabled registry ([`Registry::disabled`]) is a pure no-op sink: every
+//! `record_*` method returns before formatting or allocating anything, so
+//! instrumented hot paths cost one branch when telemetry is off.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+
+use crate::stats::{Histogram, OnlineStats};
+use crate::time::{SimDuration, SimTime};
+
+/// Default bucket range for recovery-time histograms: 0–60 s in 2 s steps,
+/// wide enough for every Table 1–4 value with room for escalated episodes.
+pub const RECOVERY_BUCKETS: (f64, f64, usize) = (0.0, 60.0, 30);
+
+/// Default bucket range for message-latency histograms (FD ping RTT):
+/// 0–1 s in 25 ms steps.
+pub const LATENCY_BUCKETS: (f64, f64, usize) = (0.0, 1.0, 40);
+
+/// Lifecycle stage of one [`EpisodeEvent`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum EpisodeStage {
+    /// A fault was injected into the component (experiment ground truth).
+    Injected,
+    /// The failure detector convicted the component.
+    Suspected,
+    /// The recoverer planned a restart episode targeting a cell.
+    Planned,
+    /// The episode was absorbed into another by promotion to the LCA.
+    Merged,
+    /// The restart of the episode's cell was issued.
+    Restarting,
+    /// Every member of the episode's restart set reported ready.
+    Ready,
+    /// The cure was confirmed and the episode closed.
+    Cured,
+    /// The restart policy gave up and quarantined the component.
+    Quarantined,
+}
+
+impl EpisodeStage {
+    /// Stable lowercase name used by the exporters.
+    pub fn name(self) -> &'static str {
+        match self {
+            EpisodeStage::Injected => "injected",
+            EpisodeStage::Suspected => "suspected",
+            EpisodeStage::Planned => "planned",
+            EpisodeStage::Merged => "merged",
+            EpisodeStage::Restarting => "restarting",
+            EpisodeStage::Ready => "ready",
+            EpisodeStage::Cured => "cured",
+            EpisodeStage::Quarantined => "quarantined",
+        }
+    }
+}
+
+/// One entry in the episode-event stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpisodeEvent {
+    /// When the event happened (virtual time).
+    pub at: SimTime,
+    /// The component (or episode owner) the event is about.
+    pub component: String,
+    /// The lifecycle stage reached.
+    pub stage: EpisodeStage,
+    /// Free-form attribution detail: restart set, origins, attempt, cause.
+    pub detail: String,
+}
+
+/// A fixed-bucket histogram over [`SimDuration`] paired with exact running
+/// moments, so exporters can report both a mean and a distribution.
+#[derive(Debug, Clone)]
+pub struct DurationHistogram {
+    stats: OnlineStats,
+    histogram: Histogram,
+}
+
+impl DurationHistogram {
+    /// An empty histogram with `buckets` equal-width buckets spanning
+    /// `[lo_s, hi_s)` seconds.
+    pub fn new(lo_s: f64, hi_s: f64, buckets: usize) -> DurationHistogram {
+        DurationHistogram {
+            stats: OnlineStats::new(),
+            histogram: Histogram::new(lo_s, hi_s, buckets),
+        }
+    }
+
+    /// Records one duration.
+    pub fn observe(&mut self, d: SimDuration) {
+        let secs = d.as_secs_f64();
+        self.stats.push(secs);
+        self.histogram.add(secs);
+    }
+
+    /// Number of recorded durations.
+    pub fn count(&self) -> u64 {
+        self.stats.count()
+    }
+
+    /// Mean of the recorded durations, in seconds (0 when empty).
+    pub fn mean_s(&self) -> f64 {
+        if self.stats.count() == 0 {
+            0.0
+        } else {
+            self.stats.mean()
+        }
+    }
+
+    /// The exact running moments.
+    pub fn stats(&self) -> &OnlineStats {
+        &self.stats
+    }
+
+    /// The bucketed distribution.
+    pub fn histogram(&self) -> &Histogram {
+        &self.histogram
+    }
+}
+
+/// Metric identity: a static metric name plus an optional label (the
+/// component, or empty for unlabelled metrics).
+type MetricKey = (&'static str, String);
+
+/// An in-flight episode the registry is timing (mirrors the REC's view).
+#[derive(Debug, Clone)]
+struct OpenEpisode {
+    /// Suspected components this episode answers (merged origins included).
+    origins: BTreeSet<String>,
+    /// The current restart set (every component the cell restart touches).
+    components: BTreeSet<String>,
+    /// When the latest restart of this episode was issued.
+    restarted_at: SimTime,
+    /// Members that reported ready at or after `restarted_at`.
+    ready: BTreeSet<String>,
+    /// Set when `ready` covers `components`: the episode's recovery end.
+    completed_at: Option<SimTime>,
+}
+
+/// The telemetry sink: counters, gauges, duration histograms, and the
+/// episode-event stream, all with deterministic (sorted) iteration order.
+///
+/// Cloning a registry snapshots it; the clone shares nothing with the
+/// original.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    enabled: bool,
+    counters: BTreeMap<MetricKey, u64>,
+    gauges: BTreeMap<MetricKey, f64>,
+    durations: BTreeMap<MetricKey, DurationHistogram>,
+    events: Vec<EpisodeEvent>,
+    injections: BTreeMap<String, SimTime>,
+    open: BTreeMap<String, OpenEpisode>,
+    /// Origins absorbed by an LCA merge before the absorbing episode's own
+    /// restart was recorded; folded in by the next `record_restarting`.
+    pending_merges: BTreeMap<String, BTreeSet<String>>,
+}
+
+impl Registry {
+    /// A registry that records everything.
+    pub fn new() -> Registry {
+        Registry {
+            enabled: true,
+            ..Registry::default()
+        }
+    }
+
+    /// A no-op sink: every `record_*`/`incr`/`observe` call returns
+    /// immediately, without formatting or allocating.
+    pub fn disabled() -> Registry {
+        Registry::default()
+    }
+
+    /// Whether this registry records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    // ------------------------------------------------------------ metrics --
+
+    /// Increments the unlabelled counter `name`.
+    pub fn incr(&mut self, name: &'static str) {
+        self.incr_by(name, "", 1);
+    }
+
+    /// Increments the counter `name` labelled with `label`.
+    pub fn incr_labeled(&mut self, name: &'static str, label: &str) {
+        self.incr_by(name, label, 1);
+    }
+
+    /// Adds `by` to the counter `(name, label)`.
+    pub fn incr_by(&mut self, name: &'static str, label: &str, by: u64) {
+        if !self.enabled {
+            return;
+        }
+        *self.counters.entry((name, label.to_string())).or_insert(0) += by;
+    }
+
+    /// Current value of the counter `(name, label)` (0 if never touched).
+    pub fn counter(&self, name: &'static str, label: &str) -> u64 {
+        self.counters
+            .get(&(name, label.to_string()))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Sets the gauge `(name, label)` to `value` (last write wins).
+    pub fn set_gauge(&mut self, name: &'static str, label: &str, value: f64) {
+        if !self.enabled {
+            return;
+        }
+        self.gauges.insert((name, label.to_string()), value);
+    }
+
+    /// Current value of the gauge `(name, label)`, if ever set.
+    pub fn gauge(&self, name: &'static str, label: &str) -> Option<f64> {
+        self.gauges.get(&(name, label.to_string())).copied()
+    }
+
+    /// Records `d` into the histogram `(name, label)`, creating it with the
+    /// `(lo_s, hi_s, buckets)` spec on first use.
+    pub fn observe(
+        &mut self,
+        name: &'static str,
+        label: &str,
+        d: SimDuration,
+        spec: (f64, f64, usize),
+    ) {
+        if !self.enabled {
+            return;
+        }
+        self.durations
+            .entry((name, label.to_string()))
+            .or_insert_with(|| DurationHistogram::new(spec.0, spec.1, spec.2))
+            .observe(d);
+    }
+
+    /// The histogram `(name, label)`, if anything was recorded into it.
+    pub fn duration(&self, name: &'static str, label: &str) -> Option<&DurationHistogram> {
+        self.durations.get(&(name, label.to_string()))
+    }
+
+    /// All duration histograms, in sorted `(name, label)` order.
+    pub fn durations(&self) -> impl Iterator<Item = (&'static str, &str, &DurationHistogram)> {
+        self.durations
+            .iter()
+            .map(|((name, label), h)| (*name, label.as_str(), h))
+    }
+
+    /// All counters, in sorted `(name, label)` order.
+    pub fn counters(&self) -> impl Iterator<Item = ((&'static str, &str), u64)> {
+        self.counters
+            .iter()
+            .map(|((name, label), v)| ((*name, label.as_str()), *v))
+    }
+
+    /// All gauges, in sorted `(name, label)` order.
+    pub fn gauges(&self) -> impl Iterator<Item = ((&'static str, &str), f64)> {
+        self.gauges
+            .iter()
+            .map(|((name, label), v)| ((*name, label.as_str()), *v))
+    }
+
+    /// The episode-event stream, in recording order.
+    pub fn events(&self) -> &[EpisodeEvent] {
+        &self.events
+    }
+
+    // ----------------------------------------------------------- episodes --
+
+    /// Appends a raw episode event without any bookkeeping; the building
+    /// block the `record_*` helpers use, public for recorders (like the
+    /// threaded supervisor) that do their own episode accounting.
+    pub fn record_stage(
+        &mut self,
+        at: SimTime,
+        component: &str,
+        stage: EpisodeStage,
+        detail: &str,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        self.events.push(EpisodeEvent {
+            at,
+            component: component.to_string(),
+            stage,
+            detail: detail.to_string(),
+        });
+    }
+
+    /// A fault was injected into `component`: opens its §4.1 recovery timer
+    /// (the earliest un-recovered injection wins if faults pile up).
+    pub fn record_injected(&mut self, at: SimTime, component: &str, kind: &str) {
+        if !self.enabled {
+            return;
+        }
+        self.incr_labeled("faults_injected", component);
+        self.record_stage(at, component, EpisodeStage::Injected, kind);
+        self.injections.entry(component.to_string()).or_insert(at);
+    }
+
+    /// The failure detector convicted `component`.
+    pub fn record_suspected(&mut self, at: SimTime, component: &str) {
+        if !self.enabled {
+            return;
+        }
+        self.incr_labeled("fd_suspicions", component);
+        self.record_stage(at, component, EpisodeStage::Suspected, "");
+    }
+
+    /// The recoverer planned an episode: restart `cell` to answer `origins`.
+    pub fn record_planned(&mut self, at: SimTime, cell: &str, origins: &[String]) {
+        if !self.enabled {
+            return;
+        }
+        self.incr("episodes_planned");
+        let detail = format!("origins={}", origins.join("+"));
+        self.record_stage(at, cell, EpisodeStage::Planned, &detail);
+    }
+
+    /// Episode `from` was absorbed into `into` by LCA promotion.
+    pub fn record_merged(&mut self, at: SimTime, from: &str, into: &str) {
+        if !self.enabled {
+            return;
+        }
+        self.incr("episodes_merged");
+        let detail = format!("into={into}");
+        self.record_stage(at, from, EpisodeStage::Merged, &detail);
+        // Retire the absorbed episode and re-attribute its origins to the
+        // absorbing one (directly if it is already open, else via the
+        // pending-merge stash its next `record_restarting` drains).
+        let mut origins: BTreeSet<String> = BTreeSet::new();
+        origins.insert(from.to_string());
+        if let Some(absorbed) = self.open.remove(from) {
+            origins.extend(absorbed.origins);
+        }
+        if let Some(owner) = self.open.get_mut(into) {
+            owner.origins.extend(origins);
+        } else {
+            self.pending_merges
+                .entry(into.to_string())
+                .or_default()
+                .extend(origins);
+        }
+    }
+
+    /// A restart of `owner`'s cell was issued for `origins`, restarting
+    /// every component in `components`; `attempt` counts escalations.
+    pub fn record_restarting(
+        &mut self,
+        at: SimTime,
+        owner: &str,
+        components: &[String],
+        origins: &[String],
+        attempt: u32,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        self.incr("restarts_issued");
+        for c in components {
+            self.incr_labeled("component_restarts", c);
+        }
+        let detail = format!("attempt={attempt} set={}", components.join("+"));
+        self.record_stage(at, owner, EpisodeStage::Restarting, &detail);
+        let episode = self
+            .open
+            .entry(owner.to_string())
+            .or_insert_with(|| OpenEpisode {
+                origins: BTreeSet::new(),
+                components: BTreeSet::new(),
+                restarted_at: at,
+                ready: BTreeSet::new(),
+                completed_at: None,
+            });
+        episode.origins.extend(origins.iter().cloned());
+        if let Some(merged) = self.pending_merges.remove(owner) {
+            episode.origins.extend(merged);
+        }
+        episode.components = components.iter().cloned().collect();
+        episode.restarted_at = at;
+        episode.ready.clear();
+        episode.completed_at = None;
+    }
+
+    /// `component` reported functionally ready (its `ready:` mark). When
+    /// this completes an episode's restart set, the episode's recovery end
+    /// is *this* instant — the same endpoint §4.1 reads off the trace.
+    pub fn record_component_ready(&mut self, at: SimTime, component: &str) {
+        if !self.enabled {
+            return;
+        }
+        let mut completed: Vec<(String, String)> = Vec::new();
+        for (owner, episode) in self.open.iter_mut() {
+            if episode.completed_at.is_some()
+                || !episode.components.contains(component)
+                || at < episode.restarted_at
+            {
+                continue;
+            }
+            episode.ready.insert(component.to_string());
+            if episode.ready.len() == episode.components.len() {
+                episode.completed_at = Some(at);
+                completed.push((
+                    owner.clone(),
+                    format!(
+                        "set={}",
+                        episode
+                            .components
+                            .iter()
+                            .cloned()
+                            .collect::<Vec<_>>()
+                            .join("+")
+                    ),
+                ));
+            }
+        }
+        for (owner, detail) in completed {
+            self.record_stage(at, &owner, EpisodeStage::Ready, &detail);
+        }
+    }
+
+    /// The cure of `owner`'s episode was confirmed: closes it and records
+    /// one recovery-time observation per injected origin, measured from the
+    /// injection to the instant the final restart set finished booting.
+    pub fn record_cured(&mut self, at: SimTime, owner: &str) {
+        if !self.enabled {
+            return;
+        }
+        self.incr("episodes_cured");
+        let Some(episode) = self.open.remove(owner) else {
+            self.record_stage(at, owner, EpisodeStage::Cured, "");
+            return;
+        };
+        let end = episode.completed_at.unwrap_or(at);
+        let mut timed = Vec::new();
+        for origin in &episode.origins {
+            if let Some(injected_at) = self.injections.remove(origin) {
+                let d = end.saturating_since(injected_at);
+                self.observe("recovery_time", origin, d, RECOVERY_BUCKETS);
+                timed.push(format!("{origin}={:.3}s", d.as_secs_f64()));
+            }
+        }
+        self.record_stage(at, owner, EpisodeStage::Cured, &timed.join(" "));
+    }
+
+    /// The restart policy gave up on `component`: the episode ends
+    /// unrecovered and its origins' timers are discarded.
+    pub fn record_quarantined(&mut self, at: SimTime, component: &str, reason: &str) {
+        if !self.enabled {
+            return;
+        }
+        self.incr("episodes_gaveup");
+        if let Some(episode) = self.open.remove(component) {
+            for origin in &episode.origins {
+                self.injections.remove(origin);
+            }
+        }
+        self.injections.remove(component);
+        self.record_stage(at, component, EpisodeStage::Quarantined, reason);
+    }
+
+    // ---------------------------------------------------------- exporters --
+
+    /// Serializes the registry as a single deterministic JSON object with
+    /// `counters`, `gauges`, `durations` and `events` members.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"counters\":{");
+        for (i, ((name, label), v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:{v}", json_string(&metric_id(name, label)));
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, ((name, label), v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{}:{}",
+                json_string(&metric_id(name, label)),
+                json_f64(*v)
+            );
+        }
+        out.push_str("},\"durations\":{");
+        for (i, ((name, label), h)) in self.durations.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{}:{{\"count\":{},\"mean_s\":{},\"min_s\":{},\"max_s\":{},\"underflow\":{},\"overflow\":{},\"buckets\":[",
+                json_string(&metric_id(name, label)),
+                h.count(),
+                json_f64(h.mean_s()),
+                json_f64(if h.count() == 0 { 0.0 } else { h.stats().min() }),
+                json_f64(if h.count() == 0 { 0.0 } else { h.stats().max() }),
+                h.histogram().underflow(),
+                h.histogram().overflow(),
+            );
+            for (j, b) in h.histogram().buckets().iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{b}");
+            }
+            out.push_str("]}");
+        }
+        out.push_str("},\"events\":[");
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"t_s\":{},\"component\":{},\"stage\":{},\"detail\":{}}}",
+                json_f64(e.at.as_secs_f64()),
+                json_string(&e.component),
+                json_string(e.stage.name()),
+                json_string(&e.detail),
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Serializes the metrics (not the event stream) in the Prometheus text
+    /// exposition format, with every metric prefixed `rr_`.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last = "";
+        for ((name, label), v) in &self.counters {
+            if *name != last {
+                let _ = writeln!(out, "# TYPE rr_{name} counter");
+                last = name;
+            }
+            let _ = writeln!(out, "rr_{name}{} {v}", prom_label(label));
+        }
+        last = "";
+        for ((name, label), v) in &self.gauges {
+            if *name != last {
+                let _ = writeln!(out, "# TYPE rr_{name} gauge");
+                last = name;
+            }
+            let _ = writeln!(out, "rr_{name}{} {v}", prom_label(label));
+        }
+        last = "";
+        for ((name, label), h) in &self.durations {
+            if *name != last {
+                let _ = writeln!(out, "# TYPE rr_{name}_seconds histogram");
+                last = name;
+            }
+            let hist = h.histogram();
+            let lo = hist.lo();
+            let width = (hist.hi() - hist.lo()) / hist.buckets().len() as f64;
+            let mut cumulative = hist.underflow();
+            for (i, b) in hist.buckets().iter().enumerate() {
+                cumulative += b;
+                let le = lo + width * (i as f64 + 1.0);
+                let _ = writeln!(
+                    out,
+                    "rr_{name}_seconds_bucket{} {cumulative}",
+                    prom_bucket_label(label, &format!("{le}")),
+                );
+            }
+            let _ = writeln!(
+                out,
+                "rr_{name}_seconds_bucket{} {}",
+                prom_bucket_label(label, "+Inf"),
+                h.count(),
+            );
+            let _ = writeln!(
+                out,
+                "rr_{name}_seconds_sum{} {}",
+                prom_label(label),
+                h.mean_s() * h.count() as f64,
+            );
+            let _ = writeln!(
+                out,
+                "rr_{name}_seconds_count{} {}",
+                prom_label(label),
+                h.count()
+            );
+        }
+        out
+    }
+}
+
+/// `name` or `name{label}`, the flat key both exporters use.
+fn metric_id(name: &str, label: &str) -> String {
+    if label.is_empty() {
+        name.to_string()
+    } else {
+        format!("{name}{{{label}}}")
+    }
+}
+
+/// `{component="x"}` or the empty string.
+fn prom_label(label: &str) -> String {
+    if label.is_empty() {
+        String::new()
+    } else {
+        format!("{{component=\"{label}\"}}")
+    }
+}
+
+/// Bucket label set: component (if any) plus `le`.
+fn prom_bucket_label(label: &str, le: &str) -> String {
+    if label.is_empty() {
+        format!("{{le=\"{le}\"}}")
+    } else {
+        format!("{{component=\"{label}\",le=\"{le}\"}}")
+    }
+}
+
+/// A JSON string literal with the required escapes.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A finite JSON number (JSON has no NaN/Inf; those become 0).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs_f64(s)
+    }
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let mut r = Registry::disabled();
+        r.incr("x");
+        r.incr_labeled("y", "rtu");
+        r.set_gauge("g", "", 1.0);
+        r.observe("d", "", SimDuration::from_secs(1), RECOVERY_BUCKETS);
+        r.record_injected(t(1.0), "rtu", "kill");
+        r.record_restarting(t(2.0), "R_rtu", &["rtu".into()], &["rtu".into()], 1);
+        r.record_component_ready(t(3.0), "rtu");
+        r.record_cured(t(5.0), "R_rtu");
+        assert_eq!(r.counter("x", ""), 0);
+        assert!(r.events().is_empty());
+        assert_eq!(
+            r.to_json(),
+            "{\"counters\":{},\"gauges\":{},\"durations\":{},\"events\":[]}"
+        );
+    }
+
+    #[test]
+    fn recovery_time_spans_injection_to_last_ready() {
+        let mut r = Registry::new();
+        r.record_injected(t(10.0), "rtu", "kill");
+        r.record_suspected(t(11.0), "rtu");
+        r.record_restarting(t(12.0), "R_rtu", &["rtu".into()], &["rtu".into()], 1);
+        r.record_component_ready(t(14.5), "rtu");
+        // Cure confirmation lands later; the measured span still ends at the
+        // ready instant, matching measure_recovery.
+        r.record_cured(t(18.0), "R_rtu");
+        let h = r.duration("recovery_time", "rtu").expect("observed");
+        assert_eq!(h.count(), 1);
+        assert!((h.mean_s() - 4.5).abs() < 1e-9, "mean {}", h.mean_s());
+    }
+
+    #[test]
+    fn escalated_restart_resets_the_ready_set() {
+        let mut r = Registry::new();
+        r.record_injected(t(0.0), "fedr", "kill");
+        r.record_restarting(t(1.0), "R_fedr", &["fedr".into()], &["fedr".into()], 1);
+        r.record_component_ready(t(2.0), "fedr");
+        // Not cured: escalation restarts a bigger cell.
+        r.record_restarting(
+            t(5.0),
+            "R_fedr",
+            &["fedr".into(), "pbcom".into()],
+            &["fedr".into()],
+            2,
+        );
+        r.record_component_ready(t(6.0), "fedr");
+        r.record_component_ready(t(7.0), "pbcom");
+        r.record_cured(t(9.0), "R_fedr");
+        let h = r.duration("recovery_time", "fedr").expect("observed");
+        assert!((h.mean_s() - 7.0).abs() < 1e-9, "mean {}", h.mean_s());
+        assert_eq!(r.counter("restarts_issued", ""), 2);
+        assert_eq!(r.counter("component_restarts", "pbcom"), 1);
+    }
+
+    #[test]
+    fn merged_episode_attributes_both_origins() {
+        let mut r = Registry::new();
+        r.record_injected(t(0.0), "fedr", "kill");
+        r.record_injected(t(0.5), "pbcom", "kill");
+        r.record_restarting(t(1.0), "R_fedr", &["fedr".into()], &["fedr".into()], 1);
+        r.record_merged(t(1.5), "R_fedr", "R_joint");
+        r.record_restarting(
+            t(1.5),
+            "R_joint",
+            &["fedr".into(), "pbcom".into()],
+            &["pbcom".into()],
+            1,
+        );
+        r.record_component_ready(t(3.0), "fedr");
+        r.record_component_ready(t(4.0), "pbcom");
+        r.record_cured(t(6.0), "R_joint");
+        let fedr = r.duration("recovery_time", "fedr").expect("fedr timed");
+        let pbcom = r.duration("recovery_time", "pbcom").expect("pbcom timed");
+        assert!((fedr.mean_s() - 4.0).abs() < 1e-9);
+        assert!((pbcom.mean_s() - 3.5).abs() < 1e-9);
+        assert_eq!(r.counter("episodes_merged", ""), 1);
+    }
+
+    #[test]
+    fn quarantine_discards_the_timer() {
+        let mut r = Registry::new();
+        r.record_injected(t(0.0), "ses", "kill");
+        r.record_restarting(t(1.0), "R_ses", &["ses".into()], &["ses".into()], 1);
+        r.record_quarantined(t(2.0), "R_ses", "escalation-limit");
+        r.record_quarantined(t(2.0), "ses", "escalation-limit");
+        assert!(r.duration("recovery_time", "ses").is_none());
+        assert_eq!(r.counter("episodes_gaveup", ""), 2);
+        // A later cure of an unknown episode must not panic or observe.
+        r.record_cured(t(3.0), "R_ses");
+        assert!(r.duration("recovery_time", "ses").is_none());
+    }
+
+    #[test]
+    fn exporters_are_deterministic_and_well_formed() {
+        let mut r = Registry::new();
+        r.incr_labeled("component_restarts", "rtu");
+        r.set_gauge("availability", "", 0.993);
+        r.observe(
+            "fd_ping_latency",
+            "rtu",
+            SimDuration::from_millis(12),
+            LATENCY_BUCKETS,
+        );
+        r.record_stage(t(1.0), "rtu", EpisodeStage::Suspected, "a \"quote\"");
+        let json = r.to_json();
+        assert!(json.contains("\"component_restarts{rtu}\":1"), "{json}");
+        assert!(json.contains("\\\"quote\\\""), "{json}");
+        assert_eq!(json, r.clone().to_json());
+        let prom = r.to_prometheus();
+        assert!(
+            prom.contains("# TYPE rr_component_restarts counter"),
+            "{prom}"
+        );
+        assert!(
+            prom.contains("rr_fd_ping_latency_seconds_count{component=\"rtu\"} 1"),
+            "{prom}"
+        );
+    }
+}

@@ -1,0 +1,158 @@
+//! Property tests pinning `stats` to naive reference implementations.
+//!
+//! `Summary`'s percentiles and `OnlineStats::merge` feed every number the
+//! harness reports (and now every telemetry histogram), so they are checked
+//! here against slow, obviously-correct references for every small sample
+//! size n = 1..=64 — the regime where off-by-one errors in rank arithmetic
+//! actually show up.
+
+use rr_sim::stats::percentile;
+use rr_sim::{check, OnlineStats, SimRng, Summary};
+
+/// The naive reference: walk the empirical CDF step by step. For quantile
+/// `q` over `n` sorted points, the R-7 definition places the result a
+/// fraction of the way between the two order statistics straddling rank
+/// `q * (n - 1)`; this implementation finds that pair by linear scan
+/// instead of index arithmetic.
+fn reference_percentile(sorted: &[f64], q: f64) -> f64 {
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let rank = q * (n - 1) as f64;
+    // Linear scan for the straddling pair (k, k + 1).
+    let mut k = 0;
+    while k + 1 < n - 1 && (k + 1) as f64 <= rank {
+        k += 1;
+    }
+    let frac = rank - k as f64;
+    sorted[k] * (1.0 - frac) + sorted[k + 1] * frac
+}
+
+fn sample(rng: &mut SimRng, n: usize) -> Vec<f64> {
+    (0..n).map(|_| rng.uniform(-50.0, 50.0)).collect()
+}
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-9 * (1.0 + a.abs().max(b.abs()))
+}
+
+#[test]
+fn percentile_matches_naive_reference_for_all_small_n() {
+    for n in 1..=64usize {
+        check::run(&format!("percentile/n={n}"), 16, |rng| {
+            let mut v = sample(rng, n);
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            for q in [0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+                let got = percentile(&v, q);
+                let want = reference_percentile(&v, q);
+                assert!(close(got, want), "n={n} q={q}: got {got}, reference {want}");
+            }
+        });
+    }
+}
+
+#[test]
+fn percentile_is_exact_on_order_statistics() {
+    // q = i / (n - 1) must return sorted[i] exactly: rank arithmetic that is
+    // off by one-half a step fails this for some (n, i).
+    for n in 2..=64usize {
+        let v: Vec<f64> = (0..n).map(|i| (i * i) as f64).collect();
+        for (i, &x) in v.iter().enumerate() {
+            let q = i as f64 / (n - 1) as f64;
+            let got = percentile(&v, q);
+            assert!(close(got, x), "n={n} i={i}: got {got}, want {x}");
+        }
+    }
+}
+
+#[test]
+fn median_matches_the_classical_definition() {
+    for n in 1..=64usize {
+        check::run(&format!("median/n={n}"), 16, |rng| {
+            let mut v = sample(rng, n);
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let classical = if n % 2 == 1 {
+                v[n / 2]
+            } else {
+                (v[n / 2 - 1] + v[n / 2]) / 2.0
+            };
+            let got = percentile(&v, 0.5);
+            assert!(close(got, classical), "n={n}: got {got}, want {classical}");
+        });
+    }
+}
+
+#[test]
+fn summary_percentiles_are_ordered_and_bounded() {
+    check::run("summary ordering", 256, |rng| {
+        let n = 1 + rng.next_below(64) as usize;
+        let v = sample(rng, n);
+        let s = Summary::of(&v);
+        assert!(s.min <= s.p50 + 1e-12, "{s}");
+        assert!(s.p50 <= s.p90 + 1e-12, "{s}");
+        assert!(s.p90 <= s.p99 + 1e-12, "{s}");
+        assert!(s.p99 <= s.max + 1e-12, "{s}");
+        assert!(s.min <= s.mean + 1e-12 && s.mean <= s.max + 1e-12, "{s}");
+    });
+}
+
+#[test]
+fn merge_matches_single_pass_at_every_split() {
+    for n in 1..=64usize {
+        check::run(&format!("merge/n={n}"), 8, |rng| {
+            let v = sample(rng, n);
+            let single: OnlineStats = v.iter().copied().collect();
+            for split in 0..=n {
+                let left: OnlineStats = v[..split].iter().copied().collect();
+                let right: OnlineStats = v[split..].iter().copied().collect();
+                let mut merged = left;
+                merged.merge(&right);
+                assert_eq!(merged.count(), single.count(), "n={n} split={split}");
+                assert!(
+                    close(merged.mean(), single.mean()),
+                    "n={n} split={split}: mean {} vs {}",
+                    merged.mean(),
+                    single.mean()
+                );
+                assert!(
+                    close(merged.sample_variance(), single.sample_variance()),
+                    "n={n} split={split}: var {} vs {}",
+                    merged.sample_variance(),
+                    single.sample_variance()
+                );
+                assert_eq!(merged.min(), single.min(), "n={n} split={split}");
+                assert_eq!(merged.max(), single.max(), "n={n} split={split}");
+            }
+        });
+    }
+}
+
+#[test]
+fn merge_is_associative_over_three_chunks() {
+    check::run("merge associativity", 128, |rng| {
+        let n = 3 + rng.next_below(61) as usize;
+        let v = sample(rng, n);
+        let a = rng.next_below(n as u64) as usize;
+        let b = a + rng.next_below((n - a) as u64 + 1) as usize;
+        let (s1, s2, s3): (OnlineStats, OnlineStats, OnlineStats) = (
+            v[..a].iter().copied().collect(),
+            v[a..b].iter().copied().collect(),
+            v[b..].iter().copied().collect(),
+        );
+        // (s1 + s2) + s3 vs s1 + (s2 + s3).
+        let mut left = s1;
+        left.merge(&s2);
+        left.merge(&s3);
+        let mut tail = s2;
+        tail.merge(&s3);
+        let mut right = s1;
+        right.merge(&tail);
+        assert_eq!(left.count(), right.count());
+        assert!(close(left.mean(), right.mean()));
+        assert!(close(
+            left.population_variance(),
+            right.population_variance()
+        ));
+    });
+}

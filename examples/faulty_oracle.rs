@@ -16,11 +16,12 @@ use rr_core::{FaultyOracle, PerfectOracle};
 use rr_sim::{SimDuration, SimRng};
 
 fn trial(variant: TreeVariant, oracle: Box<dyn Oracle>, seed: u64) -> (f64, u32) {
-    let mut station = Station::new(StationConfig::paper(), variant, oracle, seed);
+    let mut station =
+        Station::new(StationConfig::paper(), variant, oracle, seed).expect("valid station");
     station.warm_up();
     let mut phase = SimRng::new(seed ^ 0xF00D);
     station.randomize_injection_phase(&mut phase);
-    let injected = station.inject_correlated_pbcom();
+    let injected = station.inject_correlated_pbcom().expect("known component");
     station.run_for(SimDuration::from_secs(150));
     let m = measure_recovery(station.trace(), names::PBCOM, injected).expect("recovers");
     (m.recovery_s(), m.attempts)

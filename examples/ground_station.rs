@@ -22,7 +22,8 @@ fn run_pass(variant: TreeVariant, inject: bool) -> (usize, f64) {
     let mut cfg = StationConfig::paper();
     let plan = PassScenario::plan(&cfg, "opal", 120.0, 30.0, 20.0);
     cfg.pass_epoch_offset_s = plan.epoch_offset_s;
-    let mut station = Station::new(cfg, variant, Box::new(PerfectOracle::new()), 42);
+    let mut station =
+        Station::new(cfg, variant, Box::new(PerfectOracle::new()), 42).expect("valid station");
     station.warm_up();
     let start = station.now();
     plan.start_tracking(&mut station);
@@ -33,7 +34,7 @@ fn run_pass(variant: TreeVariant, inject: bool) -> (usize, f64) {
         let until = plan.rise_sim_time() + SimDuration::from_secs(120);
         let dur = until.saturating_since(station.now());
         station.run_for(dur);
-        let injected = station.inject_kill(names::RTU);
+        let injected = station.inject_kill(names::RTU).expect("known component");
         station.run_for(SimDuration::from_secs(60));
         if let Ok(m) = mercury::measure_recovery(station.trace(), names::RTU, injected) {
             recovery = m.recovery_s();

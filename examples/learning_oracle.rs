@@ -22,7 +22,8 @@ fn main() {
         TreeVariant::IV,
         Box::new(LearningOracle::new(0.5)),
         2026,
-    );
+    )
+    .expect("valid station");
     station.warm_up();
 
     println!("Learning oracle over tree IV; repeated correlated pbcom failures:\n");
@@ -31,7 +32,7 @@ fn main() {
         "episode", "attempts", "recovery (s)", "oracle went straight to"
     );
     for episode in 1..=8 {
-        let injected = station.inject_correlated_pbcom();
+        let injected = station.inject_correlated_pbcom().expect("known component");
         station.run_for(SimDuration::from_secs(150));
         let m = measure_recovery(station.trace(), names::PBCOM, injected).expect("recovers");
         println!(

@@ -20,11 +20,12 @@ fn measure(variant: TreeVariant, component: &str, trials: usize) -> f64 {
             variant,
             Box::new(PerfectOracle::new()),
             1000 + i as u64,
-        );
+        )
+        .expect("valid station");
         station.warm_up();
         let mut phase = rr_sim::SimRng::new(77 + i as u64);
         station.randomize_injection_phase(&mut phase);
-        let injected = station.inject_kill(component);
+        let injected = station.inject_kill(component).expect("known component");
         station.run_for(SimDuration::from_secs(120));
         total += measure_recovery(station.trace(), component, injected)
             .expect("recovers")
@@ -39,13 +40,19 @@ fn main() {
 
     // Tree I: the total-reboot baseline.
     println!("--- Tree I: one restart group ---");
-    println!("{}", render_tree(&TreeVariant::I.tree()));
+    println!(
+        "{}",
+        render_tree(&TreeVariant::I.tree().expect("paper tree builds"))
+    );
     let r = measure(TreeVariant::I, names::RTU, trials);
     println!("An rtu failure reboots everything: {r:.2}s (paper: 24.75s)\n");
 
     // Tree II: simple depth augmentation (§4.1).
     println!("--- Tree II: simple depth augmentation ---");
-    println!("{}", render_tree(&TreeVariant::II.tree()));
+    println!(
+        "{}",
+        render_tree(&TreeVariant::II.tree().expect("paper tree builds"))
+    );
     let r = measure(TreeVariant::II, names::RTU, trials);
     println!("Now an rtu failure restarts only rtu: {r:.2}s (paper: 5.59s)");
     let r = measure(TreeVariant::II, names::FEDRCOM, trials);
@@ -53,7 +60,10 @@ fn main() {
 
     // Tree III: splitting fedrcom (§4.2).
     println!("--- Tree III: fedrcom split into fedr + pbcom ---");
-    println!("{}", render_tree(&TreeVariant::III.tree()));
+    println!(
+        "{}",
+        render_tree(&TreeVariant::III.tree().expect("paper tree builds"))
+    );
     let rf = measure(TreeVariant::III, names::FEDR, trials);
     let rp = measure(TreeVariant::III, names::PBCOM, trials);
     println!("fedr (frequent) now recovers in {rf:.2}s (paper: 5.76s);");
@@ -61,7 +71,10 @@ fn main() {
 
     // Tree IV: consolidating ses/str (§4.3).
     println!("--- Tree IV: ses and str consolidated ---");
-    println!("{}", render_tree(&TreeVariant::IV.tree()));
+    println!(
+        "{}",
+        render_tree(&TreeVariant::IV.tree().expect("paper tree builds"))
+    );
     let r3 = measure(TreeVariant::III, names::SES, trials);
     let r4 = measure(TreeVariant::IV, names::SES, trials);
     println!("ses recovery: {r3:.2}s under tree III (slow resync with the old str)");
@@ -71,7 +84,10 @@ fn main() {
 
     // Tree V: promoting pbcom (§4.4).
     println!("--- Tree V: pbcom promoted onto the joint cell ---");
-    println!("{}", render_tree(&TreeVariant::V.tree()));
+    println!(
+        "{}",
+        render_tree(&TreeVariant::V.tree().expect("paper tree builds"))
+    );
     println!("Tree V matters only when the oracle errs; see `faulty_oracle` example.\n");
 
     println!(

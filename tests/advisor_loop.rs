@@ -102,7 +102,9 @@ fn advisor_loop_converges_to_tree_v() {
     );
 
     // The result is exactly tree V's structure.
-    let tree_v = mercury::station::TreeVariant::V.tree();
+    let tree_v = mercury::station::TreeVariant::V
+        .tree()
+        .expect("paper tree builds");
     let canon = |t: &RestartTree| {
         let mut groups: Vec<Vec<String>> = t.groups().into_iter().map(|(_, comps)| comps).collect();
         groups.sort();

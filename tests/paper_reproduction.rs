@@ -135,7 +135,7 @@ fn factor_of_four_improvement_holds() {
     let model = cfg.paper_failure_model();
     let mttr_i = expected_system_mttr_s(&tree_i, &model, &cost, OracleQuality::Perfect).unwrap();
     let mttr_v = expected_system_mttr_s(
-        &TreeVariant::V.tree(),
+        &TreeVariant::V.tree().expect("paper tree builds"),
         &model,
         &cost,
         OracleQuality::Perfect,
@@ -191,7 +191,13 @@ fn analytic_model_matches_simulation() {
         } else {
             FailureMode::solo("solo", comp, 1.0)
         };
-        let analytic = expected_mode_recovery_s(&variant.tree(), &mode, &cost, quality).unwrap();
+        let analytic = expected_mode_recovery_s(
+            &variant.tree().expect("paper tree builds"),
+            &mode,
+            &cost,
+            quality,
+        )
+        .unwrap();
         let rel = (sim.mean - analytic).abs() / analytic;
         assert!(
             rel < 0.10,
@@ -243,7 +249,7 @@ fn optimizer_rederives_the_paper_trees() {
     );
     // The optimum is never worse than the hand-designed tree V.
     let hand_v = expected_system_mttr_s(
-        &TreeVariant::V.tree(),
+        &TreeVariant::V.tree().expect("paper tree builds"),
         &model,
         &cost,
         OracleQuality::Faulty { undershoot: 0.3 },
@@ -257,7 +263,7 @@ fn mttf_mttr_group_algebra_holds_for_paper_trees() {
     // §3.2 invariants across every tree variant and failure model.
     let cfg = StationConfig::paper();
     for variant in TreeVariant::ALL {
-        let tree = variant.tree();
+        let tree = variant.tree().expect("paper tree builds");
         tree.validate().unwrap();
         let model = if variant.is_split() {
             cfg.paper_failure_model()

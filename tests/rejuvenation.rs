@@ -11,7 +11,7 @@ use rr_sim::SimDuration;
 /// ages the bridge, §4.2).
 fn age_pbcom(station: &mut Station, fedr_failures: u32) {
     for _ in 0..fedr_failures {
-        station.inject_kill(names::FEDR);
+        station.inject_kill(names::FEDR).expect("known component");
         station.run_for(SimDuration::from_secs(45));
     }
 }
@@ -20,7 +20,8 @@ fn age_pbcom(station: &mut Station, fedr_failures: u32) {
 fn without_rejuvenation_pbcom_ages_to_death() {
     let mut cfg = StationConfig::paper();
     cfg.rejuvenation_aging_threshold = None;
-    let mut s = Station::new(cfg, TreeVariant::III, Box::new(PerfectOracle::new()), 11);
+    let mut s = Station::new(cfg, TreeVariant::III, Box::new(PerfectOracle::new()), 11)
+        .expect("valid station");
     s.warm_up();
     let limit = s.config().pbcom_aging_limit;
     age_pbcom(&mut s, limit + 1);
@@ -35,7 +36,8 @@ fn without_rejuvenation_pbcom_ages_to_death() {
 fn rejuvenation_prevents_the_aging_crash() {
     let mut cfg = StationConfig::paper();
     cfg.rejuvenation_aging_threshold = Some(0.5);
-    let mut s = Station::new(cfg, TreeVariant::III, Box::new(PerfectOracle::new()), 12);
+    let mut s = Station::new(cfg, TreeVariant::III, Box::new(PerfectOracle::new()), 12)
+        .expect("valid station");
     s.warm_up();
     let limit = s.config().pbcom_aging_limit;
     age_pbcom(&mut s, limit + 2);
@@ -49,14 +51,18 @@ fn rejuvenation_prevents_the_aging_crash() {
         "rejuvenation must pre-empt the aging crash"
     );
     // And pbcom is healthy at the end.
-    assert_eq!(s.state_of(names::PBCOM), rr_sim::ProcessState::Running);
+    assert_eq!(
+        s.state_of(names::PBCOM).expect("known component"),
+        rr_sim::ProcessState::Running
+    );
 }
 
 #[test]
 fn rejuvenation_is_not_triggered_by_healthy_components() {
     let mut cfg = StationConfig::paper();
     cfg.rejuvenation_aging_threshold = Some(0.5);
-    let mut s = Station::new(cfg, TreeVariant::III, Box::new(PerfectOracle::new()), 13);
+    let mut s = Station::new(cfg, TreeVariant::III, Box::new(PerfectOracle::new()), 13)
+        .expect("valid station");
     s.warm_up();
     s.run_for(SimDuration::from_secs(120));
     let rejuvenations = s

@@ -16,7 +16,8 @@ fn station(variant: TreeVariant, seed: u64) -> Station {
         variant,
         Box::new(PerfectOracle::new()),
         seed,
-    );
+    )
+    .expect("valid station");
     s.warm_up();
     s
 }
@@ -26,9 +27,9 @@ fn no_malformed_xml_ever_crosses_the_wire() {
     // Every message in the station is a well-formed envelope: a busy run
     // with failures must produce zero parse errors.
     let mut s = station(TreeVariant::IV, 1);
-    s.inject_kill(names::SES);
+    s.inject_kill(names::SES).expect("known component");
     s.run_for(SimDuration::from_secs(60));
-    s.inject_correlated_pbcom();
+    s.inject_correlated_pbcom().expect("known component");
     s.run_for(SimDuration::from_secs(120));
     let parse_errors = s
         .trace()
@@ -66,7 +67,7 @@ fn repeated_fedr_failures_age_pbcom_to_death() {
     let mut s = station(TreeVariant::III, 3);
     let limit = s.config().pbcom_aging_limit;
     for i in 0..=limit {
-        s.inject_kill(names::FEDR);
+        s.inject_kill(names::FEDR).expect("known component");
         s.run_for(SimDuration::from_secs(40));
         // Give the incarnation time to age out of "fresh".
         s.run_for(SimDuration::from_secs(5));
@@ -91,7 +92,7 @@ fn restart_storm_triggers_give_up() {
     let (max_restarts, _) = rr_core::RestartPolicy::new().rate_limit();
     let mut gave_up = false;
     for _ in 0..(max_restarts + 5) {
-        let injected = s.inject_kill(names::RTU);
+        let injected = s.inject_kill(names::RTU).expect("known component");
         s.run_for(SimDuration::from_secs(20));
         match measure_recovery(s.trace(), names::RTU, injected) {
             Ok(_) => {}
@@ -128,9 +129,10 @@ fn custom_optimizer_tree_runs_live() {
         TreeVariant::V.components(),
         Box::new(PerfectOracle::new()),
         5,
-    );
+    )
+    .expect("valid station");
     s.warm_up();
-    let injected = s.inject_kill(names::FEDR);
+    let injected = s.inject_kill(names::FEDR).expect("known component");
     s.run_for(SimDuration::from_secs(60));
     let m = measure_recovery(s.trace(), names::FEDR, injected).unwrap();
     assert!(m.recovery_s() < 10.0, "{}", m.recovery_s());
@@ -141,7 +143,8 @@ fn full_pass_with_telemetry_and_clean_wire() {
     let mut cfg = StationConfig::paper();
     let plan = PassScenario::plan(&cfg, "sapphire", 120.0, 30.0, 10.0);
     cfg.pass_epoch_offset_s = plan.epoch_offset_s;
-    let mut s = Station::new(cfg, TreeVariant::V, Box::new(PerfectOracle::new()), 6);
+    let mut s = Station::new(cfg, TreeVariant::V, Box::new(PerfectOracle::new()), 6)
+        .expect("valid station");
     s.warm_up();
     let frames = plan.run_pass(&mut s);
     assert!(
@@ -160,9 +163,9 @@ fn full_pass_with_telemetry_and_clean_wire() {
 #[test]
 fn two_failures_in_different_groups_recover_concurrently() {
     let mut s = station(TreeVariant::IV, 7);
-    let t_rtu = s.inject_kill(names::RTU);
+    let t_rtu = s.inject_kill(names::RTU).expect("known component");
     s.run_for(SimDuration::from_secs(2));
-    let t_mbus = s.inject_kill(names::MBUS);
+    let t_mbus = s.inject_kill(names::MBUS).expect("known component");
     s.run_for(SimDuration::from_secs(90));
     let m_rtu = measure_recovery(s.trace(), names::RTU, t_rtu).unwrap();
     let m_mbus = measure_recovery(s.trace(), names::MBUS, t_mbus).unwrap();
@@ -179,14 +182,15 @@ fn telemetry_stops_while_radio_is_down() {
     let mut cfg = StationConfig::paper();
     let plan = PassScenario::plan(&cfg, "opal", 120.0, 30.0, 20.0);
     cfg.pass_epoch_offset_s = plan.epoch_offset_s;
-    let mut s = Station::new(cfg, TreeVariant::V, Box::new(PerfectOracle::new()), 8);
+    let mut s = Station::new(cfg, TreeVariant::V, Box::new(PerfectOracle::new()), 8)
+        .expect("valid station");
     s.warm_up();
     plan.start_tracking(&mut s);
     // Run 100 s into the pass, then kill pbcom (the slow one).
     let until = plan.rise_sim_time() + SimDuration::from_secs(100);
     let d = until.saturating_since(s.now());
     s.run_for(d);
-    let kill_at = s.inject_kill(names::PBCOM);
+    let kill_at = s.inject_kill(names::PBCOM).expect("known component");
     s.run_for(SimDuration::from_secs(90));
     // During the ~22s outage no frames flow.
     let during = telemetry_frames(s.trace(), kill_at, kill_at + SimDuration::from_secs(20));
