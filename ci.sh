@@ -25,6 +25,28 @@ if ! cargo test -q -p rr-harness --test golden; then
     exit 1
 fi
 
+# Static verification next: the full built-in audit (trees I-V x
+# paper/hardened, models, suspicions, plans, algebra claims, golden
+# scenarios) must be spotless — warnings included — and the lint fixtures
+# must behave: the clean script passes, the deliberately broken one fails.
+# On a surprise the JSON report is printed so CI logs carry the findings.
+RR_LINT=target/release/rr-lint
+if ! "$RR_LINT" --deny-warnings; then
+    set +x
+    echo "==== rr-lint: built-in audit is no longer clean ===="
+    "$RR_LINT" --format json || true
+    echo "==== end rr-lint audit findings ===="
+    exit 1
+fi
+"$RR_LINT" --deny-warnings tests/lint-fixtures/clean.fault
+if "$RR_LINT" tests/lint-fixtures/broken.fault; then
+    set +x
+    echo "==== rr-lint: broken fixture was NOT rejected ===="
+    "$RR_LINT" --format json tests/lint-fixtures/broken.fault || true
+    echo "==== end rr-lint fixture findings ===="
+    exit 1
+fi
+
 cargo test -q --workspace
 cargo fmt --check
 cargo clippy --workspace --all-targets -- -D warnings

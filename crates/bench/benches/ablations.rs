@@ -1,3 +1,4 @@
+#![allow(clippy::disallowed_methods)]
 //! Ablation benchmarks for the design choices DESIGN.md calls out:
 //! restart contention, oracle error rate, the automatic tree optimizer, and
 //! the learning oracle.

@@ -1,3 +1,4 @@
+#![allow(clippy::disallowed_methods)]
 //! Benchmarks regenerating the paper's figures: the restart trees of
 //! Figures 2–6 (construction via the transformation pipeline + ASCII render)
 //! and the Figure 1 architecture (station assembly + cold start).

@@ -1,3 +1,4 @@
+#![allow(clippy::disallowed_methods)]
 //! Micro-benchmarks of the substrates: simulator event throughput, the XML
 //! command-language codec, the deterministic RNG, orbit propagation and
 //! restart-tree queries.

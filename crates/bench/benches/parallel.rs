@@ -1,3 +1,4 @@
+#![allow(clippy::disallowed_methods)]
 //! Sequential vs parallel recovery of correlated faults.
 //!
 //! Prints the group-recovery table (sequential scheduler vs the

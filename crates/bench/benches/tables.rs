@@ -1,3 +1,4 @@
+#![allow(clippy::disallowed_methods)]
 //! Benchmarks that regenerate the paper's measured tables.
 //!
 //! Each group prints the reproduced rows (paper vs measured over a handful

@@ -19,6 +19,7 @@
 //! This library crate hosts shared helpers and the timing harness.
 
 #![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::disallowed_methods))]
 #![warn(missing_docs)]
 
 pub mod harness;
@@ -64,18 +65,22 @@ pub fn recovery_trial(
         oracle.build(seed ^ 0xBEEF),
         seed,
     )
-    .expect("valid station");
+    .unwrap_or_else(|e| panic!("{}: {e:?}", "valid station"));
     station.warm_up();
     let mut phase = SimRng::new(seed ^ 0xA5A5);
     station.randomize_injection_phase(&mut phase);
     let injected = if correlated_pbcom {
-        station.inject_correlated_pbcom().expect("known component")
+        station
+            .inject_correlated_pbcom()
+            .unwrap_or_else(|e| panic!("{}: {e:?}", "known component"))
     } else {
-        station.inject_kill(component).expect("known component")
+        station
+            .inject_kill(component)
+            .unwrap_or_else(|e| panic!("{}: {e:?}", "known component"))
     };
     station.run_for(SimDuration::from_secs(150));
     measure_recovery(station.trace(), component, injected)
-        .expect("trial recovers")
+        .unwrap_or_else(|e| panic!("{}: {e:?}", "trial recovers"))
         .recovery_s()
 }
 
@@ -98,12 +103,16 @@ pub fn correlated_group_recovery(
         BenchOracle::Perfect.build(seed ^ 0xBEEF),
         seed,
     )
-    .expect("valid station");
+    .unwrap_or_else(|e| panic!("{}: {e:?}", "valid station"));
     station.warm_up();
     let mut phase = SimRng::new(seed ^ 0xA5A5);
     station.randomize_injection_phase(&mut phase);
-    let injected = station.inject_kill(a).expect("known component");
-    station.inject_kill(b).expect("known component");
+    let injected = station
+        .inject_kill(a)
+        .unwrap_or_else(|e| panic!("{}: {e:?}", "known component"));
+    station
+        .inject_kill(b)
+        .unwrap_or_else(|e| panic!("{}: {e:?}", "known component"));
     station.run_for(SimDuration::from_secs(200));
     let mut group = 0.0f64;
     for comp in [a, b] {
@@ -112,7 +121,7 @@ pub fn correlated_group_recovery(
             .mark_times(&format!("ready:{comp}"))
             .filter(|&t| t >= injected)
             .last()
-            .expect("injected component became ready again");
+            .unwrap_or_else(|| panic!("injected component became ready again"));
         group = group.max(ready.saturating_since(injected).as_secs_f64());
     }
     group

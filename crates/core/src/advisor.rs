@@ -204,7 +204,7 @@ pub fn advise(
         //    the individual ones.
         let cover = tree
             .lowest_cover(&[a.clone(), b.clone()])
-            .expect("components attached");
+            .unwrap_or_else(|_| unreachable!("components attached"));
         if cell_a != cell_b && cover == tree.root() && tree.children(tree.root()).len() > 2 {
             advice.push(Advice::Group {
                 components: vec![a.clone(), b.clone()],
@@ -223,7 +223,9 @@ pub fn advise(
             } else {
                 (b, a, cost_b / cost_a.max(1e-9))
             };
-            let expensive_cell = tree.cell_of_component(expensive).expect("attached");
+            let expensive_cell = tree
+                .cell_of_component(expensive)
+                .unwrap_or_else(|| unreachable!("cost table only names attached components"));
             let has_own_button = tree.components_under(expensive_cell) == vec![expensive.clone()];
             if ratio >= DISPARATE_COST_RATIO && has_own_button {
                 advice.push(Advice::Promote {

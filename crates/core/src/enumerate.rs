@@ -39,7 +39,10 @@ pub fn enumerate_trees(components: &[String]) -> Vec<RestartTree> {
     let mut memo = BTreeMap::new();
     enumerate_specs(components.to_vec(), &mut memo)
         .into_iter()
-        .map(|spec| spec.build().expect("enumerated specs are valid"))
+        .map(|spec| {
+            spec.build()
+                .unwrap_or_else(|e| unreachable!("enumerated specs are valid: {e}"))
+        })
         .collect()
 }
 
@@ -153,7 +156,7 @@ pub fn exhaustive_best(
             best = Some((tree, c));
         }
     }
-    Ok(best.expect("at least one tree enumerated"))
+    Ok(best.unwrap_or_else(|| unreachable!("at least one tree enumerated")))
 }
 
 #[cfg(test)]

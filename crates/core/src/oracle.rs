@@ -369,7 +369,9 @@ impl Oracle for LearningOracle {
                 return cell;
             }
         }
-        *path.last().expect("path includes the root")
+        *path
+            .last()
+            .unwrap_or_else(|| unreachable!("path includes the root"))
     }
 
     fn observe(&mut self, failure: &Failure, outcome: RestartOutcome) {

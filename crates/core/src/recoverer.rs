@@ -238,7 +238,10 @@ impl<O: Oracle> Recoverer<O> {
             });
             let Some(key) = absorbed else { break };
             self.merges += 1;
-            let ep = self.episodes.remove(&key).expect("episode key just seen");
+            let ep = self
+                .episodes
+                .remove(&key)
+                .unwrap_or_else(|| unreachable!("episode key just seen"));
             if let Some(n) = ep.last_node {
                 if n != node {
                     node = self.tree.lca(node, n);
@@ -267,7 +270,10 @@ impl<O: Oracle> Recoverer<O> {
                 self.episodes.remove(origin);
             }
         }
-        let episode = self.episodes.get_mut(&owner).expect("owner episode open");
+        let episode = self
+            .episodes
+            .get_mut(&owner)
+            .unwrap_or_else(|| unreachable!("owner episode open"));
         episode.attempt = attempt;
         episode.last_node = Some(node);
         episode.in_flight = true;
@@ -323,7 +329,8 @@ impl<O: Oracle> Recoverer<O> {
             attempts.insert(component.clone(), attempt);
             suspicions.push(Suspicion { component, cell });
         }
-        let plan = plan_episodes(&self.tree, &suspicions).expect("oracle cells are live");
+        let plan = plan_episodes(&self.tree, &suspicions)
+            .unwrap_or_else(|e| unreachable!("oracle cells are live: {e}"));
         for planned in plan.episodes {
             // Deepest escalation among the merged origins carries over; the
             // owner is the first origin (deterministic: sorted order).

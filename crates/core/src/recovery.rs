@@ -97,7 +97,9 @@ impl RecoveryLadder {
     /// the last rung is a restart).
     pub fn new(rungs: Vec<RecoveryProcedure>) -> RecoveryLadder {
         assert!(!rungs.is_empty(), "empty recovery ladder");
-        let last = rungs.last().expect("non-empty");
+        let last = rungs
+            .last()
+            .unwrap_or_else(|| unreachable!("asserted non-empty"));
         assert!(
             (last.cure_probability - 1.0).abs() < 1e-12,
             "the final rung must be a guaranteed cure (A_cure); got {}",
@@ -140,7 +142,10 @@ impl RecoveryLadder {
     /// Expected cost if the ladder skipped straight to its final rung —
     /// the plain-restart baseline the cheaper rungs are trying to beat.
     pub fn final_rung_cost_s(&self) -> f64 {
-        self.rungs.last().expect("non-empty").cost_s
+        self.rungs
+            .last()
+            .unwrap_or_else(|| unreachable!("ladder is never empty"))
+            .cost_s
     }
 
     /// `true` if attempting the cheap rungs first is worthwhile in
@@ -158,7 +163,11 @@ impl RecoveryLadder {
         //   cost_i + (1 - p_i) * redetect < p_i * E_rest
         // where E_rest is the expected cost of everything after it. Compute
         // from the back.
-        let mut kept: Vec<RecoveryProcedure> = vec![self.rungs.last().expect("non-empty").clone()];
+        let mut kept: Vec<RecoveryProcedure> = vec![self
+            .rungs
+            .last()
+            .unwrap_or_else(|| unreachable!("ladder is never empty"))
+            .clone()];
         let mut e_rest = kept[0].cost_s;
         for rung in self.rungs.iter().rev().skip(1) {
             let attempt_cost = rung.cost_s + (1.0 - rung.cure_probability) * redetect_s;

@@ -98,7 +98,12 @@ pub fn render_dot(tree: &RestartTree) -> String {
     let mut out =
         String::from("digraph restart_tree {\n  rankdir=TB;\n  node [fontname=\"Helvetica\"];\n");
     let cells = tree.cells();
-    let index_of = |id: NodeId| cells.iter().position(|&c| c == id).expect("cell listed");
+    let index_of = |id: NodeId| {
+        cells
+            .iter()
+            .position(|&c| c == id)
+            .unwrap_or_else(|| unreachable!("cells() lists every rendered cell"))
+    };
     for &cell in &cells {
         let idx = index_of(cell);
         out.push_str(&format!(

@@ -154,7 +154,10 @@ impl RestartTree {
     ///
     /// Panics if `id` is not a live cell.
     pub fn label(&self, id: NodeId) -> &str {
-        &self.get(id).expect("live cell").label
+        &self
+            .get(id)
+            .unwrap_or_else(|_| panic!("not a live cell: {id}"))
+            .label
     }
 
     /// Renames a cell.
@@ -173,7 +176,9 @@ impl RestartTree {
     ///
     /// Panics if `id` is not a live cell.
     pub fn parent(&self, id: NodeId) -> Option<NodeId> {
-        self.get(id).expect("live cell").parent
+        self.get(id)
+            .unwrap_or_else(|_| panic!("not a live cell: {id}"))
+            .parent
     }
 
     /// Child cells in insertion order.
@@ -182,7 +187,10 @@ impl RestartTree {
     ///
     /// Panics if `id` is not a live cell.
     pub fn children(&self, id: NodeId) -> &[NodeId] {
-        &self.get(id).expect("live cell").children
+        &self
+            .get(id)
+            .unwrap_or_else(|_| panic!("not a live cell: {id}"))
+            .children
     }
 
     /// Components attached directly to this cell (not to descendants).
@@ -191,7 +199,10 @@ impl RestartTree {
     ///
     /// Panics if `id` is not a live cell.
     pub fn components_at(&self, id: NodeId) -> &[String] {
-        &self.get(id).expect("live cell").components
+        &self
+            .get(id)
+            .unwrap_or_else(|_| panic!("not a live cell: {id}"))
+            .components
     }
 
     /// `true` if the cell has no child cells.
@@ -244,7 +255,9 @@ impl RestartTree {
         let mut out = Vec::new();
         let mut stack = vec![id];
         while let Some(n) = stack.pop() {
-            let data = self.get(n).expect("live cell");
+            let data = self
+                .get(n)
+                .unwrap_or_else(|_| panic!("not a live cell: {n}"));
             out.extend(data.components.iter().cloned());
             stack.extend(data.children.iter().copied());
         }
@@ -324,7 +337,7 @@ impl RestartTree {
         *up_a
             .iter()
             .find(|n| up_b.contains(n))
-            .expect("cells of one tree always share the root")
+            .unwrap_or_else(|| unreachable!("cells of one tree always share the root"))
     }
 
     /// The lowest cell whose subtree covers every component in `names` — the
@@ -346,7 +359,9 @@ impl RestartTree {
             let other_set: BTreeSet<NodeId> = other.into_iter().collect();
             path.retain(|n| other_set.contains(n));
         }
-        Ok(*path.first().expect("paths always share the root"))
+        Ok(*path
+            .first()
+            .unwrap_or_else(|| unreachable!("paths always share the root")))
     }
 
     /// Every restart group in the tree, as `(cell, components restarted by
@@ -395,7 +410,9 @@ impl RestartTree {
                 format!("cell {id} still has children or components"),
             ));
         }
-        let parent = data.parent.expect("non-root has a parent");
+        let parent = data
+            .parent
+            .unwrap_or_else(|| unreachable!("non-root has a parent"));
         self.nodes[parent.0].children.retain(|&c| c != id);
         self.nodes[id.0].alive = false;
         Ok(())
@@ -418,7 +435,10 @@ impl RestartTree {
             }
             cur = self.parent(n);
         }
-        let old_parent = self.get(child)?.parent.expect("non-root has a parent");
+        let old_parent = self
+            .get(child)?
+            .parent
+            .unwrap_or_else(|| unreachable!("non-root has a parent"));
         self.nodes[old_parent.0].children.retain(|&c| c != child);
         self.nodes[child.0].parent = Some(new_parent);
         self.nodes[new_parent.0].children.push(child);

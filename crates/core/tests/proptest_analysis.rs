@@ -1,3 +1,4 @@
+#![allow(clippy::disallowed_methods)]
 //! Property tests for the analytic MTTR model, encoding the paper's own
 //! monotonicity arguments:
 //!

@@ -1,3 +1,4 @@
+#![allow(clippy::disallowed_methods)]
 //! Property tests for the parallel recovery scheduler (DESIGN.md §7).
 //!
 //! For random trees and random concurrent suspicion sets, the episode plan

@@ -1,3 +1,4 @@
+#![allow(clippy::disallowed_methods)]
 //! Property tests for restart-tree invariants (DESIGN.md §8).
 //!
 //! Random sequences of the paper's transformations, applied to random valid

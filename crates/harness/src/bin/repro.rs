@@ -91,7 +91,11 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         for variant in TreeVariant::ALL {
-            let dot = rr_core::render::render_dot(&variant.tree().expect("paper tree builds"));
+            let dot = rr_core::render::render_dot(
+                &variant
+                    .tree()
+                    .unwrap_or_else(|e| panic!("{}: {e:?}", "paper tree builds")),
+            );
             let path = format!("{dir}/tree_{variant}.dot");
             if let Err(e) = std::fs::write(&path, dot) {
                 eprintln!("failed to write {path}: {e}");

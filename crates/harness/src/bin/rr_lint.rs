@@ -1,0 +1,271 @@
+//! `rr-lint`: static verification of the station's configuration surface
+//! before anything runs.
+//!
+//! With no file arguments the default audit lints every restart tree variant
+//! (I–V) under both shipped configurations ([`StationConfig::paper`] and
+//! [`StationConfig::hardened`]), the failure models against the trees they
+//! describe, a full per-component suspicion/episode-plan round trip, the
+//! MTTF/MTTR algebra claims derived from the paper model, and every golden
+//! scenario's fault script. Any `.fault` script files passed as arguments are
+//! linted against the union of the station's component names.
+//!
+//! ```text
+//! rr-lint [--format human|json] [--deny-warnings] [script.fault ...]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` deny diagnostics present (or any diagnostic
+//! with `--deny-warnings`), `2` usage or I/O error.
+
+use std::process::ExitCode;
+
+use mercury::config::{names, StationConfig};
+use mercury::station::TreeVariant;
+use rr_core::analysis::{group_mttf_bound_s, group_mttr_bound_s};
+use rr_core::model::FailureModel;
+use rr_core::schedule::{plan_episodes, Suspicion};
+use rr_core::tree::RestartTree;
+use rr_harness::golden::{golden_scenarios, lint_scenario};
+use rr_lint::{
+    catalog, lint_algebra, lint_fault_script, lint_model, lint_plan, lint_suspicions, Diagnostic,
+    GroupClaim, MemberStat, Report, ScriptContext,
+};
+
+/// Output rendering for the final report.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Human,
+    Json,
+}
+
+struct Options {
+    format: Format,
+    deny_warnings: bool,
+    scripts: Vec<String>,
+}
+
+const USAGE: &str = "usage: rr-lint [--format human|json] [--deny-warnings] [script.fault ...]
+
+Statically verifies restart trees, policies, failure models, oracle
+suspicions, episode plans, MTTF/MTTR claims, and fault scripts. Exit
+code 0 = clean, 1 = findings, 2 = usage or I/O error.";
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        format: Format::Human,
+        deny_warnings: false,
+        scripts: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--format" => {
+                let value = it.next().ok_or("--format needs a value (human|json)")?;
+                opts.format = match value.as_str() {
+                    "human" => Format::Human,
+                    "json" => Format::Json,
+                    other => return Err(format!("unknown format {other:?} (human|json)")),
+                };
+            }
+            "--deny-warnings" => opts.deny_warnings = true,
+            "--help" | "-h" => return Err(String::new()),
+            flag if flag.starts_with('-') => return Err(format!("unknown flag {flag:?}")),
+            path => opts.scripts.push(path.to_string()),
+        }
+    }
+    Ok(opts)
+}
+
+/// Re-roots every diagnostic path under `prefix` so findings from different
+/// configurations and variants stay distinguishable in one merged report.
+fn prefixed(report: Report, prefix: &str) -> Report {
+    let mut out = Report::new();
+    for mut d in report.into_diagnostics() {
+        d.path = format!("{prefix}::{}", d.path);
+        out.push(d);
+    }
+    out
+}
+
+/// The failure models that describe a given variant's component set.
+fn models_for(cfg: &StationConfig, variant: TreeVariant) -> Vec<(&'static str, FailureModel)> {
+    if variant.is_split() {
+        vec![
+            ("paper-model", cfg.paper_failure_model()),
+            ("advisory-model", cfg.advisory_failure_model()),
+        ]
+    } else {
+        vec![("unsplit-model", cfg.unsplit_failure_model())]
+    }
+}
+
+/// One covering suspicion per component: the oracle's ground state. Every
+/// entry must survive [`lint_suspicions`] and plan into a clean episode set.
+fn ground_suspicions(tree: &RestartTree) -> Vec<Suspicion> {
+    tree.components()
+        .iter()
+        .filter_map(|comp| Suspicion::covering(tree, comp.clone(), &[comp.as_str()]).ok())
+        .collect()
+}
+
+/// §3.2 algebra claims for every multi-component cell, with member MTTFs
+/// from the failure model and member MTTRs from the configuration's
+/// detection + boot timing. The claims are stated at the paper's bounds, so
+/// a finding here means the algebra checker and the analysis module disagree.
+fn algebra_claims(
+    cfg: &StationConfig,
+    tree: &RestartTree,
+    model: &FailureModel,
+) -> Vec<GroupClaim> {
+    let cost = cfg.cost_model();
+    let mut claims = Vec::new();
+    for cell in tree.cells() {
+        let comps = tree.components_under(cell);
+        if comps.len() < 2 {
+            continue;
+        }
+        let members: Vec<MemberStat> = comps
+            .iter()
+            .filter_map(|c| {
+                let mttf_s = model.component_mttf_s(c)?;
+                let mttr_s = cfg.mean_detection_s() + cost.boot_s(c).unwrap_or(0.0);
+                Some(MemberStat {
+                    name: c.clone(),
+                    mttf_s,
+                    mttr_s,
+                })
+            })
+            .collect();
+        if members.is_empty() {
+            continue;
+        }
+        let mttf_s = group_mttf_bound_s(&members.iter().map(|m| m.mttf_s).collect::<Vec<_>>());
+        let mttr_s = group_mttr_bound_s(&members.iter().map(|m| m.mttr_s).collect::<Vec<_>>());
+        claims.push(GroupClaim {
+            group: tree.label(cell).to_string(),
+            mttf_s,
+            mttr_s,
+            members,
+        });
+    }
+    claims
+}
+
+/// Lints the whole built-in configuration surface.
+fn lint_defaults() -> Report {
+    let mut report = Report::new();
+    for (cfg_name, cfg) in [
+        ("paper", StationConfig::paper()),
+        ("hardened", StationConfig::hardened()),
+    ] {
+        for variant in TreeVariant::ALL {
+            let prefix = format!("{cfg_name}/tree-{variant}");
+            let tree = match variant.tree() {
+                Ok(t) => t,
+                Err(e) => {
+                    report.push(Diagnostic::new(
+                        &catalog::TREE_MALFORMED,
+                        prefix,
+                        format!("tree variant {variant} does not build: {e}"),
+                    ));
+                    continue;
+                }
+            };
+            report.merge(prefixed(cfg.lint(&tree), &prefix));
+            for (model_name, model) in models_for(&cfg, variant) {
+                report.merge(prefixed(
+                    lint_model(&model, &tree),
+                    &format!("{prefix}/{model_name}"),
+                ));
+            }
+            let suspicions = ground_suspicions(&tree);
+            report.merge(prefixed(
+                lint_suspicions(&tree, &suspicions),
+                &format!("{prefix}/oracle"),
+            ));
+            match plan_episodes(&tree, &suspicions) {
+                Ok(plan) => report.merge(prefixed(
+                    lint_plan(&tree, &plan),
+                    &format!("{prefix}/planner"),
+                )),
+                Err(e) => report.push(Diagnostic::new(
+                    &catalog::PLAN_UNKNOWN_CELL,
+                    format!("{prefix}/planner"),
+                    format!("episode planning failed: {e}"),
+                )),
+            }
+            // Algebra only varies with the model, not the config's FD knobs;
+            // once per variant is enough.
+            if cfg_name == "paper" {
+                for (model_name, model) in models_for(&cfg, variant) {
+                    report.merge(prefixed(
+                        lint_algebra(&algebra_claims(&cfg, &tree, &model)),
+                        &format!("{prefix}/{model_name}"),
+                    ));
+                }
+            }
+        }
+    }
+    for sc in golden_scenarios() {
+        report.merge(prefixed(lint_scenario(&sc), &format!("golden/{}", sc.name)));
+    }
+    report
+}
+
+/// Lints one fault-script file against the union of split and unsplit
+/// component names under the paper configuration's detector.
+fn lint_script_file(path: &str) -> Result<Report, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+    let mut components: Vec<String> = names::UNSPLIT.iter().map(|s| s.to_string()).collect();
+    for name in names::SPLIT {
+        if !components.iter().any(|c| c == name) {
+            components.push(name.to_string());
+        }
+    }
+    let infrastructure = [names::FD.to_string(), names::REC.to_string()];
+    let fd = StationConfig::paper().fd_params();
+    let ctx = ScriptContext {
+        components: &components,
+        infrastructure: &infrastructure,
+        fd: Some(&fd),
+    };
+    Ok(prefixed(lint_fault_script(&text, &ctx), path))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            if msg.is_empty() {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("rr-lint: {msg}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut report = if opts.scripts.is_empty() {
+        lint_defaults()
+    } else {
+        Report::new()
+    };
+    for path in &opts.scripts {
+        match lint_script_file(path) {
+            Ok(r) => report.merge(r),
+            Err(msg) => {
+                eprintln!("rr-lint: {msg}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    match opts.format {
+        Format::Human => print!("{}", report.to_human()),
+        Format::Json => println!("{}", report.to_json()),
+    }
+    let failing = report.has_deny() || (opts.deny_warnings && !report.is_clean());
+    if failing {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -148,6 +148,26 @@ impl ChaosReport {
 /// `cure_deadline_s` to cure or quarantine. The trace is then audited for the
 /// module-level invariants.
 pub fn run_campaign(variant: TreeVariant, cfg: &ChaosConfig) -> ChaosReport {
+    // Static verification gate: an ill-formed configuration is refused
+    // before anything runs, reported through the campaign's own violation
+    // channel rather than a panic deep inside the simulation.
+    if let Ok(tree) = variant.tree() {
+        let lint = cfg.station.lint(&tree);
+        if lint.has_deny() {
+            return ChaosReport {
+                variant,
+                injections: Vec::new(),
+                restarts: BTreeMap::new(),
+                violations: lint
+                    .diagnostics()
+                    .iter()
+                    .filter(|d| d.severity() == rr_lint::Severity::Deny)
+                    .map(|d| format!("rr-lint {} at {}: {}", d.code(), d.path, d.message))
+                    .collect(),
+                telemetry: Registry::new(),
+            };
+        }
+    }
     let mut rng = SimRng::new(
         cfg.seed
             .wrapping_add((variant as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
@@ -159,7 +179,7 @@ pub fn run_campaign(variant: TreeVariant, cfg: &ChaosConfig) -> ChaosReport {
         Box::new(PerfectOracle::new()),
         station_seed,
     )
-    .expect("valid station");
+    .unwrap_or_else(|e| panic!("{}: {e:?}", "valid station"));
     station.warm_up();
     if cfg.link_loss > 0.0 {
         station.degrade_all_links(Some(LinkQuality::lossy(cfg.link_loss)));
@@ -177,16 +197,22 @@ pub fn run_campaign(variant: TreeVariant, cfg: &ChaosConfig) -> ChaosReport {
         let component = loop {
             let c = rng
                 .choose(&components)
-                .expect("variant has components")
+                .unwrap_or_else(|| panic!("variant has components"))
                 .clone();
             if kind != ChaosFault::Zombie || c != names::MBUS {
                 break c;
             }
         };
         let at = match kind {
-            ChaosFault::Crash => station.inject_kill(&component).expect("known component"),
-            ChaosFault::Hang => station.inject_hang(&component).expect("known component"),
-            ChaosFault::Zombie => station.inject_zombie(&component).expect("known component"),
+            ChaosFault::Crash => station
+                .inject_kill(&component)
+                .unwrap_or_else(|e| panic!("{}: {e:?}", "known component")),
+            ChaosFault::Hang => station
+                .inject_hang(&component)
+                .unwrap_or_else(|e| panic!("{}: {e:?}", "known component")),
+            ChaosFault::Zombie => station
+                .inject_zombie(&component)
+                .unwrap_or_else(|e| panic!("{}: {e:?}", "known component")),
         };
         let deadline = at + SimDuration::from_secs_f64(cfg.cure_deadline_s);
         let cured_label = format!("cured:{component}");
@@ -442,7 +468,7 @@ pub fn experiment(run: crate::RunConfig) -> crate::Experiment {
         Box::new(PerfectOracle::new()),
         run.seed,
     )
-    .expect("valid station");
+    .unwrap_or_else(|e| panic!("{}: {e:?}", "valid station"));
     station.warm_up();
     station.degrade_all_links(Some(LinkQuality::lossy(0.05)));
     let start = station.now();

@@ -150,13 +150,17 @@ pub fn measure_cell_samples(
             oracle.build(seed ^ 0xBEEF),
             seed,
         )
-        .expect("valid station");
+        .unwrap_or_else(|e| panic!("{}: {e:?}", "valid station"));
         station.warm_up();
         station.randomize_injection_phase(&mut phase_rng);
         let injected = if correlated_pbcom {
-            station.inject_correlated_pbcom().expect("known component")
+            station
+                .inject_correlated_pbcom()
+                .unwrap_or_else(|e| panic!("{}: {e:?}", "known component"))
         } else {
-            station.inject_kill(component).expect("known component")
+            station
+                .inject_kill(component)
+                .unwrap_or_else(|e| panic!("{}: {e:?}", "known component"))
         };
         // Long enough for the worst escalated episode (≈48 s) plus slack.
         station.run_for(SimDuration::from_secs(150));
@@ -220,20 +224,28 @@ pub fn measure_correlated(
         let mut cfg = StationConfig::paper();
         cfg.serial_recovery = serial;
         let mut station = Station::new(cfg, variant, Box::new(PerfectOracle::new()), seed)
-            .expect("valid station");
+            .unwrap_or_else(|e| panic!("{}: {e:?}", "valid station"));
         station.warm_up();
         station.randomize_injection_phase(&mut phase_rng);
         let injected = match kind {
             CorrelatedKind::Pair(a, b) => {
-                let at = station.inject_kill(a).expect("known component");
-                station.inject_kill(b).expect("known component");
+                let at = station
+                    .inject_kill(a)
+                    .unwrap_or_else(|e| panic!("{}: {e:?}", "known component"));
+                station
+                    .inject_kill(b)
+                    .unwrap_or_else(|e| panic!("{}: {e:?}", "known component"));
                 at
             }
             CorrelatedKind::FedrThenJointPbcom => {
-                let at = station.inject_kill(names::FEDR).expect("known component");
+                let at = station
+                    .inject_kill(names::FEDR)
+                    .unwrap_or_else(|e| panic!("{}: {e:?}", "known component"));
                 station.run_for(SimDuration::from_secs(1));
                 station.set_cure_hint(names::PBCOM, [names::FEDR, names::PBCOM]);
-                station.inject_kill(names::PBCOM).expect("known component");
+                station
+                    .inject_kill(names::PBCOM)
+                    .unwrap_or_else(|e| panic!("{}: {e:?}", "known component"));
                 at
             }
         };
@@ -321,10 +333,14 @@ pub fn correlated_faults(run: RunConfig) -> Experiment {
     for (label, variant, kind) in scenarios {
         let serial = measure_correlated(variant, kind, true, run);
         let parallel = measure_correlated(variant, kind, false, run);
-        let tree = variant.tree().expect("paper tree builds");
+        let tree = variant
+            .tree()
+            .unwrap_or_else(|e| panic!("{}: {e:?}", "paper tree builds"));
         let modes = kind.modes();
-        let a_seq = expected_serial_group_recovery_s(&tree, &modes, &cost).expect("valid modes");
-        let a_par = expected_parallel_group_recovery_s(&tree, &modes, &cost).expect("valid modes");
+        let a_seq = expected_serial_group_recovery_s(&tree, &modes, &cost)
+            .unwrap_or_else(|e| panic!("{}: {e:?}", "valid modes"));
+        let a_par = expected_parallel_group_recovery_s(&tree, &modes, &cost)
+            .unwrap_or_else(|e| panic!("{}: {e:?}", "valid modes"));
         table.push_row(vec![
             label.clone(),
             secs(serial.mean),
@@ -384,7 +400,9 @@ pub fn table1(run: RunConfig) -> Experiment {
     ];
     let mut rng = SimRng::new(run.seed);
     for (comp, paper_mttf, paper_str) in paper {
-        let configured = model.component_mttf_s(comp).expect("mode exists");
+        let configured = model
+            .component_mttf_s(comp)
+            .unwrap_or_else(|| panic!("mode exists"));
         let dist = Dist::exponential(configured);
         let n = 5000;
         let mean = (0..n).map(|_| dist.sample_secs(&mut rng)).sum::<f64>() / n as f64;
@@ -569,7 +587,10 @@ pub fn table4(run: RunConfig) -> Experiment {
     let cfg = StationConfig::paper();
     let cost = cfg.cost_model();
     for row in table4_rows() {
-        let tree = row.variant.tree().expect("paper tree builds");
+        let tree = row
+            .variant
+            .tree()
+            .unwrap_or_else(|e| panic!("{}: {e:?}", "paper tree builds"));
         for (comp, paper, correlated) in &row.cells {
             let s = measure_cell(row.variant, row.oracle, comp, *correlated, run);
             // Analytic cross-check.
@@ -582,8 +603,8 @@ pub fn table4(run: RunConfig) -> Experiment {
                 OracleKind::Perfect | OracleKind::Learning => OracleQuality::Perfect,
                 OracleKind::Faulty(p) => OracleQuality::Faulty { undershoot: p },
             };
-            let analytic =
-                expected_mode_recovery_s(&tree, &mode, &cost, quality).expect("mode valid");
+            let analytic = expected_mode_recovery_s(&tree, &mode, &cost, quality)
+                .unwrap_or_else(|e| panic!("{}: {e:?}", "mode valid"));
             table.push_row(vec![
                 row.label.to_string(),
                 comp.to_string(),
@@ -616,7 +637,7 @@ pub fn figures(_run: RunConfig) -> Experiment {
                 .with_child(rr_core::TreeSpec::cell("R_C").with_component("C")),
         )
         .build()
-        .expect("figure 2 tree");
+        .unwrap_or_else(|e| panic!("{}: {e:?}", "figure 2 tree"));
     exp.blocks.push(format!(
         "Figure 2 (example restart tree):\n{}",
         render_tree(&fig2)
@@ -639,8 +660,11 @@ pub fn figures(_run: RunConfig) -> Experiment {
         ],
     );
     for variant in TreeVariant::ALL {
-        let tree = variant.tree().expect("paper tree builds");
-        tree.validate().expect("paper trees are valid");
+        let tree = variant
+            .tree()
+            .unwrap_or_else(|e| panic!("{}: {e:?}", "paper tree builds"));
+        tree.validate()
+            .unwrap_or_else(|e| panic!("{}: {e:?}", "paper trees are valid"));
         exp.blocks.push(format!(
             "Tree {variant} (Figure {}):\n{}",
             match variant {
@@ -688,7 +712,9 @@ pub fn figures(_run: RunConfig) -> Experiment {
     );
     for variant in [TreeVariant::III, TreeVariant::IV, TreeVariant::V] {
         let advice = rr_core::advisor::advise(
-            &variant.tree().expect("paper tree builds"),
+            &variant
+                .tree()
+                .unwrap_or_else(|e| panic!("{}: {e:?}", "paper tree builds")),
             &model,
             &cost,
             rr_core::advisor::OracleAssumption::MayErr,
@@ -753,13 +779,16 @@ pub fn headline(run: RunConfig) -> Experiment {
             "faulty(0.3)",
         ),
     ] {
-        let tree = variant.tree().expect("paper tree builds");
+        let tree = variant
+            .tree()
+            .unwrap_or_else(|e| panic!("{}: {e:?}", "paper tree builds"));
         let model = if variant.is_split() {
             cfg.paper_failure_model()
         } else {
             cfg.unsplit_failure_model()
         };
-        let mttr = expected_system_mttr_s(&tree, &model, &cost, quality).expect("valid model");
+        let mttr = expected_system_mttr_s(&tree, &model, &cost, quality)
+            .unwrap_or_else(|e| panic!("{}: {e:?}", "valid model"));
         let avail = availability(model.system_mttf_s(), mttr);
         let downtime_month = (1.0 - avail) * 30.44 * 86_400.0;
         table.push_row(vec![
@@ -776,7 +805,10 @@ pub fn headline(run: RunConfig) -> Experiment {
             tree_v_mttr = Some(mttr);
         }
     }
-    let (i, v) = (tree_i_mttr.expect("tree I"), tree_v_mttr.expect("tree V"));
+    let (i, v) = (
+        tree_i_mttr.unwrap_or_else(|| panic!("tree I")),
+        tree_v_mttr.unwrap_or_else(|| panic!("tree V")),
+    );
     exp.blocks.push(format!(
         "Recovery-time improvement, tree I → tree V: {:.2}x (paper claims ~4x)\n",
         i / v
@@ -831,7 +863,7 @@ pub fn pass_data_loss(run: RunConfig) -> Experiment {
                 cfg.pass_epoch_offset_s = plan.epoch_offset_s;
                 let mut station =
                     Station::new(cfg.clone(), variant, Box::new(PerfectOracle::new()), seed)
-                        .expect("valid station");
+                        .unwrap_or_else(|e| panic!("{}: {e:?}", "valid station"));
                 station.warm_up();
                 let start = station.now();
                 plan.start_tracking(&mut station);
@@ -841,7 +873,9 @@ pub fn pass_data_loss(run: RunConfig) -> Experiment {
                     let until = rise + SimDuration::from_secs(120);
                     let dur = until.saturating_since(station.now());
                     station.run_for(dur);
-                    station.inject_kill(names::RTU).expect("known component");
+                    station
+                        .inject_kill(names::RTU)
+                        .unwrap_or_else(|e| panic!("{}: {e:?}", "known component"));
                 }
                 let end = plan.set_sim_time() + SimDuration::from_secs(10);
                 let dur = end.saturating_since(station.now());
@@ -894,8 +928,12 @@ pub fn ablation_oracle_sweep(run: RunConfig) -> Experiment {
             "V wins".into(),
         ],
     );
-    let tree_iv = TreeVariant::IV.tree().expect("paper tree builds");
-    let tree_v = TreeVariant::V.tree().expect("paper tree builds");
+    let tree_iv = TreeVariant::IV
+        .tree()
+        .unwrap_or_else(|e| panic!("{}: {e:?}", "paper tree builds"));
+    let tree_v = TreeVariant::V
+        .tree()
+        .unwrap_or_else(|e| panic!("{}: {e:?}", "paper tree builds"));
     // The 30%-mixture has high per-trial variance; use the full trial budget
     // for the simulated spot check.
     let trials = run.trials.max(5);
@@ -906,14 +944,14 @@ pub fn ablation_oracle_sweep(run: RunConfig) -> Experiment {
             &cost,
             OracleQuality::Faulty { undershoot: p },
         )
-        .expect("valid");
+        .unwrap_or_else(|e| panic!("{}: {e:?}", "valid"));
         let v = expected_mode_recovery_s(
             &tree_v,
             &mode,
             &cost,
             OracleQuality::Faulty { undershoot: p },
         )
-        .expect("valid");
+        .unwrap_or_else(|e| panic!("{}: {e:?}", "valid"));
         // Spot-check one simulated point per rate.
         if (p - 0.3).abs() < 1e-9 {
             let sim = measure_cell(
@@ -970,13 +1008,16 @@ pub fn ablation_ping_period(run: RunConfig) -> Experiment {
             cfg.cure_confirm_s = cfg.poison_crash_delay_s + cfg.mean_detection_s() + 1.0;
             let mut station =
                 Station::new(cfg, TreeVariant::II, Box::new(PerfectOracle::new()), seed)
-                    .expect("valid station");
+                    .unwrap_or_else(|e| panic!("{}: {e:?}", "valid station"));
             station.warm_up();
             let mut phase_rng = SimRng::new(seed ^ 0xA5A5);
             station.randomize_injection_phase(&mut phase_rng);
-            let injected = station.inject_kill(names::RTU).expect("known component");
+            let injected = station
+                .inject_kill(names::RTU)
+                .unwrap_or_else(|e| panic!("{}: {e:?}", "known component"));
             station.run_for(SimDuration::from_secs(90));
-            let m = measure_recovery(station.trace(), names::RTU, injected).expect("recovered");
+            let m = measure_recovery(station.trace(), names::RTU, injected)
+                .unwrap_or_else(|e| panic!("{}: {e:?}", "recovered"));
             samples.push(m.recovery_s());
         }
         let s = Summary::of(&samples);
@@ -1012,15 +1053,18 @@ pub fn ablation_learning(run: RunConfig) -> Experiment {
         Box::new(LearningOracle::new(0.5)),
         run.seed + 31,
     )
-    .expect("valid station");
+    .unwrap_or_else(|e| panic!("{}: {e:?}", "valid station"));
     station.warm_up();
     let episodes = 6;
     let mut first_attempts = 0;
     let mut last_attempts = 0;
     for ep in 0..episodes {
-        let injected = station.inject_correlated_pbcom().expect("known component");
+        let injected = station
+            .inject_correlated_pbcom()
+            .unwrap_or_else(|e| panic!("{}: {e:?}", "known component"));
         station.run_for(SimDuration::from_secs(150));
-        let m = measure_recovery(station.trace(), names::PBCOM, injected).expect("recovered");
+        let m = measure_recovery(station.trace(), names::PBCOM, injected)
+            .unwrap_or_else(|e| panic!("{}: {e:?}", "recovered"));
         table.push_row(vec![
             (ep + 1).to_string(),
             m.attempts.to_string(),
@@ -1059,7 +1103,7 @@ pub fn ablation_optimizer(_run: RunConfig) -> Experiment {
     let start = rr_core::TreeSpec::cell("mercury")
         .with_components(names::SPLIT)
         .build()
-        .expect("tree I over split components");
+        .unwrap_or_else(|e| panic!("{}: {e:?}", "tree I over split components"));
 
     for (quality, label) in [
         (OracleQuality::Perfect, "perfect oracle"),
@@ -1069,7 +1113,7 @@ pub fn ablation_optimizer(_run: RunConfig) -> Experiment {
         ),
     ] {
         let opt = optimize_tree(&start, &model, &cost, quality, OptimizerConfig::default())
-            .expect("optimizable");
+            .unwrap_or_else(|e| panic!("{}: {e:?}", "optimizable"));
         let derivation: Vec<String> = opt.derivation.iter().map(|m| format!("  - {m}")).collect();
         exp.blocks.push(format!(
             "Optimized tree under {label} (expected MTTR {:.2}s):\n{}\nDerivation:\n{}\n",
@@ -1129,7 +1173,7 @@ pub fn endurance(run: RunConfig) -> Experiment {
             let seed = run.seed + 100 + t as u64;
             let mut station =
                 Station::new(cfg.clone(), variant, Box::new(PerfectOracle::new()), seed)
-                    .expect("valid station");
+                    .unwrap_or_else(|e| panic!("{}: {e:?}", "valid station"));
             station.warm_up();
             let start = station.now();
             let horizon = start + SimDuration::from_secs_f64(horizon_s);
@@ -1162,10 +1206,14 @@ pub fn endurance(run: RunConfig) -> Experiment {
                 let wait = at.saturating_since(station.now());
                 station.run_for(wait);
                 // Skip if the component is already down (overlapping faults).
-                if station.state_of(&target).expect("known component")
+                if station
+                    .state_of(&target)
+                    .unwrap_or_else(|e| panic!("{}: {e:?}", "known component"))
                     == rr_sim::ProcessState::Running
                 {
-                    station.inject_kill(&target).expect("known component");
+                    station
+                        .inject_kill(&target)
+                        .unwrap_or_else(|e| panic!("{}: {e:?}", "known component"));
                 }
             }
             let rest = horizon.saturating_since(station.now());
@@ -1205,7 +1253,9 @@ fn expected_availability_for(
 ) -> Option<f64> {
     use rr_core::analysis::expected_availability;
     expected_availability(
-        &variant.tree().expect("paper tree builds"),
+        &variant
+            .tree()
+            .unwrap_or_else(|e| panic!("{}: {e:?}", "paper tree builds")),
         model,
         cost,
         OracleQuality::Perfect,
@@ -1237,7 +1287,7 @@ pub fn ablation_rejuvenation(run: RunConfig) -> Experiment {
             Box::new(PerfectOracle::new()),
             run.seed + 55,
         )
-        .expect("valid station");
+        .unwrap_or_else(|e| panic!("{}: {e:?}", "valid station"));
         station.warm_up();
         let mut rng = SimRng::new(run.seed ^ 0x0DD);
         let d = Dist::exponential(600.0); // fedr MTTF: 10 minutes
@@ -1249,10 +1299,14 @@ pub fn ablation_rejuvenation(run: RunConfig) -> Experiment {
                 break;
             }
             station.run_for(gap);
-            if station.state_of(names::FEDR).expect("known component")
+            if station
+                .state_of(names::FEDR)
+                .unwrap_or_else(|e| panic!("{}: {e:?}", "known component"))
                 == rr_sim::ProcessState::Running
             {
-                station.inject_kill(names::FEDR).expect("known component");
+                station
+                    .inject_kill(names::FEDR)
+                    .unwrap_or_else(|e| panic!("{}: {e:?}", "known component"));
             }
         }
         station.run_for(SimDuration::from_secs(120));

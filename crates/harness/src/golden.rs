@@ -12,7 +12,12 @@
 //! rebases times to the scenario start so incidental warm-up drift (e.g. a
 //! longer settle window in a future config) cannot invalidate every golden.
 
-use rr_sim::{SimTime, Trace, TraceKind};
+use std::path::PathBuf;
+
+use mercury::config::{names, StationConfig};
+use mercury::station::{Station, TreeVariant};
+use rr_core::PerfectOracle;
+use rr_sim::{FaultKind, FaultScript, SimDuration, SimTime, Trace, TraceKind};
 
 /// Mark prefixes that are part of the recovery protocol and therefore part of
 /// the golden contract. Everything else (telemetry chatter, pass bookkeeping)
@@ -107,12 +112,333 @@ pub fn diff(expected: &str, actual: &str) -> Option<String> {
     Some(out)
 }
 
+/// How a golden scenario injects its fault(s).
+#[derive(Debug, Clone, Copy)]
+pub enum ScenarioKind {
+    /// Kill one component.
+    Single(&'static str),
+    /// The §4.4 poisoned-fedr correlated failure (cured only by a joint
+    /// \[fedr, pbcom\] restart).
+    CorrelatedPbcom,
+    /// Two components in independent cells killed at the same instant.
+    IndependentPair(&'static str, &'static str),
+    /// Kill `first`; after `stagger_s`, kill `second` (optionally with a
+    /// joint \[fedr, pbcom\] cure hint) while the first episode is still in
+    /// flight — the overlap forces promotion to the least common ancestor.
+    OverlapPair {
+        /// First casualty.
+        first: &'static str,
+        /// Second casualty, injected `stagger_s` later.
+        second: &'static str,
+        /// Whether the oracle gets a joint \[fedr, pbcom\] cure hint.
+        joint_hint: bool,
+        /// Delay between the two kills, seconds.
+        stagger_s: f64,
+    },
+}
+
+/// One golden-trace scenario: a tree variant, a seed, and a fault pattern.
+#[derive(Debug, Clone, Copy)]
+pub struct GoldenScenario {
+    /// Scenario (and golden file) name.
+    pub name: &'static str,
+    /// The tree variant the station operates.
+    pub variant: TreeVariant,
+    /// Deterministic simulation seed.
+    pub seed: u64,
+    /// The fault pattern injected after warm-up.
+    pub kind: ScenarioKind,
+}
+
+impl GoldenScenario {
+    /// The scenario's injections as a declarative [`FaultScript`], times
+    /// relative to the post-warm-up injection instant. This is the form the
+    /// static analyzer checks: every target must be a component of the
+    /// scenario's tree variant. (The correlated-pbcom poison is scripted as
+    /// its initiating fedr crash — the cure hint is oracle state, not a
+    /// fault.)
+    pub fn fault_script(&self) -> FaultScript {
+        match self.kind {
+            ScenarioKind::Single(comp) => {
+                FaultScript::new().with_fault(SimTime::ZERO, comp, FaultKind::Crash)
+            }
+            ScenarioKind::CorrelatedPbcom => {
+                FaultScript::new().with_fault(SimTime::ZERO, names::FEDR, FaultKind::Crash)
+            }
+            ScenarioKind::IndependentPair(a, b) => FaultScript::new()
+                .with_fault(SimTime::ZERO, a, FaultKind::Crash)
+                .with_fault(SimTime::ZERO, b, FaultKind::Crash),
+            ScenarioKind::OverlapPair {
+                first,
+                second,
+                stagger_s,
+                ..
+            } => FaultScript::new()
+                .with_fault(SimTime::ZERO, first, FaultKind::Crash)
+                .with_fault(SimTime::from_secs_f64(stagger_s), second, FaultKind::Crash),
+        }
+    }
+}
+
+/// The canonical golden-trace scenario set: single faults on every variant
+/// plus the multi-fault patterns exercising the parallel scheduler.
+pub fn golden_scenarios() -> Vec<GoldenScenario> {
+    use ScenarioKind::*;
+    vec![
+        // Single-fault scenarios: recorded before the parallel scheduler
+        // landed; byte-identity here is the "paper() unchanged on single
+        // faults" guarantee.
+        GoldenScenario {
+            name: "tree1-kill-rtu",
+            variant: TreeVariant::I,
+            seed: 0xD5_2002,
+            kind: Single(names::RTU),
+        },
+        GoldenScenario {
+            name: "tree2-kill-rtu",
+            variant: TreeVariant::II,
+            seed: 0xD5_2012,
+            kind: Single(names::RTU),
+        },
+        GoldenScenario {
+            name: "tree3-kill-rtu",
+            variant: TreeVariant::III,
+            seed: 0xD5_2022,
+            kind: Single(names::RTU),
+        },
+        GoldenScenario {
+            name: "tree4-kill-rtu",
+            variant: TreeVariant::IV,
+            seed: 0xD5_2032,
+            kind: Single(names::RTU),
+        },
+        GoldenScenario {
+            name: "tree5-kill-rtu",
+            variant: TreeVariant::V,
+            seed: 0xD5_2042,
+            kind: Single(names::RTU),
+        },
+        GoldenScenario {
+            name: "tree2-kill-fedrcom",
+            variant: TreeVariant::II,
+            seed: 0xD5_2052,
+            kind: Single(names::FEDRCOM),
+        },
+        GoldenScenario {
+            name: "tree2-kill-ses",
+            variant: TreeVariant::II,
+            seed: 0xD5_2062,
+            kind: Single(names::SES),
+        },
+        GoldenScenario {
+            name: "tree3-kill-pbcom",
+            variant: TreeVariant::III,
+            seed: 0xD5_2072,
+            kind: Single(names::PBCOM),
+        },
+        GoldenScenario {
+            name: "tree4-correlated-pbcom",
+            variant: TreeVariant::IV,
+            seed: 0xD5_2082,
+            kind: CorrelatedPbcom,
+        },
+        GoldenScenario {
+            name: "tree5-correlated-pbcom",
+            variant: TreeVariant::V,
+            seed: 0xD5_2092,
+            kind: CorrelatedPbcom,
+        },
+        // Multi-fault scenarios: concurrent suspicions exercising the
+        // parallel scheduler (independent episodes and LCA merges).
+        GoldenScenario {
+            name: "tree2-pair-rtu-ses",
+            variant: TreeVariant::II,
+            seed: 0xD5_20A2,
+            kind: IndependentPair(names::RTU, names::SES),
+        },
+        GoldenScenario {
+            name: "tree3-pair-fedr-pbcom",
+            variant: TreeVariant::III,
+            seed: 0xD5_20B2,
+            kind: IndependentPair(names::FEDR, names::PBCOM),
+        },
+        GoldenScenario {
+            name: "tree4-pair-rtu-fedr",
+            variant: TreeVariant::IV,
+            seed: 0xD5_20C2,
+            kind: IndependentPair(names::RTU, names::FEDR),
+        },
+        GoldenScenario {
+            name: "tree5-pair-rtu-ses",
+            variant: TreeVariant::V,
+            seed: 0xD5_20D2,
+            kind: IndependentPair(names::RTU, names::SES),
+        },
+        GoldenScenario {
+            name: "tree4-merge-fedr-pbcom",
+            variant: TreeVariant::IV,
+            seed: 0xD5_20E2,
+            kind: OverlapPair {
+                first: names::FEDR,
+                second: names::PBCOM,
+                joint_hint: true,
+                stagger_s: 1.0,
+            },
+        },
+        GoldenScenario {
+            name: "tree5-merge-fedr-pbcom",
+            variant: TreeVariant::V,
+            seed: 0xD5_20F2,
+            kind: OverlapPair {
+                first: names::FEDR,
+                second: names::PBCOM,
+                joint_hint: false,
+                stagger_s: 1.0,
+            },
+        },
+    ]
+}
+
+/// Statically lints one scenario before anything runs: the station
+/// configuration and tree (via [`StationConfig::lint`]) plus the scenario's
+/// [fault script](GoldenScenario::fault_script) against the variant's
+/// component set.
+pub fn lint_scenario(sc: &GoldenScenario) -> rr_lint::Report {
+    let cfg = StationConfig::paper();
+    let mut report = match sc.variant.tree() {
+        Ok(tree) => cfg.lint(&tree),
+        Err(e) => {
+            let mut r = rr_lint::Report::new();
+            r.push(rr_lint::Diagnostic::new(
+                &rr_lint::catalog::TREE_MALFORMED,
+                sc.name,
+                format!("tree variant {} does not build: {e}", sc.variant),
+            ));
+            r
+        }
+    };
+    let components = sc.variant.components();
+    let infrastructure = [names::FD.to_string(), names::REC.to_string()];
+    let fd = cfg.fd_params();
+    report.merge(rr_lint::lint_fault_script(
+        &sc.fault_script().to_text(),
+        &rr_lint::ScriptContext {
+            components: &components,
+            infrastructure: &infrastructure,
+            fd: Some(&fd),
+        },
+    ));
+    report
+}
+
+/// Runs one scenario to completion and returns its normalized trace.
+///
+/// # Panics
+///
+/// Refuses to run (panics with the rendered report) if
+/// [`lint_scenario`] produces a deny diagnostic — the golden suite must
+/// never record a trace from a configuration the analyzer rejects.
+pub fn run_golden_scenario(sc: &GoldenScenario) -> String {
+    let lint = lint_scenario(sc);
+    assert!(
+        !lint.has_deny(),
+        "scenario {} rejected by rr-lint:\n{}",
+        sc.name,
+        lint.to_human()
+    );
+    let mut station = Station::new(
+        StationConfig::paper(),
+        sc.variant,
+        Box::new(PerfectOracle::new()),
+        sc.seed,
+    )
+    .unwrap_or_else(|e| panic!("{}: {e:?}", "valid station"));
+    station.warm_up();
+    let start = station.now();
+    match &sc.kind {
+        ScenarioKind::Single(comp) => {
+            station
+                .inject_kill(comp)
+                .unwrap_or_else(|e| panic!("{}: {e:?}", "known component"));
+        }
+        ScenarioKind::CorrelatedPbcom => {
+            station
+                .inject_correlated_pbcom()
+                .unwrap_or_else(|e| panic!("{}: {e:?}", "known component"));
+        }
+        ScenarioKind::IndependentPair(a, b) => {
+            station
+                .inject_kill(a)
+                .unwrap_or_else(|e| panic!("{}: {e:?}", "known component"));
+            station
+                .inject_kill(b)
+                .unwrap_or_else(|e| panic!("{}: {e:?}", "known component"));
+        }
+        ScenarioKind::OverlapPair {
+            first,
+            second,
+            joint_hint,
+            stagger_s,
+        } => {
+            station
+                .inject_kill(first)
+                .unwrap_or_else(|e| panic!("{}: {e:?}", "known component"));
+            station.run_for(SimDuration::from_secs_f64(*stagger_s));
+            if *joint_hint {
+                station.set_cure_hint(second, [names::FEDR, names::PBCOM]);
+            }
+            station
+                .inject_kill(second)
+                .unwrap_or_else(|e| panic!("{}: {e:?}", "known component"));
+        }
+    }
+    station.run_for(SimDuration::from_secs(80));
+    normalize(station.trace(), start)
+}
+
+/// The repository-level directory holding the recorded golden traces.
+pub fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn t(secs: f64) -> SimTime {
         SimTime::from_secs_f64(secs)
+    }
+
+    #[test]
+    fn every_golden_scenario_lints_clean() {
+        for sc in golden_scenarios() {
+            let report = lint_scenario(&sc);
+            assert!(
+                report.is_clean(),
+                "scenario {} should lint clean:\n{}",
+                sc.name,
+                report.to_human()
+            );
+        }
+    }
+
+    #[test]
+    fn scenario_fault_scripts_are_parseable_and_on_target() {
+        for sc in golden_scenarios() {
+            let script = sc.fault_script();
+            let text = script.to_text();
+            assert_eq!(FaultScript::parse(&text).expect("round-trip"), script);
+            let components = sc.variant.components();
+            for fault in script.faults() {
+                assert!(
+                    components.contains(&fault.target),
+                    "{}: target {:?} not in variant {}",
+                    sc.name,
+                    fault.target,
+                    sc.variant
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,3 +1,4 @@
+#![allow(clippy::disallowed_methods)]
 //! Acceptance tests for the degraded-communication fault model.
 //!
 //! Three promises of the hardened configuration, checked end to end:

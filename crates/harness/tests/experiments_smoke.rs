@@ -1,3 +1,4 @@
+#![allow(clippy::disallowed_methods)]
 //! Smoke tests for the experiment harness: every experiment runs with a tiny
 //! trial budget and produces coherent output (tables, observations within
 //! loose tolerances, well-formed report).

@@ -1,12 +1,17 @@
+#![allow(clippy::disallowed_methods)]
 //! Golden-trace regression suite.
 //!
-//! Runs canonical single- and multi-fault recovery scenarios on every tree
-//! variant under `StationConfig::paper()` with fixed seeds, normalizes the
-//! resulting traces ([`rr_harness::golden::normalize`]) and compares them
-//! byte-for-byte against the recordings under the repository-level
-//! `tests/golden/`. Any drift in recovery ordering, episode boundaries, or
-//! cure attribution fails the build with a line diff; the actual trace is
-//! written next to the golden as `<name>.actual.txt` so CI can upload it.
+//! Runs the canonical scenario set ([`rr_harness::golden::golden_scenarios`])
+//! on every tree variant under `StationConfig::paper()` with fixed seeds,
+//! normalizes the resulting traces ([`rr_harness::golden::normalize`]) and
+//! compares them byte-for-byte against the recordings under the
+//! repository-level `tests/golden/`. Any drift in recovery ordering, episode
+//! boundaries, or cure attribution fails the build with a line diff; the
+//! actual trace is written next to the golden as `<name>.actual.txt` so CI
+//! can upload it.
+//!
+//! Every scenario is statically verified by `rr-lint` before it runs
+//! ([`rr_harness::golden::run_golden_scenario`] refuses deny diagnostics).
 //!
 //! To re-record after an intentional behaviour change:
 //!
@@ -15,203 +20,14 @@
 //! ```
 
 use std::fs;
-use std::path::PathBuf;
 
 use mercury::config::names;
 use mercury::config::StationConfig;
 use mercury::station::{Station, TreeVariant};
 use rr_core::PerfectOracle;
-use rr_harness::golden::{diff, normalize};
+use rr_harness::golden::{diff, golden_dir, golden_scenarios, run_golden_scenario};
 use rr_harness::report::render_timeline;
 use rr_sim::SimDuration;
-
-/// How a scenario injects its fault(s).
-enum Kind {
-    /// Kill one component.
-    Single(&'static str),
-    /// The §4.4 poisoned-fedr correlated failure (cured only by a joint
-    /// \[fedr, pbcom\] restart).
-    CorrelatedPbcom,
-    /// Two components in independent cells killed at the same instant.
-    IndependentPair(&'static str, &'static str),
-    /// Kill `first`; after `stagger_s`, kill `second` (optionally with a
-    /// joint \[fedr, pbcom\] cure hint) while the first episode is still in
-    /// flight — the overlap forces promotion to the least common ancestor.
-    OverlapPair {
-        first: &'static str,
-        second: &'static str,
-        joint_hint: bool,
-        stagger_s: f64,
-    },
-}
-
-struct Scenario {
-    name: &'static str,
-    variant: TreeVariant,
-    seed: u64,
-    kind: Kind,
-}
-
-fn scenarios() -> Vec<Scenario> {
-    use Kind::*;
-    vec![
-        // Single-fault scenarios: recorded before the parallel scheduler
-        // landed; byte-identity here is the "paper() unchanged on single
-        // faults" guarantee.
-        Scenario {
-            name: "tree1-kill-rtu",
-            variant: TreeVariant::I,
-            seed: 0xD5_2002,
-            kind: Single(names::RTU),
-        },
-        Scenario {
-            name: "tree2-kill-rtu",
-            variant: TreeVariant::II,
-            seed: 0xD5_2012,
-            kind: Single(names::RTU),
-        },
-        Scenario {
-            name: "tree3-kill-rtu",
-            variant: TreeVariant::III,
-            seed: 0xD5_2022,
-            kind: Single(names::RTU),
-        },
-        Scenario {
-            name: "tree4-kill-rtu",
-            variant: TreeVariant::IV,
-            seed: 0xD5_2032,
-            kind: Single(names::RTU),
-        },
-        Scenario {
-            name: "tree5-kill-rtu",
-            variant: TreeVariant::V,
-            seed: 0xD5_2042,
-            kind: Single(names::RTU),
-        },
-        Scenario {
-            name: "tree2-kill-fedrcom",
-            variant: TreeVariant::II,
-            seed: 0xD5_2052,
-            kind: Single(names::FEDRCOM),
-        },
-        Scenario {
-            name: "tree2-kill-ses",
-            variant: TreeVariant::II,
-            seed: 0xD5_2062,
-            kind: Single(names::SES),
-        },
-        Scenario {
-            name: "tree3-kill-pbcom",
-            variant: TreeVariant::III,
-            seed: 0xD5_2072,
-            kind: Single(names::PBCOM),
-        },
-        Scenario {
-            name: "tree4-correlated-pbcom",
-            variant: TreeVariant::IV,
-            seed: 0xD5_2082,
-            kind: CorrelatedPbcom,
-        },
-        Scenario {
-            name: "tree5-correlated-pbcom",
-            variant: TreeVariant::V,
-            seed: 0xD5_2092,
-            kind: CorrelatedPbcom,
-        },
-        // Multi-fault scenarios: concurrent suspicions exercising the
-        // parallel scheduler (independent episodes and LCA merges).
-        Scenario {
-            name: "tree2-pair-rtu-ses",
-            variant: TreeVariant::II,
-            seed: 0xD5_20A2,
-            kind: IndependentPair(names::RTU, names::SES),
-        },
-        Scenario {
-            name: "tree3-pair-fedr-pbcom",
-            variant: TreeVariant::III,
-            seed: 0xD5_20B2,
-            kind: IndependentPair(names::FEDR, names::PBCOM),
-        },
-        Scenario {
-            name: "tree4-pair-rtu-fedr",
-            variant: TreeVariant::IV,
-            seed: 0xD5_20C2,
-            kind: IndependentPair(names::RTU, names::FEDR),
-        },
-        Scenario {
-            name: "tree5-pair-rtu-ses",
-            variant: TreeVariant::V,
-            seed: 0xD5_20D2,
-            kind: IndependentPair(names::RTU, names::SES),
-        },
-        Scenario {
-            name: "tree4-merge-fedr-pbcom",
-            variant: TreeVariant::IV,
-            seed: 0xD5_20E2,
-            kind: OverlapPair {
-                first: names::FEDR,
-                second: names::PBCOM,
-                joint_hint: true,
-                stagger_s: 1.0,
-            },
-        },
-        Scenario {
-            name: "tree5-merge-fedr-pbcom",
-            variant: TreeVariant::V,
-            seed: 0xD5_20F2,
-            kind: OverlapPair {
-                first: names::FEDR,
-                second: names::PBCOM,
-                joint_hint: false,
-                stagger_s: 1.0,
-            },
-        },
-    ]
-}
-
-/// Runs one scenario to completion and returns its normalized trace.
-fn run_scenario(sc: &Scenario) -> String {
-    let mut station = Station::new(
-        StationConfig::paper(),
-        sc.variant,
-        Box::new(PerfectOracle::new()),
-        sc.seed,
-    )
-    .expect("valid station");
-    station.warm_up();
-    let start = station.now();
-    match &sc.kind {
-        Kind::Single(comp) => {
-            station.inject_kill(comp).expect("known component");
-        }
-        Kind::CorrelatedPbcom => {
-            station.inject_correlated_pbcom().expect("known component");
-        }
-        Kind::IndependentPair(a, b) => {
-            station.inject_kill(a).expect("known component");
-            station.inject_kill(b).expect("known component");
-        }
-        Kind::OverlapPair {
-            first,
-            second,
-            joint_hint,
-            stagger_s,
-        } => {
-            station.inject_kill(first).expect("known component");
-            station.run_for(SimDuration::from_secs_f64(*stagger_s));
-            if *joint_hint {
-                station.set_cure_hint(second, [names::FEDR, names::PBCOM]);
-            }
-            station.inject_kill(second).expect("known component");
-        }
-    }
-    station.run_for(SimDuration::from_secs(80));
-    normalize(station.trace(), start)
-}
-
-fn golden_dir() -> PathBuf {
-    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden")
-}
 
 #[test]
 fn golden_traces_match() {
@@ -221,8 +37,8 @@ fn golden_traces_match() {
         fs::create_dir_all(&dir).expect("create golden dir");
     }
     let mut failures = Vec::new();
-    for sc in scenarios() {
-        let actual = run_scenario(&sc);
+    for sc in golden_scenarios() {
+        let actual = run_golden_scenario(&sc);
         let path = dir.join(format!("{}.txt", sc.name));
         if record {
             fs::write(&path, &actual).expect("record golden");
@@ -319,9 +135,9 @@ fn golden_telemetry_snapshot_matches() {
 fn golden_traces_deterministic() {
     // Re-running a scenario in the same process must reproduce the trace
     // byte-for-byte: the simulation is a pure function of (scenario, seed).
-    for sc in scenarios() {
-        let first = run_scenario(&sc);
-        let second = run_scenario(&sc);
+    for sc in golden_scenarios() {
+        let first = run_golden_scenario(&sc);
+        let second = run_golden_scenario(&sc);
         assert_eq!(
             first, second,
             "scenario {} is not deterministic across runs",

@@ -1,3 +1,4 @@
+#![allow(clippy::disallowed_methods)]
 //! Property test: parallel recovery of independent faults is never worse
 //! than the sequential schedule, per component, on the same seed.
 //!

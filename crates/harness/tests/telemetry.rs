@@ -1,3 +1,4 @@
+#![allow(clippy::disallowed_methods)]
 //! Telemetry acceptance tests: the registry's online §4.1 bookkeeping must
 //! agree with the offline trace scan in `mercury::measure`, and the
 //! exporters must carry the whole story.

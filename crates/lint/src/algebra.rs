@@ -1,0 +1,164 @@
+//! MTTF/MTTR algebra lints (`RRL3xx`): the paper's §3.2 inequalities for
+//! restart groups, checked against annotated claims.
+//!
+//! A restart group `G = {c1..cn}` fails whenever any member fails and is not
+//! recovered until its slowest member is, so any claimed figures must obey
+//! `MTTF_G <= min MTTF_ci` and `MTTR_G >= max MTTR_ci`. Claims usually come
+//! from design documents or availability dashboards; the linter rejects ones
+//! the algebra rules out before they mislead anyone.
+
+use crate::catalog;
+use crate::diag::{Diagnostic, Report};
+
+/// Relative slack for floating-point comparisons: claims within one part in
+/// 10⁹ of the bound are accepted.
+const REL_TOL: f64 = 1e-9;
+
+/// Measured or modeled figures for one member component of a group.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemberStat {
+    /// Component name.
+    pub name: String,
+    /// Mean time to failure, seconds.
+    pub mttf_s: f64,
+    /// Mean time to recover, seconds.
+    pub mttr_s: f64,
+}
+
+/// A claimed (MTTF, MTTR) figure for a restart group, with the member data
+/// it must be consistent with.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupClaim {
+    /// Group name (e.g. a restart cell's label).
+    pub group: String,
+    /// Claimed group MTTF, seconds.
+    pub mttf_s: f64,
+    /// Claimed group MTTR, seconds.
+    pub mttr_s: f64,
+    /// The group's members. A claim with no members is vacuous and skipped.
+    pub members: Vec<MemberStat>,
+}
+
+/// Lints group claims against the paper's inequalities:
+/// `MTTF_G <= min MTTF_ci` ([`RRL301`]) and `MTTR_G >= max MTTR_ci`
+/// ([`RRL302`]).
+///
+/// [`RRL301`]: catalog::ALGEBRA_MTTF_OVERCLAIMED
+/// [`RRL302`]: catalog::ALGEBRA_MTTR_UNDERCLAIMED
+pub fn lint_algebra(claims: &[GroupClaim]) -> Report {
+    let mut report = Report::new();
+    for claim in claims {
+        let Some(min_mttf) = claim
+            .members
+            .iter()
+            .map(|m| m.mttf_s)
+            .min_by(f64::total_cmp)
+        else {
+            continue;
+        };
+        let max_mttr = claim
+            .members
+            .iter()
+            .map(|m| m.mttr_s)
+            .max_by(f64::total_cmp)
+            .unwrap_or_else(|| unreachable!("non-empty: min_mttf exists"));
+        let path = format!("algebra/{}", claim.group);
+        if claim.mttf_s > min_mttf * (1.0 + REL_TOL) {
+            let weakest = claim
+                .members
+                .iter()
+                .min_by(|a, b| a.mttf_s.total_cmp(&b.mttf_s))
+                .unwrap_or_else(|| unreachable!("non-empty"));
+            report.push(Diagnostic::new(
+                &catalog::ALGEBRA_MTTF_OVERCLAIMED,
+                path.clone(),
+                format!(
+                    "claimed MTTF {}s exceeds member {:?}'s MTTF {}s",
+                    claim.mttf_s, weakest.name, min_mttf
+                ),
+            ));
+        }
+        if claim.mttr_s < max_mttr * (1.0 - REL_TOL) {
+            let slowest = claim
+                .members
+                .iter()
+                .max_by(|a, b| a.mttr_s.total_cmp(&b.mttr_s))
+                .unwrap_or_else(|| unreachable!("non-empty"));
+            report.push(Diagnostic::new(
+                &catalog::ALGEBRA_MTTR_UNDERCLAIMED,
+                path,
+                format!(
+                    "claimed MTTR {}s is below member {:?}'s MTTR {}s",
+                    claim.mttr_s, slowest.name, max_mttr
+                ),
+            ));
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn member(name: &str, mttf_s: f64, mttr_s: f64) -> MemberStat {
+        MemberStat {
+            name: name.into(),
+            mttf_s,
+            mttr_s,
+        }
+    }
+
+    fn claim(mttf_s: f64, mttr_s: f64) -> GroupClaim {
+        GroupClaim {
+            group: "R_[a,b]".into(),
+            mttf_s,
+            mttr_s,
+            members: vec![member("a", 600.0, 5.0), member("b", 3600.0, 12.0)],
+        }
+    }
+
+    #[test]
+    fn consistent_claim_is_clean() {
+        // Exactly at the bounds is fine: the inequalities are not strict.
+        assert!(lint_algebra(&[claim(600.0, 12.0)]).is_clean());
+        assert!(lint_algebra(&[claim(550.0, 20.0)]).is_clean());
+    }
+
+    #[test]
+    fn overclaimed_mttf_denied() {
+        let report = lint_algebra(&[claim(601.0, 12.0)]);
+        assert_eq!(report.codes(), vec!["RRL301"]);
+        assert!(report.has_deny());
+        assert!(report.diagnostics()[0].message.contains("\"a\""));
+    }
+
+    #[test]
+    fn underclaimed_mttr_denied() {
+        let report = lint_algebra(&[claim(600.0, 11.9)]);
+        assert_eq!(report.codes(), vec!["RRL302"]);
+        assert!(report.diagnostics()[0].message.contains("\"b\""));
+    }
+
+    #[test]
+    fn both_violations_fire_together() {
+        let report = lint_algebra(&[claim(10_000.0, 1.0)]);
+        assert_eq!(report.codes(), vec!["RRL301", "RRL302"]);
+    }
+
+    #[test]
+    fn memberless_claim_is_skipped() {
+        let vacuous = GroupClaim {
+            group: "empty".into(),
+            mttf_s: f64::INFINITY,
+            mttr_s: 0.0,
+            members: Vec::new(),
+        };
+        assert!(lint_algebra(&[vacuous]).is_clean());
+    }
+
+    #[test]
+    fn tolerance_absorbs_rounding() {
+        assert!(lint_algebra(&[claim(600.0 * (1.0 + 1e-12), 12.0)]).is_clean());
+    }
+}

@@ -1,0 +1,218 @@
+//! The diagnostic catalog: every code rr-lint can emit, with its meaning,
+//! fixed severity, and fix hint.
+//!
+//! Codes are grouped by hundreds: `RRL0xx` tree well-formedness, `RRL1xx`
+//! restart-policy soundness, `RRL2xx` failure-model and oracle-map
+//! completeness, `RRL3xx` MTTF/MTTR algebra, `RRL4xx` schedule preconditions,
+//! `RRL5xx` fault-script sanity, `RRL6xx` failure-detector feasibility.
+//! A code's severity never changes between releases; new checks get new
+//! codes.
+
+use crate::diag::Severity;
+
+/// One catalog entry: the immutable identity of a diagnostic class.
+#[derive(Debug, PartialEq, Eq)]
+pub struct CodeInfo {
+    /// Stable code, e.g. `RRL001`.
+    pub code: &'static str,
+    /// Short kebab-case name, e.g. `tree-malformed`.
+    pub name: &'static str,
+    /// Fixed severity of every instance of this class.
+    pub severity: Severity,
+    /// One-line description of what the class means.
+    pub summary: &'static str,
+    /// How to fix it.
+    pub hint: &'static str,
+}
+
+macro_rules! codes {
+    ($($ident:ident = $code:literal, $name:literal, $sev:ident,
+        $summary:literal, $hint:literal;)+) => {
+        $(
+            #[doc = $summary]
+            pub static $ident: CodeInfo = CodeInfo {
+                code: $code,
+                name: $name,
+                severity: Severity::$sev,
+                summary: $summary,
+                hint: $hint,
+            };
+        )+
+        /// Every diagnostic class, in code order.
+        pub static CATALOG: &[&CodeInfo] = &[$(&$ident),+];
+    };
+}
+
+codes! {
+    TREE_MALFORMED = "RRL001", "tree-malformed", Deny,
+        "the restart tree violates a structural invariant",
+        "fix the tree construction: one root, acyclic parent/child links \
+         that agree, every cell reachable, and each component attached to \
+         exactly one cell";
+    TREE_NO_COMPONENTS = "RRL002", "tree-no-components", Deny,
+        "the restart tree has no components attached",
+        "attach every software component to exactly one restart cell; a tree \
+         of empty cells has nothing to recover";
+    TREE_EMPTY_LEAF = "RRL003", "tree-empty-leaf", Warn,
+        "a leaf restart cell has no components",
+        "remove the empty cell or attach the component it was meant to hold; \
+         an empty leaf's restart button restarts nothing";
+    TREE_DUPLICATE_LABEL = "RRL004", "tree-duplicate-label", Warn,
+        "two restart cells share a label",
+        "give each cell a unique label so traces and diagnostics are \
+         unambiguous";
+    TREE_REDUNDANT_CELL = "RRL005", "tree-redundant-cell", Warn,
+        "an empty cell with a single child adds escalation depth without \
+         isolation",
+        "collapse the cell into its child (the inverse of depth \
+         augmentation); it adds an escalation step but no new restart group";
+
+    POLICY_ESCALATION_SHORT = "RRL101", "policy-escalation-short", Deny,
+        "the escalation limit is below the tree height, so escalation can \
+         never reach the root",
+        "raise the escalation limit to at least the longest restart path so \
+         the chain terminates with a whole-system restart before giving up";
+    POLICY_BACKOFF_REGRESSIVE = "RRL102", "policy-backoff-regressive", Deny,
+        "the backoff schedule is not monotonically non-decreasing",
+        "use a finite, non-negative base and a cap of at least the base so \
+         successive restart delays never shrink";
+    POLICY_STORM_UNBOUNDED = "RRL103", "policy-storm-unbounded", Deny,
+        "the restart-storm budget is unenforceable",
+        "allow at least one restart per window and use a positive, finite \
+         rate-limit window";
+    POLICY_QUARANTINE_UNREACHABLE = "RRL104", "policy-quarantine-unreachable", Warn,
+        "give-up thresholds are so large that quarantine is effectively \
+         unreachable",
+        "keep the escalation limit and restart budget small enough that a \
+         hard failure is quarantined rather than restarted indefinitely";
+
+    MODEL_UNKNOWN_COMPONENT = "RRL201", "model-unknown-component", Deny,
+        "a failure mode references a component that is not attached to the \
+         tree",
+        "attach the component or drop the mode; the recoverer cannot restart \
+         a component that has no cell";
+    MODEL_UNCOVERED_COMPONENT = "RRL202", "model-uncovered-component", Warn,
+        "a tree component appears in no failure mode",
+        "add a failure mode for the component or confirm it is believed \
+         failure-free; MTTF/MTTR analysis will otherwise ignore it";
+    MODEL_EMPTY = "RRL203", "model-empty", Warn,
+        "the failure model has no modes",
+        "add at least one failure mode; an empty model makes every \
+         availability estimate vacuous";
+    SUSPICION_UNKNOWN_CELL = "RRL211", "suspicion-unknown-cell", Deny,
+        "a suspicion targets a cell that is not live in the tree",
+        "recompute the target from the current tree (Suspicion::covering); \
+         stale cell ids do not survive transformations";
+    SUSPICION_UNKNOWN_COMPONENT = "RRL212", "suspicion-unknown-component", Deny,
+        "a suspicion names a component not attached to the tree",
+        "suspicions must name attached components or the planner cannot \
+         cover them";
+    SUSPICION_CELL_MISSES_COMPONENT = "RRL213", "suspicion-cell-misses-component", Deny,
+        "a suspicion's target cell does not cover the suspected component",
+        "target a cell on the component's restart path (its own cell or an \
+         ancestor); restarting a disjoint cell cannot cure it";
+
+    ALGEBRA_MTTF_OVERCLAIMED = "RRL301", "algebra-mttf-overclaimed", Deny,
+        "claimed group MTTF exceeds the smallest member MTTF",
+        "a group fails at least as often as its weakest member \
+         (MTTF_G <= min MTTF_ci, paper section 3.2); lower the claim or fix \
+         the member data";
+    ALGEBRA_MTTR_UNDERCLAIMED = "RRL302", "algebra-mttr-underclaimed", Deny,
+        "claimed group MTTR is below the largest member MTTR",
+        "recovering a group takes at least as long as its slowest member \
+         (MTTR_G >= max MTTR_ci, paper section 3.2); raise the claim or fix \
+         the member data";
+
+    PLAN_OVERLAPPING_EPISODES = "RRL401", "plan-overlapping-episodes", Deny,
+        "two planned episodes' cells overlap (one is an ancestor of the \
+         other)",
+        "merge overlapping episodes by promoting to the least common \
+         ancestor; concurrently driven restart cells must form an antichain";
+    PLAN_UNKNOWN_CELL = "RRL402", "plan-unknown-cell", Deny,
+        "a planned episode targets a cell that is not live in the tree",
+        "re-plan against the current tree; cells removed by a transformation \
+         cannot be restarted";
+    PLAN_DUPLICATE_ORIGIN = "RRL403", "plan-duplicate-origin", Deny,
+        "a suspected component is claimed by more than one episode",
+        "each suspicion must be answered by exactly one episode, or its cure \
+         is double-counted and the restarts race each other";
+
+    SCRIPT_MALFORMED = "RRL501", "script-malformed", Deny,
+        "the fault script does not parse",
+        "use one `<nanos> <kind> <target>` record per line; blank lines and \
+         `#` comments are ignored";
+    SCRIPT_UNKNOWN_TARGET = "RRL502", "script-unknown-target", Deny,
+        "a fault targets a component that is not part of the station",
+        "target one of the station's components; an unknown target would \
+         make the injection silently impossible";
+    SCRIPT_TIME_REGRESSION = "RRL503", "script-time-regression", Warn,
+        "fault times go backwards between lines",
+        "write records in non-decreasing time order; the parser re-sorts, \
+         which reorders same-instant ties and usually signals a hand-editing \
+         mistake";
+    SCRIPT_ZOMBIE_UNOBSERVABLE = "RRL504", "script-zombie-unobservable", Deny,
+        "the script injects a zombie fault but beacon-staleness detection is \
+         disabled",
+        "enable beacon_timeout_s (see StationConfig::hardened) or drop the \
+         zombie fault; a zombie keeps answering liveness pings, so the \
+         ping-based detector alone can never observe it";
+    SCRIPT_INFRASTRUCTURE_TARGET = "RRL505", "script-infrastructure-target", Warn,
+        "a fault targets the recovery infrastructure itself",
+        "FD and REC recover each other through the mutual watchdog, not \
+         through the restart tree; scripted faults on them test the \
+         watchdog, not tree recovery";
+
+    FD_TIMEOUT_EXCEEDS_PERIOD = "RRL601", "fd-timeout-exceeds-period", Deny,
+        "the pong timeout does not fit inside the ping period",
+        "use 0 < ping_timeout_s < ping_period_s so each round's verdict \
+         lands before the next round starts";
+    FD_WINDOW_SHORT = "RRL602", "fd-window-short", Deny,
+        "the suspicion window can never accumulate the required misses",
+        "use suspicion_threshold >= 1 and suspicion_window >= \
+         suspicion_threshold (K-of-N detection needs N >= K)";
+    FD_BEACON_WINDOW_TIGHT = "RRL603", "fd-beacon-window-tight", Warn,
+        "the beacon staleness timeout is within two beacon periods",
+        "use beacon_timeout_s > 2 * beacon_period_s so a single delayed \
+         beacon is not mistaken for a zombie";
+}
+
+/// Looks up a catalog entry by its code (`"RRL001"`).
+pub fn lookup(code: &str) -> Option<&'static CodeInfo> {
+    CATALOG.iter().find(|c| c.code == code).copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_is_sorted_unique_and_consistent() {
+        assert!(
+            CATALOG.len() >= 12,
+            "the issue demands at least 12 diagnostic classes"
+        );
+        for w in CATALOG.windows(2) {
+            assert!(w[0].code < w[1].code, "{} vs {}", w[0].code, w[1].code);
+        }
+        for info in CATALOG {
+            assert!(info.code.starts_with("RRL"), "{}", info.code);
+            assert_eq!(info.code.len(), 6, "{}", info.code);
+            assert!(!info.name.is_empty() && !info.summary.is_empty());
+            assert!(!info.hint.is_empty());
+            assert!(
+                info.name
+                    .chars()
+                    .all(|c| c.is_ascii_lowercase() || c == '-'),
+                "{} name {:?} is not kebab-case",
+                info.code,
+                info.name
+            );
+        }
+    }
+
+    #[test]
+    fn lookup_finds_codes() {
+        assert_eq!(lookup("RRL001"), Some(&TREE_MALFORMED));
+        assert!(lookup("RRL000").is_none());
+    }
+}

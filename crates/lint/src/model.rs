@@ -1,0 +1,200 @@
+//! Failure-model and oracle suspicion-map lints (`RRL2xx`).
+
+use rr_core::model::FailureModel;
+use rr_core::schedule::Suspicion;
+use rr_core::tree::RestartTree;
+
+use crate::catalog;
+use crate::diag::{Diagnostic, Report};
+use crate::tree::cell_path;
+
+/// Lints a failure model against the tree it describes: every mode's
+/// components must be attached ([`RRL201`]), every attached component should
+/// appear in some mode ([`RRL202`]), and an empty model is vacuous
+/// ([`RRL203`]).
+///
+/// [`RRL201`]: catalog::MODEL_UNKNOWN_COMPONENT
+/// [`RRL202`]: catalog::MODEL_UNCOVERED_COMPONENT
+/// [`RRL203`]: catalog::MODEL_EMPTY
+pub fn lint_model(model: &FailureModel, tree: &RestartTree) -> Report {
+    let mut report = Report::new();
+    if model.modes().is_empty() {
+        // Every component is trivially uncovered; the single warning
+        // subsumes the per-component ones.
+        report.push(Diagnostic::new(
+            &catalog::MODEL_EMPTY,
+            "model",
+            "the failure model has no modes",
+        ));
+        return report;
+    }
+    if let Err(missing) = model.validate_against(tree) {
+        for name in missing {
+            report.push(Diagnostic::new(
+                &catalog::MODEL_UNKNOWN_COMPONENT,
+                format!("model/{name}"),
+                format!(
+                    "component {name:?} appears in a failure mode but is not attached to the tree"
+                ),
+            ));
+        }
+    }
+    for component in tree.components() {
+        let mentioned = model
+            .modes()
+            .iter()
+            .any(|m| m.trigger == component || m.cure_set.contains(&component));
+        if !mentioned {
+            let cell = tree
+                .cell_of_component(&component)
+                .unwrap_or_else(|| unreachable!("components() returns attached names"));
+            report.push(Diagnostic::new(
+                &catalog::MODEL_UNCOVERED_COMPONENT,
+                cell_path(tree, cell),
+                format!("component {component:?} appears in no failure mode"),
+            ));
+        }
+    }
+    report
+}
+
+/// Lints an oracle's suspicion set against the tree: every target cell must
+/// be live ([`RRL211`]), every suspected component attached ([`RRL212`]),
+/// and each target cell must actually cover its component ([`RRL213`]).
+///
+/// [`RRL211`]: catalog::SUSPICION_UNKNOWN_CELL
+/// [`RRL212`]: catalog::SUSPICION_UNKNOWN_COMPONENT
+/// [`RRL213`]: catalog::SUSPICION_CELL_MISSES_COMPONENT
+pub fn lint_suspicions(tree: &RestartTree, suspicions: &[Suspicion]) -> Report {
+    let mut report = Report::new();
+    for (i, s) in suspicions.iter().enumerate() {
+        let path = format!("suspicion[{i}]");
+        let cell_ok = tree.contains(s.cell);
+        if !cell_ok {
+            report.push(Diagnostic::new(
+                &catalog::SUSPICION_UNKNOWN_CELL,
+                path.clone(),
+                format!(
+                    "suspicion of {:?} targets {}, not a live cell",
+                    s.component, s.cell
+                ),
+            ));
+        }
+        let comp_cell = tree.cell_of_component(&s.component);
+        if comp_cell.is_none() {
+            report.push(Diagnostic::new(
+                &catalog::SUSPICION_UNKNOWN_COMPONENT,
+                path.clone(),
+                format!(
+                    "suspected component {:?} is not attached to the tree",
+                    s.component
+                ),
+            ));
+        }
+        if let (true, Some(comp_cell)) = (cell_ok, comp_cell) {
+            if !tree.is_ancestor_or_self(s.cell, comp_cell) {
+                report.push(Diagnostic::new(
+                    &catalog::SUSPICION_CELL_MISSES_COMPONENT,
+                    path,
+                    format!(
+                        "target cell {:?} does not cover component {:?} (attached under {:?})",
+                        tree.label(s.cell),
+                        s.component,
+                        tree.label(comp_cell),
+                    ),
+                ));
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rr_core::model::FailureMode;
+    use rr_core::tree::TreeSpec;
+
+    fn tree() -> RestartTree {
+        TreeSpec::cell("root")
+            .with_child(TreeSpec::cell("R_a").with_component("a"))
+            .with_child(TreeSpec::cell("R_b").with_component("b"))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn covering_model_is_clean() {
+        let model = FailureModel::new()
+            .with_mode(FailureMode::solo("a-crash", "a", 1.0))
+            .with_mode(FailureMode::correlated("b-joint", "b", ["a", "b"], 0.5));
+        assert!(lint_model(&model, &tree()).is_clean());
+    }
+
+    #[test]
+    fn unknown_component_denied() {
+        let model = FailureModel::new().with_mode(FailureMode::solo("ghost", "ghost", 1.0));
+        let report = lint_model(&model, &tree());
+        assert!(report.fired("RRL201"));
+        assert!(report.has_deny());
+    }
+
+    #[test]
+    fn uncovered_component_warns() {
+        let model = FailureModel::new().with_mode(FailureMode::solo("a-crash", "a", 1.0));
+        let report = lint_model(&model, &tree());
+        assert_eq!(report.codes(), vec!["RRL202"]);
+        assert!(!report.has_deny());
+        assert_eq!(report.diagnostics()[0].path, "root/R_b");
+    }
+
+    #[test]
+    fn empty_model_warns_once() {
+        let report = lint_model(&FailureModel::new(), &tree());
+        assert_eq!(report.codes(), vec!["RRL203"]);
+        assert!(!report.has_deny());
+    }
+
+    #[test]
+    fn valid_suspicions_are_clean() {
+        let t = tree();
+        let s = Suspicion::covering(&t, "a", &["a"]).unwrap();
+        let wide = Suspicion {
+            component: "b".into(),
+            cell: t.root(),
+        };
+        assert!(lint_suspicions(&t, &[s, wide]).is_clean());
+    }
+
+    #[test]
+    fn stale_cell_denied() {
+        let t = tree();
+        let mut bigger = tree();
+        let extra = bigger.add_cell(bigger.root(), "extra").unwrap();
+        let s = Suspicion {
+            component: "a".into(),
+            cell: extra,
+        };
+        assert_eq!(lint_suspicions(&t, &[s]).codes(), vec!["RRL211"]);
+    }
+
+    #[test]
+    fn unknown_component_suspicion_denied() {
+        let t = tree();
+        let s = Suspicion {
+            component: "ghost".into(),
+            cell: t.root(),
+        };
+        assert_eq!(lint_suspicions(&t, &[s]).codes(), vec!["RRL212"]);
+    }
+
+    #[test]
+    fn disjoint_cell_denied() {
+        let t = tree();
+        let s = Suspicion {
+            component: "a".into(),
+            cell: t.cell_of_component("b").unwrap(),
+        };
+        assert_eq!(lint_suspicions(&t, &[s]).codes(), vec!["RRL213"]);
+    }
+}

@@ -1,0 +1,200 @@
+//! Restart-policy soundness lints (`RRL1xx`).
+
+use rr_core::policy::RestartPolicy;
+use rr_core::tree::RestartTree;
+
+use crate::catalog;
+use crate::diag::{Diagnostic, Report};
+
+/// Give-up thresholds beyond these are treated as "quarantine unreachable in
+/// practice" ([`RRL104`](catalog::POLICY_QUARANTINE_UNREACHABLE)).
+const MAX_SANE_ESCALATION: u32 = 1_000;
+const MAX_SANE_RESTARTS_PER_WINDOW: u32 = 10_000;
+
+/// The restart-policy knobs the linter reasons about, decoupled from any one
+/// concrete policy type so both [`RestartPolicy`] and raw `StationConfig`
+/// floats can be checked.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PolicyParams {
+    /// Failed same-cell restarts before escalating to the parent cell.
+    pub escalation_limit: u32,
+    /// Restart budget within one rate-limit window before quarantine.
+    pub max_restarts_per_window: u32,
+    /// The rate-limit window, in seconds.
+    pub restart_window_s: f64,
+    /// First retry delay, in seconds.
+    pub backoff_base_s: f64,
+    /// Backoff ceiling, in seconds.
+    pub backoff_cap_s: f64,
+}
+
+impl PolicyParams {
+    /// Extracts the knobs from a built [`RestartPolicy`].
+    pub fn from_policy(policy: &RestartPolicy) -> PolicyParams {
+        let (max_restarts, window) = policy.rate_limit();
+        let (base, cap) = policy.backoff();
+        PolicyParams {
+            escalation_limit: policy.escalation_limit(),
+            max_restarts_per_window: max_restarts,
+            restart_window_s: window.as_secs_f64(),
+            backoff_base_s: base.as_secs_f64(),
+            backoff_cap_s: cap.as_secs_f64(),
+        }
+    }
+}
+
+/// Lints a restart policy: escalation must be able to reach the root of
+/// `tree` ([`RRL101`]), backoff must be monotone ([`RRL102`]), the restart
+/// storm budget must be enforceable ([`RRL103`]), and quarantine should be
+/// reachable in practice ([`RRL104`]). Pass `None` for `tree` to check only
+/// the tree-independent rules.
+///
+/// [`RRL101`]: catalog::POLICY_ESCALATION_SHORT
+/// [`RRL102`]: catalog::POLICY_BACKOFF_REGRESSIVE
+/// [`RRL103`]: catalog::POLICY_STORM_UNBOUNDED
+/// [`RRL104`]: catalog::POLICY_QUARANTINE_UNREACHABLE
+pub fn lint_policy(params: &PolicyParams, tree: Option<&RestartTree>) -> Report {
+    let mut report = Report::new();
+    if let Some(tree) = tree {
+        // The escalation chain climbs the component's restart path one cell
+        // per exhausted limit; it terminates at the root only if the limit
+        // covers the longest path.
+        let deepest = tree
+            .components()
+            .iter()
+            .filter_map(|c| tree.restart_path(c).ok())
+            .map(|path| path.len())
+            .max();
+        if let Some(deepest) = deepest {
+            if (params.escalation_limit as usize) < deepest {
+                report.push(Diagnostic::new(
+                    &catalog::POLICY_ESCALATION_SHORT,
+                    "policy.escalation_limit",
+                    format!(
+                        "escalation limit {} is below the longest restart path \
+                         ({} cells), so escalation gives up before the \
+                         whole-system restart",
+                        params.escalation_limit, deepest
+                    ),
+                ));
+            }
+        }
+    }
+    let base = params.backoff_base_s;
+    let cap = params.backoff_cap_s;
+    if !base.is_finite() || !cap.is_finite() || base < 0.0 || cap < base {
+        report.push(Diagnostic::new(
+            &catalog::POLICY_BACKOFF_REGRESSIVE,
+            "policy.backoff",
+            format!("backoff base {base}s with cap {cap}s can shrink between retries"),
+        ));
+    }
+    if params.max_restarts_per_window == 0
+        || !params.restart_window_s.is_finite()
+        || params.restart_window_s <= 0.0
+    {
+        report.push(Diagnostic::new(
+            &catalog::POLICY_STORM_UNBOUNDED,
+            "policy.rate_limit",
+            format!(
+                "{} restarts per {}s window is not an enforceable storm budget",
+                params.max_restarts_per_window, params.restart_window_s
+            ),
+        ));
+    }
+    if params.escalation_limit > MAX_SANE_ESCALATION
+        || params.max_restarts_per_window > MAX_SANE_RESTARTS_PER_WINDOW
+    {
+        report.push(Diagnostic::new(
+            &catalog::POLICY_QUARANTINE_UNREACHABLE,
+            "policy",
+            format!(
+                "escalation limit {} / restart budget {} are large enough \
+                 that a hard failure is retried effectively forever",
+                params.escalation_limit, params.max_restarts_per_window
+            ),
+        ));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rr_core::tree::TreeSpec;
+
+    fn deep_tree() -> RestartTree {
+        TreeSpec::cell("root")
+            .with_child(
+                TreeSpec::cell("mid")
+                    .with_component("m")
+                    .with_child(TreeSpec::cell("leaf").with_component("l")),
+            )
+            .build()
+            .unwrap()
+    }
+
+    fn sane() -> PolicyParams {
+        PolicyParams::from_policy(&RestartPolicy::new())
+    }
+
+    #[test]
+    fn default_policy_is_clean_against_shipped_depths() {
+        assert!(lint_policy(&sane(), Some(&deep_tree())).is_clean());
+        assert!(lint_policy(&sane(), None).is_clean());
+    }
+
+    #[test]
+    fn short_escalation_denied() {
+        // leaf -> mid -> root is 3 cells; a limit of 2 strands escalation.
+        let params = PolicyParams {
+            escalation_limit: 2,
+            ..sane()
+        };
+        let report = lint_policy(&params, Some(&deep_tree()));
+        assert_eq!(report.codes(), vec!["RRL101"]);
+        assert!(report.has_deny());
+        // Without a tree the rule cannot fire.
+        assert!(lint_policy(&params, None).is_clean());
+    }
+
+    #[test]
+    fn regressive_backoff_denied() {
+        let params = PolicyParams {
+            backoff_base_s: 5.0,
+            backoff_cap_s: 1.0,
+            ..sane()
+        };
+        assert_eq!(lint_policy(&params, None).codes(), vec!["RRL102"]);
+        let nan = PolicyParams {
+            backoff_cap_s: f64::NAN,
+            ..sane()
+        };
+        assert!(lint_policy(&nan, None).fired("RRL102"));
+    }
+
+    #[test]
+    fn unbounded_storm_denied() {
+        let zero_budget = PolicyParams {
+            max_restarts_per_window: 0,
+            ..sane()
+        };
+        assert_eq!(lint_policy(&zero_budget, None).codes(), vec!["RRL103"]);
+        let zero_window = PolicyParams {
+            restart_window_s: 0.0,
+            ..sane()
+        };
+        assert!(lint_policy(&zero_window, None).fired("RRL103"));
+    }
+
+    #[test]
+    fn unreachable_quarantine_warns() {
+        let params = PolicyParams {
+            escalation_limit: 1_000_000,
+            ..sane()
+        };
+        let report = lint_policy(&params, None);
+        assert_eq!(report.codes(), vec!["RRL104"]);
+        assert!(!report.has_deny());
+    }
+}

@@ -1,0 +1,152 @@
+//! Episode-plan precondition lints (`RRL4xx`).
+//!
+//! [`rr_core::schedule::plan_episodes`] guarantees its output satisfies
+//! these invariants; the lints exist for plans that arrive from anywhere
+//! else — hand-written recovery runbooks, deserialized plans, or plans
+//! computed against a tree that has since been transformed.
+
+use rr_core::schedule::EpisodePlan;
+use rr_core::tree::RestartTree;
+
+use crate::catalog;
+use crate::diag::{Diagnostic, Report};
+use crate::tree::cell_path;
+
+/// Lints an episode plan against the tree it would run on: every episode's
+/// cell must be live ([`RRL402`]), the live cells must form an antichain
+/// ([`RRL401`]), and no suspected component may be claimed by two episodes
+/// ([`RRL403`]).
+///
+/// [`RRL401`]: catalog::PLAN_OVERLAPPING_EPISODES
+/// [`RRL402`]: catalog::PLAN_UNKNOWN_CELL
+/// [`RRL403`]: catalog::PLAN_DUPLICATE_ORIGIN
+pub fn lint_plan(tree: &RestartTree, plan: &EpisodePlan) -> Report {
+    let mut report = Report::new();
+    let mut live: Vec<(usize, rr_core::tree::NodeId)> = Vec::new();
+    for (i, ep) in plan.episodes.iter().enumerate() {
+        if tree.contains(ep.cell) {
+            live.push((i, ep.cell));
+        } else {
+            report.push(Diagnostic::new(
+                &catalog::PLAN_UNKNOWN_CELL,
+                format!("plan.episode[{i}]"),
+                format!("episode targets {}, not a live cell of the tree", ep.cell),
+            ));
+        }
+    }
+    for (a, &(i, cell_i)) in live.iter().enumerate() {
+        for &(j, cell_j) in &live[a + 1..] {
+            if tree.overlaps(cell_i, cell_j) {
+                report.push(Diagnostic::new(
+                    &catalog::PLAN_OVERLAPPING_EPISODES,
+                    format!("plan.episode[{i}]"),
+                    format!(
+                        "cell {} overlaps episode[{j}]'s cell {} — restarting \
+                         one restarts (part of) the other",
+                        cell_path(tree, cell_i),
+                        cell_path(tree, cell_j),
+                    ),
+                ));
+            }
+        }
+    }
+    let mut seen: Vec<(&str, usize)> = Vec::new();
+    for (i, ep) in plan.episodes.iter().enumerate() {
+        for origin in &ep.origins {
+            if let Some(&(_, first)) = seen.iter().find(|(o, _)| o == origin) {
+                report.push(Diagnostic::new(
+                    &catalog::PLAN_DUPLICATE_ORIGIN,
+                    format!("plan.episode[{i}]"),
+                    format!("suspicion of {origin:?} is already answered by episode[{first}]"),
+                ));
+            } else {
+                seen.push((origin, i));
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rr_core::schedule::{plan_episodes, PlannedEpisode, Suspicion};
+    use rr_core::tree::TreeSpec;
+
+    fn tree() -> RestartTree {
+        TreeSpec::cell("root")
+            .with_child(
+                TreeSpec::cell("R_ab")
+                    .with_child(TreeSpec::cell("R_a").with_component("a"))
+                    .with_child(TreeSpec::cell("R_b").with_component("b")),
+            )
+            .with_child(TreeSpec::cell("R_c").with_component("c"))
+            .build()
+            .unwrap()
+    }
+
+    fn episode(tree: &RestartTree, label: &str, origins: &[&str]) -> PlannedEpisode {
+        let cell = tree
+            .cells()
+            .into_iter()
+            .find(|&c| tree.label(c) == label)
+            .unwrap();
+        PlannedEpisode {
+            cell,
+            components: tree.components_under(cell),
+            origins: origins.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    #[test]
+    fn planner_output_is_clean() {
+        let t = tree();
+        let suspicions = vec![
+            Suspicion::covering(&t, "a", &["a"]).unwrap(),
+            Suspicion::covering(&t, "c", &["c"]).unwrap(),
+        ];
+        let plan = plan_episodes(&t, &suspicions).unwrap();
+        assert!(lint_plan(&t, &plan).is_clean());
+    }
+
+    #[test]
+    fn overlapping_episodes_denied() {
+        let t = tree();
+        let plan = EpisodePlan {
+            episodes: vec![episode(&t, "R_ab", &["b"]), episode(&t, "R_a", &["a"])],
+        };
+        let report = lint_plan(&t, &plan);
+        assert_eq!(report.codes(), vec!["RRL401"]);
+        assert!(report.has_deny());
+    }
+
+    #[test]
+    fn stale_cell_denied() {
+        let t = tree();
+        let mut bigger = tree();
+        let extra = bigger.add_cell(bigger.root(), "extra").unwrap();
+        let plan = EpisodePlan {
+            episodes: vec![PlannedEpisode {
+                cell: extra,
+                components: vec![],
+                origins: vec!["a".into()],
+            }],
+        };
+        assert_eq!(lint_plan(&t, &plan).codes(), vec!["RRL402"]);
+    }
+
+    #[test]
+    fn duplicate_origin_denied() {
+        let t = tree();
+        let plan = EpisodePlan {
+            episodes: vec![episode(&t, "R_a", &["a"]), episode(&t, "R_c", &["a"])],
+        };
+        let report = lint_plan(&t, &plan);
+        assert_eq!(report.codes(), vec!["RRL403"]);
+    }
+
+    #[test]
+    fn empty_plan_is_clean() {
+        assert!(lint_plan(&tree(), &EpisodePlan::default()).is_clean());
+    }
+}

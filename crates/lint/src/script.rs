@@ -1,0 +1,224 @@
+//! Fault-script sanity lints (`RRL5xx`).
+
+use std::str::FromStr;
+
+use rr_sim::FaultKind;
+
+use crate::catalog;
+use crate::diag::{Diagnostic, Report};
+use crate::fd::FdParams;
+
+/// What the script will run against: the component names faults may target,
+/// which of them are recovery infrastructure, and (optionally) the FD
+/// configuration to judge observability against.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ScriptContext<'a> {
+    /// Every process a fault may legitimately target.
+    pub components: &'a [String],
+    /// The subset that is recovery infrastructure (FD, recoverer): faulting
+    /// these exercises the watchdog, not tree recovery.
+    pub infrastructure: &'a [String],
+    /// FD timing, when known — enables the zombie-observability check.
+    pub fd: Option<&'a FdParams>,
+}
+
+/// Lints a fault script **in its text form** against a [`ScriptContext`]:
+/// parse failures ([`RRL501`]), unknown targets ([`RRL502`]), times going
+/// backwards between lines ([`RRL503`]) — checked on the raw text because
+/// [`rr_sim::FaultScript::parse`] silently re-sorts — zombie faults no
+/// detector can observe ([`RRL504`]), and faults aimed at the recovery
+/// infrastructure itself ([`RRL505`]).
+///
+/// [`RRL501`]: catalog::SCRIPT_MALFORMED
+/// [`RRL502`]: catalog::SCRIPT_UNKNOWN_TARGET
+/// [`RRL503`]: catalog::SCRIPT_TIME_REGRESSION
+/// [`RRL504`]: catalog::SCRIPT_ZOMBIE_UNOBSERVABLE
+/// [`RRL505`]: catalog::SCRIPT_INFRASTRUCTURE_TARGET
+pub fn lint_fault_script(text: &str, ctx: &ScriptContext<'_>) -> Report {
+    let mut report = Report::new();
+    if let Err(err) = rr_sim::FaultScript::parse(text) {
+        report.push(Diagnostic::new(
+            &catalog::SCRIPT_MALFORMED,
+            format!("script:{}", err.line),
+            err.message,
+        ));
+        return report; // the remaining checks need a parseable script
+    }
+    let mut prev: Option<(usize, u64)> = None;
+    let mut flagged_unknown: Vec<&str> = Vec::new();
+    let mut flagged_infra: Vec<&str> = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let line_no = idx + 1;
+        // parse() succeeded, so every record is well-formed.
+        let mut parts = line.splitn(3, ' ');
+        let at: u64 = parts
+            .next()
+            .and_then(|t| t.parse().ok())
+            .unwrap_or_else(|| unreachable!("parse() accepted line {line_no}"));
+        let kind = parts
+            .next()
+            .and_then(|k| FaultKind::from_str(k).ok())
+            .unwrap_or_else(|| unreachable!("parse() accepted line {line_no}"));
+        let target = parts
+            .next()
+            .map(str::trim)
+            .unwrap_or_else(|| unreachable!("parse() accepted line {line_no}"));
+
+        if let Some((prev_line, prev_at)) = prev {
+            if at < prev_at {
+                report.push(Diagnostic::new(
+                    &catalog::SCRIPT_TIME_REGRESSION,
+                    format!("script:{line_no}"),
+                    format!("time {at}ns is earlier than line {prev_line}'s {prev_at}ns"),
+                ));
+            }
+        }
+        prev = Some((line_no, at));
+
+        let known = ctx.components.iter().any(|c| c == target);
+        let infra = ctx.infrastructure.iter().any(|c| c == target);
+        if !known && !infra && !flagged_unknown.contains(&target) {
+            flagged_unknown.push(target);
+            report.push(Diagnostic::new(
+                &catalog::SCRIPT_UNKNOWN_TARGET,
+                format!("script:{line_no}"),
+                format!("target {target:?} is not a component of the station"),
+            ));
+        }
+        if infra && !flagged_infra.contains(&target) {
+            flagged_infra.push(target);
+            report.push(Diagnostic::new(
+                &catalog::SCRIPT_INFRASTRUCTURE_TARGET,
+                format!("script:{line_no}"),
+                format!("target {target:?} is part of the recovery infrastructure"),
+            ));
+        }
+        if kind == FaultKind::Zombie {
+            if let Some(fd) = ctx.fd {
+                if !fd.beacons_enabled() {
+                    report.push(Diagnostic::new(
+                        &catalog::SCRIPT_ZOMBIE_UNOBSERVABLE,
+                        format!("script:{line_no}"),
+                        format!(
+                            "zombie fault on {target:?} with beacon_timeout_s = 0: \
+                             no detector will ever notice it"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn hardened_fd() -> FdParams {
+        FdParams {
+            ping_period_s: 1.0,
+            ping_timeout_s: 0.4,
+            suspicion_threshold: 8,
+            suspicion_window: 8,
+            beacon_period_s: 5.0,
+            beacon_timeout_s: 25.0,
+        }
+    }
+
+    #[test]
+    fn clean_script_passes() {
+        let comps = names(&["fedr", "rtu"]);
+        let infra = names(&["fd", "rec"]);
+        let fd = hardened_fd();
+        let ctx = ScriptContext {
+            components: &comps,
+            infrastructure: &infra,
+            fd: Some(&fd),
+        };
+        let text = "# warm-up, then a crash and an observable zombie\n\
+                    1000000000 crash fedr\n\
+                    2000000000 zombie rtu\n";
+        assert!(lint_fault_script(text, &ctx).is_clean());
+    }
+
+    #[test]
+    fn malformed_script_denied_with_line() {
+        let ctx = ScriptContext::default();
+        let report = lint_fault_script("1000 crash a\n5 explode b\n", &ctx);
+        assert_eq!(report.codes(), vec!["RRL501"]);
+        assert_eq!(report.diagnostics()[0].path, "script:2");
+        assert!(report.has_deny());
+    }
+
+    #[test]
+    fn unknown_target_denied_once_per_target() {
+        let comps = names(&["fedr"]);
+        let ctx = ScriptContext {
+            components: &comps,
+            ..ScriptContext::default()
+        };
+        let text = "1 crash ghost\n2 crash ghost\n3 crash fedr\n";
+        let report = lint_fault_script(text, &ctx);
+        assert_eq!(report.codes(), vec!["RRL502"]);
+        assert_eq!(report.diagnostics()[0].path, "script:1");
+    }
+
+    #[test]
+    fn time_regression_warns() {
+        let comps = names(&["a", "b"]);
+        let ctx = ScriptContext {
+            components: &comps,
+            ..ScriptContext::default()
+        };
+        let report = lint_fault_script("5 crash a\n3 crash b\n", &ctx);
+        assert_eq!(report.codes(), vec!["RRL503"]);
+        assert!(!report.has_deny());
+        assert_eq!(report.diagnostics()[0].path, "script:2");
+    }
+
+    #[test]
+    fn unobservable_zombie_denied() {
+        let comps = names(&["rtu"]);
+        let paper_fd = FdParams {
+            beacon_timeout_s: 0.0,
+            ..hardened_fd()
+        };
+        let ctx = ScriptContext {
+            components: &comps,
+            infrastructure: &[],
+            fd: Some(&paper_fd),
+        };
+        let report = lint_fault_script("1 zombie rtu\n", &ctx);
+        assert_eq!(report.codes(), vec!["RRL504"]);
+        assert!(report.has_deny());
+        // Without FD knowledge the check cannot fire.
+        let blind = ScriptContext {
+            components: &comps,
+            ..ScriptContext::default()
+        };
+        assert!(lint_fault_script("1 zombie rtu\n", &blind).is_clean());
+    }
+
+    #[test]
+    fn infrastructure_target_warns() {
+        let comps = names(&["fedr"]);
+        let infra = names(&["fd", "rec"]);
+        let ctx = ScriptContext {
+            components: &comps,
+            infrastructure: &infra,
+            fd: None,
+        };
+        let report = lint_fault_script("1 crash fd\n2 crash fd\n", &ctx);
+        assert_eq!(report.codes(), vec!["RRL505"]);
+        assert!(!report.has_deny());
+    }
+}

@@ -1,0 +1,219 @@
+//! Tree well-formedness lints (`RRL0xx`).
+
+use rr_core::tree::{NodeId, RestartTree, TreeSpec};
+
+use crate::catalog;
+use crate::diag::{Diagnostic, Report};
+
+/// The span-like path of a cell: the labels from the root down to the cell,
+/// joined by `/` (e.g. `mercury/R_[fedr,pbcom]/R_fedr`).
+///
+/// # Panics
+///
+/// Panics if `id` is not a live cell of `tree`.
+pub fn cell_path(tree: &RestartTree, id: NodeId) -> String {
+    let mut labels: Vec<&str> = tree
+        .ancestors_inclusive(id)
+        .into_iter()
+        .map(|n| tree.label(n))
+        .collect();
+    labels.reverse();
+    labels.join("/")
+}
+
+/// Lints a built restart tree: structural invariants ([`RRL001`]), at least
+/// one component somewhere ([`RRL002`]), no empty leaves ([`RRL003`]), unique
+/// labels ([`RRL004`]), and no redundant single-child empty cells
+/// ([`RRL005`]).
+///
+/// [`RRL001`]: catalog::TREE_MALFORMED
+/// [`RRL002`]: catalog::TREE_NO_COMPONENTS
+/// [`RRL003`]: catalog::TREE_EMPTY_LEAF
+/// [`RRL004`]: catalog::TREE_DUPLICATE_LABEL
+/// [`RRL005`]: catalog::TREE_REDUNDANT_CELL
+pub fn lint_tree(tree: &RestartTree) -> Report {
+    let mut report = Report::new();
+    // Defensive: the public RestartTree API preserves these invariants, but
+    // the linter must not trust its input.
+    if let Err(violation) = tree.validate() {
+        report.push(Diagnostic::new(
+            &catalog::TREE_MALFORMED,
+            tree.label(tree.root()),
+            violation,
+        ));
+        return report; // everything below assumes a well-formed tree
+    }
+    if tree.components().is_empty() {
+        // Every leaf is trivially empty in a component-free tree; the single
+        // root-level deny subsumes the per-leaf warnings.
+        report.push(Diagnostic::new(
+            &catalog::TREE_NO_COMPONENTS,
+            tree.label(tree.root()),
+            "no cell in the tree has a component attached",
+        ));
+        return report;
+    }
+    let cells = tree.cells();
+    for &cell in &cells {
+        let empty = tree.components_at(cell).is_empty();
+        if empty && tree.is_leaf(cell) {
+            report.push(Diagnostic::new(
+                &catalog::TREE_EMPTY_LEAF,
+                cell_path(tree, cell),
+                format!("leaf cell {:?} has no components", tree.label(cell)),
+            ));
+        }
+        if empty && cell != tree.root() && tree.children(cell).len() == 1 {
+            report.push(Diagnostic::new(
+                &catalog::TREE_REDUNDANT_CELL,
+                cell_path(tree, cell),
+                format!(
+                    "cell {:?} is empty and has a single child {:?}",
+                    tree.label(cell),
+                    tree.label(tree.children(cell)[0]),
+                ),
+            ));
+        }
+    }
+    let mut labels: Vec<&str> = cells.iter().map(|&c| tree.label(c)).collect();
+    labels.sort_unstable();
+    let mut reported: Vec<&str> = Vec::new();
+    for pair in labels.windows(2) {
+        if pair[0] == pair[1] && !reported.contains(&pair[0]) {
+            reported.push(pair[0]);
+            report.push(Diagnostic::new(
+                &catalog::TREE_DUPLICATE_LABEL,
+                tree.label(tree.root()),
+                format!("label {:?} names more than one cell", pair[0]),
+            ));
+        }
+    }
+    report
+}
+
+/// Lints a declarative [`TreeSpec`]. Unlike [`lint_tree`], this can catch
+/// construction-time violations — e.g. the same component attached to two
+/// cells — because the spec form has no invariant-preserving API. A spec
+/// that fails to build fires [`RRL001`](catalog::TREE_MALFORMED); one that
+/// builds is handed to [`lint_tree`].
+pub fn lint_tree_spec(spec: &TreeSpec) -> Report {
+    match spec.build() {
+        Ok(tree) => lint_tree(&tree),
+        Err(err) => {
+            let mut report = Report::new();
+            report.push(Diagnostic::new(
+                &catalog::TREE_MALFORMED,
+                spec.label.clone(),
+                format!("spec does not build: {err}"),
+            ));
+            report
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn figure_2() -> RestartTree {
+        TreeSpec::cell("R_ABC")
+            .with_child(TreeSpec::cell("R_A").with_component("A"))
+            .with_child(
+                TreeSpec::cell("R_BC")
+                    .with_child(TreeSpec::cell("R_B").with_component("B"))
+                    .with_child(TreeSpec::cell("R_C").with_component("C")),
+            )
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn figure_2_tree_is_clean() {
+        assert!(lint_tree(&figure_2()).is_clean());
+    }
+
+    #[test]
+    fn cell_path_joins_labels() {
+        let tree = figure_2();
+        let r_b = tree.cell_of_component("B").unwrap();
+        assert_eq!(cell_path(&tree, r_b), "R_ABC/R_BC/R_B");
+        assert_eq!(cell_path(&tree, tree.root()), "R_ABC");
+    }
+
+    #[test]
+    fn component_free_tree_is_denied_once() {
+        let tree = TreeSpec::cell("root")
+            .with_child(TreeSpec::cell("a"))
+            .with_child(TreeSpec::cell("b"))
+            .build()
+            .unwrap();
+        let report = lint_tree(&tree);
+        assert_eq!(report.codes(), vec!["RRL002"]);
+        assert!(report.has_deny());
+    }
+
+    #[test]
+    fn empty_leaf_warns() {
+        let tree = TreeSpec::cell("root")
+            .with_child(TreeSpec::cell("R_a").with_component("a"))
+            .with_child(TreeSpec::cell("R_ghost"))
+            .build()
+            .unwrap();
+        let report = lint_tree(&tree);
+        assert_eq!(report.codes(), vec!["RRL003"]);
+        assert!(!report.has_deny());
+        assert_eq!(report.diagnostics()[0].path, "root/R_ghost");
+    }
+
+    #[test]
+    fn duplicate_label_warns_once_per_label() {
+        let tree = TreeSpec::cell("root")
+            .with_child(TreeSpec::cell("twin").with_component("a"))
+            .with_child(TreeSpec::cell("twin").with_component("b"))
+            .with_child(TreeSpec::cell("twin").with_component("c"))
+            .build()
+            .unwrap();
+        let report = lint_tree(&tree);
+        assert_eq!(report.codes(), vec!["RRL004"]);
+    }
+
+    #[test]
+    fn redundant_single_child_cell_warns() {
+        let tree = TreeSpec::cell("root")
+            .with_component("r")
+            .with_child(
+                TreeSpec::cell("shim").with_child(TreeSpec::cell("R_a").with_component("a")),
+            )
+            .build()
+            .unwrap();
+        let report = lint_tree(&tree);
+        assert_eq!(report.codes(), vec!["RRL005"]);
+    }
+
+    #[test]
+    fn root_with_single_child_is_not_redundant() {
+        // Depth augmentation (tree II) hangs everything under the root; the
+        // root's button is the whole-system restart and is never redundant.
+        let tree = TreeSpec::cell("root")
+            .with_child(TreeSpec::cell("R_all").with_components(["a", "b"]))
+            .build()
+            .unwrap();
+        assert!(lint_tree(&tree).is_clean());
+    }
+
+    #[test]
+    fn unbuildable_spec_is_malformed() {
+        let spec = TreeSpec::cell("root")
+            .with_child(TreeSpec::cell("R_a").with_component("dup"))
+            .with_child(TreeSpec::cell("R_b").with_component("dup"));
+        let report = lint_tree_spec(&spec);
+        assert_eq!(report.codes(), vec!["RRL001"]);
+        assert!(report.has_deny());
+    }
+
+    #[test]
+    fn buildable_spec_delegates() {
+        let spec = figure_2().to_spec();
+        assert!(lint_tree_spec(&spec).is_clean());
+    }
+}

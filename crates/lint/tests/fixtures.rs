@@ -1,0 +1,435 @@
+#![allow(clippy::disallowed_methods)]
+//! One minimal failing fixture per diagnostic code.
+//!
+//! Every entry in the `rr_lint` catalog must be constructible: a diagnostic
+//! class nobody can trigger is dead weight, and a class whose fixture stops
+//! firing after a refactor has silently lost its teeth. The meta-test at the
+//! bottom asserts this file covers the catalog exactly, so adding a code
+//! without a fixture fails the build.
+
+use rr_core::model::{FailureMode, FailureModel};
+use rr_core::schedule::{plan_episodes, EpisodePlan, PlannedEpisode, Suspicion};
+use rr_core::tree::{RestartTree, TreeSpec};
+use rr_lint::{
+    catalog, lint_algebra, lint_fault_script, lint_fd, lint_model, lint_plan, lint_policy,
+    lint_suspicions, lint_tree, lint_tree_spec, FdParams, GroupClaim, MemberStat, PolicyParams,
+    Report, ScriptContext, Severity,
+};
+
+/// The code each fixture below fires, in catalog order. The meta-test
+/// compares this list against the catalog itself.
+const FIXTURED: &[&str] = &[
+    "RRL001", "RRL002", "RRL003", "RRL004", "RRL005", "RRL101", "RRL102", "RRL103", "RRL104",
+    "RRL201", "RRL202", "RRL203", "RRL211", "RRL212", "RRL213", "RRL301", "RRL302", "RRL401",
+    "RRL402", "RRL403", "RRL501", "RRL502", "RRL503", "RRL504", "RRL505", "RRL601", "RRL602",
+    "RRL603",
+];
+
+/// Asserts the report fires `code` and that the finding's severity matches
+/// the catalog (deny fixtures must actually deny, warn fixtures must not).
+fn assert_fires(report: &Report, code: &str) {
+    assert!(
+        report.fired(code),
+        "expected {code}, got {:?}:\n{}",
+        report.codes(),
+        report.to_human()
+    );
+    let info = catalog::lookup(code).unwrap_or_else(|| panic!("{code} not in catalog"));
+    match info.severity {
+        Severity::Deny => assert!(report.has_deny(), "{code} is deny-severity"),
+        Severity::Warn => {
+            let diag = report
+                .diagnostics()
+                .iter()
+                .find(|d| d.code() == code)
+                .unwrap();
+            assert_eq!(diag.severity(), Severity::Warn);
+        }
+    }
+}
+
+fn sane_policy() -> PolicyParams {
+    PolicyParams {
+        escalation_limit: 8,
+        max_restarts_per_window: 20,
+        restart_window_s: 3600.0,
+        backoff_base_s: 0.5,
+        backoff_cap_s: 30.0,
+    }
+}
+
+fn sane_fd() -> FdParams {
+    FdParams {
+        ping_period_s: 1.0,
+        ping_timeout_s: 0.4,
+        suspicion_threshold: 2,
+        suspicion_window: 4,
+        beacon_period_s: 5.0,
+        beacon_timeout_s: 25.0,
+    }
+}
+
+fn small_tree() -> RestartTree {
+    TreeSpec::cell("root")
+        .with_child(
+            TreeSpec::cell("R_ab")
+                .with_child(TreeSpec::cell("R_a").with_component("a"))
+                .with_child(TreeSpec::cell("R_b").with_component("b")),
+        )
+        .with_child(TreeSpec::cell("R_c").with_component("c"))
+        .build()
+        .unwrap()
+}
+
+fn episode(tree: &RestartTree, label: &str, origins: &[&str]) -> PlannedEpisode {
+    let cell = tree
+        .cells()
+        .into_iter()
+        .find(|&c| tree.label(c) == label)
+        .unwrap();
+    PlannedEpisode {
+        cell,
+        components: tree.components_under(cell),
+        origins: origins.iter().map(|s| s.to_string()).collect(),
+    }
+}
+
+// ---- RRL0xx: trees -------------------------------------------------------
+
+#[test]
+fn rrl001_tree_malformed() {
+    // The same component attached to two cells only exists in spec form; the
+    // invariant-preserving RestartTree API cannot express it.
+    let spec = TreeSpec::cell("root")
+        .with_child(TreeSpec::cell("R_a").with_component("dup"))
+        .with_child(TreeSpec::cell("R_b").with_component("dup"));
+    assert_fires(&lint_tree_spec(&spec), "RRL001");
+}
+
+#[test]
+fn rrl002_tree_no_components() {
+    let tree = TreeSpec::cell("root")
+        .with_child(TreeSpec::cell("R_a"))
+        .build()
+        .unwrap();
+    assert_fires(&lint_tree(&tree), "RRL002");
+}
+
+#[test]
+fn rrl003_tree_empty_leaf() {
+    let tree = TreeSpec::cell("root")
+        .with_child(TreeSpec::cell("R_a").with_component("a"))
+        .with_child(TreeSpec::cell("R_ghost"))
+        .build()
+        .unwrap();
+    assert_fires(&lint_tree(&tree), "RRL003");
+}
+
+#[test]
+fn rrl004_tree_duplicate_label() {
+    let tree = TreeSpec::cell("root")
+        .with_child(TreeSpec::cell("twin").with_component("a"))
+        .with_child(TreeSpec::cell("twin").with_component("b"))
+        .build()
+        .unwrap();
+    assert_fires(&lint_tree(&tree), "RRL004");
+}
+
+#[test]
+fn rrl005_tree_redundant_cell() {
+    let tree = TreeSpec::cell("root")
+        .with_component("r")
+        .with_child(TreeSpec::cell("shim").with_child(TreeSpec::cell("R_a").with_component("a")))
+        .build()
+        .unwrap();
+    assert_fires(&lint_tree(&tree), "RRL005");
+}
+
+// ---- RRL1xx: restart policies --------------------------------------------
+
+#[test]
+fn rrl101_policy_escalation_short() {
+    let params = PolicyParams {
+        escalation_limit: 1,
+        ..sane_policy()
+    };
+    // small_tree has a three-cell restart path (root / R_ab / R_a): one rung
+    // of escalation cannot reach the root.
+    assert_fires(&lint_policy(&params, Some(&small_tree())), "RRL101");
+}
+
+#[test]
+fn rrl102_policy_backoff_regressive() {
+    let params = PolicyParams {
+        backoff_base_s: 10.0,
+        backoff_cap_s: 1.0,
+        ..sane_policy()
+    };
+    assert_fires(&lint_policy(&params, None), "RRL102");
+}
+
+#[test]
+fn rrl103_policy_storm_unbounded() {
+    let params = PolicyParams {
+        max_restarts_per_window: 0,
+        ..sane_policy()
+    };
+    assert_fires(&lint_policy(&params, None), "RRL103");
+}
+
+#[test]
+fn rrl104_policy_quarantine_unreachable() {
+    let params = PolicyParams {
+        escalation_limit: 100_000,
+        ..sane_policy()
+    };
+    assert_fires(&lint_policy(&params, None), "RRL104");
+}
+
+// ---- RRL2xx: failure models and oracle suspicions ------------------------
+
+#[test]
+fn rrl201_model_unknown_component() {
+    let model = FailureModel::new().with_mode(FailureMode::solo("ghost-crash", "ghost", 1.0));
+    assert_fires(&lint_model(&model, &small_tree()), "RRL201");
+}
+
+#[test]
+fn rrl202_model_uncovered_component() {
+    let model = FailureModel::new()
+        .with_mode(FailureMode::solo("a-crash", "a", 1.0))
+        .with_mode(FailureMode::solo("b-crash", "b", 1.0));
+    assert_fires(&lint_model(&model, &small_tree()), "RRL202");
+}
+
+#[test]
+fn rrl203_model_empty() {
+    assert_fires(&lint_model(&FailureModel::new(), &small_tree()), "RRL203");
+}
+
+#[test]
+fn rrl211_suspicion_unknown_cell() {
+    let tree = small_tree();
+    let mut bigger = small_tree();
+    let stale = bigger.add_cell(bigger.root(), "extra").unwrap();
+    let s = Suspicion {
+        component: "a".into(),
+        cell: stale,
+    };
+    assert_fires(&lint_suspicions(&tree, &[s]), "RRL211");
+}
+
+#[test]
+fn rrl212_suspicion_unknown_component() {
+    let tree = small_tree();
+    let s = Suspicion {
+        component: "ghost".into(),
+        cell: tree.root(),
+    };
+    assert_fires(&lint_suspicions(&tree, &[s]), "RRL212");
+}
+
+#[test]
+fn rrl213_suspicion_cell_misses_component() {
+    let tree = small_tree();
+    let s = Suspicion {
+        component: "a".into(),
+        cell: tree.cell_of_component("c").unwrap(),
+    };
+    assert_fires(&lint_suspicions(&tree, &[s]), "RRL213");
+}
+
+// ---- RRL3xx: MTTF/MTTR algebra -------------------------------------------
+
+fn claim(mttf_s: f64, mttr_s: f64) -> GroupClaim {
+    GroupClaim {
+        group: "R_[a,b]".into(),
+        mttf_s,
+        mttr_s,
+        members: vec![
+            MemberStat {
+                name: "a".into(),
+                mttf_s: 600.0,
+                mttr_s: 5.0,
+            },
+            MemberStat {
+                name: "b".into(),
+                mttf_s: 3600.0,
+                mttr_s: 12.0,
+            },
+        ],
+    }
+}
+
+#[test]
+fn rrl301_algebra_mttf_overclaimed() {
+    // A group cannot outlive its weakest member (MTTF_G <= min MTTF_ci).
+    assert_fires(&lint_algebra(&[claim(1000.0, 12.0)]), "RRL301");
+}
+
+#[test]
+fn rrl302_algebra_mttr_underclaimed() {
+    // A group cannot recover faster than its slowest member.
+    assert_fires(&lint_algebra(&[claim(600.0, 5.0)]), "RRL302");
+}
+
+// ---- RRL4xx: episode plans -----------------------------------------------
+
+#[test]
+fn rrl401_plan_overlapping_episodes() {
+    let tree = small_tree();
+    let plan = EpisodePlan {
+        episodes: vec![
+            episode(&tree, "R_ab", &["b"]),
+            episode(&tree, "R_a", &["a"]),
+        ],
+    };
+    assert_fires(&lint_plan(&tree, &plan), "RRL401");
+}
+
+#[test]
+fn rrl402_plan_unknown_cell() {
+    let tree = small_tree();
+    let mut bigger = small_tree();
+    let stale = bigger.add_cell(bigger.root(), "extra").unwrap();
+    let plan = EpisodePlan {
+        episodes: vec![PlannedEpisode {
+            cell: stale,
+            components: vec![],
+            origins: vec!["a".into()],
+        }],
+    };
+    assert_fires(&lint_plan(&tree, &plan), "RRL402");
+}
+
+#[test]
+fn rrl403_plan_duplicate_origin() {
+    let tree = small_tree();
+    let plan = EpisodePlan {
+        episodes: vec![episode(&tree, "R_a", &["a"]), episode(&tree, "R_c", &["a"])],
+    };
+    assert_fires(&lint_plan(&tree, &plan), "RRL403");
+}
+
+// ---- RRL5xx: fault scripts -----------------------------------------------
+
+fn script_ctx<'a>(fd: Option<&'a FdParams>, components: &'a [String]) -> ScriptContext<'a> {
+    ScriptContext {
+        components,
+        infrastructure: INFRA,
+        fd,
+    }
+}
+
+const INFRA: &[String] = &[];
+
+fn comps() -> Vec<String> {
+    vec!["a".into(), "b".into()]
+}
+
+#[test]
+fn rrl501_script_malformed() {
+    let c = comps();
+    let report = lint_fault_script("soon crash a", &script_ctx(None, &c));
+    assert_fires(&report, "RRL501");
+}
+
+#[test]
+fn rrl502_script_unknown_target() {
+    let c = comps();
+    let report = lint_fault_script("0 crash ghost", &script_ctx(None, &c));
+    assert_fires(&report, "RRL502");
+}
+
+#[test]
+fn rrl503_script_time_regression() {
+    let c = comps();
+    let report = lint_fault_script(
+        "5000000000 crash a\n1000000000 crash b\n",
+        &script_ctx(None, &c),
+    );
+    assert_fires(&report, "RRL503");
+}
+
+#[test]
+fn rrl504_script_zombie_unobservable() {
+    let beaconless = FdParams {
+        beacon_timeout_s: 0.0,
+        ..sane_fd()
+    };
+    let c = comps();
+    let report = lint_fault_script("0 zombie a", &script_ctx(Some(&beaconless), &c));
+    assert_fires(&report, "RRL504");
+}
+
+#[test]
+fn rrl505_script_infrastructure_target() {
+    let c = comps();
+    let infra = vec!["fd".to_string()];
+    let ctx = ScriptContext {
+        components: &c,
+        infrastructure: &infra,
+        fd: None,
+    };
+    assert_fires(&lint_fault_script("0 crash fd", &ctx), "RRL505");
+}
+
+// ---- RRL6xx: failure detector timing -------------------------------------
+
+#[test]
+fn rrl601_fd_timeout_exceeds_period() {
+    let params = FdParams {
+        ping_period_s: 1.0,
+        ping_timeout_s: 1.5,
+        ..sane_fd()
+    };
+    assert_fires(&lint_fd(&params), "RRL601");
+}
+
+#[test]
+fn rrl602_fd_window_short() {
+    let params = FdParams {
+        suspicion_threshold: 8,
+        suspicion_window: 3,
+        ..sane_fd()
+    };
+    assert_fires(&lint_fd(&params), "RRL602");
+}
+
+#[test]
+fn rrl603_fd_beacon_window_tight() {
+    let params = FdParams {
+        beacon_period_s: 5.0,
+        beacon_timeout_s: 10.0,
+        ..sane_fd()
+    };
+    assert_fires(&lint_fd(&params), "RRL603");
+}
+
+// ---- meta ----------------------------------------------------------------
+
+#[test]
+fn every_catalog_code_has_a_fixture() {
+    let catalog_codes: Vec<&str> = catalog::CATALOG.iter().map(|c| c.code).collect();
+    assert_eq!(
+        catalog_codes, FIXTURED,
+        "catalog and fixture list diverged: add a fixture (and list entry) \
+         for every new diagnostic code"
+    );
+}
+
+#[test]
+fn sane_baselines_are_clean() {
+    // The ..sane() baselines used above must themselves be clean, or the
+    // fixtures could be firing on the baseline rather than the mutation.
+    assert!(lint_policy(&sane_policy(), Some(&small_tree())).is_clean());
+    assert!(lint_fd(&sane_fd()).is_clean());
+    assert!(lint_tree(&small_tree()).is_clean());
+    let c = comps();
+    assert!(lint_fault_script("0 crash a\n1000000000 crash b\n", &script_ctx(None, &c)).is_clean());
+    assert!(lint_algebra(&[claim(600.0, 12.0)]).is_clean());
+    let suspicions = vec![Suspicion::covering(&small_tree(), "a", &["a"]).unwrap()];
+    assert!(lint_suspicions(&small_tree(), &suspicions).is_clean());
+    let plan = plan_episodes(&small_tree(), &suspicions).unwrap();
+    assert!(lint_plan(&small_tree(), &plan).is_clean());
+}

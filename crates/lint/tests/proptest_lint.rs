@@ -1,0 +1,120 @@
+#![allow(clippy::disallowed_methods)]
+//! Property tests bridging the linter to the tree machinery: every tree the
+//! core library can legitimately produce — by exhaustive enumeration or by
+//! chaining the paper's transformations — must lint deny-free. Warnings are
+//! allowed (enumeration legitimately produces empty interior cells); deny
+//! diagnostics are reserved for states the invariant-preserving API cannot
+//! reach.
+
+use rr_core::enumerate::enumerate_trees;
+use rr_core::transform::{consolidate, depth_augment, promote_component, split_component};
+use rr_core::tree::RestartTree;
+use rr_lint::lint_tree;
+use rr_sim::check;
+
+fn assert_deny_free(tree: &RestartTree, context: &str) {
+    let report = lint_tree(tree);
+    assert!(
+        !report.has_deny(),
+        "{context}: enumerated/transformed tree must not deny:\n{}",
+        report.to_human()
+    );
+}
+
+#[test]
+fn enumerated_trees_never_deny() {
+    for n in 1..=4usize {
+        let components: Vec<String> = (0..n).map(|i| format!("c{i}")).collect();
+        let trees = enumerate_trees(&components);
+        assert!(!trees.is_empty());
+        for tree in &trees {
+            assert_deny_free(tree, &format!("enumerate_trees over {n} components"));
+        }
+    }
+}
+
+#[test]
+fn transformation_chain_stays_deny_free() {
+    // The paper's I → II → III → IV → V evolution, step by step: every
+    // intermediate tree must stay deny-free.
+    let comps = ["mbus", "fedrcom", "ses", "str", "rtu"];
+    let mut tree = RestartTree::new("mercury");
+    for c in comps {
+        tree.attach_component(tree.root(), c).unwrap();
+    }
+    assert_deny_free(&tree, "tree I");
+
+    let partition: Vec<Vec<String>> = comps.iter().map(|c| vec![c.to_string()]).collect();
+    let root = tree.root();
+    depth_augment(&mut tree, root, &partition).unwrap();
+    assert_deny_free(&tree, "tree II (depth augmentation)");
+
+    let cell = split_component(&mut tree, "fedrcom", &["fedr", "pbcom"]).unwrap();
+    assert_deny_free(&tree, "tree II' (component split)");
+    depth_augment(
+        &mut tree,
+        cell,
+        &[vec!["fedr".to_string()], vec!["pbcom".to_string()]],
+    )
+    .unwrap();
+    assert_deny_free(&tree, "tree III (split + depth augmentation)");
+
+    let ses = tree.cell_of_component("ses").unwrap();
+    let str_ = tree.cell_of_component("str").unwrap();
+    consolidate(&mut tree, &[ses, str_]).unwrap();
+    assert_deny_free(&tree, "tree IV (ses/str consolidation)");
+
+    promote_component(&mut tree, "pbcom").unwrap();
+    assert_deny_free(&tree, "tree V (pbcom promotion)");
+}
+
+#[test]
+fn random_depth_augmentations_never_deny() {
+    check::run("lint::random_depth_augmentations", 128, |rng| {
+        let n = 2 + rng.next_below(5) as usize;
+        let components: Vec<String> = (0..n).map(|i| format!("c{i}")).collect();
+        let mut tree = RestartTree::new("root");
+        for c in &components {
+            tree.attach_component(tree.root(), c.as_str()).unwrap();
+        }
+        // Random partition of the components into 1..=n groups.
+        let groups = 1 + rng.next_below(n as u64) as usize;
+        let mut partition: Vec<Vec<String>> = vec![Vec::new(); groups];
+        for c in &components {
+            let g = rng.next_below(groups as u64) as usize;
+            partition[g].push(c.clone());
+        }
+        partition.retain(|g| !g.is_empty());
+        let root = tree.root();
+        depth_augment(&mut tree, root, &partition).unwrap();
+        assert_deny_free(&tree, "random depth augmentation");
+
+        // Optionally consolidate two random sibling cells and re-check.
+        let cells = tree.children(root).to_vec();
+        if cells.len() >= 2 {
+            let a = cells[rng.next_below(cells.len() as u64) as usize];
+            let b = cells[rng.next_below(cells.len() as u64) as usize];
+            if a != b {
+                consolidate(&mut tree, &[a, b]).unwrap();
+                assert_deny_free(&tree, "random consolidation");
+            }
+        }
+    });
+}
+
+#[test]
+fn random_splits_never_deny() {
+    check::run("lint::random_splits", 64, |rng| {
+        let n = 1 + rng.next_below(4) as usize;
+        let components: Vec<String> = (0..n).map(|i| format!("c{i}")).collect();
+        let mut tree = RestartTree::new("root");
+        for c in &components {
+            tree.attach_component(tree.root(), c.as_str()).unwrap();
+        }
+        let victim = format!("c{}", rng.next_below(n as u64));
+        let parts = 1 + rng.next_below(3) as usize;
+        let names: Vec<String> = (0..parts).map(|i| format!("{victim}-part{i}")).collect();
+        split_component(&mut tree, &victim, &names).unwrap();
+        assert_deny_free(&tree, "random component split");
+    });
+}

@@ -589,6 +589,39 @@ impl StationConfig {
             .with_mode(FailureMode::solo("rtu-crash", names::RTU, 0.2))
     }
 
+    /// The failure-detector timing knobs in the shape `rr_lint` checks.
+    pub fn fd_params(&self) -> rr_lint::FdParams {
+        rr_lint::FdParams {
+            ping_period_s: self.ping_period_s,
+            ping_timeout_s: self.ping_timeout_s,
+            suspicion_threshold: self.suspicion_threshold,
+            suspicion_window: self.suspicion_window,
+            beacon_period_s: self.beacon_period_s,
+            beacon_timeout_s: self.beacon_timeout_s,
+        }
+    }
+
+    /// The restart-policy knobs in the shape `rr_lint` checks.
+    pub fn policy_params(&self) -> rr_lint::PolicyParams {
+        rr_lint::PolicyParams {
+            escalation_limit: self.escalation_limit,
+            max_restarts_per_window: self.max_restarts_per_window,
+            restart_window_s: self.restart_window_s,
+            backoff_base_s: self.restart_backoff_base_s,
+            backoff_cap_s: self.restart_backoff_cap_s,
+        }
+    }
+
+    /// Statically lints this configuration against the restart tree it will
+    /// operate: tree well-formedness, FD timing feasibility, and restart
+    /// policy soundness. [`Station`](crate::station::Station) construction
+    /// refuses to run when the report carries a deny diagnostic.
+    pub fn lint(&self, tree: &rr_core::tree::RestartTree) -> rr_lint::Report {
+        rr_lint::lint_tree(tree)
+            .merged(rr_lint::lint_fd(&self.fd_params()))
+            .merged(rr_lint::lint_policy(&self.policy_params(), Some(tree)))
+    }
+
     /// The Table 1 failure model for the *unsplit* station (trees I/II).
     pub fn unsplit_failure_model(&self) -> FailureModel {
         FailureModel::new()

@@ -52,6 +52,9 @@ pub enum StationError {
     RequiresSplit,
     /// Building the restart tree failed.
     Tree(TreeError),
+    /// Static verification ([`StationConfig::lint`]) found deny-severity
+    /// diagnostics; the list holds the full report (warnings included).
+    Lint(Vec<rr_lint::Diagnostic>),
 }
 
 impl fmt::Display for StationError {
@@ -71,6 +74,18 @@ impl fmt::Display for StationError {
                 write!(f, "operation requires the split fedr/pbcom station")
             }
             StationError::Tree(e) => write!(f, "restart tree construction failed: {e}"),
+            StationError::Lint(diags) => {
+                let denies: Vec<String> = diags
+                    .iter()
+                    .filter(|d| d.severity() == rr_lint::Severity::Deny)
+                    .map(|d| format!("{}: {}", d.code(), d.message))
+                    .collect();
+                write!(
+                    f,
+                    "configuration rejected by rr-lint: {}",
+                    denies.join("; ")
+                )
+            }
         }
     }
 }
@@ -235,8 +250,10 @@ impl Station {
     ///
     /// Returns [`StationError::InvalidConfig`] for an inconsistent
     /// configuration, [`StationError::TreeMismatch`] if `components`
-    /// disagrees with the tree, or [`StationError::UnknownComponent`] for a
-    /// name no Mercury factory exists for.
+    /// disagrees with the tree, [`StationError::Lint`] if static
+    /// verification ([`StationConfig::lint`]) produces a deny diagnostic,
+    /// or [`StationError::UnknownComponent`] for a name no Mercury factory
+    /// exists for.
     pub fn with_tree(
         config: StationConfig,
         tree: RestartTree,
@@ -254,6 +271,10 @@ impl Station {
                 tree: tree.components(),
                 requested: sorted,
             });
+        }
+        let report = config.lint(&tree);
+        if report.has_deny() {
+            return Err(StationError::Lint(report.into_diagnostics()));
         }
 
         let shared = Shared::new(config);

@@ -1,3 +1,4 @@
+#![allow(clippy::disallowed_methods)]
 //! Component-level unit tests: each Mercury component exercised in a
 //! minimal simulation (just the actors it needs), independent of FD/REC.
 

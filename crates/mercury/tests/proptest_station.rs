@@ -1,3 +1,4 @@
+#![allow(clippy::disallowed_methods)]
 //! Property tests of the whole station: arbitrary single-failure campaigns
 //! always recover within bounded time, under every tree variant, and the
 //! recovery never needs more components than the whole system.

@@ -1,3 +1,4 @@
+#![allow(clippy::disallowed_methods)]
 //! End-to-end smoke tests: the station cold-starts, detects injected
 //! failures, recovers them through the restart tree, and the measured
 //! recovery times land in the paper's ballpark (exact reproduction is the

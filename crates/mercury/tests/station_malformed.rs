@@ -1,3 +1,4 @@
+#![allow(clippy::disallowed_methods)]
 //! End-to-end malformed-input tests: garbage on the message bus must be
 //! logged and dropped by the receiving component, never crash the station —
 //! the panic-path counterpart of `msg`'s parser-level malformed suite — and

@@ -128,13 +128,25 @@ impl TelemetryFrame {
             return Err(FrameError::Truncated);
         }
         let (body, trailer) = bytes.split_at(bytes.len() - 4);
-        let carried = u32::from_be_bytes(trailer.try_into().expect("4 bytes"));
+        let carried = u32::from_be_bytes(
+            trailer
+                .try_into()
+                .unwrap_or_else(|_| unreachable!("split_at leaves exactly 4 bytes")),
+        );
         let computed = crc32(body);
         if carried != computed {
             return Err(FrameError::BadCrc { carried, computed });
         }
-        let seq = u32::from_be_bytes(body[0..4].try_into().expect("4 bytes"));
-        let declared = usize::from(u16::from_be_bytes(body[4..6].try_into().expect("2 bytes")));
+        let seq = u32::from_be_bytes(
+            body[0..4]
+                .try_into()
+                .unwrap_or_else(|_| unreachable!("slice is exactly 4 bytes")),
+        );
+        let declared = usize::from(u16::from_be_bytes(
+            body[4..6]
+                .try_into()
+                .unwrap_or_else(|_| unreachable!("slice is exactly 2 bytes")),
+        ));
         let actual = body.len() - 6;
         if declared != actual {
             return Err(FrameError::LengthMismatch { declared, actual });

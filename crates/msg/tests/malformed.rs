@@ -1,3 +1,4 @@
+#![allow(clippy::disallowed_methods)]
 //! Malformed-input coverage for `msg::frame` and `msg::xml`/`msg::envelope`.
 //!
 //! The round-trip suites prove well-formed input survives; this one proves

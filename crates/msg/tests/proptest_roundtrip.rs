@@ -1,3 +1,4 @@
+#![allow(clippy::disallowed_methods)]
 //! Property tests: every generatable message and envelope survives a
 //! serialize → parse round trip, and the XML layer round-trips arbitrary
 //! attribute/text content (including characters that need escaping).

@@ -9,7 +9,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::RwLock;
+use std::sync::{PoisonError, RwLock};
 
 /// A message between services.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -20,6 +20,30 @@ pub struct Post {
     /// envelopes fit here unchanged).
     pub body: String,
 }
+
+/// Why a send failed. Both cases are silent losses from the sender's point
+/// of view — the router models `mbus`, whose delivery guarantee is "none" —
+/// but supervisors use the distinction for diagnostics: an unregistered
+/// target is the normal fail-silent window during recovery, while a
+/// disconnected mailbox means the service died without unregistering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SendError {
+    /// No mailbox is registered under the target name.
+    Unregistered,
+    /// The mailbox exists but its receiver has been dropped.
+    Disconnected,
+}
+
+impl std::fmt::Display for SendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SendError::Unregistered => write!(f, "target is not registered"),
+            SendError::Disconnected => write!(f, "target mailbox is disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for SendError {}
 
 /// A clonable, thread-safe name → mailbox registry.
 #[derive(Debug, Clone, Default)]
@@ -36,37 +60,65 @@ impl Router {
     /// Registers (or replaces) a mailbox for `name`; returns its receiver.
     pub fn register(&self, name: &str) -> Receiver<Post> {
         let (tx, rx) = channel();
-        self.inner.write().unwrap().insert(name.to_string(), tx);
+        self.inner
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(name.to_string(), tx);
         rx
     }
 
     /// Unregisters `name`: subsequent posts to it are dropped.
     pub fn unregister(&self, name: &str) {
-        self.inner.write().unwrap().remove(name);
+        self.inner
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+            .remove(name);
     }
 
-    /// Sends a post; returns `false` if the target is unregistered or its
-    /// mailbox is gone (both are silent losses by design).
-    pub fn send(&self, from: &str, to: &str, body: impl Into<String>) -> bool {
-        let guard = self.inner.read().unwrap();
-        let Some(tx) = guard.get(to) else {
-            return false;
-        };
+    /// Sends a post, reporting why it was dropped. A lock poisoned by a
+    /// panicking service thread is recovered, not propagated: the registry
+    /// map is always left in a consistent state by the registry operations,
+    /// and the router must keep routing while the supervisor restarts
+    /// whatever panicked.
+    ///
+    /// # Errors
+    ///
+    /// [`SendError::Unregistered`] if no mailbox holds the target name,
+    /// [`SendError::Disconnected`] if the mailbox's receiver is gone.
+    pub fn try_send(&self, from: &str, to: &str, body: impl Into<String>) -> Result<(), SendError> {
+        let guard = self.inner.read().unwrap_or_else(PoisonError::into_inner);
+        let tx = guard.get(to).ok_or(SendError::Unregistered)?;
         tx.send(Post {
             from: from.to_string(),
             body: body.into(),
         })
-        .is_ok()
+        .map_err(|_| SendError::Disconnected)
+    }
+
+    /// Sends a post; returns `false` if the target is unregistered or its
+    /// mailbox is gone (both are silent losses by design). The typed
+    /// variant is [`try_send`](Self::try_send).
+    pub fn send(&self, from: &str, to: &str, body: impl Into<String>) -> bool {
+        self.try_send(from, to, body).is_ok()
     }
 
     /// `true` if a mailbox is registered for `name`.
     pub fn is_registered(&self, name: &str) -> bool {
-        self.inner.read().unwrap().contains_key(name)
+        self.inner
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .contains_key(name)
     }
 
     /// Registered names, sorted.
     pub fn names(&self) -> Vec<String> {
-        let mut v: Vec<String> = self.inner.read().unwrap().keys().cloned().collect();
+        let mut v: Vec<String> = self
+            .inner
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .keys()
+            .cloned()
+            .collect();
         v.sort();
         v
     }
@@ -104,6 +156,23 @@ mod tests {
         assert!(router.send("a", "svc", "to-new"));
         assert!(new_rx.try_recv().is_ok());
         assert!(old_rx.try_recv().is_err(), "old mailbox no longer fed");
+    }
+
+    #[test]
+    fn try_send_distinguishes_loss_reasons() {
+        let router = Router::new();
+        assert_eq!(
+            router.try_send("a", "ghost", "boo"),
+            Err(SendError::Unregistered)
+        );
+        let rx = router.register("svc");
+        drop(rx);
+        assert_eq!(
+            router.try_send("a", "svc", "boo"),
+            Err(SendError::Disconnected)
+        );
+        let _rx = router.register("svc");
+        assert_eq!(router.try_send("a", "svc", "hi"), Ok(()));
     }
 
     #[test]

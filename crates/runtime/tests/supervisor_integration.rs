@@ -1,3 +1,4 @@
+#![allow(clippy::disallowed_methods)]
 //! Integration tests for the live threaded supervisor: consolidated group
 //! restarts, repeated failures, state loss on restart, and clean shutdown —
 //! the paper's semantics on real OS threads.

@@ -167,7 +167,7 @@ impl FaultScript {
             let mut parts = line.splitn(3, ' ');
             let at = parts
                 .next()
-                .expect("splitn yields at least one part")
+                .unwrap_or_else(|| unreachable!("splitn yields at least one part"))
                 .parse::<u64>()
                 .map_err(|e| err(format!("bad time: {e}")))?;
             let kind = parts

@@ -211,7 +211,11 @@ impl Summary {
         assert!(!values.is_empty(), "summary of empty sample");
         let stats: OnlineStats = values.iter().copied().collect();
         let mut sorted = values.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-finite value"));
+        assert!(
+            values.iter().all(|v| v.is_finite()),
+            "summary of non-finite sample"
+        );
+        sorted.sort_by(f64::total_cmp);
         Summary {
             count: values.len(),
             mean: stats.mean(),
@@ -221,7 +225,10 @@ impl Summary {
             p50: percentile(&sorted, 0.50),
             p90: percentile(&sorted, 0.90),
             p99: percentile(&sorted, 0.99),
-            max: *sorted.last().expect("non-empty"),
+            max: sorted
+                .last()
+                .copied()
+                .unwrap_or_else(|| unreachable!("asserted non-empty above")),
             ci95: stats.ci95_half_width(),
         }
     }

@@ -159,7 +159,11 @@ impl SimDuration {
 impl Add<SimDuration> for SimTime {
     type Output = SimTime;
     fn add(self, rhs: SimDuration) -> SimTime {
-        SimTime(self.0.checked_add(rhs.0).expect("SimTime overflow"))
+        SimTime(
+            self.0
+                .checked_add(rhs.0)
+                .unwrap_or_else(|| panic!("SimTime overflow")),
+        )
     }
 }
 
@@ -172,7 +176,11 @@ impl AddAssign<SimDuration> for SimTime {
 impl Sub<SimDuration> for SimTime {
     type Output = SimTime;
     fn sub(self, rhs: SimDuration) -> SimTime {
-        SimTime(self.0.checked_sub(rhs.0).expect("SimTime underflow"))
+        SimTime(
+            self.0
+                .checked_sub(rhs.0)
+                .unwrap_or_else(|| panic!("SimTime underflow")),
+        )
     }
 }
 
@@ -186,7 +194,11 @@ impl Sub<SimTime> for SimTime {
 impl Add for SimDuration {
     type Output = SimDuration;
     fn add(self, rhs: SimDuration) -> SimDuration {
-        SimDuration(self.0.checked_add(rhs.0).expect("SimDuration overflow"))
+        SimDuration(
+            self.0
+                .checked_add(rhs.0)
+                .unwrap_or_else(|| panic!("SimDuration overflow")),
+        )
     }
 }
 
@@ -199,7 +211,11 @@ impl AddAssign for SimDuration {
 impl Sub for SimDuration {
     type Output = SimDuration;
     fn sub(self, rhs: SimDuration) -> SimDuration {
-        SimDuration(self.0.checked_sub(rhs.0).expect("SimDuration underflow"))
+        SimDuration(
+            self.0
+                .checked_sub(rhs.0)
+                .unwrap_or_else(|| panic!("SimDuration underflow")),
+        )
     }
 }
 
@@ -215,7 +231,7 @@ impl Mul<u32> for SimDuration {
         SimDuration(
             self.0
                 .checked_mul(rhs as u64)
-                .expect("SimDuration overflow"),
+                .unwrap_or_else(|| panic!("SimDuration overflow")),
         )
     }
 }

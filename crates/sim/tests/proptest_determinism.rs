@@ -1,3 +1,4 @@
+#![allow(clippy::disallowed_methods)]
 //! Property tests for the simulation kernel's core guarantees:
 //! determinism (same seed ⇒ identical run), fault-script independence from
 //! insertion order, and statistics invariants.

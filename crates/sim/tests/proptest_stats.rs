@@ -1,3 +1,4 @@
+#![allow(clippy::disallowed_methods)]
 //! Property tests pinning `stats` to naive reference implementations.
 //!
 //! `Summary`'s percentiles and `OnlineStats::merge` feed every number the

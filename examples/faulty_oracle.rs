@@ -1,3 +1,4 @@
+#![allow(clippy::disallowed_methods)]
 //! §4.4: what an imperfect oracle costs, and how node promotion pays for it.
 //!
 //! ```text

@@ -1,3 +1,4 @@
+#![allow(clippy::disallowed_methods)]
 //! A full satellite pass with a mid-pass failure: the workload the paper's
 //! §5.2 worries about ("downtime during satellite passes is very expensive
 //! because we may lose some science data and telemetry").

@@ -1,3 +1,4 @@
+#![allow(clippy::disallowed_methods)]
 //! §7 future work: "we intend to extend the oracle with the ability to learn
 //! from its mistakes and this way generate estimates for the f_ci values."
 //!

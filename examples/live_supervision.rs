@@ -1,3 +1,4 @@
+#![allow(clippy::disallowed_methods)]
 //! Recursive restartability on real OS threads: a live supervision tree.
 //!
 //! ```text

@@ -1,3 +1,4 @@
+#![allow(clippy::disallowed_methods)]
 //! Quickstart: build a restart tree, wire a recoverer, cure a failure.
 //!
 //! ```text

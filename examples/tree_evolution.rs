@@ -1,3 +1,4 @@
+#![allow(clippy::disallowed_methods)]
 //! The paper's narrative, §4: evolve Mercury's restart tree from I to V,
 //! measuring recovery at each step.
 //!

@@ -28,6 +28,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::disallowed_methods))]
 
 pub use mercury;
 pub use mercury_msg;

@@ -1,3 +1,4 @@
+#![allow(clippy::disallowed_methods)]
 //! Closed-loop advisor test: start from tree II (post-split), repeatedly
 //! apply whatever the Table 3 advisor recommends, and verify the loop
 //! converges — mechanically — to the paper's final tree V.

@@ -1,3 +1,4 @@
+#![allow(clippy::disallowed_methods)]
 //! Cross-crate integration tests pinning the paper's headline results.
 //!
 //! These use few trials (speed) and assert the *shape* of the results —

@@ -1,3 +1,4 @@
+#![allow(clippy::disallowed_methods)]
 //! Proactive rejuvenation (§3's "bounded form of software rejuvenation",
 //! driven by the §7 health beacons): REC restarts an aging component before
 //! it fails, converting unplanned downtime into planned downtime.

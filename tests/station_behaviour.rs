@@ -1,3 +1,4 @@
+#![allow(clippy::disallowed_methods)]
 //! Cross-crate integration tests of station behaviour beyond the paper's
 //! tables: wire-level protocol health, workload realism, health beacons,
 //! aging-induced failures, policy give-ups, and custom (optimizer-produced)
