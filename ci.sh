@@ -47,6 +47,37 @@ if "$RR_LINT" tests/lint-fixtures/broken.fault; then
     exit 1
 fi
 
+# Model checking: exhaustively explore the recovery protocol's interleavings
+# (solo + correlated-pair faults, trees I-V, both oracles) at the default
+# bound, and verify every golden scenario's recorded telemetry stream with
+# the happens-before verifier. A violation prints its minimized replayable
+# counterexample in the golden-trace line format, banner-framed like the
+# golden drift above. The seeded-violation fixtures must behave: the clean
+# scenario passes, the deliberately broken one is rejected.
+RR_MODEL=target/release/rr-model
+if ! "$RR_MODEL" > model-audit.log 2>&1; then
+    set +x
+    echo "==== rr-model: protocol audit found a violation ===="
+    cat model-audit.log
+    echo "==== end rr-model counterexample ===="
+    exit 1
+fi
+rm -f model-audit.log
+"$RR_MODEL" tests/model-fixtures/clean.scenario
+if "$RR_MODEL" tests/model-fixtures/broken.scenario > model-fixture.log 2>&1; then
+    set +x
+    echo "==== rr-model: broken fixture was NOT rejected ===="
+    cat model-fixture.log
+    echo "==== end rr-model fixture output ===="
+    exit 1
+fi
+set +x
+echo "==== rr-model: broken fixture rejected, minimized counterexample ===="
+cat model-fixture.log
+echo "==== end rr-model counterexample ===="
+set -x
+rm -f model-fixture.log
+
 cargo test -q --workspace
 cargo fmt --check
 cargo clippy --workspace --all-targets -- -D warnings

@@ -73,7 +73,7 @@ pub use error::TreeError;
 pub use model::{FailureMode, FailureModel};
 pub use oracle::{Failure, FaultyOracle, LearningOracle, NaiveOracle, Oracle, PerfectOracle};
 pub use policy::{GiveUpReason, RestartPolicy};
-pub use recoverer::{DecisionTally, Recoverer, RecoveryDecision};
+pub use recoverer::{DecisionTally, EpisodeSnapshot, Recoverer, RecoveryDecision};
 pub use recovery::{ProcedureKind, RecoveryLadder, RecoveryProcedure};
 pub use schedule::{
     is_antichain, plan_episodes, EpisodePlan, PlanStats, PlannedEpisode, Suspicion,

@@ -84,6 +84,28 @@ pub struct DecisionTally {
     pub already_recovering: u64,
 }
 
+/// A canonical snapshot of one open failure episode, exposed for model
+/// checking and invariant auditing ([`Recoverer::protocol_snapshot`]).
+///
+/// Snapshots carry everything an external checker needs to reconstruct the
+/// protocol state — owner, escalation depth, target cell, in-flight flag and
+/// merged origins — without reaching into the recoverer's internals, and they
+/// order/compare deterministically so they can serve as (part of) a canonical
+/// state signature.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct EpisodeSnapshot {
+    /// The episode's owner component (its key for completion and cure calls).
+    pub owner: String,
+    /// 0-based escalation attempt the episode has reached.
+    pub attempt: u32,
+    /// The cell targeted by the latest restart, if one was issued.
+    pub cell: Option<NodeId>,
+    /// `true` while the latest restart is issued but not yet complete.
+    pub in_flight: bool,
+    /// The originating suspicions folded into this episode, sorted.
+    pub origins: Vec<String>,
+}
+
 /// Tracks failure episodes and produces restart decisions.
 ///
 /// Protocol, per failure episode:
@@ -94,6 +116,12 @@ pub struct DecisionTally {
 /// 3. if the failure re-manifests, another [`Recoverer::on_failure`]
 ///    escalates; if it does not, the caller confirms with
 ///    [`Recoverer::on_cured`], which also feeds the learning oracle.
+///
+/// A recoverer over a cloneable oracle is itself cloneable: the clone shares
+/// nothing with the original, which is what lets a model checker fork the
+/// *real* protocol implementation at a state and explore every interleaving
+/// of the actions enabled there.
+#[derive(Clone)]
 pub struct Recoverer<O> {
     tree: RestartTree,
     oracle: O,
@@ -408,6 +436,29 @@ impl<O: Oracle> Recoverer<O> {
             .values()
             .filter(|ep| ep.in_flight)
             .filter_map(|ep| ep.last_node)
+            .collect()
+    }
+
+    /// The restart policy this recoverer enforces.
+    pub fn policy(&self) -> &RestartPolicy {
+        &self.policy
+    }
+
+    /// A canonical, deterministic snapshot of every open episode, sorted by
+    /// owner. This is the protocol-state extraction hook used by `rr-model`:
+    /// together with the per-component restart counters from
+    /// [`Recoverer::policy`] it captures everything that influences future
+    /// decisions, so two states with equal snapshots behave identically.
+    pub fn protocol_snapshot(&self) -> Vec<EpisodeSnapshot> {
+        self.episodes
+            .iter()
+            .map(|(owner, ep)| EpisodeSnapshot {
+                owner: owner.clone(),
+                attempt: ep.attempt,
+                cell: ep.last_node,
+                in_flight: ep.in_flight,
+                origins: ep.origins.iter().cloned().collect(),
+            })
             .collect()
     }
 }

@@ -26,9 +26,10 @@ use rr_core::schedule::{plan_episodes, Suspicion};
 use rr_core::tree::RestartTree;
 use rr_harness::golden::{golden_scenarios, lint_scenario};
 use rr_lint::{
-    catalog, lint_algebra, lint_fault_script, lint_model, lint_plan, lint_suspicions, Diagnostic,
-    GroupClaim, MemberStat, Report, ScriptContext,
+    catalog, lint_algebra, lint_fault_script, lint_model, lint_model_bounds, lint_plan,
+    lint_suspicions, Diagnostic, GroupClaim, MemberStat, ModelBoundsParams, Report, ScriptContext,
 };
+use rr_model::{CHECKED_QUEUE_BOUND, DEFAULT_DEPTH, DEFAULT_STATE_BUDGET};
 
 /// Output rendering for the final report.
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -183,10 +184,28 @@ fn lint_defaults() -> Report {
                 &format!("{prefix}/oracle"),
             ));
             match plan_episodes(&tree, &suspicions) {
-                Ok(plan) => report.merge(prefixed(
-                    lint_plan(&tree, &plan),
-                    &format!("{prefix}/planner"),
-                )),
+                Ok(plan) => {
+                    report.merge(prefixed(
+                        lint_plan(&tree, &plan),
+                        &format!("{prefix}/planner"),
+                    ));
+                    // The widest ground-suspicion plan is the deepest episode
+                    // queue this variant can produce; it must stay within the
+                    // bound rr-model's default scenarios verified, and those
+                    // scenarios (two faults at the default depth) must
+                    // themselves be explorable within the state budget.
+                    report.merge(prefixed(
+                        lint_model_bounds(&ModelBoundsParams {
+                            faults: 2,
+                            components: tree.components().len(),
+                            depth: DEFAULT_DEPTH,
+                            state_budget: DEFAULT_STATE_BUDGET,
+                            plan_queue_depth: plan.episodes.len(),
+                            checked_queue_bound: CHECKED_QUEUE_BOUND,
+                        }),
+                        &format!("{prefix}/model"),
+                    ));
+                }
                 Err(e) => report.push(Diagnostic::new(
                     &catalog::PLAN_UNKNOWN_CELL,
                     format!("{prefix}/planner"),

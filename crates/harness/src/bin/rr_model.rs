@@ -1,0 +1,286 @@
+//! `rr-model`: bounded model checking of the recovery protocol plus
+//! happens-before verification of recorded telemetry streams.
+//!
+//! With no scenario arguments the default audit:
+//!
+//! 1. statically checks exploration feasibility ([`rr_lint::lint_model_bounds`])
+//!    for every built-in scenario,
+//! 2. exhaustively explores the recovery protocol's interleavings (fault
+//!    arrival, suspicion firing, plan merge, restart start/completion, ping
+//!    epoch rollover) for a solo and a correlated-pair fault on every tree
+//!    variant I–V under both oracles, checking the safety invariants and
+//!    liveness-under-fairness, and
+//! 3. replays every golden-trace scenario with telemetry enabled and runs the
+//!    recorded vector-clocked episode stream through the happens-before
+//!    verifier.
+//!
+//! Any `.scenario` files passed as arguments are parsed
+//! ([`rr_model::scenario`]), checked, and must come back violation-free; a
+//! violation prints the minimized replayable counterexample in the
+//! golden-trace line format.
+//!
+//! ```text
+//! rr-model [--depth N] [--skip-hb] [scenario.scenario ...]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` violation found (counterexample printed), `2`
+//! usage, I/O, or exploration error (budget exhausted, bad scenario).
+
+use std::process::ExitCode;
+
+use mercury::config::names;
+use mercury::station::TreeVariant;
+use rr_harness::golden::{golden_scenarios, run_golden_scenario_telemetry};
+use rr_lint::{lint_model_bounds, ModelBoundsParams};
+use rr_model::{
+    check, hb, scenario, CheckConfig, Model, OracleKind, Scenario, CHECKED_QUEUE_BOUND,
+    DEFAULT_DEPTH, DEFAULT_STATE_BUDGET,
+};
+
+const USAGE: &str = "usage: rr-model [--depth N] [--skip-hb] [scenario.scenario ...]
+
+Exhaustively explores the recovery protocol's interleavings up to a depth
+bound, checking safety invariants and liveness-under-fairness, and verifies
+recorded telemetry streams for happens-before violations. Exit code 0 =
+clean, 1 = violation (counterexample printed), 2 = usage or exploration
+error.";
+
+struct Options {
+    depth: Option<usize>,
+    skip_hb: bool,
+    scenarios: Vec<String>,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        depth: None,
+        skip_hb: false,
+        scenarios: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--depth" => {
+                let value = it.next().ok_or("--depth needs a number")?;
+                let parsed: usize = value.parse().map_err(|_| format!("bad depth {value:?}"))?;
+                if parsed == 0 {
+                    return Err("depth must be at least 1".to_string());
+                }
+                opts.depth = Some(parsed);
+            }
+            "--skip-hb" => opts.skip_hb = true,
+            "--help" | "-h" => return Err(String::new()),
+            flag if flag.starts_with('-') => return Err(format!("unknown flag {flag:?}")),
+            path => opts.scenarios.push(path.to_string()),
+        }
+    }
+    Ok(opts)
+}
+
+/// Resolves a scenario's tree name to a variant (`I`–`V`, or `1`–`5`).
+fn resolve_variant(name: &str) -> Result<TreeVariant, String> {
+    match name {
+        "I" | "1" => Ok(TreeVariant::I),
+        "II" | "2" => Ok(TreeVariant::II),
+        "III" | "3" => Ok(TreeVariant::III),
+        "IV" | "4" => Ok(TreeVariant::IV),
+        "V" | "5" => Ok(TreeVariant::V),
+        other => Err(format!("unknown tree {other:?} (expected I-V or 1-5)")),
+    }
+}
+
+/// The built-in audit scenarios for one variant: a solo fault and a
+/// correlated pair (joint cure on split variants, two independent kills on
+/// unsplit ones), under the given oracle.
+fn default_scenarios(variant: TreeVariant, oracle: OracleKind) -> Vec<(String, Scenario)> {
+    let fault = |component: &str, cure: &[&str]| scenario::FaultSpec {
+        component: component.to_string(),
+        cure_set: if cure.is_empty() {
+            vec![component.to_string()]
+        } else {
+            cure.iter().map(|s| s.to_string()).collect()
+        },
+    };
+    let solo = Scenario {
+        tree: variant.to_string(),
+        oracle,
+        depth: None,
+        faults: vec![fault(names::RTU, &[])],
+        mutation: None,
+    };
+    let pair_faults = if variant.is_split() {
+        vec![
+            fault(names::PBCOM, &[]),
+            fault(names::FEDR, &[names::FEDR, names::PBCOM]),
+        ]
+    } else {
+        vec![fault(names::RTU, &[]), fault(names::SES, &[])]
+    };
+    let pair = Scenario {
+        tree: variant.to_string(),
+        oracle,
+        depth: None,
+        faults: pair_faults,
+        mutation: None,
+    };
+    vec![
+        (format!("tree-{variant}/{}/solo", oracle.name()), solo),
+        (format!("tree-{variant}/{}/pair", oracle.name()), pair),
+    ]
+}
+
+/// Statically checks one scenario's exploration feasibility before running
+/// it (the same RRL7xx lints `rr-lint` ships).
+fn bounds_report(sc: &Scenario, variant: TreeVariant, cfg: &CheckConfig) -> rr_lint::Report {
+    lint_model_bounds(&ModelBoundsParams {
+        faults: sc.faults.len(),
+        components: variant.components().len(),
+        depth: cfg.max_depth,
+        state_budget: cfg.state_budget,
+        plan_queue_depth: sc.faults.len(),
+        checked_queue_bound: CHECKED_QUEUE_BOUND,
+    })
+}
+
+/// Builds and explores one scenario. `Ok(true)` means clean, `Ok(false)`
+/// means a violation was found (counterexample already printed).
+fn check_scenario(name: &str, sc: &Scenario, depth_flag: Option<usize>) -> Result<bool, String> {
+    let variant = resolve_variant(&sc.tree).map_err(|e| format!("{name}: {e}"))?;
+    let tree = variant
+        .tree()
+        .map_err(|e| format!("{name}: tree variant {variant} does not build: {e}"))?;
+    let cfg = CheckConfig {
+        max_depth: sc.depth.or(depth_flag).unwrap_or(DEFAULT_DEPTH),
+        state_budget: DEFAULT_STATE_BUDGET,
+    };
+    let bounds = bounds_report(sc, variant, &cfg);
+    if !bounds.is_clean() {
+        print!("{}", bounds.to_human());
+    }
+    if bounds.fired("RRL701") {
+        return Err(format!(
+            "{name}: exploration statically infeasible, refusing to start"
+        ));
+    }
+    let model = Model::new(tree, sc).map_err(|e| format!("{name}: {e}"))?;
+    let outcome = check(&model, &cfg).map_err(|e| format!("{name}: {e}"))?;
+    match outcome.violation {
+        None => {
+            println!(
+                "rr-model {name}: depth {} explored {} states ({} distinct, {} quiescent), \
+                 no violations",
+                outcome.depth,
+                outcome.states_explored,
+                outcome.distinct_states,
+                outcome.quiescent_states
+            );
+            Ok(true)
+        }
+        Some(cex) => {
+            println!(
+                "rr-model {name}: VIOLATION {} after {} states",
+                cex.violation.kind.name(),
+                outcome.states_explored
+            );
+            println!(
+                "minimized counterexample ({} steps, replayable):",
+                cex.trace.len()
+            );
+            print!("{}", cex.render());
+            Ok(false)
+        }
+    }
+}
+
+/// Replays every golden scenario with telemetry enabled and verifies the
+/// recorded episode stream's causal order.
+fn verify_golden_hb() -> bool {
+    let mut clean = true;
+    for sc in golden_scenarios() {
+        let (_trace, registry) = run_golden_scenario_telemetry(&sc);
+        let violations = hb::verify_registry(&registry);
+        if violations.is_empty() {
+            println!(
+                "rr-model hb {}: {} events, causally consistent",
+                sc.name,
+                registry.events().len()
+            );
+        } else {
+            clean = false;
+            println!(
+                "rr-model hb {}: {} happens-before violation(s)",
+                sc.name,
+                violations.len()
+            );
+            for v in &violations {
+                println!("  {v}");
+            }
+        }
+    }
+    clean
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            if msg.is_empty() {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("rr-model: {msg}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut clean = true;
+    if opts.scenarios.is_empty() {
+        for variant in TreeVariant::ALL {
+            for oracle in [OracleKind::Perfect, OracleKind::Naive] {
+                for (name, sc) in default_scenarios(variant, oracle) {
+                    match check_scenario(&name, &sc, opts.depth) {
+                        Ok(ok) => clean &= ok,
+                        Err(msg) => {
+                            eprintln!("rr-model: {msg}");
+                            return ExitCode::from(2);
+                        }
+                    }
+                }
+            }
+        }
+        if !opts.skip_hb {
+            clean &= verify_golden_hb();
+        }
+    } else {
+        for path in &opts.scenarios {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("rr-model: cannot read {path:?}: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let sc = match scenario::parse(&text) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("rr-model: {path}: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match check_scenario(path, &sc, opts.depth) {
+                Ok(ok) => clean &= ok,
+                Err(msg) => {
+                    eprintln!("rr-model: {msg}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    }
+
+    if clean {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

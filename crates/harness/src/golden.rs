@@ -339,6 +339,27 @@ pub fn lint_scenario(sc: &GoldenScenario) -> rr_lint::Report {
 /// [`lint_scenario`] produces a deny diagnostic — the golden suite must
 /// never record a trace from a configuration the analyzer rejects.
 pub fn run_golden_scenario(sc: &GoldenScenario) -> String {
+    run_scenario_with_config(sc, StationConfig::paper()).0
+}
+
+/// Runs one scenario with recovery-episode telemetry enabled, returning the
+/// normalized trace **and** the recorded telemetry registry (vector-clocked
+/// episode stream, ready for the happens-before verifier). Telemetry is
+/// observation-only, so the trace is byte-identical to
+/// [`run_golden_scenario`]'s.
+pub fn run_golden_scenario_telemetry(sc: &GoldenScenario) -> (String, rr_sim::Registry) {
+    let mut cfg = StationConfig::paper();
+    cfg.telemetry_enabled = true;
+    run_scenario_with_config(sc, cfg)
+}
+
+/// Shared scenario driver: lints, warms up, injects per the scenario kind,
+/// runs to completion, and returns the normalized trace plus the station's
+/// telemetry snapshot (a no-op registry unless the config enables it).
+fn run_scenario_with_config(
+    sc: &GoldenScenario,
+    config: StationConfig,
+) -> (String, rr_sim::Registry) {
     let lint = lint_scenario(sc);
     assert!(
         !lint.has_deny(),
@@ -346,13 +367,8 @@ pub fn run_golden_scenario(sc: &GoldenScenario) -> String {
         sc.name,
         lint.to_human()
     );
-    let mut station = Station::new(
-        StationConfig::paper(),
-        sc.variant,
-        Box::new(PerfectOracle::new()),
-        sc.seed,
-    )
-    .unwrap_or_else(|e| panic!("{}: {e:?}", "valid station"));
+    let mut station = Station::new(config, sc.variant, Box::new(PerfectOracle::new()), sc.seed)
+        .unwrap_or_else(|e| panic!("{}: {e:?}", "valid station"));
     station.warm_up();
     let start = station.now();
     match &sc.kind {
@@ -393,7 +409,7 @@ pub fn run_golden_scenario(sc: &GoldenScenario) -> String {
         }
     }
     station.run_for(SimDuration::from_secs(80));
-    normalize(station.trace(), start)
+    (normalize(station.trace(), start), station.telemetry())
 }
 
 /// The repository-level directory holding the recorded golden traces.

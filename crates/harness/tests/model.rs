@@ -1,0 +1,112 @@
+#![allow(clippy::disallowed_methods)]
+//! Integration of the `rr-model` checker with the harness surface:
+//!
+//! * every golden scenario's recorded telemetry stream passes the
+//!   happens-before verifier, and enabling telemetry does not perturb the
+//!   golden trace (telemetry is observation-only);
+//! * the seeded-violation fixture pair under the repository-level
+//!   `tests/model-fixtures/` behaves as contracted — the clean scenario
+//!   explores violation-free, the broken one is rejected with a minimized
+//!   counterexample whose trace replays to the same violation.
+
+use std::fs;
+use std::path::PathBuf;
+
+use mercury::station::TreeVariant;
+use rr_harness::golden::{diff, golden_dir, golden_scenarios, run_golden_scenario_telemetry};
+use rr_model::{check, hb, replay, scenario, CheckConfig, Model};
+
+fn fixtures_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/model-fixtures")
+}
+
+fn load_model(file: &str) -> (Model, CheckConfig) {
+    let path = fixtures_dir().join(file);
+    let text = fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read fixture {}: {e}", path.display()));
+    let sc = scenario::parse(&text).unwrap_or_else(|e| panic!("{file}: {e}"));
+    let variant = match sc.tree.as_str() {
+        "I" => TreeVariant::I,
+        "II" => TreeVariant::II,
+        "III" => TreeVariant::III,
+        "IV" => TreeVariant::IV,
+        "V" => TreeVariant::V,
+        other => panic!("{file}: unknown tree {other:?}"),
+    };
+    let cfg = CheckConfig {
+        max_depth: sc.depth.unwrap_or(rr_model::DEFAULT_DEPTH),
+        ..CheckConfig::default()
+    };
+    let model = Model::new(variant.tree().expect("variant builds"), &sc)
+        .unwrap_or_else(|e| panic!("{file}: {e}"));
+    (model, cfg)
+}
+
+/// Satellite: every episode stream the golden scenarios record — parallel
+/// scheduler, LCA merges, correlated cures — verifies causally clean, and
+/// the telemetry-enabled run leaves the golden trace byte-identical.
+#[test]
+fn golden_scenario_streams_pass_the_hb_verifier() {
+    let dir = golden_dir();
+    for sc in golden_scenarios() {
+        let (trace, registry) = run_golden_scenario_telemetry(&sc);
+        assert!(
+            !registry.events().is_empty(),
+            "{}: telemetry-enabled run recorded no episode events",
+            sc.name
+        );
+        let violations = hb::verify_registry(&registry);
+        assert!(
+            violations.is_empty(),
+            "{}: happens-before violations in recorded stream: {violations:#?}",
+            sc.name
+        );
+        // Observation-only: the recorded golden must not see the registry.
+        if let Ok(expected) = fs::read_to_string(dir.join(format!("{}.txt", sc.name))) {
+            assert!(
+                diff(&expected, &trace).is_none(),
+                "{}: enabling telemetry changed the golden trace",
+                sc.name
+            );
+        }
+    }
+}
+
+#[test]
+fn clean_fixture_explores_violation_free() {
+    let (model, cfg) = load_model("clean.scenario");
+    let outcome = check(&model, &cfg).expect("exploration fits the state budget");
+    assert!(
+        outcome.violation.is_none(),
+        "clean fixture produced a counterexample:\n{}",
+        outcome.violation.map(|c| c.render()).unwrap_or_default()
+    );
+    assert!(outcome.quiescent_states > 0, "no quiescent state reached");
+}
+
+#[test]
+fn broken_fixture_is_rejected_with_a_replayable_counterexample() {
+    let (model, cfg) = load_model("broken.scenario");
+    let outcome = check(&model, &cfg).expect("exploration fits the state budget");
+    let cex = outcome
+        .violation
+        .expect("the seeded bypass-planner bug must be caught");
+    // Iterative deepening guarantees minimality; this particular seed is
+    // lost at the very first accepted report.
+    assert_eq!(cex.trace.len(), 2, "not minimal: {}", cex.render());
+    let replayed = replay(&model, &cex.trace).expect("counterexample must replay");
+    assert_eq!(replayed, cex.violation, "replay diverged from exploration");
+    let rendered = cex.render();
+    assert!(rendered.contains("mark inject:"), "{rendered}");
+    assert!(rendered.contains("violation component-lost"), "{rendered}");
+}
+
+/// The two explorations are deterministic end to end: same outcome object,
+/// same counterexample, byte-identical rendering.
+#[test]
+fn fixture_explorations_are_deterministic() {
+    let (model, cfg) = load_model("broken.scenario");
+    let a = check(&model, &cfg).expect("first run");
+    let b = check(&model, &cfg).expect("second run");
+    assert_eq!(a, b);
+}

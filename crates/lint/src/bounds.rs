@@ -1,0 +1,171 @@
+//! Model-checking feasibility lints (`RRL7xx`).
+//!
+//! `rr-model` explores every interleaving of a scenario's protocol steps up
+//! to a depth bound, inside a hard state budget. Whether that exploration is
+//! *feasible* — and whether the configuration stays within what the checker
+//! actually verified — is a static property of the configuration, so it
+//! belongs here: a scenario whose state space dwarfs the budget aborts
+//! unverified, and a station whose plan queue can grow deeper than the
+//! checked bound runs merge logic no exploration ever covered.
+
+use crate::catalog;
+use crate::diag::{Diagnostic, Report};
+
+/// The exploration-shape knobs the linter reasons about, decoupled from
+/// `rr-model`'s own types so the lint crate stays dependency-light (plain
+/// numbers, mirroring [`PolicyParams`](crate::policy::PolicyParams)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModelBoundsParams {
+    /// Faults the scenario's adversary may inject.
+    pub faults: usize,
+    /// Components in the restart tree under check.
+    pub components: usize,
+    /// Exploration depth bound (protocol steps per trace).
+    pub depth: usize,
+    /// The checker's hard cap on visited states.
+    pub state_budget: u64,
+    /// The deepest episode-plan queue (simultaneous suspicions) this
+    /// configuration can produce — its widest restart-cell antichain.
+    pub plan_queue_depth: usize,
+    /// The queue depth the model checker's scenarios actually verified.
+    pub checked_queue_bound: usize,
+}
+
+/// `base^exp`, saturating at `u64::MAX`.
+fn sat_pow(base: u64, exp: usize) -> u64 {
+    let mut out: u64 = 1;
+    for _ in 0..exp {
+        out = match out.checked_mul(base) {
+            Some(v) => v,
+            None => return u64::MAX,
+        };
+    }
+    out
+}
+
+/// A conservative estimate of the states the checker must visit. Two bounds
+/// hold simultaneously and the exploration pays the *smaller*:
+///
+/// * **trace bound** — at most `branching^depth` prefixes exist, where the
+///   branching factor counts one injection and one suspicion per fault, one
+///   batch suspicion, one completion and one confirmation per component's
+///   episode, and the epoch rollover;
+/// * **signature bound** — canonical-state dedup caps distinct states by the
+///   signature space: ~6 status/suspicion combinations per fault times ~4
+///   recorded-restart counts per component.
+fn estimated_states(params: &ModelBoundsParams) -> u64 {
+    let branching = (2 * params.faults + 2 * params.components + 2) as u64;
+    let traces = sat_pow(branching, params.depth);
+    let signatures = sat_pow(6, params.faults).saturating_mul(sat_pow(4, params.components));
+    traces.min(signatures)
+}
+
+/// Lints a model-checking configuration: the estimated state space must fit
+/// the exploration budget ([`RRL701`]), and the plan queue must stay within
+/// the bound the checker verified ([`RRL702`]).
+///
+/// [`RRL701`]: catalog::MODEL_EXPLORATION_INFEASIBLE
+/// [`RRL702`]: catalog::MODEL_QUEUE_UNCHECKED
+pub fn lint_model_bounds(params: &ModelBoundsParams) -> Report {
+    let mut report = Report::new();
+    let estimate = estimated_states(params);
+    if estimate > params.state_budget {
+        report.push(Diagnostic::new(
+            &catalog::MODEL_EXPLORATION_INFEASIBLE,
+            "model.bounds",
+            format!(
+                "{} fault(s) over {} component(s) at depth {} give on the \
+                 order of {} states, over the {}-state budget — the \
+                 exploration would abort unverified",
+                params.faults,
+                params.components,
+                params.depth,
+                if estimate == u64::MAX {
+                    "2^64".to_string()
+                } else {
+                    estimate.to_string()
+                },
+                params.state_budget
+            ),
+        ));
+    }
+    if params.plan_queue_depth > params.checked_queue_bound {
+        report.push(Diagnostic::new(
+            &catalog::MODEL_QUEUE_UNCHECKED,
+            "model.plan_queue",
+            format!(
+                "the configuration can queue {} simultaneous suspicions but \
+                 the model checker verified merges only up to {}",
+                params.plan_queue_depth, params.checked_queue_bound
+            ),
+        ));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sane() -> ModelBoundsParams {
+        ModelBoundsParams {
+            faults: 2,
+            components: 6,
+            depth: 12,
+            state_budget: 2_000_000,
+            plan_queue_depth: 5,
+            checked_queue_bound: 6,
+        }
+    }
+
+    #[test]
+    fn sane_bounds_are_clean() {
+        assert!(lint_model_bounds(&sane()).is_clean());
+    }
+
+    #[test]
+    fn shallow_depth_is_feasible_even_with_many_faults() {
+        // The trace bound saves a wide scenario explored only a few steps.
+        let params = ModelBoundsParams {
+            faults: 10,
+            components: 10,
+            depth: 3,
+            ..sane()
+        };
+        assert!(lint_model_bounds(&params).is_clean());
+    }
+
+    #[test]
+    fn oversized_state_space_fires_rrl701() {
+        let params = ModelBoundsParams {
+            faults: 8,
+            depth: 40,
+            ..sane()
+        };
+        let report = lint_model_bounds(&params);
+        assert_eq!(report.codes(), vec!["RRL701"]);
+    }
+
+    #[test]
+    fn overflowing_estimate_saturates_and_fires() {
+        let params = ModelBoundsParams {
+            faults: 1_000_000,
+            components: 1_000_000,
+            depth: 10_000,
+            ..sane()
+        };
+        let report = lint_model_bounds(&params);
+        assert!(report.fired("RRL701"));
+    }
+
+    #[test]
+    fn deep_plan_queue_fires_rrl702() {
+        let params = ModelBoundsParams {
+            plan_queue_depth: 9,
+            checked_queue_bound: 6,
+            ..sane()
+        };
+        let report = lint_model_bounds(&params);
+        assert_eq!(report.codes(), vec!["RRL702"]);
+    }
+}

@@ -4,7 +4,8 @@
 //! Codes are grouped by hundreds: `RRL0xx` tree well-formedness, `RRL1xx`
 //! restart-policy soundness, `RRL2xx` failure-model and oracle-map
 //! completeness, `RRL3xx` MTTF/MTTR algebra, `RRL4xx` schedule preconditions,
-//! `RRL5xx` fault-script sanity, `RRL6xx` failure-detector feasibility.
+//! `RRL5xx` fault-script sanity, `RRL6xx` failure-detector feasibility,
+//! `RRL7xx` model-checking feasibility (`rr-model` exploration bounds).
 //! A code's severity never changes between releases; new checks get new
 //! codes.
 
@@ -174,6 +175,19 @@ codes! {
         "the beacon staleness timeout is within two beacon periods",
         "use beacon_timeout_s > 2 * beacon_period_s so a single delayed \
          beacon is not mistaken for a zombie";
+
+    MODEL_EXPLORATION_INFEASIBLE = "RRL701", "model-exploration-infeasible", Warn,
+        "the scenario's estimated interleaving state space exceeds the model \
+         checker's budget",
+        "shrink the fault set, lower the exploration depth, or raise the \
+         state budget; an aborted exploration verifies nothing, so the \
+         configuration would ship with its protocol behaviour unchecked";
+    MODEL_QUEUE_UNCHECKED = "RRL702", "model-queue-unchecked", Warn,
+        "the episode-plan queue can grow deeper than the bound the model \
+         checker verified",
+        "keep the widest simultaneous-suspicion antichain within the checked \
+         queue bound (or extend the rr-model default scenarios); merge \
+         behaviour beyond the bound is unverified";
 }
 
 /// Looks up a catalog entry by its code (`"RRL001"`).

@@ -21,6 +21,7 @@
 //! | [`lint_plan`] | episode-plan antichain preconditions |
 //! | [`lint_fault_script`] | fault-script sanity (targets, order, observability) |
 //! | [`lint_fd`] | failure-detector timing feasibility |
+//! | [`lint_model_bounds`] | model-checker exploration feasibility |
 //!
 //! Each returns a [`Report`]; reports merge, render human-readable text
 //! ([`Report::to_human`]) or JSON ([`Report::to_json`]), and gate execution
@@ -48,6 +49,7 @@
 #![cfg_attr(test, allow(clippy::disallowed_methods))]
 
 pub mod algebra;
+pub mod bounds;
 pub mod catalog;
 pub mod diag;
 pub mod fd;
@@ -58,6 +60,7 @@ pub mod script;
 pub mod tree;
 
 pub use algebra::{lint_algebra, GroupClaim, MemberStat};
+pub use bounds::{lint_model_bounds, ModelBoundsParams};
 pub use catalog::CodeInfo;
 pub use diag::{Diagnostic, Report, Severity};
 pub use fd::{lint_fd, FdParams};

@@ -11,9 +11,9 @@ use rr_core::model::{FailureMode, FailureModel};
 use rr_core::schedule::{plan_episodes, EpisodePlan, PlannedEpisode, Suspicion};
 use rr_core::tree::{RestartTree, TreeSpec};
 use rr_lint::{
-    catalog, lint_algebra, lint_fault_script, lint_fd, lint_model, lint_plan, lint_policy,
-    lint_suspicions, lint_tree, lint_tree_spec, FdParams, GroupClaim, MemberStat, PolicyParams,
-    Report, ScriptContext, Severity,
+    catalog, lint_algebra, lint_fault_script, lint_fd, lint_model, lint_model_bounds, lint_plan,
+    lint_policy, lint_suspicions, lint_tree, lint_tree_spec, FdParams, GroupClaim, MemberStat,
+    ModelBoundsParams, PolicyParams, Report, ScriptContext, Severity,
 };
 
 /// The code each fixture below fires, in catalog order. The meta-test
@@ -22,7 +22,7 @@ const FIXTURED: &[&str] = &[
     "RRL001", "RRL002", "RRL003", "RRL004", "RRL005", "RRL101", "RRL102", "RRL103", "RRL104",
     "RRL201", "RRL202", "RRL203", "RRL211", "RRL212", "RRL213", "RRL301", "RRL302", "RRL401",
     "RRL402", "RRL403", "RRL501", "RRL502", "RRL503", "RRL504", "RRL505", "RRL601", "RRL602",
-    "RRL603",
+    "RRL603", "RRL701", "RRL702",
 ];
 
 /// Asserts the report fires `code` and that the finding's severity matches
@@ -406,6 +406,38 @@ fn rrl603_fd_beacon_window_tight() {
     assert_fires(&lint_fd(&params), "RRL603");
 }
 
+// ---- RRL7xx: model-checker exploration bounds ----------------------------
+
+fn sane_bounds() -> ModelBoundsParams {
+    ModelBoundsParams {
+        faults: 2,
+        components: 6,
+        depth: 12,
+        state_budget: 2_000_000,
+        plan_queue_depth: 5,
+        checked_queue_bound: 6,
+    }
+}
+
+#[test]
+fn rrl701_model_exploration_infeasible() {
+    let params = ModelBoundsParams {
+        faults: 8,
+        depth: 40,
+        ..sane_bounds()
+    };
+    assert_fires(&lint_model_bounds(&params), "RRL701");
+}
+
+#[test]
+fn rrl702_model_queue_unchecked() {
+    let params = ModelBoundsParams {
+        plan_queue_depth: 9,
+        ..sane_bounds()
+    };
+    assert_fires(&lint_model_bounds(&params), "RRL702");
+}
+
 // ---- meta ----------------------------------------------------------------
 
 #[test]
@@ -432,4 +464,5 @@ fn sane_baselines_are_clean() {
     assert!(lint_suspicions(&small_tree(), &suspicions).is_clean());
     let plan = plan_episodes(&small_tree(), &suspicions).unwrap();
     assert!(lint_plan(&small_tree(), &plan).is_clean());
+    assert!(lint_model_bounds(&sane_bounds()).is_clean());
 }

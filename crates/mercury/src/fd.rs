@@ -266,8 +266,20 @@ impl Fd {
         }
     }
 
-    fn handle_pong(&mut self, src: &str, ctx: &mut Context<'_, Wire>) {
+    fn handle_pong(&mut self, src: &str, seq: u64, ctx: &mut Context<'_, Wire>) {
         if src == names::REC {
+            if self.rec_outstanding != Some(seq) {
+                // An answer to a ping from an earlier epoch (or from before a
+                // watchdog restart). Attributing it to the current round
+                // would let one stale pong mask a live miss, so count it and
+                // drop it.
+                self.life
+                    .shared()
+                    .telemetry
+                    .borrow_mut()
+                    .incr_labeled("fd_stale_pongs", names::REC);
+                return;
+            }
             self.rec_outstanding = None;
             self.rec_misses = 0;
             if self.rec_down {
@@ -276,14 +288,32 @@ impl Fd {
             }
             return;
         }
-        if let Some((_seq, sent_at)) = self.outstanding.remove(src) {
-            let rtt = ctx.now().saturating_since(sent_at);
-            self.life.shared().telemetry.borrow_mut().observe(
-                "fd_ping_latency",
-                src,
-                rtt,
-                LATENCY_BUCKETS,
-            );
+        match self.outstanding.get(src) {
+            Some(&(expected, sent_at)) if expected == seq => {
+                self.outstanding.remove(src);
+                let rtt = ctx.now().saturating_since(sent_at);
+                self.life.shared().telemetry.borrow_mut().observe(
+                    "fd_ping_latency",
+                    src,
+                    rtt,
+                    LATENCY_BUCKETS,
+                );
+            }
+            _ => {
+                // A pong whose seq does not match this round's outstanding
+                // ping (a delayed answer to an earlier epoch, or a duplicate
+                // of one already consumed). It is liveness evidence for a
+                // round that already closed, not this one — counting it here
+                // would both skew the RTT histogram and, worse, let a stale
+                // answer produce an Alive notice for a component that has
+                // since died. Epoch-tag it away.
+                self.life
+                    .shared()
+                    .telemetry
+                    .borrow_mut()
+                    .incr_labeled("fd_stale_pongs", src);
+                return;
+            }
         }
         let was_down = self.down.get(src).copied().unwrap_or(false);
         if was_down || self.missing.contains(src) {
@@ -334,9 +364,9 @@ impl Actor<Wire> for Fd {
                 if self.life.handle_common(&env, ctx, 0.0) {
                     return;
                 }
-                if let Message::Pong { .. } = env.body {
+                if let Message::Pong { seq, .. } = env.body {
                     let src = env.src.clone();
-                    self.handle_pong(&src, ctx);
+                    self.handle_pong(&src, seq, ctx);
                 }
             }
         }

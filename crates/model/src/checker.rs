@@ -1,0 +1,295 @@
+//! Exhaustive bounded exploration with minimal counterexamples.
+//!
+//! Iterative-deepening DFS over [`Model`] states: the checker explores every
+//! interleaving of enabled actions up to a depth bound, deduplicating states
+//! by their canonical [`State::signature`] (a memoized signature is
+//! re-expanded only when revisited with more remaining budget, which keeps
+//! pruning sound per iteration). Because the depth bound grows one step at a
+//! time and action order is deterministic, the **first** violation found has
+//! a minimal-length trace, and [`replay`] can re-execute it step by step —
+//! the counterexample is evidence, not just a claim.
+
+use std::collections::HashMap;
+
+use crate::machine::{Action, Model, ModelError, State, Violation};
+
+/// Exploration bounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckConfig {
+    /// Maximum interleaving depth (protocol steps per trace).
+    pub max_depth: usize,
+    /// Hard cap on visited states; exceeding it aborts with an error (the
+    /// RRL701 lint estimates this *before* running).
+    pub state_budget: u64,
+}
+
+impl Default for CheckConfig {
+    fn default() -> CheckConfig {
+        CheckConfig {
+            max_depth: crate::DEFAULT_DEPTH,
+            state_budget: crate::DEFAULT_STATE_BUDGET,
+        }
+    }
+}
+
+/// A violating run: the broken invariant plus the minimal action trace that
+/// reaches it from the initial state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Counterexample {
+    /// The invariant that broke (or the liveness property).
+    pub violation: Violation,
+    /// The actions from the initial state, in order; replay with
+    /// [`replay`].
+    pub trace: Vec<Action>,
+}
+
+impl Counterexample {
+    /// Renders the trace in the golden-trace line format
+    /// (`<nanos> mark <label>`), one protocol step per second of virtual
+    /// time, so CI prints counterexamples exactly like trace diffs.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (i, action) in self.trace.iter().enumerate() {
+            let nanos = (i as u64 + 1) * 1_000_000_000;
+            out.push_str(&format!("{nanos} mark {}\n", action.label()));
+        }
+        out.push_str(&format!(
+            "violation {}: {}\n",
+            self.violation.kind.name(),
+            self.violation.detail
+        ));
+        out
+    }
+}
+
+/// What an exploration did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckOutcome {
+    /// States visited across all deepening iterations (with revisits).
+    pub states_explored: u64,
+    /// Distinct canonical signatures seen in the deepest iteration.
+    pub distinct_states: u64,
+    /// The depth bound actually explored.
+    pub depth: usize,
+    /// Quiescent states (no action enabled) that passed the liveness check.
+    pub quiescent_states: u64,
+    /// The first violation found, with its minimal trace.
+    pub violation: Option<Counterexample>,
+}
+
+struct Search<'m> {
+    model: &'m Model,
+    budget: u64,
+    states_explored: u64,
+    quiescent_states: u64,
+    /// signature → most remaining depth it was expanded with (this
+    /// iteration); re-expand only with strictly more budget.
+    seen: HashMap<String, usize>,
+    trace: Vec<Action>,
+}
+
+impl Search<'_> {
+    fn dfs(
+        &mut self,
+        state: &State,
+        remaining: usize,
+    ) -> Result<Option<Counterexample>, ModelError> {
+        self.states_explored += 1;
+        if self.states_explored > self.budget {
+            return Err(ModelError {
+                message: format!(
+                    "state budget {} exhausted — shrink the scenario or raise the bound \
+                     (rr-lint RRL701 estimates this up front)",
+                    self.budget
+                ),
+            });
+        }
+        let actions = self.model.enabled(state);
+        if actions.is_empty() {
+            self.quiescent_states += 1;
+            if let Err(violation) = self.model.check_quiescent(state) {
+                return Ok(Some(Counterexample {
+                    violation,
+                    trace: self.trace.clone(),
+                }));
+            }
+            return Ok(None);
+        }
+        if remaining == 0 {
+            return Ok(None);
+        }
+        for action in actions {
+            let next = match self.model.apply(state, &action) {
+                Ok(next) => next,
+                Err(violation) => {
+                    let mut trace = self.trace.clone();
+                    trace.push(action);
+                    return Ok(Some(Counterexample { violation, trace }));
+                }
+            };
+            let signature = next.signature(self.model.tree());
+            let left = remaining - 1;
+            match self.seen.get(&signature) {
+                Some(&had) if had >= left => continue,
+                _ => {
+                    self.seen.insert(signature, left);
+                }
+            }
+            self.trace.push(action);
+            let found = self.dfs(&next, left)?;
+            self.trace.pop();
+            if found.is_some() {
+                return Ok(found);
+            }
+        }
+        Ok(None)
+    }
+}
+
+/// Exhaustively explores `model` up to `cfg.max_depth`, iterative-deepening
+/// so the first counterexample found is minimal.
+///
+/// # Errors
+///
+/// Returns a [`ModelError`] if the state budget is exhausted before the
+/// exploration completes.
+pub fn check(model: &Model, cfg: &CheckConfig) -> Result<CheckOutcome, ModelError> {
+    let initial = model.initial();
+    let mut states_explored = 0;
+    let mut outcome = CheckOutcome {
+        states_explored: 0,
+        distinct_states: 0,
+        depth: 0,
+        quiescent_states: 0,
+        violation: None,
+    };
+    for bound in 1..=cfg.max_depth.max(1) {
+        let mut search = Search {
+            model,
+            budget: cfg.state_budget.saturating_sub(states_explored),
+            states_explored: 0,
+            quiescent_states: 0,
+            seen: HashMap::new(),
+            trace: Vec::new(),
+        };
+        let found = search.dfs(&initial, bound).map_err(|e| ModelError {
+            message: format!("depth {bound}: {}", e.message),
+        })?;
+        states_explored += search.states_explored;
+        outcome.states_explored = states_explored;
+        outcome.distinct_states = search.seen.len() as u64 + 1;
+        outcome.depth = bound;
+        outcome.quiescent_states = search.quiescent_states;
+        if let Some(counterexample) = found {
+            outcome.violation = Some(counterexample);
+            return Ok(outcome);
+        }
+    }
+    Ok(outcome)
+}
+
+/// Re-executes a counterexample trace from the initial state, returning the
+/// violation it reproduces (`None` if the trace no longer violates — i.e.
+/// the counterexample went stale against the current code).
+pub fn replay(model: &Model, trace: &[Action]) -> Option<Violation> {
+    let mut state = model.initial();
+    for action in trace {
+        if !model.enabled(&state).contains(action) {
+            return None;
+        }
+        match model.apply(&state, action) {
+            Ok(next) => state = next,
+            Err(violation) => return Some(violation),
+        }
+    }
+    if model.enabled(&state).is_empty() {
+        model.check_quiescent(&state).err()
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{Model, ViolationKind};
+    use crate::scenario;
+    use rr_core::tree::{RestartTree, TreeSpec};
+
+    fn tree_iv() -> RestartTree {
+        TreeSpec::cell("mercury")
+            .with_child(TreeSpec::cell("R_mbus").with_component("mbus"))
+            .with_child(
+                TreeSpec::cell("R_[fedr,pbcom]")
+                    .with_child(TreeSpec::cell("R_fedr").with_component("fedr"))
+                    .with_child(TreeSpec::cell("R_pbcom").with_component("pbcom")),
+            )
+            .with_child(TreeSpec::cell("R_[ses,str]").with_components(["ses", "str"]))
+            .with_child(TreeSpec::cell("R_rtu").with_component("rtu"))
+            .build()
+            .unwrap()
+    }
+
+    fn model(text: &str) -> Model {
+        Model::new(tree_iv(), &scenario::parse(text).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn clean_scenario_explores_with_zero_violations() {
+        let m = model("tree IV\nfault pbcom\nfault fedr cures fedr pbcom\n");
+        let outcome = check(&m, &CheckConfig::default()).unwrap();
+        assert!(outcome.violation.is_none(), "{:?}", outcome.violation);
+        assert!(
+            outcome.quiescent_states > 0,
+            "liveness was actually checked"
+        );
+        assert!(outcome.distinct_states > 10);
+    }
+
+    #[test]
+    fn naive_oracle_escalation_is_clean_too() {
+        let m = model("tree IV\noracle naive\nfault fedr cures fedr pbcom\n");
+        let outcome = check(&m, &CheckConfig::default()).unwrap();
+        assert!(outcome.violation.is_none(), "{:?}", outcome.violation);
+    }
+
+    #[test]
+    fn drop_report_yields_minimal_counterexample() {
+        let m = model("tree IV\nfault rtu\nmutate drop-report\n");
+        let outcome = check(&m, &CheckConfig::default()).unwrap();
+        let ce = outcome.violation.expect("must be rejected");
+        assert_eq!(ce.violation.kind, ViolationKind::ComponentLost);
+        // Minimal: inject, then the dropped report. Nothing shorter exists.
+        assert_eq!(ce.trace.len(), 2);
+        assert_eq!(replay(&m, &ce.trace), Some(ce.violation.clone()));
+        assert!(ce.render().contains("mark inject:rtu"));
+        assert!(ce.render().contains("violation component-lost"));
+    }
+
+    #[test]
+    fn bypass_planner_yields_replayable_counterexample() {
+        let m = model("tree IV\nfault pbcom\nfault fedr cures fedr pbcom\nmutate bypass-planner\n");
+        let outcome = check(&m, &CheckConfig::default()).unwrap();
+        let ce = outcome.violation.expect("must be rejected");
+        assert_eq!(replay(&m, &ce.trace), Some(ce.violation.clone()));
+    }
+
+    #[test]
+    fn determinism_same_scenario_same_counterexample() {
+        let text = "tree IV\nfault pbcom\nfault fedr cures fedr pbcom\nmutate bypass-planner\n";
+        let a = check(&model(text), &CheckConfig::default()).unwrap();
+        let b = check(&model(text), &CheckConfig::default()).unwrap();
+        assert_eq!(a.violation, b.violation);
+        assert_eq!(a.states_explored, b.states_explored);
+    }
+
+    #[test]
+    fn state_budget_exhaustion_is_an_error_not_a_pass() {
+        let m = model("tree IV\nfault pbcom\nfault rtu\nfault mbus\n");
+        let tiny = CheckConfig {
+            max_depth: 12,
+            state_budget: 50,
+        };
+        assert!(check(&m, &tiny).is_err());
+    }
+}

@@ -1,0 +1,282 @@
+//! The scenario format the model checker explores.
+//!
+//! A scenario names a restart tree, an oracle, the set of faults the
+//! adversary may inject, and optionally a *mutation* — a deliberately broken
+//! protocol driver the checker must reject (the seeded-violation fixtures
+//! under `tests/model-fixtures/`). The textual form is line-oriented, with
+//! `#` comments, mirroring `rr_sim::FaultScript`:
+//!
+//! ```text
+//! # Two correlated faults on tree IV.
+//! tree IV
+//! oracle perfect
+//! depth 12
+//! fault pbcom
+//! fault fedr cures fedr pbcom
+//! ```
+
+use std::fmt;
+
+/// Which oracle drives the modelled recoverer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OracleKind {
+    /// [`rr_core::PerfectOracle`]: minimal restart policy (§3.3).
+    #[default]
+    Perfect,
+    /// [`rr_core::NaiveOracle`]: own cell first, escalate on persistence.
+    Naive,
+}
+
+impl OracleKind {
+    /// Short name, as written in scenario files.
+    pub fn name(self) -> &'static str {
+        match self {
+            OracleKind::Perfect => "perfect",
+            OracleKind::Naive => "naive",
+        }
+    }
+}
+
+/// One fault the adversary may inject: it manifests in `component` and is
+/// cured only by a restart covering all of `cure_set`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// The component the failure manifests in.
+    pub component: String,
+    /// The minimal cure set (always contains `component`).
+    pub cure_set: Vec<String>,
+}
+
+/// A deliberately broken protocol driver, used to seed violations the
+/// checker must catch (the `broken` fixture). Mutations perturb the *driver*
+/// around the real recoverer, not the recoverer itself — modelling the bugs
+/// an integration layer could introduce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mutation {
+    /// Accepted suspicion reports are silently dropped before they reach the
+    /// recoverer: the component is lost and its fault never cures.
+    DropReport,
+    /// Suspicions bypass the episode planner: the driver consults the oracle
+    /// and pushes the cell's restart button directly, without merge
+    /// protection — concurrent rogue restarts break the antichain.
+    BypassPlanner,
+}
+
+impl Mutation {
+    /// The name used in scenario files.
+    pub fn name(self) -> &'static str {
+        match self {
+            Mutation::DropReport => "drop-report",
+            Mutation::BypassPlanner => "bypass-planner",
+        }
+    }
+}
+
+/// A parsed model-checking scenario.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scenario {
+    /// The restart tree's name (`I`–`V` / `1`–`5`), resolved by the caller.
+    pub tree: String,
+    /// The oracle driving the recoverer.
+    pub oracle: OracleKind,
+    /// Exploration-depth override, if the file sets one.
+    pub depth: Option<usize>,
+    /// The faults the adversary may inject, in declaration order.
+    pub faults: Vec<FaultSpec>,
+    /// The seeded protocol bug, if any.
+    pub mutation: Option<Mutation>,
+}
+
+/// A syntax or semantic error in a scenario file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioError {
+    /// 1-based line the error was found on (0 for whole-file errors).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "scenario: {}", self.message)
+        } else {
+            write!(f, "scenario line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+fn err(line: usize, message: impl Into<String>) -> ScenarioError {
+    ScenarioError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parses the textual scenario format.
+pub fn parse(text: &str) -> Result<Scenario, ScenarioError> {
+    let mut tree: Option<String> = None;
+    let mut oracle = OracleKind::default();
+    let mut depth: Option<usize> = None;
+    let mut faults: Vec<FaultSpec> = Vec::new();
+    let mut mutation: Option<Mutation> = None;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut words = line.split_whitespace();
+        let keyword = words.next().unwrap_or("");
+        match keyword {
+            "tree" => {
+                let name = words
+                    .next()
+                    .ok_or_else(|| err(lineno, "tree needs a name"))?;
+                if words.next().is_some() {
+                    return Err(err(lineno, "tree takes exactly one name"));
+                }
+                if tree.replace(name.to_string()).is_some() {
+                    return Err(err(lineno, "tree declared twice"));
+                }
+            }
+            "oracle" => {
+                let name = words
+                    .next()
+                    .ok_or_else(|| err(lineno, "oracle needs a kind (perfect|naive)"))?;
+                oracle = match name {
+                    "perfect" => OracleKind::Perfect,
+                    "naive" => OracleKind::Naive,
+                    other => return Err(err(lineno, format!("unknown oracle `{other}`"))),
+                };
+            }
+            "depth" => {
+                let value = words
+                    .next()
+                    .ok_or_else(|| err(lineno, "depth needs a number"))?;
+                let parsed: usize = value
+                    .parse()
+                    .map_err(|_| err(lineno, format!("bad depth `{value}`")))?;
+                if parsed == 0 {
+                    return Err(err(lineno, "depth must be at least 1"));
+                }
+                depth = Some(parsed);
+            }
+            "fault" => {
+                let component = words
+                    .next()
+                    .ok_or_else(|| err(lineno, "fault needs a component"))?
+                    .to_string();
+                let mut cure_set = vec![component.clone()];
+                match words.next() {
+                    None => {}
+                    Some("cures") => {
+                        for c in words.by_ref() {
+                            if !cure_set.iter().any(|have| have == c) {
+                                cure_set.push(c.to_string());
+                            }
+                        }
+                        if cure_set.len() == 1 {
+                            return Err(err(lineno, "cures needs at least one component"));
+                        }
+                    }
+                    Some(other) => {
+                        return Err(err(lineno, format!("expected `cures`, got `{other}`")))
+                    }
+                }
+                if faults.iter().any(|f| f.component == component) {
+                    return Err(err(
+                        lineno,
+                        format!("duplicate fault for component `{component}`"),
+                    ));
+                }
+                faults.push(FaultSpec {
+                    component,
+                    cure_set,
+                });
+            }
+            "mutate" => {
+                let name = words
+                    .next()
+                    .ok_or_else(|| err(lineno, "mutate needs a mutation name"))?;
+                let m = match name {
+                    "drop-report" => Mutation::DropReport,
+                    "bypass-planner" => Mutation::BypassPlanner,
+                    other => return Err(err(lineno, format!("unknown mutation `{other}`"))),
+                };
+                if mutation.replace(m).is_some() {
+                    return Err(err(lineno, "mutate declared twice"));
+                }
+            }
+            other => return Err(err(lineno, format!("unknown directive `{other}`"))),
+        }
+    }
+
+    let tree = tree.ok_or_else(|| err(0, "missing `tree` directive"))?;
+    if faults.is_empty() {
+        return Err(err(0, "a scenario needs at least one `fault`"));
+    }
+    Ok(Scenario {
+        tree,
+        oracle,
+        depth,
+        faults,
+        mutation,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_full_scenario() {
+        let s = parse(
+            "# header comment\n\
+             tree IV\n\
+             oracle naive   # trailing comment\n\
+             depth 9\n\
+             fault pbcom\n\
+             fault fedr cures fedr pbcom\n\
+             mutate drop-report\n",
+        )
+        .unwrap();
+        assert_eq!(s.tree, "IV");
+        assert_eq!(s.oracle, OracleKind::Naive);
+        assert_eq!(s.depth, Some(9));
+        assert_eq!(s.faults.len(), 2);
+        assert_eq!(s.faults[1].cure_set, vec!["fedr", "pbcom"]);
+        assert_eq!(s.mutation, Some(Mutation::DropReport));
+    }
+
+    #[test]
+    fn defaults_are_perfect_oracle_no_depth_no_mutation() {
+        let s = parse("tree I\nfault rtu\n").unwrap();
+        assert_eq!(s.oracle, OracleKind::Perfect);
+        assert_eq!(s.depth, None);
+        assert_eq!(s.mutation, None);
+        assert_eq!(s.faults[0].cure_set, vec!["rtu"]);
+    }
+
+    #[test]
+    fn rejects_missing_tree_and_missing_faults() {
+        assert!(parse("fault rtu\n").unwrap_err().message.contains("tree"));
+        assert!(parse("tree I\n").unwrap_err().message.contains("fault"));
+    }
+
+    #[test]
+    fn rejects_unknown_directives_with_line_numbers() {
+        let e = parse("tree I\nfault rtu\nbogus x\n").unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("bogus"));
+    }
+
+    #[test]
+    fn rejects_duplicate_faults_and_bad_mutations() {
+        assert!(parse("tree I\nfault rtu\nfault rtu\n").is_err());
+        assert!(parse("tree I\nfault rtu\nmutate nope\n").is_err());
+    }
+}

@@ -1,0 +1,181 @@
+#![allow(clippy::disallowed_methods)]
+//! Property: every telemetry episode stream the planner produces passes the
+//! happens-before verifier — in batch (parallel planner) and serial mode.
+//!
+//! The generator drives the real [`Recoverer`] with random suspicion batches
+//! over random trees and records telemetry **exactly** the way `mercury`'s
+//! REC does (merges for the non-owner origins first, then the plan, then the
+//! restart, then per-component readies, then the cure), so the property
+//! covers the wiring the simulator uses, not a toy recorder.
+
+use rr_core::oracle::Failure;
+use rr_core::policy::RestartPolicy;
+use rr_core::recoverer::{Recoverer, RecoveryDecision};
+use rr_core::tree::{RestartTree, TreeSpec};
+use rr_core::PerfectOracle;
+use rr_sim::telemetry::Registry;
+use rr_sim::{check, SimRng, SimTime};
+
+use rr_model::hb;
+
+fn tree_flat() -> RestartTree {
+    TreeSpec::cell("mercury")
+        .with_child(TreeSpec::cell("R_a").with_component("a"))
+        .with_child(TreeSpec::cell("R_b").with_component("b"))
+        .with_child(TreeSpec::cell("R_c").with_component("c"))
+        .build()
+        .unwrap()
+}
+
+fn tree_nested() -> RestartTree {
+    TreeSpec::cell("mercury")
+        .with_child(TreeSpec::cell("R_mbus").with_component("mbus"))
+        .with_child(
+            TreeSpec::cell("R_[fedr,pbcom]")
+                .with_child(TreeSpec::cell("R_fedr").with_component("fedr"))
+                .with_child(TreeSpec::cell("R_pbcom").with_component("pbcom")),
+        )
+        .with_child(TreeSpec::cell("R_[ses,str]").with_components(["ses", "str"]))
+        .with_child(TreeSpec::cell("R_rtu").with_component("rtu"))
+        .build()
+        .unwrap()
+}
+
+fn tree_deep() -> RestartTree {
+    TreeSpec::cell("root")
+        .with_child(
+            TreeSpec::cell("mid")
+                .with_child(TreeSpec::cell("R_x").with_component("x"))
+                .with_child(
+                    TreeSpec::cell("low")
+                        .with_child(TreeSpec::cell("R_y").with_component("y"))
+                        .with_child(TreeSpec::cell("R_z").with_component("z")),
+                ),
+        )
+        .with_child(TreeSpec::cell("R_w").with_component("w"))
+        .build()
+        .unwrap()
+}
+
+/// Records a batch of decisions the way `mercury::rec::apply_decision` does.
+fn record_decisions(
+    reg: &mut Registry,
+    decisions: &[RecoveryDecision],
+    now: SimTime,
+) -> Vec<String> {
+    let mut owners = Vec::new();
+    for decision in decisions {
+        match decision {
+            RecoveryDecision::Restart {
+                components,
+                attempt,
+                origins,
+                ..
+            } => {
+                let owner = origins[0].clone();
+                for origin in &origins[1..] {
+                    reg.record_merged(now, origin, &owner);
+                }
+                reg.record_planned(now, &owner, origins);
+                reg.record_restarting(now, &owner, components, origins, *attempt);
+                owners.push(owner);
+            }
+            RecoveryDecision::AlreadyRecovering { .. } => {}
+            RecoveryDecision::GiveUp { component, reason } => {
+                reg.record_quarantined(now, component, &format!("{reason:?}"));
+            }
+        }
+    }
+    owners
+}
+
+/// Drives random suspicion rounds through the recoverer, recording
+/// telemetry; the recorded stream must verify causally clean.
+fn drive(rng: &mut SimRng, serial: bool) {
+    let tree = match rng.next_below(3) {
+        0 => tree_flat(),
+        1 => tree_nested(),
+        _ => tree_deep(),
+    };
+    let components = tree.components();
+    let mut rec = Recoverer::new(tree.clone(), PerfectOracle::new(), RestartPolicy::new());
+    let mut reg = Registry::new();
+    let mut tick: u64 = 0;
+    let mut now = || {
+        tick += 1;
+        SimTime::from_secs(tick)
+    };
+
+    let rounds = 1 + rng.next_below(3);
+    for _ in 0..rounds {
+        // A random batch of distinct suspects, some with correlated cures.
+        let mut pool = components.clone();
+        rng.shuffle(&mut pool);
+        let batch_len = 1 + rng.next_below(pool.len().min(4) as u64) as usize;
+        let mut failures = Vec::new();
+        for comp in pool.iter().take(batch_len) {
+            let mut cure = vec![comp.clone()];
+            if rng.chance(0.4) {
+                if let Some(extra) = rng.choose(&components).cloned() {
+                    if !cure.contains(&extra) {
+                        cure.push(extra);
+                    }
+                }
+            }
+            failures.push(Failure::correlated(comp.clone(), cure));
+        }
+        for f in &failures {
+            reg.record_suspected(now(), &f.component);
+        }
+        let decide_at = now();
+        let decisions: Vec<RecoveryDecision> = if serial {
+            failures
+                .into_iter()
+                .map(|f| rec.on_failure(f, decide_at))
+                .collect()
+        } else {
+            rec.on_failures(failures, decide_at)
+        };
+        record_decisions(&mut reg, &decisions, decide_at);
+
+        // Complete every in-flight restart: members report ready, then the
+        // cure is (usually) confirmed. Occasionally leave the episode open
+        // so the next round escalates it.
+        for ep in rec.protocol_snapshot() {
+            if !ep.in_flight {
+                continue;
+            }
+            let cell = ep.cell.unwrap();
+            for member in tree.components_under(cell) {
+                reg.record_component_ready(now(), &member);
+            }
+            rec.on_restart_complete(&ep.owner, now());
+            if rng.chance(0.7) {
+                reg.record_cured(now(), &ep.owner);
+                rec.on_cured(&ep.owner, now());
+            }
+        }
+    }
+
+    let violations = hb::verify_registry(&reg);
+    assert!(
+        violations.is_empty(),
+        "planner stream (serial={serial}) violated happens-before: {violations:?}\n\
+         events: {:#?}",
+        reg.events()
+    );
+}
+
+#[test]
+fn parallel_planner_streams_pass_the_hb_verifier() {
+    check::run("parallel planner streams are causally clean", 96, |rng| {
+        drive(rng, false);
+    });
+}
+
+#[test]
+fn serial_planner_streams_pass_the_hb_verifier() {
+    check::run("serial planner streams are causally clean", 96, |rng| {
+        drive(rng, true);
+    });
+}

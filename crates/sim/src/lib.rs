@@ -70,6 +70,7 @@ pub mod stats;
 pub mod telemetry;
 pub mod time;
 pub mod trace;
+pub mod vclock;
 
 pub use dist::Dist;
 pub use engine::{Actor, Context, Event, LinkQuality, ProcessId, ProcessState, Sim};
@@ -79,3 +80,4 @@ pub use stats::{Histogram, OnlineStats, Summary};
 pub use telemetry::{DurationHistogram, EpisodeEvent, EpisodeStage, Registry};
 pub use time::{SimDuration, SimTime};
 pub use trace::{Trace, TraceEvent, TraceKind};
+pub use vclock::{Causality, VectorClock};

@@ -31,6 +31,7 @@ use std::fmt::Write as _;
 
 use crate::stats::{Histogram, OnlineStats};
 use crate::time::{SimDuration, SimTime};
+use crate::vclock::VectorClock;
 
 /// Default bucket range for recovery-time histograms: 0–60 s in 2 s steps,
 /// wide enough for every Table 1–4 value with room for escalated episodes.
@@ -171,6 +172,13 @@ pub struct Registry {
     gauges: BTreeMap<MetricKey, f64>,
     durations: BTreeMap<MetricKey, DurationHistogram>,
     events: Vec<EpisodeEvent>,
+    /// One vector-clock snapshot per entry of `events`, in lock step. Kept
+    /// beside the stream (rather than inside [`EpisodeEvent`]) so the JSON
+    /// export and every existing consumer of `events()` stay byte-identical.
+    clocks: Vec<VectorClock>,
+    /// The live clock of each telemetry key (component or episode owner);
+    /// recording an event ticks the key, protocol edges join clocks.
+    procs: BTreeMap<String, VectorClock>,
     injections: BTreeMap<String, SimTime>,
     open: BTreeMap<String, OpenEpisode>,
     /// Origins absorbed by an LCA merge before the absorbing episode's own
@@ -288,11 +296,36 @@ impl Registry {
         &self.events
     }
 
+    /// The vector-clock snapshot stamped on each event, in lock step with
+    /// [`Registry::events`].
+    pub fn clocks(&self) -> &[VectorClock] {
+        &self.clocks
+    }
+
+    /// The episode-event stream zipped with its clock snapshots — the input
+    /// the happens-before trace verifier consumes.
+    pub fn clocked_events(&self) -> impl Iterator<Item = (&EpisodeEvent, &VectorClock)> {
+        self.events.iter().zip(self.clocks.iter())
+    }
+
     // ----------------------------------------------------------- episodes --
+
+    /// Folds `from`'s live clock into `into`'s — a causal edge between two
+    /// telemetry keys. A no-op if `from` has never recorded anything.
+    fn clock_join(&mut self, into: &str, from: &str) {
+        if !self.enabled || into == from {
+            return;
+        }
+        let Some(src) = self.procs.get(from).cloned() else {
+            return;
+        };
+        self.procs.entry(into.to_string()).or_default().join(&src);
+    }
 
     /// Appends a raw episode event without any bookkeeping; the building
     /// block the `record_*` helpers use, public for recorders (like the
-    /// threaded supervisor) that do their own episode accounting.
+    /// threaded supervisor) that do their own episode accounting. Ticks the
+    /// key's vector clock and stamps the event with the snapshot.
     pub fn record_stage(
         &mut self,
         at: SimTime,
@@ -303,12 +336,18 @@ impl Registry {
         if !self.enabled {
             return;
         }
+        let clock = {
+            let proc_clock = self.procs.entry(component.to_string()).or_default();
+            proc_clock.tick(component);
+            proc_clock.clone()
+        };
         self.events.push(EpisodeEvent {
             at,
             component: component.to_string(),
             stage,
             detail: detail.to_string(),
         });
+        self.clocks.push(clock);
     }
 
     /// A fault was injected into `component`: opens its §4.1 recovery timer
@@ -337,6 +376,10 @@ impl Registry {
             return;
         }
         self.incr("episodes_planned");
+        // The plan is causally downstream of every suspicion it answers.
+        for origin in origins {
+            self.clock_join(cell, origin);
+        }
         let detail = format!("origins={}", origins.join("+"));
         self.record_stage(at, cell, EpisodeStage::Planned, &detail);
     }
@@ -349,6 +392,8 @@ impl Registry {
         self.incr("episodes_merged");
         let detail = format!("into={into}");
         self.record_stage(at, from, EpisodeStage::Merged, &detail);
+        // The absorbing episode's next event happens after the merge.
+        self.clock_join(into, from);
         // Retire the absorbed episode and re-attribute its origins to the
         // absorbing one (directly if it is already open, else via the
         // pending-merge stash its next `record_restarting` drains).
@@ -384,8 +429,16 @@ impl Registry {
         for c in components {
             self.incr_labeled("component_restarts", c);
         }
+        // The restart happens after every suspicion it answers, and every
+        // member of the restart set reboots after (because of) it.
+        for origin in origins {
+            self.clock_join(owner, origin);
+        }
         let detail = format!("attempt={attempt} set={}", components.join("+"));
         self.record_stage(at, owner, EpisodeStage::Restarting, &detail);
+        for c in components {
+            self.clock_join(c, owner);
+        }
         let episode = self
             .open
             .entry(owner.to_string())
@@ -413,7 +466,13 @@ impl Registry {
         if !self.enabled {
             return;
         }
-        let mut completed: Vec<(String, String)> = Vec::new();
+        // The member coming up is a local event on its own clock, even when
+        // it completes no episode.
+        self.procs
+            .entry(component.to_string())
+            .or_default()
+            .tick(component);
+        let mut completed: Vec<(String, String, Vec<String>)> = Vec::new();
         for (owner, episode) in self.open.iter_mut() {
             if episode.completed_at.is_some()
                 || !episode.components.contains(component)
@@ -424,21 +483,16 @@ impl Registry {
             episode.ready.insert(component.to_string());
             if episode.ready.len() == episode.components.len() {
                 episode.completed_at = Some(at);
-                completed.push((
-                    owner.clone(),
-                    format!(
-                        "set={}",
-                        episode
-                            .components
-                            .iter()
-                            .cloned()
-                            .collect::<Vec<_>>()
-                            .join("+")
-                    ),
-                ));
+                let members: Vec<String> = episode.components.iter().cloned().collect();
+                completed.push((owner.clone(), format!("set={}", members.join("+")), members));
             }
         }
-        for (owner, detail) in completed {
+        for (owner, detail, members) in completed {
+            // The episode is ready only once every member is: the Ready
+            // event causally follows each member's own ready tick.
+            for member in &members {
+                self.clock_join(&owner, member);
+            }
             self.record_stage(at, &owner, EpisodeStage::Ready, &detail);
         }
     }

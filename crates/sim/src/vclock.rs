@@ -1,0 +1,171 @@
+//! Vector clocks for causal ordering of telemetry events.
+//!
+//! The telemetry [`Registry`](crate::telemetry::Registry) stamps every
+//! episode event with a [`VectorClock`] snapshot so a recorded stream can be
+//! checked *post-hoc* for happens-before violations (the `rr-model` trace
+//! verifier). Each telemetry key — a component or episode owner — is one
+//! logical process; recording an event ticks its process entry, and the
+//! protocol edges (plan, merge, restart, ready) join clocks so causality
+//! flows along the episode graph.
+//!
+//! Clocks compare with the classic partial order: `a` happens before `b`
+//! when every entry of `a` is ≤ the matching entry of `b` and at least one
+//! is strictly smaller. Incomparable clocks are [`Causality::Concurrent`].
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The causal relation between two vector clocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Causality {
+    /// The clocks are identical.
+    Equal,
+    /// The left clock happens strictly before the right.
+    Before,
+    /// The left clock happens strictly after the right.
+    After,
+    /// Neither clock dominates the other.
+    Concurrent,
+}
+
+/// A vector clock: one monotone counter per logical process, keyed by name.
+///
+/// Entries absent from the map are implicitly zero, so clocks over different
+/// process sets still compare correctly.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VectorClock {
+    entries: BTreeMap<String, u64>,
+}
+
+impl VectorClock {
+    /// The zero clock.
+    pub fn new() -> VectorClock {
+        VectorClock::default()
+    }
+
+    /// Advances `process`'s entry by one (inserting it at 1 if absent).
+    pub fn tick(&mut self, process: &str) {
+        *self.entries.entry(process.to_string()).or_insert(0) += 1;
+    }
+
+    /// `process`'s entry (zero if absent).
+    pub fn get(&self, process: &str) -> u64 {
+        self.entries.get(process).copied().unwrap_or(0)
+    }
+
+    /// Pointwise maximum with `other` — the causal join.
+    pub fn join(&mut self, other: &VectorClock) {
+        for (process, &theirs) in &other.entries {
+            let ours = self.entries.entry(process.clone()).or_insert(0);
+            *ours = (*ours).max(theirs);
+        }
+    }
+
+    /// The named entries, in key order. Absent entries are zero.
+    pub fn entries(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.entries.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// `true` when every entry of `self` is ≥ the matching entry of
+    /// `other` (i.e. `self` causally knows everything `other` does).
+    pub fn dominates(&self, other: &VectorClock) -> bool {
+        other
+            .entries
+            .iter()
+            .all(|(process, &theirs)| self.get(process) >= theirs)
+    }
+
+    /// Strict happens-before: `self` ≤ `other` pointwise and `self ≠ other`.
+    pub fn happens_before(&self, other: &VectorClock) -> bool {
+        other.dominates(self) && self != other
+    }
+
+    /// The causal relation between `self` and `other`.
+    pub fn compare(&self, other: &VectorClock) -> Causality {
+        match (other.dominates(self), self.dominates(other)) {
+            (true, true) => Causality::Equal,
+            (true, false) => Causality::Before,
+            (false, true) => Causality::After,
+            (false, false) => Causality::Concurrent,
+        }
+    }
+}
+
+impl fmt::Display for VectorClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (process, count)) in self.entries.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{process}:{count}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_clocks_are_equal() {
+        assert_eq!(
+            VectorClock::new().compare(&VectorClock::new()),
+            Causality::Equal
+        );
+    }
+
+    #[test]
+    fn tick_orders_same_process() {
+        let mut a = VectorClock::new();
+        a.tick("x");
+        let mut b = a.clone();
+        b.tick("x");
+        assert!(a.happens_before(&b));
+        assert!(!b.happens_before(&a));
+        assert_eq!(a.compare(&b), Causality::Before);
+        assert_eq!(b.compare(&a), Causality::After);
+    }
+
+    #[test]
+    fn independent_ticks_are_concurrent() {
+        let mut a = VectorClock::new();
+        a.tick("x");
+        let mut b = VectorClock::new();
+        b.tick("y");
+        assert_eq!(a.compare(&b), Causality::Concurrent);
+        assert!(!a.happens_before(&b));
+        assert!(!b.happens_before(&a));
+    }
+
+    #[test]
+    fn join_restores_order() {
+        let mut a = VectorClock::new();
+        a.tick("x");
+        let mut b = VectorClock::new();
+        b.tick("y");
+        // b learns of a (a message from x to y), then advances.
+        b.join(&a);
+        b.tick("y");
+        assert!(a.happens_before(&b));
+    }
+
+    #[test]
+    fn missing_entries_read_as_zero() {
+        let mut a = VectorClock::new();
+        a.tick("x");
+        assert_eq!(a.get("x"), 1);
+        assert_eq!(a.get("never"), 0);
+        assert!(a.dominates(&VectorClock::new()));
+    }
+
+    #[test]
+    fn display_is_sorted_and_compact() {
+        let mut c = VectorClock::new();
+        c.tick("b");
+        c.tick("a");
+        c.tick("b");
+        assert_eq!(c.to_string(), "{a:1 b:2}");
+    }
+}
