@@ -78,6 +78,25 @@ echo "==== end rr-model counterexample ===="
 set -x
 rm -f model-fixture.log
 
+# Overload fixture pair: deferral under a working admission controller is
+# clean (coverage survives, every deferred restart is eventually admitted),
+# while a starved drain tick must be rejected by the starvation invariant
+# with a minimized counterexample.
+"$RR_MODEL" tests/model-fixtures/overload-clean.scenario
+if "$RR_MODEL" tests/model-fixtures/overload-starve.scenario > model-overload.log 2>&1; then
+    set +x
+    echo "==== rr-model: starvation fixture was NOT rejected ===="
+    cat model-overload.log
+    echo "==== end rr-model fixture output ===="
+    exit 1
+fi
+set +x
+echo "==== rr-model: starvation fixture rejected, minimized counterexample ===="
+cat model-overload.log
+echo "==== end rr-model counterexample ===="
+set -x
+rm -f model-overload.log
+
 cargo test -q --workspace
 cargo fmt --check
 cargo clippy --workspace --all-targets -- -D warnings

@@ -21,6 +21,8 @@
 //!   failures are not restarted forever.
 //! * [`model::FailureModel`] — which failures occur, how often, what cures
 //!   them (the `f_ci` values of §4).
+//! * [`deadline::DeadlineModel`] — per-component pass deadlines and
+//!   criticalities; batch recovery plans are issued most-urgent first.
 //! * [`analysis`] — availability and expected-MTTR computation under a
 //!   pluggable [`analysis::CostModel`].
 //! * [`optimize`] — automatic restart-tree search (§7 future work): hill
@@ -54,6 +56,7 @@
 
 pub mod advisor;
 pub mod analysis;
+pub mod deadline;
 pub mod enumerate;
 pub mod error;
 pub mod model;
@@ -69,6 +72,7 @@ pub mod tree;
 
 pub use advisor::{advise, Advice, OracleAssumption};
 pub use analysis::{availability, CostModel, OracleQuality, SimpleCostModel};
+pub use deadline::{DeadlineModel, Urgency};
 pub use error::TreeError;
 pub use model::{FailureMode, FailureModel};
 pub use oracle::{Failure, FaultyOracle, LearningOracle, NaiveOracle, Oracle, PerfectOracle};

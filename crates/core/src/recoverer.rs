@@ -13,6 +13,7 @@ use std::fmt;
 
 use rr_sim::{SimDuration, SimTime};
 
+use crate::deadline::DeadlineModel;
 use crate::oracle::{Failure, Oracle, RestartOutcome};
 use crate::policy::{GiveUpReason, RestartPolicy};
 use crate::schedule::{plan_episodes, Suspicion};
@@ -129,6 +130,10 @@ pub struct Recoverer<O> {
     /// Open episodes keyed by owner component. Ordered so that iteration
     /// (and therefore merge resolution and decision order) is deterministic.
     episodes: BTreeMap<String, Episode>,
+    /// Deadline model ordering batch plans by slack. Empty by default, in
+    /// which case planning keeps the tree's pre-order (the pre-deadline
+    /// behaviour, byte-identical in traces).
+    deadlines: DeadlineModel,
     restarts_issued: u64,
     give_ups: u64,
     merges: u64,
@@ -156,6 +161,7 @@ impl<O: Oracle> Recoverer<O> {
             oracle,
             policy,
             episodes: BTreeMap::new(),
+            deadlines: DeadlineModel::new(),
             restarts_issued: 0,
             give_ups: 0,
             merges: 0,
@@ -184,6 +190,23 @@ impl<O: Oracle> Recoverer<O> {
     /// the new policy governs subsequent decisions.
     pub fn set_policy(&mut self, policy: RestartPolicy) {
         self.policy = policy;
+    }
+
+    /// Replaces the deadline model ([`crate::deadline`]). Batch plans are
+    /// thereafter issued most-urgent first instead of in tree pre-order.
+    pub fn set_deadline_model(&mut self, deadlines: DeadlineModel) {
+        self.deadlines = deadlines;
+    }
+
+    /// The deadline model (empty unless one was set).
+    pub fn deadline_model(&self) -> &DeadlineModel {
+        &self.deadlines
+    }
+
+    /// Mutable access to the deadline model, so the driver can advance
+    /// deadlines as passes come and go.
+    pub fn deadline_model_mut(&mut self) -> &mut DeadlineModel {
+        &mut self.deadlines
     }
 
     /// Total restarts issued.
@@ -357,8 +380,9 @@ impl<O: Oracle> Recoverer<O> {
             attempts.insert(component.clone(), attempt);
             suspicions.push(Suspicion { component, cell });
         }
-        let plan = plan_episodes(&self.tree, &suspicions)
+        let mut plan = plan_episodes(&self.tree, &suspicions)
             .unwrap_or_else(|e| unreachable!("oracle cells are live: {e}"));
+        plan.order_by_urgency(&self.deadlines, now);
         for planned in plan.episodes {
             // Deepest escalation among the merged origins carries over; the
             // owner is the first origin (deterministic: sorted order).
@@ -687,6 +711,40 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         assert_eq!(rec.restarts_issued(), 1, "one restart, not a race");
+    }
+
+    #[test]
+    fn batch_issues_in_deadline_order_when_model_set() {
+        use crate::deadline::DeadlineModel;
+        let mut rec = Recoverer::new(tree_iv(), PerfectOracle::new(), RestartPolicy::new());
+        let batch = vec![Failure::solo("fedr"), Failure::solo("rtu")];
+        // Pre-order baseline: fedr's cell precedes rtu's.
+        let decisions = rec.on_failures(batch.clone(), t(0));
+        let order: Vec<_> = decisions
+            .iter()
+            .map(|d| match d {
+                RecoveryDecision::Restart { origins, .. } => origins[0].clone(),
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(order, vec!["fedr", "rtu"]);
+
+        // With rtu holding the tighter pass deadline, it is issued first.
+        let mut rec = Recoverer::new(tree_iv(), PerfectOracle::new(), RestartPolicy::new());
+        let mut model = DeadlineModel::new();
+        model.set_deadline("rtu", t(40));
+        model.set_deadline("fedr", t(400));
+        rec.set_deadline_model(model);
+        let decisions = rec.on_failures(batch, t(0));
+        let order: Vec<_> = decisions
+            .iter()
+            .map(|d| match d {
+                RecoveryDecision::Restart { origins, .. } => origins[0].clone(),
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(order, vec!["rtu", "fedr"]);
+        assert_eq!(rec.deadline_model().deadline_of("rtu"), Some(t(40)));
     }
 
     #[test]

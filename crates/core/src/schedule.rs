@@ -18,6 +18,9 @@
 
 use std::collections::BTreeSet;
 
+use rr_sim::SimTime;
+
+use crate::deadline::DeadlineModel;
 use crate::error::TreeError;
 use crate::tree::{NodeId, RestartTree};
 
@@ -77,6 +80,19 @@ impl EpisodePlan {
     /// The planned cells.
     pub fn cells(&self) -> Vec<NodeId> {
         self.episodes.iter().map(|e| e.cell).collect()
+    }
+
+    /// Reorders the plan by deadline slack: most critical episode first,
+    /// then least slack first ([`DeadlineModel::group_urgency`] over each
+    /// episode's components). The sort is stable, so episodes the model is
+    /// indifferent about keep their deterministic pre-order position — with
+    /// an empty model this is a no-op.
+    pub fn order_by_urgency(&mut self, deadlines: &DeadlineModel, now: SimTime) {
+        if deadlines.is_empty() {
+            return;
+        }
+        self.episodes
+            .sort_by_key(|e| deadlines.group_urgency(&e.components, now));
     }
 
     /// Summary statistics for this plan, in a shape convenient for telemetry
@@ -287,6 +303,40 @@ mod tests {
         let plan = plan_episodes(&tree, &[solo(&tree, "rtu"), solo(&tree, "rtu")]).unwrap();
         assert_eq!(plan.episodes.len(), 1);
         assert_eq!(plan.episodes[0].origins, vec!["rtu"]);
+    }
+
+    #[test]
+    fn urgency_reorders_but_preserves_preorder_ties() {
+        use crate::deadline::DeadlineModel;
+        use rr_sim::SimTime;
+        let tree = tree_iv();
+        let mut plan = plan_episodes(
+            &tree,
+            &[solo(&tree, "fedr"), solo(&tree, "ses"), solo(&tree, "rtu")],
+        )
+        .unwrap();
+        let preorder: Vec<_> = plan.episodes.iter().map(|e| e.origins.clone()).collect();
+        assert_eq!(preorder, vec![vec!["fedr"], vec!["ses"], vec!["rtu"]]);
+
+        // No model: untouched.
+        plan.order_by_urgency(&DeadlineModel::new(), SimTime::from_secs(0));
+        let same: Vec<_> = plan.episodes.iter().map(|e| e.origins.clone()).collect();
+        assert_eq!(same, preorder);
+
+        // rtu's pass deadline is tightest; fedr and ses are tied (no
+        // deadline) and keep their pre-order relative positions.
+        let mut model = DeadlineModel::new();
+        model.set_deadline("rtu", SimTime::from_secs(30));
+        plan.order_by_urgency(&model, SimTime::from_secs(0));
+        let ordered: Vec<_> = plan.episodes.iter().map(|e| e.origins.clone()).collect();
+        assert_eq!(ordered, vec![vec!["rtu"], vec!["fedr"], vec!["ses"]]);
+
+        // Criticality outranks slack: ses becomes most urgent even though
+        // its cell has no deadline at all.
+        model.set_criticality("str", 5); // str shares ses's cell
+        plan.order_by_urgency(&model, SimTime::from_secs(0));
+        let critical: Vec<_> = plan.episodes.iter().map(|e| e.origins.clone()).collect();
+        assert_eq!(critical, vec![vec!["ses"], vec!["rtu"], vec!["fedr"]]);
     }
 
     #[test]

@@ -157,6 +157,10 @@ fn lint_defaults() -> Report {
     for (cfg_name, cfg) in [
         ("paper", StationConfig::paper()),
         ("hardened", StationConfig::hardened()),
+        // Exercises the RRL8xx deadline/admission feasibility lints with the
+        // controller enabled (paper and hardened leave it off, so only the
+        // always-on pass-feasibility check runs for them).
+        ("admission", StationConfig::admission()),
     ] {
         for variant in TreeVariant::ALL {
             let prefix = format!("{cfg_name}/tree-{variant}");

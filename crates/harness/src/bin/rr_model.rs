@@ -107,6 +107,7 @@ fn default_scenarios(variant: TreeVariant, oracle: OracleKind) -> Vec<(String, S
         depth: None,
         faults: vec![fault(names::RTU, &[])],
         mutation: None,
+        admission: false,
     };
     let pair_faults = if variant.is_split() {
         vec![
@@ -122,10 +123,19 @@ fn default_scenarios(variant: TreeVariant, oracle: OracleKind) -> Vec<(String, S
         depth: None,
         faults: pair_faults,
         mutation: None,
+        admission: false,
+    };
+    // The admission flavour re-explores the correlated pair with the
+    // deadline-aware controller in the loop: any report may be deferred and
+    // later admitted, and the starvation invariant must hold throughout.
+    let admit = Scenario {
+        admission: true,
+        ..pair.clone()
     };
     vec![
         (format!("tree-{variant}/{}/solo", oracle.name()), solo),
         (format!("tree-{variant}/{}/pair", oracle.name()), pair),
+        (format!("tree-{variant}/{}/admit", oracle.name()), admit),
     ]
 }
 

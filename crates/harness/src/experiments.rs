@@ -1349,5 +1349,6 @@ pub fn all(run: RunConfig) -> Vec<Experiment> {
         ablation_optimizer(run),
         ablation_rejuvenation(run),
         crate::chaos::experiment(run),
+        crate::overload::experiment(run),
     ]
 }

@@ -35,6 +35,7 @@ pub const GOLDEN_MARK_PREFIXES: &[&str] = &[
     "rejuvenate:",
     "merge:",
     "defer:",
+    "shed:",
     "induced-crash:",
     "aging-crash:",
     "poison-crash:",
@@ -122,6 +123,11 @@ pub enum ScenarioKind {
     CorrelatedPbcom,
     /// Two components in independent cells killed at the same instant.
     IndependentPair(&'static str, &'static str),
+    /// Kill every listed component at once with the admission controller on
+    /// (see [`golden_admission_config`]): capacity 1 admits one restart, the
+    /// rest are deferred, duplicate FD reports for the parked components are
+    /// shed, and the queue drains as the capacity window recharges.
+    OverloadBurst(&'static [&'static str]),
     /// Kill `first`; after `stagger_s`, kill `second` (optionally with a
     /// joint \[fedr, pbcom\] cure hint) while the first episode is still in
     /// flight — the overlap forces promotion to the least common ancestor.
@@ -168,6 +174,13 @@ impl GoldenScenario {
             ScenarioKind::IndependentPair(a, b) => FaultScript::new()
                 .with_fault(SimTime::ZERO, a, FaultKind::Crash)
                 .with_fault(SimTime::ZERO, b, FaultKind::Crash),
+            ScenarioKind::OverloadBurst(targets) => {
+                let mut script = FaultScript::new();
+                for target in targets {
+                    script.push(SimTime::ZERO, *target, FaultKind::Crash);
+                }
+                script
+            }
             ScenarioKind::OverlapPair {
                 first,
                 second,
@@ -296,7 +309,41 @@ pub fn golden_scenarios() -> Vec<GoldenScenario> {
                 stagger_s: 1.0,
             },
         },
+        // Overload scenarios: simultaneous kills under the admission
+        // controller (capacity 1), pinning the defer / shed / drain ordering.
+        GoldenScenario {
+            name: "tree2-overload-pair",
+            variant: TreeVariant::II,
+            seed: 0xD5_2102,
+            kind: OverloadBurst(&[names::RTU, names::SES]),
+        },
+        GoldenScenario {
+            name: "tree4-overload-burst",
+            variant: TreeVariant::IV,
+            seed: 0xD5_2112,
+            kind: OverloadBurst(&[names::SES, names::STR, names::RTU]),
+        },
+        GoldenScenario {
+            name: "tree5-overload-burst",
+            variant: TreeVariant::V,
+            seed: 0xD5_2122,
+            kind: OverloadBurst(&[names::SES, names::STR, names::RTU]),
+        },
     ]
+}
+
+/// The configuration [`ScenarioKind::OverloadBurst`] scenarios run: the
+/// shipped admission preset with the pacing knobs shrunk so a full
+/// defer → shed → age-out → admit → cure cycle completes inside a golden
+/// window. Capacity 1 over a 20 s window keeps the admitted-restart spacing
+/// under the 30 s aging bound (RRL802), so the configuration lints clean.
+pub fn golden_admission_config() -> StationConfig {
+    let mut cfg = StationConfig::admission();
+    cfg.admission_capacity = 1;
+    cfg.admission_window_s = 20.0;
+    cfg.defer_max_age_s = 30.0;
+    cfg.admission_retry_s = 5.0;
+    cfg
 }
 
 /// Statically lints one scenario before anything runs: the station
@@ -304,7 +351,7 @@ pub fn golden_scenarios() -> Vec<GoldenScenario> {
 /// [fault script](GoldenScenario::fault_script) against the variant's
 /// component set.
 pub fn lint_scenario(sc: &GoldenScenario) -> rr_lint::Report {
-    let cfg = StationConfig::paper();
+    let cfg = scenario_config(sc);
     let mut report = match sc.variant.tree() {
         Ok(tree) => cfg.lint(&tree),
         Err(e) => {
@@ -331,6 +378,16 @@ pub fn lint_scenario(sc: &GoldenScenario) -> rr_lint::Report {
     report
 }
 
+/// The configuration a scenario records its golden under: the paper
+/// calibration, except that overload-burst scenarios need the admission
+/// controller and so run [`golden_admission_config`].
+fn scenario_config(sc: &GoldenScenario) -> StationConfig {
+    match sc.kind {
+        ScenarioKind::OverloadBurst(_) => golden_admission_config(),
+        _ => StationConfig::paper(),
+    }
+}
+
 /// Runs one scenario to completion and returns its normalized trace.
 ///
 /// # Panics
@@ -339,7 +396,7 @@ pub fn lint_scenario(sc: &GoldenScenario) -> rr_lint::Report {
 /// [`lint_scenario`] produces a deny diagnostic — the golden suite must
 /// never record a trace from a configuration the analyzer rejects.
 pub fn run_golden_scenario(sc: &GoldenScenario) -> String {
-    run_scenario_with_config(sc, StationConfig::paper()).0
+    run_scenario_with_config(sc, scenario_config(sc)).0
 }
 
 /// Runs one scenario with recovery-episode telemetry enabled, returning the
@@ -348,7 +405,7 @@ pub fn run_golden_scenario(sc: &GoldenScenario) -> String {
 /// observation-only, so the trace is byte-identical to
 /// [`run_golden_scenario`]'s.
 pub fn run_golden_scenario_telemetry(sc: &GoldenScenario) -> (String, rr_sim::Registry) {
-    let mut cfg = StationConfig::paper();
+    let mut cfg = scenario_config(sc);
     cfg.telemetry_enabled = true;
     run_scenario_with_config(sc, cfg)
 }
@@ -390,6 +447,13 @@ fn run_scenario_with_config(
                 .inject_kill(b)
                 .unwrap_or_else(|e| panic!("{}: {e:?}", "known component"));
         }
+        ScenarioKind::OverloadBurst(targets) => {
+            for target in *targets {
+                station
+                    .inject_kill(target)
+                    .unwrap_or_else(|e| panic!("{}: {e:?}", "known component"));
+            }
+        }
         ScenarioKind::OverlapPair {
             first,
             second,
@@ -408,7 +472,13 @@ fn run_scenario_with_config(
                 .unwrap_or_else(|e| panic!("{}: {e:?}", "known component"));
         }
     }
-    station.run_for(SimDuration::from_secs(80));
+    // Overload bursts drain their deferral queue at the capacity-window
+    // cadence, so they need a longer settle than a single recovery episode.
+    let settle_s = match sc.kind {
+        ScenarioKind::OverloadBurst(_) => 120,
+        _ => 80,
+    };
+    station.run_for(SimDuration::from_secs(settle_s));
     (normalize(station.trace(), start), station.telemetry())
 }
 

@@ -18,6 +18,7 @@
 //! | [`experiments::ablation_learning`] | §7 learning oracle |
 //! | [`experiments::ablation_optimizer`] | §7 automatic tree transformation |
 //! | [`chaos::experiment`] | beyond the paper — chaos campaign under degraded links |
+//! | [`overload::experiment`] | beyond the paper — admission control vs pass-window misses under overload |
 //!
 //! The `repro` binary drives the suite:
 //!
@@ -33,8 +34,10 @@
 pub mod chaos;
 pub mod experiments;
 pub mod golden;
+pub mod overload;
 pub mod report;
 pub mod tables;
 
 pub use chaos::{ChaosConfig, ChaosReport};
 pub use experiments::{Experiment, OracleKind, RunConfig};
+pub use overload::{OverloadConfig, OverloadLoad, OverloadReport};

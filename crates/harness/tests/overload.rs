@@ -1,0 +1,64 @@
+//! Overload campaign regression: admission control must turn pass-window
+//! misses into deferrals, not quarantines.
+
+use mercury::station::TreeVariant;
+use rr_harness::overload::{run_pair, sustained_config, OverloadConfig};
+
+/// The headline acceptance claim: under the default flash crowd, the
+/// admission arm misses strictly fewer pass windows than the unpaced arm on
+/// every tree variant — because the unpaced arm burns its restart-storm
+/// budget on the burst and quarantines the critical components.
+#[test]
+fn flash_crowd_admission_strictly_reduces_misses_on_every_tree() {
+    let cfg = OverloadConfig::default();
+    for variant in TreeVariant::ALL {
+        let (base, paced) = run_pair(variant, &cfg);
+        assert!(
+            base.misses > 0,
+            "tree {variant}: the flash crowd must actually cost the baseline passes"
+        );
+        assert!(
+            paced.misses < base.misses,
+            "tree {variant}: admission missed {}/{} vs baseline {}/{} — not strictly better",
+            paced.misses,
+            paced.passes,
+            base.misses,
+            base.passes
+        );
+        assert!(
+            !base.quarantined.is_empty(),
+            "tree {variant}: the baseline arm should exhaust the storm budget"
+        );
+        assert!(
+            paced.quarantined.is_empty(),
+            "tree {variant}: pacing should keep every component inside the budget, \
+             quarantined: {:?}",
+            paced.quarantined
+        );
+        assert!(paced.deferred > 0 && paced.shed > 0, "tree {variant}");
+    }
+}
+
+/// Sustained overload (Poisson crash schedule) on one representative split
+/// tree: pacing still wins, and the price shows up as longer per-failure
+/// MTTR — the deferred restarts wait in the queue.
+#[test]
+fn sustained_overload_pacing_trades_mttr_for_pass_coverage() {
+    let cfg = sustained_config(OverloadConfig::default().seed);
+    let (base, paced) = run_pair(TreeVariant::IV, &cfg);
+    assert!(
+        paced.misses < base.misses,
+        "admission {}/{} vs baseline {}/{}",
+        paced.misses,
+        paced.passes,
+        base.misses,
+        base.passes
+    );
+    assert!(paced.quarantined.is_empty(), "{:?}", paced.quarantined);
+    assert!(
+        paced.mean_mttr_s() > base.mean_mttr_s(),
+        "deferral should cost per-failure recovery latency: paced {:.1} s vs base {:.1} s",
+        paced.mean_mttr_s(),
+        base.mean_mttr_s()
+    );
+}

@@ -5,7 +5,8 @@
 //! restart-policy soundness, `RRL2xx` failure-model and oracle-map
 //! completeness, `RRL3xx` MTTF/MTTR algebra, `RRL4xx` schedule preconditions,
 //! `RRL5xx` fault-script sanity, `RRL6xx` failure-detector feasibility,
-//! `RRL7xx` model-checking feasibility (`rr-model` exploration bounds).
+//! `RRL7xx` model-checking feasibility (`rr-model` exploration bounds),
+//! `RRL8xx` deadline/admission-policy feasibility.
 //! A code's severity never changes between releases; new checks get new
 //! codes.
 
@@ -188,6 +189,25 @@ codes! {
         "keep the widest simultaneous-suspicion antichain within the checked \
          queue bound (or extend the rr-model default scenarios); merge \
          behaviour beyond the bound is unverified";
+
+    DEADLINE_PASS_INFEASIBLE = "RRL801", "deadline-pass-infeasible", Deny,
+        "a single worst-case recovery cannot finish inside the shortest pass \
+         window the station commits to",
+        "shorten restart_deadline_s or detection latency, or raise \
+         min_pass_window_s; a deadline-aware scheduler cannot meet deadlines \
+         no single recovery can meet";
+    DEADLINE_AGING_UNHONORABLE = "RRL802", "deadline-aging-unhonorable", Warn,
+        "the admitted-restart spacing implied by the capacity window exceeds \
+         the deferral aging bound",
+        "use admission_window_s / admission_capacity <= defer_max_age_s so a \
+         deferred restart that ages out can actually be admitted within its \
+         fairness promise";
+    DEADLINE_QUEUE_UNDERPROVISIONED = "RRL803", "deadline-queue-underprovisioned", Warn,
+        "the deferral queue bound is below the component count, so a flash \
+         crowd can exhaust it",
+        "use defer_queue_limit >= the number of tree components; the queue \
+         holds at most one entry per component, so that bound makes shedding \
+         of first reports impossible";
 }
 
 /// Looks up a catalog entry by its code (`"RRL001"`).

@@ -22,6 +22,7 @@
 //! | [`lint_fault_script`] | fault-script sanity (targets, order, observability) |
 //! | [`lint_fd`] | failure-detector timing feasibility |
 //! | [`lint_model_bounds`] | model-checker exploration feasibility |
+//! | [`lint_deadline`] | deadline/admission-policy feasibility |
 //!
 //! Each returns a [`Report`]; reports merge, render human-readable text
 //! ([`Report::to_human`]) or JSON ([`Report::to_json`]), and gate execution
@@ -51,6 +52,7 @@
 pub mod algebra;
 pub mod bounds;
 pub mod catalog;
+pub mod deadline;
 pub mod diag;
 pub mod fd;
 pub mod model;
@@ -62,6 +64,7 @@ pub mod tree;
 pub use algebra::{lint_algebra, GroupClaim, MemberStat};
 pub use bounds::{lint_model_bounds, ModelBoundsParams};
 pub use catalog::CodeInfo;
+pub use deadline::{lint_deadline, DeadlineParams};
 pub use diag::{Diagnostic, Report, Severity};
 pub use fd::{lint_fd, FdParams};
 pub use model::{lint_model, lint_suspicions};

@@ -11,9 +11,10 @@ use rr_core::model::{FailureMode, FailureModel};
 use rr_core::schedule::{plan_episodes, EpisodePlan, PlannedEpisode, Suspicion};
 use rr_core::tree::{RestartTree, TreeSpec};
 use rr_lint::{
-    catalog, lint_algebra, lint_fault_script, lint_fd, lint_model, lint_model_bounds, lint_plan,
-    lint_policy, lint_suspicions, lint_tree, lint_tree_spec, FdParams, GroupClaim, MemberStat,
-    ModelBoundsParams, PolicyParams, Report, ScriptContext, Severity,
+    catalog, lint_algebra, lint_deadline, lint_fault_script, lint_fd, lint_model,
+    lint_model_bounds, lint_plan, lint_policy, lint_suspicions, lint_tree, lint_tree_spec,
+    DeadlineParams, FdParams, GroupClaim, MemberStat, ModelBoundsParams, PolicyParams, Report,
+    ScriptContext, Severity,
 };
 
 /// The code each fixture below fires, in catalog order. The meta-test
@@ -22,7 +23,7 @@ const FIXTURED: &[&str] = &[
     "RRL001", "RRL002", "RRL003", "RRL004", "RRL005", "RRL101", "RRL102", "RRL103", "RRL104",
     "RRL201", "RRL202", "RRL203", "RRL211", "RRL212", "RRL213", "RRL301", "RRL302", "RRL401",
     "RRL402", "RRL403", "RRL501", "RRL502", "RRL503", "RRL504", "RRL505", "RRL601", "RRL602",
-    "RRL603", "RRL701", "RRL702",
+    "RRL603", "RRL701", "RRL702", "RRL801", "RRL802", "RRL803",
 ];
 
 /// Asserts the report fires `code` and that the finding's severity matches
@@ -438,6 +439,51 @@ fn rrl702_model_queue_unchecked() {
     assert_fires(&lint_model_bounds(&params), "RRL702");
 }
 
+// ---- RRL8xx: deadline/admission policy -----------------------------------
+
+fn sane_deadline() -> DeadlineParams {
+    DeadlineParams {
+        admission_enabled: true,
+        admission_capacity: 2,
+        admission_window_s: 120.0,
+        admission_retry_s: 5.0,
+        defer_max_age_s: 240.0,
+        defer_queue_limit: 16,
+        min_pass_window_s: 300.0,
+        restart_deadline_s: 45.0,
+        mean_detection_s: 0.9,
+    }
+}
+
+#[test]
+fn rrl801_deadline_pass_infeasible() {
+    let params = DeadlineParams {
+        min_pass_window_s: 30.0,
+        ..sane_deadline()
+    };
+    assert_fires(&lint_deadline(&params, None), "RRL801");
+}
+
+#[test]
+fn rrl802_deadline_aging_unhonorable() {
+    let params = DeadlineParams {
+        admission_capacity: 1,
+        admission_window_s: 600.0,
+        defer_max_age_s: 60.0,
+        ..sane_deadline()
+    };
+    assert_fires(&lint_deadline(&params, None), "RRL802");
+}
+
+#[test]
+fn rrl803_deadline_queue_underprovisioned() {
+    let params = DeadlineParams {
+        defer_queue_limit: 1,
+        ..sane_deadline()
+    };
+    assert_fires(&lint_deadline(&params, Some(&small_tree())), "RRL803");
+}
+
 // ---- meta ----------------------------------------------------------------
 
 #[test]
@@ -465,4 +511,5 @@ fn sane_baselines_are_clean() {
     let plan = plan_episodes(&small_tree(), &suspicions).unwrap();
     assert!(lint_plan(&small_tree(), &plan).is_clean());
     assert!(lint_model_bounds(&sane_bounds()).is_clean());
+    assert!(lint_deadline(&sane_deadline(), Some(&small_tree())).is_clean());
 }

@@ -217,6 +217,39 @@ pub struct StationConfig {
     pub pass_epoch_offset_s: f64,
     /// Telemetry frame period during an active, locked pass.
     pub telemetry_period_s: f64,
+    /// If `true`, REC runs a deadline-aware **admission controller** in
+    /// front of the recoverer: each incoming restart request is classified
+    /// as *run* (forwarded immediately), *defer* (parked in a queue until
+    /// recovery capacity frees up) or *shed* (dropped — only ever a
+    /// duplicate of a request already queued or in flight, so coverage of a
+    /// faulty component is never lost). `false` (the paper's behaviour)
+    /// forwards every request immediately.
+    pub admission_enabled: bool,
+    /// Recovery capacity: the most restart launches admission control
+    /// admits within [`admission_window_s`](Self::admission_window_s);
+    /// beyond it new requests are deferred.
+    pub admission_capacity: u32,
+    /// Length of the admission capacity window.
+    pub admission_window_s: f64,
+    /// Period at which REC re-examines the deferral queue for requests that
+    /// can now be admitted.
+    pub admission_retry_s: f64,
+    /// Fairness/aging bound: a deferred request older than this runs at the
+    /// next retry tick even if the capacity window is full, so deferral can
+    /// delay a restart but never starve it.
+    pub defer_max_age_s: f64,
+    /// Advisory bound on the deferral queue (one entry per component, so
+    /// any value at or above the component count never binds; rr-lint warns
+    /// when it is smaller).
+    pub defer_queue_limit: usize,
+    /// Components whose recovery outranks the rest under overload: they get
+    /// criticality 1 in the [`rr_core::DeadlineModel`] (everything else 0),
+    /// so ties in pass slack break in their favour.
+    pub critical_components: Vec<String>,
+    /// The shortest pass window the station commits to serving, in seconds.
+    /// Drives the rr-lint deadline-feasibility checks (a worst-case
+    /// recovery must fit inside it) and nothing at runtime.
+    pub min_pass_window_s: f64,
     /// If `true`, the station records recovery-episode telemetry (counters,
     /// MTTR histograms, FD ping-latency stats and the episode-event stream)
     /// into its [`rr_sim::telemetry::Registry`]. When `false` the registry
@@ -286,6 +319,14 @@ impl StationConfig {
             connect_retry_s: 0.5,
             pass_epoch_offset_s: 0.0,
             telemetry_period_s: 1.0,
+            admission_enabled: false,
+            admission_capacity: 2,
+            admission_window_s: 120.0,
+            admission_retry_s: 5.0,
+            defer_max_age_s: 240.0,
+            defer_queue_limit: 16,
+            critical_components: Vec::new(),
+            min_pass_window_s: 300.0,
             telemetry_enabled: false,
             site: GroundSite::stanford(),
             satellites: vec![Satellite::opal(), Satellite::sapphire()],
@@ -321,6 +362,23 @@ impl StationConfig {
         // Degraded links are where recovery behaviour gets interesting, so
         // the hardened profile keeps the episode telemetry on.
         cfg.telemetry_enabled = true;
+        cfg
+    }
+
+    /// The hardened calibration with the deadline-aware admission controller
+    /// switched on: under overload REC paces restart launches to
+    /// [`admission_capacity`](Self::admission_capacity) per
+    /// [`admission_window_s`](Self::admission_window_s), parking the excess
+    /// in a deferral queue drained most-urgent-first (tightest pass slack,
+    /// criticality breaking ties). The storage components carry criticality
+    /// 1 so experiment data survives a shedding storm.
+    ///
+    /// Use [`hardened`](Self::hardened) for the no-admission baseline the
+    /// overload experiments compare against.
+    pub fn admission() -> StationConfig {
+        let mut cfg = StationConfig::hardened();
+        cfg.admission_enabled = true;
+        cfg.critical_components = vec![names::SES.into(), names::STR.into()];
         cfg
     }
 
@@ -444,6 +502,38 @@ impl StationConfig {
         if let Some(t) = self.rejuvenation_aging_threshold {
             if !(0.0..=1.0).contains(&t) {
                 errors.push(format!("rejuvenation threshold {t} outside [0, 1]"));
+            }
+        }
+        // Admission knobs must be coherent even when the controller is off:
+        // experiments flip `admission_enabled` without re-deriving the rest.
+        if self.admission_capacity == 0 {
+            errors.push("admission_capacity must be at least 1".to_string());
+        }
+        if self.admission_window_s <= 0.0 || self.admission_retry_s <= 0.0 {
+            errors.push(format!(
+                "admission_window_s ({}) and admission_retry_s ({}) must be positive",
+                self.admission_window_s, self.admission_retry_s
+            ));
+        }
+        if self.defer_max_age_s < self.admission_retry_s {
+            errors.push(format!(
+                "defer_max_age_s ({}) must be at least admission_retry_s ({}) or the aging \
+                 promise cannot be honoured at the retry cadence",
+                self.defer_max_age_s, self.admission_retry_s
+            ));
+        }
+        if self.defer_queue_limit == 0 {
+            errors.push("defer_queue_limit must be at least 1".to_string());
+        }
+        if self.min_pass_window_s <= 0.0 {
+            errors.push(format!(
+                "min_pass_window_s ({}) must be positive",
+                self.min_pass_window_s
+            ));
+        }
+        for comp in &self.critical_components {
+            if !self.timing.contains_key(comp) {
+                errors.push(format!("critical component {comp:?} has no timing entry"));
             }
         }
         if errors.is_empty() {
@@ -612,6 +702,22 @@ impl StationConfig {
         }
     }
 
+    /// The admission-control and deadline knobs in the shape `rr_lint`
+    /// checks.
+    pub fn deadline_params(&self) -> rr_lint::DeadlineParams {
+        rr_lint::DeadlineParams {
+            admission_enabled: self.admission_enabled,
+            admission_capacity: self.admission_capacity,
+            admission_window_s: self.admission_window_s,
+            admission_retry_s: self.admission_retry_s,
+            defer_max_age_s: self.defer_max_age_s,
+            defer_queue_limit: self.defer_queue_limit,
+            min_pass_window_s: self.min_pass_window_s,
+            restart_deadline_s: self.restart_deadline_s,
+            mean_detection_s: self.mean_detection_s(),
+        }
+    }
+
     /// Statically lints this configuration against the restart tree it will
     /// operate: tree well-formedness, FD timing feasibility, and restart
     /// policy soundness. [`Station`](crate::station::Station) construction
@@ -620,6 +726,7 @@ impl StationConfig {
         rr_lint::lint_tree(tree)
             .merged(rr_lint::lint_fd(&self.fd_params()))
             .merged(rr_lint::lint_policy(&self.policy_params(), Some(tree)))
+            .merged(rr_lint::lint_deadline(&self.deadline_params(), Some(tree)))
     }
 
     /// The Table 1 failure model for the *unsplit* station (trees I/II).
@@ -842,5 +949,42 @@ mod tests {
         let clone = cfg.clone();
         assert_eq!(cfg, clone);
         assert_eq!(StationConfig::default(), cfg);
+    }
+
+    #[test]
+    fn admission_preset_validates_and_lints_clean() {
+        let cfg = StationConfig::admission();
+        assert!(cfg.admission_enabled);
+        assert!(cfg.validate().is_ok());
+        // The preset must survive the deny-warnings audit on every tree.
+        for variant in crate::station::TreeVariant::ALL {
+            let report = cfg.lint(&variant.tree().unwrap());
+            assert!(report.is_clean(), "{variant:?}: {report}");
+        }
+    }
+
+    #[test]
+    fn validate_catches_incoherent_admission_knobs() {
+        let mut cfg = StationConfig::paper();
+        cfg.admission_capacity = 0;
+        cfg.admission_window_s = 0.0;
+        cfg.defer_max_age_s = 1.0; // < admission_retry_s
+        cfg.defer_queue_limit = 0;
+        cfg.min_pass_window_s = -1.0;
+        cfg.critical_components = vec!["nosuch".into()];
+        let errors = cfg.validate().unwrap_err();
+        for needle in [
+            "admission_capacity",
+            "admission_window_s",
+            "defer_max_age_s",
+            "defer_queue_limit",
+            "min_pass_window_s",
+            "critical component",
+        ] {
+            assert!(
+                errors.iter().any(|e| e.contains(needle)),
+                "{needle}: {errors:?}"
+            );
+        }
     }
 }

@@ -26,11 +26,27 @@ use rr_sim::{Actor, Context, Event, SimDuration, SimTime, TraceKind};
 
 use crate::components::common::{Lifecycle, Shared, Wire, TIMER_BOOT, TIMER_ROLE_BASE};
 use crate::config::names;
+use crate::orbit;
 
 const TIMER_FD_WATCH: u64 = TIMER_ROLE_BASE;
 const TIMER_FD_TIMEOUT: u64 = TIMER_ROLE_BASE + 1;
+/// Deferral-queue retry tick (admission control).
+const TIMER_ADMIT: u64 = TIMER_ROLE_BASE + 2;
 /// Cure-confirmation timers carry `TIMER_CONFIRM_BASE + slot`.
 const TIMER_CONFIRM_BASE: u64 = 2000;
+
+/// How the admission controller disposes of a screened failure report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Admission {
+    /// Forward to the recoverer immediately.
+    Run,
+    /// Park in the deferral queue until capacity frees up (or the entry ages
+    /// out).
+    Defer,
+    /// Drop. Only ever a duplicate of a request already parked in the
+    /// deferral queue, so the faulty component never loses coverage.
+    Shed,
+}
 
 /// The latest health beacon received from a component (future work §7).
 #[derive(Debug, Clone, PartialEq)]
@@ -73,6 +89,14 @@ pub struct RecControl {
     /// only complete when the whole cell is back, not just the owner. Ordered
     /// so same-instant completions confirm in a fixed order.
     pending: BTreeMap<String, (SimTime, BTreeSet<String>)>,
+    /// Deferred restart requests: component → when it was first parked.
+    /// Ordered so drain order is deterministic; at most one entry per
+    /// component (later reports of a deferred component are shed).
+    pub deferred: BTreeMap<String, SimTime>,
+    /// Launch times of restarts admitted within the sliding capacity window.
+    /// Lives here (not in the actor) so a REC process restart does not reset
+    /// the pacing budget.
+    admitted: Vec<SimTime>,
 }
 
 impl std::fmt::Debug for RecControl {
@@ -95,7 +119,21 @@ impl RecControl {
             actions: Vec::new(),
             quarantined: BTreeSet::new(),
             pending: BTreeMap::new(),
+            deferred: BTreeMap::new(),
+            admitted: Vec::new(),
         }))
+    }
+
+    /// Drops capacity-window launch records older than `window_s`.
+    fn prune_admitted(&mut self, now: SimTime, window_s: f64) {
+        self.admitted
+            .retain(|t| now.saturating_since(*t).as_secs_f64() < window_s);
+    }
+
+    /// Launches admitted within the capacity window ending at `now`.
+    pub fn admitted_in_window(&mut self, now: SimTime, window_s: f64) -> usize {
+        self.prune_admitted(now, window_s);
+        self.admitted.len()
     }
 }
 
@@ -119,6 +157,9 @@ pub struct Rec {
     /// relayed beacons starve with it, so staleness clocks only run from
     /// here.
     bus_starved_until: SimTime,
+    /// Cached next pass window in *orbital* seconds (`rise_s`, `set_s`);
+    /// recomputed from the ephemeris only once the cached pass has set.
+    next_pass: Option<(f64, f64)>,
 }
 
 impl std::fmt::Debug for Rec {
@@ -139,6 +180,7 @@ impl Rec {
             fd_misses: 0,
             fd_grace_until: SimTime::ZERO,
             bus_starved_until: SimTime::ZERO,
+            next_pass: None,
         }
     }
 
@@ -199,6 +241,185 @@ impl Rec {
             control.recoverer.on_not_cured(component);
         }
         Failure::correlated(component.to_string(), cure_set)
+    }
+
+    /// Classifies a screened failure report under admission control.
+    ///
+    /// Invariant: a component's *first* report is never shed — shedding is
+    /// reserved for reports whose component already holds a deferral-queue
+    /// entry (which preserves its coverage). Even a full deferral queue
+    /// degrades to an immediate run rather than a shed.
+    fn admission_classify(
+        &self,
+        control: &mut RecControl,
+        component: &str,
+        now: SimTime,
+    ) -> Admission {
+        let cfg = self.life.config();
+        if !cfg.admission_enabled {
+            return Admission::Run;
+        }
+        if control.deferred.contains_key(component) {
+            return Admission::Shed;
+        }
+        // Capacity is charged here, at admission, so every member of a batch
+        // sees the slots its siblings already claimed.
+        if control.admitted_in_window(now, cfg.admission_window_s) < cfg.admission_capacity as usize
+            || control.deferred.len() >= cfg.defer_queue_limit
+        {
+            control.admitted.push(now);
+            return Admission::Run;
+        }
+        control.deferred.insert(component.to_string(), now);
+        Admission::Defer
+    }
+
+    /// Marks and counts a deferral (the request is already parked).
+    fn note_deferred(&mut self, component: &str, now: SimTime, ctx: &mut Context<'_, Wire>) {
+        ctx.trace_mark(format!("defer:{component}"));
+        self.life.shared().telemetry.borrow_mut().record_deferred(
+            now,
+            component,
+            "admission-capacity",
+        );
+    }
+
+    /// Marks and counts a shed duplicate report.
+    fn note_shed(&mut self, component: &str, now: SimTime, ctx: &mut Context<'_, Wire>) {
+        ctx.trace_mark(format!("shed:{component}"));
+        self.life.shared().telemetry.borrow_mut().record_shed(
+            now,
+            component,
+            "duplicate-of-deferred",
+        );
+    }
+
+    /// Forwards a screened, admitted report to the recoverer and applies its
+    /// decision.
+    fn forward_report(&mut self, component: &str, now: SimTime, ctx: &mut Context<'_, Wire>) {
+        let decision = {
+            let mut control = self.control.borrow_mut();
+            let failure = self.failure_for(&mut control, component);
+            control.recoverer.on_failure(failure, now)
+        };
+        self.apply_decision(decision, now, ctx);
+    }
+
+    /// Refreshes the recoverer's deadline model from the ephemeris: every
+    /// component's deadline is the next pass rise (a component still down
+    /// when the satellite rises misses the pass), with the configured
+    /// critical components outranking the rest on ties.
+    fn refresh_pass_deadlines(&mut self, now: SimTime) {
+        let cfg = self.life.config();
+        if !cfg.admission_enabled || cfg.satellites.is_empty() {
+            return;
+        }
+        let orbital_now = now.as_secs_f64() + cfg.pass_epoch_offset_s;
+        if let Some((_, set_s)) = self.next_pass {
+            if orbital_now < set_s {
+                return;
+            }
+        }
+        let mut best: Option<(f64, f64)> = None;
+        for sat in &cfg.satellites {
+            if let Some(pass) =
+                orbit::predict_passes(&cfg.site, sat, orbital_now, orbital_now + 86_400.0)
+                    .into_iter()
+                    .next()
+            {
+                if best.is_none_or(|(rise, _)| pass.rise_s < rise) {
+                    best = Some((pass.rise_s, pass.set_s));
+                }
+            }
+        }
+        let Some((rise_s, set_s)) = best else {
+            return;
+        };
+        self.next_pass = Some((rise_s, set_s));
+        let deadline = SimTime::from_secs_f64((rise_s - cfg.pass_epoch_offset_s).max(0.0));
+        let criticals = cfg.critical_components.clone();
+        let mut control = self.control.borrow_mut();
+        let components = control.recoverer.tree().components();
+        let model = control.recoverer.deadline_model_mut();
+        *model = rr_core::DeadlineModel::new();
+        for comp in &components {
+            model.set_deadline(comp, deadline);
+        }
+        for comp in &criticals {
+            model.set_criticality(comp, 1);
+        }
+    }
+
+    /// Drains the deferral queue at the retry cadence: aged-out and
+    /// slack-exhausted entries run unconditionally (oldest first — the
+    /// fairness guarantee; pacing must never cost a deadline-covered
+    /// component its pass), then remaining capacity admits the most urgent
+    /// entries under the deadline model (tightest pass slack, criticality
+    /// breaking ties).
+    fn drain_deferred(&mut self, ctx: &mut Context<'_, Wire>) {
+        let cfg = self.life.config();
+        let (capacity, window_s, max_age_s) = (
+            cfg.admission_capacity as usize,
+            cfg.admission_window_s,
+            cfg.defer_max_age_s,
+        );
+        // A deferred entry must launch while there is still time to finish
+        // the restart before its deadline; one more retry tick of waiting
+        // would leave less than the restart's own deadline of lead.
+        let lead_s = cfg.restart_deadline_s + cfg.admission_retry_s;
+        let now = ctx.now();
+        self.refresh_pass_deadlines(now);
+        // (not-forced, urgency, enqueue time, name): ascending sort runs
+        // forced (aged or slack-exhausted) entries first in FIFO order, then
+        // the rest most-urgent first.
+        let mut order: Vec<(bool, rr_core::Urgency, SimTime, String)> = {
+            let control = self.control.borrow();
+            control
+                .deferred
+                .iter()
+                .map(|(component, enqueued)| {
+                    let aged = now.saturating_since(*enqueued).as_secs_f64() >= max_age_s;
+                    let model = control.recoverer.deadline_model();
+                    let slack_out = model
+                        .slack(component, now)
+                        .is_some_and(|s| s.as_secs_f64() <= lead_s);
+                    let urgency = model.urgency(component, now);
+                    (!(aged || slack_out), urgency, *enqueued, component.clone())
+                })
+                .collect()
+        };
+        order.sort();
+        for (not_forced, _, _, component) in order {
+            let admissible = {
+                let mut control = self.control.borrow_mut();
+                !not_forced || control.admitted_in_window(now, window_s) < capacity
+            };
+            if !admissible {
+                break; // sorted forced-first: nothing later is admissible either
+            }
+            let run = {
+                let mut control = self.control.borrow_mut();
+                control.deferred.remove(&component);
+                let run = !control.quarantined.contains(&component)
+                    && self.screen_report(&mut control, &component, now);
+                if run {
+                    // Charge the launch so later (unforced) entries and fresh
+                    // reports see the slot as taken; a forced entry runs even
+                    // over capacity but still loads the window it runs in.
+                    control.admitted.push(now);
+                }
+                run
+            };
+            if !run {
+                continue;
+            }
+            self.life
+                .shared()
+                .telemetry
+                .borrow_mut()
+                .incr_labeled("admission_admitted", &component);
+            self.forward_report(&component, now, ctx);
+        }
     }
 
     /// Applies one recovery decision: marks the trace, keeps the pending
@@ -283,6 +504,10 @@ impl Rec {
                 ctx.trace_mark(format!("quarantine:{component}"));
                 ctx.trace_event(TraceKind::EpisodeEnd, format!("{component}:gaveup"));
                 control.pending.remove(&component);
+                // A quarantined component's deferral entry is stale: leaving
+                // it behind would re-issue a restart the policy just gave up
+                // on the next time the queue drains.
+                control.deferred.remove(&component);
                 control.quarantined.insert(component.clone());
                 control.actions.push(format!("{now} {action}"));
                 let telemetry = self.life.shared().telemetry.clone();
@@ -295,27 +520,31 @@ impl Rec {
 
     fn on_failed(&mut self, component: String, ctx: &mut Context<'_, Wire>) {
         let now = ctx.now();
-        let mut control = self.control.borrow_mut();
-        if !self.screen_report(&mut control, &component, now) {
-            return;
+        let admission = {
+            let mut control = self.control.borrow_mut();
+            if !self.screen_report(&mut control, &component, now) {
+                return;
+            }
+            // Serial baseline: one episode at a time. While any restart is in
+            // flight a fresh suspicion is deferred, not queued — FD keeps
+            // re-reporting it every ping round, so it is retried as soon as
+            // the in-flight episode drains.
+            if self.life.config().serial_recovery && !control.pending.is_empty() {
+                ctx.trace_mark(format!("defer:{component}"));
+                self.life
+                    .shared()
+                    .telemetry
+                    .borrow_mut()
+                    .incr_labeled("reports_deferred", &component);
+                return;
+            }
+            self.admission_classify(&mut control, &component, now)
+        };
+        match admission {
+            Admission::Run => self.forward_report(&component, now, ctx),
+            Admission::Defer => self.note_deferred(&component, now, ctx),
+            Admission::Shed => self.note_shed(&component, now, ctx),
         }
-        // Serial baseline: one episode at a time. While any restart is in
-        // flight a fresh suspicion is deferred, not queued — FD keeps
-        // re-reporting it every ping round, so it is retried as soon as the
-        // in-flight episode drains.
-        if self.life.config().serial_recovery && !control.pending.is_empty() {
-            ctx.trace_mark(format!("defer:{component}"));
-            self.life
-                .shared()
-                .telemetry
-                .borrow_mut()
-                .incr_labeled("reports_deferred", &component);
-            return;
-        }
-        let failure = self.failure_for(&mut control, &component);
-        let decision = control.recoverer.on_failure(failure, now);
-        drop(control);
-        self.apply_decision(decision, now, ctx);
     }
 
     /// Handles a batched report: same-instant suspicions are planned together
@@ -332,18 +561,36 @@ impl Rec {
             return;
         }
         let now = ctx.now();
-        let mut control = self.control.borrow_mut();
-        let mut failures: Vec<Failure> = Vec::new();
-        for component in components {
-            if self.screen_report(&mut control, &component, now) {
-                failures.push(self.failure_for(&mut control, &component));
+        let (failures, deferred, shed) = {
+            let mut control = self.control.borrow_mut();
+            let mut failures: Vec<Failure> = Vec::new();
+            let mut deferred: Vec<String> = Vec::new();
+            let mut shed: Vec<String> = Vec::new();
+            for component in components {
+                if !self.screen_report(&mut control, &component, now) {
+                    continue;
+                }
+                match self.admission_classify(&mut control, &component, now) {
+                    Admission::Run => failures.push(self.failure_for(&mut control, &component)),
+                    Admission::Defer => deferred.push(component),
+                    Admission::Shed => shed.push(component),
+                }
             }
+            (failures, deferred, shed)
+        };
+        for component in deferred {
+            self.note_deferred(&component, now, ctx);
+        }
+        for component in shed {
+            self.note_shed(&component, now, ctx);
         }
         if failures.is_empty() {
             return;
         }
-        let decisions = control.recoverer.on_failures(failures, now);
-        drop(control);
+        let decisions = {
+            let mut control = self.control.borrow_mut();
+            control.recoverer.on_failures(failures, now)
+        };
         for decision in decisions {
             self.apply_decision(decision, now, ctx);
         }
@@ -612,6 +859,19 @@ impl Actor<Wire> for Rec {
                 // Give FD the same cold-start grace it gives the components.
                 let grace = SimDuration::from_secs_f64(self.life.config().fd_grace_s);
                 ctx.set_timer(grace, TIMER_FD_WATCH);
+                // The deferral queue survives a REC restart (it lives in the
+                // shared control block), so the drain tick re-arms here too.
+                if self.life.config().admission_enabled {
+                    let retry = SimDuration::from_secs_f64(self.life.config().admission_retry_s);
+                    ctx.set_timer(retry, TIMER_ADMIT);
+                }
+            }
+            Event::Timer { key: TIMER_ADMIT } => {
+                if self.life.is_ready() {
+                    self.drain_deferred(ctx);
+                }
+                let retry = SimDuration::from_secs_f64(self.life.config().admission_retry_s);
+                ctx.set_timer(retry, TIMER_ADMIT);
             }
             Event::Timer {
                 key: TIMER_FD_WATCH,

@@ -275,6 +275,27 @@ mod tests {
     }
 
     #[test]
+    fn admission_scenario_explores_clean() {
+        let m = model("tree IV\nadmission\nfault pbcom\nfault fedr cures fedr pbcom\n");
+        let outcome = check(&m, &CheckConfig::default()).unwrap();
+        assert!(outcome.violation.is_none(), "{:?}", outcome.violation);
+        assert!(outcome.quiescent_states > 0);
+    }
+
+    #[test]
+    fn starve_deferred_yields_minimal_starvation_counterexample() {
+        let m = model("tree IV\nadmission\nfault rtu\nmutate starve-deferred\n");
+        let outcome = check(&m, &CheckConfig::default()).unwrap();
+        let ce = outcome.violation.expect("must be rejected");
+        assert_eq!(ce.violation.kind, ViolationKind::Starvation);
+        // Minimal: inject, defer, rollover — then the queue is stuck for good.
+        assert_eq!(ce.trace.len(), 3);
+        assert_eq!(replay(&m, &ce.trace), Some(ce.violation.clone()));
+        assert!(ce.render().contains("mark defer:rtu"));
+        assert!(ce.render().contains("violation deferred-starved"));
+    }
+
+    #[test]
     fn determinism_same_scenario_same_counterexample() {
         let text = "tree IV\nfault pbcom\nfault fedr cures fedr pbcom\nmutate bypass-planner\n";
         let a = check(&model(text), &CheckConfig::default()).unwrap();

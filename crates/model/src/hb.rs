@@ -210,6 +210,10 @@ pub fn verify(events: &[EpisodeEvent], clocks: &[VectorClock]) -> Vec<HbViolatio
             EpisodeStage::Quarantined => {
                 key.phase = Some(Phase::Idle);
             }
+            // Admission-control decisions park or drop a request before any
+            // episode opens; they impose no phase transition of their own
+            // (the generic clock-advance check above still applies).
+            EpisodeStage::Deferred | EpisodeStage::Shed => {}
         }
     }
     violations

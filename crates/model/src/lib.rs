@@ -14,7 +14,10 @@
 //! * restart completion ([`Action::Complete`]),
 //! * cure confirmation ([`Action::Confirm`]),
 //! * ping-epoch rollover ([`Action::Rollover`], which re-arms detection and
-//!   drives escalation).
+//!   drives escalation),
+//! * admission-controller deferral and drain ([`Action::Defer`],
+//!   [`Action::Admit`] — enabled when the scenario declares `admission`, so
+//!   load shedding interleaves with planning and merges).
 //!
 //! Crucially the machine drives the **real** [`rr_core::Recoverer`] — not a
 //! re-implementation — so what is checked is the shipped planner/merge/policy
@@ -36,7 +39,8 @@
 //!
 //! Liveness is checked **under fairness**: at every quiescent state (no
 //! action enabled) each injected fault must have reached cured or
-//! quarantined. Interleavings that cycle forever without quiescing (e.g. a
+//! quarantined, and no deadline-covered component may starve in the
+//! admission controller's deferral queue. Interleavings that cycle forever without quiescing (e.g. a
 //! suspicion re-armed by every epoch rollover) are exactly the unfair
 //! schedules the assumption excludes; see DESIGN.md §12 for the soundness
 //! caveats.
@@ -50,7 +54,8 @@
 //!
 //! Deliberately broken protocol drivers for fixture tests are modelled as
 //! [`scenario::Mutation`]s (a rogue restart that bypasses the planner, a
-//! dropped failure report); the checker must reject them deterministically.
+//! dropped failure report, a starved admission drain tick); the checker must
+//! reject them deterministically.
 
 #![forbid(unsafe_code)]
 #![cfg_attr(test, allow(clippy::disallowed_methods))]

@@ -133,6 +133,20 @@ pub enum Action {
     /// The FD's ping epoch rolls over: suspicion latches clear, so persisting
     /// failures are re-detected (and escalate).
     Rollover,
+    /// The admission controller defers the conviction of `component` under
+    /// overload: the report is accepted and queued, but no restart launches
+    /// yet. Only enabled when the scenario declares `admission`.
+    Defer {
+        /// The deferred component.
+        component: String,
+    },
+    /// The admission controller's drain step admits the queued report for
+    /// `component`, forwarding it to the recoverer (a no-op if the fault
+    /// resolved or quarantined while queued).
+    Admit {
+        /// The admitted component.
+        component: String,
+    },
 }
 
 impl Action {
@@ -147,6 +161,8 @@ impl Action {
             Action::Complete { owner } => format!("ready:{owner}"),
             Action::Confirm { owner } => format!("cured:{owner}"),
             Action::Rollover => "epoch:rollover".to_string(),
+            Action::Defer { component } => format!("defer:{component}"),
+            Action::Admit { component } => format!("admit:{component}"),
         }
     }
 }
@@ -170,6 +186,10 @@ pub enum ViolationKind {
     /// A quiescent state (no action enabled) with an unresolved fault: under
     /// fairness every injected fault must reach cured or quarantined.
     Liveness,
+    /// A deadline-covered component starved: its restart request sits in the
+    /// admission controller's deferral queue in a quiescent state, so under
+    /// fairness it will never be admitted.
+    Starvation,
 }
 
 impl ViolationKind {
@@ -182,6 +202,7 @@ impl ViolationKind {
             ViolationKind::QuarantineRegressed => "quarantine-regressed",
             ViolationKind::RestartAfterQuarantine => "restart-after-quarantine",
             ViolationKind::Liveness => "liveness-unresolved-fault",
+            ViolationKind::Starvation => "deferred-starved",
         }
     }
 }
@@ -225,6 +246,9 @@ pub struct State {
     reported: BTreeSet<String>,
     /// Components the policy gave up on (monotone).
     quarantined: BTreeSet<String>,
+    /// Components whose accepted report sits in the admission controller's
+    /// deferral queue, awaiting an [`Action::Admit`] drain step.
+    deferred: BTreeSet<String>,
     /// Cells restarted by a mutated driver behind the planner's back.
     rogue_cells: Vec<NodeId>,
     /// Logical step counter: step *n*'s action executes at *n* seconds.
@@ -261,7 +285,7 @@ impl State {
         sig.push('|');
         let _ = write!(
             sig,
-            "s{}|r{}|q{}|",
+            "s{}|r{}|q{}|d{}|",
             self.suspected.iter().cloned().collect::<Vec<_>>().join(","),
             self.reported.iter().cloned().collect::<Vec<_>>().join(","),
             self.quarantined
@@ -269,6 +293,7 @@ impl State {
                 .cloned()
                 .collect::<Vec<_>>()
                 .join(","),
+            self.deferred.iter().cloned().collect::<Vec<_>>().join(","),
         );
         let mut rogue: Vec<&str> = self.rogue_cells.iter().map(|&n| tree.label(n)).collect();
         rogue.sort_unstable();
@@ -298,6 +323,11 @@ impl State {
     pub fn fault_status(&self, index: usize) -> FaultStatus {
         self.fault_status[index]
     }
+
+    /// Components currently parked in the admission deferral queue.
+    pub fn deferred(&self) -> &BTreeSet<String> {
+        &self.deferred
+    }
 }
 
 /// A restart tree bound to a scenario: the transition system the checker
@@ -308,6 +338,7 @@ pub struct Model {
     oracle: ModelOracle,
     policy: RestartPolicy,
     mutation: Option<Mutation>,
+    admission: bool,
 }
 
 impl Model {
@@ -332,6 +363,11 @@ impl Model {
             }
             faults.push(Failure::correlated(&spec.component, spec.cure_set.clone()));
         }
+        if scenario.mutation == Some(Mutation::StarveDeferred) && !scenario.admission {
+            return Err(ModelError {
+                message: "mutation starve-deferred requires the `admission` directive".into(),
+            });
+        }
         // A tight escalation limit keeps give-up/quarantine paths reachable
         // within the default exploration depth; the default rate window
         // (3600 s) dwarfs every path length, which is what makes excluding
@@ -344,6 +380,7 @@ impl Model {
             oracle: ModelOracle::new(scenario.oracle),
             policy,
             mutation: scenario.mutation,
+            admission: scenario.admission,
         })
     }
 
@@ -365,6 +402,7 @@ impl Model {
             suspected: BTreeSet::new(),
             reported: BTreeSet::new(),
             quarantined: BTreeSet::new(),
+            deferred: BTreeSet::new(),
             rogue_cells: Vec::new(),
             step: 0,
         }
@@ -383,6 +421,7 @@ impl Model {
                 state.fault_status[*i] == FaultStatus::Active
                     && !state.suspected.contains(&f.component)
                     && !state.quarantined.contains(&f.component)
+                    && !state.deferred.contains(&f.component)
             })
             .map(|(_, f)| f.component.clone())
             .collect()
@@ -403,11 +442,23 @@ impl Model {
             actions.push(Action::Suspect {
                 component: component.clone(),
             });
+            if self.admission {
+                actions.push(Action::Defer {
+                    component: component.clone(),
+                });
+            }
         }
         if targets.len() >= 2 {
             actions.push(Action::SuspectBatch {
                 components: targets,
             });
+        }
+        if self.mutation != Some(Mutation::StarveDeferred) {
+            for component in &state.deferred {
+                actions.push(Action::Admit {
+                    component: component.clone(),
+                });
+            }
         }
         for ep in state.rec.protocol_snapshot() {
             if ep.in_flight {
@@ -466,7 +517,9 @@ impl Model {
                         let cell = self.rogue_cell(&self.faults[i]);
                         next.rogue_cells.push(cell);
                     }
-                    None => {
+                    // Starve-deferred only breaks the drain tick; direct
+                    // suspicions still reach the recoverer.
+                    None | Some(Mutation::StarveDeferred) => {
                         decisions.push(next.rec.on_failure(self.faults[i].clone(), now));
                     }
                 }
@@ -483,7 +536,9 @@ impl Model {
                             let cell = self.rogue_cell(&self.faults[i]);
                             next.rogue_cells.push(cell);
                         }
-                        None => batch.push(self.faults[i].clone()),
+                        None | Some(Mutation::StarveDeferred) => {
+                            batch.push(self.faults[i].clone());
+                        }
                     }
                 }
                 if !batch.is_empty() {
@@ -513,6 +568,20 @@ impl Model {
             }
             Action::Rollover => {
                 next.suspected.clear();
+            }
+            Action::Defer { component } => {
+                next.suspected.insert(component.clone());
+                next.reported.insert(component.clone());
+                next.deferred.insert(component.clone());
+            }
+            Action::Admit { component } => {
+                next.deferred.remove(component);
+                let i = self.expect_fault(component);
+                if next.fault_status[i] == FaultStatus::Active
+                    && !next.quarantined.contains(component)
+                {
+                    decisions.push(next.rec.on_failure(self.faults[i].clone(), now));
+                }
             }
         }
         self.absorb_decisions(state, &mut next, &decisions)?;
@@ -590,6 +659,7 @@ impl Model {
             for (i, fault) in self.faults.iter().enumerate() {
                 if next.fault_status[i] == FaultStatus::Active
                     && next.reported.contains(&fault.component)
+                    && !next.deferred.contains(&fault.component)
                     && !tracked_after.contains(&fault.component)
                     && !self.covered_in_flight(next, &fault.component)
                 {
@@ -657,7 +727,9 @@ impl Model {
         // untracked-but-down again (restart completed without curing; the
         // next epoch re-reports it).
         let reported_now: &[String] = match action {
-            Action::Suspect { component } => std::slice::from_ref(component),
+            Action::Suspect { component }
+            | Action::Defer { component }
+            | Action::Admit { component } => std::slice::from_ref(component),
             Action::SuspectBatch { components } => components,
             _ => &[],
         };
@@ -669,6 +741,7 @@ impl Model {
             if !tracked.contains(component)
                 && !self.covered_in_flight(next, component)
                 && !next.quarantined.contains(component)
+                && !next.deferred.contains(component)
                 && !resolved
             {
                 return Err(Violation {
@@ -686,6 +759,23 @@ impl Model {
     /// The liveness-under-fairness check, evaluated at quiescent states (no
     /// action enabled): every injected fault must be cured or quarantined.
     pub fn check_quiescent(&self, state: &State) -> Result<(), Violation> {
+        // The starvation invariant: a quiescent state must not park an
+        // unresolved component in the deferral queue — under fairness the
+        // drain step would otherwise have admitted it by now.
+        for component in &state.deferred {
+            if self
+                .fault_index(component)
+                .is_some_and(|i| state.fault_status[i] == FaultStatus::Active)
+            {
+                return Err(Violation {
+                    kind: ViolationKind::Starvation,
+                    detail: format!(
+                        "deferred restart for `{component}` was never admitted; the \
+                         component starves in the queue"
+                    ),
+                });
+            }
+        }
         for (i, fault) in self.faults.iter().enumerate() {
             if state.fault_status[i] == FaultStatus::Active {
                 return Err(Violation {
@@ -863,6 +953,93 @@ mod tests {
             violation.kind,
             ViolationKind::ComponentLost | ViolationKind::Antichain
         ));
+    }
+
+    #[test]
+    fn defer_then_admit_cures_the_fault() {
+        let m = model("tree IV\nadmission\nfault pbcom\n");
+        let mut s = m.initial();
+        let inject = Action::Inject {
+            component: "pbcom".into(),
+        };
+        let defer = Action::Defer {
+            component: "pbcom".into(),
+        };
+        s = m.apply(&s, &inject).unwrap();
+        assert!(m.enabled(&s).contains(&defer), "defer is an alternative");
+        s = m.apply(&s, &defer).unwrap();
+        // While deferred the component is neither re-suspected nor lost, and
+        // the drain step is enabled.
+        assert!(s.deferred().contains("pbcom"));
+        assert!(!m
+            .enabled(&s)
+            .iter()
+            .any(|a| matches!(a, Action::Suspect { .. } | Action::SuspectBatch { .. })));
+        for action in [
+            Action::Admit {
+                component: "pbcom".into(),
+            },
+            Action::Complete {
+                owner: "pbcom".into(),
+            },
+            Action::Confirm {
+                owner: "pbcom".into(),
+            },
+            Action::Rollover,
+        ] {
+            assert!(m.enabled(&s).contains(&action), "{action:?} enabled");
+            s = m.apply(&s, &action).unwrap();
+        }
+        assert_eq!(s.fault_status(0), FaultStatus::Cured);
+        assert!(s.deferred().is_empty());
+        assert!(m.check_quiescent(&s).is_ok());
+    }
+
+    #[test]
+    fn starve_deferred_mutation_trips_the_starvation_invariant() {
+        let m = model("tree IV\nadmission\nfault pbcom\nmutate starve-deferred\n");
+        let mut s = m.initial();
+        for action in [
+            Action::Inject {
+                component: "pbcom".into(),
+            },
+            Action::Defer {
+                component: "pbcom".into(),
+            },
+            Action::Rollover,
+        ] {
+            s = m.apply(&s, &action).unwrap();
+        }
+        // The drain tick never fires: nothing is enabled, and the quiescent
+        // check pins the starved component by name.
+        assert!(m.enabled(&s).is_empty(), "starved queue is quiescent");
+        let violation = m.check_quiescent(&s).unwrap_err();
+        assert_eq!(violation.kind, ViolationKind::Starvation);
+        assert!(violation.detail.contains("pbcom"));
+    }
+
+    #[test]
+    fn defer_requires_the_admission_directive() {
+        let m = model("tree IV\nfault pbcom\n");
+        let s = m
+            .apply(
+                &m.initial(),
+                &Action::Inject {
+                    component: "pbcom".into(),
+                },
+            )
+            .unwrap();
+        assert!(!m
+            .enabled(&s)
+            .iter()
+            .any(|a| matches!(a, Action::Defer { .. })));
+        let s = scenario::parse("tree IV\nadmission\nfault pbcom\nmutate starve-deferred\n")
+            .map(|mut sc| {
+                sc.admission = false;
+                sc
+            })
+            .unwrap();
+        assert!(Model::new(tree_iv(), &s).is_err());
     }
 
     #[test]

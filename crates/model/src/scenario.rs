@@ -60,6 +60,10 @@ pub enum Mutation {
     /// and pushes the cell's restart button directly, without merge
     /// protection — concurrent rogue restarts break the antichain.
     BypassPlanner,
+    /// The admission controller's drain tick never fires: deferred restart
+    /// requests are parked forever, starving the components they cover
+    /// (requires the `admission` directive).
+    StarveDeferred,
 }
 
 impl Mutation {
@@ -68,6 +72,7 @@ impl Mutation {
         match self {
             Mutation::DropReport => "drop-report",
             Mutation::BypassPlanner => "bypass-planner",
+            Mutation::StarveDeferred => "starve-deferred",
         }
     }
 }
@@ -85,6 +90,10 @@ pub struct Scenario {
     pub faults: Vec<FaultSpec>,
     /// The seeded protocol bug, if any.
     pub mutation: Option<Mutation>,
+    /// Whether the deadline-aware admission controller is modelled: the
+    /// driver may nondeterministically defer an accepted report, and a drain
+    /// step later admits it.
+    pub admission: bool,
 }
 
 /// A syntax or semantic error in a scenario file.
@@ -122,6 +131,7 @@ pub fn parse(text: &str) -> Result<Scenario, ScenarioError> {
     let mut depth: Option<usize> = None;
     let mut faults: Vec<FaultSpec> = Vec::new();
     let mut mutation: Option<Mutation> = None;
+    let mut admission = false;
 
     for (idx, raw) in text.lines().enumerate() {
         let lineno = idx + 1;
@@ -205,11 +215,18 @@ pub fn parse(text: &str) -> Result<Scenario, ScenarioError> {
                 let m = match name {
                     "drop-report" => Mutation::DropReport,
                     "bypass-planner" => Mutation::BypassPlanner,
+                    "starve-deferred" => Mutation::StarveDeferred,
                     other => return Err(err(lineno, format!("unknown mutation `{other}`"))),
                 };
                 if mutation.replace(m).is_some() {
                     return Err(err(lineno, "mutate declared twice"));
                 }
+            }
+            "admission" => {
+                if words.next().is_some() {
+                    return Err(err(lineno, "admission takes no arguments"));
+                }
+                admission = true;
             }
             other => return Err(err(lineno, format!("unknown directive `{other}`"))),
         }
@@ -219,12 +236,19 @@ pub fn parse(text: &str) -> Result<Scenario, ScenarioError> {
     if faults.is_empty() {
         return Err(err(0, "a scenario needs at least one `fault`"));
     }
+    if mutation == Some(Mutation::StarveDeferred) && !admission {
+        return Err(err(
+            0,
+            "mutate starve-deferred requires the `admission` directive",
+        ));
+    }
     Ok(Scenario {
         tree,
         oracle,
         depth,
         faults,
         mutation,
+        admission,
     })
 }
 

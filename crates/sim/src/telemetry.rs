@@ -60,6 +60,12 @@ pub enum EpisodeStage {
     Cured,
     /// The restart policy gave up and quarantined the component.
     Quarantined,
+    /// Admission control parked the restart request in the deferral queue
+    /// (it will run later, when recovery capacity frees up).
+    Deferred,
+    /// Admission control dropped the restart request entirely (a duplicate
+    /// of an already-queued or in-flight request under overload).
+    Shed,
 }
 
 impl EpisodeStage {
@@ -74,6 +80,8 @@ impl EpisodeStage {
             EpisodeStage::Ready => "ready",
             EpisodeStage::Cured => "cured",
             EpisodeStage::Quarantined => "quarantined",
+            EpisodeStage::Deferred => "deferred",
+            EpisodeStage::Shed => "shed",
         }
     }
 }
@@ -521,6 +529,30 @@ impl Registry {
         self.record_stage(at, owner, EpisodeStage::Cured, &timed.join(" "));
     }
 
+    /// Admission control deferred `component`'s restart request: it sits in
+    /// the deferral queue until recovery capacity frees up. The injection
+    /// timer stays open — deferral delay counts against recovery time.
+    pub fn record_deferred(&mut self, at: SimTime, component: &str, detail: &str) {
+        if !self.enabled {
+            return;
+        }
+        self.incr("admission_deferred");
+        self.incr_labeled("admission_deferred_component", component);
+        self.record_stage(at, component, EpisodeStage::Deferred, detail);
+    }
+
+    /// Admission control shed `component`'s restart request (dropped it
+    /// without queueing — safe only because another queued or in-flight
+    /// episode already covers the component).
+    pub fn record_shed(&mut self, at: SimTime, component: &str, detail: &str) {
+        if !self.enabled {
+            return;
+        }
+        self.incr("admission_shed");
+        self.incr_labeled("admission_shed_component", component);
+        self.record_stage(at, component, EpisodeStage::Shed, detail);
+    }
+
     /// The restart policy gave up on `component`: the episode ends
     /// unrecovered and its origins' timers are discarded.
     pub fn record_quarantined(&mut self, at: SimTime, component: &str, reason: &str) {
@@ -824,6 +856,30 @@ mod tests {
         // A later cure of an unknown episode must not panic or observe.
         r.record_cured(t(3.0), "R_ses");
         assert!(r.duration("recovery_time", "ses").is_none());
+    }
+
+    #[test]
+    fn defer_keeps_the_timer_open_and_shed_counts() {
+        let mut r = Registry::new();
+        r.record_injected(t(0.0), "rtu", "kill");
+        r.record_deferred(t(1.0), "rtu", "slack=120.0s queue=1");
+        r.record_shed(t(2.0), "rtu", "duplicate");
+        // The deferred request eventually runs; recovery time still spans
+        // from the injection, so deferral delay is charged to MTTR.
+        r.record_restarting(t(10.0), "R_rtu", &["rtu".into()], &["rtu".into()], 0);
+        r.record_component_ready(t(12.0), "rtu");
+        r.record_cured(t(14.0), "R_rtu");
+        assert_eq!(r.counter("admission_deferred", ""), 1);
+        assert_eq!(r.counter("admission_shed", ""), 1);
+        assert_eq!(r.counter("admission_shed_component", "rtu"), 1);
+        let h = r.duration("recovery_time", "rtu").expect("observed");
+        assert!((h.mean_s() - 12.0).abs() < 1e-9, "mean {}", h.mean_s());
+        let stages: Vec<_> = r.events().iter().map(|e| e.stage).collect();
+        assert!(stages.contains(&EpisodeStage::Deferred));
+        assert!(stages.contains(&EpisodeStage::Shed));
+        let json = r.to_json();
+        assert!(json.contains("\"stage\":\"deferred\""), "{json}");
+        assert!(json.contains("\"stage\":\"shed\""), "{json}");
     }
 
     #[test]
