@@ -98,5 +98,18 @@ set -x
 rm -f model-overload.log
 
 cargo test -q --workspace
+
+# Bench smoke: run the full micro suite (the same configuration that
+# produced the committed BENCH_micro.json — bench order affects allocator
+# warmth, so a filtered subset would not reproduce the baseline numbers),
+# write a fresh report under target/, and fail on a >20% drop in any gated
+# record (see rr_bench::harness::REGRESSION_TOLERANCE). Only the derived
+# wheel-vs-heap speedup ratios are gated: absolute events/sec drifts
+# 20-40% with machine load, while both sides of an in-run ratio drift
+# together and cancel.
+# Paths are absolute because cargo runs bench binaries from the package dir.
+cargo bench -q -p rr-bench --bench micro -- micro/ \
+    --json "$PWD/target/BENCH_micro.json" --baseline "$PWD/BENCH_micro.json"
+
 cargo fmt --check
 cargo clippy --workspace --all-targets -- -D warnings

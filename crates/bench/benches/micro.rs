@@ -1,11 +1,18 @@
 #![allow(clippy::disallowed_methods)]
-//! Micro-benchmarks of the substrates: simulator event throughput, the XML
-//! command-language codec, the deterministic RNG, orbit propagation and
-//! restart-tree queries.
+//! Micro-benchmarks of the substrates: event-queue throughput (the timing
+//! wheel against the reference `BinaryHeap` it replaced), simulator event
+//! throughput, model-checker states/sec, the XML command-language codec,
+//! the deterministic RNG, orbit propagation and restart-tree queries.
+//!
+//! Run with `-- --json PATH` to emit the `BENCH_micro.json` schema and
+//! `-- --baseline BENCH_micro.json` to apply the CI regression gate (see
+//! `rr_bench::harness`).
 
 use mercury_msg::{Envelope, Message};
 use rr_bench::harness::Runner;
-use rr_sim::{Actor, Context, Event, Sim, SimDuration, SimRng, SimTime};
+use rr_sim::{Actor, Context, Event, Sim, SimDuration, SimRng, SimTime, TimerWheel};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::hint::black_box;
 
 struct PingPong {
@@ -30,8 +37,158 @@ impl Actor<u64> for PingPong {
     }
 }
 
+/// Pending-timer population for the queue-stress benches: millions of
+/// entries, so the reference heap pays a deep (~22-level) cache-missing
+/// sift per operation while the wheel stays O(1) amortised.
+const QUEUE_PENDING: u64 = 4_000_000;
+/// Timer-delay spread in nanoseconds: wide enough that entries land across
+/// several wheel levels and overflow, matching a long simulation horizon.
+const QUEUE_SPREAD: u64 = 1 << 34;
+/// Event payload matching the engine's per-event footprint (48 bytes), so
+/// the comparison charges both queues for moving real `Scheduled<M>`-sized
+/// elements rather than bare integers.
+type QueuePayload = [u64; 6];
+
+/// Fill with `QUEUE_PENDING` randomly spread timers, then drain to empty.
+fn wheel_drain() -> u64 {
+    let mut rng = SimRng::new(42);
+    let mut wheel: TimerWheel<QueuePayload> = TimerWheel::new();
+    for seq in 0..QUEUE_PENDING {
+        wheel.schedule(
+            SimTime::from_nanos(rng.next_below(QUEUE_SPREAD)),
+            seq,
+            [seq; 6],
+        );
+    }
+    let mut acc = 0u64;
+    while let Some((_, s, p)) = wheel.pop() {
+        acc ^= s ^ p[0];
+    }
+    acc
+}
+
+/// The identical fill-and-drain against the `BinaryHeap` the engine used
+/// before the wheel — the "before" half of `BENCH_micro.json`.
+fn heap_drain() -> u64 {
+    let mut rng = SimRng::new(42);
+    let mut heap: BinaryHeap<Reverse<(u64, u64, QueuePayload)>> = BinaryHeap::new();
+    for seq in 0..QUEUE_PENDING {
+        heap.push(Reverse((rng.next_below(QUEUE_SPREAD), seq, [seq; 6])));
+    }
+    let mut acc = 0u64;
+    while let Some(Reverse((_, s, p))) = heap.pop() {
+        acc ^= s ^ p[0];
+    }
+    acc
+}
+
+/// Steady-state churn (pop one, schedule a replacement) at a constant
+/// small population, used for the CI regression gate: at 50k ops each
+/// closure is fast enough that the harness averages over dozens of
+/// iterations, and the gate compares the wheel/heap **speedup ratio**
+/// rather than absolute events/sec — the two sides run seconds apart in
+/// the same process, so machine-speed drift cancels (the single-iteration
+/// 4M drain benches above are the headline comparison, but too noisy to
+/// gate on).
+const GATE_PENDING: u64 = 50_000;
+
+fn wheel_churn_small() -> u64 {
+    let mut rng = SimRng::new(7);
+    let mut wheel: TimerWheel<QueuePayload> = TimerWheel::new();
+    let mut seq = 0u64;
+    for _ in 0..GATE_PENDING {
+        wheel.schedule(SimTime::from_nanos(rng.next_below(1 << 30)), seq, [seq; 6]);
+        seq += 1;
+    }
+    let mut acc = 0u64;
+    for _ in 0..GATE_PENDING {
+        let (t, s, p) = wheel.pop().expect("queue stays full");
+        acc ^= s ^ p[0];
+        let next = t + SimDuration::from_nanos(1 + rng.next_below(1 << 30));
+        wheel.schedule(next, seq, [seq; 6]);
+        seq += 1;
+    }
+    acc
+}
+
+fn heap_churn_small() -> u64 {
+    let mut rng = SimRng::new(7);
+    let mut heap: BinaryHeap<Reverse<(u64, u64, QueuePayload)>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    for _ in 0..GATE_PENDING {
+        heap.push(Reverse((rng.next_below(1 << 30), seq, [seq; 6])));
+        seq += 1;
+    }
+    let mut acc = 0u64;
+    for _ in 0..GATE_PENDING {
+        let Reverse((t, s, p)) = heap.pop().expect("queue stays full");
+        acc ^= s ^ p[0];
+        heap.push(Reverse((t + 1 + rng.next_below(1 << 30), seq, [seq; 6])));
+        seq += 1;
+    }
+    acc
+}
+
+fn bench_queue(r: &mut Runner) {
+    r.bench_events("micro/queue/wheel_drain_4m", QUEUE_PENDING, || {
+        black_box(wheel_drain())
+    });
+    r.bench_events("micro/queue/heap_drain_4m", QUEUE_PENDING, || {
+        black_box(heap_drain())
+    });
+    r.record_speedup(
+        "micro/queue/speedup_drain_4m",
+        "micro/queue/wheel_drain_4m",
+        "micro/queue/heap_drain_4m",
+    );
+    // The gate pair is time-only (no events/sec), so the regression gate
+    // compares just the derived speedup below.
+    r.bench("micro/queue/wheel_churn_50k_pending", || {
+        black_box(wheel_churn_small())
+    });
+    r.bench("micro/queue/heap_churn_50k_pending", || {
+        black_box(heap_churn_small())
+    });
+    r.record_speedup(
+        "micro/queue/speedup_churn_50k",
+        "micro/queue/wheel_churn_50k_pending",
+        "micro/queue/heap_churn_50k_pending",
+    );
+}
+
+/// An actor that floods the queue with pseudo-randomly spread timers, so the
+/// engine-level bench runs with tens of thousands of pending events — the
+/// regime the wheel was built for.
+struct TimerStorm {
+    remaining: u32,
+}
+
+const STORM_TIMERS: u64 = 50_000;
+
+impl Actor<u64> for TimerStorm {
+    fn on_event(&mut self, ev: Event<u64>, ctx: &mut Context<'_, u64>) {
+        match ev {
+            Event::Start => {
+                for key in 0..STORM_TIMERS {
+                    let delay = 1 + ctx.rng().next_below(1 << 30);
+                    ctx.set_timer(SimDuration::from_nanos(delay), key);
+                }
+                self.remaining = STORM_TIMERS as u32;
+            }
+            Event::Timer { .. } => self.remaining -= 1,
+            Event::Message { .. } => {}
+        }
+    }
+}
+
 fn bench_sim_engine(r: &mut Runner) {
-    r.bench("micro/sim/ping_pong_100k_events", || {
+    r.bench_events("micro/sim/timer_storm_50k_pending", STORM_TIMERS, || {
+        let mut sim: Sim<u64> = Sim::new(5);
+        sim.spawn("storm", || Box::new(TimerStorm { remaining: 0 }));
+        sim.run();
+        black_box(sim.events_processed())
+    });
+    r.bench_events("micro/sim/ping_pong_100k_events", 100_000, || {
         let mut sim: Sim<u64> = Sim::new(1);
         let a = sim.spawn("a", || Box::new(PingPong { peer: None }));
         sim.spawn("b", move || Box::new(PingPong { peer: Some(a) }));
@@ -103,6 +260,39 @@ fn bench_orbit(r: &mut Runner) {
     });
 }
 
+/// Model-checker throughput: the built-in correlated-pair scenario on the
+/// paper's tree III, reported as explored states/sec.
+fn bench_model_checker(r: &mut Runner) {
+    use mercury::config::names;
+    use mercury::station::TreeVariant;
+    use rr_model::{check, scenario, CheckConfig, Model, OracleKind, Scenario};
+
+    let fault = |component: &str| scenario::FaultSpec {
+        component: component.to_string(),
+        cure_set: vec![component.to_string()],
+    };
+    let sc = Scenario {
+        tree: "III".to_string(),
+        oracle: OracleKind::Perfect,
+        depth: None,
+        faults: vec![fault(names::RTU), fault(names::SES)],
+        mutation: None,
+        admission: false,
+    };
+    let tree = TreeVariant::III.tree().expect("paper tree builds");
+    let cfg = CheckConfig {
+        max_depth: 10, // keep one iteration in the low tens of milliseconds
+        ..CheckConfig::default()
+    };
+    let model = Model::new(tree, &sc).expect("scenario is well-formed");
+    // The exploration is deterministic, so one pilot run fixes the
+    // states-per-iteration denominator for the throughput report.
+    let states = check(&model, &cfg).expect("within budget").states_explored;
+    r.bench_events("micro/model/pair_tree3_depth10_states", states, || {
+        black_box(check(&model, &cfg).expect("within budget").states_explored)
+    });
+}
+
 fn bench_tree_queries(r: &mut Runner) {
     use mercury::station::TreeVariant;
     let tree = TreeVariant::V.tree().expect("paper tree builds");
@@ -117,9 +307,12 @@ fn bench_tree_queries(r: &mut Runner) {
 
 fn main() {
     let mut r = Runner::from_env();
+    bench_queue(&mut r);
     bench_sim_engine(&mut r);
+    bench_model_checker(&mut r);
     bench_msg_codec(&mut r);
     bench_rng_and_dist(&mut r);
     bench_orbit(&mut r);
     bench_tree_queries(&mut r);
+    r.finish();
 }

@@ -17,10 +17,10 @@
 //! persistently failing component would otherwise cause, while leaving the
 //! first restart of a failure episode immediate.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::fmt;
 
-use rr_sim::{SimDuration, SimTime};
+use rr_sim::{intern, CompId, FxHashMap, SimDuration, SimTime};
 
 /// Why the policy refused to keep restarting.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -62,7 +62,11 @@ pub struct RestartPolicy {
     window: SimDuration,
     backoff_base: SimDuration,
     backoff_cap: SimDuration,
-    history: HashMap<String, VecDeque<SimTime>>,
+    /// Restart timestamps per component, keyed by interned handle. Never
+    /// iterated (lookups only), so the hash order can't leak into output;
+    /// equality still holds across instances because interning is
+    /// process-global (same name ⇒ same handle).
+    history: FxHashMap<CompId, VecDeque<SimTime>>,
 }
 
 impl Default for RestartPolicy {
@@ -81,7 +85,7 @@ impl RestartPolicy {
             window: SimDuration::from_secs(3600),
             backoff_base: SimDuration::ZERO,
             backoff_cap: SimDuration::from_secs(30),
-            history: HashMap::new(),
+            history: FxHashMap::default(),
         }
     }
 
@@ -164,7 +168,7 @@ impl RestartPolicy {
             .saturating_since(SimTime::ZERO)
             .saturating_sub(self.window);
         for comp in components {
-            if let Some(times) = self.history.get(comp) {
+            if let Some(times) = self.history.get(&intern(comp)) {
                 let recent = times
                     .iter()
                     .filter(|t| t.saturating_since(SimTime::ZERO) >= cutoff)
@@ -192,7 +196,7 @@ impl RestartPolicy {
         let prior = components
             .iter()
             .map(|comp| {
-                self.history.get(comp).map_or(0, |times| {
+                self.history.get(&intern(comp)).map_or(0, |times| {
                     times
                         .iter()
                         .filter(|t| t.saturating_since(SimTime::ZERO) >= cutoff)
@@ -211,7 +215,7 @@ impl RestartPolicy {
     /// Records that `components` were restarted at `now`.
     pub fn record_restart(&mut self, components: &[String], now: SimTime) {
         for comp in components {
-            let times = self.history.entry(comp.clone()).or_default();
+            let times = self.history.entry(intern(comp)).or_default();
             times.push_back(now);
             // Trim entries that have aged out of the window.
             while let Some(&front) = times.front() {
@@ -227,7 +231,9 @@ impl RestartPolicy {
     /// Total recorded restarts of a component still inside the window as of
     /// the last [`record_restart`](Self::record_restart) call.
     pub fn recent_restarts(&self, component: &str) -> usize {
-        self.history.get(component).map_or(0, VecDeque::len)
+        self.history
+            .get(&intern(component))
+            .map_or(0, VecDeque::len)
     }
 
     /// Forgets all restart history (e.g. after maintenance).

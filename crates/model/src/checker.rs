@@ -9,7 +9,7 @@
 //! a minimal-length trace, and [`replay`] can re-execute it step by step —
 //! the counterexample is evidence, not just a claim.
 
-use std::collections::HashMap;
+use rr_sim::FxHashMap;
 
 use crate::machine::{Action, Model, ModelError, State, Violation};
 
@@ -83,8 +83,10 @@ struct Search<'m> {
     states_explored: u64,
     quiescent_states: u64,
     /// signature → most remaining depth it was expanded with (this
-    /// iteration); re-expand only with strictly more budget.
-    seen: HashMap<String, usize>,
+    /// iteration); re-expand only with strictly more budget. Lookup-only
+    /// (never iterated), so the deterministic `FxHashMap` is safe and the
+    /// string hashing it avoids is the dedup hot path.
+    seen: FxHashMap<String, usize>,
     trace: Vec<Action>,
 }
 
@@ -169,7 +171,7 @@ pub fn check(model: &Model, cfg: &CheckConfig) -> Result<CheckOutcome, ModelErro
             budget: cfg.state_budget.saturating_sub(states_explored),
             states_explored: 0,
             quiescent_states: 0,
-            seen: HashMap::new(),
+            seen: FxHashMap::default(),
             trace: Vec::new(),
         };
         let found = search.dfs(&initial, bound).map_err(|e| ModelError {

@@ -73,8 +73,12 @@ pub use scenario::{FaultSpec, Mutation, OracleKind, Scenario, ScenarioError};
 
 /// Default exploration depth (number of interleaved protocol steps). Deep
 /// enough to cover inject → suspect → merge → escalate → quarantine chains
-/// for every default scenario while staying well inside the state budget.
-pub const DEFAULT_DEPTH: usize = 12;
+/// for every default scenario — with one step of slack past the longest
+/// such chain — while staying well inside the state budget: the signature
+/// space (not the trace tree) is what bounds the default scenarios, and it
+/// is depth-independent, so the audit over trees I–V completes at this
+/// depth within the same 2M-state budget as at 12.
+pub const DEFAULT_DEPTH: usize = 13;
 
 /// Default bound on states the checker will visit before declaring a run
 /// infeasible. `rr-lint`'s RRL701 flags scenarios whose estimated state

@@ -19,7 +19,7 @@
 use std::fmt;
 
 use crate::error::MsgError;
-use crate::xml::Element;
+use crate::xml::{Element, XmlRead};
 
 /// Component self-reported status carried in pongs and beacons.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -272,12 +272,12 @@ pub enum Message {
     },
 }
 
-fn req_attr<'a>(el: &'a Element, key: &str) -> Result<&'a str, MsgError> {
+fn req_attr<'a, E: XmlRead>(el: &'a E, key: &str) -> Result<&'a str, MsgError> {
     el.attr(key)
         .ok_or_else(|| MsgError::schema(format!("<{}> missing attribute {key:?}", el.name())))
 }
 
-fn req_u64(el: &Element, key: &str) -> Result<u64, MsgError> {
+fn req_u64<E: XmlRead>(el: &E, key: &str) -> Result<u64, MsgError> {
     let raw = req_attr(el, key)?;
     raw.parse().map_err(|_| {
         MsgError::schema(format!(
@@ -287,7 +287,7 @@ fn req_u64(el: &Element, key: &str) -> Result<u64, MsgError> {
     })
 }
 
-fn req_f64(el: &Element, key: &str) -> Result<f64, MsgError> {
+fn req_f64<E: XmlRead>(el: &E, key: &str) -> Result<f64, MsgError> {
     let raw = req_attr(el, key)?;
     let v: f64 = raw.parse().map_err(|_| {
         MsgError::schema(format!(
@@ -394,13 +394,25 @@ impl Message {
         }
     }
 
-    /// Decodes a message from an XML element.
+    /// Decodes a message from an owned XML element. Equivalent to
+    /// [`Message::decode`]; kept as the familiar named entry point.
     ///
     /// # Errors
     ///
     /// Returns [`MsgError::Schema`] if the element name is unknown or a
     /// required attribute is missing or malformed.
     pub fn from_element(el: &Element) -> Result<Message, MsgError> {
+        Message::decode(el)
+    }
+
+    /// Decodes a message from any XML tree — the owned [`Element`] or the
+    /// zero-copy [`crate::ElementRef`] straight off the wire.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MsgError::Schema`] if the element name is unknown or a
+    /// required attribute is missing or malformed.
+    pub fn decode<E: XmlRead>(el: &E) -> Result<Message, MsgError> {
         match el.name() {
             "ping" => Ok(Message::Ping {
                 seq: req_u64(el, "seq")?,

@@ -9,7 +9,7 @@ use std::fmt;
 
 use crate::command::Message;
 use crate::error::MsgError;
-use crate::xml::Element;
+use crate::xml::{Element, ElementRef, XmlRead};
 
 /// An addressed command-language message.
 ///
@@ -69,12 +69,23 @@ impl Envelope {
         self.to_element().to_xml_string()
     }
 
-    /// Decodes an envelope from an XML element.
+    /// Decodes an envelope from an owned XML element. Equivalent to
+    /// [`Envelope::decode`]; kept as the familiar named entry point.
     ///
     /// # Errors
     ///
     /// Returns [`MsgError`] if the element is not a well-formed envelope.
     pub fn from_element(el: &Element) -> Result<Envelope, MsgError> {
+        Envelope::decode(el)
+    }
+
+    /// Decodes an envelope from any XML tree — the owned [`Element`] or the
+    /// zero-copy [`ElementRef`] straight off the wire.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MsgError`] if the element is not a well-formed envelope.
+    pub fn decode<E: XmlRead>(el: &E) -> Result<Envelope, MsgError> {
         if el.name() != "msg" {
             return Err(MsgError::schema(format!(
                 "expected <msg>, found <{}>",
@@ -100,7 +111,7 @@ impl Envelope {
         if bodies.next().is_some() {
             return Err(MsgError::schema("<msg> has more than one body element"));
         }
-        let body = Message::from_element(body_el)?;
+        let body = Message::decode(body_el)?;
         Ok(Envelope {
             src: src.to_string(),
             dst: dst.to_string(),
@@ -122,8 +133,10 @@ impl Envelope {
                 limit: Envelope::MAX_WIRE_BYTES,
             });
         }
-        let el = Element::parse(wire)?;
-        Envelope::from_element(&el)
+        // Zero-copy path: the borrowed tree is decoded and dropped without
+        // ever materializing an owned document.
+        let el = ElementRef::parse(wire)?;
+        Envelope::decode(&el)
     }
 
     /// A reply envelope: src/dst swapped, given id and body.

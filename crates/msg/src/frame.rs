@@ -17,8 +17,30 @@
 
 use std::fmt;
 
-/// CRC-32 (IEEE 802.3, reflected, init/xorout `0xFFFFFFFF`) computed
-/// bit-by-bit — slow but dependency-free and obviously correct.
+/// The byte-at-a-time CRC-32 lookup table, derived at compile time from the
+/// same reflected polynomial [`crc32_bitwise`] shifts out bit by bit.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE 802.3, reflected, init/xorout `0xFFFFFFFF`), table-driven:
+/// one lookup per input byte instead of eight bit shifts.
 ///
 /// ```
 /// use mercury_msg::frame::crc32;
@@ -26,6 +48,17 @@ use std::fmt;
 /// assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
 /// ```
 pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc: u32 = 0xFFFF_FFFF;
+    for &byte in data {
+        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ u32::from(byte)) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// The bit-by-bit reference CRC-32 — slow but obviously correct. The
+/// table-driven [`crc32`] is locked against it by an exhaustive-prefix
+/// equivalence test; keep both in sync if the polynomial ever changes.
+pub fn crc32_bitwise(data: &[u8]) -> u32 {
     let mut crc: u32 = 0xFFFF_FFFF;
     for &byte in data {
         crc ^= u32::from(byte);
@@ -39,6 +72,32 @@ pub fn crc32(data: &[u8]) -> u32 {
     }
     !crc
 }
+
+/// Lowercase hex digit per nibble value.
+const HEX_CHARS: &[u8; 16] = b"0123456789abcdef";
+
+/// Nibble value per input byte; `-1` marks anything that is not a hex
+/// digit. Accepts both cases, like the `from_str_radix` decode it replaced
+/// — but not the sign characters `from_str_radix` tolerated, so `"+f"` is
+/// [`FrameError::BadHex`] rather than a frame byte.
+const HEX_NIBBLE: [i8; 256] = {
+    let mut table = [-1i8; 256];
+    let mut i = 0u8;
+    loop {
+        let v = match i {
+            b'0'..=b'9' => (i - b'0') as i8,
+            b'a'..=b'f' => (i - b'a' + 10) as i8,
+            b'A'..=b'F' => (i - b'A' + 10) as i8,
+            _ => -1,
+        };
+        table[i as usize] = v;
+        if i == 255 {
+            break;
+        }
+        i += 1;
+    }
+    table
+};
 
 /// A deframed telemetry frame.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -160,11 +219,12 @@ impl TelemetryFrame {
     /// Hex form for [`Message::SerialFrame`](crate::Message::SerialFrame).
     pub fn to_hex(&self) -> String {
         let bytes = self.to_bytes();
-        let mut out = String::with_capacity(bytes.len() * 2);
+        let mut out = Vec::with_capacity(bytes.len() * 2);
         for b in bytes {
-            out.push_str(&format!("{b:02x}"));
+            out.push(HEX_CHARS[usize::from(b >> 4)]);
+            out.push(HEX_CHARS[usize::from(b & 0xF)]);
         }
-        out
+        String::from_utf8(out).unwrap_or_else(|_| unreachable!("hex digits are ASCII"))
     }
 
     /// Parses the hex wire form.
@@ -174,15 +234,20 @@ impl TelemetryFrame {
     /// Returns [`FrameError::BadHex`] for malformed hex, otherwise any
     /// deframing error.
     pub fn from_hex(hex: &str) -> Result<TelemetryFrame, FrameError> {
-        // Work on bytes: slicing the &str two chars at a time would panic on
-        // a multi-byte code point straddling a pair boundary.
+        // Work on bytes: indexing the &str two chars at a time would panic
+        // on a multi-byte code point straddling a pair boundary.
         if !hex.len().is_multiple_of(2) || !hex.is_ascii() {
             return Err(FrameError::BadHex);
         }
-        let mut bytes = Vec::with_capacity(hex.len() / 2);
-        for i in (0..hex.len()).step_by(2) {
-            let b = u8::from_str_radix(&hex[i..i + 2], 16).map_err(|_| FrameError::BadHex)?;
-            bytes.push(b);
+        let raw = hex.as_bytes();
+        let mut bytes = Vec::with_capacity(raw.len() / 2);
+        for pair in raw.chunks_exact(2) {
+            let hi = HEX_NIBBLE[usize::from(pair[0])];
+            let lo = HEX_NIBBLE[usize::from(pair[1])];
+            if hi < 0 || lo < 0 {
+                return Err(FrameError::BadHex);
+            }
+            bytes.push(((hi as u8) << 4) | lo as u8);
         }
         TelemetryFrame::from_bytes(&bytes)
     }
@@ -267,6 +332,39 @@ mod tests {
     fn bad_hex_detected() {
         assert_eq!(TelemetryFrame::from_hex("abc"), Err(FrameError::BadHex));
         assert_eq!(TelemetryFrame::from_hex("zz"), Err(FrameError::BadHex));
+        // Sign characters `from_str_radix` tolerated are hex no longer.
+        let f = TelemetryFrame::new(3, b"x".to_vec());
+        let mut wire = f.to_hex();
+        wire.replace_range(0..1, "+");
+        assert_eq!(TelemetryFrame::from_hex(&wire), Err(FrameError::BadHex));
+        assert_eq!(TelemetryFrame::from_hex("\u{e9}f"), Err(FrameError::BadHex));
+    }
+
+    #[test]
+    fn uppercase_hex_accepted() {
+        let f = TelemetryFrame::new(9, b"\xde\xad\xbe\xef".to_vec());
+        assert_eq!(
+            TelemetryFrame::from_hex(&f.to_hex().to_uppercase()).unwrap(),
+            f
+        );
+    }
+
+    #[test]
+    fn table_crc_matches_bitwise_reference() {
+        // Every prefix of a structured buffer plus the known vectors: the
+        // table is exactly the bitwise recurrence, eight bits at a time.
+        let mut buf = Vec::new();
+        for i in 0..1024u32 {
+            buf.push((i.wrapping_mul(2_654_435_761) >> 13) as u8);
+        }
+        for len in 0..buf.len() {
+            assert_eq!(
+                crc32(&buf[..len]),
+                crc32_bitwise(&buf[..len]),
+                "prefix {len}"
+            );
+        }
+        assert_eq!(crc32_bitwise(b"123456789"), 0xCBF4_3926);
     }
 
     #[test]

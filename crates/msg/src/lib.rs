@@ -44,4 +44,4 @@ pub use command::{ComponentStatus, Message, RadioBand, TrackingState};
 pub use envelope::Envelope;
 pub use error::MsgError;
 pub use frame::{crc32, FrameError, TelemetryFrame};
-pub use xml::{Element, Node, ParseXmlError};
+pub use xml::{Element, ElementRef, Node, NodeRef, ParseXmlError, XmlRead};

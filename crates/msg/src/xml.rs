@@ -10,7 +10,17 @@
 //!
 //! It deliberately does **not** implement namespaces, DTDs, CDATA or
 //! processing instructions.
+//!
+//! There is one parser, and it is zero-copy: [`ElementRef::parse`] produces
+//! a borrowed tree whose names are slices of the input and whose attribute
+//! values and text runs borrow too, unless entity-unescaping forced an
+//! owned copy. [`Element::parse`] is that parser plus a deep
+//! [`ElementRef::into_owned`], so the two paths accept and reject exactly
+//! the same inputs with exactly the same errors by construction. Decoders
+//! that only *read* the tree (message and envelope decoding) are generic
+//! over [`XmlRead`] and run on either representation.
 
+use std::borrow::Cow;
 use std::fmt;
 
 /// A node in an XML document tree: an element or a text run.
@@ -250,6 +260,62 @@ impl Element {
     /// Returns a [`ParseXmlError`] describing the first syntax error, with its
     /// byte offset.
     pub fn parse(input: &str) -> Result<Element, ParseXmlError> {
+        ElementRef::parse(input).map(ElementRef::into_owned)
+    }
+}
+
+/// A node in a borrowed XML tree: an element or a text run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeRef<'a> {
+    /// A child element.
+    Element(ElementRef<'a>),
+    /// A text run (unescaped form; borrowed when no entity appeared).
+    Text(Cow<'a, str>),
+}
+
+impl NodeRef<'_> {
+    fn into_owned(self) -> Node {
+        match self {
+            NodeRef::Element(e) => Node::Element(e.into_owned()),
+            NodeRef::Text(t) => Node::Text(t.into_owned()),
+        }
+    }
+}
+
+/// A borrowed view of a parsed XML element.
+///
+/// Element and attribute names are slices of the parse input; attribute
+/// values and text runs are [`Cow`]s that borrow unless entity-unescaping
+/// forced an owned copy. This is the representation the wire-decode hot
+/// path uses — an envelope is parsed, decoded and dropped without copying
+/// the document tree.
+///
+/// ```
+/// use mercury_msg::ElementRef;
+/// let el = ElementRef::parse(r#"<ping seq="42"/>"#)?;
+/// assert_eq!(el.name(), "ping");
+/// assert_eq!(el.attr("seq"), Some("42"));
+/// # Ok::<(), mercury_msg::ParseXmlError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ElementRef<'a> {
+    name: &'a str,
+    attrs: Vec<(&'a str, Cow<'a, str>)>,
+    children: Vec<NodeRef<'a>>,
+}
+
+impl<'a> ElementRef<'a> {
+    /// Parses a single XML element without copying the document tree
+    /// (optionally preceded by an `<?xml?>` declaration, comments and
+    /// whitespace). Accepts and rejects exactly the inputs
+    /// [`Element::parse`] does, with identical errors — the owned parser is
+    /// this one plus [`ElementRef::into_owned`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseXmlError`] describing the first syntax error, with
+    /// its byte offset.
+    pub fn parse(input: &'a str) -> Result<ElementRef<'a>, ParseXmlError> {
         let mut p = Parser::new(input);
         p.skip_prolog();
         let el = p.parse_element(0)?;
@@ -258,6 +324,102 @@ impl Element {
             return Err(p.error("trailing content after document element"));
         }
         Ok(el)
+    }
+
+    /// The element name.
+    pub fn name(&self) -> &'a str {
+        self.name
+    }
+
+    /// Looks up an attribute value.
+    pub fn attr(&self, key: &str) -> Option<&str> {
+        self.attrs
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| v.as_ref())
+    }
+
+    /// All attributes in document order.
+    pub fn attrs(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.attrs.iter().map(|(k, v)| (*k, v.as_ref()))
+    }
+
+    /// All child nodes in order.
+    pub fn children(&self) -> &[NodeRef<'a>] {
+        &self.children
+    }
+
+    /// Child elements only, in order.
+    pub fn child_elements(&self) -> impl Iterator<Item = &ElementRef<'a>> {
+        self.children.iter().filter_map(|n| match n {
+            NodeRef::Element(e) => Some(e),
+            NodeRef::Text(_) => None,
+        })
+    }
+
+    /// The first child element with the given name.
+    pub fn child(&self, name: &str) -> Option<&ElementRef<'a>> {
+        self.child_elements().find(|e| e.name == name)
+    }
+
+    /// Concatenated text content of direct text children (unescaped).
+    pub fn text(&self) -> String {
+        let mut out = String::new();
+        for n in &self.children {
+            if let NodeRef::Text(t) = n {
+                out.push_str(t);
+            }
+        }
+        out
+    }
+
+    /// Deep-copies into an owned [`Element`].
+    pub fn into_owned(self) -> Element {
+        Element {
+            name: self.name.to_string(),
+            attrs: self
+                .attrs
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v.into_owned()))
+                .collect(),
+            children: self.children.into_iter().map(NodeRef::into_owned).collect(),
+        }
+    }
+}
+
+/// Read-only access shared by the owned [`Element`] and borrowed
+/// [`ElementRef`] trees, so decoders (messages, envelopes) are written once
+/// and run on either — in particular straight off the zero-copy parse.
+pub trait XmlRead: Sized {
+    /// The element name.
+    fn name(&self) -> &str;
+    /// Looks up an attribute value.
+    fn attr(&self, key: &str) -> Option<&str>;
+    /// Direct child elements, in order.
+    fn child_elements(&self) -> impl Iterator<Item = &Self>;
+}
+
+impl XmlRead for Element {
+    fn name(&self) -> &str {
+        self.name()
+    }
+    fn attr(&self, key: &str) -> Option<&str> {
+        self.attr(key)
+    }
+    fn child_elements(&self) -> impl Iterator<Item = &Self> {
+        self.child_elements()
+    }
+}
+
+impl XmlRead for ElementRef<'_> {
+    fn name(&self) -> &str {
+        self.name
+    }
+    fn attr(&self, key: &str) -> Option<&str> {
+        self.attr(key)
+    }
+    fn child_elements(&self) -> impl Iterator<Item = &Self> {
+        self.child_elements()
     }
 }
 
@@ -428,7 +590,7 @@ impl<'a> Parser<'a> {
         self.skip_misc();
     }
 
-    fn parse_name(&mut self) -> Result<String, ParseXmlError> {
+    fn parse_name(&mut self) -> Result<&'a str, ParseXmlError> {
         let start = self.pos;
         match self.peek() {
             Some(c) if c.is_ascii_alphabetic() || c == '_' => {
@@ -440,30 +602,73 @@ impl<'a> Parser<'a> {
         {
             self.bump();
         }
-        Ok(self.input[start..self.pos].to_string())
+        Ok(&self.input[start..self.pos])
     }
 
-    fn parse_attr_value(&mut self) -> Result<String, ParseXmlError> {
+    fn parse_attr_value(&mut self) -> Result<Cow<'a, str>, ParseXmlError> {
         let quote = match self.bump() {
             Some(q @ ('"' | '\'')) => q,
             _ => return Err(self.error("expected quoted attribute value")),
         };
-        let mut out = String::new();
+        // Borrow the raw slice until an entity forces an owned unescape.
+        let start = self.pos;
+        let mut owned: Option<String> = None;
         loop {
             match self.peek() {
                 None => return Err(self.error("unterminated attribute value")),
                 Some(c) if c == quote => {
+                    let end = self.pos;
                     self.bump();
-                    return Ok(out);
+                    return Ok(match owned {
+                        Some(s) => Cow::Owned(s),
+                        None => Cow::Borrowed(&self.input[start..end]),
+                    });
                 }
                 Some('<') => return Err(self.error("'<' in attribute value")),
-                Some('&') => out.push(self.parse_entity()?),
+                Some('&') => {
+                    let mut s = match owned.take() {
+                        Some(s) => s,
+                        None => self.input[start..self.pos].to_string(),
+                    };
+                    s.push(self.parse_entity()?);
+                    owned = Some(s);
+                }
                 Some(c) => {
-                    out.push(c);
                     self.bump();
+                    if let Some(s) = owned.as_mut() {
+                        s.push(c);
+                    }
                 }
             }
         }
+    }
+
+    fn parse_text(&mut self) -> Result<Cow<'a, str>, ParseXmlError> {
+        let start = self.pos;
+        let mut owned: Option<String> = None;
+        loop {
+            match self.peek() {
+                None | Some('<') => break,
+                Some('&') => {
+                    let mut s = match owned.take() {
+                        Some(s) => s,
+                        None => self.input[start..self.pos].to_string(),
+                    };
+                    s.push(self.parse_entity()?);
+                    owned = Some(s);
+                }
+                Some(c) => {
+                    self.bump();
+                    if let Some(s) = owned.as_mut() {
+                        s.push(c);
+                    }
+                }
+            }
+        }
+        Ok(match owned {
+            Some(s) => Cow::Owned(s),
+            None => Cow::Borrowed(&self.input[start..self.pos]),
+        })
     }
 
     fn parse_entity(&mut self) -> Result<char, ParseXmlError> {
@@ -495,7 +700,7 @@ impl<'a> Parser<'a> {
         Err(self.error("unknown entity"))
     }
 
-    fn parse_element(&mut self, depth: usize) -> Result<Element, ParseXmlError> {
+    fn parse_element(&mut self, depth: usize) -> Result<ElementRef<'a>, ParseXmlError> {
         if depth >= MAX_NESTING_DEPTH {
             return Err(self.error(format!(
                 "element nesting deeper than {MAX_NESTING_DEPTH} levels"
@@ -503,7 +708,7 @@ impl<'a> Parser<'a> {
         }
         self.expect("<")?;
         let name = self.parse_name()?;
-        let mut el = Element {
+        let mut el = ElementRef {
             name,
             attrs: Vec::new(),
             children: Vec::new(),
@@ -526,7 +731,7 @@ impl<'a> Parser<'a> {
                     self.expect("=")?;
                     self.skip_whitespace();
                     let value = self.parse_attr_value()?;
-                    if el.attr(&key).is_some() {
+                    if el.attr(key).is_some() {
                         return Err(self.error(format!("duplicate attribute {key:?}")));
                     }
                     el.attrs.push((key, value));
@@ -556,23 +761,13 @@ impl<'a> Parser<'a> {
                 None => return Err(self.error(format!("unterminated element <{}>", el.name))),
                 Some('<') => {
                     let child = self.parse_element(depth + 1)?;
-                    el.children.push(Node::Element(child));
+                    el.children.push(NodeRef::Element(child));
                 }
                 Some(_) => {
-                    let mut text = String::new();
-                    loop {
-                        match self.peek() {
-                            None | Some('<') => break,
-                            Some('&') => text.push(self.parse_entity()?),
-                            Some(c) => {
-                                text.push(c);
-                                self.bump();
-                            }
-                        }
-                    }
+                    let text = self.parse_text()?;
                     // Ignore pure-whitespace runs between elements.
                     if !text.trim().is_empty() {
-                        el.children.push(Node::Text(text));
+                        el.children.push(NodeRef::Text(text));
                     }
                 }
             }

@@ -65,19 +65,25 @@ pub mod check;
 pub mod dist;
 pub mod engine;
 pub mod fault;
+pub mod hash;
+pub mod intern;
 pub mod rng;
 pub mod stats;
 pub mod telemetry;
 pub mod time;
 pub mod trace;
 pub mod vclock;
+pub mod wheel;
 
 pub use dist::Dist;
 pub use engine::{Actor, Context, Event, LinkQuality, ProcessId, ProcessState, Sim};
 pub use fault::{FaultKind, FaultScript, ScriptParseError, ScriptedFault};
+pub use hash::{FxHashMap, FxHashSet, FxHasher};
+pub use intern::{intern, CompId};
 pub use rng::SimRng;
 pub use stats::{Histogram, OnlineStats, Summary};
 pub use telemetry::{DurationHistogram, EpisodeEvent, EpisodeStage, Registry};
 pub use time::{SimDuration, SimTime};
 pub use trace::{Trace, TraceEvent, TraceKind};
 pub use vclock::{Causality, VectorClock};
+pub use wheel::TimerWheel;

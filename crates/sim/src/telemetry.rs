@@ -29,6 +29,8 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
 
+use crate::hash::FxHashMap;
+use crate::intern::{intern, CompId};
 use crate::stats::{Histogram, OnlineStats};
 use crate::time::{SimDuration, SimTime};
 use crate::vclock::VectorClock;
@@ -150,8 +152,23 @@ impl DurationHistogram {
 }
 
 /// Metric identity: a static metric name plus an optional label (the
-/// component, or empty for unlabelled metrics).
-type MetricKey = (&'static str, String);
+/// component, interned; [`intern`] of the empty string for unlabelled
+/// metrics). Hot-path lookups hash two words instead of a `String`;
+/// exporters re-sort by resolved name so output order never depends on
+/// interning order.
+type MetricKey = (&'static str, CompId);
+
+/// A metric map's entries resolved and sorted by `(name, label)` — the
+/// exact order the old `BTreeMap<(&str, String), _>` representation
+/// iterated in, which the exporters' byte-level goldens lock.
+fn sorted_metrics<V>(map: &FxHashMap<MetricKey, V>) -> Vec<(&'static str, &'static str, &V)> {
+    let mut rows: Vec<_> = map
+        .iter()
+        .map(|(&(name, label), v)| (name, label.resolve(), v))
+        .collect();
+    rows.sort_unstable_by_key(|&(name, label, _)| (name, label));
+    rows
+}
 
 /// An in-flight episode the registry is timing (mirrors the REC's view).
 #[derive(Debug, Clone)]
@@ -176,9 +193,9 @@ struct OpenEpisode {
 #[derive(Debug, Clone, Default)]
 pub struct Registry {
     enabled: bool,
-    counters: BTreeMap<MetricKey, u64>,
-    gauges: BTreeMap<MetricKey, f64>,
-    durations: BTreeMap<MetricKey, DurationHistogram>,
+    counters: FxHashMap<MetricKey, u64>,
+    gauges: FxHashMap<MetricKey, f64>,
+    durations: FxHashMap<MetricKey, DurationHistogram>,
     events: Vec<EpisodeEvent>,
     /// One vector-clock snapshot per entry of `events`, in lock step. Kept
     /// beside the stream (rather than inside [`EpisodeEvent`]) so the JSON
@@ -186,7 +203,7 @@ pub struct Registry {
     clocks: Vec<VectorClock>,
     /// The live clock of each telemetry key (component or episode owner);
     /// recording an event ticks the key, protocol edges join clocks.
-    procs: BTreeMap<String, VectorClock>,
+    procs: FxHashMap<CompId, VectorClock>,
     injections: BTreeMap<String, SimTime>,
     open: BTreeMap<String, OpenEpisode>,
     /// Origins absorbed by an LCA merge before the absorbing episode's own
@@ -231,13 +248,13 @@ impl Registry {
         if !self.enabled {
             return;
         }
-        *self.counters.entry((name, label.to_string())).or_insert(0) += by;
+        *self.counters.entry((name, intern(label))).or_insert(0) += by;
     }
 
     /// Current value of the counter `(name, label)` (0 if never touched).
     pub fn counter(&self, name: &'static str, label: &str) -> u64 {
         self.counters
-            .get(&(name, label.to_string()))
+            .get(&(name, intern(label)))
             .copied()
             .unwrap_or(0)
     }
@@ -247,12 +264,12 @@ impl Registry {
         if !self.enabled {
             return;
         }
-        self.gauges.insert((name, label.to_string()), value);
+        self.gauges.insert((name, intern(label)), value);
     }
 
     /// Current value of the gauge `(name, label)`, if ever set.
     pub fn gauge(&self, name: &'static str, label: &str) -> Option<f64> {
-        self.gauges.get(&(name, label.to_string())).copied()
+        self.gauges.get(&(name, intern(label))).copied()
     }
 
     /// Records `d` into the histogram `(name, label)`, creating it with the
@@ -268,35 +285,33 @@ impl Registry {
             return;
         }
         self.durations
-            .entry((name, label.to_string()))
+            .entry((name, intern(label)))
             .or_insert_with(|| DurationHistogram::new(spec.0, spec.1, spec.2))
             .observe(d);
     }
 
     /// The histogram `(name, label)`, if anything was recorded into it.
     pub fn duration(&self, name: &'static str, label: &str) -> Option<&DurationHistogram> {
-        self.durations.get(&(name, label.to_string()))
+        self.durations.get(&(name, intern(label)))
     }
 
     /// All duration histograms, in sorted `(name, label)` order.
     pub fn durations(&self) -> impl Iterator<Item = (&'static str, &str, &DurationHistogram)> {
-        self.durations
-            .iter()
-            .map(|((name, label), h)| (*name, label.as_str(), h))
+        sorted_metrics(&self.durations).into_iter()
     }
 
     /// All counters, in sorted `(name, label)` order.
     pub fn counters(&self) -> impl Iterator<Item = ((&'static str, &str), u64)> {
-        self.counters
-            .iter()
-            .map(|((name, label), v)| ((*name, label.as_str()), *v))
+        sorted_metrics(&self.counters)
+            .into_iter()
+            .map(|(name, label, v)| ((name, label), *v))
     }
 
     /// All gauges, in sorted `(name, label)` order.
     pub fn gauges(&self) -> impl Iterator<Item = ((&'static str, &str), f64)> {
-        self.gauges
-            .iter()
-            .map(|((name, label), v)| ((*name, label.as_str()), *v))
+        sorted_metrics(&self.gauges)
+            .into_iter()
+            .map(|(name, label, v)| ((name, label), *v))
     }
 
     /// The episode-event stream, in recording order.
@@ -324,10 +339,10 @@ impl Registry {
         if !self.enabled || into == from {
             return;
         }
-        let Some(src) = self.procs.get(from).cloned() else {
+        let Some(src) = self.procs.get(&intern(from)).cloned() else {
             return;
         };
-        self.procs.entry(into.to_string()).or_default().join(&src);
+        self.procs.entry(intern(into)).or_default().join(&src);
     }
 
     /// Appends a raw episode event without any bookkeeping; the building
@@ -344,9 +359,10 @@ impl Registry {
         if !self.enabled {
             return;
         }
+        let id = intern(component);
         let clock = {
-            let proc_clock = self.procs.entry(component.to_string()).or_default();
-            proc_clock.tick(component);
+            let proc_clock = self.procs.entry(id).or_default();
+            proc_clock.tick_id(id);
             proc_clock.clone()
         };
         self.events.push(EpisodeEvent {
@@ -476,10 +492,8 @@ impl Registry {
         }
         // The member coming up is a local event on its own clock, even when
         // it completes no episode.
-        self.procs
-            .entry(component.to_string())
-            .or_default()
-            .tick(component);
+        let id = intern(component);
+        self.procs.entry(id).or_default().tick_id(id);
         let mut completed: Vec<(String, String, Vec<String>)> = Vec::new();
         for (owner, episode) in self.open.iter_mut() {
             if episode.completed_at.is_some()
@@ -576,14 +590,14 @@ impl Registry {
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         out.push_str("{\"counters\":{");
-        for (i, ((name, label), v)) in self.counters.iter().enumerate() {
+        for (i, (name, label, v)) in sorted_metrics(&self.counters).into_iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
             let _ = write!(out, "{}:{v}", json_string(&metric_id(name, label)));
         }
         out.push_str("},\"gauges\":{");
-        for (i, ((name, label), v)) in self.gauges.iter().enumerate() {
+        for (i, (name, label, v)) in sorted_metrics(&self.gauges).into_iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
@@ -595,7 +609,7 @@ impl Registry {
             );
         }
         out.push_str("},\"durations\":{");
-        for (i, ((name, label), h)) in self.durations.iter().enumerate() {
+        for (i, (name, label, h)) in sorted_metrics(&self.durations).into_iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
@@ -641,24 +655,24 @@ impl Registry {
     pub fn to_prometheus(&self) -> String {
         let mut out = String::new();
         let mut last = "";
-        for ((name, label), v) in &self.counters {
-            if *name != last {
+        for (name, label, v) in sorted_metrics(&self.counters) {
+            if name != last {
                 let _ = writeln!(out, "# TYPE rr_{name} counter");
                 last = name;
             }
             let _ = writeln!(out, "rr_{name}{} {v}", prom_label(label));
         }
         last = "";
-        for ((name, label), v) in &self.gauges {
-            if *name != last {
+        for (name, label, v) in sorted_metrics(&self.gauges) {
+            if name != last {
                 let _ = writeln!(out, "# TYPE rr_{name} gauge");
                 last = name;
             }
             let _ = writeln!(out, "rr_{name}{} {v}", prom_label(label));
         }
         last = "";
-        for ((name, label), h) in &self.durations {
-            if *name != last {
+        for (name, label, h) in sorted_metrics(&self.durations) {
+            if name != last {
                 let _ = writeln!(out, "# TYPE rr_{name}_seconds histogram");
                 last = name;
             }

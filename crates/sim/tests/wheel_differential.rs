@@ -1,0 +1,275 @@
+#![allow(clippy::disallowed_methods)]
+//! Differential lock between [`TimerWheel`] and the reference `BinaryHeap`
+//! the engine used before the hot-path overhaul.
+//!
+//! The wheel's contract is that it pops in **exactly** `(time, seq)` order —
+//! bit-for-bit the order `BinaryHeap<Reverse<(time, seq)>>` produces — because
+//! every golden trace and telemetry snapshot in the repository depends on
+//! that order. These suites drive both structures through identical
+//! randomized schedule/cancel/drain interleavings (≥256 cases each) and
+//! assert identical observable behaviour, plus targeted properties for
+//! same-tick FIFO stability and the engine's `run_until` deadline boundary.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+use rr_sim::{check, Actor, Context, Event, Sim, SimDuration, SimRng, SimTime, TimerWheel};
+
+/// The event queue the engine used before the timing wheel: a min-heap on
+/// `(time, seq, payload)` with the same lazy-cancel surface as the wheel.
+#[derive(Default)]
+struct RefHeap {
+    heap: BinaryHeap<Reverse<(u64, u64, u64)>>,
+    cancelled: HashSet<u64>,
+    len: usize,
+}
+
+impl RefHeap {
+    fn schedule(&mut self, time: SimTime, seq: u64, value: u64) {
+        self.heap.push(Reverse((time.as_nanos(), seq, value)));
+        self.len += 1;
+    }
+
+    fn cancel(&mut self, seq: u64) {
+        if self.cancelled.insert(seq) {
+            self.len -= 1;
+        }
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, u64, u64)> {
+        while let Some(Reverse((time, seq, value))) = self.heap.pop() {
+            if self.cancelled.remove(&seq) {
+                continue;
+            }
+            self.len -= 1;
+            return Some((SimTime::from_nanos(time), seq, value));
+        }
+        None
+    }
+
+    fn peek(&mut self) -> Option<(SimTime, u64)> {
+        loop {
+            let &Reverse((time, seq, _)) = self.heap.peek()?;
+            if self.cancelled.remove(&seq) {
+                self.heap.pop();
+                continue;
+            }
+            return Some((SimTime::from_nanos(time), seq));
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
+/// Draws an event time that stresses every wheel path: the current tick,
+/// near ticks, each level boundary, and the beyond-horizon overflow rung.
+fn arbitrary_time(rng: &mut SimRng, base: u64) -> SimTime {
+    let nanos = match rng.next_below(8) {
+        // Same-tick and sub-tick times (the sorted `current` bucket).
+        0 => base + rng.next_below(1 << 16),
+        // A few ticks out (level 0).
+        1 => base + rng.next_below(1 << 22),
+        // Mid-wheel levels.
+        2 => base + rng.next_below(1 << 34),
+        3 => base + rng.next_below(1 << 46),
+        // Top level and just inside the horizon.
+        4 => base + rng.next_below(1 << 51),
+        // Beyond the 2^52-ns horizon: the calendar overflow rung.
+        5 => base + (1 << 52) + rng.next_below(1 << 53),
+        // Exactly on a tick or level boundary.
+        6 => {
+            let level = rng.next_below(6) as u32;
+            base + (1u64 << (16 + 6 * level)) + rng.next_below(3)
+        }
+        // Dense collisions: tiny range so many events share exact times.
+        _ => base + rng.next_below(4),
+    };
+    SimTime::from_nanos(nanos)
+}
+
+/// Drives the wheel and the reference heap through one random interleaving
+/// of schedule / cancel / drain / peek operations and asserts they agree
+/// after every step.
+fn differential_case(rng: &mut SimRng) {
+    let mut wheel = TimerWheel::new();
+    let mut heap = RefHeap::default();
+    let mut next_seq = 0u64;
+    let mut live: Vec<u64> = Vec::new(); // seqs scheduled and not yet popped/cancelled
+    let mut last_popped = SimTime::ZERO;
+
+    let ops = 40 + rng.next_below(120);
+    for _ in 0..ops {
+        match rng.next_below(10) {
+            // Schedule (weighted heaviest so queues actually grow).
+            0..=4 => {
+                let n = 1 + rng.next_below(16);
+                for _ in 0..n {
+                    // Occasionally schedule at or before the last popped
+                    // time — legal, and must keep exact order.
+                    let base = if rng.chance(0.1) {
+                        last_popped.as_nanos()
+                    } else {
+                        last_popped.as_nanos() + rng.next_below(1 << 20)
+                    };
+                    let time = arbitrary_time(rng, base);
+                    let seq = next_seq;
+                    next_seq += 1;
+                    wheel.schedule(time, seq, seq);
+                    heap.schedule(time, seq, seq);
+                    live.push(seq);
+                }
+            }
+            // Cancel a random live entry.
+            5..=6 => {
+                if !live.is_empty() {
+                    let i = rng.next_below(live.len() as u64) as usize;
+                    let seq = live.swap_remove(i);
+                    wheel.cancel(seq);
+                    heap.cancel(seq);
+                }
+            }
+            // Drain a few entries, asserting identical pops.
+            7..=8 => {
+                let n = 1 + rng.next_below(24);
+                for _ in 0..n {
+                    let got = wheel.pop();
+                    let want = heap.pop();
+                    assert_eq!(got, want, "wheel and heap disagree on pop");
+                    let Some((time, seq, _)) = got else { break };
+                    assert!(time >= last_popped, "time went backwards");
+                    last_popped = time;
+                    live.retain(|&s| s != seq);
+                }
+            }
+            // Peek must agree and must not consume.
+            _ => {
+                assert_eq!(wheel.peek(), heap.peek(), "peek disagrees");
+                assert_eq!(wheel.peek(), heap.peek(), "peek is not stable");
+            }
+        }
+        assert_eq!(wheel.len(), heap.len(), "live-entry counts diverged");
+        assert_eq!(wheel.is_empty(), heap.len() == 0);
+    }
+
+    // Full drain: the tails must be identical too.
+    loop {
+        let got = wheel.pop();
+        let want = heap.pop();
+        assert_eq!(got, want, "wheel and heap disagree during final drain");
+        if got.is_none() {
+            break;
+        }
+    }
+    assert!(wheel.is_empty());
+}
+
+#[test]
+fn wheel_matches_reference_heap_on_random_interleavings() {
+    check::run("wheel/heap differential", 256, differential_case);
+}
+
+#[test]
+fn same_tick_pops_are_fifo_stable() {
+    // Many events at the *same exact time* must pop in schedule (seq) order,
+    // and events within one 2^16-ns tick must order by exact nanosecond.
+    check::run("wheel same-tick FIFO", 256, |rng| {
+        let mut wheel = TimerWheel::new();
+        let tick_base = rng.next_below(1 << 40) & !0xFFFF;
+        let n = 2 + rng.next_below(64);
+        let mut expect: Vec<(u64, u64)> = Vec::new();
+        for seq in 0..n {
+            // Collisions on purpose: only 8 distinct in-tick offsets.
+            let time = tick_base + rng.next_below(8) * 512;
+            wheel.schedule(SimTime::from_nanos(time), seq, seq);
+            expect.push((time, seq));
+        }
+        expect.sort_unstable();
+        for (time, seq) in expect {
+            assert_eq!(wheel.pop(), Some((SimTime::from_nanos(time), seq, seq)));
+        }
+        assert_eq!(wheel.pop(), None);
+    });
+}
+
+/// An actor that sets one timer per requested delay and records fire times.
+struct DeadlineProbe {
+    delays: Vec<u64>,
+    fired: std::rc::Rc<std::cell::RefCell<Vec<u64>>>,
+}
+
+impl Actor<()> for DeadlineProbe {
+    fn on_event(&mut self, ev: Event<()>, ctx: &mut Context<'_, ()>) {
+        match ev {
+            Event::Start => {
+                for (key, &nanos) in self.delays.iter().enumerate() {
+                    ctx.set_timer(SimDuration::from_nanos(nanos), key as u64);
+                }
+            }
+            Event::Timer { key } => {
+                assert_eq!(ctx.now().as_nanos(), self.delays[key as usize]);
+                self.fired.borrow_mut().push(self.delays[key as usize]);
+            }
+            Event::Message { .. } => {}
+        }
+    }
+}
+
+#[test]
+fn run_until_deadline_boundary_is_inclusive() {
+    // `Sim::run_until(d)` processes events at exactly `d` and leaves later
+    // ones queued — the boundary the wheel's `peek_time` now drives. Timers
+    // landing on either side of a random deadline must split exactly.
+    check::run("run_until deadline boundary", 256, |rng| {
+        let deadline = 1 + rng.next_below(1 << 30);
+        let mut delays: Vec<u64> = (0..24)
+            .map(|_| match rng.next_below(4) {
+                0 => deadline,                                    // exactly at
+                1 => 1 + rng.next_below(deadline),                // at or before
+                _ => deadline + 1 + rng.next_below(deadline * 2), // strictly after
+            })
+            .collect();
+        delays.sort_unstable();
+        delays.dedup(); // one timer key per distinct delay keeps the probe simple
+
+        let fired = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let mut sim: Sim<()> = Sim::new(rng.next_u64());
+        let (delays_f, fired_f) = (delays.clone(), fired.clone());
+        sim.spawn("probe", move || {
+            Box::new(DeadlineProbe {
+                delays: delays_f.clone(),
+                fired: fired_f.clone(),
+            })
+        });
+
+        sim.run_until(SimTime::from_nanos(deadline));
+        let expect_before: Vec<u64> = delays.iter().copied().filter(|&d| d <= deadline).collect();
+        assert_eq!(*fired.borrow(), expect_before, "inclusive boundary");
+        assert_eq!(sim.now(), SimTime::from_nanos(deadline));
+
+        // The remainder fires on a full run, in order.
+        sim.run();
+        assert_eq!(*fired.borrow(), delays, "tail after deadline");
+    });
+}
+
+#[test]
+fn run_until_zero_width_window_processes_exact_matches() {
+    // A deadline equal to `now` still delivers events scheduled at `now`.
+    let fired = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+    let mut sim: Sim<()> = Sim::new(7);
+    let fired_f = fired.clone();
+    sim.spawn("probe", move || {
+        Box::new(DeadlineProbe {
+            delays: vec![0, 1],
+            fired: fired_f.clone(),
+        })
+    });
+    // Start is delivered at t=0; the key-0 timer also lands at t=0.
+    sim.run_until(SimTime::ZERO);
+    assert_eq!(*fired.borrow(), vec![0]);
+    assert_eq!(sim.now(), SimTime::ZERO);
+    sim.run_until(SimTime::from_nanos(1));
+    assert_eq!(*fired.borrow(), vec![0, 1]);
+}
