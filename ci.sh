@@ -97,6 +97,47 @@ echo "==== end rr-model counterexample ===="
 set -x
 rm -f model-overload.log
 
+# Rehydrate fixture pair: completing a restart by verified checkpoint replay
+# must be indistinguishable from a cold boot to every safety invariant,
+# while a rehydration from an unverified stale snapshot must trip the
+# liveness invariant (the fault survives the restart, masked from the FD)
+# with a minimized counterexample.
+"$RR_MODEL" tests/model-fixtures/rehydrate-clean.scenario
+if "$RR_MODEL" tests/model-fixtures/rehydrate-stale.scenario > model-rehydrate.log 2>&1; then
+    set +x
+    echo "==== rr-model: stale-rehydrate fixture was NOT rejected ===="
+    cat model-rehydrate.log
+    echo "==== end rr-model fixture output ===="
+    exit 1
+fi
+set +x
+echo "==== rr-model: stale-rehydrate fixture rejected, minimized counterexample ===="
+cat model-rehydrate.log
+echo "==== end rr-model counterexample ===="
+set -x
+rm -f model-rehydrate.log
+
+# Crash-safety fixtures: the committed journal images (clean and torn) must
+# recover byte-identically forever — this is the store's on-disk format
+# stability gate, so it runs as its own step.
+cargo test -q -p rr-store --test crash_fixtures
+
+# Checkpoint campaign golden: the cold-vs-rehydrate MTTR table (and the
+# failure-rate crossover at the calibrated state size) is pinned under
+# tests/golden/checkpoint-mttr.txt; both regimes must reproduce — a cell
+# where rehydration wins and a cell where the plain restart wins. Drift
+# prints the table diff like the trace goldens above.
+if ! cargo test -q -p rr-harness --test checkpoint; then
+    set +x
+    echo "==== checkpoint MTTR golden drift ===="
+    if [ -e tests/golden/checkpoint-mttr.actual.txt ]; then
+        diff -u tests/golden/checkpoint-mttr.txt \
+            tests/golden/checkpoint-mttr.actual.txt || true
+    fi
+    echo "==== end checkpoint drift (re-record with GOLDEN_RECORD=1) ===="
+    exit 1
+fi
+
 cargo test -q --workspace
 
 # Bench smoke: run the full micro suite (the same configuration that

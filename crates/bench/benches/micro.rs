@@ -278,6 +278,7 @@ fn bench_model_checker(r: &mut Runner) {
         faults: vec![fault(names::RTU), fault(names::SES)],
         mutation: None,
         admission: false,
+        rehydrate: false,
     };
     let tree = TreeVariant::III.tree().expect("paper tree builds");
     let cfg = CheckConfig {

@@ -76,7 +76,7 @@ pub use deadline::{DeadlineModel, Urgency};
 pub use error::TreeError;
 pub use model::{FailureMode, FailureModel};
 pub use oracle::{Failure, FaultyOracle, LearningOracle, NaiveOracle, Oracle, PerfectOracle};
-pub use policy::{GiveUpReason, RestartPolicy};
+pub use policy::{GiveUpReason, RecoveryMode, RestartPolicy};
 pub use recoverer::{DecisionTally, EpisodeSnapshot, Recoverer, RecoveryDecision};
 pub use recovery::{ProcedureKind, RecoveryLadder, RecoveryProcedure};
 pub use schedule::{

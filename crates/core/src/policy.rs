@@ -22,6 +22,40 @@ use std::fmt;
 
 use rr_sim::{intern, CompId, FxHashMap, SimDuration, SimTime};
 
+/// How a component's in-flight state is brought back after a restart —
+/// the policy axis ROADMAP item 3 calls for (restart vs. checkpoint).
+///
+/// The paper's components re-derive lost state from scratch on every
+/// restart (for ses/str, the §4.3 resync). With a crash-safe store
+/// (`rr-store`) a component can instead *rehydrate*: replay its last
+/// durable checkpoint plus journal tail, paying replay time proportional
+/// to state size instead of the cold re-derivation — and paying a
+/// periodic checkpoint-write cost while healthy. Which side wins depends
+/// on failure rate and state size; the `repro checkpoint` experiment
+/// maps the boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum RecoveryMode {
+    /// Re-derive in-flight state from scratch (the paper's behaviour).
+    #[default]
+    ColdRestart,
+    /// Rehydrate from the durable store, checkpointing every
+    /// `checkpoint_interval_s` while healthy. Falls back to a cold
+    /// restart when no checkpoint verifies (e.g. a corrupted journal).
+    Rehydrate {
+        /// Seconds between checkpoint writes while the component is
+        /// healthy; bounds both the journal tail replayed on recovery
+        /// and the state lost to a crash.
+        checkpoint_interval_s: f64,
+    },
+}
+
+impl RecoveryMode {
+    /// `true` for any [`RecoveryMode::Rehydrate`] configuration.
+    pub fn is_rehydrate(&self) -> bool {
+        matches!(self, RecoveryMode::Rehydrate { .. })
+    }
+}
+
 /// Why the policy refused to keep restarting.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum GiveUpReason {

@@ -108,6 +108,7 @@ fn default_scenarios(variant: TreeVariant, oracle: OracleKind) -> Vec<(String, S
         faults: vec![fault(names::RTU, &[])],
         mutation: None,
         admission: false,
+        rehydrate: false,
     };
     let pair_faults = if variant.is_split() {
         vec![
@@ -124,6 +125,7 @@ fn default_scenarios(variant: TreeVariant, oracle: OracleKind) -> Vec<(String, S
         faults: pair_faults,
         mutation: None,
         admission: false,
+        rehydrate: false,
     };
     // The admission flavour re-explores the correlated pair with the
     // deadline-aware controller in the loop: any report may be deferred and
@@ -132,10 +134,18 @@ fn default_scenarios(variant: TreeVariant, oracle: OracleKind) -> Vec<(String, S
         admission: true,
         ..pair.clone()
     };
+    // The rehydrate flavour lets every in-flight restart complete either
+    // cold or by checkpoint replay: the rehydrated path must preserve every
+    // safety invariant across all interleavings.
+    let rehy = Scenario {
+        rehydrate: true,
+        ..pair.clone()
+    };
     vec![
         (format!("tree-{variant}/{}/solo", oracle.name()), solo),
         (format!("tree-{variant}/{}/pair", oracle.name()), pair),
         (format!("tree-{variant}/{}/admit", oracle.name()), admit),
+        (format!("tree-{variant}/{}/rehydrate", oracle.name()), rehy),
     ]
 }
 

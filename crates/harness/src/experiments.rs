@@ -1350,5 +1350,6 @@ pub fn all(run: RunConfig) -> Vec<Experiment> {
         ablation_rejuvenation(run),
         crate::chaos::experiment(run),
         crate::overload::experiment(run),
+        crate::checkpoint::experiment(run),
     ]
 }

@@ -19,6 +19,7 @@
 //! | [`experiments::ablation_optimizer`] | §7 automatic tree transformation |
 //! | [`chaos::experiment`] | beyond the paper — chaos campaign under degraded links |
 //! | [`overload::experiment`] | beyond the paper — admission control vs pass-window misses under overload |
+//! | [`checkpoint::experiment`] | beyond the paper — cold restart vs rehydration from the crash-safe store |
 //!
 //! The `repro` binary drives the suite:
 //!
@@ -32,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod chaos;
+pub mod checkpoint;
 pub mod experiments;
 pub mod golden;
 pub mod overload;
@@ -39,5 +41,6 @@ pub mod report;
 pub mod tables;
 
 pub use chaos::{ChaosConfig, ChaosReport};
+pub use checkpoint::{CheckpointConfig, CheckpointReport};
 pub use experiments::{Experiment, OracleKind, RunConfig};
 pub use overload::{OverloadConfig, OverloadLoad, OverloadReport};

@@ -6,7 +6,8 @@
 //! completeness, `RRL3xx` MTTF/MTTR algebra, `RRL4xx` schedule preconditions,
 //! `RRL5xx` fault-script sanity, `RRL6xx` failure-detector feasibility,
 //! `RRL7xx` model-checking feasibility (`rr-model` exploration bounds),
-//! `RRL8xx` deadline/admission-policy feasibility.
+//! `RRL8xx` deadline/admission-policy feasibility,
+//! `RRL9xx` checkpoint/rehydrate-policy feasibility.
 //! A code's severity never changes between releases; new checks get new
 //! codes.
 
@@ -208,6 +209,25 @@ codes! {
         "use defer_queue_limit >= the number of tree components; the queue \
          holds at most one entry per component, so that bound makes shedding \
          of first reports impossible";
+
+    CHECKPOINT_WRITE_OVERRUN = "RRL901", "checkpoint-write-overrun", Deny,
+        "a checkpoint write cannot finish before the next checkpoint is due",
+        "use checkpoint_interval_s > session_state_kb / store_throughput_kbps \
+         (finite and positive); overlapping checkpoint writes back up the \
+         store without bound";
+    CHECKPOINT_REPLAY_REGRESSIVE = "RRL902", "checkpoint-replay-regressive", Warn,
+        "the worst-case rehydrate replay is no faster than the cold \
+         re-derivation it replaces",
+        "shrink the state, raise store throughput, or checkpoint more often \
+         so snapshot + one interval of updates replays faster than the cold \
+         path; otherwise rehydration pays the journaling overhead for \
+         nothing and ColdRestart dominates";
+    CHECKPOINT_COMPONENT_DETACHED = "RRL903", "checkpoint-component-detached", Deny,
+        "a rehydrate policy names a component that is not attached to the \
+         restart tree",
+        "attach the component to a restart cell or drop its recovery-mode \
+         entry; the recoverer can never restart (let alone rehydrate) a \
+         component with no cell";
 }
 
 /// Looks up a catalog entry by its code (`"RRL001"`).

@@ -23,6 +23,7 @@
 //! | [`lint_fd`] | failure-detector timing feasibility |
 //! | [`lint_model_bounds`] | model-checker exploration feasibility |
 //! | [`lint_deadline`] | deadline/admission-policy feasibility |
+//! | [`lint_checkpoint`] | checkpoint/rehydrate-policy feasibility |
 //!
 //! Each returns a [`Report`]; reports merge, render human-readable text
 //! ([`Report::to_human`]) or JSON ([`Report::to_json`]), and gate execution
@@ -52,6 +53,7 @@
 pub mod algebra;
 pub mod bounds;
 pub mod catalog;
+pub mod checkpoint;
 pub mod deadline;
 pub mod diag;
 pub mod fd;
@@ -64,6 +66,7 @@ pub mod tree;
 pub use algebra::{lint_algebra, GroupClaim, MemberStat};
 pub use bounds::{lint_model_bounds, ModelBoundsParams};
 pub use catalog::CodeInfo;
+pub use checkpoint::{lint_checkpoint, CheckpointComponent, CheckpointParams};
 pub use deadline::{lint_deadline, DeadlineParams};
 pub use diag::{Diagnostic, Report, Severity};
 pub use fd::{lint_fd, FdParams};

@@ -11,10 +11,10 @@ use rr_core::model::{FailureMode, FailureModel};
 use rr_core::schedule::{plan_episodes, EpisodePlan, PlannedEpisode, Suspicion};
 use rr_core::tree::{RestartTree, TreeSpec};
 use rr_lint::{
-    catalog, lint_algebra, lint_deadline, lint_fault_script, lint_fd, lint_model,
+    catalog, lint_algebra, lint_checkpoint, lint_deadline, lint_fault_script, lint_fd, lint_model,
     lint_model_bounds, lint_plan, lint_policy, lint_suspicions, lint_tree, lint_tree_spec,
-    DeadlineParams, FdParams, GroupClaim, MemberStat, ModelBoundsParams, PolicyParams, Report,
-    ScriptContext, Severity,
+    CheckpointComponent, CheckpointParams, DeadlineParams, FdParams, GroupClaim, MemberStat,
+    ModelBoundsParams, PolicyParams, Report, ScriptContext, Severity,
 };
 
 /// The code each fixture below fires, in catalog order. The meta-test
@@ -23,7 +23,7 @@ const FIXTURED: &[&str] = &[
     "RRL001", "RRL002", "RRL003", "RRL004", "RRL005", "RRL101", "RRL102", "RRL103", "RRL104",
     "RRL201", "RRL202", "RRL203", "RRL211", "RRL212", "RRL213", "RRL301", "RRL302", "RRL401",
     "RRL402", "RRL403", "RRL501", "RRL502", "RRL503", "RRL504", "RRL505", "RRL601", "RRL602",
-    "RRL603", "RRL701", "RRL702", "RRL801", "RRL802", "RRL803",
+    "RRL603", "RRL701", "RRL702", "RRL801", "RRL802", "RRL803", "RRL901", "RRL902", "RRL903",
 ];
 
 /// Asserts the report fires `code` and that the finding's severity matches
@@ -484,6 +484,46 @@ fn rrl803_deadline_queue_underprovisioned() {
     assert_fires(&lint_deadline(&params, Some(&small_tree())), "RRL803");
 }
 
+// ---- RRL9xx: checkpoint/rehydrate policy ---------------------------------
+
+fn sane_checkpoint() -> CheckpointParams {
+    CheckpointParams {
+        session_state_kb: 256.0,
+        store_throughput_kbps: 2048.0,
+        store_update_kb: 2.0,
+        store_update_period_s: 2.0,
+        components: vec![CheckpointComponent {
+            name: "a".into(),
+            checkpoint_interval_s: 60.0,
+            cold_rederive_s: 3.35,
+        }],
+    }
+}
+
+#[test]
+fn rrl901_checkpoint_write_overrun() {
+    let mut params = CheckpointParams {
+        session_state_kb: 16.0 * 1024.0,
+        ..sane_checkpoint()
+    };
+    params.components[0].checkpoint_interval_s = 5.0;
+    assert_fires(&lint_checkpoint(&params, None), "RRL901");
+}
+
+#[test]
+fn rrl902_checkpoint_replay_regressive() {
+    let mut params = sane_checkpoint();
+    params.components[0].cold_rederive_s = 0.05;
+    assert_fires(&lint_checkpoint(&params, None), "RRL902");
+}
+
+#[test]
+fn rrl903_checkpoint_component_detached() {
+    let mut params = sane_checkpoint();
+    params.components[0].name = "ghost".into();
+    assert_fires(&lint_checkpoint(&params, Some(&small_tree())), "RRL903");
+}
+
 // ---- meta ----------------------------------------------------------------
 
 #[test]
@@ -512,4 +552,5 @@ fn sane_baselines_are_clean() {
     assert!(lint_plan(&small_tree(), &plan).is_clean());
     assert!(lint_model_bounds(&sane_bounds()).is_clean());
     assert!(lint_deadline(&sane_deadline(), Some(&small_tree())).is_clean());
+    assert!(lint_checkpoint(&sane_checkpoint(), Some(&small_tree())).is_clean());
 }

@@ -12,8 +12,10 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use mercury_msg::{ComponentStatus, Envelope, Message};
+use rr_core::RecoveryMode;
 use rr_sim::telemetry::Registry;
 use rr_sim::{Context, SimDuration, SimTime};
+use rr_store::{RecoveryStats, StateStore};
 
 use crate::config::{names, StationConfig};
 use crate::host::{HostLoad, RadioHardware};
@@ -28,6 +30,12 @@ pub const TIMER_BOOT: u64 = 1;
 pub const TIMER_BEACON: u64 = 2;
 /// First timer key available to component-specific logic.
 pub const TIMER_ROLE_BASE: u64 = 10;
+/// Timer key for rehydrate-replay completion ([`StoreClient`]).
+const TIMER_REHYDRATE: u64 = TIMER_ROLE_BASE + 7;
+/// Timer key for the periodic checkpoint write ([`StoreClient`]).
+const TIMER_CHECKPOINT: u64 = TIMER_ROLE_BASE + 8;
+/// Timer key for the periodic journal update append ([`StoreClient`]).
+const TIMER_STATE_UPDATE: u64 = TIMER_ROLE_BASE + 9;
 
 /// Shared state handed to every component factory.
 #[derive(Clone)]
@@ -42,6 +50,11 @@ pub struct Shared {
     /// instrumentation point) unless
     /// [`telemetry_enabled`](StationConfig::telemetry_enabled) is set.
     pub telemetry: Rc<RefCell<Registry>>,
+    /// The crash-safe component state store (`rr-store`). Shared by `Rc`
+    /// so it lives *outside* the restartable actors — the simulation's
+    /// stand-in for durable media, surviving the very respawns it exists
+    /// to accelerate.
+    pub store: Rc<RefCell<StateStore>>,
 }
 
 impl std::fmt::Debug for Shared {
@@ -63,6 +76,7 @@ impl Shared {
             load: HostLoad::new_shared(),
             radio: RadioHardware::new_shared(),
             telemetry: Rc::new(RefCell::new(telemetry)),
+            store: Rc::new(RefCell::new(StateStore::new())),
         }
     }
 }
@@ -301,4 +315,182 @@ impl Lifecycle {
         }
         true
     }
+}
+
+/// A stateful component's connection to the crash-safe store: journals
+/// session state while healthy, rehydrates it after a restart.
+///
+/// The write path runs on two timers once the component is ready: a
+/// checkpoint every `checkpoint_interval_s` (full synthetic state of
+/// [`session_state_kb`](StationConfig::session_state_kb), compacting the
+/// journal) and an update append every
+/// [`store_update_period_s`](StationConfig::store_update_period_s).
+/// Writes are modelled asynchronous — the component stays responsive —
+/// but their stall cost is accounted in the `checkpoint_stall_ms`
+/// counter so experiments can charge checkpointing against availability.
+///
+/// The read path hooks `TIMER_BOOT`: [`StoreClient::try_rehydrate`]
+/// replays the journal's valid prefix and, when a verified snapshot
+/// exists, schedules readiness after a replay delay proportional to the
+/// recovered bytes — *instead of* the component's cold re-derivation
+/// (for ses/str, the §4.3 resync). Anything less — a torn or corrupted
+/// journal with no usable snapshot — falls back to the cold path, so
+/// store damage can slow recovery but never wedge it.
+#[derive(Debug)]
+pub struct StoreClient {
+    mode: RecoveryMode,
+    journaling: bool,
+    pending: Option<RecoveryStats>,
+}
+
+impl StoreClient {
+    /// Creates the client for component `name`, resolving its configured
+    /// [`RecoveryMode`] (absent from the map ⇒ cold restart, and every
+    /// method is a cheap no-op).
+    pub fn new(name: &str, shared: &Shared) -> StoreClient {
+        StoreClient {
+            mode: shared
+                .config
+                .recovery_modes
+                .get(name)
+                .copied()
+                .unwrap_or_default(),
+            journaling: false,
+            pending: None,
+        }
+    }
+
+    /// Attempts rehydration at boot completion (call on `TIMER_BOOT`).
+    /// Returns `true` when a verified snapshot was found and readiness has
+    /// been scheduled after the replay delay; `false` means the caller
+    /// must run its cold-start path.
+    pub fn try_rehydrate(&mut self, life: &mut Lifecycle, ctx: &mut Context<'_, Wire>) -> bool {
+        if !self.mode.is_rehydrate() {
+            return false;
+        }
+        let recovery = {
+            let store = life.shared().store.clone();
+            let mut store = store.borrow_mut();
+            store.component(life.name()).recover()
+        };
+        let Some(_state) = recovery.state else {
+            ctx.trace_mark(format!("rehydrate-miss:{}", life.name()));
+            return false;
+        };
+        life.set_initializing();
+        let cfg = life.config();
+        let replayed_kb =
+            (recovery.stats.snapshot_bytes + recovery.stats.update_bytes) as f64 / 1024.0;
+        let replay_s = replayed_kb / cfg.store_throughput_kbps;
+        self.pending = Some(recovery.stats);
+        ctx.set_timer(SimDuration::from_secs_f64(replay_s), TIMER_REHYDRATE);
+        true
+    }
+
+    /// Starts journaling after a *cold* path made the component ready
+    /// (the rehydrate path starts it on its own). Writes the initial
+    /// checkpoint so even a crash before the first interval tick finds
+    /// durable state. No-op unless the mode is rehydrate.
+    pub fn start_journaling(&mut self, life: &mut Lifecycle, ctx: &mut Context<'_, Wire>) {
+        let RecoveryMode::Rehydrate {
+            checkpoint_interval_s,
+        } = self.mode
+        else {
+            return;
+        };
+        if self.journaling {
+            return;
+        }
+        self.journaling = true;
+        self.write_checkpoint(life, ctx);
+        ctx.set_timer(
+            SimDuration::from_secs_f64(checkpoint_interval_s),
+            TIMER_CHECKPOINT,
+        );
+        ctx.set_timer(
+            SimDuration::from_secs_f64(life.config().store_update_period_s),
+            TIMER_STATE_UPDATE,
+        );
+    }
+
+    /// Handles the rehydrate/checkpoint/update timers. Returns `true` if
+    /// the key was consumed.
+    pub fn handle_timer(
+        &mut self,
+        key: u64,
+        life: &mut Lifecycle,
+        ctx: &mut Context<'_, Wire>,
+    ) -> bool {
+        match key {
+            TIMER_REHYDRATE => {
+                if let Some(stats) = self.pending.take() {
+                    ctx.trace_mark(format!("rehydrate:{}", life.name()));
+                    {
+                        let mut t = life.shared().telemetry.borrow_mut();
+                        let name = life.name().to_string();
+                        t.incr_labeled("rehydrated", &name);
+                        t.incr_by("replayed_records", &name, stats.replayed_records);
+                        t.incr_by("snapshot_bytes", &name, stats.snapshot_bytes);
+                    }
+                    life.set_ready(ctx);
+                    self.start_journaling(life, ctx);
+                }
+                true
+            }
+            TIMER_CHECKPOINT => {
+                let RecoveryMode::Rehydrate {
+                    checkpoint_interval_s,
+                } = self.mode
+                else {
+                    return true;
+                };
+                if life.is_ready() {
+                    self.write_checkpoint(life, ctx);
+                }
+                ctx.set_timer(
+                    SimDuration::from_secs_f64(checkpoint_interval_s),
+                    TIMER_CHECKPOINT,
+                );
+                true
+            }
+            TIMER_STATE_UPDATE => {
+                if life.is_ready() {
+                    let kb = life.config().store_update_kb;
+                    let payload = synthetic_bytes(ctx.now(), (kb * 1024.0) as usize);
+                    let store = life.shared().store.clone();
+                    store
+                        .borrow_mut()
+                        .component(life.name())
+                        .append_update(&payload);
+                }
+                ctx.set_timer(
+                    SimDuration::from_secs_f64(life.config().store_update_period_s),
+                    TIMER_STATE_UPDATE,
+                );
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn write_checkpoint(&mut self, life: &mut Lifecycle, ctx: &mut Context<'_, Wire>) {
+        let cfg = life.config();
+        let size = (cfg.session_state_kb * 1024.0) as usize;
+        let stall_ms = (cfg.session_state_kb / cfg.store_throughput_kbps * 1000.0) as u64;
+        let state = synthetic_bytes(ctx.now(), size);
+        let store = life.shared().store.clone();
+        store.borrow_mut().component(life.name()).checkpoint(&state);
+        let mut t = life.shared().telemetry.borrow_mut();
+        let name = life.name().to_string();
+        t.incr_labeled("checkpoints", &name);
+        t.incr_by("checkpoint_stall_ms", &name, stall_ms);
+    }
+}
+
+/// Deterministic synthetic state bytes: sized to the configured state,
+/// varying with virtual time so successive checkpoints are distinct
+/// content (content addressing would otherwise dedup them all).
+fn synthetic_bytes(now: SimTime, len: usize) -> Vec<u8> {
+    let tag = now.as_nanos().to_le_bytes();
+    (0..len).map(|i| tag[i % 8] ^ (i as u8)).collect()
 }

@@ -12,7 +12,7 @@
 use mercury_msg::Message;
 use rr_sim::{Actor, Context, Event, SimDuration};
 
-use super::common::{Lifecycle, Phase, Shared, Wire, TIMER_BOOT, TIMER_ROLE_BASE};
+use super::common::{Lifecycle, Phase, Shared, StoreClient, Wire, TIMER_BOOT, TIMER_ROLE_BASE};
 use crate::config::names;
 use crate::orbit::look_angle;
 
@@ -154,12 +154,14 @@ impl SyncPeer {
 pub struct Ses {
     life: Lifecycle,
     sync: SyncPeer,
+    store: StoreClient,
 }
 
 impl Ses {
     /// Creates the ses actor.
     pub fn new(shared: Shared) -> Ses {
         Ses {
+            store: StoreClient::new(names::SES, &shared),
             life: Lifecycle::new(names::SES, shared),
             sync: SyncPeer::new(SyncRole {
                 peer: names::STR,
@@ -173,9 +175,17 @@ impl Actor<Wire> for Ses {
     fn on_event(&mut self, ev: Event<Wire>, ctx: &mut Context<'_, Wire>) {
         match ev {
             Event::Start => self.life.begin_boot(ctx, 0.0),
-            Event::Timer { key: TIMER_BOOT } => self.sync.begin(&mut self.life, ctx),
+            Event::Timer { key: TIMER_BOOT } => {
+                // Rehydrate from the durable store when policy and a
+                // verified checkpoint allow it; else the cold resync.
+                if !self.store.try_rehydrate(&mut self.life, ctx) {
+                    self.sync.begin(&mut self.life, ctx);
+                }
+            }
             Event::Timer { key } => {
-                if !self.sync.handle_timer(key, &mut self.life, ctx) {
+                if !self.store.handle_timer(key, &mut self.life, ctx)
+                    && !self.sync.handle_timer(key, &mut self.life, ctx)
+                {
                     self.life.handle_beacon_timer(key, ctx, 0.0);
                 }
             }
@@ -187,6 +197,11 @@ impl Actor<Wire> for Ses {
                     return;
                 }
                 if self.sync.handle_message(&env.body, &mut self.life, ctx) {
+                    // The cold path just completed its handshake: begin
+                    // journaling (no-op unless this component rehydrates).
+                    if self.life.is_ready() {
+                        self.store.start_journaling(&mut self.life, ctx);
+                    }
                     return;
                 }
                 if let Message::EstimateRequest {

@@ -8,7 +8,7 @@
 use mercury_msg::{Message, TrackingState};
 use rr_sim::{Actor, Context, Event, SimDuration};
 
-use super::common::{Lifecycle, Shared, Wire, TIMER_BOOT, TIMER_ROLE_BASE};
+use super::common::{Lifecycle, Shared, StoreClient, Wire, TIMER_BOOT, TIMER_ROLE_BASE};
 use super::estimator::{SyncPeer, SyncRole};
 use crate::config::names;
 
@@ -19,6 +19,7 @@ const TIMER_TRACK: u64 = TIMER_ROLE_BASE + 5;
 pub struct Str {
     life: Lifecycle,
     sync: SyncPeer,
+    store: StoreClient,
     state: TrackingState,
     target: Option<String>,
     telemetry_frames: u64,
@@ -29,6 +30,7 @@ impl Str {
     /// Creates the str actor.
     pub fn new(shared: Shared) -> Str {
         Str {
+            store: StoreClient::new(names::STR, &shared),
             life: Lifecycle::new(names::STR, shared),
             sync: SyncPeer::new(SyncRole {
                 peer: names::SES,
@@ -72,10 +74,16 @@ impl Actor<Wire> for Str {
     fn on_event(&mut self, ev: Event<Wire>, ctx: &mut Context<'_, Wire>) {
         match ev {
             Event::Start => self.life.begin_boot(ctx, 0.0),
-            Event::Timer { key: TIMER_BOOT } => self.sync.begin(&mut self.life, ctx),
+            Event::Timer { key: TIMER_BOOT } => {
+                if !self.store.try_rehydrate(&mut self.life, ctx) {
+                    self.sync.begin(&mut self.life, ctx);
+                }
+            }
             Event::Timer { key: TIMER_TRACK } => self.poll_estimate(ctx),
             Event::Timer { key } => {
-                if !self.sync.handle_timer(key, &mut self.life, ctx) {
+                if !self.store.handle_timer(key, &mut self.life, ctx)
+                    && !self.sync.handle_timer(key, &mut self.life, ctx)
+                {
                     self.life.handle_beacon_timer(key, ctx, 0.0);
                 }
             }
@@ -87,6 +95,9 @@ impl Actor<Wire> for Str {
                     return;
                 }
                 if self.sync.handle_message(&env.body, &mut self.life, ctx) {
+                    if self.life.is_ready() {
+                        self.store.start_journaling(&mut self.life, ctx);
+                    }
                     return;
                 }
                 if !self.life.is_ready() {

@@ -29,6 +29,7 @@ use std::collections::BTreeMap;
 
 use rr_core::analysis::SimpleCostModel;
 use rr_core::model::{FailureMode, FailureModel};
+use rr_core::RecoveryMode;
 use rr_sim::{Dist, SimDuration};
 
 use crate::orbit::{GroundSite, Satellite};
@@ -258,6 +259,26 @@ pub struct StationConfig {
     /// path. Observation-only either way — it never changes scheduling or
     /// the trace.
     pub telemetry_enabled: bool,
+    /// Per-component recovery mode: components absent from the map cold
+    /// restart (the paper's behaviour). A
+    /// [`RecoveryMode::Rehydrate`] entry makes the component journal its
+    /// session state into the station's crash-safe store (`rr-store`) and
+    /// rehydrate from it on restart instead of re-deriving state from its
+    /// peers — for ses/str, skipping the §4.3 resync and the induced
+    /// failure it drags along.
+    pub recovery_modes: BTreeMap<String, RecoveryMode>,
+    /// Synthetic size of a component's session state (what a checkpoint
+    /// snapshots), in KiB.
+    pub session_state_kb: f64,
+    /// Sequential read/write throughput of the store's backing medium,
+    /// KiB per second. Divides into state size for both the checkpoint
+    /// write stall and the rehydrate replay time.
+    pub store_throughput_kbps: f64,
+    /// Size of one incremental journal update record, in KiB.
+    pub store_update_kb: f64,
+    /// How often a healthy journaling component appends an update record
+    /// (its session state mutates), in seconds.
+    pub store_update_period_s: f64,
     /// Ground station site (Stanford).
     pub site: GroundSite,
     /// Satellite catalog.
@@ -328,6 +349,11 @@ impl StationConfig {
             critical_components: Vec::new(),
             min_pass_window_s: 300.0,
             telemetry_enabled: false,
+            recovery_modes: BTreeMap::new(),
+            session_state_kb: 256.0,
+            store_throughput_kbps: 2048.0,
+            store_update_kb: 2.0,
+            store_update_period_s: 2.0,
             site: GroundSite::stanford(),
             satellites: vec![Satellite::opal(), Satellite::sapphire()],
         }
@@ -382,6 +408,26 @@ impl StationConfig {
         cfg
     }
 
+    /// The paper calibration with the crash-safe state store switched on
+    /// for the stateful pair: ses and str journal their session state and
+    /// *rehydrate* on restart (checkpointing every 60 s) instead of
+    /// re-deriving it through the §4.3 resync. Telemetry stays on so the
+    /// `rehydrated` / `replayed_records` / `snapshot_bytes` counters are
+    /// observable.
+    ///
+    /// Use [`paper`](Self::paper) for the cold-restart behaviour the
+    /// checkpoint experiments compare against.
+    pub fn checkpointed() -> StationConfig {
+        let mut cfg = StationConfig::paper();
+        let mode = RecoveryMode::Rehydrate {
+            checkpoint_interval_s: 60.0,
+        };
+        cfg.recovery_modes.insert(names::SES.into(), mode);
+        cfg.recovery_modes.insert(names::STR.into(), mode);
+        cfg.telemetry_enabled = true;
+        cfg
+    }
+
     /// Checks the configuration's internal consistency: every component has
     /// a timing entry, the detection machinery is coherent, and the recovery
     /// timeouts are ordered so escalation (not deadlock or spurious new
@@ -392,6 +438,63 @@ impl StationConfig {
     /// Returns the list of violated constraints.
     pub fn validate(&self) -> Result<(), Vec<String>> {
         let mut errors = Vec::new();
+        // Finiteness first: NaN is incomparable, so it slips through every
+        // range check below (`NaN <= 0.0` is false), and an infinite knob
+        // turns the derived bounds (worst-case boot, min confirm) into
+        // nonsense. One sweep over every float knob closes that hole.
+        let float_knobs: [(&str, f64); 38] = [
+            ("ping_period_s", self.ping_period_s),
+            ("ping_timeout_s", self.ping_timeout_s),
+            ("bus_latency_s", self.bus_latency_s),
+            ("direct_latency_s", self.direct_latency_s),
+            ("exec_delay_s", self.exec_delay_s),
+            ("contention_quadratic", self.contention_quadratic),
+            ("ses_resync_service_s", self.ses_resync_service_s),
+            ("str_resync_service_s", self.str_resync_service_s),
+            ("fresh_sync_s", self.fresh_sync_s),
+            ("fresh_threshold_s", self.fresh_threshold_s),
+            ("induced_failure_delay_s", self.induced_failure_delay_s),
+            ("connect_ack_s", self.connect_ack_s),
+            (
+                "pbcom_rapid_restart_penalty_s",
+                self.pbcom_rapid_restart_penalty_s,
+            ),
+            ("rapid_restart_window_s", self.rapid_restart_window_s),
+            ("poison_crash_delay_s", self.poison_crash_delay_s),
+            ("beacon_period_s", self.beacon_period_s),
+            ("beacon_timeout_s", self.beacon_timeout_s),
+            ("watchdog_grace_s", self.watchdog_grace_s),
+            ("fd_grace_s", self.fd_grace_s),
+            ("restart_deadline_s", self.restart_deadline_s),
+            ("cure_confirm_s", self.cure_confirm_s),
+            ("restart_backoff_base_s", self.restart_backoff_base_s),
+            ("restart_backoff_cap_s", self.restart_backoff_cap_s),
+            ("restart_window_s", self.restart_window_s),
+            ("keepalive_period_s", self.keepalive_period_s),
+            ("lock_window_s", self.lock_window_s),
+            ("sync_retry_s", self.sync_retry_s),
+            ("connect_retry_s", self.connect_retry_s),
+            ("pass_epoch_offset_s", self.pass_epoch_offset_s),
+            ("telemetry_period_s", self.telemetry_period_s),
+            ("admission_window_s", self.admission_window_s),
+            ("admission_retry_s", self.admission_retry_s),
+            ("defer_max_age_s", self.defer_max_age_s),
+            ("min_pass_window_s", self.min_pass_window_s),
+            ("session_state_kb", self.session_state_kb),
+            ("store_throughput_kbps", self.store_throughput_kbps),
+            ("store_update_kb", self.store_update_kb),
+            ("store_update_period_s", self.store_update_period_s),
+        ];
+        for (name, value) in float_knobs {
+            if !value.is_finite() {
+                errors.push(format!("{name} ({value}) must be finite"));
+            }
+        }
+        if let Some(t) = self.rejuvenation_aging_threshold {
+            if !t.is_finite() {
+                errors.push(format!("rejuvenation threshold ({t}) must be finite"));
+            }
+        }
         for comp in names::UNSPLIT
             .iter()
             .chain(names::SPLIT.iter())
@@ -401,6 +504,18 @@ impl StationConfig {
                 errors.push(format!("no timing entry for component {comp:?}"));
             }
         }
+        for (comp, timing) in &self.timing {
+            if !timing.boot_mean_s.is_finite()
+                || !timing.boot_std_s.is_finite()
+                || timing.boot_mean_s < 0.0
+                || timing.boot_std_s < 0.0
+            {
+                errors.push(format!(
+                    "timing for {comp:?} (mean {}, std {}) must be finite and non-negative",
+                    timing.boot_mean_s, timing.boot_std_s
+                ));
+            }
+        }
         if self.ping_timeout_s >= self.ping_period_s {
             errors.push(format!(
                 "ping timeout ({}) must be shorter than the ping period ({}) or rounds overlap",
@@ -408,7 +523,9 @@ impl StationConfig {
             ));
         }
         for (comp, timeout) in &self.ping_timeout_overrides {
-            if *timeout <= 0.0 || *timeout >= self.ping_period_s {
+            // Written as a negated conjunction so a NaN override (for which
+            // every comparison is false) still lands in the error branch.
+            if !(*timeout > 0.0 && *timeout < self.ping_period_s) {
                 errors.push(format!(
                     "ping timeout override for {comp:?} ({timeout}) must lie in (0, ping period)"
                 ));
@@ -534,6 +651,46 @@ impl StationConfig {
         for comp in &self.critical_components {
             if !self.timing.contains_key(comp) {
                 errors.push(format!("critical component {comp:?} has no timing entry"));
+            }
+        }
+        // Store knobs must be coherent whenever any component rehydrates.
+        if !self.recovery_modes.is_empty() {
+            let positive = |v: f64| v > 0.0 && !v.is_nan();
+            if !positive(self.session_state_kb) || !positive(self.store_throughput_kbps) {
+                errors.push(format!(
+                    "session_state_kb ({}) and store_throughput_kbps ({}) must be positive",
+                    self.session_state_kb, self.store_throughput_kbps
+                ));
+            }
+            if self.store_update_kb.is_nan()
+                || self.store_update_kb < 0.0
+                || !positive(self.store_update_period_s)
+            {
+                errors.push(format!(
+                    "store_update_kb ({}) must be non-negative and store_update_period_s ({}) \
+                     positive",
+                    self.store_update_kb, self.store_update_period_s
+                ));
+            }
+        }
+        for (comp, mode) in &self.recovery_modes {
+            if !self.timing.contains_key(comp) {
+                errors.push(format!(
+                    "recovery mode for {comp:?} names a component with no timing entry"
+                ));
+            }
+            if let RecoveryMode::Rehydrate {
+                checkpoint_interval_s,
+            } = mode
+            {
+                // Written as a negated conjunction so a NaN interval (for
+                // which every comparison is false) lands in the error branch.
+                if !(checkpoint_interval_s.is_finite() && *checkpoint_interval_s > 0.0) {
+                    errors.push(format!(
+                        "checkpoint_interval_s for {comp:?} ({checkpoint_interval_s}) must be \
+                         finite and positive"
+                    ));
+                }
             }
         }
         if errors.is_empty() {
@@ -718,6 +875,42 @@ impl StationConfig {
         }
     }
 
+    /// The checkpoint/rehydrate knobs in the shape `rr_lint` checks: one
+    /// entry per component with a `Rehydrate` recovery mode, each carrying
+    /// the cold re-derivation cost its replay competes against (for the
+    /// ses/str pair, the *peer's* resync service time — that is what the
+    /// store bypasses).
+    pub fn checkpoint_params(&self) -> rr_lint::CheckpointParams {
+        let components = self
+            .recovery_modes
+            .iter()
+            .filter_map(|(name, mode)| match mode {
+                RecoveryMode::Rehydrate {
+                    checkpoint_interval_s,
+                } => {
+                    let cold_rederive_s = match name.as_str() {
+                        names::SES => self.str_resync_service_s,
+                        names::STR => self.ses_resync_service_s,
+                        _ => 0.0,
+                    };
+                    Some(rr_lint::CheckpointComponent {
+                        name: name.clone(),
+                        checkpoint_interval_s: *checkpoint_interval_s,
+                        cold_rederive_s,
+                    })
+                }
+                RecoveryMode::ColdRestart => None,
+            })
+            .collect();
+        rr_lint::CheckpointParams {
+            session_state_kb: self.session_state_kb,
+            store_throughput_kbps: self.store_throughput_kbps,
+            store_update_kb: self.store_update_kb,
+            store_update_period_s: self.store_update_period_s,
+            components,
+        }
+    }
+
     /// Statically lints this configuration against the restart tree it will
     /// operate: tree well-formedness, FD timing feasibility, and restart
     /// policy soundness. [`Station`](crate::station::Station) construction
@@ -727,6 +920,10 @@ impl StationConfig {
             .merged(rr_lint::lint_fd(&self.fd_params()))
             .merged(rr_lint::lint_policy(&self.policy_params(), Some(tree)))
             .merged(rr_lint::lint_deadline(&self.deadline_params(), Some(tree)))
+            .merged(rr_lint::lint_checkpoint(
+                &self.checkpoint_params(),
+                Some(tree),
+            ))
     }
 
     /// The Table 1 failure model for the *unsplit* station (trees I/II).
@@ -944,6 +1141,109 @@ mod tests {
     }
 
     #[test]
+    fn validate_rejects_nan_and_inf_knobs() {
+        // The original hole: `NaN <= 0.0` is false, so a NaN window sailed
+        // through the positivity check and poisoned the sliding-window
+        // arithmetic at runtime.
+        let mut cfg = StationConfig::paper();
+        cfg.admission_window_s = f64::NAN;
+        let errors = cfg.validate().unwrap_err();
+        assert!(
+            errors
+                .iter()
+                .any(|e| e.contains("admission_window_s") && e.contains("finite")),
+            "{errors:?}"
+        );
+
+        let mut cfg = StationConfig::paper();
+        cfg.restart_window_s = f64::INFINITY;
+        cfg.cure_confirm_s = f64::NEG_INFINITY;
+        cfg.admission_retry_s = f64::NAN;
+        let errors = cfg.validate().unwrap_err();
+        for needle in ["restart_window_s", "cure_confirm_s", "admission_retry_s"] {
+            assert!(
+                errors
+                    .iter()
+                    .any(|e| e.contains(needle) && e.contains("finite")),
+                "{needle}: {errors:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn validate_rejects_nan_in_overrides_and_timing() {
+        let mut cfg = StationConfig::paper();
+        cfg.ping_timeout_overrides
+            .insert(names::SES.into(), f64::NAN);
+        let errors = cfg.validate().unwrap_err();
+        assert!(errors.iter().any(|e| e.contains("override")), "{errors:?}");
+
+        let mut cfg = StationConfig::paper();
+        cfg.timing
+            .insert(names::RTU.into(), ComponentTiming::new(f64::NAN, 0.05));
+        let errors = cfg.validate().unwrap_err();
+        assert!(
+            errors.iter().any(|e| e.contains("timing for \"rtu\"")),
+            "{errors:?}"
+        );
+
+        let mut cfg = StationConfig::paper();
+        cfg.rejuvenation_aging_threshold = Some(f64::NAN);
+        let errors = cfg.validate().unwrap_err();
+        assert!(
+            errors.iter().any(|e| e.contains("rejuvenation")),
+            "{errors:?}"
+        );
+    }
+
+    #[test]
+    fn checkpointed_preset_validates_and_rehydrates_the_stateful_pair() {
+        let cfg = StationConfig::checkpointed();
+        cfg.validate().expect("checkpointed preset is coherent");
+        for comp in [names::SES, names::STR] {
+            assert!(cfg.recovery_modes[comp].is_rehydrate(), "{comp}");
+        }
+        assert!(!cfg
+            .recovery_modes
+            .get(names::RTU)
+            .copied()
+            .unwrap_or_default()
+            .is_rehydrate());
+    }
+
+    #[test]
+    fn validate_catches_bad_checkpoint_and_store_knobs() {
+        let mut cfg = StationConfig::checkpointed();
+        cfg.recovery_modes.insert(
+            names::SES.into(),
+            RecoveryMode::Rehydrate {
+                checkpoint_interval_s: f64::NAN,
+            },
+        );
+        cfg.recovery_modes.insert(
+            "warp-core".into(),
+            RecoveryMode::Rehydrate {
+                checkpoint_interval_s: 0.0,
+            },
+        );
+        cfg.session_state_kb = 0.0;
+        cfg.store_update_period_s = f64::NAN;
+        let errors = cfg.validate().unwrap_err();
+        for needle in [
+            "checkpoint_interval_s for \"ses\"",
+            "checkpoint_interval_s for \"warp-core\"",
+            "no timing entry",
+            "session_state_kb",
+            "store_update_period_s",
+        ] {
+            assert!(
+                errors.iter().any(|e| e.contains(needle)),
+                "{needle}: {errors:?}"
+            );
+        }
+    }
+
+    #[test]
     fn config_is_cloneable_and_comparable() {
         let cfg = StationConfig::paper();
         let clone = cfg.clone();
@@ -961,6 +1261,39 @@ mod tests {
             let report = cfg.lint(&variant.tree().unwrap());
             assert!(report.is_clean(), "{variant:?}: {report}");
         }
+    }
+
+    #[test]
+    fn checkpointed_preset_lints_clean_and_bad_knobs_fire_rrl9xx() {
+        let cfg = StationConfig::checkpointed();
+        for variant in crate::station::TreeVariant::ALL {
+            let report = cfg.lint(&variant.tree().unwrap());
+            assert!(report.is_clean(), "{variant:?}: {report}");
+        }
+        // A checkpoint write that overruns its interval is denied before
+        // anything runs.
+        let mut bad = StationConfig::checkpointed();
+        bad.session_state_kb = 16.0 * 1024.0;
+        bad.recovery_modes.insert(
+            names::SES.into(),
+            RecoveryMode::Rehydrate {
+                checkpoint_interval_s: 5.0,
+            },
+        );
+        let report = bad.lint(&crate::station::TreeVariant::III.tree().unwrap());
+        assert!(report.fired("RRL901"), "{report}");
+        assert!(report.has_deny());
+        // Journaling a stateless component warns that replay buys nothing.
+        let mut futile = StationConfig::checkpointed();
+        futile.recovery_modes.insert(
+            names::RTU.into(),
+            RecoveryMode::Rehydrate {
+                checkpoint_interval_s: 60.0,
+            },
+        );
+        let report = futile.lint(&crate::station::TreeVariant::III.tree().unwrap());
+        assert!(report.fired("RRL902"), "{report}");
+        assert!(!report.has_deny());
     }
 
     #[test]

@@ -93,10 +93,12 @@ pub struct RecControl {
     /// Ordered so drain order is deterministic; at most one entry per
     /// component (later reports of a deferred component are shed).
     pub deferred: BTreeMap<String, SimTime>,
-    /// Launch times of restarts admitted within the sliding capacity window.
-    /// Lives here (not in the actor) so a REC process restart does not reset
-    /// the pacing budget.
-    admitted: Vec<SimTime>,
+    /// Launch charges admitted within the sliding capacity window: when each
+    /// restart was admitted and which component it was charged to, so a
+    /// charge whose restart is later purged (GiveUp → quarantine) can be
+    /// refunded. Lives here (not in the actor) so a REC process restart does
+    /// not reset the pacing budget.
+    admitted: Vec<(SimTime, String)>,
 }
 
 impl std::fmt::Debug for RecControl {
@@ -127,13 +129,26 @@ impl RecControl {
     /// Drops capacity-window launch records older than `window_s`.
     fn prune_admitted(&mut self, now: SimTime, window_s: f64) {
         self.admitted
-            .retain(|t| now.saturating_since(*t).as_secs_f64() < window_s);
+            .retain(|(t, _)| now.saturating_since(*t).as_secs_f64() < window_s);
     }
 
     /// Launches admitted within the capacity window ending at `now`.
     pub fn admitted_in_window(&mut self, now: SimTime, window_s: f64) -> usize {
         self.prune_admitted(now, window_s);
         self.admitted.len()
+    }
+
+    /// Refunds the newest window charge taken for `component`, if any.
+    ///
+    /// A charge is taken at classification time, before the recoverer rules
+    /// on the report; when the ruling is GiveUp the restart never launches,
+    /// and without a refund the dead charge would keep counting against
+    /// `admitted_in_window` for the rest of the window — a quarantine burst
+    /// could starve admission of perfectly healthy components.
+    pub fn refund_admitted(&mut self, component: &str) {
+        if let Some(i) = self.admitted.iter().rposition(|(_, c)| c == component) {
+            self.admitted.remove(i);
+        }
     }
 }
 
@@ -267,7 +282,7 @@ impl Rec {
         if control.admitted_in_window(now, cfg.admission_window_s) < cfg.admission_capacity as usize
             || control.deferred.len() >= cfg.defer_queue_limit
         {
-            control.admitted.push(now);
+            control.admitted.push((now, component.to_string()));
             return Admission::Run;
         }
         control.deferred.insert(component.to_string(), now);
@@ -406,7 +421,7 @@ impl Rec {
                     // Charge the launch so later (unforced) entries and fresh
                     // reports see the slot as taken; a forced entry runs even
                     // over capacity but still loads the window it runs in.
-                    control.admitted.push(now);
+                    control.admitted.push((now, component.clone()));
                 }
                 run
             };
@@ -508,6 +523,11 @@ impl Rec {
                 // it behind would re-issue a restart the policy just gave up
                 // on the next time the queue drains.
                 control.deferred.remove(&component);
+                // The admission charge taken when this report was classified
+                // paid for a restart that never launched; refund it so the
+                // dead charge cannot starve admission of healthy components
+                // for the rest of the capacity window.
+                control.refund_admitted(&component);
                 control.quarantined.insert(component.clone());
                 control.actions.push(format!("{now} {action}"));
                 let telemetry = self.life.shared().telemetry.clone();

@@ -600,6 +600,38 @@ impl Station {
         Ok(self.sim.now())
     }
 
+    /// Injects a fault into `component`'s durable journal — a torn write
+    /// (tail truncation) or bit rot (a flipped byte) in the crash-safe
+    /// store, exactly the mid-write damage a real crash leaves behind.
+    /// The component itself keeps running; the damage surfaces at its
+    /// next rehydration attempt, which must degrade gracefully (an older
+    /// prefix, or a cold start) rather than reading corrupt state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StationError::UnknownComponent`] if the component does
+    /// not exist.
+    pub fn inject_journal_fault(
+        &mut self,
+        component: &str,
+        fault: rr_store::JournalFault,
+    ) -> Result<(), StationError> {
+        let _ = self.pid_of(component)?;
+        self.note_injection(component, "journal");
+        self.shared
+            .store
+            .borrow_mut()
+            .component(component)
+            .inject(fault);
+        Ok(())
+    }
+
+    /// The station's crash-safe component state store (diagnostics and
+    /// scenario drivers). Shared with the running components.
+    pub fn store(&self) -> std::rc::Rc<std::cell::RefCell<rr_store::StateStore>> {
+        self.shared.store.clone()
+    }
+
     /// Delivers raw bytes to a component as if they arrived on its wire —
     /// the hostile-input path: malformed traffic must be logged and dropped,
     /// never crash the station.

@@ -110,6 +110,56 @@ fn aging_forces_deferred_restarts_to_run() {
     assert!(station.control().borrow().deferred.is_empty());
 }
 
+/// Regression: admission charges taken at classification time for reports
+/// the recoverer then rules GiveUp on must be refunded. Before the refund,
+/// a quarantine burst left its dead charges in the sliding window — two
+/// quarantined components could pin `admitted_in_window` at capacity and
+/// starve a later, perfectly healthy component into the deferral queue.
+#[test]
+fn quarantine_burst_does_not_starve_admission_of_healthy_components() {
+    let mut cfg = StationConfig::admission();
+    // Capacity sized so the burst's legitimate launches (one per hard-failed
+    // component, storm budget 1) leave slack, but the pre-refund dead
+    // charges (one more per quarantine) would exactly exhaust it.
+    cfg.admission_capacity = 4;
+    cfg.admission_window_s = 600.0;
+    cfg.admission_retry_s = 5.0;
+    cfg.defer_max_age_s = 240.0;
+    cfg.max_restarts_per_window = 1;
+    cfg.restart_window_s = 3600.0;
+    let mut station = Station::new(cfg, TreeVariant::IV, Box::new(PerfectOracle::new()), 13)
+        .expect("valid station");
+    station.warm_up();
+    // The burst: two hard failures that blow the 1-restart storm budget and
+    // quarantine, each leaving one spent launch charge and (pre-refund) one
+    // dead charge in the 600 s window.
+    station.inject_hard_failure("ses").expect("known component");
+    station
+        .inject_hard_failure("fedr")
+        .expect("known component");
+    station.run_for(SimDuration::from_secs(300));
+    for comp in ["ses", "fedr"] {
+        assert!(
+            mark_count(&station, &format!("quarantine:{comp}")) > 0,
+            "{comp} should be quarantined by the storm policy"
+        );
+    }
+    // A healthy component fails inside the same capacity window: with the
+    // dead charges refunded there is spare capacity, so it must be admitted
+    // immediately — not parked in the deferral queue until aging forces it.
+    station.inject_kill("rtu").expect("known component");
+    station.run_for(SimDuration::from_secs(120));
+    assert_eq!(
+        mark_count(&station, "defer:rtu"),
+        0,
+        "healthy rtu was starved by the quarantine burst's dead charges"
+    );
+    assert!(
+        mark_count(&station, "cured:rtu") > 0,
+        "healthy rtu did not recover"
+    );
+}
+
 /// Quarantine interplay: a persistently crashing component is paced by
 /// admission, eventually quarantined by the restart-storm policy, and after
 /// quarantine neither restarts again nor leaks a deferral-queue entry.

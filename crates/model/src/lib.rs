@@ -11,7 +11,10 @@
 //! * suspicion firing, alone or as a correlated batch ([`Action::Suspect`],
 //!   [`Action::SuspectBatch`] — the latter drives the parallel planner's
 //!   merge logic),
-//! * restart completion ([`Action::Complete`]),
+//! * restart completion, cold or via verified checkpoint replay
+//!   ([`Action::Complete`], [`Action::CompleteRehydrated`] — the latter
+//!   enabled when the scenario declares `rehydrate`, so the crash-safe
+//!   store's fast path interleaves with everything else),
 //! * cure confirmation ([`Action::Confirm`]),
 //! * ping-epoch rollover ([`Action::Rollover`], which re-arms detection and
 //!   drives escalation),
@@ -54,8 +57,9 @@
 //!
 //! Deliberately broken protocol drivers for fixture tests are modelled as
 //! [`scenario::Mutation`]s (a rogue restart that bypasses the planner, a
-//! dropped failure report, a starved admission drain tick); the checker must
-//! reject them deterministically.
+//! dropped failure report, a starved admission drain tick, a rehydration
+//! from an unverified stale checkpoint); the checker must reject them
+//! deterministically.
 
 #![forbid(unsafe_code)]
 #![cfg_attr(test, allow(clippy::disallowed_methods))]

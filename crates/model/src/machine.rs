@@ -124,6 +124,15 @@ pub enum Action {
         /// The episode owner.
         owner: String,
     },
+    /// The in-flight restart owned by `owner` completes by *rehydrating*:
+    /// every restarted component replays its verified checkpoint instead of
+    /// cold-booting. Only enabled when the scenario declares `rehydrate`;
+    /// indistinguishable from [`Action::Complete`] to the recoverer, which
+    /// is exactly the safety claim the checker discharges.
+    CompleteRehydrated {
+        /// The episode owner.
+        owner: String,
+    },
     /// The cure of `owner`'s episode is confirmed (its origins answered
     /// liveness pings after the restart).
     Confirm {
@@ -159,6 +168,7 @@ impl Action {
                 format!("detect:{}", components.join("+"))
             }
             Action::Complete { owner } => format!("ready:{owner}"),
+            Action::CompleteRehydrated { owner } => format!("rehydrate:{owner}"),
             Action::Confirm { owner } => format!("cured:{owner}"),
             Action::Rollover => "epoch:rollover".to_string(),
             Action::Defer { component } => format!("defer:{component}"),
@@ -249,6 +259,10 @@ pub struct State {
     /// Components whose accepted report sits in the admission controller's
     /// deferral queue, awaiting an [`Action::Admit`] drain step.
     deferred: BTreeSet<String>,
+    /// Components resurrected from a stale checkpoint by the
+    /// [`Mutation::StaleRehydrate`] driver: they beacon healthily, so the FD
+    /// can no longer convict them, but their fault is still active.
+    masked: BTreeSet<String>,
     /// Cells restarted by a mutated driver behind the planner's back.
     rogue_cells: Vec<NodeId>,
     /// Logical step counter: step *n*'s action executes at *n* seconds.
@@ -295,6 +309,11 @@ impl State {
                 .join(","),
             self.deferred.iter().cloned().collect::<Vec<_>>().join(","),
         );
+        let _ = write!(
+            sig,
+            "m{}|",
+            self.masked.iter().cloned().collect::<Vec<_>>().join(","),
+        );
         let mut rogue: Vec<&str> = self.rogue_cells.iter().map(|&n| tree.label(n)).collect();
         rogue.sort_unstable();
         let _ = write!(sig, "g{}|h", rogue.join(","));
@@ -328,6 +347,11 @@ impl State {
     pub fn deferred(&self) -> &BTreeSet<String> {
         &self.deferred
     }
+
+    /// Components a stale-rehydrate driver has hidden from the FD.
+    pub fn masked(&self) -> &BTreeSet<String> {
+        &self.masked
+    }
 }
 
 /// A restart tree bound to a scenario: the transition system the checker
@@ -339,6 +363,7 @@ pub struct Model {
     policy: RestartPolicy,
     mutation: Option<Mutation>,
     admission: bool,
+    rehydrate: bool,
 }
 
 impl Model {
@@ -368,6 +393,11 @@ impl Model {
                 message: "mutation starve-deferred requires the `admission` directive".into(),
             });
         }
+        if scenario.mutation == Some(Mutation::StaleRehydrate) && !scenario.rehydrate {
+            return Err(ModelError {
+                message: "mutation stale-rehydrate requires the `rehydrate` directive".into(),
+            });
+        }
         // A tight escalation limit keeps give-up/quarantine paths reachable
         // within the default exploration depth; the default rate window
         // (3600 s) dwarfs every path length, which is what makes excluding
@@ -381,6 +411,7 @@ impl Model {
             policy,
             mutation: scenario.mutation,
             admission: scenario.admission,
+            rehydrate: scenario.rehydrate,
         })
     }
 
@@ -403,6 +434,7 @@ impl Model {
             reported: BTreeSet::new(),
             quarantined: BTreeSet::new(),
             deferred: BTreeSet::new(),
+            masked: BTreeSet::new(),
             rogue_cells: Vec::new(),
             step: 0,
         }
@@ -422,6 +454,7 @@ impl Model {
                     && !state.suspected.contains(&f.component)
                     && !state.quarantined.contains(&f.component)
                     && !state.deferred.contains(&f.component)
+                    && !state.masked.contains(&f.component)
             })
             .map(|(_, f)| f.component.clone())
             .collect()
@@ -462,7 +495,12 @@ impl Model {
         }
         for ep in state.rec.protocol_snapshot() {
             if ep.in_flight {
-                actions.push(Action::Complete { owner: ep.owner });
+                actions.push(Action::Complete {
+                    owner: ep.owner.clone(),
+                });
+                if self.rehydrate {
+                    actions.push(Action::CompleteRehydrated { owner: ep.owner });
+                }
             } else if ep.cell.is_some() && self.origins_cured(state, &ep.origins) {
                 actions.push(Action::Confirm { owner: ep.owner });
             }
@@ -517,9 +555,10 @@ impl Model {
                         let cell = self.rogue_cell(&self.faults[i]);
                         next.rogue_cells.push(cell);
                     }
-                    // Starve-deferred only breaks the drain tick; direct
-                    // suspicions still reach the recoverer.
-                    None | Some(Mutation::StarveDeferred) => {
+                    // Starve-deferred only breaks the drain tick and
+                    // stale-rehydrate only breaks checkpoint verification;
+                    // direct suspicions still reach the recoverer.
+                    None | Some(Mutation::StarveDeferred | Mutation::StaleRehydrate) => {
                         decisions.push(next.rec.on_failure(self.faults[i].clone(), now));
                     }
                 }
@@ -536,7 +575,7 @@ impl Model {
                             let cell = self.rogue_cell(&self.faults[i]);
                             next.rogue_cells.push(cell);
                         }
-                        None | Some(Mutation::StarveDeferred) => {
+                        None | Some(Mutation::StarveDeferred | Mutation::StaleRehydrate) => {
                             batch.push(self.faults[i].clone());
                         }
                     }
@@ -560,6 +599,39 @@ impl Model {
                         && fault.cure_set.iter().all(|c| covered.contains(c))
                     {
                         next.fault_status[i] = FaultStatus::Cured;
+                    }
+                }
+                // A cold boot rebuilds state from scratch, so it also cures
+                // whatever a stale rehydration left masked in this cell.
+                for component in &covered {
+                    next.masked.remove(component);
+                }
+            }
+            Action::CompleteRehydrated { owner } => {
+                let cell = next
+                    .rec
+                    .protocol_snapshot()
+                    .into_iter()
+                    .find(|ep| ep.owner == *owner && ep.in_flight)
+                    .and_then(|ep| ep.cell)
+                    .unwrap_or_else(|| panic!("rehydrated complete enabled for {owner}"));
+                next.rec.on_restart_complete(owner, now);
+                let covered = self.tree.components_under(cell);
+                for (i, fault) in self.faults.iter().enumerate() {
+                    if next.fault_status[i] == FaultStatus::Active
+                        && fault.cure_set.iter().all(|c| covered.contains(c))
+                    {
+                        if self.mutation == Some(Mutation::StaleRehydrate) {
+                            // Unverified replay: the component resumes from
+                            // a stale checkpoint and beacons healthily, but
+                            // the fault survives in the resurrected state —
+                            // the FD can no longer see it.
+                            next.masked.insert(fault.component.clone());
+                        } else {
+                            // A verified checkpoint replays to exactly the
+                            // pre-crash state the cure semantics promise.
+                            next.fault_status[i] = FaultStatus::Cured;
+                        }
                     }
                 }
             }
@@ -1016,6 +1088,87 @@ mod tests {
         let violation = m.check_quiescent(&s).unwrap_err();
         assert_eq!(violation.kind, ViolationKind::Starvation);
         assert!(violation.detail.contains("pbcom"));
+    }
+
+    #[test]
+    fn rehydrated_completion_cures_like_a_cold_boot() {
+        let m = model("tree IV\nrehydrate\nfault pbcom\n");
+        let mut s = m.initial();
+        for action in [
+            Action::Inject {
+                component: "pbcom".into(),
+            },
+            Action::Suspect {
+                component: "pbcom".into(),
+            },
+        ] {
+            s = m.apply(&s, &action).unwrap();
+        }
+        // Both completion flavours are on offer for the in-flight restart.
+        let enabled = m.enabled(&s);
+        assert!(enabled.iter().any(|a| matches!(a, Action::Complete { .. })));
+        let rehy = Action::CompleteRehydrated {
+            owner: "pbcom".into(),
+        };
+        assert!(enabled.contains(&rehy));
+        s = m.apply(&s, &rehy).unwrap();
+        assert_eq!(s.fault_status(0), FaultStatus::Cured);
+        for action in [
+            Action::Confirm {
+                owner: "pbcom".into(),
+            },
+            Action::Rollover,
+        ] {
+            s = m.apply(&s, &action).unwrap();
+        }
+        assert!(m.enabled(&s).is_empty());
+        assert!(m.check_quiescent(&s).is_ok());
+        // Without the directive the rehydrated flavour never appears.
+        let cold = model("tree IV\nfault pbcom\n");
+        let mut s = cold.initial();
+        for action in [
+            Action::Inject {
+                component: "pbcom".into(),
+            },
+            Action::Suspect {
+                component: "pbcom".into(),
+            },
+        ] {
+            s = cold.apply(&s, &action).unwrap();
+        }
+        assert!(!cold
+            .enabled(&s)
+            .iter()
+            .any(|a| matches!(a, Action::CompleteRehydrated { .. })));
+    }
+
+    #[test]
+    fn stale_rehydrate_mutation_trips_the_liveness_invariant() {
+        let m = model("tree IV\nrehydrate\nfault rtu\nmutate stale-rehydrate\n");
+        let mut s = m.initial();
+        for action in [
+            Action::Inject {
+                component: "rtu".into(),
+            },
+            Action::Suspect {
+                component: "rtu".into(),
+            },
+            Action::CompleteRehydrated {
+                owner: "rtu".into(),
+            },
+            Action::Rollover,
+        ] {
+            assert!(m.enabled(&s).contains(&action), "{action:?} enabled");
+            s = m.apply(&s, &action).unwrap();
+        }
+        // The component beacons healthily from stale state: the FD cannot
+        // re-convict it, and the fault is neither cured nor quarantined.
+        assert!(s.masked().contains("rtu"));
+        assert_eq!(s.fault_status(0), FaultStatus::Active);
+        assert!(m.enabled(&s).is_empty(), "masked fault is quiescent");
+        let violation = m.check_quiescent(&s).unwrap_err();
+        assert_eq!(violation.kind, ViolationKind::Liveness);
+        assert!(violation.detail.contains("rtu"));
     }
 
     #[test]

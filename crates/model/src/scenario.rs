@@ -64,6 +64,11 @@ pub enum Mutation {
     /// requests are parked forever, starving the components they cover
     /// (requires the `admission` directive).
     StarveDeferred,
+    /// A rehydrating store integration skips snapshot verification: a
+    /// component resumes from a stale checkpoint, reports ready and beacons
+    /// healthily, but the fault persists in the resurrected state (requires
+    /// the `rehydrate` directive).
+    StaleRehydrate,
 }
 
 impl Mutation {
@@ -73,6 +78,7 @@ impl Mutation {
             Mutation::DropReport => "drop-report",
             Mutation::BypassPlanner => "bypass-planner",
             Mutation::StarveDeferred => "starve-deferred",
+            Mutation::StaleRehydrate => "stale-rehydrate",
         }
     }
 }
@@ -94,6 +100,10 @@ pub struct Scenario {
     /// driver may nondeterministically defer an accepted report, and a drain
     /// step later admits it.
     pub admission: bool,
+    /// Whether the crash-safe state store is modelled: any in-flight restart
+    /// may complete either cold or by rehydrating from a checkpoint, and the
+    /// rehydrated path must preserve every invariant.
+    pub rehydrate: bool,
 }
 
 /// A syntax or semantic error in a scenario file.
@@ -132,6 +142,7 @@ pub fn parse(text: &str) -> Result<Scenario, ScenarioError> {
     let mut faults: Vec<FaultSpec> = Vec::new();
     let mut mutation: Option<Mutation> = None;
     let mut admission = false;
+    let mut rehydrate = false;
 
     for (idx, raw) in text.lines().enumerate() {
         let lineno = idx + 1;
@@ -216,6 +227,7 @@ pub fn parse(text: &str) -> Result<Scenario, ScenarioError> {
                     "drop-report" => Mutation::DropReport,
                     "bypass-planner" => Mutation::BypassPlanner,
                     "starve-deferred" => Mutation::StarveDeferred,
+                    "stale-rehydrate" => Mutation::StaleRehydrate,
                     other => return Err(err(lineno, format!("unknown mutation `{other}`"))),
                 };
                 if mutation.replace(m).is_some() {
@@ -227,6 +239,12 @@ pub fn parse(text: &str) -> Result<Scenario, ScenarioError> {
                     return Err(err(lineno, "admission takes no arguments"));
                 }
                 admission = true;
+            }
+            "rehydrate" => {
+                if words.next().is_some() {
+                    return Err(err(lineno, "rehydrate takes no arguments"));
+                }
+                rehydrate = true;
             }
             other => return Err(err(lineno, format!("unknown directive `{other}`"))),
         }
@@ -242,6 +260,12 @@ pub fn parse(text: &str) -> Result<Scenario, ScenarioError> {
             "mutate starve-deferred requires the `admission` directive",
         ));
     }
+    if mutation == Some(Mutation::StaleRehydrate) && !rehydrate {
+        return Err(err(
+            0,
+            "mutate stale-rehydrate requires the `rehydrate` directive",
+        ));
+    }
     Ok(Scenario {
         tree,
         oracle,
@@ -249,6 +273,7 @@ pub fn parse(text: &str) -> Result<Scenario, ScenarioError> {
         faults,
         mutation,
         admission,
+        rehydrate,
     })
 }
 
@@ -302,5 +327,17 @@ mod tests {
     fn rejects_duplicate_faults_and_bad_mutations() {
         assert!(parse("tree I\nfault rtu\nfault rtu\n").is_err());
         assert!(parse("tree I\nfault rtu\nmutate nope\n").is_err());
+    }
+
+    #[test]
+    fn rehydrate_directive_parses_and_gates_its_mutation() {
+        let s = parse("tree IV\nrehydrate\nfault rtu\n").unwrap();
+        assert!(s.rehydrate);
+        assert!(!s.admission);
+        let s = parse("tree IV\nrehydrate\nfault rtu\nmutate stale-rehydrate\n").unwrap();
+        assert_eq!(s.mutation, Some(Mutation::StaleRehydrate));
+        let e = parse("tree IV\nfault rtu\nmutate stale-rehydrate\n").unwrap_err();
+        assert!(e.message.contains("rehydrate"));
+        assert!(parse("tree IV\nrehydrate now\nfault rtu\n").is_err());
     }
 }

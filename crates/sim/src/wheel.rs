@@ -39,9 +39,14 @@
 //!
 //! Cancellation is lazy: [`TimerWheel::cancel`] records a tombstone and the
 //! entry is discarded when its bucket drains — the engine itself never
-//! cancels, but chaos harnesses and the differential suite do.
+//! cancels, but chaos harnesses and the differential suite do. Cancellation
+//! is **idempotent**: cancelling a seq that was already popped, already
+//! cancelled, or never scheduled is a no-op. The wheel keeps a live-seq
+//! index to decide that, but builds it only on the *first* cancel — until
+//! then schedules and pops pay no hash traffic for it, so the engine's
+//! no-cancel hot path is unchanged.
 
-use crate::hash::FxHashSet;
+use crate::hash::FxHashMap;
 use crate::time::SimTime;
 
 /// log2 of the tick length in nanoseconds (one tick = 65.536 µs).
@@ -93,8 +98,10 @@ impl<T> Entry<T> {
 /// The hierarchical timing wheel. See the module docs for the layout.
 ///
 /// `seq` values passed to [`schedule`](TimerWheel::schedule) must be unique
-/// (the engine uses its monotone event counter); [`cancel`](TimerWheel::cancel)
-/// may only name a seq that is currently queued.
+/// among the *live* entries (the engine uses its monotone event counter);
+/// re-using a seq after its entry popped or was cancelled is legal.
+/// [`cancel`](TimerWheel::cancel) is idempotent: cancelling a seq that is
+/// not live (already popped, already cancelled, never scheduled) is a no-op.
 #[derive(Debug)]
 pub struct TimerWheel<T> {
     /// Tick up to which events have been migrated into `current`.
@@ -111,8 +118,18 @@ pub struct TimerWheel<T> {
     overflow: Vec<Entry<T>>,
     /// Minimum tick in `overflow` (meaningless when `overflow` is empty).
     overflow_min: u64,
-    /// Lazily-deleted seqs.
-    cancelled: FxHashSet<u64>,
+    /// Tombstones for lazily-deleted entries, keyed by the entry's exact
+    /// `(time, seq)` so a tombstone can never strike a *re-scheduled* entry
+    /// that reuses a cancelled seq at a different time. Counted, because a
+    /// cancel → reinsert-at-the-same-time → cancel chain produces two
+    /// pending tombstones with the same key.
+    cancelled: FxHashMap<(u64, u64), u32>,
+    /// Live-seq index (`seq → time`), built lazily by the first [`cancel`]
+    /// and maintained from then on. `None` until a cancel happens, so the
+    /// no-cancel hot path pays one predictable branch and no hash ops.
+    ///
+    /// [`cancel`]: TimerWheel::cancel
+    live: Option<FxHashMap<u64, u64>>,
     /// Live (scheduled, not yet popped or cancelled) entry count.
     len: usize,
 }
@@ -133,7 +150,8 @@ impl<T> TimerWheel<T> {
             occupancy: [0; LEVELS],
             overflow: Vec::new(),
             overflow_min: u64::MAX,
-            cancelled: FxHashSet::default(),
+            cancelled: FxHashMap::default(),
+            live: None,
             len: 0,
         }
     }
@@ -154,6 +172,9 @@ impl<T> TimerWheel<T> {
     /// `(time, seq)` pop order (they land in the sorted current bucket).
     pub fn schedule(&mut self, time: SimTime, seq: u64, value: T) {
         self.len += 1;
+        if let Some(live) = self.live.as_mut() {
+            live.insert(seq, time.as_nanos());
+        }
         self.file(Entry {
             time: time.as_nanos(),
             seq,
@@ -163,11 +184,45 @@ impl<T> TimerWheel<T> {
 
     /// Lazily cancels the entry scheduled with `seq`.
     ///
-    /// The caller must only cancel seqs that are live; cancelling an unknown
-    /// or already-popped seq corrupts the length accounting.
+    /// Idempotent: if `seq` is not live — already popped, already cancelled,
+    /// or never scheduled — this is a no-op and the length accounting is
+    /// untouched. The cancelled entry's payload is dropped when its bucket
+    /// drains; re-scheduling the same seq afterwards (even in the same tick)
+    /// creates a fresh live entry the old tombstone cannot strike.
+    ///
+    /// The first cancel on a wheel builds the live-seq index with one O(n)
+    /// sweep over the buckets; later cancels are O(1).
     pub fn cancel(&mut self, seq: u64) {
-        if self.cancelled.insert(seq) {
+        if self.live.is_none() {
+            // Tombstones only ever exist after a cancel, so on the first
+            // cancel every physical entry is live.
+            debug_assert!(self.cancelled.is_empty());
+            let index = self
+                .current
+                .iter()
+                .chain(self.slots.iter().flatten())
+                .chain(self.overflow.iter())
+                .map(|e| (e.seq, e.time))
+                .collect();
+            self.live = Some(index);
+        }
+        if let Some(time) = self.live.as_mut().and_then(|live| live.remove(&seq)) {
+            *self.cancelled.entry((time, seq)).or_insert(0) += 1;
             self.len -= 1;
+        }
+    }
+
+    /// Consumes one pending tombstone for `key`, if any.
+    fn take_tombstone(&mut self, key: (u64, u64)) -> bool {
+        match self.cancelled.get_mut(&key) {
+            Some(count) => {
+                *count -= 1;
+                if *count == 0 {
+                    self.cancelled.remove(&key);
+                }
+                true
+            }
+            None => false,
         }
     }
 
@@ -179,13 +234,14 @@ impl<T> TimerWheel<T> {
         loop {
             self.refile_overflow();
             while let Some(e) = self.current.last() {
+                let key = (e.time, e.seq);
                 // `is_empty` first: the no-cancellation case (the engine
                 // never cancels) must not pay a hash probe per pop.
-                if !self.cancelled.is_empty() && self.cancelled.remove(&e.seq) {
+                if !self.cancelled.is_empty() && self.take_tombstone(key) {
                     // Tombstoned: drop the entry (and its payload) here.
                     self.current.pop();
                 } else {
-                    return Some((SimTime::from_nanos(e.time), e.seq));
+                    return Some((SimTime::from_nanos(key.0), key.1));
                 }
             }
             if !self.advance() {
@@ -207,6 +263,9 @@ impl<T> TimerWheel<T> {
             .pop()
             .unwrap_or_else(|| unreachable!("peek() found a live head"));
         self.len -= 1;
+        if let Some(live) = self.live.as_mut() {
+            live.remove(&e.seq);
+        }
         Some((SimTime::from_nanos(e.time), e.seq, e.value))
     }
 
@@ -402,6 +461,72 @@ mod tests {
         assert_eq!(w.len(), 2);
         assert_eq!(w.pop(), Some((t(100), 0, "a")));
         assert_eq!(w.pop(), Some((t(300), 2, "c")));
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn cancel_after_pop_is_a_noop() {
+        let mut w = TimerWheel::new();
+        w.schedule(t(100), 0, "a");
+        w.schedule(t(200), 1, "b");
+        assert_eq!(w.pop(), Some((t(100), 0, "a")));
+        // Seq 0 already popped: cancelling it must not touch the accounting.
+        w.cancel(0);
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.pop(), Some((t(200), 1, "b")));
+        assert_eq!(w.pop(), None);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn double_cancel_is_a_noop() {
+        let mut w = TimerWheel::new();
+        w.schedule(t(100), 0, "a");
+        w.schedule(t(200), 1, "b");
+        w.cancel(0);
+        w.cancel(0);
+        w.cancel(0);
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.pop(), Some((t(200), 1, "b")));
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn cancel_of_unknown_seq_is_a_noop() {
+        let mut w = TimerWheel::new();
+        w.cancel(99);
+        assert!(w.is_empty());
+        w.schedule(t(100), 0, "a");
+        w.cancel(99);
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.pop(), Some((t(100), 0, "a")));
+    }
+
+    #[test]
+    fn cancel_then_reinsert_same_tick_pops_the_fresh_entry() {
+        let mut w = TimerWheel::new();
+        // Old and new entry share the 2^16-ns tick but not the exact time:
+        // the tombstone must kill only the old physical entry.
+        w.schedule(t(2_000), 7, "old");
+        w.cancel(7);
+        w.schedule(t(1_000), 7, "new");
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.pop(), Some((t(1_000), 7, "new")));
+        assert_eq!(w.pop(), None);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn cancel_reinsert_later_time_still_pops_fresh_entry() {
+        let mut w = TimerWheel::new();
+        w.schedule(t(1_000), 7, "old");
+        w.cancel(7);
+        // Reinsert later than the tombstoned entry: the tombstone drains
+        // first (same bucket), and the fresh entry must survive it.
+        w.schedule(t(2_000), 7, "new");
+        w.schedule(t(1_500), 8, "mid");
+        assert_eq!(w.pop(), Some((t(1_500), 8, "mid")));
+        assert_eq!(w.pop(), Some((t(2_000), 7, "new")));
         assert_eq!(w.pop(), None);
     }
 

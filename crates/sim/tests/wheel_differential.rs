@@ -11,36 +11,56 @@
 //! same-tick FIFO stability and the engine's `run_until` deadline boundary.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::{BinaryHeap, HashMap};
 
 use rr_sim::{check, Actor, Context, Event, Sim, SimDuration, SimRng, SimTime, TimerWheel};
 
 /// The event queue the engine used before the timing wheel: a min-heap on
-/// `(time, seq, payload)` with the same lazy-cancel surface as the wheel.
+/// `(time, seq, payload)` with the same idempotent lazy-cancel surface as
+/// the wheel — cancel is a no-op unless the seq is live, tombstones are
+/// keyed by `(time, seq)` (counted, in case a cancelled entry is reinserted
+/// at the same time and cancelled again) and struck when the entry drains.
 #[derive(Default)]
 struct RefHeap {
     heap: BinaryHeap<Reverse<(u64, u64, u64)>>,
-    cancelled: HashSet<u64>,
+    cancelled: HashMap<(u64, u64), u32>,
+    live: HashMap<u64, u64>,
     len: usize,
 }
 
 impl RefHeap {
     fn schedule(&mut self, time: SimTime, seq: u64, value: u64) {
         self.heap.push(Reverse((time.as_nanos(), seq, value)));
+        self.live.insert(seq, time.as_nanos());
         self.len += 1;
     }
 
     fn cancel(&mut self, seq: u64) {
-        if self.cancelled.insert(seq) {
+        if let Some(time) = self.live.remove(&seq) {
+            *self.cancelled.entry((time, seq)).or_insert(0) += 1;
             self.len -= 1;
+        }
+    }
+
+    fn take_tombstone(&mut self, key: (u64, u64)) -> bool {
+        match self.cancelled.get_mut(&key) {
+            Some(count) => {
+                *count -= 1;
+                if *count == 0 {
+                    self.cancelled.remove(&key);
+                }
+                true
+            }
+            None => false,
         }
     }
 
     fn pop(&mut self) -> Option<(SimTime, u64, u64)> {
         while let Some(Reverse((time, seq, value))) = self.heap.pop() {
-            if self.cancelled.remove(&seq) {
+            if self.take_tombstone((time, seq)) {
                 continue;
             }
+            self.live.remove(&seq);
             self.len -= 1;
             return Some((SimTime::from_nanos(time), seq, value));
         }
@@ -50,7 +70,7 @@ impl RefHeap {
     fn peek(&mut self) -> Option<(SimTime, u64)> {
         loop {
             let &Reverse((time, seq, _)) = self.heap.peek()?;
-            if self.cancelled.remove(&seq) {
+            if self.take_tombstone((time, seq)) {
                 self.heap.pop();
                 continue;
             }
@@ -90,18 +110,24 @@ fn arbitrary_time(rng: &mut SimRng, base: u64) -> SimTime {
 }
 
 /// Drives the wheel and the reference heap through one random interleaving
-/// of schedule / cancel / drain / peek operations and asserts they agree
-/// after every step.
+/// of schedule / cancel / drain / peek operations — including the cancel
+/// edge cases (cancel-after-pop, double-cancel, cancel of a never-scheduled
+/// seq, reinsertion of a cancelled or popped seq, possibly at its old exact
+/// time) — and asserts they agree after every step.
 fn differential_case(rng: &mut SimRng) {
     let mut wheel = TimerWheel::new();
     let mut heap = RefHeap::default();
     let mut next_seq = 0u64;
-    let mut live: Vec<u64> = Vec::new(); // seqs scheduled and not yet popped/cancelled
+    // (seq, time) scheduled and not yet popped/cancelled.
+    let mut live: Vec<(u64, u64)> = Vec::new();
+    // (seq, old time) popped or cancelled — legal to cancel again (no-op)
+    // or to reinsert, possibly at the exact old time.
+    let mut retired: Vec<(u64, u64)> = Vec::new();
     let mut last_popped = SimTime::ZERO;
 
     let ops = 40 + rng.next_below(120);
     for _ in 0..ops {
-        match rng.next_below(10) {
+        match rng.next_below(12) {
             // Schedule (weighted heaviest so queues actually grow).
             0..=4 => {
                 let n = 1 + rng.next_below(16);
@@ -118,16 +144,17 @@ fn differential_case(rng: &mut SimRng) {
                     next_seq += 1;
                     wheel.schedule(time, seq, seq);
                     heap.schedule(time, seq, seq);
-                    live.push(seq);
+                    live.push((seq, time.as_nanos()));
                 }
             }
             // Cancel a random live entry.
             5..=6 => {
                 if !live.is_empty() {
                     let i = rng.next_below(live.len() as u64) as usize;
-                    let seq = live.swap_remove(i);
+                    let (seq, time) = live.swap_remove(i);
                     wheel.cancel(seq);
                     heap.cancel(seq);
+                    retired.push((seq, time));
                 }
             }
             // Drain a few entries, asserting identical pops.
@@ -140,7 +167,37 @@ fn differential_case(rng: &mut SimRng) {
                     let Some((time, seq, _)) = got else { break };
                     assert!(time >= last_popped, "time went backwards");
                     last_popped = time;
-                    live.retain(|&s| s != seq);
+                    live.retain(|&(s, _)| s != seq);
+                    retired.push((seq, time.as_nanos()));
+                }
+            }
+            // Rogue cancel: an already-popped or already-cancelled seq, or
+            // one that was never scheduled. Must be a no-op on both sides.
+            9 => {
+                let seq = if retired.is_empty() || rng.chance(0.25) {
+                    next_seq + 1_000_000 // never scheduled
+                } else {
+                    retired[rng.next_below(retired.len() as u64) as usize].0
+                };
+                wheel.cancel(seq);
+                heap.cancel(seq);
+            }
+            // Reinsert a retired seq — sometimes at the exact time it used
+            // to occupy, so a still-pending tombstone is adjacent to the
+            // fresh entry and must not strike it.
+            10 => {
+                if let Some(i) =
+                    (!retired.is_empty()).then(|| rng.next_below(retired.len() as u64) as usize)
+                {
+                    let (seq, old_time) = retired.swap_remove(i);
+                    let time = if old_time >= last_popped.as_nanos() && rng.chance(0.5) {
+                        SimTime::from_nanos(old_time)
+                    } else {
+                        arbitrary_time(rng, last_popped.as_nanos())
+                    };
+                    wheel.schedule(time, seq, seq);
+                    heap.schedule(time, seq, seq);
+                    live.push((seq, time.as_nanos()));
                 }
             }
             // Peek must agree and must not consume.
@@ -168,6 +225,57 @@ fn differential_case(rng: &mut SimRng) {
 #[test]
 fn wheel_matches_reference_heap_on_random_interleavings() {
     check::run("wheel/heap differential", 256, differential_case);
+}
+
+#[test]
+fn cancel_edges_match_reference_heap() {
+    // Heavy cancel churn in one tick: every seq is scheduled, cancelled,
+    // sometimes reinserted at the same exact time, cancelled again, and
+    // rogue-cancelled after popping — the accounting must never drift and
+    // pops must match the reference heap exactly.
+    check::run("wheel cancel edges", 256, |rng| {
+        let mut wheel = TimerWheel::new();
+        let mut heap = RefHeap::default();
+        let tick_base = rng.next_below(1 << 40) & !0xFFFF;
+        let n = 4 + rng.next_below(48);
+        for seq in 0..n {
+            let time = SimTime::from_nanos(tick_base + rng.next_below(16) * 512);
+            wheel.schedule(time, seq, seq);
+            heap.schedule(time, seq, seq);
+            if rng.chance(0.6) {
+                wheel.cancel(seq);
+                heap.cancel(seq);
+                // Double-cancel: must be a no-op.
+                if rng.chance(0.5) {
+                    wheel.cancel(seq);
+                    heap.cancel(seq);
+                }
+                // Reinsert, half the time at the exact cancelled time.
+                if rng.chance(0.5) {
+                    let again = if rng.chance(0.5) {
+                        time
+                    } else {
+                        SimTime::from_nanos(tick_base + rng.next_below(16) * 512)
+                    };
+                    wheel.schedule(again, seq, seq);
+                    heap.schedule(again, seq, seq);
+                }
+            }
+            assert_eq!(wheel.len(), heap.len(), "counts diverged mid-build");
+        }
+        loop {
+            let got = wheel.pop();
+            assert_eq!(got, heap.pop(), "pop disagrees");
+            assert_eq!(wheel.len(), heap.len(), "counts diverged mid-drain");
+            let Some((_, seq, _)) = got else { break };
+            // Cancel-after-pop: a no-op, on both sides.
+            if rng.chance(0.3) {
+                wheel.cancel(seq);
+                heap.cancel(seq);
+            }
+        }
+        assert!(wheel.is_empty());
+    });
 }
 
 #[test]

@@ -1,0 +1,119 @@
+//! Text serialization of a [`ComponentStore`] for committed fixtures.
+//!
+//! Journals are binary; committing them raw makes review and diffing
+//! painful, so fixtures are a line-oriented hex format instead:
+//!
+//! ```text
+//! # free-form comment lines
+//! journal <hex bytes>
+//! blob <16-hex content hash> <hex bytes>
+//! ```
+//!
+//! The format is lossless for everything [`ComponentStore::from_parts`]
+//! needs. `decode` is strict — a malformed fixture is a test-asset bug,
+//! not a runtime condition — but reports errors as `Result` so the CI
+//! fixture runner can print which line is bad.
+
+use std::collections::BTreeMap;
+
+use crate::store::ComponentStore;
+
+/// Renders a store as fixture text, with a leading comment block.
+pub fn encode(store: &ComponentStore, comment: &str) -> String {
+    let mut out = String::new();
+    for line in comment.lines() {
+        out.push_str("# ");
+        out.push_str(line);
+        out.push('\n');
+    }
+    out.push_str("journal ");
+    out.push_str(&to_hex(store.journal()));
+    out.push('\n');
+    for (hash, blob) in store.blobs() {
+        out.push_str(&format!("blob {hash:016x} {}\n", to_hex(blob)));
+    }
+    out
+}
+
+/// Parses fixture text back into a store.
+///
+/// # Errors
+///
+/// Returns a message naming the offending line for unknown directives,
+/// bad hex, or a missing journal.
+pub fn decode(text: &str) -> Result<ComponentStore, String> {
+    let mut journal: Option<Vec<u8>> = None;
+    let mut blobs = BTreeMap::new();
+    for (n, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("journal") => {
+                let hex = parts.next().unwrap_or("");
+                journal = Some(from_hex(hex).map_err(|e| format!("line {}: {e}", n + 1))?);
+            }
+            Some("blob") => {
+                let hash = parts
+                    .next()
+                    .and_then(|h| u64::from_str_radix(h, 16).ok())
+                    .ok_or_else(|| format!("line {}: bad blob hash", n + 1))?;
+                let bytes = from_hex(parts.next().unwrap_or(""))
+                    .map_err(|e| format!("line {}: {e}", n + 1))?;
+                blobs.insert(hash, bytes);
+            }
+            Some(other) => return Err(format!("line {}: unknown directive {other:?}", n + 1)),
+            None => {}
+        }
+    }
+    let journal = journal.ok_or_else(|| "fixture has no journal line".to_string())?;
+    Ok(ComponentStore::from_parts(journal, blobs))
+}
+
+fn to_hex(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push_str(&format!("{b:02x}"));
+    }
+    s
+}
+
+fn from_hex(hex: &str) -> Result<Vec<u8>, String> {
+    if !hex.len().is_multiple_of(2) {
+        return Err("odd-length hex".to_string());
+    }
+    (0..hex.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&hex[i..i + 2], 16).map_err(|_| format!("bad hex at byte {i}")))
+        .collect()
+}
+
+#[cfg(test)]
+#[allow(clippy::disallowed_methods)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrips() {
+        let mut s = ComponentStore::new();
+        s.checkpoint(b"state-bytes");
+        s.append_update(b"delta-1");
+        let text = encode(&s, "roundtrip fixture\nsecond comment line");
+        assert!(text.starts_with("# roundtrip fixture\n# second comment line\n"));
+        let back = decode(&text).unwrap();
+        assert_eq!(back.journal(), s.journal());
+        assert_eq!(back.blobs(), s.blobs());
+        assert_eq!(back.recover(), s.recover());
+    }
+
+    #[test]
+    fn decode_rejects_malformed_fixtures() {
+        assert!(decode("# only a comment").is_err());
+        assert!(decode("journal zz").is_err());
+        assert!(decode("journal abc").is_err());
+        assert!(decode("blob nothex aa\njournal 52524a31").is_err());
+        assert!(decode("frobnicate 123").is_err());
+    }
+}
