@@ -117,6 +117,40 @@ echo "==== end rr-model counterexample ===="
 set -x
 rm -f model-rehydrate.log
 
+# rr-flow: the static action-dependence audit (trees I-V, both oracles, all
+# built-in flavours) must be clean, warnings included, and the differential
+# POR fixture pair must behave. The clean pair explores both ways and the
+# verdicts must agree (the log line also carries the distinct-state
+# reduction BENCH_model.json pins); the por-unsound fixture carries a
+# deliberately broken independence assumption that rr-flow's RRL953 lint
+# rejects statically and the differential run must catch dynamically — full
+# exploration finds the starved-deferral violation the reduced search
+# misses.
+RR_FLOW=target/release/rr-flow
+"$RR_FLOW" --deny-warnings --quiet
+if "$RR_FLOW" --quiet tests/model-fixtures/por-unsound.scenario > flow-unsound.log 2>&1; then
+    set +x
+    echo "==== rr-flow: unsound por-assume fixture was NOT rejected ===="
+    cat flow-unsound.log
+    echo "==== end rr-flow fixture findings ===="
+    exit 1
+fi
+rm -f flow-unsound.log
+"$RR_MODEL" --differential tests/model-fixtures/por-clean.scenario
+if "$RR_MODEL" --differential tests/model-fixtures/por-unsound.scenario > model-por.log 2>&1; then
+    set +x
+    echo "==== rr-model: unsound reduction fixture was NOT caught by differential mode ===="
+    cat model-por.log
+    echo "==== end rr-model differential output ===="
+    exit 1
+fi
+set +x
+echo "==== rr-model: differential drift caught, full-side minimized counterexample ===="
+cat model-por.log
+echo "==== end rr-model counterexample ===="
+set -x
+rm -f model-por.log
+
 # Crash-safety fixtures: the committed journal images (clean and torn) must
 # recover byte-identically forever — this is the store's on-disk format
 # stability gate, so it runs as its own step.
@@ -151,6 +185,15 @@ cargo test -q --workspace
 # Paths are absolute because cargo runs bench binaries from the package dir.
 cargo bench -q -p rr-bench --bench micro -- micro/ \
     --json "$PWD/target/BENCH_micro.json" --baseline "$PWD/BENCH_micro.json"
+
+# Model-checker reduction gate: the distinct-state reduction rr-flow's
+# ample sets buy on every tree's pair-fault audit is fully deterministic
+# (both sides of each gated ratio are state counts, not wall times), so any
+# drift against the committed BENCH_model.json means an ample class changed
+# behaviour. Regenerate deliberately with
+#   cargo bench -p rr-bench --bench model -- model/ --json BENCH_model.json
+cargo bench -q -p rr-bench --bench model -- model/ \
+    --json "$PWD/target/BENCH_model.json" --baseline "$PWD/BENCH_model.json"
 
 cargo fmt --check
 cargo clippy --workspace --all-targets -- -D warnings

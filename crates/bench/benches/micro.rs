@@ -279,6 +279,7 @@ fn bench_model_checker(r: &mut Runner) {
         mutation: None,
         admission: false,
         rehydrate: false,
+        por_assume: None,
     };
     let tree = TreeVariant::III.tree().expect("paper tree builds");
     let cfg = CheckConfig {
@@ -287,11 +288,19 @@ fn bench_model_checker(r: &mut Runner) {
     };
     let model = Model::new(tree, &sc).expect("scenario is well-formed");
     // The exploration is deterministic, so one pilot run fixes the
-    // states-per-iteration denominator for the throughput report.
-    let states = check(&model, &cfg).expect("within budget").states_explored;
-    r.bench_events("micro/model/pair_tree3_depth10_states", states, || {
-        black_box(check(&model, &cfg).expect("within budget").states_explored)
-    });
+    // states-per-iteration denominator for the throughput report — and
+    // distinct_states is committed alongside, so full-vs-reduced ratios are
+    // computable straight from BENCH files without rerunning.
+    let pilot = check(&model, &cfg).expect("within budget");
+    r.bench_events(
+        "micro/model/pair_tree3_depth10_states",
+        pilot.states_explored,
+        || black_box(check(&model, &cfg).expect("within budget").states_explored),
+    );
+    r.record_count(
+        "micro/model/pair_tree3_depth10_distinct",
+        pilot.distinct_states,
+    );
 }
 
 fn bench_tree_queries(r: &mut Runner) {

@@ -193,6 +193,55 @@ impl Runner {
         });
     }
 
+    /// Records a raw deterministic counter (e.g. a model checker's distinct
+    /// state count) as an untimed record: with the 1 s pseudo-iteration,
+    /// `events_per_sec` equals `count`, so committed BENCH files expose the
+    /// value directly without rerunning the workload.
+    pub fn record_count(&mut self, name: &str, count: u64) {
+        if self.smoke {
+            return;
+        }
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        println!("{name}: {count}");
+        self.results.push(BenchResult {
+            name: name.to_string(),
+            ns_per_iter: 1e9,
+            iters: 1,
+            events_per_iter: Some(count),
+            gated: false,
+        });
+    }
+
+    /// Records a derived **gated** record whose "events/sec" is
+    /// `numerator / denominator` scaled ×1000 (three decimal places survive
+    /// the integer JSON field). Unlike wall-time speedups this needs no
+    /// drift cancelling at all when both counts are deterministic (the
+    /// model checker's full-vs-reduced distinct-state ratio is), which is
+    /// what makes the ratio safely gateable in CI.
+    pub fn record_ratio(&mut self, name: &str, numerator: u64, denominator: u64) {
+        if self.smoke || denominator == 0 {
+            return;
+        }
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let ratio = numerator as f64 / denominator as f64;
+        println!("{name}: {ratio:.2}x ({numerator} / {denominator})");
+        self.results.push(BenchResult {
+            name: name.to_string(),
+            ns_per_iter: 1e9,
+            iters: 1,
+            events_per_iter: Some((ratio * 1000.0).round() as u64),
+            gated: true,
+        });
+    }
+
     /// Completed measurements so far.
     pub fn results(&self) -> &[BenchResult] {
         &self.results
@@ -447,6 +496,29 @@ mod tests {
         let ratio = derived.and_then(|d| d.events_per_sec()).unwrap_or(0.0);
         assert!((ratio - 12_345.0).abs() < 1.0, "12.345x scaled by 1000");
         assert!(!r.results.iter().any(|x| x.name == "q/missing"));
+    }
+
+    #[test]
+    fn count_and_ratio_records_expose_values_as_events_per_sec() {
+        let mut r = test_runner(None, false);
+        r.record_count("model/tree4/pair/full_distinct", 120_000);
+        r.record_ratio("model/tree4/pair/reduction_ratio", 120_000, 20_000);
+        r.record_ratio("model/zero", 1, 0);
+        let count = r
+            .results
+            .iter()
+            .find(|x| x.name == "model/tree4/pair/full_distinct")
+            .and_then(|x| x.events_per_sec())
+            .unwrap_or(0.0);
+        assert!((count - 120_000.0).abs() < 1.0);
+        let ratio = r
+            .results
+            .iter()
+            .find(|x| x.name == "model/tree4/pair/reduction_ratio")
+            .expect("ratio recorded");
+        assert!(ratio.gated, "ratios are what the CI gate compares");
+        assert!((ratio.events_per_sec().unwrap_or(0.0) - 6000.0).abs() < 1.0);
+        assert!(!r.results.iter().any(|x| x.name == "model/zero"));
     }
 
     #[test]

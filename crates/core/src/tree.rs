@@ -325,6 +325,20 @@ impl RestartTree {
         self.is_ancestor_or_self(a, b) || self.is_ancestor_or_self(b, a)
     }
 
+    /// `true` if pushing `cell`'s restart button restarts `component` — the
+    /// component is attached somewhere in `cell`'s subtree. Unknown
+    /// components are covered by nothing. This is the footprint primitive
+    /// rr-flow's action-independence analysis is built on: an action's
+    /// write set is the components its cell covers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is not a live cell.
+    pub fn covers(&self, cell: NodeId, component: &str) -> bool {
+        self.cell_of_component(component)
+            .is_some_and(|own| self.is_ancestor_or_self(cell, own))
+    }
+
     /// The least common ancestor of two cells — the cell an overlapping pair
     /// of restart episodes is promoted to when they merge.
     ///

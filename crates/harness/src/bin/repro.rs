@@ -9,7 +9,7 @@
 //! `EXPERIMENT` is one of `table1`, `table2`, `figures`, `table4`,
 //! `headline`, `pass`, `ablation-oracle`, `ablation-ping`,
 //! `ablation-learning`, `ablation-optimizer`, `chaos`, `overload`,
-//! `checkpoint`, or `all` (default).
+//! `checkpoint`, `por`, or `all` (default).
 
 use std::process::ExitCode;
 
@@ -21,7 +21,7 @@ fn usage() -> ! {
         "usage: repro [EXPERIMENT]... [--trials N] [--seed S] [--report PATH] [--dot-dir DIR]\n\
          experiments: table1 table2 figures table4 correlated headline endurance pass \
          ablation-oracle ablation-ping ablation-learning ablation-optimizer \
-         ablation-rejuvenation chaos overload checkpoint all"
+         ablation-rejuvenation chaos overload checkpoint por all"
     );
     std::process::exit(2);
 }
@@ -77,6 +77,7 @@ fn main() -> ExitCode {
             "chaos" => results.push(rr_harness::chaos::experiment(run)),
             "overload" => results.push(rr_harness::overload::experiment(run)),
             "checkpoint" => results.push(rr_harness::checkpoint::experiment(run)),
+            "por" => results.push(rr_harness::flow::experiment(run)),
             "all" => results.extend(experiments::all(run)),
             _ => usage(),
         }

@@ -1,0 +1,190 @@
+//! `rr-flow`: static action-independence audit for the recovery protocol.
+//!
+//! With no scenario arguments the default audit runs rr-flow's dependence
+//! analysis ([`rr_model::analyze`]) over every tree variant I–V, both
+//! oracles, and the four built-in scenario flavours (solo, pair, admission,
+//! rehydrate), printing each scenario's escalation chains, fault
+//! interference graph, and the fraction of action pairs the analysis proves
+//! independent — the pairs the checker's partial-order reduction is allowed
+//! to prune. Every report is then linted ([`rr_lint::lint_flow`], codes
+//! `RRL95x`): a degenerate interference cycle, an uncurable chain, or a
+//! malformed dependence table is rejected before any exploration trusts it.
+//!
+//! Any `.scenario` files passed as arguments are audited the same way —
+//! including files carrying the deliberately unsound `por-assume` override,
+//! which fails the table-shape lint (RRL953) rather than silently skewing an
+//! exploration.
+//!
+//! ```text
+//! rr-flow [--deny-warnings] [--quiet] [scenario.scenario ...]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` lint findings (deny, or any with
+//! `--deny-warnings`), `2` usage or I/O error.
+
+use std::process::ExitCode;
+
+use mercury::station::TreeVariant;
+use rr_harness::flow::flow_params;
+use rr_lint::{lint_flow, Report};
+use rr_model::{analyze, scenario, FlowAnalysis, Model};
+
+const USAGE: &str = "usage: rr-flow [--deny-warnings] [--quiet] [scenario.scenario ...]
+
+Computes rr-flow's static action-dependence analysis for each scenario (the
+built-in tree I-V audit matrix when none are given), prints chains,
+interference and independence statistics, and lints the result (RRL95x).
+Exit code 0 = clean, 1 = findings, 2 = usage or I/O error.";
+
+struct Options {
+    deny_warnings: bool,
+    quiet: bool,
+    scenarios: Vec<String>,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        deny_warnings: false,
+        quiet: false,
+        scenarios: Vec::new(),
+    };
+    for arg in args {
+        match arg.as_str() {
+            "--deny-warnings" => opts.deny_warnings = true,
+            "--quiet" => opts.quiet = true,
+            "--help" | "-h" => return Err(String::new()),
+            flag if flag.starts_with('-') => return Err(format!("unknown flag {flag:?}")),
+            path => opts.scenarios.push(path.to_string()),
+        }
+    }
+    Ok(opts)
+}
+
+/// The built-in audit matrix: the same scenario flavours `rr-model` explores,
+/// expressed as scenario text so this binary exercises the parser too.
+fn default_scenarios() -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    for variant in TreeVariant::ALL {
+        let pair = if variant.is_split() {
+            "fault pbcom\nfault fedr cures fedr pbcom\n"
+        } else {
+            "fault rtu\nfault ses\n"
+        };
+        for oracle in ["perfect", "naive"] {
+            let base = format!("tree {variant}\noracle {oracle}\n");
+            for (flavour, body) in [
+                ("solo", "fault rtu\n".to_string()),
+                ("pair", pair.to_string()),
+                ("admit", format!("admission\n{pair}")),
+                ("rehydrate", format!("rehydrate\n{pair}")),
+            ] {
+                out.push((
+                    format!("tree-{variant}/{oracle}/{flavour}"),
+                    format!("{base}{body}"),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Prints one scenario's analysis summary: chains, interference edges, and
+/// how much of the action-pair space is provably independent.
+fn print_summary(name: &str, analysis: &FlowAnalysis) {
+    let n = analysis.templates.len();
+    let total_pairs = n * (n - 1) / 2;
+    let independent = (0..n)
+        .flat_map(|a| ((a + 1)..n).map(move |b| (a, b)))
+        .filter(|&(a, b)| !analysis.dependent[a][b] && !analysis.dependent[b][a])
+        .count();
+    let interfering: Vec<String> = (0..analysis.faults.len())
+        .flat_map(|i| ((i + 1)..analysis.faults.len()).map(move |j| (i, j)))
+        .filter(|&(i, j)| analysis.fault_interference[i][j])
+        .map(|(i, j)| format!("{}~{}", analysis.faults[i], analysis.faults[j]))
+        .collect();
+    println!(
+        "rr-flow {name}: {n} templates, {independent}/{total_pairs} pairs independent, \
+         {} fault(s), interference [{}]",
+        analysis.faults.len(),
+        interfering.join(", ")
+    );
+    for (component, chain) in analysis.faults.iter().zip(&analysis.chains) {
+        let rendered: Vec<String> = chain
+            .iter()
+            .map(|(cell, covers)| {
+                if *covers {
+                    format!("{cell}(cures)")
+                } else {
+                    cell.clone()
+                }
+            })
+            .collect();
+        println!("  chain {component}: {}", rendered.join(" -> "));
+    }
+}
+
+/// Analyzes and lints one scenario, merging findings into `report`.
+fn audit(name: &str, text: &str, quiet: bool, report: &mut Report) -> Result<(), String> {
+    let sc = scenario::parse(text).map_err(|e| format!("{name}: {e}"))?;
+    let variant = match sc.tree.as_str() {
+        "I" | "1" => TreeVariant::I,
+        "II" | "2" => TreeVariant::II,
+        "III" | "3" => TreeVariant::III,
+        "IV" | "4" => TreeVariant::IV,
+        "V" | "5" => TreeVariant::V,
+        other => return Err(format!("{name}: unknown tree {other:?} (expected I-V)")),
+    };
+    let tree = variant
+        .tree()
+        .map_err(|e| format!("{name}: tree variant {variant} does not build: {e}"))?;
+    let model = Model::new(tree, &sc).map_err(|e| format!("{name}: {e}"))?;
+    let analysis = analyze(&model);
+    if !quiet {
+        print_summary(name, &analysis);
+    }
+    for mut d in lint_flow(&flow_params(&analysis)).into_diagnostics() {
+        d.path = format!("{name}::{}", d.path);
+        report.push(d);
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            if msg.is_empty() {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("rr-flow: {msg}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut report = Report::new();
+    let result: Result<(), String> = if opts.scenarios.is_empty() {
+        default_scenarios()
+            .iter()
+            .try_for_each(|(name, text)| audit(name, text, opts.quiet, &mut report))
+    } else {
+        opts.scenarios.iter().try_for_each(|path| {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+            audit(path, &text, opts.quiet, &mut report)
+        })
+    };
+    if let Err(msg) = result {
+        eprintln!("rr-flow: {msg}");
+        return ExitCode::from(2);
+    }
+
+    print!("{}", report.to_human());
+    let failing = report.has_deny() || (opts.deny_warnings && !report.is_clean());
+    if failing {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

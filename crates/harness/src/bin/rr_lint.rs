@@ -24,12 +24,13 @@ use rr_core::analysis::{group_mttf_bound_s, group_mttr_bound_s};
 use rr_core::model::FailureModel;
 use rr_core::schedule::{plan_episodes, Suspicion};
 use rr_core::tree::RestartTree;
+use rr_harness::flow::flow_params;
 use rr_harness::golden::{golden_scenarios, lint_scenario};
 use rr_lint::{
-    catalog, lint_algebra, lint_fault_script, lint_model, lint_model_bounds, lint_plan,
+    catalog, lint_algebra, lint_fault_script, lint_flow, lint_model, lint_model_bounds, lint_plan,
     lint_suspicions, Diagnostic, GroupClaim, MemberStat, ModelBoundsParams, Report, ScriptContext,
 };
-use rr_model::{CHECKED_QUEUE_BOUND, DEFAULT_DEPTH, DEFAULT_STATE_BUDGET};
+use rr_model::{analyze, scenario, CHECKED_QUEUE_BOUND, DEFAULT_DEPTH, DEFAULT_STATE_BUDGET};
 
 /// Output rendering for the final report.
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -217,13 +218,35 @@ fn lint_defaults() -> Report {
                 )),
             }
             // Algebra only varies with the model, not the config's FD knobs;
-            // once per variant is enough.
+            // once per variant is enough. The same goes for the rr-flow
+            // dependence analysis of the variant's built-in pair scenario.
             if cfg_name == "paper" {
                 for (model_name, model) in models_for(&cfg, variant) {
                     report.merge(prefixed(
                         lint_algebra(&algebra_claims(&cfg, &tree, &model)),
                         &format!("{prefix}/{model_name}"),
                     ));
+                }
+                let pair = if variant.is_split() {
+                    "fault pbcom\nfault fedr cures fedr pbcom\n"
+                } else {
+                    "fault rtu\nfault ses\n"
+                };
+                let text = format!("tree {variant}\n{pair}");
+                match scenario::parse(&text)
+                    .map_err(|e| e.to_string())
+                    .and_then(|sc| {
+                        rr_model::Model::new(tree.clone(), &sc).map_err(|e| e.to_string())
+                    }) {
+                    Ok(model) => report.merge(prefixed(
+                        lint_flow(&flow_params(&analyze(&model))),
+                        &format!("{prefix}/flow"),
+                    )),
+                    Err(e) => report.push(Diagnostic::new(
+                        &catalog::FLOW_TABLE_UNSOUND,
+                        format!("{prefix}/flow"),
+                        format!("built-in pair scenario does not build: {e}"),
+                    )),
                 }
             }
         }

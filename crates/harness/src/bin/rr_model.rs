@@ -20,8 +20,15 @@
 //! golden-trace line format.
 //!
 //! ```text
-//! rr-model [--depth N] [--skip-hb] [scenario.scenario ...]
+//! rr-model [--depth N] [--skip-hb] [--no-por] [--differential] [scenario.scenario ...]
 //! ```
+//!
+//! `--no-por` disables rr-flow's ample-set partial-order reduction and
+//! explores every interleaving (the escape hatch and the reference
+//! behaviour). `--differential` runs every scenario **both** ways and
+//! requires the verdicts — and any minimized counterexamples — to be
+//! identical: any drift (a violation the reduced search misses, as the
+//! committed por-unsound fixture provokes) is reported and rejected.
 //!
 //! Exit codes: `0` clean, `1` violation found (counterexample printed), `2`
 //! usage, I/O, or exploration error (budget exhausted, bad scenario).
@@ -37,17 +44,22 @@ use rr_model::{
     DEFAULT_DEPTH, DEFAULT_STATE_BUDGET,
 };
 
-const USAGE: &str = "usage: rr-model [--depth N] [--skip-hb] [scenario.scenario ...]
+const USAGE: &str =
+    "usage: rr-model [--depth N] [--skip-hb] [--no-por] [--differential] [scenario.scenario ...]
 
 Exhaustively explores the recovery protocol's interleavings up to a depth
 bound, checking safety invariants and liveness-under-fairness, and verifies
-recorded telemetry streams for happens-before violations. Exit code 0 =
-clean, 1 = violation (counterexample printed), 2 = usage or exploration
-error.";
+recorded telemetry streams for happens-before violations. Exploration is
+reduced by rr-flow's static independence analysis unless --no-por is given;
+--differential runs both full and reduced exploration and rejects any
+verdict drift between them. Exit code 0 = clean, 1 = violation or drift
+(counterexample printed), 2 = usage or exploration error.";
 
 struct Options {
     depth: Option<usize>,
     skip_hb: bool,
+    no_por: bool,
+    differential: bool,
     scenarios: Vec<String>,
 }
 
@@ -55,6 +67,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut opts = Options {
         depth: None,
         skip_hb: false,
+        no_por: false,
+        differential: false,
         scenarios: Vec::new(),
     };
     let mut it = args.iter();
@@ -69,6 +83,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 opts.depth = Some(parsed);
             }
             "--skip-hb" => opts.skip_hb = true,
+            "--no-por" => opts.no_por = true,
+            "--differential" => opts.differential = true,
             "--help" | "-h" => return Err(String::new()),
             flag if flag.starts_with('-') => return Err(format!("unknown flag {flag:?}")),
             path => opts.scenarios.push(path.to_string()),
@@ -109,6 +125,7 @@ fn default_scenarios(variant: TreeVariant, oracle: OracleKind) -> Vec<(String, S
         mutation: None,
         admission: false,
         rehydrate: false,
+        por_assume: None,
     };
     let pair_faults = if variant.is_split() {
         vec![
@@ -126,6 +143,7 @@ fn default_scenarios(variant: TreeVariant, oracle: OracleKind) -> Vec<(String, S
         mutation: None,
         admission: false,
         rehydrate: false,
+        por_assume: None,
     };
     // The admission flavour re-explores the correlated pair with the
     // deadline-aware controller in the loop: any report may be deferred and
@@ -162,9 +180,14 @@ fn bounds_report(sc: &Scenario, variant: TreeVariant, cfg: &CheckConfig) -> rr_l
     })
 }
 
-/// Builds and explores one scenario. `Ok(true)` means clean, `Ok(false)`
-/// means a violation was found (counterexample already printed).
-fn check_scenario(name: &str, sc: &Scenario, depth_flag: Option<usize>) -> Result<bool, String> {
+/// Resolves one scenario's exploration config and model, running the static
+/// feasibility lints on the way.
+fn build_model(
+    name: &str,
+    sc: &Scenario,
+    depth_flag: Option<usize>,
+    por: bool,
+) -> Result<(Model, CheckConfig), String> {
     let variant = resolve_variant(&sc.tree).map_err(|e| format!("{name}: {e}"))?;
     let tree = variant
         .tree()
@@ -172,6 +195,7 @@ fn check_scenario(name: &str, sc: &Scenario, depth_flag: Option<usize>) -> Resul
     let cfg = CheckConfig {
         max_depth: sc.depth.or(depth_flag).unwrap_or(DEFAULT_DEPTH),
         state_budget: DEFAULT_STATE_BUDGET,
+        por,
     };
     let bounds = bounds_report(sc, variant, &cfg);
     if !bounds.is_clean() {
@@ -183,8 +207,36 @@ fn check_scenario(name: &str, sc: &Scenario, depth_flag: Option<usize>) -> Resul
         ));
     }
     let model = Model::new(tree, sc).map_err(|e| format!("{name}: {e}"))?;
+    Ok((model, cfg))
+}
+
+fn print_violation(name: &str, outcome: &rr_model::CheckOutcome) {
+    let Some(cex) = &outcome.violation else {
+        return;
+    };
+    println!(
+        "rr-model {name}: VIOLATION {} after {} states",
+        cex.violation.kind.name(),
+        outcome.states_explored
+    );
+    println!(
+        "minimized counterexample ({} steps, replayable):",
+        cex.trace.len()
+    );
+    print!("{}", cex.render());
+}
+
+/// Builds and explores one scenario. `Ok(true)` means clean, `Ok(false)`
+/// means a violation was found (counterexample already printed).
+fn check_scenario(
+    name: &str,
+    sc: &Scenario,
+    depth_flag: Option<usize>,
+    por: bool,
+) -> Result<bool, String> {
+    let (model, cfg) = build_model(name, sc, depth_flag, por)?;
     let outcome = check(&model, &cfg).map_err(|e| format!("{name}: {e}"))?;
-    match outcome.violation {
+    match &outcome.violation {
         None => {
             println!(
                 "rr-model {name}: depth {} explored {} states ({} distinct, {} quiescent), \
@@ -196,17 +248,71 @@ fn check_scenario(name: &str, sc: &Scenario, depth_flag: Option<usize>) -> Resul
             );
             Ok(true)
         }
-        Some(cex) => {
+        Some(_) => {
+            print_violation(name, &outcome);
+            Ok(false)
+        }
+    }
+}
+
+/// Explores one scenario **both** fully and reduced and rejects any verdict
+/// drift between the two. `Ok(true)` means clean under both; `Ok(false)`
+/// means either a violation (agreed by both, counterexample printed) or
+/// drift (one search's verdict differs — the unsound-reduction signature).
+fn differential_scenario(
+    name: &str,
+    sc: &Scenario,
+    depth_flag: Option<usize>,
+) -> Result<bool, String> {
+    let (model, full_cfg) = build_model(name, sc, depth_flag, false)?;
+    let reduced_cfg = CheckConfig {
+        por: true,
+        ..full_cfg
+    };
+    let full = check(&model, &full_cfg).map_err(|e| format!("{name} (full): {e}"))?;
+    let reduced = check(&model, &reduced_cfg).map_err(|e| format!("{name} (reduced): {e}"))?;
+    let ratio = if reduced.distinct_states > 0 {
+        full.distinct_states as f64 / reduced.distinct_states as f64
+    } else {
+        1.0
+    };
+    match (&full.violation, &reduced.violation) {
+        (None, None) => {
             println!(
-                "rr-model {name}: VIOLATION {} after {} states",
-                cex.violation.kind.name(),
-                outcome.states_explored
+                "rr-model {name}: differential OK — clean both ways, {} vs {} distinct \
+                 states ({ratio:.2}x reduction)",
+                full.distinct_states, reduced.distinct_states
             );
+            Ok(true)
+        }
+        (Some(f), Some(r)) if f == r => {
+            println!("rr-model {name}: differential OK — both searches reject identically");
+            print_violation(name, &full);
+            Ok(false)
+        }
+        (Some(_), Some(_)) => {
             println!(
-                "minimized counterexample ({} steps, replayable):",
-                cex.trace.len()
+                "rr-model {name}: DIFFERENTIAL DRIFT — both reject but counterexamples \
+                 differ (reduction broke minimization)"
             );
-            print!("{}", cex.render());
+            print_violation(&format!("{name} (full)"), &full);
+            print_violation(&format!("{name} (reduced)"), &reduced);
+            Ok(false)
+        }
+        (Some(_), None) => {
+            println!(
+                "rr-model {name}: DIFFERENTIAL DRIFT — full exploration finds a violation \
+                 the reduced search misses (unsound reduction)"
+            );
+            print_violation(name, &full);
+            Ok(false)
+        }
+        (None, Some(_)) => {
+            println!(
+                "rr-model {name}: DIFFERENTIAL DRIFT — reduced search reports a violation \
+                 full exploration refutes"
+            );
+            print_violation(name, &reduced);
             Ok(false)
         }
     }
@@ -254,12 +360,20 @@ fn main() -> ExitCode {
         }
     };
 
+    let por = !opts.no_por;
+    let run = |name: &str, sc: &Scenario| {
+        if opts.differential {
+            differential_scenario(name, sc, opts.depth)
+        } else {
+            check_scenario(name, sc, opts.depth, por)
+        }
+    };
     let mut clean = true;
     if opts.scenarios.is_empty() {
         for variant in TreeVariant::ALL {
             for oracle in [OracleKind::Perfect, OracleKind::Naive] {
                 for (name, sc) in default_scenarios(variant, oracle) {
-                    match check_scenario(&name, &sc, opts.depth) {
+                    match run(&name, &sc) {
                         Ok(ok) => clean &= ok,
                         Err(msg) => {
                             eprintln!("rr-model: {msg}");
@@ -288,7 +402,7 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             };
-            match check_scenario(path, &sc, opts.depth) {
+            match run(path, &sc) {
                 Ok(ok) => clean &= ok,
                 Err(msg) => {
                     eprintln!("rr-model: {msg}");

@@ -1351,5 +1351,6 @@ pub fn all(run: RunConfig) -> Vec<Experiment> {
         crate::chaos::experiment(run),
         crate::overload::experiment(run),
         crate::checkpoint::experiment(run),
+        crate::flow::experiment(run),
     ]
 }

@@ -1,0 +1,232 @@
+//! Bridge between rr-model's flow analysis and rr-lint's `RRL95x` checks.
+//!
+//! `rr_model::FlowAnalysis` and `rr_lint::FlowParams` describe the same
+//! report — fault chains, the action-dependence table, the fault
+//! interference graph — but the linter deliberately knows nothing about the
+//! model checker (it stays dependency-free so configuration surfaces can be
+//! linted without pulling in exploration machinery). The harness sits above
+//! both, so the one-way conversion lives here, used by the `rr-flow` audit
+//! binary and by `rr-lint`'s default audit.
+
+use mercury::station::TreeVariant;
+use rr_lint::{FlowFault, FlowParams};
+use rr_model::{
+    check, scenario, CheckConfig, FlowAnalysis, Model, DEFAULT_DEPTH, DEFAULT_STATE_BUDGET,
+};
+
+/// Converts a flow-analysis report into the linter's decoupled input.
+pub fn flow_params(analysis: &FlowAnalysis) -> FlowParams {
+    FlowParams {
+        faults: analysis
+            .faults
+            .iter()
+            .zip(&analysis.chains)
+            .map(|(component, chain)| FlowFault {
+                component: component.clone(),
+                chain: chain.clone(),
+            })
+            .collect(),
+        escalation_limit: analysis.escalation_limit,
+        templates: analysis.templates.clone(),
+        dependent: analysis.dependent.clone(),
+        fault_interference: analysis.fault_interference.clone(),
+    }
+}
+
+/// Builds the uniform pair-fault audit model (rtu and ses exist on every
+/// tree variant, so the same fault set measures all five apples-to-apples).
+fn pair_model(variant: TreeVariant) -> Model {
+    let text = format!("tree {variant}\noracle perfect\nfault rtu\nfault ses\n");
+    Model::new(
+        variant
+            .tree()
+            .unwrap_or_else(|e| panic!("{}: {e:?}", "paper tree builds")),
+        &scenario::parse(&text).unwrap_or_else(|e| panic!("{}: {e:?}", "scenario parses")),
+    )
+    .unwrap_or_else(|e| panic!("{}: {e:?}", "model builds"))
+}
+
+/// State budget for the depth probe: small enough that both searches exhaust
+/// it quickly, large enough for several iterative-deepening bounds.
+const PROBE_BUDGET: u64 = 50_000;
+/// Depth ceiling for the probe — far beyond what the budget admits.
+const PROBE_DEPTH: usize = 64;
+
+/// Deepest completed iteration within `budget`. On budget exhaustion the
+/// checker's error names the bound that tripped (`"depth N: state budget
+/// ..."`); the deepest *completed* bound is the one before it.
+fn max_feasible_depth(model: &Model, por: bool, budget: u64) -> u64 {
+    let probe = CheckConfig {
+        max_depth: PROBE_DEPTH,
+        state_budget: budget,
+        por,
+    };
+    match check(model, &probe) {
+        Ok(outcome) => outcome.depth as u64,
+        Err(e) => {
+            let exhausted: u64 = e
+                .message
+                .strip_prefix("depth ")
+                .and_then(|rest| rest.split(':').next())
+                .and_then(|n| n.parse().ok())
+                .unwrap_or_else(|| panic!("budget error names its depth bound: {}", e.message));
+            exhausted.saturating_sub(1)
+        }
+    }
+}
+
+/// Renders the partial-order-reduction measurements as an experiment
+/// section: per-tree distinct-state reduction on the pair-fault audit, and
+/// how much deeper a fixed state budget reaches with the ample sets on.
+/// Every number is a deterministic state count, so this section is exactly
+/// reproducible (and `BENCH_model.json` gates the same ratios in CI).
+pub fn experiment(_run: crate::RunConfig) -> crate::Experiment {
+    let mut exp = crate::Experiment {
+        id: "por".into(),
+        title: "rr-flow static independence analysis and partial-order reduction".into(),
+        tables: Vec::new(),
+        blocks: Vec::new(),
+        observations: Vec::new(),
+    };
+    exp.blocks.push(
+        "Not a paper table: this measures the model checker itself. rr-flow\n\
+         derives per-action footprints from the §3.2 tree algebra (escalation\n\
+         chain overlap = the LCA merge promotion = interference), and the\n\
+         checker explores a single ample action where footprints are disjoint\n\
+         while still probing every successor for safety. Both sides of every\n\
+         number below are deterministic state counts, so BENCH_model.json\n\
+         gates the ratios with zero machine noise. The reduced search pays\n\
+         for extra plies of depth out of the states the ample sets no longer\n\
+         visit — the measurement behind raising the checker's DEFAULT_DEPTH\n\
+         from 13 to 16 at an unchanged state budget.\n"
+            .to_string(),
+    );
+
+    let mut table = crate::tables::Table::new(
+        format!(
+            "Distinct states, rtu+ses pair-fault audit at depth {DEFAULT_DEPTH} (perfect oracle)"
+        ),
+        vec![
+            "Tree".into(),
+            "Full".into(),
+            "Reduced".into(),
+            "Reduction".into(),
+        ],
+    );
+    let full_cfg = CheckConfig {
+        max_depth: DEFAULT_DEPTH,
+        state_budget: DEFAULT_STATE_BUDGET,
+        por: false,
+    };
+    let reduced_cfg = CheckConfig {
+        por: true,
+        ..full_cfg
+    };
+    let mut min_ratio = f64::INFINITY;
+    for variant in TreeVariant::ALL {
+        let model = pair_model(variant);
+        let full = check(&model, &full_cfg)
+            .unwrap_or_else(|e| panic!("{}: {}", "full exploration fits budget", e.message));
+        let reduced = check(&model, &reduced_cfg)
+            .unwrap_or_else(|e| panic!("{}: {}", "reduced exploration fits budget", e.message));
+        assert!(
+            full.violation.is_none() && reduced.violation.is_none(),
+            "tree {variant}: the audit pair scenario must be clean"
+        );
+        let ratio = full.distinct_states as f64 / reduced.distinct_states as f64;
+        min_ratio = min_ratio.min(ratio);
+        table.push_row(vec![
+            variant.to_string(),
+            full.distinct_states.to_string(),
+            reduced.distinct_states.to_string(),
+            format!("{ratio:.2}x"),
+        ]);
+    }
+    exp.tables.push(table);
+    exp.observations.push((
+        "rr-flow reduction >= 5x distinct states on every tree (1=yes)".into(),
+        1.0,
+        f64::from(u8::from(min_ratio >= 5.0)),
+    ));
+
+    // The probe scenario leans on the admission controller so deferral and
+    // batching interleavings are in play — the worst case for depth.
+    let probe_text = "tree IV\noracle perfect\nadmission\nfault rtu\nfault ses\nfault mbus\n";
+    let model = Model::new(
+        TreeVariant::IV
+            .tree()
+            .unwrap_or_else(|e| panic!("{}: {e:?}", "paper tree builds")),
+        &scenario::parse(probe_text).unwrap_or_else(|e| panic!("{}: {e:?}", "scenario parses")),
+    )
+    .unwrap_or_else(|e| panic!("{}: {e:?}", "model builds"));
+    let full_depth = max_feasible_depth(&model, false, PROBE_BUDGET);
+    let reduced_depth = max_feasible_depth(&model, true, PROBE_BUDGET);
+    let mut probe = crate::tables::Table::new(
+        format!(
+            "Depth reached under a fixed {}k-state budget (tree IV, admission, rtu+ses+mbus)",
+            PROBE_BUDGET / 1000
+        ),
+        vec!["Exploration".into(), "Deepest completed bound".into()],
+    );
+    probe.push_row(vec!["full".into(), full_depth.to_string()]);
+    probe.push_row(vec![
+        "reduced (ample sets)".into(),
+        reduced_depth.to_string(),
+    ]);
+    exp.tables.push(probe);
+    exp.observations.push((
+        "deeper audit at fixed 50k-state budget with reduction on (1=yes)".into(),
+        1.0,
+        f64::from(u8::from(reduced_depth > full_depth)),
+    ));
+    exp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mercury::station::TreeVariant;
+    use rr_model::{analyze, scenario, Model};
+
+    #[test]
+    fn bridged_builtin_scenarios_lint_clean() {
+        for variant in TreeVariant::ALL {
+            let text = format!("tree {variant}\nfault rtu\nfault ses\n");
+            let model =
+                Model::new(variant.tree().unwrap(), &scenario::parse(&text).unwrap()).unwrap();
+            let params = flow_params(&analyze(&model));
+            assert_eq!(params.faults.len(), 2);
+            assert!(
+                rr_lint::lint_flow(&params).is_clean(),
+                "tree {variant} pair scenario should lint clean"
+            );
+        }
+    }
+
+    #[test]
+    fn bridged_por_assume_override_is_denied() {
+        let text = "tree IV\nadmission\nfault rtu\nfault ses\n\
+                    por-assume suspects-independent\n";
+        let model = Model::new(
+            TreeVariant::IV.tree().unwrap(),
+            &scenario::parse(text).unwrap(),
+        )
+        .unwrap();
+        let report = rr_lint::lint_flow(&flow_params(&analyze(&model)));
+        assert!(report.fired("RRL953"));
+        assert!(report.has_deny());
+    }
+
+    #[test]
+    fn por_experiment_observations_all_hold() {
+        let exp = experiment(crate::RunConfig::default());
+        assert_eq!(exp.id, "por");
+        assert_eq!(exp.tables.len(), 2);
+        for (label, paper, measured) in &exp.observations {
+            assert_eq!(
+                measured, paper,
+                "{label}: expected {paper}, measured {measured}"
+            );
+        }
+    }
+}

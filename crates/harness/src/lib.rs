@@ -35,6 +35,7 @@
 pub mod chaos;
 pub mod checkpoint;
 pub mod experiments;
+pub mod flow;
 pub mod golden;
 pub mod overload;
 pub mod report;
@@ -43,4 +44,5 @@ pub mod tables;
 pub use chaos::{ChaosConfig, ChaosReport};
 pub use checkpoint::{CheckpointConfig, CheckpointReport};
 pub use experiments::{Experiment, OracleKind, RunConfig};
+pub use flow::flow_params;
 pub use overload::{OverloadConfig, OverloadLoad, OverloadReport};

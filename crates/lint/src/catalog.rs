@@ -7,7 +7,8 @@
 //! `RRL5xx` fault-script sanity, `RRL6xx` failure-detector feasibility,
 //! `RRL7xx` model-checking feasibility (`rr-model` exploration bounds),
 //! `RRL8xx` deadline/admission-policy feasibility,
-//! `RRL9xx` checkpoint/rehydrate-policy feasibility.
+//! `RRL90x` checkpoint/rehydrate-policy feasibility,
+//! `RRL95x` action-dependence (rr-flow) soundness.
 //! A code's severity never changes between releases; new checks get new
 //! codes.
 
@@ -228,6 +229,29 @@ codes! {
         "attach the component to a restart cell or drop its recovery-mode \
          entry; the recoverer can never restart (let alone rehydrate) a \
          component with no cell";
+
+    FLOW_INTERFERENCE_CYCLE = "RRL951", "flow-interference-cycle", Warn,
+        "three or more faults interfere pairwise, so every suspicion order \
+         merges toward the same ancestor and the partial-order reduction \
+         degenerates",
+        "break the cycle by moving one component to a disjoint subtree or \
+         shortening a cure set; a mutual-interference triangle forces the \
+         checker to explore near-full interleavings, so expect exploration \
+         cost close to the unreduced search";
+    FLOW_UNREACHABLE_ACTION = "RRL952", "flow-unreachable-action", Warn,
+        "a fault's escalation chain reaches no cell covering its cure set \
+         within the escalation limit",
+        "raise the escalation limit or extend the cure set's covering cell \
+         down the chain; the completion that actually cures this fault sits \
+         beyond the limit, so every bounded exploration leaves it stuck and \
+         the cured action is dead weight in the dependence table";
+    FLOW_TABLE_UNSOUND = "RRL953", "flow-table-unsound", Deny,
+        "the action-dependence table is not square, not symmetric, or lacks \
+         a true diagonal",
+        "rebuild the table from footprints (or drop the por-assume \
+         override); the ample-set construction is only sound over a \
+         symmetric, reflexive dependence relation, and an asymmetric entry \
+         means some interleaving is pruned one way but kept the other";
 }
 
 /// Looks up a catalog entry by its code (`"RRL001"`).

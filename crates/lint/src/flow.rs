@@ -1,0 +1,282 @@
+//! Action-dependence (rr-flow) soundness lints (`RRL95x`).
+//!
+//! rr-model's partial-order reduction is driven by a statically computed
+//! dependence table over the scenario's action alphabet: two actions are
+//! independent iff their component footprints are disjoint under the §3.2
+//! tree algebra, and the checker may then prune interleavings that only
+//! permute independent actions. That machinery is sound only if the table
+//! has the right *shape* — square, symmetric, reflexive — and it is only
+//! *useful* if the fault set does not interfere so densely that every
+//! suspicion order merges to the same ancestor anyway. These lints check
+//! both before an exploration (or a benchmark pinned to its state counts)
+//! runs, plus one reachability rule: a cure that sits beyond the escalation
+//! limit makes the fault's terminal actions dead letters in any bounded run.
+//!
+//! The inputs mirror `rr_model::FlowAnalysis` but are decoupled from it
+//! (plain strings and bit matrices) so the linter keeps its dependency-free
+//! footprint; `rr-harness` bridges the two.
+
+use crate::catalog;
+use crate::diag::{Diagnostic, Report};
+
+/// One fault as the flow analysis sees it: its component and its escalation
+/// chain, lowest cell first, each entry flagged with whether that cell's
+/// restart covers the fault's cure set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowFault {
+    /// The faulted component's name.
+    pub component: String,
+    /// Escalation chain as `(cell label, covers-cure-set)` pairs.
+    pub chain: Vec<(String, bool)>,
+}
+
+/// The dependence report the linter reasons about, decoupled from
+/// `rr_model::FlowAnalysis` so the checks stay dependency-free.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowParams {
+    /// Faults in scenario declaration order.
+    pub faults: Vec<FlowFault>,
+    /// Escalation steps a bounded run can take before quarantine.
+    pub escalation_limit: usize,
+    /// Action-template labels, indexing `dependent`.
+    pub templates: Vec<String>,
+    /// `dependent[a][b]`: templates `a` and `b` conflict.
+    pub dependent: Vec<Vec<bool>>,
+    /// `fault_interference[i][j]`: the faults' chains share a cell.
+    pub fault_interference: Vec<Vec<bool>>,
+}
+
+/// Lints a flow-analysis report: a mutual-interference triangle degenerates
+/// the reduction ([`RRL951`]), a cure beyond the escalation limit strands
+/// the fault's terminal actions ([`RRL952`]), and a malformed dependence
+/// table makes the ample construction unsound ([`RRL953`]).
+///
+/// [`RRL951`]: catalog::FLOW_INTERFERENCE_CYCLE
+/// [`RRL952`]: catalog::FLOW_UNREACHABLE_ACTION
+/// [`RRL953`]: catalog::FLOW_TABLE_UNSOUND
+pub fn lint_flow(params: &FlowParams) -> Report {
+    let mut report = Report::new();
+
+    let n = params.faults.len();
+    let interferes = |i: usize, j: usize| {
+        params
+            .fault_interference
+            .get(i)
+            .and_then(|row| row.get(j))
+            .copied()
+            .unwrap_or(false)
+    };
+    // One diagnostic per triangle, anchored at its lexicographically first
+    // corner: i < j < k with all three pairs interfering.
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if !interferes(i, j) {
+                continue;
+            }
+            for k in (j + 1)..n {
+                if interferes(i, k) && interferes(j, k) {
+                    report.push(Diagnostic::new(
+                        &catalog::FLOW_INTERFERENCE_CYCLE,
+                        format!("flow.faults.{}", params.faults[i].component),
+                        format!(
+                            "{:?}, {:?} and {:?} interfere pairwise: every \
+                             suspicion order merges their episodes toward a \
+                             common ancestor, so the reduction cannot prune \
+                             their interleavings",
+                            params.faults[i].component,
+                            params.faults[j].component,
+                            params.faults[k].component
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    for fault in &params.faults {
+        let reachable_cure = fault
+            .chain
+            .iter()
+            .take(params.escalation_limit)
+            .any(|&(_, covers)| covers);
+        if !reachable_cure {
+            report.push(Diagnostic::new(
+                &catalog::FLOW_UNREACHABLE_ACTION,
+                format!("flow.faults.{}.chain", fault.component),
+                format!(
+                    "no cell in the first {} chain entries covers {:?}'s cure \
+                     set (chain: {}); its cured/ready actions can never fire \
+                     in a bounded run",
+                    params.escalation_limit,
+                    fault.component,
+                    if fault.chain.is_empty() {
+                        "empty".to_string()
+                    } else {
+                        fault
+                            .chain
+                            .iter()
+                            .map(|(c, _)| c.as_str())
+                            .collect::<Vec<_>>()
+                            .join(" -> ")
+                    }
+                ),
+            ));
+        }
+    }
+
+    let t = params.templates.len();
+    let square = params.dependent.len() == t && params.dependent.iter().all(|row| row.len() == t);
+    if !square {
+        report.push(Diagnostic::new(
+            &catalog::FLOW_TABLE_UNSOUND,
+            "flow.dependent".to_string(),
+            format!(
+                "dependence table is {}x{{{}}} but there are {t} action \
+                 templates",
+                params.dependent.len(),
+                params
+                    .dependent
+                    .iter()
+                    .map(|r| r.len().to_string())
+                    .collect::<Vec<_>>()
+                    .join(","),
+            ),
+        ));
+    } else {
+        for a in 0..t {
+            if !params.dependent[a][a] {
+                report.push(Diagnostic::new(
+                    &catalog::FLOW_TABLE_UNSOUND,
+                    format!("flow.dependent.{}", params.templates[a]),
+                    format!(
+                        "{:?} is marked independent of itself; a sound \
+                         reduction may drop orders, never occurrences",
+                        params.templates[a]
+                    ),
+                ));
+            }
+            for b in (a + 1)..t {
+                if params.dependent[a][b] != params.dependent[b][a] {
+                    report.push(Diagnostic::new(
+                        &catalog::FLOW_TABLE_UNSOUND,
+                        format!("flow.dependent.{}", params.templates[a]),
+                        format!(
+                            "dependence between {:?} and {:?} is asymmetric \
+                             ({} one way, {} the other)",
+                            params.templates[a],
+                            params.templates[b],
+                            params.dependent[a][b],
+                            params.dependent[b][a]
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sane() -> FlowParams {
+        let chain = |cell: &str| vec![(cell.to_string(), true)];
+        FlowParams {
+            faults: vec![
+                FlowFault {
+                    component: "rtu".into(),
+                    chain: chain("R_rtu"),
+                },
+                FlowFault {
+                    component: "ses".into(),
+                    chain: chain("R_[ses,str]"),
+                },
+            ],
+            escalation_limit: 3,
+            templates: vec!["inject:rtu".into(), "inject:ses".into()],
+            dependent: vec![vec![true, false], vec![false, true]],
+            fault_interference: vec![vec![true, false], vec![false, true]],
+        }
+    }
+
+    #[test]
+    fn sane_report_is_clean() {
+        assert!(lint_flow(&sane()).is_clean());
+    }
+
+    #[test]
+    fn interference_triangle_warns_once_per_triangle() {
+        let mut params = sane();
+        params.faults.push(FlowFault {
+            component: "str".into(),
+            chain: vec![("R_[ses,str]".into(), true)],
+        });
+        params.fault_interference = vec![vec![true; 3]; 3];
+        let report = lint_flow(&params);
+        assert_eq!(report.codes(), vec!["RRL951"]);
+        assert!(!report.has_deny());
+        // Four mutually interfering faults contain four triangles.
+        params.faults.push(FlowFault {
+            component: "mbus".into(),
+            chain: vec![("R_mbus".into(), true)],
+        });
+        params.fault_interference = vec![vec![true; 4]; 4];
+        let report = lint_flow(&params);
+        assert_eq!(report.codes().len(), 4);
+    }
+
+    #[test]
+    fn pairwise_interference_without_a_triangle_is_clean() {
+        // A chain of interference (rtu~ses, ses~str) is fine: the reduction
+        // still serializes around the shared cell without degenerating.
+        let mut params = sane();
+        params.faults.push(FlowFault {
+            component: "str".into(),
+            chain: vec![("R_[ses,str]".into(), true)],
+        });
+        params.fault_interference = vec![
+            vec![true, true, false],
+            vec![true, true, true],
+            vec![false, true, true],
+        ];
+        assert!(lint_flow(&params).is_clean());
+    }
+
+    #[test]
+    fn cure_beyond_escalation_limit_warns() {
+        let mut params = sane();
+        // The covering cell is the 4th chain entry; only 3 escalations fit.
+        params.faults[0].chain = vec![
+            ("R_rtu".into(), false),
+            ("R_mid".into(), false),
+            ("R_high".into(), false),
+            ("mercury".into(), true),
+        ];
+        let report = lint_flow(&params);
+        assert_eq!(report.codes(), vec!["RRL952"]);
+        assert!(!report.has_deny());
+        // An empty chain can never cure anything either.
+        params.faults[0].chain = vec![];
+        assert!(lint_flow(&params).fired("RRL952"));
+    }
+
+    #[test]
+    fn malformed_table_denied() {
+        // Asymmetric: the por-assume override shape.
+        let mut params = sane();
+        params.dependent = vec![vec![true, true], vec![false, true]];
+        let report = lint_flow(&params);
+        assert_eq!(report.codes(), vec!["RRL953"]);
+        assert!(report.has_deny());
+        // False diagonal.
+        let mut params = sane();
+        params.dependent = vec![vec![false, false], vec![false, true]];
+        assert!(lint_flow(&params).fired("RRL953"));
+        // Ragged/non-square.
+        let mut params = sane();
+        params.dependent = vec![vec![true, false]];
+        assert!(lint_flow(&params).fired("RRL953"));
+    }
+}

@@ -24,6 +24,7 @@
 //! | [`lint_model_bounds`] | model-checker exploration feasibility |
 //! | [`lint_deadline`] | deadline/admission-policy feasibility |
 //! | [`lint_checkpoint`] | checkpoint/rehydrate-policy feasibility |
+//! | [`lint_flow`] | action-dependence (rr-flow) soundness |
 //!
 //! Each returns a [`Report`]; reports merge, render human-readable text
 //! ([`Report::to_human`]) or JSON ([`Report::to_json`]), and gate execution
@@ -57,6 +58,7 @@ pub mod checkpoint;
 pub mod deadline;
 pub mod diag;
 pub mod fd;
+pub mod flow;
 pub mod model;
 pub mod policy;
 pub mod schedule;
@@ -70,6 +72,7 @@ pub use checkpoint::{lint_checkpoint, CheckpointComponent, CheckpointParams};
 pub use deadline::{lint_deadline, DeadlineParams};
 pub use diag::{Diagnostic, Report, Severity};
 pub use fd::{lint_fd, FdParams};
+pub use flow::{lint_flow, FlowFault, FlowParams};
 pub use model::{lint_model, lint_suspicions};
 pub use policy::{lint_policy, PolicyParams};
 pub use schedule::lint_plan;

@@ -11,10 +11,11 @@ use rr_core::model::{FailureMode, FailureModel};
 use rr_core::schedule::{plan_episodes, EpisodePlan, PlannedEpisode, Suspicion};
 use rr_core::tree::{RestartTree, TreeSpec};
 use rr_lint::{
-    catalog, lint_algebra, lint_checkpoint, lint_deadline, lint_fault_script, lint_fd, lint_model,
-    lint_model_bounds, lint_plan, lint_policy, lint_suspicions, lint_tree, lint_tree_spec,
-    CheckpointComponent, CheckpointParams, DeadlineParams, FdParams, GroupClaim, MemberStat,
-    ModelBoundsParams, PolicyParams, Report, ScriptContext, Severity,
+    catalog, lint_algebra, lint_checkpoint, lint_deadline, lint_fault_script, lint_fd, lint_flow,
+    lint_model, lint_model_bounds, lint_plan, lint_policy, lint_suspicions, lint_tree,
+    lint_tree_spec, CheckpointComponent, CheckpointParams, DeadlineParams, FdParams, FlowFault,
+    FlowParams, GroupClaim, MemberStat, ModelBoundsParams, PolicyParams, Report, ScriptContext,
+    Severity,
 };
 
 /// The code each fixture below fires, in catalog order. The meta-test
@@ -24,6 +25,7 @@ const FIXTURED: &[&str] = &[
     "RRL201", "RRL202", "RRL203", "RRL211", "RRL212", "RRL213", "RRL301", "RRL302", "RRL401",
     "RRL402", "RRL403", "RRL501", "RRL502", "RRL503", "RRL504", "RRL505", "RRL601", "RRL602",
     "RRL603", "RRL701", "RRL702", "RRL801", "RRL802", "RRL803", "RRL901", "RRL902", "RRL903",
+    "RRL951", "RRL952", "RRL953",
 ];
 
 /// Asserts the report fires `code` and that the finding's severity matches
@@ -524,6 +526,58 @@ fn rrl903_checkpoint_component_detached() {
     assert_fires(&lint_checkpoint(&params, Some(&small_tree())), "RRL903");
 }
 
+// ---- RRL95x: action-dependence (rr-flow) soundness -----------------------
+
+fn sane_flow() -> FlowParams {
+    FlowParams {
+        faults: vec![
+            FlowFault {
+                component: "a".into(),
+                chain: vec![("R_a".into(), true)],
+            },
+            FlowFault {
+                component: "b".into(),
+                chain: vec![("R_b".into(), true)],
+            },
+        ],
+        escalation_limit: 3,
+        templates: vec!["inject:a".into(), "inject:b".into()],
+        dependent: vec![vec![true, false], vec![false, true]],
+        fault_interference: vec![vec![true, false], vec![false, true]],
+    }
+}
+
+#[test]
+fn rrl951_flow_interference_cycle() {
+    let mut params = sane_flow();
+    params.faults.push(FlowFault {
+        component: "c".into(),
+        chain: vec![("R_c".into(), true)],
+    });
+    params.fault_interference = vec![vec![true; 3]; 3];
+    assert_fires(&lint_flow(&params), "RRL951");
+}
+
+#[test]
+fn rrl952_flow_unreachable_action() {
+    let mut params = sane_flow();
+    params.faults[0].chain = vec![
+        ("R_a".into(), false),
+        ("R_ab".into(), false),
+        ("R_abc".into(), false),
+        ("root".into(), true),
+    ];
+    assert_fires(&lint_flow(&params), "RRL952");
+}
+
+#[test]
+fn rrl953_flow_table_unsound() {
+    // The por-assume override shape: a zeroed row whose column survives.
+    let mut params = sane_flow();
+    params.dependent = vec![vec![true, true], vec![false, true]];
+    assert_fires(&lint_flow(&params), "RRL953");
+}
+
 // ---- meta ----------------------------------------------------------------
 
 #[test]
@@ -553,4 +607,5 @@ fn sane_baselines_are_clean() {
     assert!(lint_model_bounds(&sane_bounds()).is_clean());
     assert!(lint_deadline(&sane_deadline(), Some(&small_tree())).is_clean());
     assert!(lint_checkpoint(&sane_checkpoint(), Some(&small_tree())).is_clean());
+    assert!(lint_flow(&sane_flow()).is_clean());
 }

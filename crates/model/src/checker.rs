@@ -8,9 +8,30 @@
 //! time and action order is deterministic, the **first** violation found has
 //! a minimal-length trace, and [`replay`] can re-execute it step by step —
 //! the counterexample is evidence, not just a claim.
+//!
+//! With [`CheckConfig::por`] on (the default) the search consults
+//! [`FlowContext::ample`] at every expanded state: when the static analysis
+//! certifies a singleton ample set, only that action is recursed into and
+//! the remaining interleavings of the commuting cluster are pruned. Three
+//! guards keep the reduction sound end to end:
+//!
+//! * **probing** — every enabled action is still *applied* at every visited
+//!   state, so safety violations surfacing in `apply` (antichain breaks,
+//!   rogue restarts, suspicion loss) are caught even on pruned branches;
+//!   only the recursion is reduced;
+//! * **cycle proviso** — if the ample successor's signature is already on
+//!   the current DFS path, the state is expanded fully instead, so the
+//!   liveness-under-fairness check cannot be starved around a reduced cycle
+//!   (the protocol's state graph is in fact acyclic — every action bumps a
+//!   monotone counter — so the proviso is insurance, not a hot path);
+//! * **re-minimization** — a reduced search may reach a violation by a
+//!   non-minimal trace, so [`check`] re-runs the *full* search bounded by
+//!   the reduced trace's length and reports that counterexample, keeping
+//!   minimized counterexamples byte-identical with and without reduction.
 
-use rr_sim::FxHashMap;
+use rr_sim::{FxHashMap, FxHashSet};
 
+use crate::flow::FlowContext;
 use crate::machine::{Action, Model, ModelError, State, Violation};
 
 /// Exploration bounds.
@@ -21,6 +42,10 @@ pub struct CheckConfig {
     /// Hard cap on visited states; exceeding it aborts with an error (the
     /// RRL701 lint estimates this *before* running).
     pub state_budget: u64,
+    /// Apply rr-flow's ample-set partial-order reduction (default). Turn
+    /// off to force full interleaving exploration — the `--no-por` escape
+    /// hatch and the reference side of the differential suite.
+    pub por: bool,
 }
 
 impl Default for CheckConfig {
@@ -28,6 +53,7 @@ impl Default for CheckConfig {
         CheckConfig {
             max_depth: crate::DEFAULT_DEPTH,
             state_budget: crate::DEFAULT_STATE_BUDGET,
+            por: true,
         }
     }
 }
@@ -79,6 +105,8 @@ pub struct CheckOutcome {
 
 struct Search<'m> {
     model: &'m Model,
+    /// The ample-set oracle; `None` explores every interleaving.
+    flow: Option<&'m FlowContext>,
     budget: u64,
     states_explored: u64,
     quiescent_states: u64,
@@ -87,6 +115,9 @@ struct Search<'m> {
     /// (never iterated), so the deterministic `FxHashMap` is safe and the
     /// string hashing it avoids is the dedup hot path.
     seen: FxHashMap<String, usize>,
+    /// Signatures of the states on the current DFS path — the cycle
+    /// proviso's witness set. Membership-only, so `FxHashSet` is safe.
+    on_stack: FxHashSet<String>,
     trace: Vec<Action>,
 }
 
@@ -120,25 +151,50 @@ impl Search<'_> {
         if remaining == 0 {
             return Ok(None);
         }
-        for action in actions {
-            let next = match self.model.apply(state, &action) {
-                Ok(next) => next,
+        // Probe: apply *every* enabled action first, so safety violations
+        // raised by `apply` are never missed even when recursion is pruned.
+        let mut successors = Vec::with_capacity(actions.len());
+        for action in &actions {
+            match self.model.apply(state, action) {
+                Ok(next) => successors.push(next),
                 Err(violation) => {
                     let mut trace = self.trace.clone();
-                    trace.push(action);
+                    trace.push(action.clone());
                     return Ok(Some(Counterexample { violation, trace }));
                 }
-            };
+            }
+        }
+        let ample = self
+            .flow
+            .and_then(|flow| flow.ample(self.model, state, &actions));
+        let chosen: Vec<usize> = match ample {
+            Some(i) => {
+                // Cycle proviso (liveness condition C3): a reduced step that
+                // closes a cycle through the current path could postpone the
+                // pruned actions forever; expand fully instead.
+                let sig = successors[i].signature(self.model.tree());
+                if self.on_stack.contains(&sig) {
+                    (0..actions.len()).collect()
+                } else {
+                    vec![i]
+                }
+            }
+            None => (0..actions.len()).collect(),
+        };
+        for i in chosen {
+            let next = &successors[i];
             let signature = next.signature(self.model.tree());
             let left = remaining - 1;
             match self.seen.get(&signature) {
                 Some(&had) if had >= left => continue,
                 _ => {
-                    self.seen.insert(signature, left);
+                    self.seen.insert(signature.clone(), left);
                 }
             }
-            self.trace.push(action);
-            let found = self.dfs(&next, left)?;
+            self.trace.push(actions[i].clone());
+            self.on_stack.insert(signature.clone());
+            let found = self.dfs(next, left)?;
+            self.on_stack.remove(&signature);
             self.trace.pop();
             if found.is_some() {
                 return Ok(found);
@@ -148,14 +204,11 @@ impl Search<'_> {
     }
 }
 
-/// Exhaustively explores `model` up to `cfg.max_depth`, iterative-deepening
-/// so the first counterexample found is minimal.
-///
-/// # Errors
-///
-/// Returns a [`ModelError`] if the state budget is exhausted before the
-/// exploration completes.
-pub fn check(model: &Model, cfg: &CheckConfig) -> Result<CheckOutcome, ModelError> {
+fn explore(
+    model: &Model,
+    cfg: &CheckConfig,
+    flow: Option<&FlowContext>,
+) -> Result<CheckOutcome, ModelError> {
     let initial = model.initial();
     let mut states_explored = 0;
     let mut outcome = CheckOutcome {
@@ -168,12 +221,15 @@ pub fn check(model: &Model, cfg: &CheckConfig) -> Result<CheckOutcome, ModelErro
     for bound in 1..=cfg.max_depth.max(1) {
         let mut search = Search {
             model,
+            flow,
             budget: cfg.state_budget.saturating_sub(states_explored),
             states_explored: 0,
             quiescent_states: 0,
             seen: FxHashMap::default(),
+            on_stack: FxHashSet::default(),
             trace: Vec::new(),
         };
+        search.on_stack.insert(initial.signature(model.tree()));
         let found = search.dfs(&initial, bound).map_err(|e| ModelError {
             message: format!("depth {bound}: {}", e.message),
         })?;
@@ -185,6 +241,41 @@ pub fn check(model: &Model, cfg: &CheckConfig) -> Result<CheckOutcome, ModelErro
         if let Some(counterexample) = found {
             outcome.violation = Some(counterexample);
             return Ok(outcome);
+        }
+    }
+    Ok(outcome)
+}
+
+/// Exhaustively explores `model` up to `cfg.max_depth`, iterative-deepening
+/// so the first counterexample found is minimal.
+///
+/// With `cfg.por` on, the search is reduced by rr-flow's ample sets (see the
+/// module docs for the soundness guards). A violation found by the reduced
+/// search is re-minimized by a full search bounded at the reduced trace's
+/// length, so the reported counterexample is byte-identical to what full
+/// exploration would print; if that re-run cannot complete within the state
+/// budget, the reduced (still replayable, possibly non-minimal)
+/// counterexample is reported instead.
+///
+/// # Errors
+///
+/// Returns a [`ModelError`] if the state budget is exhausted before the
+/// exploration completes.
+pub fn check(model: &Model, cfg: &CheckConfig) -> Result<CheckOutcome, ModelError> {
+    let flow = cfg.por.then(|| FlowContext::new(model));
+    let mut outcome = explore(model, cfg, flow.as_ref())?;
+    if let (true, Some(reduced_ce)) = (cfg.por, &outcome.violation) {
+        let minimize = CheckConfig {
+            max_depth: reduced_ce.trace.len(),
+            state_budget: cfg.state_budget,
+            por: false,
+        };
+        if let Ok(CheckOutcome {
+            violation: Some(minimal),
+            ..
+        }) = explore(model, &minimize, None)
+        {
+            outcome.violation = Some(minimal);
         }
     }
     Ok(outcome)
@@ -312,6 +403,7 @@ mod tests {
         let tiny = CheckConfig {
             max_depth: 12,
             state_budget: 50,
+            por: false,
         };
         assert!(check(&m, &tiny).is_err());
     }

@@ -66,23 +66,28 @@
 #![warn(missing_docs)]
 
 pub mod checker;
+pub mod flow;
 pub mod hb;
 pub mod machine;
 pub mod scenario;
 
 pub use checker::{check, replay, CheckConfig, CheckOutcome, Counterexample};
+pub use flow::{analyze, FlowAnalysis, FlowContext};
 pub use hb::{verify, verify_registry, HbViolation};
 pub use machine::{Action, Model, ModelError, State, Violation, ViolationKind};
-pub use scenario::{FaultSpec, Mutation, OracleKind, Scenario, ScenarioError};
+pub use scenario::{FaultSpec, Mutation, OracleKind, PorAssumption, Scenario, ScenarioError};
 
 /// Default exploration depth (number of interleaved protocol steps). Deep
 /// enough to cover inject → suspect → merge → escalate → quarantine chains
-/// for every default scenario — with one step of slack past the longest
-/// such chain — while staying well inside the state budget: the signature
-/// space (not the trace tree) is what bounds the default scenarios, and it
-/// is depth-independent, so the audit over trees I–V completes at this
-/// depth within the same 2M-state budget as at 12.
-pub const DEFAULT_DEPTH: usize = 13;
+/// for every default scenario — with several steps of slack past the
+/// longest such chain — while staying well inside the state budget. The
+/// headroom over the old bound of 13 comes from rr-flow's partial-order
+/// reduction ([`flow`], on by default via [`CheckConfig::por`]): the
+/// signature space (not the trace tree) is what bounds the default
+/// scenarios, it is depth-independent, and the reduction shrinks it several
+/// fold, so the audit over trees I–V completes at this depth within the
+/// same 2M-state budget as the unreduced audit did at 13.
+pub const DEFAULT_DEPTH: usize = 16;
 
 /// Default bound on states the checker will visit before declaring a run
 /// infeasible. `rr-lint`'s RRL701 flags scenarios whose estimated state

@@ -22,7 +22,14 @@ use rr_core::tree::{NodeId, RestartTree};
 use rr_core::{NaiveOracle, PerfectOracle};
 use rr_sim::SimTime;
 
-use crate::scenario::{Mutation, OracleKind, Scenario};
+use crate::scenario::{Mutation, OracleKind, PorAssumption, Scenario};
+
+/// The escalation limit every [`Model`] binds its restart policy to. Small
+/// enough that give-up/quarantine paths are reachable within the default
+/// exploration depth; exported to the crate so rr-flow's static
+/// escalation-chain analysis and the RRL95x lints reason about the same
+/// bound the checker actually runs with.
+pub(crate) const MODEL_ESCALATION_LIMIT: u32 = 3;
 
 /// A cloneable oracle for the modelled recoverer. (`Box<dyn Oracle>` is not
 /// `Clone`, and the checker forks the recoverer at every explored state.)
@@ -352,6 +359,26 @@ impl State {
     pub fn masked(&self) -> &BTreeSet<String> {
         &self.masked
     }
+
+    /// Components the FD has convicted this ping epoch (latched until the
+    /// next rollover).
+    pub(crate) fn suspected(&self) -> &BTreeSet<String> {
+        &self.suspected
+    }
+
+    /// The cells of all restarts currently in flight.
+    pub(crate) fn in_flight_cells(&self) -> Vec<NodeId> {
+        self.rec.in_flight_cells()
+    }
+
+    /// The cell of `owner`'s in-flight restart, if any.
+    pub(crate) fn in_flight_cell_of(&self, owner: &str) -> Option<NodeId> {
+        self.rec
+            .protocol_snapshot()
+            .into_iter()
+            .find(|ep| ep.owner == owner && ep.in_flight)
+            .and_then(|ep| ep.cell)
+    }
 }
 
 /// A restart tree bound to a scenario: the transition system the checker
@@ -364,6 +391,7 @@ pub struct Model {
     mutation: Option<Mutation>,
     admission: bool,
     rehydrate: bool,
+    por_assume: Option<PorAssumption>,
 }
 
 impl Model {
@@ -403,7 +431,7 @@ impl Model {
         // (3600 s) dwarfs every path length, which is what makes excluding
         // absolute times from state signatures sound (see
         // [`State::signature`]).
-        let policy = RestartPolicy::new().with_escalation_limit(3);
+        let policy = RestartPolicy::new().with_escalation_limit(MODEL_ESCALATION_LIMIT);
         Ok(Model {
             tree,
             faults,
@@ -412,6 +440,7 @@ impl Model {
             mutation: scenario.mutation,
             admission: scenario.admission,
             rehydrate: scenario.rehydrate,
+            por_assume: scenario.por_assume,
         })
     }
 
@@ -423,6 +452,32 @@ impl Model {
     /// The scenario faults, in declaration order.
     pub fn faults(&self) -> &[Failure] {
         &self.faults
+    }
+
+    /// The oracle this model binds (stateless, so freely copyable — which is
+    /// what lets rr-flow precompute escalation chains statically).
+    pub(crate) fn oracle(&self) -> ModelOracle {
+        self.oracle
+    }
+
+    /// The seeded protocol bug, if any.
+    pub(crate) fn mutation(&self) -> Option<Mutation> {
+        self.mutation
+    }
+
+    /// Whether the admission controller is modelled.
+    pub(crate) fn admission(&self) -> bool {
+        self.admission
+    }
+
+    /// Whether checkpoint rehydration is modelled.
+    pub(crate) fn rehydrate(&self) -> bool {
+        self.rehydrate
+    }
+
+    /// The forced (unsound) independence assumption, if any (fixtures only).
+    pub(crate) fn por_assume(&self) -> Option<PorAssumption> {
+        self.por_assume
     }
 
     /// The initial state: nothing injected, nothing suspected.

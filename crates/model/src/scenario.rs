@@ -83,6 +83,29 @@ impl Mutation {
     }
 }
 
+/// A deliberately unsound independence assumption forced into rr-flow's
+/// dependence analysis — the partial-order-reduction analogue of a
+/// [`Mutation`]: it over-prunes the exploration, and the differential mode
+/// (reduced vs full) must catch the resulting verdict drift. Never use one
+/// outside a fixture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PorAssumption {
+    /// Pretend every suspicion commutes with everything: whenever a suspect
+    /// action is enabled, the reduction explores only it — deferral and
+    /// batch branches are pruned away, so deferral-path violations (e.g. a
+    /// starved drain tick) become unreachable in the reduced graph.
+    SuspectsIndependent,
+}
+
+impl PorAssumption {
+    /// The name used in scenario files.
+    pub fn name(self) -> &'static str {
+        match self {
+            PorAssumption::SuspectsIndependent => "suspects-independent",
+        }
+    }
+}
+
 /// A parsed model-checking scenario.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Scenario {
@@ -104,6 +127,9 @@ pub struct Scenario {
     /// may complete either cold or by rehydrating from a checkpoint, and the
     /// rehydrated path must preserve every invariant.
     pub rehydrate: bool,
+    /// A deliberately unsound independence assumption forced into the
+    /// partial-order reduction (fixtures only; see [`PorAssumption`]).
+    pub por_assume: Option<PorAssumption>,
 }
 
 /// A syntax or semantic error in a scenario file.
@@ -143,6 +169,7 @@ pub fn parse(text: &str) -> Result<Scenario, ScenarioError> {
     let mut mutation: Option<Mutation> = None;
     let mut admission = false;
     let mut rehydrate = false;
+    let mut por_assume: Option<PorAssumption> = None;
 
     for (idx, raw) in text.lines().enumerate() {
         let lineno = idx + 1;
@@ -246,6 +273,18 @@ pub fn parse(text: &str) -> Result<Scenario, ScenarioError> {
                 }
                 rehydrate = true;
             }
+            "por-assume" => {
+                let name = words
+                    .next()
+                    .ok_or_else(|| err(lineno, "por-assume needs an assumption name"))?;
+                let a = match name {
+                    "suspects-independent" => PorAssumption::SuspectsIndependent,
+                    other => return Err(err(lineno, format!("unknown por assumption `{other}`"))),
+                };
+                if por_assume.replace(a).is_some() {
+                    return Err(err(lineno, "por-assume declared twice"));
+                }
+            }
             other => return Err(err(lineno, format!("unknown directive `{other}`"))),
         }
     }
@@ -274,6 +313,7 @@ pub fn parse(text: &str) -> Result<Scenario, ScenarioError> {
         mutation,
         admission,
         rehydrate,
+        por_assume,
     })
 }
 
@@ -327,6 +367,21 @@ mod tests {
     fn rejects_duplicate_faults_and_bad_mutations() {
         assert!(parse("tree I\nfault rtu\nfault rtu\n").is_err());
         assert!(parse("tree I\nfault rtu\nmutate nope\n").is_err());
+    }
+
+    #[test]
+    fn por_assume_directive_parses() {
+        let s = parse("tree IV\nfault rtu\npor-assume suspects-independent\n").unwrap();
+        assert_eq!(s.por_assume, Some(PorAssumption::SuspectsIndependent));
+        assert_eq!(s.por_assume.unwrap().name(), "suspects-independent");
+        assert_eq!(parse("tree IV\nfault rtu\n").unwrap().por_assume, None);
+        assert!(parse("tree IV\nfault rtu\npor-assume nope\n").is_err());
+        let e = parse(
+            "tree IV\nfault rtu\npor-assume suspects-independent\n\
+             por-assume suspects-independent\n",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("twice"));
     }
 
     #[test]

@@ -1,0 +1,162 @@
+#![allow(clippy::disallowed_methods)]
+//! Property suites for rr-flow's static dependence analysis and the
+//! partial-order reduction it feeds.
+//!
+//! Suite (a) checks the *analysis*: over every paper tree × scenario
+//! flavour × fault set, the action-dependence matrix must be square,
+//! symmetric with a true diagonal (an action always depends on itself —
+//! reflexive safety is what keeps the ample construction sound), and the
+//! fault-interference graph must be symmetric too. A `por-assume` override
+//! must break exactly that shape — one-way — which is what RRL953 detects.
+//!
+//! Suite (b) checks the *reduction*: over every tree × oracle × mutation
+//! flavour, exploring with the ample sets on and off must produce the same
+//! verdict — clean stays clean, every seeded violation is still found, and
+//! (thanks to the checker's re-minimization pass) the counterexample is
+//! byte-identical. This differential parity is the soundness evidence for
+//! the effect-equivalence ample classes whose formal C1 argument the epoch
+//! rollover breaks (see DESIGN.md §16).
+
+use mercury::station::TreeVariant;
+use rr_model::{analyze, check, scenario, CheckConfig, Model};
+
+const TREES: [TreeVariant; 5] = TreeVariant::ALL;
+
+/// Fault-set fragments valid on every tree variant (mbus, ses, str and rtu
+/// keep their own names in both the split and unsplit component sets).
+const FAULT_SETS: [&str; 5] = [
+    "fault rtu\n",
+    "fault rtu\nfault ses\n",
+    "fault ses\nfault str\n",
+    "fault rtu\nfault ses\nfault mbus\n",
+    "fault str cures ses str\nfault rtu\n",
+];
+
+const FLAVOURS: [&str; 4] = ["", "rehydrate\n", "admission\n", "oracle naive\n"];
+
+fn model_for(variant: TreeVariant, text: &str) -> Model {
+    let tree = variant.tree().expect("paper tree builds");
+    Model::new(tree, &scenario::parse(text).expect("scenario parses")).expect("model builds")
+}
+
+#[test]
+fn dependence_is_square_symmetric_and_reflexive_on_every_tree_and_flavour() {
+    let mut cases = 0;
+    for variant in TREES {
+        for flavour in FLAVOURS {
+            for faults in FAULT_SETS {
+                let text = format!("tree {variant}\n{flavour}{faults}");
+                let report = analyze(&model_for(variant, &text));
+                let n = report.templates.len();
+                assert_eq!(report.dependent.len(), n, "{text}: matrix not square");
+                for row in &report.dependent {
+                    assert_eq!(row.len(), n, "{text}: ragged matrix row");
+                }
+                for i in 0..n {
+                    assert!(
+                        report.dependent[i][i],
+                        "{text}: action {} does not depend on itself",
+                        report.templates[i]
+                    );
+                    for j in 0..n {
+                        assert_eq!(
+                            report.dependent[i][j], report.dependent[j][i],
+                            "{text}: dependence asymmetric between {} and {}",
+                            report.templates[i], report.templates[j]
+                        );
+                    }
+                }
+                let f = report.faults.len();
+                assert_eq!(report.fault_interference.len(), f);
+                for i in 0..f {
+                    assert!(report.fault_interference[i][i]);
+                    for j in 0..f {
+                        assert_eq!(
+                            report.fault_interference[i][j],
+                            report.fault_interference[j][i]
+                        );
+                    }
+                }
+                cases += 1;
+            }
+        }
+    }
+    assert!(cases >= 100, "expected at least 100 cases, ran {cases}");
+}
+
+#[test]
+fn por_assume_override_breaks_symmetry_one_way_only() {
+    for variant in TREES {
+        let text = format!(
+            "tree {variant}\nadmission\nfault rtu\nfault ses\npor-assume suspects-independent\n"
+        );
+        let report = analyze(&model_for(variant, &text));
+        let asymmetric = (0..report.templates.len()).any(|i| {
+            (0..report.templates.len()).any(|j| report.dependent[i][j] != report.dependent[j][i])
+        });
+        assert!(
+            asymmetric,
+            "tree {variant}: the unsound override left the matrix symmetric"
+        );
+    }
+}
+
+/// Mutation flavours with the scenario directives they require to be
+/// expressible at all (a starved drain needs the admission controller, a
+/// stale rehydration needs the store fast path).
+const MUTATIONS: [(&str, &str); 5] = [
+    ("", ""),
+    ("mutate drop-report\n", ""),
+    ("mutate bypass-planner\n", ""),
+    ("mutate starve-deferred\n", "admission\n"),
+    ("mutate stale-rehydrate\n", "rehydrate\n"),
+];
+
+#[test]
+fn reduced_and_full_exploration_agree_on_every_verdict() {
+    let cfg = |por| CheckConfig {
+        max_depth: 8,
+        state_budget: 500_000,
+        por,
+    };
+    let mut cases = 0;
+    let mut violations = 0;
+    for variant in TREES {
+        for oracle in ["", "oracle naive\n"] {
+            for (mutation, needs) in MUTATIONS {
+                for faults in ["fault rtu\n", "fault rtu\nfault ses\n"] {
+                    let text = format!("tree {variant}\n{oracle}{needs}{faults}{mutation}");
+                    let m = model_for(variant, &text);
+                    let full = check(&m, &cfg(false)).expect("full exploration fits budget");
+                    let reduced = check(&m, &cfg(true)).expect("reduced exploration fits budget");
+                    assert_eq!(
+                        full.violation, reduced.violation,
+                        "{text}: verdict drift between full and reduced exploration"
+                    );
+                    assert!(
+                        reduced.states_explored <= full.states_explored,
+                        "{text}: reduction explored more states than full"
+                    );
+                    if mutation.is_empty() {
+                        assert!(full.violation.is_none(), "{text}: clean scenario rejected");
+                    } else {
+                        assert!(
+                            full.violation.is_some(),
+                            "{text}: seeded mutation not rejected"
+                        );
+                        violations += 1;
+                    }
+                    cases += 1;
+                }
+            }
+        }
+    }
+    assert!(
+        cases >= 96,
+        "expected at least 96 parity cases, ran {cases}"
+    );
+    assert!(
+        violations >= 60,
+        "expected mutations rejected, got {violations}"
+    );
+}
