@@ -151,6 +151,33 @@ echo "==== end rr-model counterexample ===="
 set -x
 rm -f model-por.log
 
+# rr-abs: the interval certification of the three §4 transformation
+# decisions must certify `always` over the ±20% drift box, warnings
+# included, and the regenerated decision table must be byte-identical to
+# the committed artifact (directed-rounding interval arithmetic is
+# deterministic, so any diff means the calibration or the abstraction
+# changed — re-record deliberately with
+#   target/release/rr-abs --quiet --json tests/golden/abs-decisions.json
+# after reviewing the new certificates). The fixture pair must behave: the
+# sound table passes, the contradicted one is rejected via RRL971.
+RR_ABS=target/release/rr-abs
+"$RR_ABS" --deny-warnings --quiet --json target/abs-decisions.json
+if ! diff -u tests/golden/abs-decisions.json target/abs-decisions.json; then
+    set +x
+    echo "==== rr-abs: decision-table drift against tests/golden/abs-decisions.json ===="
+    echo "==== end rr-abs drift (re-record with rr-abs --json after review) ===="
+    exit 1
+fi
+"$RR_ABS" --deny-warnings tests/abs-fixtures/clean.abs
+if "$RR_ABS" tests/abs-fixtures/broken.abs > abs-fixture.log 2>&1; then
+    set +x
+    echo "==== rr-abs: contradicted fixture was NOT rejected ===="
+    cat abs-fixture.log
+    echo "==== end rr-abs fixture findings ===="
+    exit 1
+fi
+rm -f abs-fixture.log
+
 # Crash-safety fixtures: the committed journal images (clean and torn) must
 # recover byte-identically forever — this is the store's on-disk format
 # stability gate, so it runs as its own step.

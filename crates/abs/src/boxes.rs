@@ -1,0 +1,192 @@
+//! Parameter boxes: named products of intervals.
+//!
+//! A [`ParamBox`] binds dimension names to intervals of *multipliers* applied
+//! to a calibrated base model — `"rate:fedr-crash" ↦ [0.8, 1.2]` means "the
+//! fedr crash rate drifts anywhere within ±20% of its measured value". A box
+//! is the abstract analogue of a single parameter valuation; the advisor's
+//! verdicts quantify over every point in it. Dimensions a box does not bind
+//! are pinned to the point multiplier `1.0`.
+
+use std::collections::BTreeMap;
+
+use crate::error::AbsError;
+use crate::interval::Interval;
+
+/// A named box of parameter multipliers.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ParamBox {
+    dims: BTreeMap<String, Interval>,
+}
+
+impl ParamBox {
+    /// The empty box (every parameter pinned at its base value).
+    pub fn new() -> ParamBox {
+        ParamBox::default()
+    }
+
+    /// A box drifting each of `names` by `±frac` around 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AbsError::MalformedDimension`] unless `0 <= frac < 1` is
+    /// finite (a drift reaching 0 or below would let rates and costs vanish).
+    pub fn drift<I, S>(names: I, frac: f64) -> Result<ParamBox, AbsError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut b = ParamBox::new();
+        for name in names {
+            b = b.with_dim(name, 1.0 - frac, 1.0 + frac)?;
+        }
+        Ok(b)
+    }
+
+    /// Adds (or replaces) a dimension.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AbsError::MalformedDimension`] unless `0 < lo <= hi` and
+    /// both are finite — multipliers must keep positive parameters positive.
+    pub fn with_dim(mut self, name: impl Into<String>, lo: f64, hi: f64) -> Result<Self, AbsError> {
+        let name = name.into();
+        if !(lo.is_finite() && hi.is_finite() && 0.0 < lo && lo <= hi) {
+            return Err(AbsError::MalformedDimension { name, lo, hi });
+        }
+        self.dims.insert(
+            name,
+            Interval::new(lo, hi).unwrap_or_else(|e| unreachable!("checked: {e}")),
+        );
+        Ok(self)
+    }
+
+    /// The multiplier interval for `name`: the bound dimension, or the point
+    /// `1.0` when unbound.
+    pub fn multiplier(&self, name: &str) -> Interval {
+        self.dims.get(name).copied().unwrap_or_else(|| {
+            Interval::point(1.0).unwrap_or_else(|e| unreachable!("1.0 is finite: {e}"))
+        })
+    }
+
+    /// The bound dimensions, in name order.
+    pub fn dims(&self) -> impl Iterator<Item = (&str, Interval)> {
+        self.dims.iter().map(|(n, iv)| (n.as_str(), *iv))
+    }
+
+    /// Number of bound dimensions.
+    pub fn len(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Whether the box binds no dimensions.
+    pub fn is_empty(&self) -> bool {
+        self.dims.is_empty()
+    }
+
+    /// The largest relative width across dimensions — the refinement
+    /// tolerance metric. Zero for the empty box.
+    pub fn max_relative_width(&self) -> f64 {
+        self.dims
+            .values()
+            .map(Interval::relative_width)
+            .fold(0.0, f64::max)
+    }
+
+    /// Splits the box along its relatively widest dimension at the midpoint.
+    /// Returns `None` if the box has no dimension of positive width.
+    pub fn split(&self) -> Option<(ParamBox, ParamBox)> {
+        let (name, iv) = self.dims.iter().max_by(|a, b| {
+            a.1.relative_width()
+                .partial_cmp(&b.1.relative_width())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })?;
+        let (name, iv) = (name.clone(), *iv);
+        if iv.width() <= 0.0 {
+            return None;
+        }
+        let (lo_half, hi_half) = iv.bisect();
+        let mut left = self.clone();
+        let mut right = self.clone();
+        left.dims.insert(name.clone(), lo_half);
+        right.dims.insert(name.clone(), hi_half);
+        Some((left, right))
+    }
+
+    /// A concrete point in the box: `pick(name, lo, hi)` chooses each bound
+    /// dimension's multiplier (its result is clamped into the dimension);
+    /// unbound parameters stay at 1.
+    pub fn sample_with(
+        &self,
+        mut pick: impl FnMut(&str, f64, f64) -> f64,
+    ) -> BTreeMap<String, f64> {
+        self.dims
+            .iter()
+            .map(|(name, iv)| {
+                let x = pick(name, iv.lo(), iv.hi()).clamp(iv.lo(), iv.hi());
+                (name.clone(), x)
+            })
+            .collect()
+    }
+
+    /// The multiplier for `name` at a sampled point (1 when unbound).
+    pub fn point_multiplier(point: &BTreeMap<String, f64>, name: &str) -> f64 {
+        point.get(name).copied().unwrap_or(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drift_builds_symmetric_multipliers() {
+        let b = ParamBox::drift(["rate:a", "boot:x"], 0.2).unwrap();
+        assert_eq!(b.len(), 2);
+        let m = b.multiplier("rate:a");
+        assert_eq!((m.lo(), m.hi()), (0.8, 1.2));
+        // Unbound dimension pins to 1.
+        let one = b.multiplier("rate:ghost");
+        assert_eq!((one.lo(), one.hi()), (1.0, 1.0));
+    }
+
+    #[test]
+    fn malformed_dims_are_rejected() {
+        assert!(ParamBox::new().with_dim("d", 1.2, 0.8).is_err());
+        assert!(ParamBox::new().with_dim("d", 0.0, 1.0).is_err());
+        assert!(ParamBox::new().with_dim("d", -0.5, 1.0).is_err());
+        assert!(ParamBox::new().with_dim("d", 0.5, f64::NAN).is_err());
+        assert!(ParamBox::drift(["d"], 1.0).is_err());
+    }
+
+    #[test]
+    fn split_halves_the_widest_dimension() {
+        let b = ParamBox::new()
+            .with_dim("narrow", 0.95, 1.05)
+            .unwrap()
+            .with_dim("wide", 0.5, 2.0)
+            .unwrap();
+        let (l, r) = b.split().unwrap();
+        assert_eq!(l.multiplier("narrow"), b.multiplier("narrow"));
+        assert_eq!(l.multiplier("wide").lo(), 0.5);
+        assert_eq!(l.multiplier("wide").hi(), r.multiplier("wide").lo());
+        assert_eq!(r.multiplier("wide").hi(), 2.0);
+        assert!(l.max_relative_width() < b.max_relative_width());
+        // A pointwise box cannot split.
+        let point = ParamBox::new().with_dim("p", 1.0, 1.0).unwrap();
+        assert!(point.split().is_none());
+        assert!(ParamBox::new().split().is_none());
+    }
+
+    #[test]
+    fn sampling_stays_inside() {
+        let b = ParamBox::drift(["a", "b"], 0.2).unwrap();
+        let point = b.sample_with(|_, lo, hi| lo + 0.75 * (hi - lo));
+        for (name, x) in &point {
+            let iv = b.multiplier(name);
+            assert!(iv.contains(*x));
+        }
+        // Out-of-range picks are clamped.
+        let point = b.sample_with(|_, _, _| 99.0);
+        assert!(point.values().all(|&x| x <= 1.2));
+    }
+}

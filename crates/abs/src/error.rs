@@ -1,0 +1,111 @@
+//! Error types for the abstract-interpretation layer.
+
+use std::fmt;
+
+use rr_core::{AnalysisError, TreeError};
+
+/// An error constructing or evaluating an abstract value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AbsError {
+    /// An interval's endpoints were inverted or non-finite.
+    MalformedInterval {
+        /// Lower endpoint as given.
+        lo: f64,
+        /// Upper endpoint as given.
+        hi: f64,
+    },
+    /// Interval division by an interval containing zero.
+    DivisorStraddlesZero {
+        /// Divisor lower endpoint.
+        lo: f64,
+        /// Divisor upper endpoint.
+        hi: f64,
+    },
+    /// A parameter box has no dimensions.
+    EmptyBox,
+    /// A parameter box dimension is malformed (inverted, non-finite, or
+    /// non-positive where a positive multiplier is required).
+    MalformedDimension {
+        /// The dimension's name.
+        name: String,
+        /// Lower endpoint as given.
+        lo: f64,
+        /// Upper endpoint as given.
+        hi: f64,
+    },
+    /// An abstract operation needed a parameter the box does not bind and
+    /// the base model does not supply.
+    UnknownDimension(String),
+    /// A quantity that must be positive over the whole box was not.
+    NonPositive {
+        /// Which quantity.
+        what: &'static str,
+        /// The offending lower endpoint.
+        lo: f64,
+    },
+    /// The underlying concrete algebra failed (tree or model error).
+    Analysis(AnalysisError),
+}
+
+impl From<AnalysisError> for AbsError {
+    fn from(e: AnalysisError) -> AbsError {
+        AbsError::Analysis(e)
+    }
+}
+
+impl From<TreeError> for AbsError {
+    fn from(e: TreeError) -> AbsError {
+        AbsError::Analysis(AnalysisError::Tree(e))
+    }
+}
+
+impl fmt::Display for AbsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AbsError::MalformedInterval { lo, hi } => {
+                write!(f, "malformed interval [{lo}, {hi}]")
+            }
+            AbsError::DivisorStraddlesZero { lo, hi } => {
+                write!(f, "interval division by [{lo}, {hi}], which contains 0")
+            }
+            AbsError::EmptyBox => write!(f, "parameter box has no dimensions"),
+            AbsError::MalformedDimension { name, lo, hi } => {
+                write!(f, "malformed box dimension {name:?}: [{lo}, {hi}]")
+            }
+            AbsError::UnknownDimension(name) => {
+                write!(f, "box dimension {name:?} binds no known parameter")
+            }
+            AbsError::NonPositive { what, lo } => {
+                write!(f, "{what} must be positive over the box, lower bound {lo}")
+            }
+            AbsError::Analysis(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for AbsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AbsError::Analysis(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = AbsError::MalformedDimension {
+            name: "rate:fedr-crash".into(),
+            lo: 2.0,
+            hi: 1.0,
+        };
+        assert!(e.to_string().contains("rate:fedr-crash"));
+        let e: AbsError = TreeError::CannotModifyRoot.into();
+        assert!(matches!(e, AbsError::Analysis(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

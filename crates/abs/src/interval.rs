@@ -1,0 +1,271 @@
+//! The interval domain: closed `[lo, hi]` ranges of `f64` with directed
+//! (outward) rounding.
+//!
+//! Every arithmetic operation computes its endpoints in `f64` and then rounds
+//! the lower endpoint down one ulp and the upper endpoint up one ulp
+//! ([`f64::next_down`] / [`f64::next_up`]). That makes each operation a sound
+//! over-approximation of the corresponding real-number operation: for any
+//! reals `x ∈ a` and `y ∈ b`, `x ∘ y ∈ a ∘ b` regardless of how the hardware
+//! rounds the endpoint computations. Soundness composes, so any expression
+//! built from these operations encloses its concrete `f64` evaluation at
+//! every point of the input box — the property the test suite samples for
+//! and the certification in [`refine`](crate::refine) relies on.
+
+use std::fmt;
+
+use crate::error::AbsError;
+
+/// A closed, non-empty interval `[lo, hi]` with finite endpoints.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    lo: f64,
+    hi: f64,
+}
+
+impl Interval {
+    /// The interval `[lo, hi]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AbsError::MalformedInterval`] unless `lo <= hi` and both
+    /// endpoints are finite.
+    pub fn new(lo: f64, hi: f64) -> Result<Interval, AbsError> {
+        if !(lo.is_finite() && hi.is_finite() && lo <= hi) {
+            return Err(AbsError::MalformedInterval { lo, hi });
+        }
+        Ok(Interval { lo, hi })
+    }
+
+    /// The degenerate interval `[x, x]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AbsError::MalformedInterval`] if `x` is not finite.
+    pub fn point(x: f64) -> Result<Interval, AbsError> {
+        Interval::new(x, x)
+    }
+
+    /// The lower endpoint.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// The upper endpoint.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// The width `hi - lo`.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// The midpoint, clamped into the interval.
+    pub fn midpoint(&self) -> f64 {
+        let m = self.lo + 0.5 * (self.hi - self.lo);
+        m.clamp(self.lo, self.hi)
+    }
+
+    /// Width relative to the magnitude of the midpoint (plain width when the
+    /// midpoint is ~0) — the bisection tolerance metric.
+    pub fn relative_width(&self) -> f64 {
+        let scale = self.midpoint().abs().max(1.0);
+        self.width() / scale
+    }
+
+    /// Whether `x` lies in the interval.
+    pub fn contains(&self, x: f64) -> bool {
+        self.lo <= x && x <= self.hi
+    }
+
+    /// Whether every point of the interval is strictly positive.
+    pub fn strictly_positive(&self) -> bool {
+        self.lo > 0.0
+    }
+
+    /// Whether every point of the interval is `<= 0`.
+    pub fn non_positive(&self) -> bool {
+        self.hi <= 0.0
+    }
+
+    /// Outward-rounded sum.
+    pub fn add(&self, other: Interval) -> Interval {
+        Interval {
+            lo: (self.lo + other.lo).next_down(),
+            hi: (self.hi + other.hi).next_up(),
+        }
+    }
+
+    /// Outward-rounded difference.
+    pub fn sub(&self, other: Interval) -> Interval {
+        Interval {
+            lo: (self.lo - other.hi).next_down(),
+            hi: (self.hi - other.lo).next_up(),
+        }
+    }
+
+    /// Outward-rounded product (all four endpoint combinations).
+    pub fn mul(&self, other: Interval) -> Interval {
+        let products = [
+            self.lo * other.lo,
+            self.lo * other.hi,
+            self.hi * other.lo,
+            self.hi * other.hi,
+        ];
+        Interval {
+            lo: products
+                .iter()
+                .copied()
+                .fold(f64::INFINITY, f64::min)
+                .next_down(),
+            hi: products
+                .iter()
+                .copied()
+                .fold(f64::NEG_INFINITY, f64::max)
+                .next_up(),
+        }
+    }
+
+    /// Outward-rounded product with a scalar.
+    pub fn scale(&self, k: f64) -> Interval {
+        let (a, b) = (self.lo * k, self.hi * k);
+        Interval {
+            lo: a.min(b).next_down(),
+            hi: a.max(b).next_up(),
+        }
+    }
+
+    /// Outward-rounded quotient.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AbsError::DivisorStraddlesZero`] if `other` contains 0.
+    pub fn div(&self, other: Interval) -> Result<Interval, AbsError> {
+        if other.contains(0.0) {
+            return Err(AbsError::DivisorStraddlesZero {
+                lo: other.lo,
+                hi: other.hi,
+            });
+        }
+        let quotients = [
+            self.lo / other.lo,
+            self.lo / other.hi,
+            self.hi / other.lo,
+            self.hi / other.hi,
+        ];
+        Ok(Interval {
+            lo: quotients
+                .iter()
+                .copied()
+                .fold(f64::INFINITY, f64::min)
+                .next_down(),
+            hi: quotients
+                .iter()
+                .copied()
+                .fold(f64::NEG_INFINITY, f64::max)
+                .next_up(),
+        })
+    }
+
+    /// Pointwise maximum: `[max(lo), max(hi)]` (exact — no rounding needed,
+    /// `max` introduces no new values).
+    pub fn max(&self, other: Interval) -> Interval {
+        Interval {
+            lo: self.lo.max(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// Pointwise minimum: `[min(lo), min(hi)]` (exact).
+    pub fn min(&self, other: Interval) -> Interval {
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.min(other.hi),
+        }
+    }
+
+    /// Smallest interval containing both (the join of the domain).
+    pub fn hull(&self, other: Interval) -> Interval {
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// Splits at the midpoint into `(low half, high half)`; the halves share
+    /// the midpoint so no point of the original is lost.
+    pub fn bisect(&self) -> (Interval, Interval) {
+        let m = self.midpoint();
+        (
+            Interval { lo: self.lo, hi: m },
+            Interval { lo: m, hi: self.hi },
+        )
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(lo: f64, hi: f64) -> Interval {
+        Interval::new(lo, hi).unwrap()
+    }
+
+    #[test]
+    fn construction_rejects_malformed() {
+        assert!(Interval::new(2.0, 1.0).is_err());
+        assert!(Interval::new(f64::NAN, 1.0).is_err());
+        assert!(Interval::new(0.0, f64::INFINITY).is_err());
+        assert!(Interval::point(3.5).unwrap().contains(3.5));
+    }
+
+    #[test]
+    fn arithmetic_encloses_point_results() {
+        let a = iv(1.0, 2.0);
+        let b = iv(-0.5, 3.0);
+        assert!(a.add(b).contains(1.0 + -0.5) && a.add(b).contains(2.0 + 3.0));
+        assert!(a.sub(b).contains(1.0 - 3.0) && a.sub(b).contains(2.0 - -0.5));
+        assert!(a.mul(b).contains(2.0 * 3.0) && a.mul(b).contains(1.0 * -0.5));
+        let q = a.div(iv(2.0, 4.0)).unwrap();
+        assert!(q.contains(0.25) && q.contains(1.0));
+        assert!(a.div(iv(-1.0, 1.0)).is_err());
+    }
+
+    #[test]
+    fn rounding_is_outward() {
+        let a = iv(0.1, 0.1);
+        let s = a.add(iv(0.2, 0.2));
+        // 0.1 + 0.2 != 0.3 in f64, but the outward-rounded sum must contain
+        // the f64 result and be a non-degenerate enclosure.
+        assert!(s.contains(0.1 + 0.2));
+        assert!(s.lo < s.hi);
+    }
+
+    #[test]
+    fn scale_handles_negative_factors() {
+        let a = iv(1.0, 2.0);
+        let n = a.scale(-3.0);
+        assert!(n.contains(-6.0) && n.contains(-3.0));
+        assert!(n.lo() <= -6.0 && n.hi() >= -3.0);
+    }
+
+    #[test]
+    fn lattice_ops_and_bisection() {
+        let a = iv(1.0, 4.0);
+        let b = iv(2.0, 8.0);
+        assert_eq!(a.hull(b), iv(1.0, 8.0));
+        assert_eq!(a.max(b), iv(2.0, 8.0));
+        assert_eq!(a.min(b), iv(1.0, 4.0));
+        let (l, r) = a.bisect();
+        assert_eq!(l.hi(), r.lo());
+        assert_eq!(l.lo(), 1.0);
+        assert_eq!(r.hi(), 4.0);
+        assert!(a.relative_width() > iv(1.0, 1.5).relative_width());
+    }
+}

@@ -1,0 +1,61 @@
+//! rr-abs: interval abstract interpretation over the restart-group algebra.
+//!
+//! The §3.2/§4 algebra in [`rr_core::analysis`] answers "is this tree
+//! transformation profitable?" at a *point*: one calibrated failure model,
+//! one cost model. Calibrations drift — boot times change with hardware,
+//! failure rates with workload — and a decision made at the point says
+//! nothing about its neighborhood. This crate re-answers the question over
+//! parameter *boxes*: every calibrated scalar becomes an interval, every
+//! algebra operation an outward-rounded abstract transformer, and the answer
+//! becomes a certified three-valued verdict — the transformation is
+//! profitable at **every** point of the box ([`Verdict::Always`]), at
+//! **none** ([`Verdict::Never`]), or the box straddles the break-even
+//! surface and is bisected into certified sub-regions
+//! ([`refine::certify`]).
+//!
+//! The layers, bottom-up:
+//!
+//! - [`interval`]: the domain — closed `f64` intervals with directed
+//!   outward rounding, so soundness composes per operation.
+//! - [`boxes`]: named products of intervals ([`ParamBox`]) acting as
+//!   multipliers on a calibrated base model (`"boot:pbcom" ↦ [0.8, 1.2]`).
+//! - [`algebra`]: the lifted §3.2 relations (availability, group MTTF/MTTR
+//!   bounds, weighted MTTR, mode probabilities).
+//! - [`cost`]: [`IntervalCostModel`], the abstract
+//!   [`SimpleCostModel`](rr_core::analysis::SimpleCostModel).
+//! - [`form`]: linear cost forms with syntactic term cancellation — the cure
+//!   for the interval dependency problem when subtracting two MTTRs that
+//!   read the same parameters.
+//! - [`scenario`]: a before/after tree pair evaluated abstractly (interval
+//!   profit over a box) and concretely (point profit via the unmodified core
+//!   algebra).
+//! - [`advisor`]: Table 3's "useful when" conditions quantified over boxes.
+//! - [`refine`]: worklist bisection producing a [`ProfitabilityMap`] whose
+//!   regions carry machine-checked profitability certificates.
+//!
+//! Soundness contract, enforced by the property suite in
+//! `tests/soundness.rs`: for any box and any concretely sampled point inside
+//! it, the concrete evaluation lies inside the abstract interval — so a
+//! region certified `Always` can never contain a point where the
+//! transformation loses.
+
+#![cfg_attr(test, allow(clippy::disallowed_methods))]
+
+pub mod advisor;
+pub mod algebra;
+pub mod boxes;
+pub mod cost;
+pub mod error;
+pub mod form;
+pub mod interval;
+pub mod refine;
+pub mod scenario;
+
+pub use advisor::Verdict;
+pub use boxes::ParamBox;
+pub use cost::IntervalCostModel;
+pub use error::AbsError;
+pub use form::{mode_recovery_form, CostForm, Term};
+pub use interval::Interval;
+pub use refine::{certify, ProfitabilityMap, RefineConfig, Region};
+pub use scenario::Scenario;

@@ -1,0 +1,280 @@
+//! Bisection refinement: turning one `Depends` box into a certified
+//! partition of `Always` / `Never` / residual `Depends` regions.
+//!
+//! The worklist algorithm evaluates a scenario's abstract profitability over
+//! each box; boxes whose interval straddles zero are split along their
+//! relatively widest dimension and re-evaluated, until either the verdict
+//! resolves, the box shrinks below the tolerance, or the split budget is
+//! exhausted. The result is a [`ProfitabilityMap`]: a finite partition of the
+//! original box in which every `Always` (resp. `Never`) region carries a
+//! machine-checked interval certificate that the transformation is (resp. is
+//! not) profitable at *every* contained parameter valuation.
+
+use crate::advisor::Verdict;
+use crate::boxes::ParamBox;
+use crate::error::AbsError;
+use crate::interval::Interval;
+use crate::scenario::Scenario;
+
+/// One certified sub-box of the parameter space.
+#[derive(Debug, Clone)]
+pub struct Region {
+    /// The sub-box this verdict covers.
+    pub pbox: ParamBox,
+    /// The verdict over every point of the sub-box.
+    pub verdict: Verdict,
+    /// The profitability enclosure (`MTTR_before − MTTR_after`, seconds)
+    /// that justified the verdict.
+    pub profit: Interval,
+}
+
+/// Refinement limits.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RefineConfig {
+    /// Stop splitting a `Depends` box once its
+    /// [`max_relative_width`](ParamBox::max_relative_width) drops below
+    /// this.
+    pub tolerance: f64,
+    /// Hard cap on the number of splits across the whole refinement.
+    pub max_splits: usize,
+}
+
+impl Default for RefineConfig {
+    fn default() -> RefineConfig {
+        RefineConfig {
+            tolerance: 0.02,
+            max_splits: 4096,
+        }
+    }
+}
+
+/// A certified partition of a parameter box for one (scenario,
+/// transformation) pair.
+#[derive(Debug, Clone)]
+pub struct ProfitabilityMap {
+    /// The scenario name this map certifies.
+    pub scenario: String,
+    /// The original box the regions partition.
+    pub root: ParamBox,
+    /// The certified regions (disjoint up to shared faces, covering `root`).
+    pub regions: Vec<Region>,
+    /// How many bisections the refinement performed.
+    pub splits: usize,
+    /// The limits the refinement ran under.
+    pub config: RefineConfig,
+}
+
+impl ProfitabilityMap {
+    /// The map-wide verdict: unanimous regions keep their verdict, anything
+    /// mixed (or any residual `Depends` region) is `Depends`.
+    pub fn verdict(&self) -> Verdict {
+        let mut it = self.regions.iter().map(|r| r.verdict);
+        match it.next() {
+            None => Verdict::Depends,
+            Some(first) => it.fold(first, Verdict::join),
+        }
+    }
+
+    /// The hull of every region's profitability enclosure.
+    pub fn profit_hull(&self) -> Option<Interval> {
+        let mut it = self.regions.iter().map(|r| r.profit);
+        let first = it.next()?;
+        Some(it.fold(first, |acc, p| acc.hull(p)))
+    }
+
+    /// Fraction of the root box's volume still carrying a `Depends` verdict
+    /// (0 when fully resolved). Volume is measured relative to the root box,
+    /// dimension by dimension; zero-width root dimensions contribute factor
+    /// 1.
+    pub fn depends_fraction(&self) -> f64 {
+        self.regions
+            .iter()
+            .filter(|r| r.verdict == Verdict::Depends)
+            .map(|r| relative_volume(&r.pbox, &self.root))
+            // Not `.sum()`: the empty sum is `-0.0`, which leaks a spurious
+            // sign into rendered fractions and JSON artifacts.
+            .fold(0.0, |acc, v| acc + v)
+    }
+}
+
+/// The volume of `sub` as a fraction of `root`, assuming `sub ⊆ root`.
+fn relative_volume(sub: &ParamBox, root: &ParamBox) -> f64 {
+    root.dims()
+        .map(|(name, root_iv)| {
+            if root_iv.width() <= 0.0 {
+                1.0
+            } else {
+                sub.multiplier(name).width() / root_iv.width()
+            }
+        })
+        .product()
+}
+
+/// Certifies `scenario`'s profitability over `pbox`, bisecting `Depends`
+/// regions until they resolve or hit the configured limits.
+///
+/// # Errors
+///
+/// Returns [`AbsError`] if the scenario cannot be evaluated over a box (tree
+/// mismatch, degenerate rates).
+pub fn certify(
+    scenario: &Scenario,
+    pbox: &ParamBox,
+    config: RefineConfig,
+) -> Result<ProfitabilityMap, AbsError> {
+    let mut work = vec![pbox.clone()];
+    let mut regions = Vec::new();
+    let mut splits = 0usize;
+
+    while let Some(b) = work.pop() {
+        let profit = scenario.abstract_profit(&b)?;
+        let verdict = Verdict::from_profit(profit);
+        if verdict == Verdict::Depends
+            && b.max_relative_width() > config.tolerance
+            && splits < config.max_splits
+        {
+            if let Some((left, right)) = b.split() {
+                splits += 1;
+                work.push(left);
+                work.push(right);
+                continue;
+            }
+        }
+        regions.push(Region {
+            pbox: b,
+            verdict,
+            profit,
+        });
+    }
+
+    Ok(ProfitabilityMap {
+        scenario: scenario.name().to_string(),
+        root: pbox.clone(),
+        regions,
+        splits,
+        config,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rr_core::analysis::{OracleQuality, SimpleCostModel};
+    use rr_core::model::FailureMode;
+    use rr_core::tree::TreeSpec;
+
+    fn consolidate_scenario() -> Scenario {
+        let before = TreeSpec::cell("mercury")
+            .with_child(TreeSpec::cell("R_ses").with_component("ses"))
+            .with_child(TreeSpec::cell("R_str").with_component("str"))
+            .build()
+            .unwrap();
+        let after = TreeSpec::cell("mercury")
+            .with_child(TreeSpec::cell("R_[ses,str]").with_components(["ses", "str"]))
+            .build()
+            .unwrap();
+        let cost = SimpleCostModel::new(0.9, 2.0)
+            .with_boot("ses", 5.25)
+            .with_boot("str", 5.11)
+            .with_contention(0.0119)
+            .with_sync_pair("ses", "str", 3.35)
+            .with_sync_pair("str", "ses", 3.75);
+        Scenario::new(
+            "consolidate-ses-str",
+            before,
+            after,
+            OracleQuality::Perfect,
+            // Solo cures: the sync penalty makes solo restarts expensive in
+            // the before-tree, so drifting it toward zero erodes the win.
+            vec![
+                FailureMode::solo("ses", "ses", 0.2).unwrap(),
+                FailureMode::solo("str", "str", 0.2).unwrap(),
+            ],
+            cost,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn clear_profit_certifies_without_splitting() {
+        let s = consolidate_scenario();
+        let pbox = ParamBox::drift(s.dim_names(), 0.2).unwrap();
+        let map = certify(&s, &pbox, RefineConfig::default()).unwrap();
+        assert_eq!(map.verdict(), Verdict::Always);
+        assert_eq!(map.splits, 0, "no bisection needed for a clear win");
+        assert_eq!(map.regions.len(), 1);
+        assert_eq!(map.depends_fraction(), 0.0);
+        assert!(map.profit_hull().unwrap().strictly_positive());
+    }
+
+    #[test]
+    fn straddling_box_bisects_and_shrinks_depends_mass() {
+        // A box so wide that the sync-penalty advantage can invert: drift
+        // the sync penalties down to near-zero while joint contention stays,
+        // making consolidation unprofitable in part of the box.
+        let s = consolidate_scenario();
+        let pbox = ParamBox::new()
+            .with_dim("sync:ses", 0.001, 1.0)
+            .unwrap()
+            .with_dim("sync:str", 0.001, 1.0)
+            .unwrap();
+        let coarse = certify(
+            &s,
+            &pbox,
+            RefineConfig {
+                tolerance: 1.0,
+                max_splits: 0,
+            },
+        )
+        .unwrap();
+        assert_eq!(coarse.verdict(), Verdict::Depends);
+        assert!((coarse.depends_fraction() - 1.0).abs() < 1e-12);
+
+        let fine = certify(
+            &s,
+            &pbox,
+            RefineConfig {
+                tolerance: 0.01,
+                max_splits: 4096,
+            },
+        )
+        .unwrap();
+        assert!(fine.splits > 0);
+        assert!(
+            fine.depends_fraction() < 0.25,
+            "refinement must resolve most of the box: {}",
+            fine.depends_fraction()
+        );
+        // Both profitable and unprofitable certified regions exist.
+        assert!(fine.regions.iter().any(|r| r.verdict == Verdict::Always));
+        assert!(fine.regions.iter().any(|r| r.verdict == Verdict::Never));
+        // And the partition still covers the whole box.
+        let total: f64 = fine
+            .regions
+            .iter()
+            .map(|r| relative_volume(&r.pbox, &pbox))
+            .sum();
+        assert!((total - 1.0).abs() < 1e-9, "partition volume {total}");
+    }
+
+    #[test]
+    fn split_budget_is_respected() {
+        let s = consolidate_scenario();
+        let pbox = ParamBox::new()
+            .with_dim("sync:ses", 0.001, 1.0)
+            .unwrap()
+            .with_dim("sync:str", 0.001, 1.0)
+            .unwrap();
+        let map = certify(
+            &s,
+            &pbox,
+            RefineConfig {
+                tolerance: 1e-6,
+                max_splits: 7,
+            },
+        )
+        .unwrap();
+        assert!(map.splits <= 7);
+        assert_eq!(map.regions.len(), map.splits + 1);
+    }
+}

@@ -1,0 +1,327 @@
+#![allow(clippy::disallowed_methods)]
+//! Property suite for the soundness contract of the abstract interpretation.
+//!
+//! The contract: for every scenario `S`, parameter box `B`, and concrete
+//! point `p ∈ B`, the concrete profitability `Δ(p)` (computed by the
+//! unmodified `rr_core::analysis` algebra) lies inside the abstract
+//! enclosure `Δ#(B)`. Everything rr-abs certifies — `Always` regions,
+//! `Never` regions, the advisor's three-valued verdicts — follows from that
+//! one containment, so this suite hammers it with randomized scenarios,
+//! boxes, and sample points, then checks the corollaries: certified regions
+//! never contradict sampled concrete evaluations, refinement converges, and
+//! point-box verdicts agree with the concrete sign.
+
+use std::collections::BTreeMap;
+
+use rr_abs::advisor::{consolidation_verdict, Verdict};
+use rr_abs::refine::{certify, RefineConfig};
+use rr_abs::{Interval, ParamBox, Scenario};
+use rr_core::analysis::{OracleQuality, SimpleCostModel};
+use rr_core::model::FailureMode;
+use rr_core::tree::{RestartTree, TreeSpec};
+use rr_sim::{check, SimRng};
+
+/// Relative slack for comparing one f64 expression against an interval
+/// computed by a differently-associated expression. The abstract evaluator
+/// rounds outward on every operation, but the *concrete* reference may
+/// associate sums differently (e.g. `(1-u)·perfect + u·wrong` versus the
+/// per-term weights of the linear form), so containment is checked up to a
+/// few ulps, scaled generously.
+fn eps_for(x: f64) -> f64 {
+    1e-9 * (1.0 + x.abs())
+}
+
+fn assert_encloses(iv: Interval, x: f64, what: &str) {
+    let eps = eps_for(x);
+    assert!(
+        iv.lo() - eps <= x && x <= iv.hi() + eps,
+        "{what}: concrete {x} escapes abstract [{}, {}]",
+        iv.lo(),
+        iv.hi()
+    );
+}
+
+fn flat_tree() -> RestartTree {
+    TreeSpec::cell("root")
+        .with_child(TreeSpec::cell("R_a").with_component("a"))
+        .with_child(TreeSpec::cell("R_b").with_component("b"))
+        .with_child(TreeSpec::cell("R_c").with_component("c"))
+        .build()
+        .unwrap()
+}
+
+fn grouped_tree() -> RestartTree {
+    TreeSpec::cell("root")
+        .with_child(TreeSpec::cell("R_[a,b]").with_components(["a", "b"]))
+        .with_child(TreeSpec::cell("R_c").with_component("c"))
+        .build()
+        .unwrap()
+}
+
+/// A tree with an escalation chain under the `[a,b]` group, so a faulty
+/// oracle's guess-too-low path (restart `a`'s own cell, re-detect, escalate
+/// to the group, pay the rapid-restart penalty) is exercised.
+fn nested_tree() -> RestartTree {
+    TreeSpec::cell("root")
+        .with_child(
+            TreeSpec::cell("R_[a,b]")
+                .with_child(TreeSpec::cell("R_a").with_component("a"))
+                .with_child(TreeSpec::cell("R_b").with_component("b")),
+        )
+        .with_child(TreeSpec::cell("R_c").with_component("c"))
+        .build()
+        .unwrap()
+}
+
+/// A randomized cost model over components a/b/c with every lever the
+/// abstract domain tracks: boots, contention, an a↔b sync pair, and rapid
+/// penalties.
+fn random_cost(rng: &mut SimRng) -> SimpleCostModel {
+    SimpleCostModel::new(rng.uniform(0.1, 5.0), rng.uniform(0.5, 3.0))
+        .with_boot("a", rng.uniform(1.0, 30.0))
+        .with_boot("b", rng.uniform(1.0, 30.0))
+        .with_boot("c", rng.uniform(1.0, 30.0))
+        .with_contention(rng.uniform(0.0, 0.05))
+        .with_sync_pair("a", "b", rng.uniform(0.0, 10.0))
+        .with_sync_pair("b", "a", rng.uniform(0.0, 10.0))
+        .with_rapid_restart_penalty("a", rng.uniform(0.0, 8.0))
+        .with_rapid_restart_penalty("b", rng.uniform(0.0, 8.0))
+}
+
+/// Randomized failure modes: solo crashes on each component plus a
+/// correlated mode whose minimal cure is the `[a,b]` group — the mode whose
+/// recovery actually differs across the tree pairs above.
+fn random_modes(rng: &mut SimRng) -> Vec<FailureMode> {
+    vec![
+        FailureMode::solo("a-crash", "a", rng.uniform(0.01, 8.0)).unwrap(),
+        FailureMode::solo("b-crash", "b", rng.uniform(0.01, 8.0)).unwrap(),
+        FailureMode::correlated("ab-joint", "a", ["a", "b"], rng.uniform(0.01, 2.0)).unwrap(),
+        FailureMode::solo("c-crash", "c", rng.uniform(0.01, 8.0)).unwrap(),
+    ]
+}
+
+fn random_quality(rng: &mut SimRng) -> OracleQuality {
+    match rng.next_below(3) {
+        0 => OracleQuality::Perfect,
+        1 => OracleQuality::Faulty {
+            undershoot: rng.uniform(0.0, 1.0),
+        },
+        _ => OracleQuality::Naive,
+    }
+}
+
+fn random_scenario(rng: &mut SimRng) -> Scenario {
+    let (before, after) = match rng.next_below(3) {
+        0 => (flat_tree(), grouped_tree()),
+        1 => (flat_tree(), nested_tree()),
+        _ => (nested_tree(), grouped_tree()),
+    };
+    Scenario::new(
+        "random",
+        before,
+        after,
+        random_quality(rng),
+        random_modes(rng),
+        random_cost(rng),
+    )
+    .unwrap()
+}
+
+/// A random box over a random subset of the scenario's dimensions, with
+/// random (possibly asymmetric, possibly zero-width) multiplier ranges.
+fn random_box(rng: &mut SimRng, scenario: &Scenario) -> ParamBox {
+    let mut b = ParamBox::new();
+    for dim in scenario.dim_names() {
+        match rng.next_below(3) {
+            0 => {} // leave unbound: pinned at the base value
+            1 => {
+                let x = rng.uniform(0.2, 3.0);
+                b = b.with_dim(dim, x, x).unwrap();
+            }
+            _ => {
+                let lo = rng.uniform(0.2, 1.5);
+                let hi = lo + rng.uniform(0.0, 1.5);
+                b = b.with_dim(dim, lo, hi).unwrap();
+            }
+        }
+    }
+    b
+}
+
+fn random_point(rng: &mut SimRng, b: &ParamBox) -> BTreeMap<String, f64> {
+    b.sample_with(|_, lo, hi| rng.uniform(lo, hi))
+}
+
+/// The core soundness property, 160 randomized (scenario, box, point)
+/// triples: the concrete profitability at any sampled point lies inside the
+/// abstract enclosure of any box containing it.
+#[test]
+fn concrete_profit_is_enclosed_by_abstract_profit() {
+    check::run("abs-soundness", 160, |rng| {
+        let scenario = random_scenario(rng);
+        let pbox = random_box(rng, &scenario);
+        let abstract_profit = scenario.abstract_profit(&pbox).unwrap();
+        for _ in 0..4 {
+            let point = random_point(rng, &pbox);
+            let concrete = scenario.concrete_profit(&point).unwrap();
+            assert_encloses(abstract_profit, concrete, scenario.name());
+        }
+    });
+}
+
+/// Degenerate (point) boxes: the enclosure collapses to (nearly) the
+/// concrete value, so the advisor's verdict at a point box must agree with
+/// the concrete sign whenever that sign is decisive.
+#[test]
+fn point_box_verdicts_agree_with_concrete_sign() {
+    check::run("abs-point-agreement", 120, |rng| {
+        let scenario = random_scenario(rng);
+        let mut b = ParamBox::new();
+        for dim in scenario.dim_names() {
+            let x = rng.uniform(0.3, 2.5);
+            b = b.with_dim(dim, x, x).unwrap();
+        }
+        let iv = scenario.abstract_profit(&b).unwrap();
+        let point = random_point(rng, &b);
+        let concrete = scenario.concrete_profit(&point).unwrap();
+        assert_encloses(iv, concrete, "point box");
+        assert!(
+            iv.width() <= eps_for(concrete) * 16.0,
+            "point-box enclosure stayed wide: [{}, {}]",
+            iv.lo(),
+            iv.hi()
+        );
+        let eps = eps_for(concrete);
+        match Verdict::from_profit(iv) {
+            Verdict::Always => assert!(concrete > -eps, "Always but concrete {concrete} <= 0"),
+            Verdict::Never => assert!(concrete <= eps, "Never but concrete {concrete} > 0"),
+            // A point enclosure may still straddle zero when the concrete
+            // value itself is within rounding noise of the break-even.
+            Verdict::Depends => assert!(concrete.abs() <= 16.0 * eps),
+        }
+    });
+}
+
+/// Certified regions are corollaries of the containment: sampling concrete
+/// points inside an `Always` (resp. `Never`) region can never produce an
+/// unprofitable (resp. profitable) valuation.
+#[test]
+fn certified_regions_never_contradict_sampled_points() {
+    check::run("abs-region-agreement", 24, |rng| {
+        let scenario = random_scenario(rng);
+        let pbox = random_box(rng, &scenario);
+        let map = certify(&scenario, &pbox, RefineConfig::default()).unwrap();
+        for region in &map.regions {
+            for _ in 0..3 {
+                let point = random_point(rng, &region.pbox);
+                let concrete = scenario.concrete_profit(&point).unwrap();
+                assert_encloses(region.profit, concrete, "region");
+                let eps = eps_for(concrete);
+                match region.verdict {
+                    Verdict::Always => assert!(concrete > -eps),
+                    Verdict::Never => assert!(concrete <= eps),
+                    Verdict::Depends => {}
+                }
+            }
+        }
+    });
+}
+
+/// Bisection convergence: on a box engineered to straddle the break-even
+/// surface, a larger split budget never leaves *more* of the box undecided,
+/// and the partition keeps covering the whole box.
+#[test]
+fn refinement_converges_monotonically() {
+    // Consolidating a/b pays off when the sync penalty is large and hurts
+    // when it is (near) zero, so sweeping the sync dimensions from ~0 to 1
+    // guarantees a sign change inside the box.
+    let scenario = Scenario::new(
+        "converge",
+        flat_tree(),
+        grouped_tree(),
+        OracleQuality::Perfect,
+        vec![
+            FailureMode::solo("a-crash", "a", 0.5).unwrap(),
+            FailureMode::solo("b-crash", "b", 0.5).unwrap(),
+            FailureMode::solo("c-crash", "c", 0.5).unwrap(),
+        ],
+        SimpleCostModel::new(1.0, 2.0)
+            .with_boot("a", 5.0)
+            .with_boot("b", 5.0)
+            .with_boot("c", 5.0)
+            .with_contention(0.02)
+            .with_sync_pair("a", "b", 4.0)
+            .with_sync_pair("b", "a", 4.0),
+    )
+    .unwrap();
+    let pbox = ParamBox::new()
+        .with_dim("sync:a", 0.001, 1.0)
+        .unwrap()
+        .with_dim("sync:b", 0.001, 1.0)
+        .unwrap();
+    let coarse = certify(
+        &scenario,
+        &pbox,
+        RefineConfig {
+            tolerance: 0.5,
+            max_splits: 0,
+        },
+    )
+    .unwrap();
+    assert_eq!(coarse.verdict(), Verdict::Depends);
+    let mut last = f64::INFINITY;
+    for max_splits in [0, 4, 64, 1024] {
+        let map = certify(
+            &scenario,
+            &pbox,
+            RefineConfig {
+                tolerance: 0.01,
+                max_splits,
+            },
+        )
+        .unwrap();
+        let frac = map.depends_fraction();
+        assert!(
+            frac <= last + 1e-12,
+            "budget {max_splits}: depends fraction grew from {last} to {frac}"
+        );
+        last = frac;
+        let volume: f64 = map
+            .regions
+            .iter()
+            .map(|r| {
+                r.pbox
+                    .dims()
+                    .map(|(n, iv)| iv.width() / pbox.multiplier(n).width())
+                    .product::<f64>()
+            })
+            .sum();
+        assert!(
+            (volume - 1.0).abs() < 1e-9,
+            "partition volume {volume} != 1 at budget {max_splits}"
+        );
+    }
+    assert!(
+        last < 0.25,
+        "refinement left {last} of the box undecided at the largest budget"
+    );
+}
+
+/// The Table 3 consolidation rule at point intervals behaves like its
+/// concrete counterpart, up to the deliberate `Depends` band near the
+/// threshold boundary.
+#[test]
+fn consolidation_rule_matches_concrete_thresholds_at_points() {
+    check::run("abs-advisor-thresholds", 120, |rng| {
+        let solo = Interval::point(rng.uniform(0.01, 10.0)).unwrap();
+        let joint = Interval::point(rng.uniform(0.1, 40.0)).unwrap();
+        let verdict = consolidation_verdict(solo, joint);
+        let threshold = 0.25 * joint.lo();
+        let eps = eps_for(threshold) * 16.0;
+        match verdict {
+            Verdict::Always => assert!(solo.hi() <= threshold + eps),
+            Verdict::Never => assert!(solo.lo() > threshold - eps),
+            Verdict::Depends => assert!((solo.lo() - threshold).abs() <= eps),
+        }
+    });
+}

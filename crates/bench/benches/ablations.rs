@@ -25,13 +25,13 @@ fn bench_contention(r: &mut Runner) {
             cost = cost.with_boot(name.clone(), t.boot_mean_s);
         }
         let tree = TreeVariant::I.tree().expect("paper tree builds");
-        let mode = FailureMode::solo("rtu", names::RTU, 1.0);
+        let mode = FailureMode::solo("rtu", names::RTU, 1.0).unwrap();
         let rec = expected_mode_recovery_s(&tree, &mode, &cost, OracleQuality::Perfect).unwrap();
         eprintln!("[ablation/contention] q={q:<7} -> {rec:6.2}s (paper at q=0.0119: 24.75)");
     }
     let cost = cfg.cost_model();
     let tree = TreeVariant::I.tree().expect("paper tree builds");
-    let mode = FailureMode::solo("rtu", names::RTU, 1.0);
+    let mode = FailureMode::solo("rtu", names::RTU, 1.0).unwrap();
     r.bench("ablation/contention_eval", || {
         black_box(expected_mode_recovery_s(&tree, &mode, &cost, OracleQuality::Perfect).unwrap())
     });
@@ -42,7 +42,8 @@ fn bench_contention(r: &mut Runner) {
 fn bench_oracle_sweep(r: &mut Runner) {
     let cfg = StationConfig::paper();
     let cost = cfg.cost_model();
-    let mode = FailureMode::correlated("joint", names::PBCOM, [names::FEDR, names::PBCOM], 1.0);
+    let mode =
+        FailureMode::correlated("joint", names::PBCOM, [names::FEDR, names::PBCOM], 1.0).unwrap();
     let tree_iv = TreeVariant::IV.tree().expect("paper tree builds");
     let tree_v = TreeVariant::V.tree().expect("paper tree builds");
     eprintln!("\n[ablation/oracle] error rate -> expected pbcom-joint recovery (IV vs V):");

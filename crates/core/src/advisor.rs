@@ -259,19 +259,16 @@ mod tests {
 
     fn mercury_model() -> FailureModel {
         FailureModel::new()
-            .with_mode(FailureMode::solo("mbus", "mbus", 1.0 / 730.0))
-            .with_mode(FailureMode::solo("fedr", "fedr", 6.0))
-            .with_mode(FailureMode::solo("pbcom", "pbcom", 0.05))
-            .with_mode(FailureMode::correlated(
-                "pbcom-joint",
-                "pbcom",
-                ["fedr", "pbcom"],
-                0.4,
-            ))
+            .with_mode(FailureMode::solo("mbus", "mbus", 1.0 / 730.0).unwrap())
+            .with_mode(FailureMode::solo("fedr", "fedr", 6.0).unwrap())
+            .with_mode(FailureMode::solo("pbcom", "pbcom", 0.05).unwrap())
+            .with_mode(
+                FailureMode::correlated("pbcom-joint", "pbcom", ["fedr", "pbcom"], 0.4).unwrap(),
+            )
             // ses/str: solo cures essentially never work (f_solo ≈ 0).
-            .with_mode(FailureMode::correlated("ses", "ses", ["ses", "str"], 0.2))
-            .with_mode(FailureMode::correlated("str", "str", ["ses", "str"], 0.2))
-            .with_mode(FailureMode::solo("rtu", "rtu", 0.2))
+            .with_mode(FailureMode::correlated("ses", "ses", ["ses", "str"], 0.2).unwrap())
+            .with_mode(FailureMode::correlated("str", "str", ["ses", "str"], 0.2).unwrap())
+            .with_mode(FailureMode::solo("rtu", "rtu", 0.2).unwrap())
     }
 
     fn tree_ii_split() -> crate::tree::RestartTree {

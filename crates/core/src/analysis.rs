@@ -10,7 +10,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use crate::error::TreeError;
+use crate::error::{AnalysisError, ModelError, TreeError};
 use crate::model::{FailureMode, FailureModel};
 use crate::schedule::{plan_episodes, Suspicion};
 use crate::tree::RestartTree;
@@ -18,69 +18,91 @@ use crate::tree::RestartTree;
 /// Steady-state availability from mean time to failure and recovery:
 /// `MTTF / (MTTF + MTTR)` (§3).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics unless both arguments are positive and finite.
+/// Returns [`AnalysisError::NonPositive`] unless both arguments are positive
+/// and finite.
 ///
 /// ```
 /// use rr_core::analysis::availability;
-/// let a = availability(3600.0, 24.75);
+/// let a = availability(3600.0, 24.75)?;
 /// assert!((a - 0.99317).abs() < 1e-4);
+/// # Ok::<(), rr_core::AnalysisError>(())
 /// ```
-pub fn availability(mttf_s: f64, mttr_s: f64) -> f64 {
-    assert!(mttf_s.is_finite() && mttf_s > 0.0, "invalid MTTF {mttf_s}");
-    assert!(mttr_s.is_finite() && mttr_s > 0.0, "invalid MTTR {mttr_s}");
-    mttf_s / (mttf_s + mttr_s)
+pub fn availability(mttf_s: f64, mttr_s: f64) -> Result<f64, AnalysisError> {
+    if !(mttf_s.is_finite() && mttf_s > 0.0) {
+        return Err(AnalysisError::NonPositive {
+            what: "MTTF",
+            value: mttf_s,
+        });
+    }
+    if !(mttr_s.is_finite() && mttr_s > 0.0) {
+        return Err(AnalysisError::NonPositive {
+            what: "MTTR",
+            value: mttr_s,
+        });
+    }
+    Ok(mttf_s / (mttf_s + mttr_s))
 }
 
 /// Downtime per year (in seconds) implied by an availability figure.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics unless `availability` is in `(0, 1]`.
-pub fn downtime_s_per_year(availability: f64) -> f64 {
-    assert!(
-        availability > 0.0 && availability <= 1.0,
-        "invalid availability {availability}"
-    );
-    (1.0 - availability) * 365.25 * 24.0 * 3600.0
+/// Returns [`AnalysisError::OutOfRange`] unless `availability` is in `(0, 1]`.
+pub fn downtime_s_per_year(availability: f64) -> Result<f64, AnalysisError> {
+    if !(availability > 0.0 && availability <= 1.0) {
+        return Err(AnalysisError::OutOfRange {
+            what: "availability",
+            value: availability,
+        });
+    }
+    Ok((1.0 - availability) * 365.25 * 24.0 * 3600.0)
 }
 
 /// Group MTTF bound of §3.2: a group fails when any member fails.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `member_mttfs_s` is empty.
-pub fn group_mttf_bound_s(member_mttfs_s: &[f64]) -> f64 {
-    assert!(!member_mttfs_s.is_empty(), "empty group");
-    member_mttfs_s.iter().copied().fold(f64::INFINITY, f64::min)
+/// Returns [`AnalysisError::EmptyGroup`] if `member_mttfs_s` is empty.
+pub fn group_mttf_bound_s(member_mttfs_s: &[f64]) -> Result<f64, AnalysisError> {
+    if member_mttfs_s.is_empty() {
+        return Err(AnalysisError::EmptyGroup {
+            what: "group_mttf_bound_s",
+        });
+    }
+    Ok(member_mttfs_s.iter().copied().fold(f64::INFINITY, f64::min))
 }
 
 /// Group MTTR bound of §3.2: recovering a group takes at least as long as its
 /// slowest member.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `member_mttrs_s` is empty.
-pub fn group_mttr_bound_s(member_mttrs_s: &[f64]) -> f64 {
-    assert!(!member_mttrs_s.is_empty(), "empty group");
-    member_mttrs_s.iter().copied().fold(0.0, f64::max)
+/// Returns [`AnalysisError::EmptyGroup`] if `member_mttrs_s` is empty.
+pub fn group_mttr_bound_s(member_mttrs_s: &[f64]) -> Result<f64, AnalysisError> {
+    if member_mttrs_s.is_empty() {
+        return Err(AnalysisError::EmptyGroup {
+            what: "group_mttr_bound_s",
+        });
+    }
+    Ok(member_mttrs_s.iter().copied().fold(0.0, f64::max))
 }
 
 /// The §4.1 expected MTTR of a depth-augmented group:
 /// `Σ f_ci · MTTR_ci` over `(probability, mttr)` pairs.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the probabilities do not sum to 1 (within 1e-6) — the `A_cure`
-/// assumption that every failure is restart-curable.
-pub fn weighted_group_mttr_s(cures: &[(f64, f64)]) -> f64 {
+/// Returns [`AnalysisError::UnnormalizedCures`] if the probabilities do not
+/// sum to 1 (within 1e-6) — the `A_cure` assumption that every failure is
+/// restart-curable.
+pub fn weighted_group_mttr_s(cures: &[(f64, f64)]) -> Result<f64, AnalysisError> {
     let total: f64 = cures.iter().map(|(p, _)| p).sum();
-    assert!(
-        (total - 1.0).abs() < 1e-6,
-        "cure probabilities sum to {total}, expected 1 (A_cure)"
-    );
-    cures.iter().map(|(p, mttr)| p * mttr).sum()
+    if (total - 1.0).abs() >= 1e-6 {
+        return Err(AnalysisError::UnnormalizedCures { total });
+    }
+    Ok(cures.iter().map(|(p, mttr)| p * mttr).sum())
 }
 
 /// Restart-cost model: how long restarts and detections take.
@@ -198,6 +220,33 @@ impl SimpleCostModel {
             1.0 + self.contention_quadratic * ((k - 1) as f64).powi(2)
         }
     }
+
+    /// Every configured `(component, boot seconds)` pair — the hook rr-abs
+    /// uses to widen a calibrated point model into an interval model.
+    pub fn boot_times(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.boot_s.iter().map(|(c, s)| (c.as_str(), *s))
+    }
+
+    /// Every configured `(component, sync peer, solo penalty seconds)`
+    /// triple (§4.3 coupling).
+    pub fn sync_pairs(&self) -> impl Iterator<Item = (&str, &str, f64)> {
+        self.solo_sync_penalty
+            .iter()
+            .map(|(c, (peer, s))| (c.as_str(), peer.as_str(), *s))
+    }
+
+    /// Every configured `(component, rapid-restart penalty seconds)` pair.
+    pub fn rapid_restart_penalties(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.rapid_restart_penalty
+            .iter()
+            .map(|(c, s)| (c.as_str(), *s))
+    }
+
+    /// The quadratic contention coefficient `q` of
+    /// [`contention_factor`](Self::contention_factor).
+    pub fn contention_quadratic(&self) -> f64 {
+        self.contention_quadratic
+    }
 }
 
 impl CostModel for SimpleCostModel {
@@ -310,17 +359,18 @@ pub fn expected_mode_recovery_s(
 ///
 /// # Errors
 ///
-/// Returns [`TreeError`] if a mode references components not in the tree.
-///
-/// # Panics
-///
-/// Panics if `modes` is empty.
+/// Returns [`AnalysisError::EmptyGroup`] if `modes` is empty, or a tree error
+/// if a mode references components not in the tree.
 pub fn expected_serial_group_recovery_s(
     tree: &RestartTree,
     modes: &[FailureMode],
     cost: &dyn CostModel,
-) -> Result<f64, TreeError> {
-    assert!(!modes.is_empty(), "empty correlated group");
+) -> Result<f64, AnalysisError> {
+    if modes.is_empty() {
+        return Err(AnalysisError::EmptyGroup {
+            what: "expected_serial_group_recovery_s",
+        });
+    }
     let mut total = cost.detection_s();
     for mode in modes {
         let cell = tree.lowest_cover(&mode.cure_set)?;
@@ -342,17 +392,18 @@ pub fn expected_serial_group_recovery_s(
 ///
 /// # Errors
 ///
-/// Returns [`TreeError`] if a mode references components not in the tree.
-///
-/// # Panics
-///
-/// Panics if `modes` is empty.
+/// Returns [`AnalysisError::EmptyGroup`] if `modes` is empty, or a tree error
+/// if a mode references components not in the tree.
 pub fn expected_parallel_group_recovery_s(
     tree: &RestartTree,
     modes: &[FailureMode],
     cost: &dyn CostModel,
-) -> Result<f64, TreeError> {
-    assert!(!modes.is_empty(), "empty correlated group");
+) -> Result<f64, AnalysisError> {
+    if modes.is_empty() {
+        return Err(AnalysisError::EmptyGroup {
+            what: "expected_parallel_group_recovery_s",
+        });
+    }
     let suspicions = modes
         .iter()
         .map(|mode| Suspicion::covering(tree, &mode.trigger, &mode.cure_set))
@@ -366,26 +417,31 @@ pub fn expected_parallel_group_recovery_s(
     let union: Vec<String> = union.into_iter().collect();
     Ok(cost.detection_s() + cost.restart_s(&union))
 }
+
+/// Expected system MTTR: mode probabilities weighting mode recovery
 /// times — the generalization of the §4.1 formula to arbitrary trees and
 /// oracles.
 ///
 /// # Errors
 ///
-/// Returns [`TreeError`] if the model references components not in the tree.
-///
-/// # Panics
-///
-/// Panics if `model` has no modes.
+/// Returns [`AnalysisError::Model`] if `model` has no modes, or
+/// [`AnalysisError::Tree`] if the model references components not in the
+/// tree.
 pub fn expected_system_mttr_s(
     tree: &RestartTree,
     model: &FailureModel,
     cost: &dyn CostModel,
     quality: OracleQuality,
-) -> Result<f64, TreeError> {
-    assert!(!model.modes().is_empty(), "empty failure model");
+) -> Result<f64, AnalysisError> {
+    if model.modes().is_empty() {
+        return Err(ModelError::EmptyModel {
+            query: "expected_system_mttr_s",
+        }
+        .into());
+    }
     let mut total = 0.0;
     for mode in model.modes() {
-        let p = model.mode_probability(mode);
+        let p = model.mode_probability(mode)?;
         total += p * expected_mode_recovery_s(tree, mode, cost, quality)?;
     }
     Ok(total)
@@ -395,15 +451,16 @@ pub fn expected_system_mttr_s(
 ///
 /// # Errors
 ///
-/// Returns [`TreeError`] if the model references components not in the tree.
+/// Returns [`AnalysisError`] if the model is empty or references components
+/// not in the tree.
 pub fn expected_availability(
     tree: &RestartTree,
     model: &FailureModel,
     cost: &dyn CostModel,
     quality: OracleQuality,
-) -> Result<f64, TreeError> {
+) -> Result<f64, AnalysisError> {
     let mttr = expected_system_mttr_s(tree, model, cost, quality)?;
-    Ok(availability(model.system_mttf_s(), mttr))
+    availability(model.system_mttf_s()?, mttr)
 }
 
 #[cfg(test)]
@@ -447,28 +504,57 @@ mod tests {
 
     #[test]
     fn availability_basics() {
-        assert!((availability(99.0, 1.0) - 0.99).abs() < 1e-12);
-        let d = downtime_s_per_year(0.99);
+        assert!((availability(99.0, 1.0).unwrap() - 0.99).abs() < 1e-12);
+        let d = downtime_s_per_year(0.99).unwrap();
         assert!((d - 0.01 * 365.25 * 24.0 * 3600.0).abs() < 1e-6);
     }
 
     #[test]
+    fn availability_rejects_degenerate_inputs() {
+        assert!(matches!(
+            availability(0.0, 1.0),
+            Err(AnalysisError::NonPositive { what: "MTTF", .. })
+        ));
+        assert!(matches!(
+            availability(99.0, f64::NAN),
+            Err(AnalysisError::NonPositive { what: "MTTR", .. })
+        ));
+        assert!(matches!(
+            downtime_s_per_year(1.5),
+            Err(AnalysisError::OutOfRange { .. })
+        ));
+        assert!(matches!(
+            downtime_s_per_year(0.0),
+            Err(AnalysisError::OutOfRange { .. })
+        ));
+    }
+
+    #[test]
     fn group_bounds() {
-        assert_eq!(group_mttf_bound_s(&[100.0, 50.0, 75.0]), 50.0);
-        assert_eq!(group_mttr_bound_s(&[5.0, 21.0, 9.0]), 21.0);
+        assert_eq!(group_mttf_bound_s(&[100.0, 50.0, 75.0]).unwrap(), 50.0);
+        assert_eq!(group_mttr_bound_s(&[5.0, 21.0, 9.0]).unwrap(), 21.0);
+        assert!(matches!(
+            group_mttf_bound_s(&[]),
+            Err(AnalysisError::EmptyGroup { .. })
+        ));
+        assert!(matches!(
+            group_mttr_bound_s(&[]),
+            Err(AnalysisError::EmptyGroup { .. })
+        ));
     }
 
     #[test]
     fn weighted_mttr_formula() {
         // §4.1: MTTR ≤ Σ f_ci · MTTR_ci with Σ f_ci = 1.
-        let v = weighted_group_mttr_s(&[(0.5, 10.0), (0.3, 20.0), (0.2, 5.0)]);
+        let v = weighted_group_mttr_s(&[(0.5, 10.0), (0.3, 20.0), (0.2, 5.0)]).unwrap();
         assert!((v - 12.0).abs() < 1e-12);
     }
 
     #[test]
-    #[should_panic(expected = "A_cure")]
     fn weighted_mttr_requires_probabilities_summing_to_one() {
-        weighted_group_mttr_s(&[(0.5, 10.0)]);
+        let err = weighted_group_mttr_s(&[(0.5, 10.0)]).unwrap_err();
+        assert!(matches!(err, AnalysisError::UnnormalizedCures { .. }));
+        assert!(err.to_string().contains("A_cure"));
     }
 
     #[test]
@@ -511,7 +597,7 @@ mod tests {
             ("pbcom", 21.24),
         ];
         for (comp, paper) in cases {
-            let mode = FailureMode::solo(comp, comp, 1.0);
+            let mode = FailureMode::solo(comp, comp, 1.0).unwrap();
             let got = expected_mode_recovery_s(&tree, &mode, &c, OracleQuality::Perfect).unwrap();
             let rel = (got - paper).abs() / paper;
             assert!(rel < 0.05, "{comp}: predicted {got:.2}, paper {paper}");
@@ -522,7 +608,8 @@ mod tests {
     fn faulty_oracle_costs_more_only_when_undershoot_possible() {
         let tree = tree_iv();
         let c = cost();
-        let joint = FailureMode::correlated("pbcom-joint", "pbcom", ["fedr", "pbcom"], 1.0);
+        let joint =
+            FailureMode::correlated("pbcom-joint", "pbcom", ["fedr", "pbcom"], 1.0).unwrap();
         let perfect = expected_mode_recovery_s(&tree, &joint, &c, OracleQuality::Perfect).unwrap();
         let faulty =
             expected_mode_recovery_s(&tree, &joint, &c, OracleQuality::Faulty { undershoot: 0.3 })
@@ -549,7 +636,8 @@ mod tests {
     fn naive_equals_faulty_one() {
         let tree = tree_iv();
         let c = cost();
-        let joint = FailureMode::correlated("pbcom-joint", "pbcom", ["fedr", "pbcom"], 1.0);
+        let joint =
+            FailureMode::correlated("pbcom-joint", "pbcom", ["fedr", "pbcom"], 1.0).unwrap();
         let naive = expected_mode_recovery_s(&tree, &joint, &c, OracleQuality::Naive).unwrap();
         let faulty1 =
             expected_mode_recovery_s(&tree, &joint, &c, OracleQuality::Faulty { undershoot: 1.0 })
@@ -562,8 +650,8 @@ mod tests {
         let tree = tree_iv();
         let c = cost();
         let model = FailureModel::new()
-            .with_mode(FailureMode::solo("fedr", "fedr", 6.0))
-            .with_mode(FailureMode::solo("rtu", "rtu", 0.2));
+            .with_mode(FailureMode::solo("fedr", "fedr", 6.0).unwrap())
+            .with_mode(FailureMode::solo("rtu", "rtu", 0.2).unwrap());
         let sys = expected_system_mttr_s(&tree, &model, &c, OracleQuality::Perfect).unwrap();
         let fedr =
             expected_mode_recovery_s(&tree, &model.modes()[0], &c, OracleQuality::Perfect).unwrap();
@@ -581,9 +669,9 @@ mod tests {
             .build()
             .unwrap();
         let model = FailureModel::new()
-            .with_mode(FailureMode::solo("fedr", "fedr", 6.0))
-            .with_mode(FailureMode::solo("ses", "ses", 0.2))
-            .with_mode(FailureMode::solo("rtu", "rtu", 0.2));
+            .with_mode(FailureMode::solo("fedr", "fedr", 6.0).unwrap())
+            .with_mode(FailureMode::solo("ses", "ses", 0.2).unwrap())
+            .with_mode(FailureMode::solo("rtu", "rtu", 0.2).unwrap());
         let c = cost();
         let a1 = expected_availability(&tree_i, &model, &c, OracleQuality::Perfect).unwrap();
         let a4 = expected_availability(&tree_iv(), &model, &c, OracleQuality::Perfect).unwrap();
@@ -598,8 +686,8 @@ mod tests {
         let tree = tree_iv();
         let c = cost();
         let modes = [
-            FailureMode::solo("rtu", "rtu", 1.0),
-            FailureMode::solo("fedr", "fedr", 1.0),
+            FailureMode::solo("rtu", "rtu", 1.0).unwrap(),
+            FailureMode::solo("fedr", "fedr", 1.0).unwrap(),
         ];
         let serial = expected_serial_group_recovery_s(&tree, &modes, &c).unwrap();
         let parallel = expected_parallel_group_recovery_s(&tree, &modes, &c).unwrap();
@@ -616,8 +704,8 @@ mod tests {
         let tree = tree_iv();
         let c = cost();
         let modes = [
-            FailureMode::solo("fedr", "fedr", 1.0),
-            FailureMode::correlated("pbcom-joint", "pbcom", ["fedr", "pbcom"], 1.0),
+            FailureMode::solo("fedr", "fedr", 1.0).unwrap(),
+            FailureMode::correlated("pbcom-joint", "pbcom", ["fedr", "pbcom"], 1.0).unwrap(),
         ];
         let parallel = expected_parallel_group_recovery_s(&tree, &modes, &c).unwrap();
         let pair: Vec<String> = vec!["fedr".into(), "pbcom".into()];
@@ -634,7 +722,7 @@ mod tests {
         // parallel algebra degenerates cleanly.
         let tree = tree_iv();
         let c = cost();
-        let mode = FailureMode::solo("rtu", "rtu", 1.0);
+        let mode = FailureMode::solo("rtu", "rtu", 1.0).unwrap();
         let solo = expected_mode_recovery_s(&tree, &mode, &c, OracleQuality::Perfect).unwrap();
         let group =
             expected_parallel_group_recovery_s(&tree, std::slice::from_ref(&mode), &c).unwrap();
@@ -647,7 +735,7 @@ mod tests {
     fn unknown_components_error() {
         let tree = tree_iv();
         let c = cost();
-        let mode = FailureMode::solo("ghost", "ghost", 1.0);
+        let mode = FailureMode::solo("ghost", "ghost", 1.0).unwrap();
         assert!(expected_mode_recovery_s(&tree, &mode, &c, OracleQuality::Perfect).is_err());
     }
 }

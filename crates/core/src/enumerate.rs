@@ -18,7 +18,7 @@
 use std::collections::BTreeMap;
 
 use crate::analysis::{expected_system_mttr_s, CostModel, OracleQuality};
-use crate::error::TreeError;
+use crate::error::AnalysisError;
 use crate::model::FailureModel;
 use crate::transform::group_label;
 use crate::tree::{RestartTree, TreeSpec};
@@ -138,7 +138,8 @@ fn set_partitions(items: &[String]) -> Vec<Vec<Vec<String>>> {
 ///
 /// # Errors
 ///
-/// Returns [`TreeError`] if the model references unknown components.
+/// Returns [`AnalysisError`] if the model is empty or references unknown
+/// components.
 ///
 /// # Panics
 ///
@@ -148,7 +149,7 @@ pub fn exhaustive_best(
     model: &FailureModel,
     cost: &dyn CostModel,
     quality: OracleQuality,
-) -> Result<(RestartTree, f64), TreeError> {
+) -> Result<(RestartTree, f64), AnalysisError> {
     let mut best: Option<(RestartTree, f64)> = None;
     for tree in enumerate_trees(components) {
         let c = expected_system_mttr_s(&tree, model, cost, quality)?;
@@ -218,16 +219,13 @@ mod tests {
             .with_sync_pair("str", "ses", 3.7)
             .with_rapid_restart_penalty("pbcom", 4.0);
         let model = FailureModel::new()
-            .with_mode(FailureMode::solo("fedr", "fedr", 6.0))
-            .with_mode(FailureMode::solo("pbcom", "pbcom", 0.05))
-            .with_mode(FailureMode::correlated(
-                "pbcom-joint",
-                "pbcom",
-                ["fedr", "pbcom"],
-                0.4,
-            ))
-            .with_mode(FailureMode::correlated("ses", "ses", ["ses"], 0.2))
-            .with_mode(FailureMode::correlated("str", "str", ["str"], 0.2));
+            .with_mode(FailureMode::solo("fedr", "fedr", 6.0).unwrap())
+            .with_mode(FailureMode::solo("pbcom", "pbcom", 0.05).unwrap())
+            .with_mode(
+                FailureMode::correlated("pbcom-joint", "pbcom", ["fedr", "pbcom"], 0.4).unwrap(),
+            )
+            .with_mode(FailureMode::correlated("ses", "ses", ["ses"], 0.2).unwrap())
+            .with_mode(FailureMode::correlated("str", "str", ["str"], 0.2).unwrap());
 
         for quality in [
             OracleQuality::Perfect,

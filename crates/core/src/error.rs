@@ -33,6 +33,124 @@ impl TreeError {
     }
 }
 
+/// An error constructing or querying a [`FailureModel`](crate::model::FailureModel).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// A mode's occurrence rate was not positive and finite.
+    InvalidRate {
+        /// The mode's name.
+        mode: String,
+        /// The offending rate (per hour).
+        rate: f64,
+    },
+    /// A correlated mode's cure set does not contain its trigger component.
+    TriggerOutsideCureSet {
+        /// The mode's name.
+        mode: String,
+        /// The trigger component missing from the cure set.
+        trigger: String,
+    },
+    /// A rate-derived quantity was asked of a model with no modes.
+    EmptyModel {
+        /// Which query hit the empty model.
+        query: &'static str,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::InvalidRate { mode, rate } => {
+                write!(f, "failure mode {mode:?} has invalid rate {rate}/h")
+            }
+            ModelError::TriggerOutsideCureSet { mode, trigger } => write!(
+                f,
+                "failure mode {mode:?}: cure set must contain the trigger component {trigger:?}"
+            ),
+            ModelError::EmptyModel { query } => {
+                write!(f, "{query} on an empty failure model")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+/// An error from the MTTF/MTTR analysis algebra
+/// ([`analysis`](crate::analysis)).
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnalysisError {
+    /// A tree lookup failed.
+    Tree(TreeError),
+    /// A failure-model query failed.
+    Model(ModelError),
+    /// A parameter that must be positive and finite was not.
+    NonPositive {
+        /// Which parameter.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A parameter fell outside its valid range.
+    OutOfRange {
+        /// Which parameter.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A group aggregate was asked of an empty member list.
+    EmptyGroup {
+        /// Which aggregate hit the empty group.
+        what: &'static str,
+    },
+    /// §4.1 cure probabilities do not sum to 1 (the `A_cure` assumption).
+    UnnormalizedCures {
+        /// What the probabilities actually summed to.
+        total: f64,
+    },
+}
+
+impl From<TreeError> for AnalysisError {
+    fn from(e: TreeError) -> AnalysisError {
+        AnalysisError::Tree(e)
+    }
+}
+
+impl From<ModelError> for AnalysisError {
+    fn from(e: ModelError) -> AnalysisError {
+        AnalysisError::Model(e)
+    }
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::Tree(e) => e.fmt(f),
+            AnalysisError::Model(e) => e.fmt(f),
+            AnalysisError::NonPositive { what, value } => {
+                write!(f, "{what} must be positive and finite, got {value}")
+            }
+            AnalysisError::OutOfRange { what, value } => {
+                write!(f, "{what} is out of range: {value}")
+            }
+            AnalysisError::EmptyGroup { what } => write!(f, "{what} on an empty group"),
+            AnalysisError::UnnormalizedCures { total } => {
+                write!(f, "cure probabilities sum to {total}, expected 1 (A_cure)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AnalysisError::Tree(e) => Some(e),
+            AnalysisError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
 impl fmt::Display for TreeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -56,6 +174,28 @@ impl std::error::Error for TreeError {}
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn model_and_analysis_errors_display() {
+        let e = ModelError::InvalidRate {
+            mode: "fedr-crash".into(),
+            rate: f64::NAN,
+        };
+        assert!(e.to_string().contains("fedr-crash"));
+        let e = AnalysisError::NonPositive {
+            what: "MTTF",
+            value: -1.0,
+        };
+        assert!(e.to_string().contains("MTTF"));
+        let e: AnalysisError = TreeError::CannotModifyRoot.into();
+        assert!(matches!(e, AnalysisError::Tree(_)));
+        let e: AnalysisError = ModelError::EmptyModel {
+            query: "system_mttf_s",
+        }
+        .into();
+        assert!(e.to_string().contains("system_mttf_s"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
 
     #[test]
     fn display_messages_are_informative() {

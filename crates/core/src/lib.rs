@@ -73,7 +73,7 @@ pub mod tree;
 pub use advisor::{advise, Advice, OracleAssumption};
 pub use analysis::{availability, CostModel, OracleQuality, SimpleCostModel};
 pub use deadline::{DeadlineModel, Urgency};
-pub use error::TreeError;
+pub use error::{AnalysisError, ModelError, TreeError};
 pub use model::{FailureMode, FailureModel};
 pub use oracle::{Failure, FaultyOracle, LearningOracle, NaiveOracle, Oracle, PerfectOracle};
 pub use policy::{GiveUpReason, RecoveryMode, RestartPolicy};

@@ -7,6 +7,7 @@
 //! synthetic fault injection in the simulator and the analytic expected-MTTR
 //! computation in [`analysis`](crate::analysis).
 
+use crate::error::ModelError;
 use crate::oracle::Failure;
 use crate::tree::RestartTree;
 
@@ -27,10 +28,15 @@ pub struct FailureMode {
 impl FailureMode {
     /// A mode curable by restarting only the component it manifests in.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `rate_per_hour` is not positive and finite.
-    pub fn solo(name: impl Into<String>, trigger: impl Into<String>, rate_per_hour: f64) -> Self {
+    /// Returns [`ModelError::InvalidRate`] if `rate_per_hour` is not positive
+    /// and finite.
+    pub fn solo(
+        name: impl Into<String>,
+        trigger: impl Into<String>,
+        rate_per_hour: f64,
+    ) -> Result<Self, ModelError> {
         let trigger = trigger.into();
         Self::correlated(name, trigger.clone(), [trigger], rate_per_hour)
     }
@@ -38,36 +44,42 @@ impl FailureMode {
     /// A mode that manifests in `trigger` but needs all of `cure_set`
     /// restarted together.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `cure_set` does not contain `trigger`, or if
-    /// `rate_per_hour` is not positive and finite.
+    /// Returns [`ModelError::TriggerOutsideCureSet`] if `cure_set` does not
+    /// contain `trigger`, or [`ModelError::InvalidRate`] if `rate_per_hour`
+    /// is not positive and finite.
     pub fn correlated<I, S>(
         name: impl Into<String>,
         trigger: impl Into<String>,
         cure_set: I,
         rate_per_hour: f64,
-    ) -> Self
+    ) -> Result<Self, ModelError>
     where
         I: IntoIterator<Item = S>,
         S: Into<String>,
     {
-        assert!(
-            rate_per_hour.is_finite() && rate_per_hour > 0.0,
-            "invalid rate {rate_per_hour}"
-        );
+        let name = name.into();
+        if !(rate_per_hour.is_finite() && rate_per_hour > 0.0) {
+            return Err(ModelError::InvalidRate {
+                mode: name,
+                rate: rate_per_hour,
+            });
+        }
         let trigger = trigger.into();
         let cure_set: Vec<String> = cure_set.into_iter().map(Into::into).collect();
-        assert!(
-            cure_set.contains(&trigger),
-            "cure set must contain the trigger component"
-        );
-        FailureMode {
-            name: name.into(),
+        if !cure_set.contains(&trigger) {
+            return Err(ModelError::TriggerOutsideCureSet {
+                mode: name,
+                trigger,
+            });
+        }
+        Ok(FailureMode {
+            name,
             trigger,
             cure_set,
             rate_per_hour,
-        }
+        })
     }
 
     /// The [`Failure`] event this mode injects.
@@ -121,13 +133,17 @@ impl FailureModel {
     /// The probability that a manifested failure is this mode — the paper's
     /// `f` values, e.g. `f_{fedr,pbcom}` (§4.2).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the model is empty.
-    pub fn mode_probability(&self, mode: &FailureMode) -> f64 {
+    /// Returns [`ModelError::EmptyModel`] if the model has no modes.
+    pub fn mode_probability(&self, mode: &FailureMode) -> Result<f64, ModelError> {
         let total = self.total_rate_per_hour();
-        assert!(total > 0.0, "mode_probability on an empty model");
-        mode.rate_per_hour / total
+        if total <= 0.0 {
+            return Err(ModelError::EmptyModel {
+                query: "mode_probability",
+            });
+        }
+        Ok(mode.rate_per_hour / total)
     }
 
     /// System MTTF in seconds under `A_entire` (any component failure takes
@@ -135,13 +151,17 @@ impl FailureModel {
     /// the algebraic form of `MTTF_G ≤ min(MTTF_ci)` for independent
     /// exponential components.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the model is empty.
-    pub fn system_mttf_s(&self) -> f64 {
+    /// Returns [`ModelError::EmptyModel`] if the model has no modes.
+    pub fn system_mttf_s(&self) -> Result<f64, ModelError> {
         let total = self.total_rate_per_hour();
-        assert!(total > 0.0, "system_mttf_s on an empty model");
-        3600.0 / total
+        if total <= 0.0 {
+            return Err(ModelError::EmptyModel {
+                query: "system_mttf_s",
+            });
+        }
+        Ok(3600.0 / total)
     }
 
     /// The aggregate failure rate attributed to one component (sum over the
@@ -205,35 +225,50 @@ mod tests {
 
     fn sample() -> FailureModel {
         FailureModel::new()
-            .with_mode(FailureMode::solo("fedr-crash", "fedr", 6.0)) // MTTF 10 min
-            .with_mode(FailureMode::solo("ses-crash", "ses", 0.2)) // MTTF 5 h
-            .with_mode(FailureMode::correlated(
-                "pbcom-joint",
-                "pbcom",
-                ["fedr", "pbcom"],
-                0.05,
-            ))
+            .with_mode(FailureMode::solo("fedr-crash", "fedr", 6.0).unwrap()) // MTTF 10 min
+            .with_mode(FailureMode::solo("ses-crash", "ses", 0.2).unwrap()) // MTTF 5 h
+            .with_mode(
+                FailureMode::correlated("pbcom-joint", "pbcom", ["fedr", "pbcom"], 0.05).unwrap(),
+            )
     }
 
     #[test]
     fn rates_and_probabilities() {
         let model = sample();
         assert!((model.total_rate_per_hour() - 6.25).abs() < 1e-12);
-        let p = model.mode_probability(&model.modes()[0]);
+        let p = model.mode_probability(&model.modes()[0]).unwrap();
         assert!((p - 6.0 / 6.25).abs() < 1e-12);
         let sum: f64 = model
             .modes()
             .iter()
-            .map(|m| model.mode_probability(m))
+            .map(|m| model.mode_probability(m).unwrap())
             .sum();
         assert!((sum - 1.0).abs() < 1e-12, "f_ci sum to 1 (A_cure)");
+    }
+
+    #[test]
+    fn empty_model_queries_are_typed_errors() {
+        let empty = FailureModel::new();
+        let probe = FailureMode::solo("x", "c", 1.0).unwrap();
+        assert_eq!(
+            empty.mode_probability(&probe),
+            Err(ModelError::EmptyModel {
+                query: "mode_probability"
+            })
+        );
+        assert_eq!(
+            empty.system_mttf_s(),
+            Err(ModelError::EmptyModel {
+                query: "system_mttf_s"
+            })
+        );
     }
 
     #[test]
     fn mttf_relationships() {
         let model = sample();
         // System MTTF is at most the smallest component MTTF (§3.2).
-        let sys = model.system_mttf_s();
+        let sys = model.system_mttf_s().unwrap();
         for comp in ["fedr", "ses", "pbcom"] {
             let c = model.component_mttf_s(comp).unwrap();
             assert!(sys <= c + 1e-9, "system {sys} vs {comp} {c}");
@@ -244,7 +279,7 @@ mod tests {
 
     #[test]
     fn mode_mttf_matches_rate() {
-        let m = FailureMode::solo("x", "c", 2.0);
+        let m = FailureMode::solo("x", "c", 2.0).unwrap();
         assert!((m.mttf_s() - 1800.0).abs() < 1e-12);
     }
 
@@ -267,27 +302,41 @@ mod tests {
 
     #[test]
     fn to_failure_carries_cure_set() {
-        let m = FailureMode::correlated("j", "a", ["a", "b"], 1.0);
+        let m = FailureMode::correlated("j", "a", ["a", "b"], 1.0).unwrap();
         let f = m.to_failure();
         assert_eq!(f.component, "a");
         assert_eq!(f.cure_set, vec!["a", "b"]);
     }
 
     #[test]
-    #[should_panic(expected = "cure set must contain")]
     fn correlated_requires_trigger_in_cure_set() {
-        FailureMode::correlated("bad", "a", ["b"], 1.0);
+        let err = FailureMode::correlated("bad", "a", ["b"], 1.0).unwrap_err();
+        assert_eq!(
+            err,
+            ModelError::TriggerOutsideCureSet {
+                mode: "bad".into(),
+                trigger: "a".into(),
+            }
+        );
+        assert!(err.to_string().contains("cure set must contain"));
     }
 
     #[test]
-    #[should_panic(expected = "invalid rate")]
-    fn rejects_zero_rate() {
-        FailureMode::solo("bad", "a", 0.0);
+    fn rejects_degenerate_rates() {
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let err = FailureMode::solo("bad", "a", bad).unwrap_err();
+            assert!(
+                matches!(err, ModelError::InvalidRate { ref mode, .. } if mode == "bad"),
+                "rate {bad}: {err}"
+            );
+        }
     }
 
     #[test]
     fn collect_from_iterator() {
-        let model: FailureModel = vec![FailureMode::solo("a", "a", 1.0)].into_iter().collect();
+        let model: FailureModel = vec![FailureMode::solo("a", "a", 1.0).unwrap()]
+            .into_iter()
+            .collect();
         assert_eq!(model.modes().len(), 1);
     }
 }

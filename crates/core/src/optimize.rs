@@ -15,7 +15,7 @@
 //! to tree V under the §4.4 faulty oracle.
 
 use crate::analysis::{expected_system_mttr_s, CostModel, OracleQuality};
-use crate::error::TreeError;
+use crate::error::{AnalysisError, TreeError};
 use crate::model::FailureModel;
 use crate::transform::{
     consolidate, consolidate_one_sided, demote_component, depth_augment, flatten, group_cells,
@@ -173,7 +173,7 @@ fn neighbourhood(tree: &RestartTree) -> Vec<(Move, RestartTree)> {
 ///
 /// # Errors
 ///
-/// Returns [`TreeError`] if the failure model references components absent
+/// Returns [`AnalysisError`] if the failure model references components absent
 /// from `start`.
 pub fn optimize_tree(
     start: &RestartTree,
@@ -181,7 +181,7 @@ pub fn optimize_tree(
     cost: &dyn CostModel,
     quality: OracleQuality,
     config: OptimizerConfig,
-) -> Result<Optimized, TreeError> {
+) -> Result<Optimized, AnalysisError> {
     model
         .validate_against(start)
         .map_err(|missing| TreeError::UnknownComponent(missing.join(", ")))?;
@@ -257,18 +257,15 @@ mod tests {
     /// §4.2/§4.3.
     fn model() -> FailureModel {
         FailureModel::new()
-            .with_mode(FailureMode::solo("mbus", "mbus", 1.0 / (30.0 * 24.0)))
-            .with_mode(FailureMode::solo("fedr", "fedr", 5.0))
-            .with_mode(FailureMode::solo("pbcom", "pbcom", 0.05))
-            .with_mode(FailureMode::correlated(
-                "pbcom-joint",
-                "pbcom",
-                ["fedr", "pbcom"],
-                0.4,
-            ))
-            .with_mode(FailureMode::correlated("ses", "ses", ["ses", "str"], 0.2))
-            .with_mode(FailureMode::correlated("str", "str", ["ses", "str"], 0.2))
-            .with_mode(FailureMode::solo("rtu", "rtu", 0.2))
+            .with_mode(FailureMode::solo("mbus", "mbus", 1.0 / (30.0 * 24.0)).unwrap())
+            .with_mode(FailureMode::solo("fedr", "fedr", 5.0).unwrap())
+            .with_mode(FailureMode::solo("pbcom", "pbcom", 0.05).unwrap())
+            .with_mode(
+                FailureMode::correlated("pbcom-joint", "pbcom", ["fedr", "pbcom"], 0.4).unwrap(),
+            )
+            .with_mode(FailureMode::correlated("ses", "ses", ["ses", "str"], 0.2).unwrap())
+            .with_mode(FailureMode::correlated("str", "str", ["ses", "str"], 0.2).unwrap())
+            .with_mode(FailureMode::solo("rtu", "rtu", 0.2).unwrap())
     }
 
     fn tree_i() -> RestartTree {
@@ -409,7 +406,10 @@ mod tests {
             OptimizerConfig::default(),
         )
         .unwrap_err();
-        assert!(matches!(err, TreeError::UnknownComponent(_)));
+        assert!(matches!(
+            err,
+            AnalysisError::Tree(TreeError::UnknownComponent(_))
+        ));
     }
 
     #[test]

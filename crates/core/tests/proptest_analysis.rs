@@ -38,23 +38,25 @@ fn arb_scenario(rng: &mut SimRng) -> Scenario {
     }
     let mut model = FailureModel::new();
     for (i, comp) in components.iter().enumerate() {
-        model.push(FailureMode::solo(
-            format!("solo-{comp}"),
-            comp.clone(),
-            rates[i % rates.len()],
-        ));
+        model.push(
+            FailureMode::solo(format!("solo-{comp}"), comp.clone(), rates[i % rates.len()])
+                .unwrap(),
+        );
     }
     // One correlated pair, chosen pseudo-randomly.
     if n >= 2 {
         let a = (seed as usize) % n;
         let b = (a + 1 + (seed as usize / 7) % (n - 1)) % n;
         if a != b {
-            model.push(FailureMode::correlated(
-                "pair",
-                components[a].clone(),
-                [components[a].clone(), components[b].clone()],
-                rates[(seed as usize) % rates.len()],
-            ));
+            model.push(
+                FailureMode::correlated(
+                    "pair",
+                    components[a].clone(),
+                    [components[a].clone(), components[b].clone()],
+                    rates[(seed as usize) % rates.len()],
+                )
+                .unwrap(),
+            );
         }
     }
     Scenario {
@@ -161,10 +163,10 @@ fn availability_monotonicity() {
         let mttf = rng.uniform(1.0, 1e9);
         let mttr = rng.uniform(0.001, 1e6);
         let bump = rng.uniform(1.001, 10.0);
-        let a = availability(mttf, mttr);
+        let a = availability(mttf, mttr).unwrap();
         assert!(a > 0.0 && a < 1.0);
-        assert!(availability(mttf * bump, mttr) > a);
-        assert!(availability(mttf, mttr * bump) < a);
+        assert!(availability(mttf * bump, mttr).unwrap() > a);
+        assert!(availability(mttf, mttr * bump).unwrap() < a);
     });
 }
 

@@ -206,8 +206,8 @@ fn lowest_cover_is_minimal() {
 fn group_bounds_hold() {
     check::run("group_bounds_hold", 128, |rng| {
         let values: Vec<f64> = check::vec_of(rng, 1, 31, |r| r.uniform(0.1, 1e6));
-        let mttf = group_mttf_bound_s(&values);
-        let mttr = group_mttr_bound_s(&values);
+        let mttf = group_mttf_bound_s(&values).unwrap();
+        let mttr = group_mttr_bound_s(&values).unwrap();
         for &v in &values {
             assert!(mttf <= v);
             assert!(mttr >= v);

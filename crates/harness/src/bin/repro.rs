@@ -9,7 +9,7 @@
 //! `EXPERIMENT` is one of `table1`, `table2`, `figures`, `table4`,
 //! `headline`, `pass`, `ablation-oracle`, `ablation-ping`,
 //! `ablation-learning`, `ablation-optimizer`, `chaos`, `overload`,
-//! `checkpoint`, `por`, or `all` (default).
+//! `checkpoint`, `por`, `abs`, or `all` (default).
 
 use std::process::ExitCode;
 
@@ -21,7 +21,7 @@ fn usage() -> ! {
         "usage: repro [EXPERIMENT]... [--trials N] [--seed S] [--report PATH] [--dot-dir DIR]\n\
          experiments: table1 table2 figures table4 correlated headline endurance pass \
          ablation-oracle ablation-ping ablation-learning ablation-optimizer \
-         ablation-rejuvenation chaos overload checkpoint por all"
+         ablation-rejuvenation chaos overload checkpoint por abs all"
     );
     std::process::exit(2);
 }
@@ -78,6 +78,7 @@ fn main() -> ExitCode {
             "overload" => results.push(rr_harness::overload::experiment(run)),
             "checkpoint" => results.push(rr_harness::checkpoint::experiment(run)),
             "por" => results.push(rr_harness::flow::experiment(run)),
+            "abs" => results.push(rr_harness::abs::experiment(run)),
             "all" => results.extend(experiments::all(run)),
             _ => usage(),
         }

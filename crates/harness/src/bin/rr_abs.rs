@@ -1,0 +1,147 @@
+//! `rr-abs`: interval certification of the §4 transformation decisions.
+//!
+//! With no fixture arguments the default audit rebuilds the three §4
+//! decisions (split fedrcom, consolidate ses/str, promote pbcom) from the
+//! shipped Mercury calibration, certifies each over a ±20% drift box with
+//! bisection refinement, prints the decision table, and lints the result
+//! ([`rr_lint::lint_abs`], codes `RRL97x`): a verdict contradicting the
+//! committed expectation or its own interval evidence is denied (RRL971), a
+//! residual `depends` region is flagged (RRL972), and a malformed box is
+//! denied before interpretation (RRL973). `--json PATH` additionally writes
+//! the deterministic decision-table artifact CI diffs against
+//! `tests/golden/abs-decisions.json`.
+//!
+//! Any `.abs` decision-table files passed as arguments are linted the same
+//! way (see `rr_harness::abs::parse_abs_fixture` for the line format) —
+//! including the deliberately broken fixture whose committed verdict its own
+//! profit interval contradicts.
+//!
+//! ```text
+//! rr-abs [--deny-warnings] [--quiet] [--json PATH] [table.abs ...]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` lint findings (deny, or any with
+//! `--deny-warnings`), `2` usage or I/O error.
+
+use std::process::ExitCode;
+
+use rr_abs::refine::RefineConfig;
+use rr_harness::abs::{abs_params, certify_decisions, decision_table_json, parse_abs_fixture};
+use rr_lint::{lint_abs, AbsParams, Report};
+
+const USAGE: &str = "usage: rr-abs [--deny-warnings] [--quiet] [--json PATH] [table.abs ...]
+
+Certifies the paper's three 4.x tree transformations over a +/-20% parameter
+drift box with interval abstract interpretation (the built-in Mercury audit
+when no tables are given), prints the decision table, and lints it (RRL97x).
+--json writes the deterministic decision-table artifact for golden diffing.
+Exit code 0 = clean, 1 = findings, 2 = usage or I/O error.";
+
+struct Options {
+    deny_warnings: bool,
+    quiet: bool,
+    json: Option<String>,
+    tables: Vec<String>,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        deny_warnings: false,
+        quiet: false,
+        json: None,
+        tables: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--deny-warnings" => opts.deny_warnings = true,
+            "--quiet" => opts.quiet = true,
+            "--json" => {
+                let path = it.next().ok_or("--json needs a path")?;
+                opts.json = Some(path.to_string());
+            }
+            "--help" | "-h" => return Err(String::new()),
+            flag if flag.starts_with('-') => return Err(format!("unknown flag {flag:?}")),
+            path => opts.tables.push(path.to_string()),
+        }
+    }
+    Ok(opts)
+}
+
+/// Prints one decision table's summary rows.
+fn print_summary(name: &str, params: &AbsParams) {
+    for d in &params.decisions {
+        println!(
+            "rr-abs {name}: {} expected={} certified={} profit=[{:.4}, {:.4}] s \
+             over {} dims, {} split(s), {:.1}% undecided",
+            d.name,
+            d.expected_verdict,
+            d.verdict,
+            d.profit_lo_s,
+            d.profit_hi_s,
+            d.box_dims.len(),
+            d.splits,
+            d.depends_fraction * 100.0
+        );
+    }
+}
+
+/// Lints one decision table, merging path-prefixed findings into `report`.
+fn audit(name: &str, params: &AbsParams, quiet: bool, report: &mut Report) {
+    if !quiet {
+        print_summary(name, params);
+    }
+    for mut d in lint_abs(params).into_diagnostics() {
+        d.path = format!("{name}::{}", d.path);
+        report.push(d);
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            if msg.is_empty() {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("rr-abs: {msg}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut report = Report::new();
+    let result: Result<(), String> = if opts.tables.is_empty() {
+        let params = abs_params(&certify_decisions(RefineConfig::default()));
+        audit("mercury", &params, opts.quiet, &mut report);
+        if let Some(path) = &opts.json {
+            std::fs::write(path, decision_table_json(&params))
+                .map_err(|e| format!("cannot write {path:?}: {e}"))
+        } else {
+            Ok(())
+        }
+    } else if opts.json.is_some() {
+        Err("--json only applies to the built-in audit, not fixture tables".to_string())
+    } else {
+        opts.tables.iter().try_for_each(|path| {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+            let params = parse_abs_fixture(&text).map_err(|e| format!("{path}: {e}"))?;
+            audit(path, &params, opts.quiet, &mut report);
+            Ok(())
+        })
+    };
+    if let Err(msg) = result {
+        eprintln!("rr-abs: {msg}");
+        return ExitCode::from(2);
+    }
+
+    print!("{}", report.to_human());
+    let failing = report.has_deny() || (opts.deny_warnings && !report.is_clean());
+    if failing {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

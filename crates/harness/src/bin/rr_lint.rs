@@ -5,9 +5,11 @@
 //! (I–V) under both shipped configurations ([`StationConfig::paper`] and
 //! [`StationConfig::hardened`]), the failure models against the trees they
 //! describe, a full per-component suspicion/episode-plan round trip, the
-//! MTTF/MTTR algebra claims derived from the paper model, and every golden
-//! scenario's fault script. Any `.fault` script files passed as arguments are
-//! linted against the union of the station's component names.
+//! MTTF/MTTR algebra claims derived from the paper model, every golden
+//! scenario's fault script, and the rr-abs profitability certificates for
+//! the three §4 transformation decisions. Any `.fault` script files passed
+//! as arguments are linted against the union of the station's component
+//! names.
 //!
 //! ```text
 //! rr-lint [--format human|json] [--deny-warnings] [script.fault ...]
@@ -20,15 +22,18 @@ use std::process::ExitCode;
 
 use mercury::config::{names, StationConfig};
 use mercury::station::TreeVariant;
+use rr_abs::refine::RefineConfig;
 use rr_core::analysis::{group_mttf_bound_s, group_mttr_bound_s};
 use rr_core::model::FailureModel;
 use rr_core::schedule::{plan_episodes, Suspicion};
 use rr_core::tree::RestartTree;
+use rr_harness::abs::{abs_params, certify_decisions};
 use rr_harness::flow::flow_params;
 use rr_harness::golden::{golden_scenarios, lint_scenario};
 use rr_lint::{
-    catalog, lint_algebra, lint_fault_script, lint_flow, lint_model, lint_model_bounds, lint_plan,
-    lint_suspicions, Diagnostic, GroupClaim, MemberStat, ModelBoundsParams, Report, ScriptContext,
+    catalog, lint_abs, lint_algebra, lint_fault_script, lint_flow, lint_model, lint_model_bounds,
+    lint_plan, lint_suspicions, Diagnostic, GroupClaim, MemberStat, ModelBoundsParams, Report,
+    ScriptContext,
 };
 use rr_model::{analyze, scenario, CHECKED_QUEUE_BOUND, DEFAULT_DEPTH, DEFAULT_STATE_BUDGET};
 
@@ -140,8 +145,10 @@ fn algebra_claims(
         if members.is_empty() {
             continue;
         }
-        let mttf_s = group_mttf_bound_s(&members.iter().map(|m| m.mttf_s).collect::<Vec<_>>());
-        let mttr_s = group_mttr_bound_s(&members.iter().map(|m| m.mttr_s).collect::<Vec<_>>());
+        let mttf_s = group_mttf_bound_s(&members.iter().map(|m| m.mttf_s).collect::<Vec<_>>())
+            .unwrap_or_else(|e| unreachable!("members is non-empty: {e}"));
+        let mttr_s = group_mttr_bound_s(&members.iter().map(|m| m.mttr_s).collect::<Vec<_>>())
+            .unwrap_or_else(|e| unreachable!("members is non-empty: {e}"));
         claims.push(GroupClaim {
             group: tree.label(cell).to_string(),
             mttf_s,
@@ -254,6 +261,12 @@ fn lint_defaults() -> Report {
     for sc in golden_scenarios() {
         report.merge(prefixed(lint_scenario(&sc), &format!("golden/{}", sc.name)));
     }
+    // The rr-abs profitability certificates for the three §4 decisions: the
+    // interval evidence must support each committed verdict (RRL97x).
+    report.merge(prefixed(
+        lint_abs(&abs_params(&certify_decisions(RefineConfig::default()))),
+        "abs",
+    ));
     report
 }
 

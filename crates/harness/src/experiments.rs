@@ -23,6 +23,12 @@ use rr_sim::{Dist, SimDuration, SimRng, Summary};
 
 use crate::tables::{secs, versus, Table};
 
+/// Unwraps a failure mode built from literal experiment rates, which are
+/// valid by construction.
+fn mode(m: Result<FailureMode, rr_core::ModelError>) -> FailureMode {
+    m.unwrap_or_else(|e| unreachable!("literal experiment rates are valid: {e}"))
+}
+
 /// Which oracle a run uses.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum OracleKind {
@@ -198,11 +204,19 @@ impl CorrelatedKind {
     fn modes(self) -> Vec<FailureMode> {
         match self {
             CorrelatedKind::Pair(a, b) => {
-                vec![FailureMode::solo(a, a, 1.0), FailureMode::solo(b, b, 1.0)]
+                vec![
+                    mode(FailureMode::solo(a, a, 1.0)),
+                    mode(FailureMode::solo(b, b, 1.0)),
+                ]
             }
             CorrelatedKind::FedrThenJointPbcom => vec![
-                FailureMode::solo(names::FEDR, names::FEDR, 1.0),
-                FailureMode::correlated("joint", names::PBCOM, [names::FEDR, names::PBCOM], 1.0),
+                mode(FailureMode::solo(names::FEDR, names::FEDR, 1.0)),
+                mode(FailureMode::correlated(
+                    "joint",
+                    names::PBCOM,
+                    [names::FEDR, names::PBCOM],
+                    1.0,
+                )),
             ],
         }
     }
@@ -595,9 +609,14 @@ pub fn table4(run: RunConfig) -> Experiment {
             let s = measure_cell(row.variant, row.oracle, comp, *correlated, run);
             // Analytic cross-check.
             let mode = if *correlated {
-                FailureMode::correlated("joint", *comp, [names::FEDR, names::PBCOM], 1.0)
+                mode(FailureMode::correlated(
+                    "joint",
+                    *comp,
+                    [names::FEDR, names::PBCOM],
+                    1.0,
+                ))
             } else {
-                FailureMode::solo("solo", *comp, 1.0)
+                mode(FailureMode::solo("solo", *comp, 1.0))
             };
             let quality = match row.oracle {
                 OracleKind::Perfect | OracleKind::Learning => OracleQuality::Perfect,
@@ -789,7 +808,11 @@ pub fn headline(run: RunConfig) -> Experiment {
         };
         let mttr = expected_system_mttr_s(&tree, &model, &cost, quality)
             .unwrap_or_else(|e| panic!("{}: {e:?}", "valid model"));
-        let avail = availability(model.system_mttf_s(), mttr);
+        let mttf = model
+            .system_mttf_s()
+            .unwrap_or_else(|e| panic!("{}: {e:?}", "non-empty model"));
+        let avail =
+            availability(mttf, mttr).unwrap_or_else(|e| panic!("{}: {e:?}", "positive MTTF/MTTR"));
         let downtime_month = (1.0 - avail) * 30.44 * 86_400.0;
         table.push_row(vec![
             variant.to_string(),
@@ -918,7 +941,12 @@ pub fn ablation_oracle_sweep(run: RunConfig) -> Experiment {
     );
     let cfg = StationConfig::paper();
     let cost = cfg.cost_model();
-    let mode = FailureMode::correlated("joint", names::PBCOM, [names::FEDR, names::PBCOM], 1.0);
+    let mode = mode(FailureMode::correlated(
+        "joint",
+        names::PBCOM,
+        [names::FEDR, names::PBCOM],
+        1.0,
+    ));
     let mut table = Table::new(
         "Expected recovery (s) for the correlated pbcom failure",
         vec![

@@ -20,6 +20,7 @@
 //! | [`chaos::experiment`] | beyond the paper — chaos campaign under degraded links |
 //! | [`overload::experiment`] | beyond the paper — admission control vs pass-window misses under overload |
 //! | [`checkpoint::experiment`] | beyond the paper — cold restart vs rehydration from the crash-safe store |
+//! | [`abs::experiment`] | beyond the paper — interval certification of the §4 transformation decisions |
 //!
 //! The `repro` binary drives the suite:
 //!
@@ -32,6 +33,7 @@
 #![cfg_attr(test, allow(clippy::disallowed_methods))]
 #![warn(missing_docs)]
 
+pub mod abs;
 pub mod chaos;
 pub mod checkpoint;
 pub mod experiments;
@@ -41,6 +43,7 @@ pub mod overload;
 pub mod report;
 pub mod tables;
 
+pub use abs::{abs_params, certify_decisions, decision_table_json, parse_abs_fixture};
 pub use chaos::{ChaosConfig, ChaosReport};
 pub use checkpoint::{CheckpointConfig, CheckpointReport};
 pub use experiments::{Experiment, OracleKind, RunConfig};

@@ -8,7 +8,8 @@
 //! `RRL7xx` model-checking feasibility (`rr-model` exploration bounds),
 //! `RRL8xx` deadline/admission-policy feasibility,
 //! `RRL90x` checkpoint/rehydrate-policy feasibility,
-//! `RRL95x` action-dependence (rr-flow) soundness.
+//! `RRL95x` action-dependence (rr-flow) soundness,
+//! `RRL97x` profitability-certification (rr-abs) soundness.
 //! A code's severity never changes between releases; new checks get new
 //! codes.
 
@@ -252,6 +253,31 @@ codes! {
          override); the ample-set construction is only sound over a \
          symmetric, reflexive dependence relation, and an asymmetric entry \
          means some interleaving is pruned one way but kept the other";
+
+    ABS_PROFITABILITY_CONTRADICTION = "RRL971", "abs-profitability-contradiction", Deny,
+        "a certified profitability verdict contradicts its expectation or \
+         its own interval evidence",
+        "re-run the rr-abs certification and update the expected verdict \
+         only if the parameter drift genuinely moved the break-even surface; \
+         an `always` verdict whose profit interval reaches zero (or a \
+         verdict differing from the committed decision table) means either \
+         the calibration or the certificate is wrong, and shipping the \
+         transformation on a contradicted certificate is unsound";
+    ABS_REGION_UNREFINABLE = "RRL972", "abs-region-unrefinable", Warn,
+        "bisection exhausted its budget with part of the parameter box still \
+         undecided",
+        "raise the split budget, loosen the tolerance, or shrink the drift \
+         box; a residual `depends` region means the transformation's \
+         profitability genuinely changes sign inside the box (or the \
+         abstraction is too coarse there), so point estimates near that \
+         region cannot be trusted";
+    ABS_BOX_MALFORMED = "RRL973", "abs-box-malformed", Deny,
+        "a certification's parameter box or interval evidence is malformed",
+        "fix the box: every dimension needs finite bounds with \
+         0 < lo <= hi (multipliers must keep positive parameters positive), \
+         no duplicate dimension names, at least one dimension, and the \
+         profit interval must satisfy lo <= hi with a depends-fraction in \
+         [0, 1]; a malformed box makes every quantified verdict vacuous";
 }
 
 /// Looks up a catalog entry by its code (`"RRL001"`).

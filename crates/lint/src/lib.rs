@@ -25,6 +25,7 @@
 //! | [`lint_deadline`] | deadline/admission-policy feasibility |
 //! | [`lint_checkpoint`] | checkpoint/rehydrate-policy feasibility |
 //! | [`lint_flow`] | action-dependence (rr-flow) soundness |
+//! | [`lint_abs`] | profitability-certification (rr-abs) soundness |
 //!
 //! Each returns a [`Report`]; reports merge, render human-readable text
 //! ([`Report::to_human`]) or JSON ([`Report::to_json`]), and gate execution
@@ -51,6 +52,7 @@
 #![warn(missing_docs)]
 #![cfg_attr(test, allow(clippy::disallowed_methods))]
 
+pub mod abs;
 pub mod algebra;
 pub mod bounds;
 pub mod catalog;
@@ -65,6 +67,7 @@ pub mod schedule;
 pub mod script;
 pub mod tree;
 
+pub use abs::{lint_abs, AbsDecision, AbsParams};
 pub use algebra::{lint_algebra, GroupClaim, MemberStat};
 pub use bounds::{lint_model_bounds, ModelBoundsParams};
 pub use catalog::CodeInfo;

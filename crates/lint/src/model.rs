@@ -126,14 +126,15 @@ mod tests {
     #[test]
     fn covering_model_is_clean() {
         let model = FailureModel::new()
-            .with_mode(FailureMode::solo("a-crash", "a", 1.0))
-            .with_mode(FailureMode::correlated("b-joint", "b", ["a", "b"], 0.5));
+            .with_mode(FailureMode::solo("a-crash", "a", 1.0).unwrap())
+            .with_mode(FailureMode::correlated("b-joint", "b", ["a", "b"], 0.5).unwrap());
         assert!(lint_model(&model, &tree()).is_clean());
     }
 
     #[test]
     fn unknown_component_denied() {
-        let model = FailureModel::new().with_mode(FailureMode::solo("ghost", "ghost", 1.0));
+        let model =
+            FailureModel::new().with_mode(FailureMode::solo("ghost", "ghost", 1.0).unwrap());
         let report = lint_model(&model, &tree());
         assert!(report.fired("RRL201"));
         assert!(report.has_deny());
@@ -141,7 +142,7 @@ mod tests {
 
     #[test]
     fn uncovered_component_warns() {
-        let model = FailureModel::new().with_mode(FailureMode::solo("a-crash", "a", 1.0));
+        let model = FailureModel::new().with_mode(FailureMode::solo("a-crash", "a", 1.0).unwrap());
         let report = lint_model(&model, &tree());
         assert_eq!(report.codes(), vec!["RRL202"]);
         assert!(!report.has_deny());

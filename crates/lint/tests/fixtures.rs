@@ -11,11 +11,11 @@ use rr_core::model::{FailureMode, FailureModel};
 use rr_core::schedule::{plan_episodes, EpisodePlan, PlannedEpisode, Suspicion};
 use rr_core::tree::{RestartTree, TreeSpec};
 use rr_lint::{
-    catalog, lint_algebra, lint_checkpoint, lint_deadline, lint_fault_script, lint_fd, lint_flow,
-    lint_model, lint_model_bounds, lint_plan, lint_policy, lint_suspicions, lint_tree,
-    lint_tree_spec, CheckpointComponent, CheckpointParams, DeadlineParams, FdParams, FlowFault,
-    FlowParams, GroupClaim, MemberStat, ModelBoundsParams, PolicyParams, Report, ScriptContext,
-    Severity,
+    catalog, lint_abs, lint_algebra, lint_checkpoint, lint_deadline, lint_fault_script, lint_fd,
+    lint_flow, lint_model, lint_model_bounds, lint_plan, lint_policy, lint_suspicions, lint_tree,
+    lint_tree_spec, AbsDecision, AbsParams, CheckpointComponent, CheckpointParams, DeadlineParams,
+    FdParams, FlowFault, FlowParams, GroupClaim, MemberStat, ModelBoundsParams, PolicyParams,
+    Report, ScriptContext, Severity,
 };
 
 /// The code each fixture below fires, in catalog order. The meta-test
@@ -25,7 +25,7 @@ const FIXTURED: &[&str] = &[
     "RRL201", "RRL202", "RRL203", "RRL211", "RRL212", "RRL213", "RRL301", "RRL302", "RRL401",
     "RRL402", "RRL403", "RRL501", "RRL502", "RRL503", "RRL504", "RRL505", "RRL601", "RRL602",
     "RRL603", "RRL701", "RRL702", "RRL801", "RRL802", "RRL803", "RRL901", "RRL902", "RRL903",
-    "RRL951", "RRL952", "RRL953",
+    "RRL951", "RRL952", "RRL953", "RRL971", "RRL972", "RRL973",
 ];
 
 /// Asserts the report fires `code` and that the finding's severity matches
@@ -193,15 +193,16 @@ fn rrl104_policy_quarantine_unreachable() {
 
 #[test]
 fn rrl201_model_unknown_component() {
-    let model = FailureModel::new().with_mode(FailureMode::solo("ghost-crash", "ghost", 1.0));
+    let model =
+        FailureModel::new().with_mode(FailureMode::solo("ghost-crash", "ghost", 1.0).unwrap());
     assert_fires(&lint_model(&model, &small_tree()), "RRL201");
 }
 
 #[test]
 fn rrl202_model_uncovered_component() {
     let model = FailureModel::new()
-        .with_mode(FailureMode::solo("a-crash", "a", 1.0))
-        .with_mode(FailureMode::solo("b-crash", "b", 1.0));
+        .with_mode(FailureMode::solo("a-crash", "a", 1.0).unwrap())
+        .with_mode(FailureMode::solo("b-crash", "b", 1.0).unwrap());
     assert_fires(&lint_model(&model, &small_tree()), "RRL202");
 }
 
@@ -578,6 +579,55 @@ fn rrl953_flow_table_unsound() {
     assert_fires(&lint_flow(&params), "RRL953");
 }
 
+// ---- RRL97x: profitability-certification (rr-abs) soundness --------------
+
+fn sane_abs() -> AbsParams {
+    AbsParams {
+        decisions: vec![AbsDecision {
+            name: "promote-pbcom".into(),
+            expected_verdict: "always".into(),
+            verdict: "always".into(),
+            profit_lo_s: 0.03,
+            profit_hi_s: 4.7,
+            box_dims: vec![
+                ("rate:pbcom-joint".into(), 0.8, 1.2),
+                ("boot:pbcom".into(), 0.8, 1.2),
+            ],
+            depends_fraction: 0.0,
+            splits: 0,
+            max_splits: 4096,
+        }],
+    }
+}
+
+#[test]
+fn rrl971_abs_profitability_contradiction() {
+    let mut params = sane_abs();
+    params.decisions[0].verdict = "never".into();
+    params.decisions[0].profit_lo_s = -2.0;
+    params.decisions[0].profit_hi_s = -0.1;
+    assert_fires(&lint_abs(&params), "RRL971");
+}
+
+#[test]
+fn rrl972_abs_region_unrefinable() {
+    let mut params = sane_abs();
+    params.decisions[0].expected_verdict = "depends".into();
+    params.decisions[0].verdict = "depends".into();
+    params.decisions[0].profit_lo_s = -1.0;
+    params.decisions[0].profit_hi_s = 1.0;
+    params.decisions[0].depends_fraction = 0.4;
+    params.decisions[0].splits = 4096;
+    assert_fires(&lint_abs(&params), "RRL972");
+}
+
+#[test]
+fn rrl973_abs_box_malformed() {
+    let mut params = sane_abs();
+    params.decisions[0].box_dims[0].1 = -0.5;
+    assert_fires(&lint_abs(&params), "RRL973");
+}
+
 // ---- meta ----------------------------------------------------------------
 
 #[test]
@@ -608,4 +658,5 @@ fn sane_baselines_are_clean() {
     assert!(lint_deadline(&sane_deadline(), Some(&small_tree())).is_clean());
     assert!(lint_checkpoint(&sane_checkpoint(), Some(&small_tree())).is_clean());
     assert!(lint_flow(&sane_flow()).is_clean());
+    assert!(lint_abs(&sane_abs()).is_clean());
 }

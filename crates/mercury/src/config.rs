@@ -34,6 +34,12 @@ use rr_sim::{Dist, SimDuration};
 
 use crate::orbit::{GroundSite, Satellite};
 
+/// Unwraps a failure mode built from the literal Mercury rates, which are
+/// valid by construction.
+fn mode(m: Result<FailureMode, rr_core::ModelError>) -> FailureMode {
+    m.unwrap_or_else(|e| unreachable!("literal Mercury rates are valid: {e}"))
+}
+
 /// Component names used throughout the station.
 pub mod names {
     /// The software message bus.
@@ -778,28 +784,36 @@ impl StationConfig {
             // Table 1: mbus ≈ 1 month, fedrcom ≈ 10 min, ses/str/rtu ≈ 5 h.
             // Post-split, fedr inherits fedrcom's instability while pbcom is
             // "simple and very stable" (§4.2).
-            .with_mode(FailureMode::solo("mbus-crash", names::MBUS, 1.0 / 730.0))
-            .with_mode(FailureMode::solo("fedr-crash", names::FEDR, 6.0))
-            .with_mode(FailureMode::solo("pbcom-crash", names::PBCOM, 1.0 / 168.0))
-            .with_mode(FailureMode::correlated(
+            .with_mode(mode(FailureMode::solo(
+                "mbus-crash",
+                names::MBUS,
+                1.0 / 730.0,
+            )))
+            .with_mode(mode(FailureMode::solo("fedr-crash", names::FEDR, 6.0)))
+            .with_mode(mode(FailureMode::solo(
+                "pbcom-crash",
+                names::PBCOM,
+                1.0 / 168.0,
+            )))
+            .with_mode(mode(FailureMode::correlated(
                 "pbcom-joint",
                 names::PBCOM,
                 [names::FEDR, names::PBCOM],
                 0.05,
-            ))
-            .with_mode(FailureMode::correlated(
+            )))
+            .with_mode(mode(FailureMode::correlated(
                 "ses-crash",
                 names::SES,
                 [names::SES],
                 0.2,
-            ))
-            .with_mode(FailureMode::correlated(
+            )))
+            .with_mode(mode(FailureMode::correlated(
                 "str-crash",
                 names::STR,
                 [names::STR],
                 0.2,
-            ))
-            .with_mode(FailureMode::solo("rtu-crash", names::RTU, 0.2))
+            )))
+            .with_mode(mode(FailureMode::solo("rtu-crash", names::RTU, 0.2)))
     }
 
     /// The failure-correlation view used by the transformation advisor
@@ -812,28 +826,32 @@ impl StationConfig {
     /// accounting for recovery *structure*.
     pub fn advisory_failure_model(&self) -> FailureModel {
         FailureModel::new()
-            .with_mode(FailureMode::solo("mbus-crash", names::MBUS, 1.0 / 730.0))
-            .with_mode(FailureMode::solo("fedr-crash", names::FEDR, 6.0))
-            .with_mode(FailureMode::solo("pbcom-crash", names::PBCOM, 0.05))
-            .with_mode(FailureMode::correlated(
+            .with_mode(mode(FailureMode::solo(
+                "mbus-crash",
+                names::MBUS,
+                1.0 / 730.0,
+            )))
+            .with_mode(mode(FailureMode::solo("fedr-crash", names::FEDR, 6.0)))
+            .with_mode(mode(FailureMode::solo("pbcom-crash", names::PBCOM, 0.05)))
+            .with_mode(mode(FailureMode::correlated(
                 "pbcom-joint",
                 names::PBCOM,
                 [names::FEDR, names::PBCOM],
                 0.4,
-            ))
-            .with_mode(FailureMode::correlated(
+            )))
+            .with_mode(mode(FailureMode::correlated(
                 "ses-crash",
                 names::SES,
                 [names::SES, names::STR],
                 0.2,
-            ))
-            .with_mode(FailureMode::correlated(
+            )))
+            .with_mode(mode(FailureMode::correlated(
                 "str-crash",
                 names::STR,
                 [names::SES, names::STR],
                 0.2,
-            ))
-            .with_mode(FailureMode::solo("rtu-crash", names::RTU, 0.2))
+            )))
+            .with_mode(mode(FailureMode::solo("rtu-crash", names::RTU, 0.2)))
     }
 
     /// The failure-detector timing knobs in the shape `rr_lint` checks.
@@ -929,11 +947,19 @@ impl StationConfig {
     /// The Table 1 failure model for the *unsplit* station (trees I/II).
     pub fn unsplit_failure_model(&self) -> FailureModel {
         FailureModel::new()
-            .with_mode(FailureMode::solo("mbus-crash", names::MBUS, 1.0 / 730.0))
-            .with_mode(FailureMode::solo("fedrcom-crash", names::FEDRCOM, 6.0))
-            .with_mode(FailureMode::solo("ses-crash", names::SES, 0.2))
-            .with_mode(FailureMode::solo("str-crash", names::STR, 0.2))
-            .with_mode(FailureMode::solo("rtu-crash", names::RTU, 0.2))
+            .with_mode(mode(FailureMode::solo(
+                "mbus-crash",
+                names::MBUS,
+                1.0 / 730.0,
+            )))
+            .with_mode(mode(FailureMode::solo(
+                "fedrcom-crash",
+                names::FEDRCOM,
+                6.0,
+            )))
+            .with_mode(mode(FailureMode::solo("ses-crash", names::SES, 0.2)))
+            .with_mode(mode(FailureMode::solo("str-crash", names::STR, 0.2)))
+            .with_mode(mode(FailureMode::solo("rtu-crash", names::RTU, 0.2)))
     }
 }
 

@@ -188,9 +188,9 @@ fn analytic_model_matches_simulation() {
     for (variant, comp, correlated, kind, quality) in cases {
         let sim = measure_cell(variant, kind, comp, correlated, run());
         let mode = if correlated {
-            FailureMode::correlated("joint", comp, [names::FEDR, names::PBCOM], 1.0)
+            FailureMode::correlated("joint", comp, [names::FEDR, names::PBCOM], 1.0).unwrap()
         } else {
-            FailureMode::solo("solo", comp, 1.0)
+            FailureMode::solo("solo", comp, 1.0).unwrap()
         };
         let analytic = expected_mode_recovery_s(
             &variant.tree().expect("paper tree builds"),
@@ -273,7 +273,7 @@ fn mttf_mttr_group_algebra_holds_for_paper_trees() {
         };
         model.validate_against(&tree).unwrap();
         // System MTTF ≤ every component MTTF.
-        let sys = model.system_mttf_s();
+        let sys = model.system_mttf_s().unwrap();
         for comp in tree.components() {
             if let Some(c) = model.component_mttf_s(&comp) {
                 assert!(sys <= c + 1e-9, "{variant}: system {sys} vs {comp} {c}");
